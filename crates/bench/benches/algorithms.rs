@@ -1,0 +1,93 @@
+//! Micro-benchmarks of the individual layering algorithms and of the
+//! colony's inner pieces (one walk; one incremental vertex move), used for
+//! regression tracking rather than paper reproduction.
+
+use antlayer_aco::{
+    perform_walk, stretch, AcoParams, SearchState, StretchStrategy, VertexLayerMatrix,
+};
+use antlayer_datasets::att_like_graph;
+use antlayer_graph::{Dag, NodeId};
+use antlayer_layering::{
+    LayeringAlgorithm, LayeringRefinement, LongestPath, MinWidth, Promote, WidthModel,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn graph(n: usize) -> Dag {
+    let mut rng = StdRng::seed_from_u64(17);
+    att_like_graph(n, &mut rng)
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let wm = WidthModel::unit();
+    let mut group = c.benchmark_group("baseline_algorithms");
+    for n in [50usize, 100, 200] {
+        let dag = graph(n);
+        group.bench_with_input(BenchmarkId::new("lpl", n), &dag, |b, dag| {
+            b.iter(|| LongestPath.layer(std::hint::black_box(dag), &wm))
+        });
+        group.bench_with_input(BenchmarkId::new("minwidth", n), &dag, |b, dag| {
+            b.iter(|| MinWidth::new().layer(std::hint::black_box(dag), &wm))
+        });
+        group.bench_with_input(BenchmarkId::new("promote_pass", n), &dag, |b, dag| {
+            let base = LongestPath.layer(dag, &wm);
+            b.iter(|| {
+                let mut l = base.clone();
+                Promote::new().refine(dag, &mut l, &wm);
+                l
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("network_simplex", n), &dag, |b, dag| {
+            b.iter(|| antlayer_layering::NetworkSimplex.layer(std::hint::black_box(dag), &wm))
+        });
+    }
+    group.finish();
+}
+
+fn bench_walk(c: &mut Criterion) {
+    let wm = WidthModel::unit();
+    let mut group = c.benchmark_group("ant_walk");
+    for n in [50usize, 100, 200] {
+        let dag = graph(n);
+        let lpl = LongestPath.layer(&dag, &wm);
+        let stretched = stretch(&lpl, dag.node_count(), StretchStrategy::Between);
+        let state = SearchState::new(&dag, &stretched.layering, stretched.total_layers, &wm);
+        let params = AcoParams::default();
+        let tau =
+            VertexLayerMatrix::filled(dag.node_count(), state.total_layers as usize, params.tau0);
+        group.bench_with_input(BenchmarkId::new("perform_walk", n), &dag, |b, dag| {
+            b.iter(|| {
+                let mut s = state.clone();
+                let mut rng = StdRng::seed_from_u64(3);
+                perform_walk(dag, &wm, &params, &tau, &mut s, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_move_vertex(c: &mut Criterion) {
+    let wm = WidthModel::unit();
+    let dag = graph(200);
+    let lpl = LongestPath.layer(&dag, &wm);
+    let stretched = stretch(&lpl, dag.node_count(), StretchStrategy::Between);
+    let state = SearchState::new(&dag, &stretched.layering, stretched.total_layers, &wm);
+    // Pick a vertex with slack and ping-pong it between two span layers.
+    let v = dag
+        .nodes()
+        .find(|&v| state.span_hi[v.index()] > state.span_lo[v.index()])
+        .unwrap_or(NodeId::new(0));
+    let lo = state.span_lo[v.index()];
+    let hi = state.span_hi[v.index()];
+    c.bench_function("move_vertex_pingpong", |b| {
+        let mut s = state.clone();
+        b.iter(|| {
+            s.move_vertex(&dag, &wm, v, hi);
+            s.move_vertex(&dag, &wm, v, lo);
+        })
+    });
+}
+
+criterion_group!(benches, bench_baselines, bench_walk, bench_move_vertex);
+criterion_main!(benches);

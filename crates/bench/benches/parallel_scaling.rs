@@ -1,0 +1,34 @@
+//! ABL-PAR: wall time of one colony run against the number of worker
+//! threads executing the ants of a tour (the paper's "parallel work
+//! environment", §IV-A). Results are bit-identical across thread counts;
+//! only the wall time changes.
+
+use antlayer_aco::{AcoLayering, AcoParams};
+use antlayer_graph::generate;
+use antlayer_layering::WidthModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    // A deep, stringy DAG large enough that one walk is non-trivial.
+    let dag = generate::layered_dag(600, 150, 0.015, 2, &mut rng);
+    let wm = WidthModel::unit();
+    let mut group = c.benchmark_group("colony_thread_scaling");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let params = AcoParams::default()
+            .with_colony(16, 4)
+            .with_seed(11)
+            .with_threads(threads);
+        let algo = AcoLayering::new(params);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &dag, |b, dag| {
+            b.iter(|| algo.run(std::hint::black_box(dag), &wm))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion counterpart of the running-time panels of Figs. 8 and 9: the
+//! five paper algorithms on representative AT&T-like graphs of |V| = 30,
+//! 60 and 100. The paper's expectation — LPL and MinWidth fastest, the +PL
+//! variants in between, the colony slowest but the same order of magnitude
+//! as +PL at these sizes — is visible directly in the report.
+
+use antlayer_bench::paper_algorithms;
+use antlayer_datasets::att_like_graph;
+use antlayer_graph::Dag;
+use antlayer_layering::WidthModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn representative_graph(n: usize, seed: u64) -> Dag {
+    let mut rng = StdRng::seed_from_u64(seed);
+    att_like_graph(n, &mut rng)
+}
+
+fn bench_running_time(c: &mut Criterion) {
+    let wm = WidthModel::unit();
+    let mut group = c.benchmark_group("fig8_9_running_time");
+    for n in [30usize, 60, 100] {
+        let dag = representative_graph(n, 7);
+        for (name, algo) in paper_algorithms(1) {
+            group.bench_with_input(BenchmarkId::new(name, n), &dag, |b, dag| {
+                b.iter(|| algo.layer(std::hint::black_box(dag), &wm))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_running_time);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Micro-benchmarks of the substrate crates: graph algorithms, metric
+//! computation, proper-layering expansion and the parallel map.
+
+use antlayer_datasets::att_like_graph;
+use antlayer_graph::{generate, topological_sort, Dag};
+use antlayer_layering::{metrics, LayeringAlgorithm, LongestPath, ProperLayering, WidthModel};
+use antlayer_parallel::par_map;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn graph(n: usize) -> Dag {
+    let mut rng = StdRng::seed_from_u64(23);
+    att_like_graph(n, &mut rng)
+}
+
+fn bench_graph_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_substrate");
+    for n in [100usize, 1000] {
+        let dag = graph(n);
+        group.bench_with_input(BenchmarkId::new("topological_sort", n), &dag, |b, dag| {
+            b.iter(|| topological_sort(std::hint::black_box(dag.graph())).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("generate_att_like", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| att_like_graph(n, &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("generate_layered", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| generate::layered_dag(n, (n / 4).max(2), 0.03, 2, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let wm = WidthModel::unit();
+    let mut group = c.benchmark_group("layering_metrics");
+    for n in [100usize, 1000] {
+        let dag = graph(n);
+        let layering = LongestPath.layer(&dag, &wm);
+        group.bench_with_input(
+            BenchmarkId::new("all_metrics", n),
+            &(&dag, &layering),
+            |b, (dag, layering)| {
+                b.iter(|| {
+                    antlayer_layering::LayeringMetrics::compute(
+                        std::hint::black_box(dag),
+                        layering,
+                        &wm,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("proper_expansion", n),
+            &(&dag, &layering),
+            |b, (dag, layering)| b.iter(|| ProperLayering::build(dag, layering)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dummies_per_layer", n),
+            &(&dag, &layering),
+            |b, (dag, layering)| b.iter(|| metrics::dummies_per_layer(dag, layering)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_par_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_map");
+    let items: Vec<u64> = (0..512).collect();
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &items,
+            |b, items| {
+                b.iter(|| {
+                    par_map(threads, items.clone(), |_, x| {
+                        // A small CPU-bound payload.
+                        (0..500u64).fold(x, |acc, i| acc.wrapping_mul(31).wrapping_add(i))
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_ops, bench_metrics, bench_par_map);
+criterion_main!(benches);

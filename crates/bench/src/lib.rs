@@ -1,0 +1,223 @@
+//! Shared machinery for the experiment harness and the Criterion benches:
+//! run a set of layering algorithms over the AT&T-like suite and aggregate
+//! the paper's metrics per size group.
+
+use antlayer_aco::{AcoLayering, AcoParams};
+use antlayer_datasets::{Cell, GraphSuite, Table};
+use antlayer_graph::Dag;
+use antlayer_layering::{
+    LayeringAlgorithm, LayeringMetrics, LongestPath, MinWidth, Promote, Refined, WidthModel,
+};
+use antlayer_parallel::{default_threads, par_map};
+use std::time::Instant;
+
+/// Mean metrics of one algorithm over one size group.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct GroupAverages {
+    /// Vertex count of the group.
+    pub n: usize,
+    /// Mean height.
+    pub height: f64,
+    /// Mean width including dummies.
+    pub width: f64,
+    /// Mean width excluding dummies.
+    pub width_excl: f64,
+    /// Mean dummy vertex count.
+    pub dvc: f64,
+    /// Mean edge density.
+    pub edge_density: f64,
+    /// Mean wall time per graph in milliseconds.
+    pub ms: f64,
+}
+
+/// Per-group series of one algorithm over the suite.
+#[derive(Clone, Debug)]
+pub struct AlgoSeries {
+    /// Algorithm display name.
+    pub name: String,
+    /// One entry per suite group, in increasing `n`.
+    pub groups: Vec<GroupAverages>,
+}
+
+/// The named algorithm set of the paper's evaluation (§VII): LPL, LPL+PL,
+/// MinWidth, MinWidth+PL and the Ant Colony.
+pub fn paper_algorithms(seed: u64) -> Vec<(String, Box<dyn LayeringAlgorithm + Sync>)> {
+    vec![
+        ("LPL".into(), Box::new(LongestPath)),
+        (
+            "LPL+PL".into(),
+            Box::new(Refined::new(LongestPath, Promote::new())),
+        ),
+        ("MinWidth".into(), Box::new(MinWidth::new())),
+        (
+            "MinWidth+PL".into(),
+            Box::new(Refined::new(MinWidth::new(), Promote::new())),
+        ),
+        (
+            "AntColony".into(),
+            Box::new(AcoLayering::new(AcoParams::default().with_seed(seed))),
+        ),
+    ]
+}
+
+/// The paper's algorithms plus the extensions this workspace adds on top:
+/// Coffman–Graham, the exact network-simplex layering, and the colony with
+/// a Promote post-pass (the obvious "further research" combination from
+/// the paper's conclusion).
+pub fn extended_algorithms(seed: u64) -> Vec<(String, Box<dyn LayeringAlgorithm + Sync>)> {
+    let mut algos = paper_algorithms(seed);
+    algos.push((
+        "CoffmanGraham(4)".into(),
+        Box::new(antlayer_layering::CoffmanGraham::new(4)),
+    ));
+    algos.push((
+        "NetworkSimplex".into(),
+        Box::new(antlayer_layering::NetworkSimplex),
+    ));
+    algos.push((
+        "AntColony+PL".into(),
+        Box::new(Refined::new(
+            AcoLayering::new(AcoParams::default().with_seed(seed)),
+            Promote::new(),
+        )),
+    ));
+    algos
+}
+
+/// Runs `algo` over every graph of the suite (in parallel over graphs, but
+/// deterministically) and averages the metrics per group.
+pub fn evaluate_algorithm(
+    suite: &GraphSuite,
+    algo: &(dyn LayeringAlgorithm + Sync),
+    wm: &WidthModel,
+    threads: usize,
+) -> Vec<GroupAverages> {
+    suite
+        .groups
+        .iter()
+        .map(|group| {
+            let items: Vec<&Dag> = group.graphs.iter().collect();
+            let per_graph: Vec<(LayeringMetrics, f64)> =
+                par_map(threads, items, |_, dag| {
+                    let start = Instant::now();
+                    let layering = algo.layer(dag, wm);
+                    let ms = start.elapsed().as_secs_f64() * 1e3;
+                    debug_assert!(layering.validate(dag).is_ok());
+                    (LayeringMetrics::compute(dag, &layering, wm), ms)
+                });
+            let count = per_graph.len().max(1) as f64;
+            let mut avg = GroupAverages {
+                n: group.n,
+                ..GroupAverages::default()
+            };
+            for (m, ms) in &per_graph {
+                avg.height += m.height as f64;
+                avg.width += m.width;
+                avg.width_excl += m.width_excl_dummies;
+                avg.dvc += m.dummy_count as f64;
+                avg.edge_density += m.edge_density as f64;
+                avg.ms += ms;
+            }
+            avg.height /= count;
+            avg.width /= count;
+            avg.width_excl /= count;
+            avg.dvc /= count;
+            avg.edge_density /= count;
+            avg.ms /= count;
+            avg
+        })
+        .collect()
+}
+
+/// Evaluates several algorithms, reusing the suite.
+pub fn evaluate_algorithms(
+    suite: &GraphSuite,
+    algos: &[(String, Box<dyn LayeringAlgorithm + Sync>)],
+    wm: &WidthModel,
+) -> Vec<AlgoSeries> {
+    let threads = default_threads(16);
+    algos
+        .iter()
+        .map(|(name, algo)| AlgoSeries {
+            name: name.clone(),
+            groups: evaluate_algorithm(suite, algo.as_ref(), wm, threads),
+        })
+        .collect()
+}
+
+/// Builds a figure table: first column `n`, then one column per series
+/// using `pick` to select the metric.
+pub fn series_table(
+    series: &[AlgoSeries],
+    metric_name: &str,
+    pick: impl Fn(&GroupAverages) -> f64,
+) -> Table {
+    let mut headers: Vec<String> = vec!["n".into()];
+    headers.extend(series.iter().map(|s| s.name.clone()));
+    let mut table = Table {
+        headers,
+        rows: Vec::new(),
+    };
+    let groups = series.first().map(|s| s.groups.len()).unwrap_or(0);
+    for gi in 0..groups {
+        let mut row: Vec<Cell> = vec![series[0].groups[gi].n.into()];
+        for s in series {
+            row.push(pick(&s.groups[gi]).into());
+        }
+        table.rows.push(row);
+    }
+    let _ = metric_name; // name only documents call sites
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluate_produces_one_entry_per_group() {
+        let suite = GraphSuite::att_like_scaled(3, 19);
+        let wm = WidthModel::unit();
+        let avgs = evaluate_algorithm(&suite, &LongestPath, &wm, 2);
+        assert_eq!(avgs.len(), 19);
+        assert_eq!(avgs[0].n, 10);
+        assert!(avgs.iter().all(|a| a.height >= 1.0 && a.width >= 1.0));
+    }
+
+    #[test]
+    fn parallel_evaluation_is_deterministic() {
+        let suite = GraphSuite::att_like_scaled(4, 19);
+        let wm = WidthModel::unit();
+        let a = evaluate_algorithm(&suite, &MinWidth::new(), &wm, 1);
+        let b = evaluate_algorithm(&suite, &MinWidth::new(), &wm, 4);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.n, y.n);
+            assert!((x.width - y.width).abs() < 1e-12);
+            assert!((x.dvc - y.dvc).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_algorithm_set_is_complete() {
+        let algos = paper_algorithms(1);
+        let names: Vec<&str> = algos.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            ["LPL", "LPL+PL", "MinWidth", "MinWidth+PL", "AntColony"]
+        );
+    }
+
+    #[test]
+    fn series_table_layout() {
+        let suite = GraphSuite::att_like_scaled(5, 19);
+        let wm = WidthModel::unit();
+        let algos = vec![(
+            "LPL".to_string(),
+            Box::new(LongestPath) as Box<dyn LayeringAlgorithm + Sync>,
+        )];
+        let series = evaluate_algorithms(&suite, &algos, &wm);
+        let table = series_table(&series, "width", |g| g.width);
+        assert_eq!(table.headers, vec!["n".to_string(), "LPL".to_string()]);
+        assert_eq!(table.rows.len(), 19);
+    }
+}

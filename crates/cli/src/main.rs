@@ -1,0 +1,316 @@
+//! `antlayer` — command-line front end.
+//!
+//! ```text
+//! antlayer layer  [--algo NAME] [--nd-width F] [--seed N] FILE   # print metrics + layers
+//! antlayer draw   [--algo NAME] [--svg OUT] [--seed N] FILE      # render ASCII (and SVG)
+//! antlayer gen    [--n N] [--seed S] [--gml]                     # emit a synthetic DAG as DOT/GML
+//! antlayer suite  [--seed S] [--total N]                         # AT&T-like suite statistics
+//! ```
+//!
+//! `FILE` may be `-` for stdin; `.gml` files (or `--gml`) are parsed as GML,
+//! anything else as DOT. Algorithms: `lpl`, `lpl-pl`, `minwidth`,
+//! `minwidth-pl`, `cg`, `ns`, `aco` (default `aco`).
+
+use antlayer_aco::{AcoLayering, AcoParams};
+use antlayer_datasets::{att_like_graph, GraphSuite, Table};
+use antlayer_graph::io::{dot, gml};
+use antlayer_graph::DiGraph;
+use antlayer_layering::{
+    CoffmanGraham, LayeringAlgorithm, LayeringMetrics, LongestPath, MinWidth, NetworkSimplex,
+    Promote, Refined, WidthModel,
+};
+use antlayer_sugiyama::{draw, PipelineOptions, SvgOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("antlayer: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  antlayer layer [--algo NAME] [--nd-width F] [--seed N] FILE
+  antlayer draw  [--algo NAME] [--svg OUT]   [--seed N] FILE
+  antlayer gen   [--n N] [--seed S] [--gml]
+  antlayer suite [--seed S] [--total N]
+algorithms: lpl, lpl-pl, minwidth, minwidth-pl, cg, ns, aco (default)";
+
+/// Minimal flag parser: `--key value` pairs plus positionals.
+struct Flags {
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+    positional: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String], valued: &[&str]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut switches = Vec::new();
+        let mut positional = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if valued.contains(&name) {
+                    let v = args
+                        .get(i + 1)
+                        .ok_or_else(|| format!("--{name} needs a value"))?;
+                    pairs.push((name.to_string(), v.clone()));
+                    i += 2;
+                } else {
+                    switches.push(name.to_string());
+                    i += 1;
+                }
+            } else {
+                positional.push(a.clone());
+                i += 1;
+            }
+        }
+        Ok(Flags {
+            pairs,
+            switches,
+            positional,
+        })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value '{v}' for --{key}")),
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "layer" => cmd_layer(rest),
+        "draw" => cmd_draw(rest),
+        "gen" => cmd_gen(rest),
+        "suite" => cmd_suite(rest),
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn load_graph(path: &str, force_gml: bool) -> Result<(DiGraph, Vec<String>), String> {
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+    };
+    if force_gml || path.ends_with(".gml") {
+        let g = gml::parse_gml(&text).map_err(|e| format!("GML parse: {e}"))?;
+        let labels = g
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                if l.is_empty() {
+                    g.original_ids[i].to_string()
+                } else {
+                    l.clone()
+                }
+            })
+            .collect();
+        Ok((g.graph, labels))
+    } else {
+        let g = dot::parse_dot(&text).map_err(|e| format!("DOT parse: {e}"))?;
+        let names = g.names.clone();
+        Ok((g.graph, names))
+    }
+}
+
+fn make_algorithm(name: &str, seed: u64) -> Result<Box<dyn LayeringAlgorithm>, String> {
+    Ok(match name {
+        "lpl" => Box::new(LongestPath),
+        "lpl-pl" => Box::new(Refined::new(LongestPath, Promote::new())),
+        "minwidth" => Box::new(MinWidth::new()),
+        "minwidth-pl" => Box::new(Refined::new(MinWidth::new(), Promote::new())),
+        "cg" => Box::new(CoffmanGraham::new(4)),
+        "ns" => Box::new(NetworkSimplex),
+        "aco" => Box::new(AcoLayering::new(AcoParams::default().with_seed(seed))),
+        other => return Err(format!("unknown algorithm '{other}'")),
+    })
+}
+
+fn cmd_layer(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["algo", "nd-width", "seed"])?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("layer: missing input file")?;
+    let (graph, labels) = load_graph(path, flags.has("gml"))?;
+    let algo = make_algorithm(flags.get("algo").unwrap_or("aco"), flags.get_parsed("seed", 1u64)?)?;
+    let nd: f64 = flags.get_parsed("nd-width", 1.0)?;
+    let widths = WidthModel::with_dummy_width(nd);
+
+    // Route through the pipeline's cycle removal so cyclic inputs work.
+    let oriented = antlayer_sugiyama::acyclic_orientation(&graph);
+    if !oriented.reversed.is_empty() {
+        println!("note: reversed {} edge(s) to break cycles", oriented.reversed.len());
+    }
+    let layering = algo.layer(&oriented.dag, &widths);
+    let m = LayeringMetrics::compute(&oriented.dag, &layering, &widths);
+    println!(
+        "{}: height {}, width {:.2} (excl. dummies {:.2}), {} dummies, edge density {}",
+        algo.name(),
+        m.height,
+        m.width,
+        m.width_excl_dummies,
+        m.dummy_count,
+        m.edge_density
+    );
+    for (i, layer) in layering.layers().iter().enumerate().rev() {
+        let names: Vec<&str> = layer.iter().map(|v| labels[v.index()].as_str()).collect();
+        println!("  L{:<3} {}", i + 1, names.join(" "));
+    }
+    Ok(())
+}
+
+fn cmd_draw(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["algo", "svg", "seed"])?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("draw: missing input file")?;
+    let (graph, labels) = load_graph(path, flags.has("gml"))?;
+    let algo = make_algorithm(flags.get("algo").unwrap_or("aco"), flags.get_parsed("seed", 1u64)?)?;
+    let drawing = draw(&graph, algo.as_ref(), &PipelineOptions::default());
+    println!("{}", drawing.to_ascii(|v| labels[v.index()].clone()));
+    println!(
+        "height {}, width {:.1}, {} dummies, {} crossings",
+        drawing.metrics.height, drawing.metrics.width, drawing.metrics.dummy_count, drawing.crossings
+    );
+    if let Some(out) = flags.get("svg") {
+        let svg = drawing.to_svg(|v| labels[v.index()].clone(), &SvgOptions::default());
+        std::fs::write(out, svg).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["n", "seed"])?;
+    let n: usize = flags.get_parsed("n", 30)?;
+    if n < 2 {
+        return Err("gen: --n must be at least 2".into());
+    }
+    let seed: u64 = flags.get_parsed("seed", 0)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dag = att_like_graph(n, &mut rng);
+    if flags.has("gml") {
+        print!("{}", gml::write_gml(&dag, |v| v.index().to_string()));
+    } else {
+        print!("{}", dot::write_dot_ids(&dag));
+    }
+    Ok(())
+}
+
+fn cmd_suite(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["seed", "total"])?;
+    let seed: u64 = flags.get_parsed("seed", 1)?;
+    let total: usize = flags.get_parsed("total", 190)?;
+    let suite = GraphSuite::att_like_scaled(seed, total);
+    let mut table = Table::new(&["n", "graphs", "mean_m", "mean_lpl_height"]);
+    for (gi, (n, mean_m, depth)) in suite.group_summaries().iter().enumerate() {
+        table.push_row(vec![
+            (*n).into(),
+            suite.groups[gi].graphs.len().into(),
+            (*mean_m).into(),
+            (*depth).into(),
+        ]);
+    }
+    println!(
+        "AT&T-like suite (seed {seed}): {} graphs, m/n = {:.3}\n",
+        suite.len(),
+        suite.mean_edge_node_ratio()
+    );
+    print!("{}", table.to_aligned());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_pairs_switches_positionals() {
+        let f = Flags::parse(
+            &s(&["--algo", "lpl", "--gml", "input.dot", "--seed", "9"]),
+            &["algo", "seed"],
+        )
+        .unwrap();
+        assert_eq!(f.get("algo"), Some("lpl"));
+        assert_eq!(f.get("seed"), Some("9"));
+        assert!(f.has("gml"));
+        assert_eq!(f.positional, vec!["input.dot"]);
+    }
+
+    #[test]
+    fn flags_missing_value_is_error() {
+        assert!(Flags::parse(&s(&["--algo"]), &["algo"]).is_err());
+    }
+
+    #[test]
+    fn flags_last_value_wins() {
+        let f = Flags::parse(&s(&["--n", "1", "--n", "2"]), &["n"]).unwrap();
+        assert_eq!(f.get_parsed::<usize>("n", 0).unwrap(), 2);
+    }
+
+    #[test]
+    fn flags_parse_errors_on_bad_numbers() {
+        let f = Flags::parse(&s(&["--n", "xyz"]), &["n"]).unwrap();
+        assert!(f.get_parsed::<usize>("n", 0).is_err());
+        let d = Flags::parse(&s(&[]), &["n"]).unwrap();
+        assert_eq!(d.get_parsed::<usize>("n", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn every_algorithm_name_is_constructible() {
+        for name in ["lpl", "lpl-pl", "minwidth", "minwidth-pl", "cg", "ns", "aco"] {
+            assert!(make_algorithm(name, 1).is_ok(), "{name}");
+        }
+        assert!(make_algorithm("nope", 1).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_is_reported() {
+        let err = run(&s(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("frobnicate"));
+    }
+}

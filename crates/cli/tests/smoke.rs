@@ -1,0 +1,100 @@
+//! End-to-end smoke tests for the `antlayer` binary: the subcommands are
+//! exercised through a real process, exactly as a user would run them.
+
+use std::process::Command;
+
+fn antlayer() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_antlayer"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = antlayer().args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "antlayer {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn gen_emits_parsable_dot() {
+    let dot = run_ok(&["gen", "--n", "20", "--seed", "5"]);
+    assert!(dot.starts_with("digraph"));
+    let parsed = antlayer_graph::io::dot::parse_dot(&dot).unwrap();
+    assert_eq!(parsed.graph.node_count(), 20);
+}
+
+#[test]
+fn gen_emits_parsable_gml() {
+    let gml = run_ok(&["gen", "--n", "15", "--seed", "2", "--gml"]);
+    let parsed = antlayer_graph::io::gml::parse_gml(&gml).unwrap();
+    assert_eq!(parsed.graph.node_count(), 15);
+}
+
+#[test]
+fn layer_reads_file_and_prints_metrics() {
+    let dir = std::env::temp_dir().join("antlayer-cli-smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("g.dot");
+    std::fs::write(&path, "digraph { a -> b -> c; a -> c; }").unwrap();
+    for algo in ["lpl", "minwidth", "lpl-pl", "minwidth-pl", "cg", "ns", "aco"] {
+        let out = run_ok(&["layer", "--algo", algo, path.to_str().unwrap()]);
+        assert!(out.contains("height"), "{algo}: {out}");
+        assert!(out.contains("L1"), "{algo} missing layer listing");
+    }
+}
+
+#[test]
+fn layer_handles_cyclic_input() {
+    let dir = std::env::temp_dir().join("antlayer-cli-smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cyc.dot");
+    std::fs::write(&path, "digraph { a -> b; b -> a; b -> c; }").unwrap();
+    let out = run_ok(&["layer", "--algo", "lpl", path.to_str().unwrap()]);
+    assert!(out.contains("reversed"), "cycle note missing: {out}");
+}
+
+#[test]
+fn draw_writes_svg() {
+    let dir = std::env::temp_dir().join("antlayer-cli-smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("d.dot");
+    let svg = dir.join("d.svg");
+    std::fs::write(&input, "digraph { a -> b; a -> c; b -> d; c -> d; }").unwrap();
+    run_ok(&[
+        "draw",
+        "--algo",
+        "lpl",
+        "--svg",
+        svg.to_str().unwrap(),
+        input.to_str().unwrap(),
+    ]);
+    let content = std::fs::read_to_string(&svg).unwrap();
+    assert!(content.starts_with("<svg"));
+}
+
+#[test]
+fn suite_prints_group_table() {
+    let out = run_ok(&["suite", "--total", "38", "--seed", "3"]);
+    assert!(out.contains("38 graphs"));
+    assert!(out.contains("mean_lpl_height"));
+}
+
+#[test]
+fn bad_usage_fails_with_message() {
+    let out = antlayer().arg("bogus").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown subcommand"));
+    assert!(err.contains("usage"));
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = antlayer()
+        .args(["layer", "/nonexistent/nowhere.dot"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

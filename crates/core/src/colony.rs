@@ -1,0 +1,500 @@
+//! The ant colony (paper §V, Algorithms 3 and 4).
+//!
+//! * **Initialisation** (Alg. 3): layer the DAG with LPL, stretch the
+//!   layering to `n` layers, compute layer spans and widths, fill the
+//!   pheromone matrix with `τ₀`.
+//! * **Layering phase** (Alg. 4): for each of `n_tours` tours, every ant
+//!   performs a walk starting from the tour's base state. At tour end the
+//!   pheromone evaporates by `ρ`, the tour-best ant deposits pheromone on
+//!   its `(vertex, layer)` couplings, and its layering/width state becomes
+//!   the next tour's base (the paper: *"every tour inherits the layering of
+//!   its predecessor"*).
+//! * Finally, interior empty layers are removed (paper §VI, note).
+//!
+//! Ants of one tour are independent by construction — the paper frames the
+//! colony as emulating "a parallel work environment" — so the tour is a
+//! deterministic parallel map over per-ant RNG streams: results do not
+//! depend on the thread count.
+
+use crate::stretch::stretch;
+use crate::walk::perform_walk;
+use crate::{AcoParams, SearchState, VertexLayerMatrix};
+use antlayer_graph::Dag;
+use antlayer_layering::{
+    Layering, LayeringAlgorithm, LayeringMetrics, LongestPath, WidthModel,
+};
+use antlayer_parallel::{default_threads, par_map};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-tour statistics, for convergence plots and the tuning experiments.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TourStats {
+    /// Tour index, `0..n_tours`.
+    pub tour: usize,
+    /// Best objective among this tour's ants.
+    pub best_objective: f64,
+    /// Mean objective over this tour's ants.
+    pub mean_objective: f64,
+    /// Height `H` of the tour-best ant's layering (stretched space).
+    pub best_height: u32,
+    /// Width `W` of the tour-best ant's layering (dummies included).
+    pub best_width: f64,
+}
+
+/// Result of a full colony run.
+#[derive(Clone, Debug)]
+pub struct ColonyRun {
+    /// The best layering found, normalized (empty layers removed).
+    pub layering: Layering,
+    /// Objective of the best state *in the stretched space* (before
+    /// normalization, which can only improve it).
+    pub objective: f64,
+    /// Metrics of the normalized result.
+    pub metrics: LayeringMetrics,
+    /// Statistics of every tour, in order.
+    pub tours: Vec<TourStats>,
+}
+
+/// The ant colony for one DAG.
+pub struct Colony<'a> {
+    dag: &'a Dag,
+    wm: &'a WidthModel,
+    params: AcoParams,
+    tau: VertexLayerMatrix,
+    base: SearchState,
+    best: SearchState,
+    best_objective: f64,
+}
+
+impl<'a> Colony<'a> {
+    /// Runs the initialisation phase (Algorithm 3).
+    pub fn new(dag: &'a Dag, wm: &'a WidthModel, params: AcoParams) -> Result<Self, String> {
+        params.validate()?;
+        let lpl = LongestPath.layer(dag, wm);
+        let target = params.target_layers.unwrap_or(dag.node_count());
+        let stretched = stretch(&lpl, target, params.stretch);
+        let base = SearchState::new(dag, &stretched.layering, stretched.total_layers.max(1), wm);
+        let tau = VertexLayerMatrix::filled(
+            dag.node_count(),
+            base.total_layers as usize,
+            params.tau0,
+        );
+        let best_objective = if dag.node_count() == 0 {
+            0.0
+        } else {
+            base.normalized_objective(dag, wm)
+        };
+        Ok(Colony {
+            dag,
+            wm,
+            params,
+            tau,
+            best: base.clone(),
+            base,
+            best_objective,
+        })
+    }
+
+    /// Seed for ant `k` of tour `t`: a SplitMix64 scramble of the master
+    /// seed, so every (tour, ant) pair gets an independent stream and the
+    /// result is reproducible under any thread count.
+    fn ant_seed(&self, tour: usize, ant: usize) -> u64 {
+        let mut z = self
+            .params
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(1 + tour as u64 * self.params.n_ants as u64 + ant as u64));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Runs one tour; returns its statistics.
+    fn perform_tour(&mut self, tour: usize) -> TourStats {
+        let threads = if self.params.threads == 0 {
+            default_threads(self.params.n_ants)
+        } else {
+            self.params.threads
+        };
+        let seeds: Vec<u64> = (0..self.params.n_ants)
+            .map(|k| self.ant_seed(tour, k))
+            .collect();
+
+        let dag = self.dag;
+        let wm = self.wm;
+        let params = &self.params;
+        let tau = &self.tau;
+        let base = &self.base;
+        let walks: Vec<(SearchState, f64)> = par_map(threads, seeds, |_, seed| {
+            let mut state = base.clone();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let f = perform_walk(dag, wm, params, tau, &mut state, &mut rng);
+            (state, f)
+        });
+
+        // Tour best: highest objective, first on ties (deterministic).
+        let (best_idx, _) = walks
+            .iter()
+            .enumerate()
+            .max_by(|(ia, (_, fa)), (ib, (_, fb))| {
+                fa.partial_cmp(fb)
+                    .unwrap()
+                    .then(ib.cmp(ia)) // prefer the lower index on ties
+            })
+            .expect("n_ants >= 1");
+        let mean = walks.iter().map(|(_, f)| f).sum::<f64>() / walks.len() as f64;
+        let (tour_best_state, tour_best_f) = {
+            let (s, f) = &walks[best_idx];
+            (s.clone(), *f)
+        };
+
+        // Evaporation, then deposit (Alg. 4, 16–17). The paper's rule is
+        // tour-best only; rank-based deposit is an extension.
+        self.tau.scale_all(1.0 - self.params.rho);
+        self.tau.clamp_min(1e-12);
+        match self.params.deposit {
+            crate::DepositStrategy::TourBest => {
+                for v in self.dag.nodes() {
+                    self.tau.add(
+                        v,
+                        tour_best_state.layer[v.index()],
+                        self.params.deposit_q * tour_best_f,
+                    );
+                }
+            }
+            crate::DepositStrategy::RankBased(k) => {
+                let mut ranked: Vec<usize> = (0..walks.len()).collect();
+                ranked.sort_by(|&a, &b| {
+                    walks[b].1.partial_cmp(&walks[a].1).unwrap().then(a.cmp(&b))
+                });
+                for (rank, &idx) in ranked.iter().take(k).enumerate() {
+                    let weight = (k - rank) as f64 / k as f64;
+                    let (state, f) = &walks[idx];
+                    for v in self.dag.nodes() {
+                        self.tau.add(
+                            v,
+                            state.layer[v.index()],
+                            self.params.deposit_q * f * weight,
+                        );
+                    }
+                }
+            }
+        }
+        if let Some((lo, hi)) = self.params.tau_bounds {
+            self.tau.clamp_range(lo, hi);
+        }
+
+        let stats = {
+            let mut best_layering = tour_best_state.to_layering();
+            best_layering.normalize();
+            TourStats {
+                tour,
+                best_objective: tour_best_f,
+                mean_objective: mean,
+                best_height: best_layering.max_layer(),
+                best_width: antlayer_layering::metrics::width(self.dag, &best_layering, self.wm),
+            }
+        };
+
+        // Global best, then base inheritance (Alg. 4 line 18).
+        if tour_best_f > self.best_objective {
+            self.best_objective = tour_best_f;
+            self.best = tour_best_state.clone();
+        }
+        self.base = tour_best_state;
+        stats
+    }
+
+    /// Runs the layering phase: `n_tours` tours. Returns the best layering
+    /// (normalized) with metrics and per-tour statistics.
+    pub fn run(mut self) -> ColonyRun {
+        if self.dag.node_count() == 0 {
+            return ColonyRun {
+                layering: Layering::from_slice(&[]),
+                objective: 0.0,
+                metrics: LayeringMetrics {
+                    height: 0,
+                    width: 0.0,
+                    width_excl_dummies: 0.0,
+                    dummy_count: 0,
+                    edge_density: 0,
+                    objective: 0.0,
+                },
+                tours: Vec::new(),
+            };
+        }
+        let mut tours = Vec::with_capacity(self.params.n_tours);
+        for t in 0..self.params.n_tours {
+            tours.push(self.perform_tour(t));
+        }
+        let mut layering = self.best.to_layering();
+        layering.normalize();
+        debug_assert!(layering.validate(self.dag).is_ok());
+        let metrics = LayeringMetrics::compute(self.dag, &layering, self.wm);
+        ColonyRun {
+            layering,
+            objective: self.best_objective,
+            metrics,
+            tours,
+        }
+    }
+}
+
+/// The ACO layering algorithm as a pluggable [`LayeringAlgorithm`].
+///
+/// # Example
+/// ```
+/// use antlayer_graph::Dag;
+/// use antlayer_layering::{LayeringAlgorithm, WidthModel};
+/// use antlayer_aco::{AcoLayering, AcoParams};
+///
+/// let dag = Dag::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]).unwrap();
+/// let algo = AcoLayering::new(AcoParams::default().with_colony(4, 4));
+/// let layering = algo.layer(&dag, &WidthModel::unit());
+/// assert!(layering.validate(&dag).is_ok());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct AcoLayering {
+    /// Colony parameters.
+    pub params: AcoParams,
+}
+
+impl AcoLayering {
+    /// Wraps the given parameters.
+    pub fn new(params: AcoParams) -> Self {
+        AcoLayering { params }
+    }
+
+    /// Runs the colony and returns the full result (layering, metrics,
+    /// per-tour history).
+    pub fn run(&self, dag: &Dag, wm: &WidthModel) -> ColonyRun {
+        Colony::new(dag, wm, self.params.clone())
+            .expect("parameters validated at construction")
+            .run()
+    }
+}
+
+impl LayeringAlgorithm for AcoLayering {
+    fn name(&self) -> &str {
+        "AntColony"
+    }
+
+    fn layer(&self, dag: &Dag, wm: &WidthModel) -> Layering {
+        self.run(dag, wm).layering
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antlayer_graph::generate;
+    use antlayer_layering::metrics;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_params() -> AcoParams {
+        AcoParams::default().with_colony(5, 5).with_seed(42)
+    }
+
+    #[test]
+    fn produces_valid_normalized_layerings() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..5 {
+            let dag = generate::random_dag_with_edges(20, 30, &mut rng);
+            let run = AcoLayering::new(small_params()).run(&dag, &WidthModel::unit());
+            run.layering.validate(&dag).unwrap();
+            let mut l = run.layering.clone();
+            assert!(!l.normalize());
+            assert_eq!(run.tours.len(), 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dag = generate::gnp_dag(20, 0.15, &mut rng);
+        let a = AcoLayering::new(small_params()).run(&dag, &WidthModel::unit());
+        let b = AcoLayering::new(small_params()).run(&dag, &WidthModel::unit());
+        assert_eq!(a.layering, b.layering);
+        assert_eq!(a.objective, b.objective);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dag = generate::random_dag_with_edges(25, 35, &mut rng);
+        let seq = AcoLayering::new(small_params().with_threads(1)).run(&dag, &WidthModel::unit());
+        let par = AcoLayering::new(small_params().with_threads(4)).run(&dag, &WidthModel::unit());
+        assert_eq!(seq.layering, par.layering, "thread count must not change the result");
+        assert_eq!(seq.tours, par.tours);
+    }
+
+    #[test]
+    fn objective_never_degrades_below_initial_lpl_state() {
+        // The global best is seeded with the stretched LPL state, so the
+        // run's objective is at least that.
+        let mut rng = StdRng::seed_from_u64(4);
+        let dag = generate::random_dag_with_edges(30, 45, &mut rng);
+        let wm = WidthModel::unit();
+        let lpl = LongestPath.layer(&dag, &wm);
+        let stretched = stretch(&lpl, dag.node_count(), crate::StretchStrategy::Between);
+        let initial = SearchState::new(&dag, &stretched.layering, stretched.total_layers, &wm)
+            .normalized_objective(&dag, &wm);
+        let run = AcoLayering::new(small_params()).run(&dag, &wm);
+        assert!(run.objective >= initial - 1e-12);
+    }
+
+    #[test]
+    fn narrower_than_lpl_on_deep_sparse_graphs() {
+        // The headline claim (Fig. 4): ACO beats plain LPL width. The effect
+        // lives on deep, sparse DAGs like the paper's AT&T/Rome suite
+        // (LPL height ≈ n/4); on shallow dense DAGs the stretched gaps fill
+        // with dummy mass and the colony correctly falls back to its LPL
+        // seed instead of making things worse.
+        let mut rng = StdRng::seed_from_u64(5);
+        let wm = WidthModel::unit();
+        let mut aco_width = 0.0;
+        let mut lpl_width = 0.0;
+        for _ in 0..5 {
+            let dag = generate::layered_dag(60, 20, 0.04, 2, &mut rng);
+            let run = AcoLayering::new(small_params()).run(&dag, &wm);
+            aco_width += run.metrics.width;
+            let lpl = LongestPath.layer(&dag, &wm);
+            lpl_width += metrics::width(&dag, &lpl, &wm);
+        }
+        assert!(
+            aco_width < 0.8 * lpl_width,
+            "ACO width {aco_width} should clearly beat LPL width {lpl_width}"
+        );
+    }
+
+    #[test]
+    fn tour_history_is_recorded_in_order() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let dag = generate::gnp_dag(15, 0.2, &mut rng);
+        let run = AcoLayering::new(small_params()).run(&dag, &WidthModel::unit());
+        for (i, t) in run.tours.iter().enumerate() {
+            assert_eq!(t.tour, i);
+            assert!(t.best_objective >= t.mean_objective - 1e-12);
+            assert!(t.best_objective > 0.0);
+        }
+    }
+
+    #[test]
+    fn handles_degenerate_graphs() {
+        let wm = WidthModel::unit();
+        // Empty.
+        let dag = Dag::from_edges(0, &[]).unwrap();
+        let run = AcoLayering::new(small_params()).run(&dag, &wm);
+        assert!(run.layering.is_empty());
+        // Single vertex.
+        let dag = Dag::from_edges(1, &[]).unwrap();
+        let run = AcoLayering::new(small_params()).run(&dag, &wm);
+        assert_eq!(run.metrics.height, 1);
+        // Single edge.
+        let dag = Dag::from_edges(2, &[(0, 1)]).unwrap();
+        let run = AcoLayering::new(small_params()).run(&dag, &wm);
+        run.layering.validate(&dag).unwrap();
+        assert_eq!(run.metrics.height, 2);
+        // Edgeless multi-vertex.
+        let dag = Dag::from_edges(4, &[]).unwrap();
+        let run = AcoLayering::new(small_params()).run(&dag, &wm);
+        run.layering.validate(&dag).unwrap();
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        let dag = Dag::from_edges(2, &[(0, 1)]).unwrap();
+        let params = AcoParams {
+            rho: 2.0,
+            ..AcoParams::default()
+        };
+        assert!(Colony::new(&dag, &WidthModel::unit(), params).is_err());
+    }
+
+    #[test]
+    fn rank_based_deposit_produces_valid_results() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let dag = generate::layered_dag(30, 10, 0.05, 2, &mut rng);
+        let wm = WidthModel::unit();
+        let params = AcoParams {
+            deposit: crate::DepositStrategy::RankBased(3),
+            ..small_params()
+        };
+        let run = AcoLayering::new(params).run(&dag, &wm);
+        run.layering.validate(&dag).unwrap();
+        // Deterministic too.
+        let params2 = AcoParams {
+            deposit: crate::DepositStrategy::RankBased(3),
+            ..small_params()
+        };
+        let run2 = AcoLayering::new(params2).run(&dag, &wm);
+        assert_eq!(run.layering, run2.layering);
+    }
+
+    #[test]
+    fn tau_bounds_are_enforced() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let dag = generate::gnp_dag(15, 0.2, &mut rng);
+        let wm = WidthModel::unit();
+        let params = AcoParams {
+            tau_bounds: Some((0.05, 0.5)),
+            ..small_params()
+        };
+        let mut colony = Colony::new(&dag, &wm, params).unwrap();
+        for t in 0..3 {
+            colony.perform_tour(t);
+            for v in dag.nodes() {
+                for l in 1..=colony.base.total_layers {
+                    let tau = colony.tau.get(v, l);
+                    assert!(
+                        (0.05..=0.5).contains(&tau),
+                        "tau({v}, {l}) = {tau} escaped bounds"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alternative_visit_orders_still_beat_lpl_width() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let wm = WidthModel::unit();
+        let dag = generate::layered_dag(60, 20, 0.04, 2, &mut rng);
+        let lpl_w = metrics::width(&dag, &LongestPath.layer(&dag, &wm), &wm);
+        for order in [crate::VisitOrder::Bfs, crate::VisitOrder::Topological] {
+            let params = AcoParams {
+                visit_order: order,
+                ..small_params()
+            };
+            let run = AcoLayering::new(params).run(&dag, &wm);
+            run.layering.validate(&dag).unwrap();
+            assert!(
+                run.metrics.width <= lpl_w,
+                "{order:?} failed to match LPL width"
+            );
+        }
+    }
+
+    #[test]
+    fn pheromone_accumulates_on_best_couplings() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dag = generate::gnp_dag(12, 0.2, &mut rng);
+        let wm = WidthModel::unit();
+        let mut colony = Colony::new(&dag, &wm, small_params()).unwrap();
+        let before = colony.tau.total();
+        let stats = colony.perform_tour(0);
+        // After evaporation + deposit the trail on the best ant's couplings
+        // exceeds the evaporated baseline.
+        let tau0_evap = colony.params.tau0 * (1.0 - colony.params.rho);
+        let mut boosted = 0;
+        for v in dag.nodes() {
+            if colony.tau.get(v, colony.base.layer[v.index()]) > tau0_evap + 1e-15 {
+                boosted += 1;
+            }
+        }
+        assert_eq!(boosted, dag.node_count());
+        assert!(stats.best_objective > 0.0);
+        assert!(colony.tau.total() < before, "evaporation dominates one deposit");
+    }
+}

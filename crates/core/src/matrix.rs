@@ -1,0 +1,155 @@
+//! Dense vertex × layer matrices for pheromone trails.
+
+use antlayer_graph::NodeId;
+
+/// A dense `vertices × layers` matrix of `f64`, row-major by vertex.
+///
+/// Layer indices are 1-based throughout the crate (matching the paper's
+/// `L1..Lh`); the matrix hides the offset.
+#[derive(Clone, PartialEq, Debug)]
+pub struct VertexLayerMatrix {
+    data: Vec<f64>,
+    vertices: usize,
+    layers: usize,
+}
+
+impl VertexLayerMatrix {
+    /// A matrix with every entry set to `fill`.
+    pub fn filled(vertices: usize, layers: usize, fill: f64) -> Self {
+        VertexLayerMatrix {
+            data: vec![fill; vertices * layers],
+            vertices,
+            layers,
+        }
+    }
+
+    /// Number of vertex rows.
+    pub fn vertices(&self) -> usize {
+        self.vertices
+    }
+
+    /// Number of layer columns.
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    #[inline]
+    fn idx(&self, v: NodeId, layer: u32) -> usize {
+        debug_assert!(
+            (1..=self.layers as u32).contains(&layer),
+            "layer {layer} out of 1..={}",
+            self.layers
+        );
+        v.index() * self.layers + (layer as usize - 1)
+    }
+
+    /// Entry for `(v, layer)`; `layer` is 1-based.
+    #[inline]
+    pub fn get(&self, v: NodeId, layer: u32) -> f64 {
+        self.data[self.idx(v, layer)]
+    }
+
+    /// Sets the entry for `(v, layer)`.
+    #[inline]
+    pub fn set(&mut self, v: NodeId, layer: u32, value: f64) {
+        let i = self.idx(v, layer);
+        self.data[i] = value;
+    }
+
+    /// Adds `delta` to the entry for `(v, layer)`.
+    #[inline]
+    pub fn add(&mut self, v: NodeId, layer: u32, delta: f64) {
+        let i = self.idx(v, layer);
+        self.data[i] += delta;
+    }
+
+    /// Multiplies every entry by `factor` (pheromone evaporation).
+    pub fn scale_all(&mut self, factor: f64) {
+        for x in &mut self.data {
+            *x *= factor;
+        }
+    }
+
+    /// Clamps every entry to at least `min` (keeps evaporated trails alive,
+    /// MAX–MIN-ant-system style; used defensively so `τ^α` never underflows
+    /// to zero for every candidate).
+    pub fn clamp_min(&mut self, min: f64) {
+        for x in &mut self.data {
+            if *x < min {
+                *x = min;
+            }
+        }
+    }
+
+    /// Clamps every entry into `[min, max]` (MAX–MIN ant system trail
+    /// limits).
+    pub fn clamp_range(&mut self, min: f64, max: f64) {
+        debug_assert!(min <= max);
+        for x in &mut self.data {
+            *x = x.clamp(min, max);
+        }
+    }
+
+    /// The row of vertex `v` (one entry per layer, index 0 = layer 1).
+    pub fn row(&self, v: NodeId) -> &[f64] {
+        &self.data[v.index() * self.layers..(v.index() + 1) * self.layers]
+    }
+
+    /// Sum of all entries (diagnostics).
+    pub fn total(&self) -> f64 {
+        self.data.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn get_set_add_roundtrip() {
+        let mut m = VertexLayerMatrix::filled(3, 4, 1.0);
+        assert_eq!(m.get(n(2), 4), 1.0);
+        m.set(n(1), 2, 5.0);
+        m.add(n(1), 2, 0.5);
+        assert_eq!(m.get(n(1), 2), 5.5);
+        assert_eq!(m.get(n(1), 3), 1.0, "neighbours untouched");
+    }
+
+    #[test]
+    fn scale_all_models_evaporation() {
+        let mut m = VertexLayerMatrix::filled(2, 2, 2.0);
+        m.scale_all(0.5);
+        assert!(m.row(n(0)).iter().all(|&x| x == 1.0));
+        assert_eq!(m.total(), 4.0);
+    }
+
+    #[test]
+    fn clamp_min_floors_entries() {
+        let mut m = VertexLayerMatrix::filled(1, 3, 1.0);
+        m.scale_all(1e-12);
+        m.clamp_min(1e-6);
+        assert!(m.row(n(0)).iter().all(|&x| x == 1e-6));
+    }
+
+    #[test]
+    fn rows_are_contiguous_per_vertex() {
+        let mut m = VertexLayerMatrix::filled(2, 3, 0.0);
+        m.set(n(0), 1, 1.0);
+        m.set(n(0), 3, 3.0);
+        m.set(n(1), 2, 2.0);
+        assert_eq!(m.row(n(0)), &[1.0, 0.0, 3.0]);
+        assert_eq!(m.row(n(1)), &[0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of 1..=")]
+    fn layer_zero_is_rejected_in_debug() {
+        let m = VertexLayerMatrix::filled(1, 2, 0.0);
+        m.get(n(0), 0);
+    }
+}

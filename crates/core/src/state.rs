@@ -1,0 +1,375 @@
+//! The mutable search state an ant works on: layer assignment, per-layer
+//! widths (including dummy contributions) and per-vertex layer spans.
+//!
+//! Widths are maintained *incrementally* exactly as in the paper's
+//! Algorithm 5 / Fig. 3 ("reflect vertex movement"); layer spans are
+//! refreshed for the neighbours of a moved vertex (Alg. 4 lines 9–11).
+//! Every mutation is cross-checked against a from-scratch recomputation in
+//! debug builds and in the test suite.
+
+use antlayer_graph::{Dag, NodeId};
+use antlayer_layering::{Layering, WidthModel};
+
+/// Layer assignment + derived quantities for one point of the search space.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SearchState {
+    /// Layer of each vertex (1-based), indexed by `NodeId::index()`.
+    pub layer: Vec<u32>,
+    /// Width of every layer, including dummy vertices; entry `l` is layer
+    /// `l` (entry 0 unused).
+    pub width: Vec<f64>,
+    /// Lowest layer each vertex may move to (`1 + max successor layer`).
+    pub span_lo: Vec<u32>,
+    /// Highest layer each vertex may move to (`min predecessor layer − 1`,
+    /// or the total layer count for vertices without predecessors).
+    pub span_hi: Vec<u32>,
+    /// Total number of available layers `h`.
+    pub total_layers: u32,
+}
+
+impl SearchState {
+    /// Builds the state for `layering` on `dag` with `total_layers`
+    /// available layers.
+    pub fn new(dag: &Dag, layering: &Layering, total_layers: u32, wm: &WidthModel) -> Self {
+        debug_assert!(layering.validate(dag).is_ok());
+        debug_assert!(layering.max_layer() <= total_layers);
+        let layer: Vec<u32> = dag.nodes().map(|v| layering.layer(v)).collect();
+        let width = compute_widths(dag, &layer, total_layers, wm);
+        let mut state = SearchState {
+            layer,
+            width,
+            span_lo: vec![1; dag.node_count()],
+            span_hi: vec![total_layers; dag.node_count()],
+            total_layers,
+        };
+        for v in dag.nodes() {
+            state.refresh_span(dag, v);
+        }
+        state
+    }
+
+    /// The current assignment as a [`Layering`] (not normalized).
+    pub fn to_layering(&self) -> Layering {
+        Layering::from_slice(&self.layer)
+    }
+
+    /// Recomputes the span of `v` from its neighbours' current layers.
+    #[inline]
+    pub fn refresh_span(&mut self, dag: &Dag, v: NodeId) {
+        let lo = dag
+            .out_neighbors(v)
+            .iter()
+            .map(|&w| self.layer[w.index()] + 1)
+            .max()
+            .unwrap_or(1);
+        let hi = dag
+            .in_neighbors(v)
+            .iter()
+            .map(|&u| self.layer[u.index()] - 1)
+            .min()
+            .unwrap_or(self.total_layers);
+        debug_assert!(lo <= hi, "span of {v} collapsed: [{lo}, {hi}]");
+        self.span_lo[v.index()] = lo;
+        self.span_hi[v.index()] = hi;
+    }
+
+    /// Moves `v` to `new_layer`, updating layer widths with the paper's
+    /// Algorithm 5 and refreshing the spans of `v`'s neighbours.
+    ///
+    /// `new_layer` must lie within `v`'s current span.
+    pub fn move_vertex(&mut self, dag: &Dag, wm: &WidthModel, v: NodeId, new_layer: u32) {
+        let cur = self.layer[v.index()];
+        if new_layer == cur {
+            return;
+        }
+        debug_assert!(
+            (self.span_lo[v.index()]..=self.span_hi[v.index()]).contains(&new_layer),
+            "move of {v} to {new_layer} leaves span [{}, {}]",
+            self.span_lo[v.index()],
+            self.span_hi[v.index()],
+        );
+        let nw = wm.node_width(v);
+        let nd = wm.dummy_width;
+        let out_d = dag.out_degree(v) as f64 * nd;
+        let in_d = dag.in_degree(v) as f64 * nd;
+
+        // W(current) -= n_width; W(new) += n_width  (Alg. 5 lines 1–2)
+        self.width[cur as usize] -= nw;
+        self.width[new_layer as usize] += nw;
+
+        if new_layer > cur {
+            // Moving up. Out-edges now additionally cross [cur, new):
+            for l in cur..new_layer {
+                self.width[l as usize] += out_d;
+            }
+            // In-edges no longer cross (cur, new]:
+            for l in (cur + 1)..=new_layer {
+                self.width[l as usize] -= in_d;
+            }
+        } else {
+            // Moving down. In-edges now additionally cross (new, cur]:
+            for l in (new_layer + 1)..=cur {
+                self.width[l as usize] += in_d;
+            }
+            // Out-edges no longer cross [new, cur):
+            for l in new_layer..cur {
+                self.width[l as usize] -= out_d;
+            }
+        }
+        self.layer[v.index()] = new_layer;
+
+        // Neighbour spans depend on v's layer (Alg. 4 lines 9–11). v's own
+        // span is a function of its neighbours only, hence unchanged.
+        for i in 0..dag.out_neighbors(v).len() {
+            let w = dag.out_neighbors(v)[i];
+            self.refresh_span(dag, w);
+        }
+        for i in 0..dag.in_neighbors(v).len() {
+            let u = dag.in_neighbors(v)[i];
+            self.refresh_span(dag, u);
+        }
+
+        #[cfg(debug_assertions)]
+        self.assert_consistent(dag, wm);
+    }
+
+    /// Height (`H`): number of layers holding at least one real vertex.
+    pub fn occupied_layers(&self) -> u32 {
+        let mut used = vec![false; self.total_layers as usize + 1];
+        for &l in &self.layer {
+            used[l as usize] = true;
+        }
+        used.iter().filter(|&&u| u).count() as u32
+    }
+
+    /// Width (`W`): the widest layer, dummies included.
+    pub fn max_width(&self) -> f64 {
+        self.width[1..].iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Raw `f = 1 / (H + W)` over the stretched space (diagnostics only;
+    /// ants are scored with [`normalized_objective`](Self::normalized_objective)).
+    pub fn objective(&self) -> f64 {
+        1.0 / (self.occupied_layers() as f64 + self.max_width()).max(f64::MIN_POSITIVE)
+    }
+
+    /// The paper's objective `f = 1 / (H + W)` evaluated on the *completed*
+    /// layering, i.e. after the §VI clean-up step that removes empty layers.
+    ///
+    /// Compacting the interior gaps shrinks edge spans, so the dummy mass
+    /// that long stretched edges spread over unused gap layers does not
+    /// count against the ant. Scoring the raw stretched state instead would
+    /// make the initial dummy walls unbeatable and freeze the colony on its
+    /// LPL seed (see DESIGN.md §4).
+    pub fn normalized_objective(&self, dag: &Dag, wm: &WidthModel) -> f64 {
+        let mut layering = self.to_layering();
+        layering.normalize();
+        let h = layering.max_layer() as f64;
+        let w = antlayer_layering::metrics::width(dag, &layering, wm);
+        1.0 / (h + w).max(f64::MIN_POSITIVE)
+    }
+
+    /// Verifies incremental bookkeeping against a from-scratch
+    /// recomputation (used by debug builds and tests).
+    pub fn assert_consistent(&self, dag: &Dag, wm: &WidthModel) {
+        let fresh = compute_widths(dag, &self.layer, self.total_layers, wm);
+        for (l, (a, b)) in self.width.iter().zip(fresh.iter()).enumerate().skip(1) {
+            assert!(
+                (a - b).abs() < 1e-6,
+                "width of layer {l} drifted: incremental {a} vs fresh {b}"
+            );
+        }
+        for v in dag.nodes() {
+            let mut copy = self.clone();
+            copy.refresh_span(dag, v);
+            assert_eq!(copy.span_lo[v.index()], self.span_lo[v.index()], "stale lo span of {v}");
+            assert_eq!(copy.span_hi[v.index()], self.span_hi[v.index()], "stale hi span of {v}");
+        }
+    }
+}
+
+/// From-scratch layer widths: real vertex widths plus `nd_width` per
+/// crossing edge, via a difference array.
+pub fn compute_widths(dag: &Dag, layer: &[u32], total_layers: u32, wm: &WidthModel) -> Vec<f64> {
+    let h = total_layers as usize;
+    let mut width = vec![0.0f64; h + 1];
+    for v in dag.nodes() {
+        width[layer[v.index()] as usize] += wm.node_width(v);
+    }
+    // Edge (u, v) puts a dummy on every layer strictly between.
+    let mut diff = vec![0i64; h + 2];
+    for (u, v) in dag.edges() {
+        let (lu, lv) = (layer[u.index()] as usize, layer[v.index()] as usize);
+        debug_assert!(lu > lv);
+        if lu > lv + 1 {
+            diff[lv + 1] += 1;
+            diff[lu] -= 1;
+        }
+    }
+    let mut acc = 0i64;
+    for l in 1..=h {
+        acc += diff[l];
+        width[l] += wm.dummy_width * acc as f64;
+    }
+    width
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antlayer_graph::generate;
+    use antlayer_layering::{LayeringAlgorithm, LongestPath};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn state_for(dag: &Dag, extra_layers: u32) -> SearchState {
+        let wm = WidthModel::unit();
+        let lpl = LongestPath.layer(dag, &wm);
+        let h = lpl.max_layer() + extra_layers;
+        let stretched = crate::stretch::stretch(
+            &lpl,
+            h as usize,
+            crate::StretchStrategy::Between,
+        );
+        SearchState::new(dag, &stretched.layering, stretched.total_layers, &wm)
+    }
+
+    #[test]
+    fn initial_widths_match_fresh_computation() {
+        let dag = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let s = state_for(&dag, 3);
+        s.assert_consistent(&dag, &WidthModel::unit());
+    }
+
+    #[test]
+    fn spans_bound_current_layers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dag = generate::gnp_dag(30, 0.15, &mut rng);
+        let s = state_for(&dag, 10);
+        for v in dag.nodes() {
+            assert!(s.span_lo[v.index()] <= s.layer[v.index()]);
+            assert!(s.layer[v.index()] <= s.span_hi[v.index()]);
+        }
+    }
+
+    #[test]
+    fn source_and_sink_spans_touch_boundaries() {
+        let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let s = state_for(&dag, 0); // layers: 0→3, 1→2, 2→1, h = 3
+        assert_eq!(s.span_hi[0], 3, "source may rise to the top");
+        assert_eq!(s.span_lo[2], 1, "sink may sink to the bottom");
+        assert_eq!((s.span_lo[1], s.span_hi[1]), (2, 2), "middle is pinned");
+    }
+
+    #[test]
+    fn moving_down_adds_in_edge_dummies() {
+        // Chain 0→1→2 on layers [5, 3, 1] of h = 5 (stretched).
+        let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let wm = WidthModel::unit();
+        let layering = Layering::from_slice(&[5, 3, 1]);
+        let mut s = SearchState::new(&dag, &layering, 5, &wm);
+        // Move vertex 1 down from layer 3 to layer 2: in-edge (0,1) now
+        // crosses layers 3 and 4 ... wait it already crossed 4; newly
+        // crosses 3. Out-edge (1,2) stops crossing 2.
+        s.move_vertex(&dag, &wm, n(1), 2);
+        assert_eq!(s.layer[1], 2);
+        let fresh = compute_widths(&dag, &s.layer, 5, &wm);
+        assert_eq!(&s.width[1..], &fresh[1..]);
+        // Layer 3 now holds a dummy of edge (0,1) instead of vertex 1.
+        assert_eq!(s.width[3], 1.0);
+        // Layer 2 holds vertex 1 only.
+        assert_eq!(s.width[2], 1.0);
+    }
+
+    #[test]
+    fn moving_up_adds_out_edge_dummies() {
+        let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let wm = WidthModel::unit();
+        let layering = Layering::from_slice(&[5, 2, 1]);
+        let mut s = SearchState::new(&dag, &layering, 5, &wm);
+        s.move_vertex(&dag, &wm, n(1), 4);
+        assert_eq!(s.layer[1], 4);
+        let fresh = compute_widths(&dag, &s.layer, 5, &wm);
+        assert_eq!(&s.width[1..], &fresh[1..]);
+        // Out-edge (1,2) now crosses layers 2 and 3.
+        assert_eq!(s.width[2], 1.0);
+        assert_eq!(s.width[3], 1.0);
+    }
+
+    #[test]
+    fn dummy_width_scales_move_updates() {
+        let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let wm = WidthModel::with_dummy_width(0.3);
+        let layering = Layering::from_slice(&[5, 3, 1]);
+        let mut s = SearchState::new(&dag, &layering, 5, &wm);
+        s.move_vertex(&dag, &wm, n(1), 4);
+        let fresh = compute_widths(&dag, &s.layer, 5, &wm);
+        for (a, b) in s.width.iter().zip(fresh.iter()).skip(1) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_walks_keep_widths_and_spans_consistent() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let dag = generate::random_dag_with_edges(20, 30, &mut rng);
+            let wm = WidthModel::unit();
+            let mut s = state_for(&dag, 10);
+            for _ in 0..200 {
+                let v = n(rng.gen_range(0..dag.node_count()));
+                let (lo, hi) = (s.span_lo[v.index()], s.span_hi[v.index()]);
+                let target = rng.gen_range(lo..=hi);
+                s.move_vertex(&dag, &wm, v, target);
+            }
+            s.assert_consistent(&dag, &wm);
+            // The layering remains valid throughout.
+            s.to_layering().validate(&dag).unwrap();
+        }
+    }
+
+    #[test]
+    fn objective_matches_metrics_after_normalization_only_improves() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let dag = generate::gnp_dag(20, 0.2, &mut rng);
+        let wm = WidthModel::unit();
+        let s = state_for(&dag, 10);
+        let f_stretched = s.objective();
+        let mut l = s.to_layering();
+        l.normalize();
+        let m = antlayer_layering::LayeringMetrics::compute(&dag, &l, &wm);
+        assert!(
+            m.objective >= f_stretched - 1e-12,
+            "normalization must not hurt the objective: {} vs {}",
+            m.objective,
+            f_stretched
+        );
+    }
+
+    #[test]
+    fn occupied_layers_ignores_dummy_only_layers() {
+        let dag = Dag::from_edges(2, &[(0, 1)]).unwrap();
+        let layering = Layering::from_slice(&[4, 1]);
+        let s = SearchState::new(&dag, &layering, 4, &WidthModel::unit());
+        assert_eq!(s.occupied_layers(), 2);
+        // Layers 2 and 3 hold one dummy each.
+        assert_eq!(s.width[2], 1.0);
+        assert_eq!(s.width[3], 1.0);
+        assert_eq!(s.max_width(), 1.0);
+    }
+
+    #[test]
+    fn noop_move_changes_nothing() {
+        let dag = Dag::from_edges(2, &[(0, 1)]).unwrap();
+        let wm = WidthModel::unit();
+        let layering = Layering::from_slice(&[2, 1]);
+        let mut s = SearchState::new(&dag, &layering, 3, &wm);
+        let before = s.clone();
+        s.move_vertex(&dag, &wm, n(0), 2);
+        assert_eq!(before, s);
+    }
+}

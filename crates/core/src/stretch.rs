@@ -1,0 +1,214 @@
+//! The stretch phase (paper §V-A): enlarging the LPL search space.
+//!
+//! The colony starts from a Longest-Path layering, which is minimum-height
+//! and therefore leaves ants almost no room to move vertices. Stretching
+//! adds `n − n_LPL` empty layers so the total becomes `n = |V|` — enough to
+//! guarantee that even the one-vertex-per-layer layering (and hence every
+//! minimum-width layering) remains reachable.
+
+use crate::StretchStrategy;
+use antlayer_layering::Layering;
+
+/// Result of stretching: the relocated layering and the new total layer
+/// count `h` (the number of layers ants may use, including empty ones).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Stretched {
+    /// The input layering re-indexed into the stretched space.
+    pub layering: Layering,
+    /// Total available layers (`≥ layering.max_layer()`).
+    pub total_layers: u32,
+}
+
+/// Stretches `layering` (assumed normalized, layers `1..=h0`) so that the
+/// total number of available layers becomes `target` (clamped below by the
+/// current height).
+///
+/// With [`StretchStrategy::Between`], the `target − h0` new layers are
+/// distributed as uniformly as possible over the `h0 − 1` gaps between
+/// consecutive LPL layers, earlier (lower) gaps receiving the remainder —
+/// the re-indexing scheme of the paper's Fig. 2. The other strategies place
+/// the new layers above and/or below the existing ones (Fig. 1) and exist
+/// for the ablation experiment.
+pub fn stretch(layering: &Layering, target: usize, strategy: StretchStrategy) -> Stretched {
+    let h0 = layering.max_layer();
+    debug_assert_eq!(h0, layering.height(), "stretch expects a normalized layering");
+    let target = (target as u32).max(h0).max(1);
+    if layering.is_empty() {
+        return Stretched {
+            layering: layering.clone(),
+            total_layers: target,
+        };
+    }
+    let extra = target - h0;
+    if extra == 0 {
+        return Stretched {
+            layering: layering.clone(),
+            total_layers: target,
+        };
+    }
+    let shift_of = |old_layer: u32| -> u32 {
+        match strategy {
+            StretchStrategy::Above => 0,
+            StretchStrategy::Below => extra,
+            StretchStrategy::Split => extra / 2,
+            StretchStrategy::Between => {
+                // Gaps sit between layers g and g+1 for g = 1..h0-1; gap g
+                // receives base (+1 for the first `rem` gaps). A vertex on
+                // layer l is shifted by the extra layers inserted in the
+                // gaps strictly below it.
+                let gaps = h0.saturating_sub(1);
+                if gaps == 0 {
+                    // Single LPL layer: nothing in between; behave as Above.
+                    return 0;
+                }
+                let base = extra / gaps;
+                let rem = extra % gaps;
+                let below = old_layer - 1; // number of gaps below layer `old_layer`
+                base * below + rem.min(below)
+            }
+        }
+    };
+    let new_layers: Vec<u32> = layering
+        .as_node_vec()
+        .values()
+        .map(|&l| l + shift_of(l))
+        .collect();
+    Stretched {
+        layering: Layering::from_slice(&new_layers),
+        total_layers: target,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antlayer_graph::{generate, Dag, NodeId};
+    use antlayer_layering::{LayeringAlgorithm, LongestPath, WidthModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn between_distributes_uniformly() {
+        // 3 LPL layers, target 7 → 4 extra into 2 gaps → 2 each.
+        // Layer 1 → 1, layer 2 → 2 + 2 = 4, layer 3 → 3 + 4 = 7.
+        let l = Layering::from_slice(&[3, 2, 1]);
+        let s = stretch(&l, 7, StretchStrategy::Between);
+        assert_eq!(s.total_layers, 7);
+        assert_eq!(s.layering.as_node_vec().as_slice(), &[7, 4, 1]);
+    }
+
+    #[test]
+    fn between_puts_remainder_in_lower_gaps() {
+        // 3 layers, target 6 → 3 extra into 2 gaps → gap1: 2, gap2: 1.
+        let l = Layering::from_slice(&[3, 2, 1]);
+        let s = stretch(&l, 6, StretchStrategy::Between);
+        assert_eq!(s.layering.as_node_vec().as_slice(), &[6, 4, 1]);
+    }
+
+    #[test]
+    fn above_keeps_layers_below() {
+        let l = Layering::from_slice(&[2, 1]);
+        let s = stretch(&l, 5, StretchStrategy::Above);
+        assert_eq!(s.layering.as_node_vec().as_slice(), &[2, 1]);
+        assert_eq!(s.total_layers, 5);
+    }
+
+    #[test]
+    fn below_lifts_everything() {
+        let l = Layering::from_slice(&[2, 1]);
+        let s = stretch(&l, 5, StretchStrategy::Below);
+        assert_eq!(s.layering.as_node_vec().as_slice(), &[5, 4]);
+    }
+
+    #[test]
+    fn split_lifts_by_half() {
+        let l = Layering::from_slice(&[2, 1]);
+        let s = stretch(&l, 6, StretchStrategy::Split);
+        assert_eq!(s.layering.as_node_vec().as_slice(), &[4, 3]);
+    }
+
+    #[test]
+    fn no_extra_layers_is_identity() {
+        let l = Layering::from_slice(&[3, 2, 1]);
+        for strat in [
+            StretchStrategy::Between,
+            StretchStrategy::Above,
+            StretchStrategy::Below,
+            StretchStrategy::Split,
+        ] {
+            let s = stretch(&l, 3, strat);
+            assert_eq!(s.layering, l);
+            assert_eq!(s.total_layers, 3);
+        }
+    }
+
+    #[test]
+    fn target_below_height_is_clamped() {
+        let l = Layering::from_slice(&[3, 2, 1]);
+        let s = stretch(&l, 1, StretchStrategy::Between);
+        assert_eq!(s.total_layers, 3);
+        assert_eq!(s.layering, l);
+    }
+
+    #[test]
+    fn single_layer_behaves_like_above() {
+        let l = Layering::from_slice(&[1, 1, 1]);
+        let s = stretch(&l, 3, StretchStrategy::Between);
+        assert_eq!(s.layering.as_node_vec().as_slice(), &[1, 1, 1]);
+        assert_eq!(s.total_layers, 3);
+    }
+
+    #[test]
+    fn stretch_preserves_validity_and_order() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..20 {
+            let dag = generate::gnp_dag(25, 0.15, &mut rng);
+            let lpl = LongestPath.layer(&dag, &WidthModel::unit());
+            for strat in [
+                StretchStrategy::Between,
+                StretchStrategy::Above,
+                StretchStrategy::Below,
+                StretchStrategy::Split,
+            ] {
+                let s = stretch(&lpl, dag.node_count(), strat);
+                s.layering.validate(&dag).unwrap();
+                assert!(s.layering.max_layer() <= s.total_layers);
+                assert_eq!(s.total_layers as usize, dag.node_count().max(lpl.max_layer() as usize));
+                // Relative order of any two vertices is preserved.
+                for a in dag.nodes() {
+                    for b in dag.nodes() {
+                        if lpl.layer(a) < lpl.layer(b) {
+                            assert!(s.layering.layer(a) < s.layering.layer(b));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn between_strictly_widens_interior_spans() {
+        // In a 4-layer chain stretched to 8, every interior vertex gains
+        // slack on both sides.
+        let dag = Dag::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let lpl = LongestPath.layer(&dag, &WidthModel::unit());
+        let s = stretch(&lpl, 8, StretchStrategy::Between);
+        // Interior vertices 1 and 2: gap below and above them grew.
+        let l = &s.layering;
+        assert!(l.layer(n(0)) - l.layer(n(1)) > 1);
+        assert!(l.layer(n(1)) - l.layer(n(2)) > 1);
+        assert!(l.layer(n(2)) - l.layer(n(3)) > 1);
+    }
+
+    #[test]
+    fn empty_layering_is_ok() {
+        let l = Layering::from_slice(&[]);
+        let s = stretch(&l, 0, StretchStrategy::Between);
+        assert!(s.layering.is_empty());
+        assert_eq!(s.total_layers, 1);
+    }
+}

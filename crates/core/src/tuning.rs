@@ -1,0 +1,152 @@
+//! Parameter-tuning sweeps (paper §VIII).
+//!
+//! The paper tunes `α, β ∈ {1..5}²` (best: α=3, β=5; adopted: α=1, β=3 for
+//! its better runtime) and the dummy width `nd_width ∈ {0.1, …, 1.2}`
+//! (adopted: 1.0). These helpers run those sweeps over any workload and
+//! return plain result rows for the report writers.
+
+use crate::{AcoLayering, AcoParams};
+use antlayer_graph::Dag;
+use antlayer_layering::WidthModel;
+use std::time::Instant;
+
+/// Result of one parameter configuration over a workload.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SweepPoint {
+    /// α (pheromone exponent).
+    pub alpha: f64,
+    /// β (heuristic exponent).
+    pub beta: f64,
+    /// Dummy vertex width used.
+    pub nd_width: f64,
+    /// Mean objective `1/(H+W)` over the workload (higher is better).
+    pub mean_objective: f64,
+    /// Mean height over the workload.
+    pub mean_height: f64,
+    /// Mean width (dummies included) over the workload.
+    pub mean_width: f64,
+    /// Total wall-clock time for the workload, in seconds.
+    pub seconds: f64,
+}
+
+/// Runs the colony with `params` on every graph and averages the metrics.
+pub fn evaluate(graphs: &[Dag], params: &AcoParams, wm: &WidthModel) -> SweepPoint {
+    assert!(!graphs.is_empty(), "workload must not be empty");
+    let algo = AcoLayering::new(params.clone());
+    let start = Instant::now();
+    let mut sum_f = 0.0;
+    let mut sum_h = 0.0;
+    let mut sum_w = 0.0;
+    for dag in graphs {
+        let run = algo.run(dag, wm);
+        sum_f += run.metrics.objective;
+        sum_h += run.metrics.height as f64;
+        sum_w += run.metrics.width;
+    }
+    let n = graphs.len() as f64;
+    SweepPoint {
+        alpha: params.alpha,
+        beta: params.beta,
+        nd_width: wm.dummy_width,
+        mean_objective: sum_f / n,
+        mean_height: sum_h / n,
+        mean_width: sum_w / n,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// The paper's α × β grid sweep: `α, β ∈ {1, …, 5}`.
+pub fn alpha_beta_sweep(graphs: &[Dag], base: &AcoParams, wm: &WidthModel) -> Vec<SweepPoint> {
+    let mut out = Vec::with_capacity(25);
+    for alpha in 1..=5 {
+        for beta in 1..=5 {
+            let params = base.clone().with_alpha_beta(alpha as f64, beta as f64);
+            out.push(evaluate(graphs, &params, wm));
+        }
+    }
+    out
+}
+
+/// The paper's dummy-width sweep: `nd_width ∈ {0.1, 0.2, …, 1.2}`.
+pub fn nd_width_sweep(graphs: &[Dag], base: &AcoParams) -> Vec<SweepPoint> {
+    (1..=12)
+        .map(|i| {
+            let nd = i as f64 / 10.0;
+            evaluate(graphs, base, &WidthModel::with_dummy_width(nd))
+        })
+        .collect()
+}
+
+/// Picks the sweep point with the best mean objective (ties → fastest).
+pub fn best_point(points: &[SweepPoint]) -> &SweepPoint {
+    points
+        .iter()
+        .max_by(|a, b| {
+            a.mean_objective
+                .partial_cmp(&b.mean_objective)
+                .unwrap()
+                .then(b.seconds.partial_cmp(&a.seconds).unwrap())
+        })
+        .expect("sweep must produce at least one point")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antlayer_graph::generate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn workload(k: usize, n: usize) -> Vec<Dag> {
+        let mut rng = StdRng::seed_from_u64(123);
+        (0..k)
+            .map(|_| generate::random_dag_with_edges(n, n * 3 / 2, &mut rng))
+            .collect()
+    }
+
+    fn tiny_params() -> AcoParams {
+        AcoParams::default().with_colony(3, 3).with_seed(5)
+    }
+
+    #[test]
+    fn evaluate_reports_positive_metrics() {
+        let graphs = workload(3, 15);
+        let p = evaluate(&graphs, &tiny_params(), &WidthModel::unit());
+        assert!(p.mean_objective > 0.0);
+        assert!(p.mean_height >= 1.0);
+        assert!(p.mean_width >= 1.0);
+        assert!(p.seconds >= 0.0);
+    }
+
+    #[test]
+    fn alpha_beta_sweep_covers_grid() {
+        let graphs = workload(1, 10);
+        let pts = alpha_beta_sweep(&graphs, &tiny_params(), &WidthModel::unit());
+        assert_eq!(pts.len(), 25);
+        assert!(pts.iter().any(|p| p.alpha == 3.0 && p.beta == 5.0));
+        assert!(pts.iter().all(|p| (1.0..=5.0).contains(&p.alpha)));
+    }
+
+    #[test]
+    fn nd_width_sweep_covers_range() {
+        let graphs = workload(1, 10);
+        let pts = nd_width_sweep(&graphs, &tiny_params());
+        assert_eq!(pts.len(), 12);
+        assert!((pts[0].nd_width - 0.1).abs() < 1e-12);
+        assert!((pts[11].nd_width - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_point_maximizes_objective() {
+        let graphs = workload(2, 12);
+        let pts = alpha_beta_sweep(&graphs, &tiny_params(), &WidthModel::unit());
+        let best = best_point(&pts);
+        assert!(pts.iter().all(|p| p.mean_objective <= best.mean_objective));
+    }
+
+    #[test]
+    #[should_panic(expected = "workload must not be empty")]
+    fn empty_workload_is_rejected() {
+        evaluate(&[], &tiny_params(), &WidthModel::unit());
+    }
+}

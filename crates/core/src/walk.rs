@@ -1,0 +1,409 @@
+//! A single ant's walk on the construction graph (paper §IV-E, Alg. 4
+//! lines 4–14).
+//!
+//! The ant visits every vertex of the DAG — in a fresh random order by
+//! default, or by BFS/topological order (§IV-D's alternatives, see
+//! [`VisitOrder`]) — and re-assigns each one to a layer of its current
+//! span, chosen by the random proportional rule
+//! `p(v, l) ∝ τ[v][l]^α · η[v][l]^β` with `η[v][l] = 1 / W(l)` (dynamic
+//! heuristic information — widths change after every move and are
+//! maintained incrementally by [`SearchState::move_vertex`]).
+
+use crate::{AcoParams, SearchState, SelectionRule, VertexLayerMatrix, VisitOrder};
+use antlayer_graph::{Bfs, Dag, Direction, NodeId};
+use antlayer_layering::WidthModel;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// `x^e` specialised for the small non-negative exponents the rule uses;
+/// integer exponents avoid `powf` in the hot loop.
+#[inline]
+pub(crate) fn pow_fast(x: f64, e: f64) -> f64 {
+    if e == 0.0 {
+        1.0
+    } else if e == 1.0 {
+        x
+    } else if e == 2.0 {
+        x * x
+    } else if e == 3.0 {
+        x * x * x
+    } else if e == 4.0 {
+        let s = x * x;
+        s * s
+    } else if e == 5.0 {
+        let s = x * x;
+        s * s * x
+    } else {
+        x.powf(e)
+    }
+}
+
+/// Outcome of one walk.
+#[derive(Clone, Debug)]
+pub struct WalkResult {
+    /// Final state (layer assignment + widths + spans).
+    pub state: SearchState,
+    /// Objective `f = 1 / (H + W)` of the final state.
+    pub objective: f64,
+}
+
+/// Chooses a layer for `v` among its span according to the selection rule.
+///
+/// Scores are `τ^α · η^β` (the shared normalisation constant of Eq. (1)
+/// cancels for both rules), with `η(v, l) = 1 / W'(l)` where `W'(l)` is the
+/// width layer `l` would have with `v` on it: the current width for `v`'s
+/// own layer, `W(l) + w(v)` for every other candidate. Comparing *resulting*
+/// widths keeps the rule fair between staying and moving — scoring the raw
+/// `W(l)` would charge `v`'s own width against its current layer only and
+/// make every ant drift off its layer (documented inference, DESIGN.md §4).
+/// Returns the chosen layer.
+pub(crate) fn choose_layer(
+    v: NodeId,
+    state: &SearchState,
+    tau: &VertexLayerMatrix,
+    params: &AcoParams,
+    wm: &WidthModel,
+    eta_floor: f64,
+    rng: &mut impl Rng,
+) -> u32 {
+    let lo = state.span_lo[v.index()];
+    let hi = state.span_hi[v.index()];
+    debug_assert!(lo <= hi);
+    if lo == hi {
+        return lo;
+    }
+    let cur = state.layer[v.index()];
+    let vw = wm.node_width(v);
+    let resulting_width = |l: u32| -> f64 {
+        let base = state.width[l as usize];
+        if l == cur {
+            base
+        } else {
+            base + vw
+        }
+    };
+    match params.selection {
+        SelectionRule::ArgMax => {
+            let mut best_layer = lo;
+            let mut best_score = f64::NEG_INFINITY;
+            for l in lo..=hi {
+                let eta = 1.0 / resulting_width(l).max(eta_floor);
+                let score =
+                    pow_fast(tau.get(v, l), params.alpha) * pow_fast(eta, params.beta);
+                if score > best_score {
+                    best_score = score;
+                    best_layer = l;
+                }
+            }
+            best_layer
+        }
+        SelectionRule::Roulette => {
+            let count = (hi - lo + 1) as usize;
+            let mut scores = Vec::with_capacity(count);
+            let mut total = 0.0f64;
+            for l in lo..=hi {
+                let eta = 1.0 / resulting_width(l).max(eta_floor);
+                let score =
+                    pow_fast(tau.get(v, l), params.alpha) * pow_fast(eta, params.beta);
+                let score = if score.is_finite() { score } else { 0.0 };
+                scores.push(score);
+                total += score;
+            }
+            if total <= 0.0 || !total.is_finite() {
+                // Degenerate weights: fall back to a uniform choice.
+                return rng.gen_range(lo..=hi);
+            }
+            let mut ticket = rng.gen_range(0.0..total);
+            for (i, s) in scores.iter().enumerate() {
+                ticket -= s;
+                if ticket < 0.0 {
+                    return lo + i as u32;
+                }
+            }
+            hi
+        }
+    }
+}
+
+/// Performs one complete walk: every vertex is (re-)assigned once, in a
+/// random order drawn from `rng`. Mutates `state` in place and returns the
+/// resulting objective.
+pub fn perform_walk(
+    dag: &Dag,
+    wm: &WidthModel,
+    params: &AcoParams,
+    tau: &VertexLayerMatrix,
+    state: &mut SearchState,
+    rng: &mut impl Rng,
+) -> f64 {
+    let order = visit_order(dag, params.visit_order, rng);
+    let eta_floor = params.effective_eta_floor(wm.dummy_width);
+    for &v in &order {
+        let target = choose_layer(v, state, tau, params, wm, eta_floor, rng);
+        state.move_vertex(dag, wm, v, target);
+    }
+    state.normalized_objective(dag, wm)
+}
+
+/// Produces the vertex sequence of one walk (paper §IV-D: random by
+/// default; BFS and topological linear orders as the listed alternatives).
+pub(crate) fn visit_order(
+    dag: &Dag,
+    order: VisitOrder,
+    rng: &mut impl Rng,
+) -> Vec<NodeId> {
+    match order {
+        VisitOrder::Random => {
+            let mut nodes: Vec<NodeId> = dag.nodes().collect();
+            nodes.shuffle(rng);
+            nodes
+        }
+        VisitOrder::Bfs => {
+            let n = dag.node_count();
+            if n == 0 {
+                return Vec::new();
+            }
+            let start = NodeId::new(rng.gen_range(0..n));
+            let mut seen = vec![false; n];
+            let mut nodes: Vec<NodeId> =
+                Bfs::new(dag, start, Direction::Undirected).collect();
+            for &v in &nodes {
+                seen[v.index()] = true;
+            }
+            // Other weak components, shuffled, then BFS'd from their first
+            // member for a stable-but-seeded continuation.
+            let mut rest: Vec<NodeId> = dag.nodes().filter(|v| !seen[v.index()]).collect();
+            rest.shuffle(rng);
+            for v in rest {
+                if !seen[v.index()] {
+                    for w in Bfs::new(dag, v, Direction::Undirected) {
+                        if !seen[w.index()] {
+                            seen[w.index()] = true;
+                            nodes.push(w);
+                        }
+                    }
+                }
+            }
+            nodes
+        }
+        VisitOrder::Topological => {
+            let mut nodes = dag.topo_order().to_vec();
+            if rng.gen_bool(0.5) {
+                nodes.reverse();
+            }
+            nodes
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stretch::stretch;
+    use antlayer_graph::{generate, Dag};
+    use antlayer_layering::{LayeringAlgorithm, LongestPath};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64, n: usize) -> (Dag, SearchState) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dag = generate::random_dag_with_edges(n, n * 3 / 2, &mut rng);
+        let wm = WidthModel::unit();
+        let lpl = LongestPath.layer(&dag, &wm);
+        let s = stretch(&lpl, dag.node_count(), crate::StretchStrategy::Between);
+        let state = SearchState::new(&dag, &s.layering, s.total_layers, &wm);
+        (dag, state)
+    }
+
+    #[test]
+    fn pow_fast_matches_powf() {
+        for e in [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 2.5] {
+            for x in [0.1, 1.0, 3.7] {
+                assert!((pow_fast(x, e) - x.powf(e)).abs() < 1e-12, "x={x} e={e}");
+            }
+        }
+    }
+
+    #[test]
+    fn walk_preserves_layering_validity() {
+        let (dag, mut state) = setup(1, 25);
+        let params = AcoParams::default();
+        let tau = VertexLayerMatrix::filled(
+            dag.node_count(),
+            state.total_layers as usize,
+            params.tau0,
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        let f = perform_walk(&dag, &WidthModel::unit(), &params, &tau, &mut state, &mut rng);
+        assert!(f > 0.0 && f <= 0.5);
+        state.to_layering().validate(&dag).unwrap();
+        state.assert_consistent(&dag, &WidthModel::unit());
+    }
+
+    #[test]
+    fn walk_is_deterministic_per_seed() {
+        let (dag, state) = setup(3, 20);
+        let params = AcoParams::default();
+        let tau = VertexLayerMatrix::filled(
+            dag.node_count(),
+            state.total_layers as usize,
+            params.tau0,
+        );
+        let wm = WidthModel::unit();
+        let mut a = state.clone();
+        let mut b = state.clone();
+        perform_walk(&dag, &wm, &params, &tau, &mut a, &mut StdRng::seed_from_u64(9));
+        perform_walk(&dag, &wm, &params, &tau, &mut b, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let mut c = state.clone();
+        perform_walk(&dag, &wm, &params, &tau, &mut c, &mut StdRng::seed_from_u64(10));
+        // Different seed almost surely differs somewhere (not guaranteed,
+        // but stable for this fixture).
+        assert_ne!(a.layer, c.layer);
+    }
+
+    #[test]
+    fn beta_zero_ignores_widths() {
+        // With β = 0 and uniform pheromone, every candidate scores the
+        // same; ArgMax then picks the span's lowest layer for every vertex.
+        let (dag, mut state) = setup(5, 15);
+        let params = AcoParams {
+            beta: 0.0,
+            ..AcoParams::default()
+        };
+        let tau = VertexLayerMatrix::filled(
+            dag.node_count(),
+            state.total_layers as usize,
+            params.tau0,
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        perform_walk(&dag, &WidthModel::unit(), &params, &tau, &mut state, &mut rng);
+        state.to_layering().validate(&dag).unwrap();
+    }
+
+    #[test]
+    fn pheromone_bias_attracts_argmax() {
+        // One free vertex, two layers; heavy pheromone on the top layer
+        // must win even though the bottom is narrower.
+        let dag = Dag::from_edges(1, &[]).unwrap();
+        let wm = WidthModel::unit();
+        let state = SearchState::new(
+            &dag,
+            &antlayer_layering::Layering::from_slice(&[1]),
+            2,
+            &wm,
+        );
+        let params = AcoParams::default();
+        let mut tau = VertexLayerMatrix::filled(1, 2, 1.0);
+        tau.set(NodeId::new(0), 2, 100.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let chosen = choose_layer(NodeId::new(0), &state, &tau, &params, &wm, 1.0, &mut rng);
+        assert_eq!(chosen, 2);
+    }
+
+    #[test]
+    fn heuristic_bias_prefers_narrow_layers() {
+        // Uniform pheromone: the empty layer (floored width) must beat the
+        // crowded one.
+        let dag = Dag::from_edges(2, &[]).unwrap();
+        let wm = WidthModel::unit();
+        let state = SearchState::new(
+            &dag,
+            &antlayer_layering::Layering::from_slice(&[1, 1]),
+            2,
+            &wm,
+        );
+        let params = AcoParams::default();
+        let tau = VertexLayerMatrix::filled(2, 2, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let chosen = choose_layer(NodeId::new(0), &state, &tau, &params, &wm, 1.0, &mut rng);
+        assert_eq!(chosen, 2, "empty layer 2 is more attractive");
+    }
+
+    #[test]
+    fn roulette_explores_all_candidates() {
+        let dag = Dag::from_edges(1, &[]).unwrap();
+        let wm = WidthModel::unit();
+        let state = SearchState::new(
+            &dag,
+            &antlayer_layering::Layering::from_slice(&[1]),
+            3,
+            &wm,
+        );
+        let params = AcoParams {
+            selection: SelectionRule::Roulette,
+            ..AcoParams::default()
+        };
+        let tau = VertexLayerMatrix::filled(1, 3, 1.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let l = choose_layer(NodeId::new(0), &state, &tau, &params, &wm, 1.0, &mut rng);
+            seen[l as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3], "roulette never visited some layer: {seen:?}");
+    }
+
+    #[test]
+    fn visit_orders_are_permutations() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let dag = generate::random_dag_with_edges(25, 30, &mut rng);
+        for order in [VisitOrder::Random, VisitOrder::Bfs, VisitOrder::Topological] {
+            let mut seq = visit_order(&dag, order, &mut rng);
+            assert_eq!(seq.len(), 25, "{order:?}");
+            seq.sort();
+            seq.dedup();
+            assert_eq!(seq.len(), 25, "{order:?} repeated a vertex");
+        }
+    }
+
+    #[test]
+    fn bfs_order_covers_disconnected_components() {
+        let dag = Dag::from_edges(6, &[(0, 1), (2, 3)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let seq = visit_order(&dag, VisitOrder::Bfs, &mut rng);
+        assert_eq!(seq.len(), 6);
+    }
+
+    #[test]
+    fn all_visit_orders_produce_valid_walks() {
+        let (dag, state) = setup(9, 20);
+        let wm = WidthModel::unit();
+        for order in [VisitOrder::Random, VisitOrder::Bfs, VisitOrder::Topological] {
+            let params = AcoParams {
+                visit_order: order,
+                ..AcoParams::default()
+            };
+            let tau = VertexLayerMatrix::filled(
+                dag.node_count(),
+                state.total_layers as usize,
+                params.tau0,
+            );
+            let mut s = state.clone();
+            let mut rng = StdRng::seed_from_u64(4);
+            let f = perform_walk(&dag, &wm, &params, &tau, &mut s, &mut rng);
+            assert!(f > 0.0);
+            s.to_layering().validate(&dag).unwrap();
+        }
+    }
+
+    #[test]
+    fn pinned_vertex_stays_put() {
+        // Middle of a tight chain has a single-layer span.
+        let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let wm = WidthModel::unit();
+        let state = SearchState::new(
+            &dag,
+            &antlayer_layering::Layering::from_slice(&[3, 2, 1]),
+            3,
+            &wm,
+        );
+        let params = AcoParams::default();
+        let tau = VertexLayerMatrix::filled(3, 3, 1.0);
+        let mut rng = StdRng::seed_from_u64(8);
+        assert_eq!(
+            choose_layer(NodeId::new(1), &state, &tau, &params, &wm, 1.0, &mut rng),
+            2
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for the ACO layering crate: the colony must
+//! produce valid, deterministic, never-worse-than-seed layerings for *any*
+//! DAG shape and any sane parameter combination.
+
+use antlayer_aco::{
+    compute_widths, perform_walk, stretch, AcoLayering, AcoParams, DepositStrategy, SearchState,
+    SelectionRule, StretchStrategy, VertexLayerMatrix, VisitOrder,
+};
+use antlayer_graph::{generate, Dag};
+use antlayer_layering::{metrics, LayeringAlgorithm, LongestPath, WidthModel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_dag() -> impl Strategy<Value = Dag> {
+    (2usize..40, 0u64..1_000_000, 0u8..4).prop_map(|(n, seed, kind)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match kind {
+            0 => generate::gnp_dag(n, 0.15, &mut rng),
+            1 => generate::layered_dag(n, (n / 3).max(1), 0.05, 2, &mut rng),
+            2 => generate::random_tree(n, &mut rng),
+            _ => generate::series_parallel_dag(n, 0.6, &mut rng),
+        }
+    })
+}
+
+fn arb_params() -> impl Strategy<Value = AcoParams> {
+    (
+        1usize..6,   // ants
+        1usize..5,   // tours
+        0u8..2,      // selection
+        0u8..3,      // visit order
+        0u8..2,      // deposit
+        0u8..4,      // stretch
+        0u64..10_000,
+    )
+        .prop_map(|(ants, tours, sel, vo, dep, st, seed)| AcoParams {
+            n_ants: ants,
+            n_tours: tours,
+            selection: if sel == 0 {
+                SelectionRule::ArgMax
+            } else {
+                SelectionRule::Roulette
+            },
+            visit_order: match vo {
+                0 => VisitOrder::Random,
+                1 => VisitOrder::Bfs,
+                _ => VisitOrder::Topological,
+            },
+            deposit: if dep == 0 {
+                DepositStrategy::TourBest
+            } else {
+                DepositStrategy::RankBased(2)
+            },
+            stretch: match st {
+                0 => StretchStrategy::Between,
+                1 => StretchStrategy::Above,
+                2 => StretchStrategy::Below,
+                _ => StretchStrategy::Split,
+            },
+            seed,
+            ..AcoParams::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn colony_output_is_always_valid_and_normalized(dag in arb_dag(), params in arb_params()) {
+        let wm = WidthModel::unit();
+        let run = AcoLayering::new(params).run(&dag, &wm);
+        prop_assert!(run.layering.validate(&dag).is_ok());
+        let mut copy = run.layering.clone();
+        prop_assert!(!copy.normalize(), "colony output must be normalized");
+        prop_assert!(run.objective > 0.0);
+    }
+
+    #[test]
+    fn colony_never_loses_to_its_lpl_seed(dag in arb_dag(), params in arb_params()) {
+        let wm = WidthModel::unit();
+        let run = AcoLayering::new(params).run(&dag, &wm);
+        let lpl = LongestPath.layer(&dag, &wm);
+        let seed_obj = metrics::aco_objective(&dag, &lpl, &wm);
+        prop_assert!(
+            run.objective >= seed_obj - 1e-9,
+            "colony objective {} below LPL seed {}",
+            run.objective,
+            seed_obj
+        );
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_answer(dag in arb_dag(), seed in 0u64..10_000) {
+        let wm = WidthModel::unit();
+        let base = AcoParams::default().with_colony(4, 3).with_seed(seed);
+        let a = AcoLayering::new(base.clone().with_threads(1)).run(&dag, &wm);
+        let b = AcoLayering::new(base.with_threads(3)).run(&dag, &wm);
+        prop_assert_eq!(a.layering, b.layering);
+        prop_assert_eq!(a.tours, b.tours);
+    }
+
+    #[test]
+    fn walks_keep_incremental_state_consistent(dag in arb_dag(), seed in 0u64..10_000) {
+        let wm = WidthModel::unit();
+        let lpl = LongestPath.layer(&dag, &wm);
+        let s = stretch(&lpl, dag.node_count(), StretchStrategy::Between);
+        let mut state = SearchState::new(&dag, &s.layering, s.total_layers, &wm);
+        let params = AcoParams::default();
+        let tau = VertexLayerMatrix::filled(
+            dag.node_count(),
+            state.total_layers as usize,
+            params.tau0,
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        perform_walk(&dag, &wm, &params, &tau, &mut state, &mut rng);
+        // Incremental widths equal fresh recomputation.
+        let fresh = compute_widths(&dag, &state.layer, state.total_layers, &wm);
+        for (l, (a, b)) in state.width.iter().zip(fresh.iter()).enumerate().skip(1) {
+            prop_assert!((a - b).abs() < 1e-6, "layer {} width drift: {} vs {}", l, a, b);
+        }
+        prop_assert!(state.to_layering().validate(&dag).is_ok());
+    }
+
+    #[test]
+    fn stretch_preserves_validity_for_all_strategies(dag in arb_dag(), extra in 0usize..30) {
+        let wm = WidthModel::unit();
+        let lpl = LongestPath.layer(&dag, &wm);
+        let target = lpl.max_layer() as usize + extra;
+        for strat in [
+            StretchStrategy::Between,
+            StretchStrategy::Above,
+            StretchStrategy::Below,
+            StretchStrategy::Split,
+        ] {
+            let s = stretch(&lpl, target, strat);
+            prop_assert!(s.layering.validate(&dag).is_ok(), "{:?}", strat);
+            prop_assert!(s.layering.max_layer() <= s.total_layers);
+            prop_assert!(s.total_layers as usize >= target.max(1) || target == 0);
+        }
+    }
+
+    #[test]
+    fn spans_always_bracket_current_layers(dag in arb_dag()) {
+        let wm = WidthModel::unit();
+        let lpl = LongestPath.layer(&dag, &wm);
+        let s = stretch(&lpl, dag.node_count(), StretchStrategy::Between);
+        let state = SearchState::new(&dag, &s.layering, s.total_layers, &wm);
+        for v in dag.nodes() {
+            prop_assert!(state.span_lo[v.index()] <= state.layer[v.index()]);
+            prop_assert!(state.layer[v.index()] <= state.span_hi[v.index()]);
+        }
+    }
+
+    #[test]
+    fn dummy_width_zero_reduces_width_to_real_width(dag in arb_dag(), seed in 0u64..1_000) {
+        // With nd_width = 0 the reported width must equal the dummy-free
+        // width for whatever the colony produces.
+        let wm = WidthModel::with_dummy_width(0.0);
+        let run = AcoLayering::new(
+            AcoParams::default().with_colony(3, 3).with_seed(seed),
+        )
+        .run(&dag, &wm);
+        prop_assert_eq!(run.metrics.width, run.metrics.width_excl_dummies);
+    }
+}

@@ -1,0 +1,31 @@
+//! # antlayer-datasets
+//!
+//! Evaluation substrate for the `antlayer` reproduction of the IPPS 2007
+//! ACO-layering paper.
+//!
+//! The paper's corpus — 1277 directed AT&T graphs from graphdrawing.org in
+//! 19 size groups — is not redistributable, so [`GraphSuite::att_like`]
+//! generates a seeded synthetic stand-in with the same group structure,
+//! sparsity and depth profile (see DESIGN.md §5 for the substitution
+//! rationale). [`report`] provides the hand-rolled CSV/Markdown/gnuplot
+//! writers the experiment harness uses.
+//!
+//! ```
+//! use antlayer_datasets::GraphSuite;
+//!
+//! let suite = GraphSuite::att_like_scaled(42, 38); // 2 graphs per group
+//! assert_eq!(suite.groups.len(), 19);
+//! assert_eq!(suite.groups[0].n, 10);
+//! assert_eq!(suite.groups[18].n, 100);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod attlike;
+mod loader;
+pub mod report;
+
+pub use attlike::{att_like_graph, GraphSuite, SuiteGroup, GROUP_SIZES, TOTAL_GRAPHS};
+pub use loader::{load_gml_dir, LoadError};
+pub use report::{Cell, Table};

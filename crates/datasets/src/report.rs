@@ -1,0 +1,253 @@
+//! Hand-rolled result tables and writers (CSV, Markdown, gnuplot data).
+//!
+//! The experiment harness emits every figure's data through these writers;
+//! keeping them dependency-free avoids pulling a serialisation stack for
+//! what is a handful of numeric columns.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A simple column-oriented results table.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows; each row must have `headers.len()` cells.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+/// One table cell.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Cell {
+    /// Text cell.
+    Text(String),
+    /// Integer cell.
+    Int(i64),
+    /// Float cell, printed with 3 decimals.
+    Float(f64),
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_string())
+    }
+}
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+impl From<i64> for Cell {
+    fn from(v: i64) -> Self {
+        Cell::Int(v)
+    }
+}
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::Int(v as i64)
+    }
+}
+impl From<usize> for Cell {
+    fn from(v: usize) -> Self {
+        Cell::Int(v as i64)
+    }
+}
+impl From<u32> for Cell {
+    fn from(v: u32) -> Self {
+        Cell::Int(v as i64)
+    }
+}
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Float(v)
+    }
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Int(v) => v.to_string(),
+            Cell::Float(v) => format!("{v:.3}"),
+        }
+    }
+}
+
+impl Table {
+    /// Creates a table with the given headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn push_row(&mut self, row: Vec<Cell>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} does not match {} headers",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders RFC-4180-ish CSV (quotes only where needed).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let line = row.iter().map(|c| esc(&c.render())).collect::<Vec<_>>().join(",");
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+
+    /// Renders a GitHub-flavoured Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(Cell::render).collect();
+            let _ = writeln!(out, "| {} |", cells.join(" | "));
+        }
+        out
+    }
+
+    /// Renders whitespace-aligned plain text (what the harness prints).
+    pub fn to_aligned(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Cell::render).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(out, "{:>w$}  ", h, w = widths[i]);
+        }
+        out.push('\n');
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, "{:>w$}  ", cell, w = widths[i]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders gnuplot-style data: `# headers` comment then space-separated
+    /// columns, ready for `plot "file" using 1:2`.
+    pub fn to_gnuplot(&self) -> String {
+        let mut out = format!("# {}\n", self.headers.join(" "));
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(Cell::render).collect();
+            let _ = writeln!(out, "{}", cells.join(" "));
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(&["n", "algo", "width"]);
+        t.push_row(vec![10usize.into(), "LPL".into(), 4.25f64.into()]);
+        t.push_row(vec![20usize.into(), "Ant,Colony".into(), 8.0f64.into()]);
+        t
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let csv = sample().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("n,algo,width"));
+        assert_eq!(lines.next(), Some("10,LPL,4.250"));
+        assert_eq!(lines.next(), Some("20,\"Ant,Colony\",8.000"));
+    }
+
+    #[test]
+    fn csv_escapes_quotes() {
+        let mut t = Table::new(&["a"]);
+        t.push_row(vec!["say \"hi\"".into()]);
+        assert!(t.to_csv().contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn markdown_has_separator() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("| n | algo | width |"));
+        assert!(md.contains("|---|---|---|"));
+        assert!(md.contains("| 10 | LPL | 4.250 |"));
+    }
+
+    #[test]
+    fn aligned_pads_columns() {
+        let txt = sample().to_aligned();
+        let lines: Vec<&str> = txt.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // All lines equal length because of padding.
+        assert_eq!(lines[0].len(), lines[1].len());
+    }
+
+    #[test]
+    fn gnuplot_uses_hash_header() {
+        let g = sample().to_gnuplot();
+        assert!(g.starts_with("# n algo width"));
+        assert!(g.contains("10 LPL 4.250"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_is_rejected() {
+        let mut t = Table::new(&["a", "b"]);
+        t.push_row(vec![1usize.into()]);
+    }
+
+    #[test]
+    fn write_csv_roundtrip() {
+        let dir = std::env::temp_dir().join("antlayer-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        sample().write_csv(&path).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read, sample().to_csv());
+    }
+}

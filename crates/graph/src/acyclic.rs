@@ -1,0 +1,225 @@
+//! The validated DAG wrapper.
+
+use crate::{topological_sort, DiGraph, GraphError, NodeId, NodeSet, NodeVec};
+
+/// A directed acyclic graph: a [`DiGraph`] whose acyclicity has been proven
+/// at construction time.
+///
+/// `Dag` dereferences to [`DiGraph`], so all read-only graph operations are
+/// available directly. A cached topological order is carried along because
+/// every layering algorithm needs one.
+///
+/// # Example
+/// ```
+/// use antlayer_graph::{Dag, DiGraph};
+/// let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+/// assert_eq!(dag.topo_order().len(), 3);
+/// assert!(Dag::new(DiGraph::from_edges(2, &[(0, 1), (1, 0)]).unwrap()).is_err());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Dag {
+    graph: DiGraph,
+    topo: Vec<NodeId>,
+}
+
+impl Dag {
+    /// Validates `graph` and wraps it. Fails with [`GraphError::Cycle`] when
+    /// the graph contains a directed cycle.
+    pub fn new(graph: DiGraph) -> Result<Self, GraphError> {
+        let topo = topological_sort(&graph)?;
+        Ok(Dag { graph, topo })
+    }
+
+    /// Builds and validates a DAG from raw edge pairs.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Result<Self, GraphError> {
+        Dag::new(DiGraph::from_edges(n, edges)?)
+    }
+
+    /// A topological order of the nodes (every edge points from an earlier to
+    /// a later entry).
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Consumes the wrapper and returns the underlying graph.
+    pub fn into_graph(self) -> DiGraph {
+        self.graph
+    }
+
+    /// Borrows the underlying graph explicitly (also available via deref).
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// All nodes reachable from `v` by directed paths, excluding `v` itself.
+    pub fn descendants(&self, v: NodeId) -> NodeSet {
+        let mut set = NodeSet::with_capacity(self.node_count());
+        let mut stack = vec![v];
+        while let Some(u) = stack.pop() {
+            for &w in self.out_neighbors(u) {
+                if set.insert(w) {
+                    stack.push(w);
+                }
+            }
+        }
+        set
+    }
+
+    /// All nodes that reach `v` by directed paths, excluding `v` itself.
+    pub fn ancestors(&self, v: NodeId) -> NodeSet {
+        let mut set = NodeSet::with_capacity(self.node_count());
+        let mut stack = vec![v];
+        while let Some(u) = stack.pop() {
+            for &w in self.in_neighbors(u) {
+                if set.insert(w) {
+                    stack.push(w);
+                }
+            }
+        }
+        set
+    }
+
+    /// The transitive reduction: the unique minimal sub-DAG with the same
+    /// reachability relation.
+    ///
+    /// An edge `(u, v)` is redundant iff some other successor of `u` reaches
+    /// `v`. Runs one reachability query per edge (`O(E · (V + E))`), fine at
+    /// the graph sizes this library targets.
+    pub fn transitive_reduction(&self) -> Dag {
+        let reduced = self.graph.filter_edges(|u, v| {
+            !self
+                .graph
+                .out_neighbors(u)
+                .iter()
+                .filter(|&&w| w != v)
+                .any(|&w| w == v || self.reaches(w, v))
+        });
+        Dag::new(reduced).expect("subgraph of a DAG is a DAG")
+    }
+
+    /// All transitive-closure edges `(u, v)` with `u ≠ v`, as raw pairs.
+    pub fn transitive_closure_edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for u in self.nodes() {
+            for v in self.descendants(u).iter() {
+                out.push((u, v));
+            }
+        }
+        out
+    }
+
+    /// Whether a directed path `u ⇝ v` exists (`u == v` counts as reachable).
+    pub fn reaches(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return true;
+        }
+        self.descendants(u).contains(v)
+    }
+
+    /// Positions of every node in the cached topological order.
+    pub fn topo_positions(&self) -> NodeVec<u32> {
+        let mut pos = NodeVec::filled(0u32, self.node_count());
+        for (i, &v) in self.topo.iter().enumerate() {
+            pos[v] = i as u32;
+        }
+        pos
+    }
+}
+
+impl std::ops::Deref for Dag {
+    type Target = DiGraph;
+    fn deref(&self) -> &DiGraph {
+        &self.graph
+    }
+}
+
+impl TryFrom<DiGraph> for Dag {
+    type Error = GraphError;
+    fn try_from(g: DiGraph) -> Result<Self, GraphError> {
+        Dag::new(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert!(matches!(Dag::new(g), Err(GraphError::Cycle(_))));
+    }
+
+    #[test]
+    fn deref_exposes_graph_api() {
+        let dag = diamond();
+        assert_eq!(dag.node_count(), 4);
+        assert_eq!(dag.out_degree(NodeId::new(0)), 2);
+    }
+
+    #[test]
+    fn descendants_and_ancestors() {
+        let dag = diamond();
+        let n = |i| NodeId::new(i);
+        let d: Vec<_> = dag.descendants(n(0)).iter().map(NodeId::index).collect();
+        assert_eq!(d, vec![1, 2, 3]);
+        let a: Vec<_> = dag.ancestors(n(3)).iter().map(NodeId::index).collect();
+        assert_eq!(a, vec![0, 1, 2]);
+        assert!(dag.descendants(n(3)).is_empty());
+    }
+
+    #[test]
+    fn reaches_includes_self_and_paths() {
+        let dag = diamond();
+        let n = |i| NodeId::new(i);
+        assert!(dag.reaches(n(0), n(3)));
+        assert!(dag.reaches(n(1), n(1)));
+        assert!(!dag.reaches(n(1), n(2)));
+    }
+
+    #[test]
+    fn transitive_reduction_removes_shortcuts() {
+        // chain 0->1->2 plus shortcut 0->2.
+        let dag = Dag::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let red = dag.transitive_reduction();
+        assert_eq!(red.edge_count(), 2);
+        assert!(!red.has_edge(NodeId::new(0), NodeId::new(2)));
+        // Reachability is preserved.
+        assert!(red.reaches(NodeId::new(0), NodeId::new(2)));
+    }
+
+    #[test]
+    fn transitive_reduction_keeps_diamond() {
+        // No diamond edge is redundant.
+        let red = diamond().transitive_reduction();
+        assert_eq!(red.edge_count(), 4);
+    }
+
+    #[test]
+    fn closure_edges_count() {
+        let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let mut closure = dag.transitive_closure_edges();
+        closure.sort();
+        assert_eq!(closure.len(), 3); // 0->1, 0->2, 1->2
+    }
+
+    #[test]
+    fn topo_positions_are_consistent() {
+        let dag = diamond();
+        let pos = dag.topo_positions();
+        for (u, v) in dag.edges() {
+            assert!(pos[u] < pos[v]);
+        }
+    }
+
+    #[test]
+    fn try_from_digraph() {
+        let g = DiGraph::from_edges(2, &[(0, 1)]).unwrap();
+        let dag: Dag = g.try_into().unwrap();
+        assert_eq!(dag.topo_order().len(), 2);
+    }
+}

@@ -1,0 +1,404 @@
+//! The core directed-graph container.
+//!
+//! [`DiGraph`] is a simple (no parallel edges, no self-loops) directed graph
+//! stored as forward and reverse adjacency lists. It is the substrate the
+//! paper obtained from LEDA's `GRAPH<int,int>`; everything above it (layering
+//! algorithms, the ant colony, the Sugiyama stages) only needs the operations
+//! provided here.
+//!
+//! Node payloads are deliberately *not* stored inside the graph: algorithms
+//! keep side tables ([`NodeVec`](crate::NodeVec)) instead, which keeps the hot
+//! adjacency data compact (structure-of-arrays layout).
+
+use crate::{EdgeId, GraphError, NodeId};
+use std::fmt;
+
+/// A simple directed graph with dense `u32` node ids.
+///
+/// # Example
+/// ```
+/// use antlayer_graph::DiGraph;
+///
+/// let mut g = DiGraph::new();
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// let c = g.add_node();
+/// g.add_edge(a, b).unwrap();
+/// g.add_edge(b, c).unwrap();
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(g.out_neighbors(a), &[b]);
+/// assert_eq!(g.in_neighbors(c), &[b]);
+/// ```
+#[derive(Clone, Default)]
+pub struct DiGraph {
+    out_adj: Vec<Vec<NodeId>>,
+    in_adj: Vec<Vec<NodeId>>,
+    /// Edge list in insertion order; `edges[e] = (source, target)`.
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl DiGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        DiGraph::default()
+    }
+
+    /// Creates an empty graph with capacity reserved for `nodes` nodes.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        DiGraph {
+            out_adj: Vec::with_capacity(nodes),
+            in_adj: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.out_adj.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.out_adj.is_empty()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::new(self.out_adj.len());
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        id
+    }
+
+    /// Adds `count` nodes, returning their ids in order.
+    pub fn add_nodes(&mut self, count: usize) -> Vec<NodeId> {
+        (0..count).map(|_| self.add_node()).collect()
+    }
+
+    /// Checks that `id` names a node of this graph.
+    #[inline]
+    fn check_node(&self, id: NodeId) -> Result<(), GraphError> {
+        if id.index() < self.node_count() {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfBounds {
+                id,
+                node_count: self.node_count(),
+            })
+        }
+    }
+
+    /// Adds the edge `(u, v)`.
+    ///
+    /// Rejects out-of-bounds endpoints, self-loops and duplicates. Returns
+    /// the id of the new edge.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<EdgeId, GraphError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        if self.has_edge(u, v) {
+            return Err(GraphError::DuplicateEdge(u, v));
+        }
+        let id = EdgeId::new(self.edges.len());
+        self.out_adj[u.index()].push(v);
+        self.in_adj[v.index()].push(u);
+        self.edges.push((u, v));
+        Ok(id)
+    }
+
+    /// Membership test for the edge `(u, v)`.
+    ///
+    /// Linear in `deg(u)`; adjacency lists of the sparse graphs this library
+    /// targets are short, so a scan beats maintaining sorted lists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        match self.out_adj.get(u.index()) {
+            Some(adj) => adj.contains(&v),
+            None => false,
+        }
+    }
+
+    /// Successors of `v` (targets of edges leaving `v`).
+    #[inline]
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.out_adj[v.index()]
+    }
+
+    /// Predecessors of `v` (sources of edges entering `v`).
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.in_adj[v.index()]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_adj[v.index()].len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_adj[v.index()].len()
+    }
+
+    /// Total degree (in + out) of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.in_degree(v) + self.out_degree(v)
+    }
+
+    /// Iterates over all node ids `0..n`.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + Clone {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// Iterates over all edges as `(source, target)` pairs in insertion order.
+    pub fn edges(&self) -> impl ExactSizeIterator<Item = (NodeId, NodeId)> + Clone + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// The endpoints of edge `e`.
+    pub fn edge_endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edges[e.index()]
+    }
+
+    /// Nodes with no incoming edges.
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&v| self.in_degree(v) == 0).collect()
+    }
+
+    /// Nodes with no outgoing edges.
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&v| self.out_degree(v) == 0).collect()
+    }
+
+    /// Nodes with no edges at all.
+    pub fn isolated_nodes(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&v| self.degree(v) == 0).collect()
+    }
+
+    /// Builds a graph with `n` nodes from raw `(source, target)` index pairs.
+    ///
+    /// # Example
+    /// ```
+    /// use antlayer_graph::DiGraph;
+    /// let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+    /// assert_eq!(g.edge_count(), 2);
+    /// ```
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Result<Self, GraphError> {
+        let mut g = DiGraph::with_capacity(n, edges.len());
+        g.add_nodes(n);
+        for &(u, v) in edges {
+            g.add_edge(NodeId(u), NodeId(v))?;
+        }
+        Ok(g)
+    }
+
+    /// The reverse graph: every edge `(u, v)` becomes `(v, u)`.
+    pub fn reversed(&self) -> DiGraph {
+        let mut g = DiGraph::with_capacity(self.node_count(), self.edge_count());
+        g.add_nodes(self.node_count());
+        for (u, v) in self.edges() {
+            g.add_edge(v, u).expect("reversing a simple graph stays simple");
+        }
+        g
+    }
+
+    /// A copy keeping only the edges for which `keep` returns `true`.
+    ///
+    /// Node ids are preserved. This is the substrate's replacement for
+    /// individual edge removal: edge ids stay dense and algorithms never see
+    /// tombstones.
+    pub fn filter_edges(&self, mut keep: impl FnMut(NodeId, NodeId) -> bool) -> DiGraph {
+        let mut g = DiGraph::with_capacity(self.node_count(), self.edge_count());
+        g.add_nodes(self.node_count());
+        for (u, v) in self.edges() {
+            if keep(u, v) {
+                g.add_edge(u, v).expect("subset of a simple graph stays simple");
+            }
+        }
+        g
+    }
+
+    /// The subgraph induced by `nodes`.
+    ///
+    /// Returns the new graph together with the mapping from old ids to new
+    /// ids (entries for excluded nodes are `None`).
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> (DiGraph, Vec<Option<NodeId>>) {
+        let mut map: Vec<Option<NodeId>> = vec![None; self.node_count()];
+        let mut g = DiGraph::with_capacity(nodes.len(), 0);
+        for &v in nodes {
+            assert!(map[v.index()].is_none(), "duplicate node in subgraph list");
+            map[v.index()] = Some(g.add_node());
+        }
+        for (u, v) in self.edges() {
+            if let (Some(nu), Some(nv)) = (map[u.index()], map[v.index()]) {
+                g.add_edge(nu, nv)
+                    .expect("subset of a simple graph stays simple");
+            }
+        }
+        (g, map)
+    }
+}
+
+impl fmt::Debug for DiGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "DiGraph {{ nodes: {}, edges: {} }}",
+            self.node_count(),
+            self.edge_count()
+        )?;
+        for (u, v) in self.edges() {
+            writeln!(f, "  {u} -> {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::new();
+        assert!(g.is_empty());
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.nodes().count(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn add_nodes_assigns_dense_ids() {
+        let mut g = DiGraph::new();
+        let ids = g.add_nodes(3);
+        assert_eq!(ids.iter().map(|i| i.index()).collect::<Vec<_>>(), [0, 1, 2]);
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let g = diamond();
+        let n = |i| NodeId::new(i);
+        assert_eq!(g.out_neighbors(n(0)), &[n(1), n(2)]);
+        assert_eq!(g.in_neighbors(n(3)), &[n(1), n(2)]);
+        assert_eq!(g.out_degree(n(0)), 2);
+        assert_eq!(g.in_degree(n(0)), 0);
+        assert_eq!(g.degree(n(1)), 2);
+        assert!(g.has_edge(n(0), n(1)));
+        assert!(!g.has_edge(n(1), n(0)));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        assert_eq!(g.add_edge(a, a), Err(GraphError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b).unwrap();
+        assert_eq!(g.add_edge(a, b), Err(GraphError::DuplicateEdge(a, b)));
+        // The reverse direction is a different edge and must be accepted.
+        assert!(g.add_edge(b, a).is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let ghost = NodeId::new(7);
+        assert!(matches!(
+            g.add_edge(a, ghost),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn from_edges_propagates_errors() {
+        assert!(DiGraph::from_edges(2, &[(0, 0)]).is_err());
+        assert!(DiGraph::from_edges(2, &[(0, 5)]).is_err());
+        assert!(DiGraph::from_edges(2, &[(0, 1), (0, 1)]).is_err());
+    }
+
+    #[test]
+    fn sources_sinks_isolated() {
+        let mut g = diamond();
+        let iso = g.add_node();
+        assert_eq!(g.sources(), vec![NodeId::new(0), iso]);
+        assert_eq!(g.sinks(), vec![NodeId::new(3), iso]);
+        assert_eq!(g.isolated_nodes(), vec![iso]);
+    }
+
+    #[test]
+    fn edge_ids_and_endpoints() {
+        let g = diamond();
+        assert_eq!(
+            g.edge_endpoints(EdgeId::new(2)),
+            (NodeId::new(1), NodeId::new(3))
+        );
+    }
+
+    #[test]
+    fn reversed_swaps_directions() {
+        let g = diamond().reversed();
+        let n = |i| NodeId::new(i);
+        assert!(g.has_edge(n(1), n(0)));
+        assert!(g.has_edge(n(3), n(2)));
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.sources(), vec![n(3)]);
+    }
+
+    #[test]
+    fn filter_edges_keeps_ids() {
+        let g = diamond();
+        let n = |i| NodeId::new(i);
+        let f = g.filter_edges(|u, _| u != n(0));
+        assert_eq!(f.node_count(), 4);
+        assert_eq!(f.edge_count(), 2);
+        assert!(!f.has_edge(n(0), n(1)));
+        assert!(f.has_edge(n(1), n(3)));
+    }
+
+    #[test]
+    fn induced_subgraph_remaps_ids() {
+        let g = diamond();
+        let n = |i| NodeId::new(i);
+        let (sub, map) = g.induced_subgraph(&[n(0), n(1), n(3)]);
+        assert_eq!(sub.node_count(), 3);
+        // Edges 0->1 and 1->3 survive; 0->2 and 2->3 drop.
+        assert_eq!(sub.edge_count(), 2);
+        assert_eq!(map[n(2).index()], None);
+        let n0 = map[n(0).index()].unwrap();
+        let n1 = map[n(1).index()].unwrap();
+        assert!(sub.has_edge(n0, n1));
+    }
+
+    #[test]
+    fn debug_format_lists_edges() {
+        let g = DiGraph::from_edges(2, &[(0, 1)]).unwrap();
+        let s = format!("{g:?}");
+        assert!(s.contains("nodes: 2"));
+        assert!(s.contains("0 -> 1"));
+    }
+}

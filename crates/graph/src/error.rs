@@ -1,0 +1,116 @@
+//! Error types for graph construction, validation and parsing.
+
+use crate::NodeId;
+use std::fmt;
+
+/// Errors raised while building or validating graphs.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GraphError {
+    /// An endpoint referred to a node id not present in the graph.
+    NodeOutOfBounds {
+        /// The offending id.
+        id: NodeId,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// A self-loop `(v, v)` was rejected; layerings require `layer(u) > layer(v)`.
+    SelfLoop(NodeId),
+    /// The edge already exists (the substrate stores simple digraphs).
+    DuplicateEdge(NodeId, NodeId),
+    /// The graph contains a directed cycle; the nodes listed form one.
+    Cycle(Vec<NodeId>),
+    /// Textual input (DOT/GML) could not be parsed.
+    Parse(ParseError),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { id, node_count } => write!(
+                f,
+                "node id {id} out of bounds for graph with {node_count} nodes"
+            ),
+            GraphError::SelfLoop(v) => write!(f, "self-loop on node {v} is not allowed"),
+            GraphError::DuplicateEdge(u, v) => {
+                write!(f, "edge ({u}, {v}) already present in simple digraph")
+            }
+            GraphError::Cycle(nodes) => {
+                write!(f, "graph contains a directed cycle through nodes [")?;
+                for (i, n) in nodes.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}")?;
+                }
+                write!(f, "]")
+            }
+            GraphError::Parse(e) => write!(f, "parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<ParseError> for GraphError {
+    fn from(e: ParseError) -> Self {
+        GraphError::Parse(e)
+    }
+}
+
+/// A parse failure with line/column context.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub column: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates a parse error at the given position.
+    pub fn new(line: usize, column: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::SelfLoop(NodeId::new(3));
+        assert!(e.to_string().contains("self-loop"));
+        let e = GraphError::DuplicateEdge(NodeId::new(1), NodeId::new(2));
+        assert!(e.to_string().contains("(1, 2)"));
+        let e = GraphError::NodeOutOfBounds {
+            id: NodeId::new(9),
+            node_count: 4,
+        };
+        assert!(e.to_string().contains('9') && e.to_string().contains('4'));
+        let e = GraphError::Cycle(vec![NodeId::new(0), NodeId::new(1)]);
+        assert!(e.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn parse_error_carries_position() {
+        let p = ParseError::new(3, 14, "unexpected token");
+        assert_eq!(p.to_string(), "3:14: unexpected token");
+        let g: GraphError = p.into();
+        assert!(matches!(g, GraphError::Parse(_)));
+    }
+}

@@ -1,0 +1,9 @@
+//! Textual graph formats.
+//!
+//! * [`dot`] — a practical subset of Graphviz DOT (what `antlayer` emits and
+//!   what typical hand-written digraph files contain).
+//! * [`gml`] — the GML dialect used by the AT&T/Rome benchmark graphs of
+//!   graphdrawing.org, which the paper's evaluation is based on.
+
+pub mod dot;
+pub mod gml;

@@ -1,0 +1,89 @@
+//! Descriptive statistics of a digraph, used by the dataset suite reports.
+
+use crate::{topological_sort, weak_components, DiGraph};
+
+/// Summary statistics of a directed graph.
+#[derive(Clone, PartialEq, Debug)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Number of source nodes (in-degree 0).
+    pub sources: usize,
+    /// Number of sink nodes (out-degree 0).
+    pub sinks: usize,
+    /// Number of isolated nodes.
+    pub isolated: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Mean total degree `2m / n` (0 for the empty graph).
+    pub mean_degree: f64,
+    /// Edges per node `m / n` (0 for the empty graph).
+    pub edge_node_ratio: f64,
+    /// Number of weakly connected components.
+    pub weak_components: usize,
+    /// Length in edges of the longest directed path, when acyclic.
+    pub longest_path: Option<u32>,
+}
+
+impl GraphStats {
+    /// Computes statistics for `g`.
+    pub fn of(g: &DiGraph) -> GraphStats {
+        let n = g.node_count();
+        let m = g.edge_count();
+        let longest_path = topological_sort(g)
+            .ok()
+            .map(|topo| crate::critical_path_length(g, &topo));
+        GraphStats {
+            nodes: n,
+            edges: m,
+            sources: g.sources().len(),
+            sinks: g.sinks().len(),
+            isolated: g.isolated_nodes().len(),
+            max_out_degree: g.nodes().map(|v| g.out_degree(v)).max().unwrap_or(0),
+            max_in_degree: g.nodes().map(|v| g.in_degree(v)).max().unwrap_or(0),
+            mean_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            edge_node_ratio: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+            weak_components: weak_components(g).len(),
+            longest_path,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_diamond() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.sources, 1);
+        assert_eq!(s.sinks, 1);
+        assert_eq!(s.isolated, 0);
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.max_in_degree, 2);
+        assert!((s.mean_degree - 2.0).abs() < 1e-12);
+        assert_eq!(s.weak_components, 1);
+        assert_eq!(s.longest_path, Some(2));
+    }
+
+    #[test]
+    fn stats_of_empty() {
+        let s = GraphStats::of(&DiGraph::new());
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.mean_degree, 0.0);
+        assert_eq!(s.longest_path, Some(0));
+    }
+
+    #[test]
+    fn cyclic_graph_has_no_longest_path() {
+        let g = DiGraph::from_edges(2, &[(0, 1), (1, 0)]).unwrap();
+        assert_eq!(GraphStats::of(&g).longest_path, None);
+    }
+}

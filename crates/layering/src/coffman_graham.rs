@@ -1,0 +1,208 @@
+//! Coffman–Graham layering (Coffman & Graham 1972, cited as [2] by the
+//! paper).
+//!
+//! A width-bounded list-scheduling layering: at most `w` real vertices per
+//! layer, vertices chosen by the classic lexicographic labelling. For unit
+//! execution times the result is at most `2 − 2/w` times taller than the
+//! optimal width-`w` layering. Included as the classical third point in the
+//! height/width trade-off space next to LPL and MinWidth (an extension over
+//! the paper's benchmark set; see DESIGN.md).
+
+use crate::{Layering, LayeringAlgorithm, WidthModel};
+use antlayer_graph::{Dag, NodeId};
+
+/// The Coffman–Graham algorithm with width bound `w` (counting real
+/// vertices; dummies are not modelled by this classic algorithm).
+#[derive(Clone, Copy, Debug)]
+pub struct CoffmanGraham {
+    /// Maximum number of vertices per layer.
+    pub w: usize,
+}
+
+impl CoffmanGraham {
+    /// Width-bounded layering with at most `w` vertices per layer.
+    pub fn new(w: usize) -> Self {
+        assert!(w >= 1, "width bound must be at least 1");
+        CoffmanGraham { w }
+    }
+}
+
+/// Phase 1: lexicographic labelling. Returns `label[v] ∈ 1..=n`.
+///
+/// Labels are assigned from sinks upward: the next label goes to the
+/// unlabelled vertex whose *descending* multiset of successor labels is
+/// lexicographically smallest (ties broken by node id for determinism).
+fn lexicographic_labels(dag: &Dag) -> Vec<u32> {
+    let n = dag.node_count();
+    let mut label = vec![0u32; n];
+    let mut succ_labels: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for next in 1..=n as u32 {
+        let mut best: Option<NodeId> = None;
+        for v in dag.nodes() {
+            if label[v.index()] != 0 {
+                continue;
+            }
+            // Eligible only when all successors are labelled.
+            if dag
+                .out_neighbors(v)
+                .iter()
+                .any(|w| label[w.index()] == 0)
+            {
+                continue;
+            }
+            match best {
+                None => best = Some(v),
+                Some(b) => {
+                    if lex_less(&succ_labels[v.index()], &succ_labels[b.index()]) {
+                        best = Some(v);
+                    }
+                }
+            }
+        }
+        let v = best.expect("a DAG always has an eligible vertex");
+        label[v.index()] = next;
+        // Record v's label into each predecessor's (descending) label list.
+        for &u in dag.in_neighbors(v) {
+            let list = &mut succ_labels[u.index()];
+            let pos = list.partition_point(|&x| x > next);
+            list.insert(pos, next);
+        }
+    }
+    label
+}
+
+/// Lexicographic "<" on descending label sequences, where a proper prefix is
+/// smaller than its extension (fewer successors wins ties).
+fn lex_less(a: &[u32], b: &[u32]) -> bool {
+    for (x, y) in a.iter().zip(b.iter()) {
+        if x != y {
+            return x < y;
+        }
+    }
+    a.len() < b.len()
+}
+
+impl LayeringAlgorithm for CoffmanGraham {
+    fn name(&self) -> &str {
+        "CoffmanGraham"
+    }
+
+    fn layer(&self, dag: &Dag, _widths: &WidthModel) -> Layering {
+        let n = dag.node_count();
+        let label = lexicographic_labels(dag);
+        let mut layering = Layering::flat(n);
+        let mut in_u = vec![false; n];
+        let mut in_z = vec![false; n]; // strictly below current layer
+        let mut assigned = 0usize;
+        let mut current_layer = 1u32;
+        let mut current_count = 0usize;
+        while assigned < n {
+            // Highest-label vertex whose successors are all strictly below.
+            let pick = dag
+                .nodes()
+                .filter(|&v| {
+                    !in_u[v.index()]
+                        && dag.out_neighbors(v).iter().all(|w| in_z[w.index()])
+                })
+                .max_by_key(|&v| label[v.index()]);
+            match pick {
+                Some(v) if current_count < self.w => {
+                    layering.set_layer(v, current_layer);
+                    in_u[v.index()] = true;
+                    assigned += 1;
+                    current_count += 1;
+                }
+                _ => {
+                    current_layer += 1;
+                    current_count = 0;
+                    for v in dag.nodes() {
+                        if in_u[v.index()] {
+                            in_z[v.index()] = true;
+                        }
+                    }
+                }
+            }
+        }
+        layering.normalize();
+        layering
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LongestPath;
+    use antlayer_graph::generate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn unit() -> WidthModel {
+        WidthModel::unit()
+    }
+
+    #[test]
+    fn respects_width_bound() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for w in 1..=4 {
+            let dag = generate::random_dag_with_edges(30, 40, &mut rng);
+            let l = CoffmanGraham::new(w).layer(&dag, &unit());
+            l.validate(&dag).unwrap();
+            for group in l.layers() {
+                assert!(group.len() <= w, "layer exceeds bound {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn width_one_gives_one_node_per_layer() {
+        let dag = Dag::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let l = CoffmanGraham::new(1).layer(&dag, &unit());
+        assert_eq!(l.height(), 4);
+        l.validate(&dag).unwrap();
+    }
+
+    #[test]
+    fn generous_bound_matches_lpl_height() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let dag = generate::gnp_dag(25, 0.15, &mut rng);
+        let cg = CoffmanGraham::new(1000).layer(&dag, &unit());
+        let lpl = LongestPath.layer(&dag, &unit());
+        assert_eq!(cg.height(), lpl.height());
+    }
+
+    #[test]
+    fn labels_are_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let dag = generate::random_dag_with_edges(20, 30, &mut rng);
+        let mut labels = lexicographic_labels(&dag);
+        labels.sort_unstable();
+        let expect: Vec<u32> = (1..=20).collect();
+        assert_eq!(labels, expect);
+    }
+
+    #[test]
+    fn labels_respect_topology() {
+        // A successor must always get a smaller label than its predecessor.
+        let mut rng = StdRng::seed_from_u64(53);
+        let dag = generate::gnp_dag(15, 0.25, &mut rng);
+        let labels = lexicographic_labels(&dag);
+        for (u, v) in dag.edges() {
+            assert!(labels[u.index()] > labels[v.index()]);
+        }
+    }
+
+    #[test]
+    fn lex_less_prefix_rule() {
+        assert!(lex_less(&[], &[1]));
+        assert!(lex_less(&[2, 1], &[3]));
+        assert!(lex_less(&[3], &[3, 1]));
+        assert!(!lex_less(&[3, 1], &[3, 1]));
+        assert!(!lex_less(&[4], &[3, 2, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_zero_width() {
+        CoffmanGraham::new(0);
+    }
+}

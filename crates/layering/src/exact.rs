@@ -1,0 +1,211 @@
+//! Exact minimum-width layering for small instances (branch and bound).
+//!
+//! The paper's introduction rests on a hardness result: *"the problem of
+//! finding a layering with minimum width, subject to having minimum height,
+//! is NP-complete"* (Di Battista et al., the paper's reference 1). This
+//! module solves
+//! that exact problem for small DAGs by branch and bound, so the heuristics
+//! (MinWidth, the ant colony) can be measured against ground truth in tests
+//! and experiments.
+//!
+//! Vertices are assigned in reverse topological order (successors first),
+//! which keeps every partial assignment extendable; the bound prunes any
+//! branch whose current maximum layer width already reaches the best known
+//! solution. Width here counts *real* vertices only or includes dummies,
+//! depending on the [`WidthModel`] — with `dummy_width = 0` this is the
+//! classic problem, with the paper's models it is the dummy-aware variant.
+
+use crate::{metrics, Layering, WidthModel};
+use antlayer_graph::{Dag, NodeId};
+
+/// Exact minimum-width layering subject to a height bound.
+///
+/// Explores layer assignments over layers `1..=max_height` and returns a
+/// layering minimizing the width (including dummy contributions per `wm`).
+/// Returns `None` when no valid layering fits in `max_height` layers
+/// (i.e. `max_height < LPL height`). Exponential — intended for
+/// `|V| ≤ ~12`; callers asserting larger inputs get a panic.
+pub fn min_width_layering(
+    dag: &Dag,
+    max_height: u32,
+    wm: &WidthModel,
+) -> Option<(Layering, f64)> {
+    let n = dag.node_count();
+    assert!(n <= 16, "exact search is exponential; use the heuristics for n > 16");
+    if n == 0 {
+        return Some((Layering::from_slice(&[]), 0.0));
+    }
+    // Reverse topological order: successors are assigned before their
+    // predecessors, so the feasible range of each vertex is known exactly.
+    let order: Vec<NodeId> = dag.topo_order().iter().rev().copied().collect();
+
+    let mut best_width = f64::INFINITY;
+    let mut best: Option<Vec<u32>> = None;
+    let mut layers = vec![0u32; n];
+    // widths[l] tracks real-vertex width per layer during the search; the
+    // dummy contribution is added when evaluating complete assignments
+    // (simpler and still admissible, since dummies only add width).
+    let mut widths = vec![0.0f64; max_height as usize + 1];
+
+    #[allow(clippy::too_many_arguments)] // recursive search state is explicit on purpose
+    fn rec(
+        dag: &Dag,
+        wm: &WidthModel,
+        order: &[NodeId],
+        idx: usize,
+        max_height: u32,
+        layers: &mut Vec<u32>,
+        widths: &mut Vec<f64>,
+        best_width: &mut f64,
+        best: &mut Option<Vec<u32>>,
+    ) {
+        if idx == order.len() {
+            let layering = Layering::from_slice(layers);
+            let w = metrics::width(dag, &layering, wm);
+            if w < *best_width {
+                *best_width = w;
+                *best = Some(layers.clone());
+            }
+            return;
+        }
+        let v = order[idx];
+        // Successors are already placed; v must sit strictly above them.
+        let lo = dag
+            .out_neighbors(v)
+            .iter()
+            .map(|w| layers[w.index()] + 1)
+            .max()
+            .unwrap_or(1);
+        for l in lo..=max_height {
+            let new_w = widths[l as usize] + wm.node_width(v);
+            // Bound: real-vertex width alone already decides a cutoff
+            // (dummy widths only increase the final width).
+            if new_w >= *best_width {
+                continue;
+            }
+            layers[v.index()] = l;
+            widths[l as usize] = new_w;
+            rec(dag, wm, order, idx + 1, max_height, layers, widths, best_width, best);
+            widths[l as usize] -= wm.node_width(v);
+        }
+    }
+
+    rec(
+        dag,
+        wm,
+        &order,
+        0,
+        max_height,
+        &mut layers,
+        &mut widths,
+        &mut best_width,
+        &mut best,
+    );
+    best.map(|layers| {
+        let mut layering = Layering::from_slice(&layers);
+        layering.normalize();
+        let w = metrics::width(dag, &layering, wm);
+        (layering, w)
+    })
+}
+
+/// Exact minimum width subject to **minimum height** — the NP-complete
+/// problem of the paper's introduction. Equivalent to
+/// [`min_width_layering`] with `max_height` = the LPL height.
+pub fn min_width_at_min_height(dag: &Dag, wm: &WidthModel) -> Option<(Layering, f64)> {
+    use crate::{LayeringAlgorithm, LongestPath};
+    let h = LongestPath.layer(dag, wm).height();
+    min_width_layering(dag, h.max(1), wm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LayeringAlgorithm, LongestPath, MinWidth};
+    use antlayer_graph::generate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn unit() -> WidthModel {
+        WidthModel::unit()
+    }
+
+    #[test]
+    fn chain_optimum_is_width_one() {
+        let dag = Dag::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let (l, w) = min_width_at_min_height(&dag, &unit()).unwrap();
+        l.validate(&dag).unwrap();
+        assert_eq!(w, 1.0);
+    }
+
+    #[test]
+    fn fan_cannot_beat_its_forced_width() {
+        // Source with 4 children at min height 2: all children share L1.
+        let dag = Dag::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let (_, w) = min_width_at_min_height(&dag, &unit()).unwrap();
+        assert_eq!(w, 4.0);
+        // One extra layer lets the optimum split the fan — dummy-aware
+        // width then pays for the long edges instead.
+        let (l, w3) = min_width_layering(&dag, 3, &unit()).unwrap();
+        l.validate(&dag).unwrap();
+        assert!(w3 <= 4.0);
+    }
+
+    #[test]
+    fn infeasible_height_returns_none() {
+        let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert!(min_width_layering(&dag, 2, &unit()).is_none());
+        assert!(min_width_layering(&dag, 3, &unit()).is_some());
+    }
+
+    #[test]
+    fn heuristics_never_beat_the_exact_optimum() {
+        let mut rng = StdRng::seed_from_u64(93);
+        for _ in 0..15 {
+            let dag = generate::gnp_dag(9, 0.25, &mut rng);
+            let wm = unit();
+            let lpl_height = LongestPath.layer(&dag, &wm).height();
+            let (_, exact) = min_width_layering(&dag, lpl_height, &wm).unwrap();
+            // Compare against every heuristic constrained to the same height
+            // (only LPL qualifies structurally; MinWidth may exceed the
+            // height, in which case its width bound doesn't apply).
+            let lpl_w = metrics::width(&dag, &LongestPath.layer(&dag, &wm), &wm);
+            assert!(exact <= lpl_w + 1e-9, "exact {exact} worse than LPL {lpl_w}");
+            let mw = MinWidth::new().layer(&dag, &wm);
+            if mw.height() <= lpl_height {
+                let mw_w = metrics::width(&dag, &mw, &wm);
+                assert!(exact <= mw_w + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn relaxing_height_never_increases_optimal_width() {
+        let mut rng = StdRng::seed_from_u64(97);
+        for _ in 0..10 {
+            let dag = generate::random_dag_with_edges(8, 11, &mut rng);
+            let wm = unit();
+            let h0 = LongestPath.layer(&dag, &wm).height();
+            let (_, w0) = min_width_layering(&dag, h0, &wm).unwrap();
+            let (_, w1) = min_width_layering(&dag, h0 + 2, &wm).unwrap();
+            assert!(w1 <= w0 + 1e-9, "more layers should never hurt: {w1} vs {w0}");
+        }
+    }
+
+    #[test]
+    fn zero_dummy_width_recovers_classic_problem() {
+        let dag = Dag::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 4)]).unwrap();
+        let wm = WidthModel::with_dummy_width(0.0);
+        let (l, w) = min_width_at_min_height(&dag, &wm).unwrap();
+        l.validate(&dag).unwrap();
+        assert_eq!(w, metrics::width_excluding_dummies(&l, &wm));
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential")]
+    fn large_inputs_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dag = generate::gnp_dag(30, 0.1, &mut rng);
+        let _ = min_width_layering(&dag, 10, &unit());
+    }
+}

@@ -1,0 +1,389 @@
+//! The [`Layering`] type: a layer assignment for the nodes of a DAG.
+//!
+//! Geometry convention (identical to the paper's §II): layers are indexed
+//! `1..=h`; for every edge `(u, v)` the source sits on a strictly *higher*
+//! layer than the target (`layer(u) > layer(v)`), i.e. all edges point
+//! downwards and **sinks live on layer 1**. The *span* of an edge is
+//! `layer(u) − layer(v) ≥ 1`; an edge of span `s` will be subdivided by
+//! `s − 1` dummy vertices when the layering is made proper.
+
+use antlayer_graph::{Dag, NodeId, NodeVec};
+use std::fmt;
+
+/// A layer assignment: each node of a DAG mapped to a 1-based layer index.
+///
+/// The type itself does not hold a reference to the graph; validity against a
+/// particular [`Dag`] is checked with [`Layering::validate`].
+#[derive(Clone, PartialEq, Eq)]
+pub struct Layering {
+    layer_of: NodeVec<u32>,
+}
+
+/// Ways a layer assignment can be inconsistent with a DAG.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LayeringError {
+    /// The assignment covers a different number of nodes than the graph.
+    WrongNodeCount {
+        /// Nodes in the layering.
+        layering: usize,
+        /// Nodes in the graph.
+        graph: usize,
+    },
+    /// A node was assigned the invalid layer 0 (layers are 1-based).
+    ZeroLayer(NodeId),
+    /// An edge points upwards or sideways: `layer(u) <= layer(v)`.
+    EdgeViolation {
+        /// Edge source.
+        u: NodeId,
+        /// Edge target.
+        v: NodeId,
+        /// Layer of the source.
+        layer_u: u32,
+        /// Layer of the target.
+        layer_v: u32,
+    },
+}
+
+impl fmt::Display for LayeringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayeringError::WrongNodeCount { layering, graph } => write!(
+                f,
+                "layering covers {layering} nodes but the graph has {graph}"
+            ),
+            LayeringError::ZeroLayer(v) => write!(f, "node {v} assigned to layer 0"),
+            LayeringError::EdgeViolation {
+                u,
+                v,
+                layer_u,
+                layer_v,
+            } => write!(
+                f,
+                "edge ({u}, {v}) violates layering: layer({u}) = {layer_u} must exceed layer({v}) = {layer_v}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LayeringError {}
+
+impl Layering {
+    /// Wraps a per-node layer table (1-based layers).
+    pub fn from_node_layers(layer_of: NodeVec<u32>) -> Self {
+        Layering { layer_of }
+    }
+
+    /// Builds a layering from a plain slice where `layers[i]` is the layer of
+    /// node `i`.
+    pub fn from_slice(layers: &[u32]) -> Self {
+        Layering {
+            layer_of: layers.iter().copied().collect(),
+        }
+    }
+
+    /// Places every one of `n` nodes on layer 1 (valid only for edge-free graphs).
+    pub fn flat(n: usize) -> Self {
+        Layering {
+            layer_of: NodeVec::filled(1, n),
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.layer_of.len()
+    }
+
+    /// Whether the layering covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.layer_of.is_empty()
+    }
+
+    /// Layer of node `v`.
+    #[inline]
+    pub fn layer(&self, v: NodeId) -> u32 {
+        self.layer_of[v]
+    }
+
+    /// Moves node `v` to `layer` (no validity checking; see [`validate`](Self::validate)).
+    #[inline]
+    pub fn set_layer(&mut self, v: NodeId, layer: u32) {
+        self.layer_of[v] = layer;
+    }
+
+    /// The highest layer index in use (0 for an empty layering).
+    pub fn max_layer(&self) -> u32 {
+        self.layer_of.values().copied().max().unwrap_or(0)
+    }
+
+    /// The lowest layer index in use (0 for an empty layering).
+    pub fn min_layer(&self) -> u32 {
+        self.layer_of.values().copied().min().unwrap_or(0)
+    }
+
+    /// Number of *distinct* layers that hold at least one real node.
+    ///
+    /// This is the paper's layering **height**. Equal to
+    /// [`max_layer`](Self::max_layer) once the layering is
+    /// [normalized](Self::normalize).
+    pub fn height(&self) -> u32 {
+        if self.is_empty() {
+            return 0;
+        }
+        let max = self.max_layer();
+        let mut used = vec![false; max as usize + 1];
+        for &l in self.layer_of.values() {
+            used[l as usize] = true;
+        }
+        used.iter().filter(|&&u| u).count() as u32
+    }
+
+    /// Span `layer(u) − layer(v)` of the edge `(u, v)`.
+    ///
+    /// Only meaningful for valid layerings (the subtraction is checked).
+    pub fn edge_span(&self, u: NodeId, v: NodeId) -> u32 {
+        let (lu, lv) = (self.layer(u), self.layer(v));
+        assert!(
+            lu > lv,
+            "edge ({u}, {v}) spans upwards: layer {lu} vs {lv}"
+        );
+        lu - lv
+    }
+
+    /// Checks this assignment against `dag`.
+    pub fn validate(&self, dag: &Dag) -> Result<(), LayeringError> {
+        if self.len() != dag.node_count() {
+            return Err(LayeringError::WrongNodeCount {
+                layering: self.len(),
+                graph: dag.node_count(),
+            });
+        }
+        for (v, &l) in self.layer_of.iter() {
+            if l == 0 {
+                return Err(LayeringError::ZeroLayer(v));
+            }
+        }
+        for (u, v) in dag.edges() {
+            if self.layer(u) <= self.layer(v) {
+                return Err(LayeringError::EdgeViolation {
+                    u,
+                    v,
+                    layer_u: self.layer(u),
+                    layer_v: self.layer(v),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes empty layers (including dummy-only gaps) and re-indexes so the
+    /// used layers become exactly `1..=height`. Returns `true` if anything
+    /// changed.
+    ///
+    /// This is the paper's final clean-up step: *"empty layers in the middle
+    /// are removed and the layer numbers assigned to vertices are updated"*.
+    /// Compacting interior gaps can only shrink edge spans towards 1, so a
+    /// valid layering stays valid.
+    pub fn normalize(&mut self) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let max = self.max_layer() as usize;
+        let mut used = vec![false; max + 1];
+        for &l in self.layer_of.values() {
+            used[l as usize] = true;
+        }
+        let mut remap = vec![0u32; max + 1];
+        let mut next = 0u32;
+        for l in 1..=max {
+            if used[l] {
+                next += 1;
+                remap[l] = next;
+            }
+        }
+        let mut changed = false;
+        for l in self.layer_of.values_mut() {
+            let nl = remap[*l as usize];
+            if nl != *l {
+                *l = nl;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Groups nodes by layer: entry `i` holds the nodes of layer `i + 1`,
+    /// each group sorted by node id.
+    pub fn layers(&self) -> Vec<Vec<NodeId>> {
+        let mut groups = vec![Vec::new(); self.max_layer() as usize];
+        for (v, &l) in self.layer_of.iter() {
+            groups[l as usize - 1].push(v);
+        }
+        groups
+    }
+
+    /// Iterates over `(node, layer)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, u32)> + '_ {
+        self.layer_of.iter().map(|(v, &l)| (v, l))
+    }
+
+    /// The underlying layer table.
+    pub fn as_node_vec(&self) -> &NodeVec<u32> {
+        &self.layer_of
+    }
+
+    /// Flips the layering upside down: layer `l` becomes `h − l + 1` where
+    /// `h` is the max layer. Converts between "sinks at layer 1" (this
+    /// library) and "sources at layer 1" (some of the literature).
+    pub fn flipped(&self) -> Layering {
+        let h = self.max_layer();
+        Layering {
+            layer_of: self.layer_of.values().map(|&l| h - l + 1).collect(),
+        }
+    }
+}
+
+impl fmt::Debug for Layering {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Layering {{ ")?;
+        for (i, group) in self.layers().iter().enumerate().rev() {
+            write!(f, "L{}: {:?} ", i + 1, group)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn chain3() -> Dag {
+        Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap()
+    }
+
+    #[test]
+    fn validate_accepts_good_layering() {
+        let dag = chain3();
+        let l = Layering::from_slice(&[3, 2, 1]);
+        assert!(l.validate(&dag).is_ok());
+        assert_eq!(l.edge_span(n(0), n(1)), 1);
+    }
+
+    #[test]
+    fn validate_rejects_upward_edge() {
+        let dag = chain3();
+        let l = Layering::from_slice(&[1, 2, 3]);
+        let err = l.validate(&dag).unwrap_err();
+        assert!(matches!(err, LayeringError::EdgeViolation { .. }));
+        assert!(err.to_string().contains("must exceed"));
+    }
+
+    #[test]
+    fn validate_rejects_equal_layers() {
+        let dag = chain3();
+        let l = Layering::from_slice(&[3, 3, 1]);
+        assert!(l.validate(&dag).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_layer() {
+        let dag = chain3();
+        let l = Layering::from_slice(&[2, 1, 0]);
+        assert!(matches!(
+            l.validate(&dag),
+            Err(LayeringError::ZeroLayer(v)) if v == n(2)
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_length() {
+        let dag = chain3();
+        let l = Layering::from_slice(&[2, 1]);
+        assert!(matches!(
+            l.validate(&dag),
+            Err(LayeringError::WrongNodeCount { .. })
+        ));
+    }
+
+    #[test]
+    fn height_counts_nonempty_layers() {
+        let l = Layering::from_slice(&[5, 5, 1]);
+        assert_eq!(l.max_layer(), 5);
+        assert_eq!(l.height(), 2);
+    }
+
+    #[test]
+    fn normalize_compacts_gaps() {
+        let mut l = Layering::from_slice(&[7, 4, 1]);
+        assert!(l.normalize());
+        assert_eq!(l.as_node_vec().as_slice(), &[3, 2, 1]);
+        assert_eq!(l.height(), 3);
+        assert_eq!(l.max_layer(), 3);
+        // Idempotent.
+        assert!(!l.normalize());
+    }
+
+    #[test]
+    fn normalize_shifts_offset_layerings() {
+        let mut l = Layering::from_slice(&[4, 3, 2]);
+        assert!(l.normalize());
+        assert_eq!(l.as_node_vec().as_slice(), &[3, 2, 1]);
+    }
+
+    #[test]
+    fn normalize_preserves_validity() {
+        let dag = chain3();
+        let mut l = Layering::from_slice(&[9, 4, 2]);
+        l.validate(&dag).unwrap();
+        l.normalize();
+        l.validate(&dag).unwrap();
+        assert_eq!(l.as_node_vec().as_slice(), &[3, 2, 1]);
+    }
+
+    #[test]
+    fn layers_groups_by_index() {
+        let l = Layering::from_slice(&[2, 1, 2]);
+        let groups = l.layers();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], vec![n(1)]);
+        assert_eq!(groups[1], vec![n(0), n(2)]);
+    }
+
+    #[test]
+    fn flipped_reverses_order() {
+        let dag = chain3();
+        let l = Layering::from_slice(&[3, 2, 1]);
+        let f = l.flipped();
+        assert_eq!(f.as_node_vec().as_slice(), &[1, 2, 3]);
+        // Flipping twice restores the original.
+        assert_eq!(f.flipped(), l);
+        // The flipped layering is valid for the reversed DAG.
+        let rev = Dag::new(dag.graph().reversed()).unwrap();
+        f.validate(&rev).unwrap();
+    }
+
+    #[test]
+    fn flat_layering_for_edgeless_graph() {
+        let dag = Dag::from_edges(3, &[]).unwrap();
+        let l = Layering::flat(3);
+        l.validate(&dag).unwrap();
+        assert_eq!(l.height(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "spans upwards")]
+    fn edge_span_panics_on_inverted_edge() {
+        let l = Layering::from_slice(&[1, 2]);
+        l.edge_span(n(0), n(1));
+    }
+
+    #[test]
+    fn debug_output_mentions_layers() {
+        let l = Layering::from_slice(&[2, 1]);
+        let s = format!("{l:?}");
+        assert!(s.contains("L2") && s.contains("L1"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Longest-Path Layering (Algorithm 1 of the paper).
+//!
+//! Sinks are placed on layer 1 and every other vertex `v` on layer `p + 1`
+//! where `p` is the longest path (in edges) from `v` to a sink. The result
+//! has the minimum possible height but tends to be wide — the trade-off the
+//! ACO algorithm is designed to escape.
+
+use crate::{Layering, LayeringAlgorithm, WidthModel};
+use antlayer_graph::{longest_path_to_sink, Dag, NodeVec};
+
+/// The Longest-Path Layering algorithm.
+///
+/// Runs in `O(V + E)` using the DAG's cached topological order. The height
+/// of the result equals `critical path length + 1`, which is minimum over
+/// all layerings.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct LongestPath;
+
+impl LayeringAlgorithm for LongestPath {
+    fn name(&self) -> &str {
+        "LPL"
+    }
+
+    fn layer(&self, dag: &Dag, _widths: &WidthModel) -> Layering {
+        let dist = longest_path_to_sink(dag, dag.topo_order());
+        let mut layers = NodeVec::filled(1u32, dag.node_count());
+        for (v, &d) in dist.iter() {
+            layers[v] = d + 1;
+        }
+        Layering::from_node_layers(layers)
+    }
+}
+
+/// Literal transcription of the paper's Algorithm 1 (set-based formulation).
+///
+/// Kept alongside the `O(V + E)` implementation as executable documentation;
+/// the two are proven equivalent by tests. `U` is the set of placed
+/// vertices, `Z` the set of vertices on layers strictly below the current
+/// one.
+pub fn longest_path_setwise(dag: &Dag) -> Layering {
+    let n = dag.node_count();
+    let mut layering = Layering::flat(n);
+    let mut in_u = vec![false; n]; // U: assigned vertices
+    let mut in_z = vec![false; n]; // Z: vertices below the current layer
+    let mut assigned = 0usize;
+    let mut current_layer = 1u32;
+    while assigned < n {
+        // Select any vertex v ∈ V \ U with N+(v) ⊆ Z.
+        let pick = dag.nodes().find(|&v| {
+            !in_u[v.index()]
+                && dag
+                    .out_neighbors(v)
+                    .iter()
+                    .all(|w| in_z[w.index()])
+        });
+        match pick {
+            Some(v) => {
+                layering.set_layer(v, current_layer);
+                in_u[v.index()] = true;
+                assigned += 1;
+            }
+            None => {
+                current_layer += 1;
+                for v in dag.nodes() {
+                    if in_u[v.index()] {
+                        in_z[v.index()] = true;
+                    }
+                }
+            }
+        }
+    }
+    layering
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use antlayer_graph::{generate, NodeId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn chain_gets_one_node_per_layer() {
+        let dag = Dag::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let l = LongestPath.layer(&dag, &WidthModel::unit());
+        l.validate(&dag).unwrap();
+        assert_eq!(l.as_node_vec().as_slice(), &[4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn sinks_on_layer_one() {
+        let dag = Dag::from_edges(5, &[(0, 2), (1, 2), (2, 3), (2, 4)]).unwrap();
+        let l = LongestPath.layer(&dag, &WidthModel::unit());
+        assert_eq!(l.layer(n(3)), 1);
+        assert_eq!(l.layer(n(4)), 1);
+        assert_eq!(l.layer(n(2)), 2);
+        assert_eq!(l.layer(n(0)), 3);
+    }
+
+    #[test]
+    fn isolated_vertices_fall_to_layer_one() {
+        let dag = Dag::from_edges(3, &[(0, 1)]).unwrap();
+        let l = LongestPath.layer(&dag, &WidthModel::unit());
+        assert_eq!(l.layer(n(2)), 1);
+    }
+
+    #[test]
+    fn height_is_critical_path_plus_one() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let dag = generate::gnp_dag(30, 0.1, &mut rng);
+            let l = LongestPath.layer(&dag, &WidthModel::unit());
+            l.validate(&dag).unwrap();
+            let cp = antlayer_graph::critical_path_length(&dag, dag.topo_order());
+            assert_eq!(l.height(), cp + 1);
+        }
+    }
+
+    #[test]
+    fn lpl_height_is_minimal() {
+        // No valid layering can use fewer layers than LPL: every layering
+        // must spread a longest path over distinct layers.
+        let mut rng = StdRng::seed_from_u64(7);
+        let dag = generate::gnp_dag(25, 0.15, &mut rng);
+        let lpl_height = LongestPath.layer(&dag, &WidthModel::unit()).height();
+        let cp = antlayer_graph::critical_path_length(&dag, dag.topo_order());
+        assert_eq!(lpl_height, cp + 1);
+    }
+
+    #[test]
+    fn setwise_transcription_matches_fast_implementation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let dag = generate::gnp_dag(20, 0.2, &mut rng);
+            let fast = LongestPath.layer(&dag, &WidthModel::unit());
+            let slow = longest_path_setwise(&dag);
+            slow.validate(&dag).unwrap();
+            assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn lpl_is_already_normalized() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dag = generate::layered_dag(40, 8, 0.1, 2, &mut rng);
+        let mut l = LongestPath.layer(&dag, &WidthModel::unit());
+        assert!(!l.normalize(), "LPL output must not contain empty layers");
+    }
+
+    #[test]
+    fn lpl_tends_wide_on_stars() {
+        // A source fanning to many sinks: LPL puts all sinks on layer 1.
+        let edges: Vec<(u32, u32)> = (1..=8).map(|i| (0, i)).collect();
+        let dag = Dag::from_edges(9, &edges).unwrap();
+        let l = LongestPath.layer(&dag, &WidthModel::unit());
+        let m = metrics::LayeringMetrics::compute(&dag, &l, &WidthModel::unit());
+        assert_eq!(m.height, 2);
+        assert_eq!(m.width, 8.0);
+    }
+}

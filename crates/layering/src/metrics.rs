@@ -1,0 +1,252 @@
+//! Layering quality metrics — the five criteria of the paper's evaluation.
+//!
+//! All metrics follow §II of the paper (and Nikolov–Tarassov–Branke):
+//!
+//! * **height** — number of layers used;
+//! * **width** — max over layers of the summed widths of the layer's real
+//!   vertices *plus* `nd_width` per dummy vertex; also available with the
+//!   dummy contribution excluded (the "classic" width);
+//! * **dummy vertex count (DVC)** — `Σ (span(e) − 1)`;
+//! * **edge density** — max over adjacent-level gaps of the number of edges
+//!   crossing the gap;
+//! * the ACO objective `f = 1 / (height + width)`.
+
+use crate::{Layering, WidthModel};
+use antlayer_graph::Dag;
+
+/// Number of dummy vertices the layering induces: `Σ_e (span(e) − 1)`.
+pub fn dummy_count(dag: &Dag, layering: &Layering) -> u64 {
+    dag.edges()
+        .map(|(u, v)| (layering.edge_span(u, v) - 1) as u64)
+        .sum()
+}
+
+/// Dummy vertices per layer; entry `i` is the count on layer `i + 1`.
+///
+/// An edge `(u, v)` contributes one dummy to every layer strictly between
+/// its endpoints. Computed with a difference array in `O(V + E + H)`.
+pub fn dummies_per_layer(dag: &Dag, layering: &Layering) -> Vec<u64> {
+    let h = layering.max_layer() as usize;
+    if h == 0 {
+        return Vec::new();
+    }
+    let mut diff = vec![0i64; h + 2];
+    for (u, v) in dag.edges() {
+        let (lu, lv) = (layering.layer(u) as usize, layering.layer(v) as usize);
+        // dummies on layers lv+1 ..= lu-1
+        if lu > lv + 1 {
+            diff[lv + 1] += 1;
+            diff[lu] -= 1;
+        }
+    }
+    let mut out = vec![0u64; h];
+    let mut acc = 0i64;
+    for l in 1..=h {
+        acc += diff[l];
+        debug_assert!(acc >= 0);
+        out[l - 1] = acc as u64;
+    }
+    out
+}
+
+/// Width of every layer *including* the dummy contribution; entry `i` is
+/// layer `i + 1`.
+pub fn layer_widths(dag: &Dag, layering: &Layering, widths: &WidthModel) -> Vec<f64> {
+    let h = layering.max_layer() as usize;
+    let mut out = vec![0.0f64; h];
+    for (v, l) in layering.iter() {
+        out[l as usize - 1] += widths.node_width(v);
+    }
+    for (i, d) in dummies_per_layer(dag, layering).iter().enumerate() {
+        out[i] += widths.dummy_width * *d as f64;
+    }
+    out
+}
+
+/// Layering width including dummy vertices: `max_l W(l)`.
+pub fn width(dag: &Dag, layering: &Layering, widths: &WidthModel) -> f64 {
+    layer_widths(dag, layering, widths)
+        .into_iter()
+        .fold(0.0, f64::max)
+}
+
+/// Layering width counting only real vertices (the "classic" definition the
+/// paper contrasts against).
+pub fn width_excluding_dummies(layering: &Layering, widths: &WidthModel) -> f64 {
+    let h = layering.max_layer() as usize;
+    let mut out = vec![0.0f64; h];
+    for (v, l) in layering.iter() {
+        out[l as usize - 1] += widths.node_width(v);
+    }
+    out.into_iter().fold(0.0, f64::max)
+}
+
+/// Number of edges crossing each gap between adjacent levels; entry `i` is
+/// the gap between layers `i + 1` and `i + 2`.
+pub fn edges_per_gap(dag: &Dag, layering: &Layering) -> Vec<u64> {
+    let h = layering.max_layer() as usize;
+    if h <= 1 {
+        return vec![0; h.saturating_sub(1)];
+    }
+    let mut diff = vec![0i64; h + 1];
+    for (u, v) in dag.edges() {
+        let (lu, lv) = (layering.layer(u) as usize, layering.layer(v) as usize);
+        // Edge crosses gaps lv .. lu-1 (gap i separates layer i and i+1).
+        diff[lv] += 1;
+        diff[lu] -= 1;
+    }
+    let mut out = vec![0u64; h - 1];
+    let mut acc = 0i64;
+    for gap in 1..h {
+        acc += diff[gap];
+        debug_assert!(acc >= 0);
+        out[gap - 1] = acc as u64;
+    }
+    out
+}
+
+/// Edge density of the layering: the maximum number of edges crossing any
+/// gap between adjacent levels (§II of the paper).
+pub fn edge_density(dag: &Dag, layering: &Layering) -> u64 {
+    edges_per_gap(dag, layering).into_iter().max().unwrap_or(0)
+}
+
+/// The paper's ACO objective `f = 1 / (height + width)`; larger is better.
+pub fn aco_objective(dag: &Dag, layering: &Layering, widths: &WidthModel) -> f64 {
+    let h = layering.height() as f64;
+    let w = width(dag, layering, widths);
+    1.0 / (h + w).max(f64::MIN_POSITIVE)
+}
+
+/// All metrics of one layering, as reported in the paper's figures.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LayeringMetrics {
+    /// Number of non-empty layers.
+    pub height: u32,
+    /// Max layer width including dummy vertices.
+    pub width: f64,
+    /// Max layer width counting real vertices only.
+    pub width_excl_dummies: f64,
+    /// Total number of dummy vertices.
+    pub dummy_count: u64,
+    /// Max edges crossing a gap between adjacent layers.
+    pub edge_density: u64,
+    /// `1 / (height + width)`.
+    pub objective: f64,
+}
+
+impl LayeringMetrics {
+    /// Computes every metric for `layering` on `dag`.
+    pub fn compute(dag: &Dag, layering: &Layering, widths: &WidthModel) -> Self {
+        let w = width(dag, layering, widths);
+        let h = layering.height();
+        LayeringMetrics {
+            height: h,
+            width: w,
+            width_excl_dummies: width_excluding_dummies(layering, widths),
+            dummy_count: dummy_count(dag, layering),
+            edge_density: edge_density(dag, layering),
+            objective: 1.0 / (h as f64 + w).max(f64::MIN_POSITIVE),
+        }
+    }
+
+    /// Drawing-area estimate `height × width`.
+    pub fn area(&self) -> f64 {
+        self.height as f64 * self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antlayer_graph::Dag;
+
+    /// Chain 0→1→2 layered [3,2,1] plus a long edge 0→2 of span 2.
+    fn chain_with_shortcut() -> (Dag, Layering) {
+        let dag = Dag::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let l = Layering::from_slice(&[3, 2, 1]);
+        l.validate(&dag).unwrap();
+        (dag, l)
+    }
+
+    #[test]
+    fn dummy_count_counts_span_minus_one() {
+        let (dag, l) = chain_with_shortcut();
+        assert_eq!(dummy_count(&dag, &l), 1); // only 0→2 has span 2
+    }
+
+    #[test]
+    fn dummies_per_layer_places_dummy_on_middle_layer() {
+        let (dag, l) = chain_with_shortcut();
+        assert_eq!(dummies_per_layer(&dag, &l), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn layer_widths_include_dummies() {
+        let (dag, l) = chain_with_shortcut();
+        let w = layer_widths(&dag, &l, &WidthModel::unit());
+        // L1: node 2 → 1.0; L2: node 1 + dummy → 2.0; L3: node 0 → 1.0.
+        assert_eq!(w, vec![1.0, 2.0, 1.0]);
+        assert_eq!(width(&dag, &l, &WidthModel::unit()), 2.0);
+        assert_eq!(width_excluding_dummies(&l, &WidthModel::unit()), 1.0);
+    }
+
+    #[test]
+    fn dummy_width_scales_contribution() {
+        let (dag, l) = chain_with_shortcut();
+        let w = width(&dag, &l, &WidthModel::with_dummy_width(0.1));
+        assert!((w - 1.1).abs() < 1e-12);
+        // With zero-width dummies both widths agree.
+        let m = WidthModel::with_dummy_width(0.0);
+        assert_eq!(width(&dag, &l, &m), width_excluding_dummies(&l, &m));
+    }
+
+    #[test]
+    fn edge_density_counts_crossing_edges() {
+        let (dag, l) = chain_with_shortcut();
+        // Gap L1/L2: edges 1→2 and 0→2 cross → 2. Gap L2/L3: 0→1 and 0→2 → 2.
+        assert_eq!(edges_per_gap(&dag, &l), vec![2, 2]);
+        assert_eq!(edge_density(&dag, &l), 2);
+    }
+
+    #[test]
+    fn edge_density_of_flat_layering_is_zero() {
+        let dag = Dag::from_edges(2, &[]).unwrap();
+        let l = Layering::flat(2);
+        assert_eq!(edge_density(&dag, &l), 0);
+        assert_eq!(edges_per_gap(&dag, &l), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn objective_prefers_compact_layerings() {
+        let dag = Dag::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let wide = Layering::from_slice(&[2, 1, 1, 1]); // h=2, w=3 → 1/5
+        let tall = Layering::from_slice(&[4, 3, 2, 1]); // h=4, w up to dummies
+        let m = WidthModel::unit();
+        assert!(aco_objective(&dag, &wide, &m) > aco_objective(&dag, &tall, &m));
+    }
+
+    #[test]
+    fn metrics_struct_is_consistent() {
+        let (dag, l) = chain_with_shortcut();
+        let m = LayeringMetrics::compute(&dag, &l, &WidthModel::unit());
+        assert_eq!(m.height, 3);
+        assert_eq!(m.width, 2.0);
+        assert_eq!(m.width_excl_dummies, 1.0);
+        assert_eq!(m.dummy_count, 1);
+        assert_eq!(m.edge_density, 2);
+        assert!((m.objective - 1.0 / 5.0).abs() < 1e-12);
+        assert_eq!(m.area(), 6.0);
+    }
+
+    #[test]
+    fn height_uses_nonempty_layers_only() {
+        // Un-normalized layering with a gap: height skips the empty layer.
+        let dag = Dag::from_edges(2, &[(0, 1)]).unwrap();
+        let l = Layering::from_slice(&[5, 1]);
+        let m = LayeringMetrics::compute(&dag, &l, &WidthModel::unit());
+        assert_eq!(m.height, 2);
+        // But the 3 interior empty layers still hold dummies.
+        assert_eq!(m.dummy_count, 3);
+    }
+}

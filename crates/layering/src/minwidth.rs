@@ -1,0 +1,249 @@
+//! The MinWidth heuristic (Algorithm 2 of the paper; Nikolov–Tarassov–Branke,
+//! ACM JEA 2005).
+//!
+//! MinWidth is a longest-path-style list scheduler that tracks an estimate of
+//! the width of the layer under construction — *including potential dummy
+//! vertices* — and starts a new layer when the estimate exceeds an upper
+//! bound `UBW`. It targets narrow layerings at the cost of extra height, the
+//! opposite corner of the trade-off from [`LongestPath`](crate::LongestPath).
+//!
+//! Two running estimates are maintained (§III of the paper):
+//!
+//! * `widthCurrent` — real width of the current layer plus one dummy per edge
+//!   from an unplaced vertex into the layers below (`Z`);
+//! * `widthUp` — one dummy per edge from an unplaced vertex into the current
+//!   layer: an estimate of the width of any layer above.
+//!
+//! The conditions are parameterised exactly as in the original heuristic:
+//! `ConditionSelect` picks the candidate with the maximum out-degree (the
+//! choice that shrinks `widthCurrent` the most), and `ConditionGoUp` is
+//! `(widthCurrent ≥ UBW ∧ d⁺(v) < 1) ∨ widthUp ≥ c·UBW` where `v` is the
+//! vertex just placed. The defaults `UBW = 4`, `c = 2` follow the
+//! best-performing configuration reported by the original authors (an
+//! inference documented in DESIGN.md §4).
+
+use crate::{Layering, LayeringAlgorithm, WidthModel};
+use antlayer_graph::Dag;
+
+/// The MinWidth layering heuristic.
+#[derive(Clone, Copy, Debug)]
+pub struct MinWidth {
+    /// Upper bound on the estimated layer width (`UBW`).
+    pub ubw: f64,
+    /// Multiplier for the `widthUp ≥ c·UBW` go-up condition.
+    pub c: f64,
+}
+
+impl MinWidth {
+    /// The configuration used in our experiments (`UBW = 4`, `c = 2`).
+    pub fn new() -> Self {
+        MinWidth { ubw: 4.0, c: 2.0 }
+    }
+
+    /// Custom bounds.
+    pub fn with_bounds(ubw: f64, c: f64) -> Self {
+        assert!(ubw > 0.0 && c > 0.0, "MinWidth bounds must be positive");
+        MinWidth { ubw, c }
+    }
+}
+
+impl Default for MinWidth {
+    fn default() -> Self {
+        MinWidth::new()
+    }
+}
+
+impl LayeringAlgorithm for MinWidth {
+    fn name(&self) -> &str {
+        "MinWidth"
+    }
+
+    fn layer(&self, dag: &Dag, widths: &WidthModel) -> Layering {
+        let n = dag.node_count();
+        let wd = widths.dummy_width;
+        let mut layering = Layering::flat(n);
+        let mut in_u = vec![false; n]; // U: assigned vertices
+        let mut in_z = vec![false; n]; // Z: vertices strictly below the current layer
+        let mut assigned = 0usize;
+        let mut current_layer = 1u32;
+        let mut width_current = 0.0f64;
+        let mut width_up = 0.0f64;
+
+        while assigned < n {
+            // Select v ∈ V\U with N⁺(v) ⊆ Z maximizing out-degree
+            // (ConditionSelect).
+            let mut pick: Option<(antlayer_graph::NodeId, usize)> = None;
+            for v in dag.nodes() {
+                if in_u[v.index()] {
+                    continue;
+                }
+                if !dag.out_neighbors(v).iter().all(|w| in_z[w.index()]) {
+                    continue;
+                }
+                let d_out = dag.out_degree(v);
+                if pick.is_none_or(|(_, best)| d_out > best) {
+                    pick = Some((v, d_out));
+                }
+            }
+
+            let mut go_up = pick.is_none();
+            if let Some((v, d_out)) = pick {
+                layering.set_layer(v, current_layer);
+                in_u[v.index()] = true;
+                assigned += 1;
+                // Placing v turns its d⁺(v) potential dummies into a real
+                // vertex of width w(v)…
+                width_current -= wd * d_out as f64;
+                width_current += widths.node_width(v);
+                // …and its in-edges become potential dummies for the layers
+                // above (update of widthUp).
+                width_up += wd * dag.in_degree(v) as f64;
+
+                // ConditionGoUp.
+                go_up = (width_current >= self.ubw && d_out < 1)
+                    || width_up >= self.c * self.ubw;
+            }
+
+            if go_up && assigned < n {
+                current_layer += 1;
+                for v in dag.nodes() {
+                    if in_u[v.index()] {
+                        in_z[v.index()] = true;
+                    }
+                }
+                // The paper's literal update: the estimate for the fresh
+                // (empty) layer is widthUp; widthUp restarts at zero.
+                width_current = width_up;
+                width_up = 0.0;
+            }
+        }
+        layering.normalize();
+        layering
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{metrics, LongestPath};
+    use antlayer_graph::{generate, NodeId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn unit() -> WidthModel {
+        WidthModel::unit()
+    }
+
+    #[test]
+    fn chain_is_layered_like_lpl() {
+        let dag = Dag::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let l = MinWidth::new().layer(&dag, &unit());
+        l.validate(&dag).unwrap();
+        assert_eq!(l.as_node_vec().as_slice(), &[4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn produces_valid_normalized_layerings() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..25 {
+            let dag = generate::gnp_dag(10 + i, 0.12, &mut rng);
+            let mut l = MinWidth::new().layer(&dag, &unit());
+            l.validate(&dag).unwrap();
+            assert!(!l.normalize(), "output must be normalized");
+        }
+    }
+
+    #[test]
+    fn narrower_but_taller_than_lpl_on_wide_dags() {
+        // Statistical comparison over a batch of sparse random DAGs: the
+        // defining behaviour of MinWidth vs LPL.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut mw_width = 0.0;
+        let mut lpl_width = 0.0;
+        let mut mw_height = 0u32;
+        let mut lpl_height = 0u32;
+        for _ in 0..30 {
+            let dag = generate::random_dag_with_edges(60, 80, &mut rng);
+            let mw = MinWidth::new().layer(&dag, &unit());
+            let lp = LongestPath.layer(&dag, &unit());
+            mw_width += metrics::width(&dag, &mw, &unit());
+            lpl_width += metrics::width(&dag, &lp, &unit());
+            mw_height += mw.height();
+            lpl_height += lp.height();
+        }
+        assert!(
+            mw_width < lpl_width,
+            "MinWidth should be narrower: {mw_width} vs {lpl_width}"
+        );
+        assert!(
+            mw_height > lpl_height,
+            "MinWidth should be taller: {mw_height} vs {lpl_height}"
+        );
+    }
+
+    #[test]
+    fn max_outdegree_candidate_is_preferred() {
+        // Both 0 and 1 are sinks... build: 2->0, 2->1, 3->0, 3->1, 3->4:
+        // among initial candidates (sinks 0, 1, 4) all have out-degree 0;
+        // once they are in Z, node 3 (out-degree 3) must be picked before
+        // node 2 (out-degree 2) — observable via layer assignment order
+        // only when the layer fills; here we just check validity and that
+        // the two interior nodes land above the sinks.
+        let dag = Dag::from_edges(5, &[(2, 0), (2, 1), (3, 0), (3, 1), (3, 4)]).unwrap();
+        let l = MinWidth::new().layer(&dag, &unit());
+        l.validate(&dag).unwrap();
+        assert!(l.layer(NodeId::new(3)) > l.layer(NodeId::new(0)));
+        assert!(l.layer(NodeId::new(2)) > l.layer(NodeId::new(1)));
+    }
+
+    #[test]
+    fn tight_ubw_forces_tall_layerings() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let dag = generate::random_dag_with_edges(40, 50, &mut rng);
+        let tight = MinWidth::with_bounds(1.0, 1.0).layer(&dag, &unit());
+        let loose = MinWidth::with_bounds(1000.0, 1000.0).layer(&dag, &unit());
+        tight.validate(&dag).unwrap();
+        loose.validate(&dag).unwrap();
+        assert!(tight.height() >= loose.height());
+    }
+
+    #[test]
+    fn loose_ubw_degenerates_to_lpl_like_height() {
+        // With an unreachable bound, MinWidth never goes up early, so it
+        // fills layers greedily like LPL and matches its minimal height.
+        let mut rng = StdRng::seed_from_u64(23);
+        let dag = generate::gnp_dag(30, 0.15, &mut rng);
+        let loose = MinWidth::with_bounds(1e9, 1e9).layer(&dag, &unit());
+        let lpl = LongestPath.layer(&dag, &unit());
+        assert_eq!(loose.height(), lpl.height());
+    }
+
+    #[test]
+    fn respects_dummy_width_parameter() {
+        // With nd_width = 0 potential dummies are free, so the go-up
+        // trigger fires later and the layering is at most as tall.
+        let mut rng = StdRng::seed_from_u64(31);
+        let dag = generate::random_dag_with_edges(50, 75, &mut rng);
+        let free = MinWidth::new().layer(&dag, &WidthModel::with_dummy_width(0.0));
+        let heavy = MinWidth::new().layer(&dag, &WidthModel::with_dummy_width(2.0));
+        free.validate(&dag).unwrap();
+        heavy.validate(&dag).unwrap();
+        assert!(free.height() <= heavy.height());
+    }
+
+    #[test]
+    fn handles_empty_and_trivial_graphs() {
+        let dag = Dag::from_edges(0, &[]).unwrap();
+        let l = MinWidth::new().layer(&dag, &unit());
+        assert!(l.is_empty());
+        let dag = Dag::from_edges(1, &[]).unwrap();
+        let l = MinWidth::new().layer(&dag, &unit());
+        assert_eq!(l.layer(NodeId::new(0)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_bounds() {
+        MinWidth::with_bounds(0.0, 1.0);
+    }
+}

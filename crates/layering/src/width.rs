@@ -1,0 +1,115 @@
+//! Vertex- and dummy-width models.
+//!
+//! Following Nikolov–Tarassov–Branke (and §II of the paper), the width of a
+//! vertex is the width of its enclosing rectangle; when nothing is known the
+//! width is one unit. Dummy vertices (the points where a long edge crosses a
+//! layer) get their own width `nd_width`, the central knob of the paper: set
+//! it to 0 to recover the "classic" width that ignores dummies, to 1 to treat
+//! edges as heavy as vertices, or anywhere in between for realistic drawings.
+
+use antlayer_graph::{NodeId, NodeVec};
+
+/// Widths of real vertices plus the width of a dummy vertex.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WidthModel {
+    /// Per-vertex widths; `None` means every vertex has width 1.
+    node_widths: Option<NodeVec<f64>>,
+    /// Width `nd_width` of a dummy vertex (the paper sweeps 0.1–1.2; its
+    /// production value is 1.0).
+    pub dummy_width: f64,
+}
+
+impl WidthModel {
+    /// Unit widths for vertices and dummies (the paper's production setup).
+    pub fn unit() -> Self {
+        WidthModel {
+            node_widths: None,
+            dummy_width: 1.0,
+        }
+    }
+
+    /// Unit vertex widths with a custom dummy width.
+    pub fn with_dummy_width(dummy_width: f64) -> Self {
+        assert!(
+            dummy_width >= 0.0 && dummy_width.is_finite(),
+            "dummy width must be a finite non-negative number"
+        );
+        WidthModel {
+            node_widths: None,
+            dummy_width,
+        }
+    }
+
+    /// Explicit per-vertex widths (e.g. measured from text labels).
+    pub fn with_node_widths(node_widths: NodeVec<f64>, dummy_width: f64) -> Self {
+        assert!(
+            node_widths.values().all(|w| *w >= 0.0 && w.is_finite()),
+            "vertex widths must be finite and non-negative"
+        );
+        assert!(dummy_width >= 0.0 && dummy_width.is_finite());
+        WidthModel {
+            node_widths: Some(node_widths),
+            dummy_width,
+        }
+    }
+
+    /// Width of vertex `v`.
+    #[inline]
+    pub fn node_width(&self, v: NodeId) -> f64 {
+        match &self.node_widths {
+            Some(w) => w[v],
+            None => 1.0,
+        }
+    }
+
+    /// Whether all vertices have unit width.
+    pub fn is_uniform(&self) -> bool {
+        self.node_widths.is_none()
+    }
+}
+
+impl Default for WidthModel {
+    fn default() -> Self {
+        WidthModel::unit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_model() {
+        let m = WidthModel::unit();
+        assert_eq!(m.node_width(NodeId::new(3)), 1.0);
+        assert_eq!(m.dummy_width, 1.0);
+        assert!(m.is_uniform());
+    }
+
+    #[test]
+    fn custom_dummy_width() {
+        let m = WidthModel::with_dummy_width(0.3);
+        assert_eq!(m.dummy_width, 0.3);
+        assert_eq!(m.node_width(NodeId::new(0)), 1.0);
+    }
+
+    #[test]
+    fn per_node_widths() {
+        let widths = NodeVec::from_fn(3, |v| 1.0 + v.index() as f64);
+        let m = WidthModel::with_node_widths(widths, 0.5);
+        assert_eq!(m.node_width(NodeId::new(2)), 3.0);
+        assert!(!m.is_uniform());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_dummy_width() {
+        WidthModel::with_dummy_width(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_node_width() {
+        WidthModel::with_node_widths(NodeVec::filled(-1.0, 2), 1.0);
+    }
+}

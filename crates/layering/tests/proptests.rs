@@ -1,0 +1,164 @@
+//! Property-based tests for the layering domain.
+
+use antlayer_graph::{generate, Dag};
+use antlayer_layering::{
+    metrics, CoffmanGraham, Layering, LayeringAlgorithm, LayeringMetrics, LongestPath, MinWidth,
+    NetworkSimplex, Promote, ProperLayering, Refined, WidthModel,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_dag() -> impl Strategy<Value = Dag> {
+    (1usize..50, 0u64..1_000_000, 0u8..3).prop_map(|(n, seed, kind)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match kind {
+            0 => generate::gnp_dag(n, 0.15, &mut rng),
+            1 => generate::random_dag_with_edges(n, n * 3 / 2, &mut rng),
+            _ => generate::random_tree(n, &mut rng),
+        }
+    })
+}
+
+fn algorithms() -> Vec<Box<dyn LayeringAlgorithm>> {
+    vec![
+        Box::new(LongestPath),
+        Box::new(MinWidth::new()),
+        Box::new(CoffmanGraham::new(3)),
+        Box::new(Refined::new(LongestPath, Promote::new())),
+        Box::new(Refined::new(MinWidth::new(), Promote::new())),
+        Box::new(NetworkSimplex),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_algorithm_produces_valid_normalized_layerings(dag in arb_dag()) {
+        let w = WidthModel::unit();
+        for algo in algorithms() {
+            let mut l = algo.layer(&dag, &w);
+            prop_assert!(l.validate(&dag).is_ok(), "{} invalid", algo.name());
+            prop_assert!(!l.normalize(), "{} not normalized", algo.name());
+        }
+    }
+
+    #[test]
+    fn lpl_has_minimum_height(dag in arb_dag()) {
+        let w = WidthModel::unit();
+        let lpl_height = LongestPath.layer(&dag, &w).height();
+        for algo in algorithms() {
+            let h = algo.layer(&dag, &w).height();
+            prop_assert!(h >= lpl_height, "{} beat LPL height", algo.name());
+        }
+    }
+
+    #[test]
+    fn promote_never_increases_dummies(dag in arb_dag()) {
+        let w = WidthModel::unit();
+        for base in [&LongestPath as &dyn LayeringAlgorithm, &MinWidth::new()] {
+            let plain = base.layer(&dag, &w);
+            let mut promoted = plain.clone();
+            Promote::new().refine(&dag, &mut promoted, &w);
+            use antlayer_layering::LayeringRefinement;
+            prop_assert!(
+                metrics::dummy_count(&dag, &promoted) <= metrics::dummy_count(&dag, &plain)
+            );
+        }
+    }
+
+    #[test]
+    fn proper_layering_roundtrip(dag in arb_dag()) {
+        let w = WidthModel::unit();
+        let l = LongestPath.layer(&dag, &w);
+        let p = ProperLayering::build(&dag, &l);
+        prop_assert!(p.is_proper());
+        prop_assert_eq!(p.dummy_count() as u64, metrics::dummy_count(&dag, &l));
+        // Chains reconstruct the original edges.
+        prop_assert_eq!(p.chains.len(), dag.edge_count());
+        for (chain, (u, v)) in p.chains.iter().zip(dag.edges()) {
+            prop_assert_eq!(chain[0], u);
+            prop_assert_eq!(*chain.last().unwrap(), v);
+            prop_assert_eq!(chain.len() as u32, l.edge_span(u, v) + 1);
+        }
+    }
+
+    #[test]
+    fn metrics_respect_basic_bounds(dag in arb_dag()) {
+        let w = WidthModel::unit();
+        for algo in algorithms() {
+            let l = algo.layer(&dag, &w);
+            let m = LayeringMetrics::compute(&dag, &l, &w);
+            prop_assert!(m.height >= 1);
+            prop_assert!(m.height as usize <= dag.node_count());
+            prop_assert!(m.width >= m.width_excl_dummies);
+            prop_assert!(m.width_excl_dummies >= 1.0);
+            prop_assert!(m.edge_density as usize <= dag.edge_count());
+            prop_assert!(m.objective > 0.0 && m.objective <= 0.5);
+        }
+    }
+
+    #[test]
+    fn dummies_per_layer_sums_to_dummy_count(dag in arb_dag()) {
+        let l = MinWidth::new().layer(&dag, &WidthModel::unit());
+        let per_layer: u64 = metrics::dummies_per_layer(&dag, &l).iter().sum();
+        prop_assert_eq!(per_layer, metrics::dummy_count(&dag, &l));
+    }
+
+    #[test]
+    fn width_with_zero_dummy_width_equals_excl(dag in arb_dag()) {
+        let w = WidthModel::with_dummy_width(0.0);
+        let l = LongestPath.layer(&dag, &w);
+        prop_assert_eq!(
+            metrics::width(&dag, &l, &w),
+            metrics::width_excluding_dummies(&l, &w)
+        );
+    }
+
+    #[test]
+    fn normalize_preserves_validity_and_monotone_metrics(dag in arb_dag(), shift in 1u32..4) {
+        // Stretch a valid layering apart, then normalize: dummies may only shrink.
+        let w = WidthModel::unit();
+        let base = LongestPath.layer(&dag, &w);
+        let stretched = Layering::from_slice(
+            &dag.nodes().map(|v| base.layer(v) * (shift + 1)).collect::<Vec<_>>()
+        );
+        prop_assert!(stretched.validate(&dag).is_ok());
+        let before = metrics::dummy_count(&dag, &stretched);
+        let mut norm = stretched.clone();
+        norm.normalize();
+        prop_assert!(norm.validate(&dag).is_ok());
+        prop_assert!(metrics::dummy_count(&dag, &norm) <= before);
+        prop_assert_eq!(norm.height(), norm.max_layer());
+    }
+
+    #[test]
+    fn network_simplex_dominates_every_promote_variant(dag in arb_dag()) {
+        // NS minimizes total span exactly; no PL-refined heuristic may
+        // produce fewer dummies.
+        let w = WidthModel::unit();
+        let ns = metrics::dummy_count(&dag, &NetworkSimplex.layer(&dag, &w));
+        for base in [
+            Box::new(Refined::new(LongestPath, Promote::new())) as Box<dyn LayeringAlgorithm>,
+            Box::new(Refined::new(MinWidth::new(), Promote::new())),
+        ] {
+            let other = metrics::dummy_count(&dag, &base.layer(&dag, &w));
+            prop_assert!(ns <= other, "NS {} vs {} {}", ns, base.name(), other);
+        }
+    }
+
+    #[test]
+    fn edge_density_at_least_peak_gap(dag in arb_dag()) {
+        let l = LongestPath.layer(&dag, &WidthModel::unit());
+        let gaps = metrics::edges_per_gap(&dag, &l);
+        let max = gaps.iter().copied().max().unwrap_or(0);
+        prop_assert_eq!(metrics::edge_density(&dag, &l), max);
+        // Every edge crosses at least one gap (height >= 2) — sum of gaps
+        // is at least the edge count.
+        if l.max_layer() >= 2 {
+            let total: u64 = gaps.iter().sum();
+            prop_assert!(total >= dag.edge_count() as u64);
+        }
+    }
+}

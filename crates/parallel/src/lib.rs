@@ -1,0 +1,230 @@
+//! # antlayer-parallel
+//!
+//! A tiny, dependency-light parallel-execution substrate for `antlayer`:
+//!
+//! * [`par_map`] / [`par_map_with`] — deterministic ordered parallel map
+//!   over a work list using scoped threads and dynamic (atomic-counter)
+//!   scheduling. Results land at the index of their input no matter which
+//!   worker computed them, so parallel and sequential runs are
+//!   bit-identical whenever the per-item function is.
+//! * [`WorkerPool`] — a persistent fixed-size pool for `'static` jobs, used
+//!   by long-running experiment drivers.
+//!
+//! The colony of `antlayer-aco` parallelises *within a tour* (every ant
+//! starts from the same base layering — the paper's "parallel work
+//! environment" of §IV-A), which is exactly a `par_map` over ants.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod pool;
+
+pub use pool::WorkerPool;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use when the caller does not care: the
+/// available parallelism, capped at `cap`.
+pub fn default_threads(cap: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, cap.max(1))
+}
+
+/// Applies `f` to every item in parallel and returns the results in input
+/// order.
+///
+/// `threads = 1` degrades to a plain sequential map (no thread is spawned),
+/// which keeps single-threaded benchmarks free of pool overhead.
+///
+/// # Example
+/// ```
+/// let squares = antlayer_parallel::par_map(4, vec![1, 2, 3, 4], |_, x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || items.len() <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let n = items.len();
+    // Wrap each item so workers can take it out by index without unsafe.
+    let slots: Vec<parking_lot::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|it| parking_lot::Mutex::new(Some(it)))
+        .collect();
+    let results: Vec<parking_lot::Mutex<Option<R>>> =
+        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .take()
+                    .expect("each index is claimed exactly once");
+                let r = f(i, item);
+                *results[i].lock() = Some(r);
+            });
+        }
+    })
+    .expect("worker threads must not panic");
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every slot was filled"))
+        .collect()
+}
+
+/// Like [`par_map`], but each worker thread carries mutable per-thread state
+/// created by `init` (e.g. a scratch buffer or an RNG *not* used for
+/// item-level decisions — per-item determinism is the caller's business).
+pub fn par_map_with<T, R, S, F>(
+    threads: usize,
+    items: Vec<T>,
+    init: impl Fn() -> S + Sync,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut S, usize, T) -> R + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || items.len() <= 1 {
+        let mut state = init();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(&mut state, i, item))
+            .collect();
+    }
+    let n = items.len();
+    let slots: Vec<parking_lot::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|it| parking_lot::Mutex::new(Some(it)))
+        .collect();
+    let results: Vec<parking_lot::Mutex<Option<R>>> =
+        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|_| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .take()
+                        .expect("each index is claimed exactly once");
+                    let r = f(&mut state, i, item);
+                    *results[i].lock() = Some(r);
+                }
+            });
+        }
+    })
+    .expect("worker threads must not panic");
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every slot was filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let out = par_map(4, (0..100u64).collect(), |_, x| x * 2);
+        assert_eq!(out, (0..100u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_path_matches_parallel() {
+        let items: Vec<u64> = (0..57).collect();
+        let seq = par_map(1, items.clone(), |i, x| x + i as u64);
+        let par = par_map(8, items, |i, x| x + i as u64);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn index_matches_item_position() {
+        let out = par_map(3, vec!['a', 'b', 'c'], |i, c| (i, c));
+        assert_eq!(out, vec![(0, 'a'), (1, 'b'), (2, 'c')]);
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let counter = AtomicU64::new(0);
+        let n = 1000;
+        let _ = par_map(7, (0..n).collect::<Vec<u64>>(), |_, _| {
+            counter.fetch_add(1, Ordering::Relaxed)
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = par_map(4, Vec::<u32>::new(), |_, x| x);
+        assert!(empty.is_empty());
+        let single = par_map(4, vec![41], |_, x| x + 1);
+        assert_eq!(single, vec![42]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = par_map(64, vec![1, 2, 3], |_, x| x);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn par_map_with_thread_state() {
+        // Per-thread scratch buffers are reused but never shared.
+        let out = par_map_with(
+            4,
+            (0..200usize).collect(),
+            Vec::<usize>::new,
+            |scratch, i, x| {
+                scratch.push(i);
+                x * 2
+            },
+        );
+        assert_eq!(out, (0..200).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn default_threads_is_positive_and_capped() {
+        let t = default_threads(4);
+        assert!((1..=4).contains(&t));
+        assert_eq!(default_threads(0), 1.min(default_threads(1)));
+    }
+
+    #[test]
+    fn non_send_sync_free_results_supported() {
+        // Results that allocate (String) move across threads correctly.
+        let out = par_map(4, vec![1, 22, 333], |_, x| format!("{x}"));
+        assert_eq!(out, vec!["1", "22", "333"]);
+    }
+}

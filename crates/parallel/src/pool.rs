@@ -1,0 +1,171 @@
+//! A persistent fixed-size worker pool for `'static` jobs.
+
+use crossbeam::channel::{unbounded, Sender};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size thread pool.
+///
+/// Jobs are closures executed on one of `threads` workers; [`WorkerPool::wait`]
+/// blocks until every submitted job has finished. Dropping the pool shuts the
+/// workers down after draining the queue.
+///
+/// # Example
+/// ```
+/// use antlayer_parallel::WorkerPool;
+/// use std::sync::atomic::{AtomicU32, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = WorkerPool::new(4);
+/// let hits = Arc::new(AtomicU32::new(0));
+/// for _ in 0..100 {
+///     let hits = hits.clone();
+///     pool.execute(move || { hits.fetch_add(1, Ordering::Relaxed); });
+/// }
+/// pool.wait();
+/// assert_eq!(hits.load(Ordering::Relaxed), 100);
+/// ```
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    pending: Arc<(AtomicUsize, parking_lot::Mutex<()>, parking_lot::Condvar)>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `threads` workers (at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = unbounded::<Job>();
+        let pending = Arc::new((
+            AtomicUsize::new(0),
+            parking_lot::Mutex::new(()),
+            parking_lot::Condvar::new(),
+        ));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = receiver.clone();
+                let pending = pending.clone();
+                std::thread::Builder::new()
+                    .name(format!("antlayer-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = receiver.recv() {
+                            job();
+                            let (count, lock, cvar) = &*pending;
+                            if count.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                let _guard = lock.lock();
+                                cvar.notify_all();
+                            }
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers,
+            pending,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job for execution.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        let (count, _, _) = &*self.pending;
+        count.fetch_add(1, Ordering::AcqRel);
+        self.sender
+            .as_ref()
+            .expect("pool is alive while not dropped")
+            .send(Box::new(job))
+            .expect("workers never close the channel first");
+    }
+
+    /// Blocks until all previously submitted jobs have completed.
+    pub fn wait(&self) {
+        let (count, lock, cvar) = &*self.pending;
+        let mut guard = lock.lock();
+        while count.load(Ordering::Acquire) != 0 {
+            cvar.wait(&mut guard);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel lets workers drain the queue and exit.
+        drop(self.sender.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = WorkerPool::new(4);
+        let sum = Arc::new(AtomicU64::new(0));
+        for i in 1..=100u64 {
+            let sum = sum.clone();
+            pool.execute(move || {
+                sum.fetch_add(i, Ordering::Relaxed);
+            });
+        }
+        pool.wait();
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn wait_with_no_jobs_returns_immediately() {
+        let pool = WorkerPool::new(2);
+        pool.wait();
+    }
+
+    #[test]
+    fn jobs_run_after_previous_wait() {
+        let pool = WorkerPool::new(2);
+        let count = Arc::new(AtomicU64::new(0));
+        for round in 0..3 {
+            for _ in 0..10 {
+                let count = count.clone();
+                pool.execute(move || {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.wait();
+            assert_eq!(count.load(Ordering::Relaxed), (round + 1) * 10);
+        }
+    }
+
+    #[test]
+    fn drop_drains_queue() {
+        let count = Arc::new(AtomicU64::new(0));
+        {
+            let pool = WorkerPool::new(1);
+            for _ in 0..50 {
+                let count = count.clone();
+                pool.execute(move || {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // No explicit wait: Drop joins after draining.
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn zero_thread_request_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+    }
+}

@@ -1,0 +1,241 @@
+//! Coordinate assignment: turning a layer order into x/y positions.
+//!
+//! A deliberately simple final stage: vertices are spaced along each layer
+//! (respecting their widths plus a gap), then each layer is centred, and a
+//! fixed number of barycenter relaxation passes pulls vertices under their
+//! neighbours without reordering them. Layers map to y by layer index
+//! (layer 1 at the bottom, matching the paper's geometry).
+
+use crate::ordering::LayerOrder;
+use antlayer_graph::NodeVec;
+use antlayer_layering::{ProperLayering, WidthModel};
+
+/// Computed positions for every node of a proper layering.
+#[derive(Clone, Debug)]
+pub struct Coordinates {
+    /// X centre of every node.
+    pub x: NodeVec<f64>,
+    /// Y centre of every node (layer 1 at y = 0, higher layers above).
+    pub y: NodeVec<f64>,
+    /// Total drawing width.
+    pub width: f64,
+    /// Total drawing height.
+    pub height: f64,
+}
+
+/// Layout options.
+#[derive(Clone, Copy, Debug)]
+pub struct CoordOptions {
+    /// Horizontal gap between neighbouring vertices on a layer.
+    pub h_gap: f64,
+    /// Vertical distance between layer centre lines.
+    pub v_gap: f64,
+    /// Barycenter relaxation passes (0 = plain packed layout).
+    pub relax_passes: usize,
+}
+
+impl Default for CoordOptions {
+    fn default() -> Self {
+        CoordOptions {
+            h_gap: 1.0,
+            v_gap: 2.0,
+            relax_passes: 3,
+        }
+    }
+}
+
+/// Assigns coordinates to `order` (the output of crossing minimization).
+pub fn assign_coordinates(
+    p: &ProperLayering,
+    order: &LayerOrder,
+    wm: &WidthModel,
+    opts: CoordOptions,
+) -> Coordinates {
+    let n = p.graph.node_count();
+    let node_width = |v: antlayer_graph::NodeId| -> f64 {
+        if p.kinds[v.index()].is_dummy() {
+            wm.dummy_width
+        } else {
+            wm.node_width(v)
+        }
+    };
+    let mut x = NodeVec::filled(0.0f64, n);
+    let mut y = NodeVec::filled(0.0f64, n);
+
+    // Initial packed placement, centred per layer.
+    let mut max_span = 0.0f64;
+    for (li, layer) in order.iter().enumerate() {
+        let total: f64 = layer.iter().map(|&v| node_width(v)).sum::<f64>()
+            + opts.h_gap * layer.len().saturating_sub(1) as f64;
+        max_span = max_span.max(total);
+        let mut cursor = -total / 2.0;
+        for &v in layer {
+            let w = node_width(v);
+            x[v] = cursor + w / 2.0;
+            y[v] = li as f64 * opts.v_gap;
+            cursor += w + opts.h_gap;
+        }
+    }
+
+    // Barycenter relaxation: nudge vertices toward the mean x of their
+    // neighbours, clamped so the layer's left-to-right order (and minimum
+    // gaps) are preserved.
+    for _ in 0..opts.relax_passes {
+        for layer in order.iter() {
+            for (i, &v) in layer.iter().enumerate() {
+                let mut neigh: Vec<f64> = p
+                    .graph
+                    .out_neighbors(v)
+                    .iter()
+                    .chain(p.graph.in_neighbors(v))
+                    .map(|&u| x[u])
+                    .collect();
+                if neigh.is_empty() {
+                    continue;
+                }
+                neigh.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let target = neigh.iter().sum::<f64>() / neigh.len() as f64;
+                // Clamp against left and right neighbours on the layer.
+                let mut lo = f64::NEG_INFINITY;
+                let mut hi = f64::INFINITY;
+                if i > 0 {
+                    let l = layer[i - 1];
+                    lo = x[l] + node_width(l) / 2.0 + opts.h_gap + node_width(v) / 2.0;
+                }
+                if i + 1 < layer.len() {
+                    let r = layer[i + 1];
+                    hi = x[r] - node_width(r) / 2.0 - opts.h_gap - node_width(v) / 2.0;
+                }
+                if lo <= hi {
+                    x[v] = target.clamp(lo, hi);
+                }
+            }
+        }
+    }
+
+    // Shift into positive coordinates.
+    let min_x = x
+        .values()
+        .zip(p.kinds.iter())
+        .map(|(&xv, _)| xv)
+        .fold(f64::INFINITY, f64::min);
+    let shift = if min_x.is_finite() { -min_x + 1.0 } else { 0.0 };
+    for xv in x.values_mut() {
+        *xv += shift;
+    }
+    let width = x
+        .values()
+        .copied()
+        .fold(0.0f64, f64::max)
+        + 1.0;
+    let height = order.len().saturating_sub(1) as f64 * opts.v_gap + 1.0;
+    Coordinates {
+        x,
+        y,
+        width,
+        height,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ordering::{initial_order, minimize_crossings, OrderingHeuristic};
+    use antlayer_graph::{Dag, NodeId};
+    use antlayer_layering::Layering;
+
+    fn fixture() -> (ProperLayering, LayerOrder) {
+        let dag = Dag::from_edges(5, &[(0, 2), (0, 3), (1, 3), (2, 4), (3, 4)]).unwrap();
+        let layering = Layering::from_slice(&[3, 3, 2, 2, 1]);
+        let p = ProperLayering::build(&dag, &layering);
+        let order = minimize_crossings(&p, OrderingHeuristic::Barycenter, 4);
+        (p, order)
+    }
+
+    #[test]
+    fn coordinates_cover_every_node() {
+        let (p, order) = fixture();
+        let c = assign_coordinates(&p, &order, &WidthModel::unit(), CoordOptions::default());
+        assert_eq!(c.x.len(), p.graph.node_count());
+        assert!(c.width > 0.0 && c.height > 0.0);
+    }
+
+    #[test]
+    fn layers_map_to_increasing_y() {
+        let (p, order) = fixture();
+        let c = assign_coordinates(&p, &order, &WidthModel::unit(), CoordOptions::default());
+        // Node 4 (layer 1) below nodes 2, 3 (layer 2) below 0, 1 (layer 3).
+        assert!(c.y[NodeId::new(4)] < c.y[NodeId::new(2)]);
+        assert!(c.y[NodeId::new(2)] < c.y[NodeId::new(0)]);
+    }
+
+    #[test]
+    fn same_layer_nodes_do_not_overlap() {
+        let (p, order) = fixture();
+        let wm = WidthModel::unit();
+        let opts = CoordOptions::default();
+        let c = assign_coordinates(&p, &order, &wm, opts);
+        for layer in &order {
+            for pair in layer.windows(2) {
+                let (a, b) = (pair[0], pair[1]);
+                assert!(
+                    c.x[b] - c.x[a] >= 1.0 + opts.h_gap - 1e-9,
+                    "nodes {a} and {b} overlap: {} vs {}",
+                    c.x[a],
+                    c.x[b]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relaxation_preserves_order() {
+        let (p, order) = fixture();
+        let opts = CoordOptions {
+            relax_passes: 10,
+            ..CoordOptions::default()
+        };
+        let c = assign_coordinates(&p, &order, &WidthModel::unit(), opts);
+        for layer in &order {
+            for pair in layer.windows(2) {
+                assert!(c.x[pair[0]] < c.x[pair[1]]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_coordinates_positive() {
+        let (p, order) = fixture();
+        let c = assign_coordinates(&p, &order, &WidthModel::unit(), CoordOptions::default());
+        for (_, &xv) in c.x.iter() {
+            assert!(xv > 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_relax_passes_is_packed_layout() {
+        let (p, order) = fixture();
+        let opts = CoordOptions {
+            relax_passes: 0,
+            ..CoordOptions::default()
+        };
+        let c = assign_coordinates(&p, &order, &WidthModel::unit(), opts);
+        // Packed: consecutive distance exactly width + gap.
+        for layer in &order {
+            for pair in layer.windows(2) {
+                let d = c.x[pair[1]] - c.x[pair[0]];
+                assert!((d - 2.0).abs() < 1e-9, "expected packed spacing, got {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let dag = Dag::from_edges(1, &[]).unwrap();
+        let p = ProperLayering::build(&dag, &Layering::flat(1));
+        let order = initial_order(&p);
+        let c = assign_coordinates(&p, &order, &WidthModel::unit(), CoordOptions::default());
+        assert!(c.x[NodeId::new(0)] > 0.0);
+        assert_eq!(c.y[NodeId::new(0)], 0.0);
+    }
+}

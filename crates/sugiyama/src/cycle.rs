@@ -1,0 +1,201 @@
+//! Cycle removal: the first stage of the Sugiyama framework.
+//!
+//! Layering requires a DAG; arbitrary digraphs are first given an acyclic
+//! orientation by *reversing* the edges of a small feedback set. We
+//! implement the Eades–Lin–Smyth (GR) greedy heuristic, which guarantees a
+//! feedback set of at most `m/2 − n/6` edges and runs in `O(V + E)`.
+
+use antlayer_graph::{Dag, DiGraph, NodeId};
+
+/// Result of the acyclic orientation of a digraph.
+#[derive(Clone, Debug)]
+pub struct AcyclicOrientation {
+    /// The acyclic graph (same node ids; some edges reversed).
+    pub dag: Dag,
+    /// The edges of the *input* graph that were reversed, as `(u, v)` pairs
+    /// of the original direction.
+    pub reversed: Vec<(NodeId, NodeId)>,
+}
+
+/// Computes a vertex sequence with few "backward" edges via the
+/// Eades–Lin–Smyth greedy heuristic, then reverses those backward edges.
+///
+/// Self-loops are not representable in [`DiGraph`], so every input is
+/// orientable. Multi-edges do not exist either (simple digraphs).
+pub fn acyclic_orientation(g: &DiGraph) -> AcyclicOrientation {
+    let order = greedy_sequence(g);
+    let mut pos = vec![0usize; g.node_count()];
+    for (i, v) in order.iter().enumerate() {
+        pos[v.index()] = i;
+    }
+    let mut out = DiGraph::with_capacity(g.node_count(), g.edge_count());
+    out.add_nodes(g.node_count());
+    let mut reversed = Vec::new();
+    for (u, v) in g.edges() {
+        if pos[u.index()] < pos[v.index()] {
+            let _ = out.add_edge(u, v);
+        } else {
+            // Backward edge: reverse it (skip silently if the reverse
+            // already exists — the orientation stays acyclic).
+            if out.add_edge(v, u).is_ok() {
+                reversed.push((u, v));
+            }
+        }
+    }
+    AcyclicOrientation {
+        dag: Dag::new(out).expect("all edges point forward in the sequence"),
+        reversed,
+    }
+}
+
+/// The Eades–Lin–Smyth vertex sequence: repeatedly peel sinks to the back
+/// and sources to the front; when neither exists, move the vertex with the
+/// largest `outdeg − indeg` to the front.
+fn greedy_sequence(g: &DiGraph) -> Vec<NodeId> {
+    let n = g.node_count();
+    let mut out_deg: Vec<isize> = g.nodes().map(|v| g.out_degree(v) as isize).collect();
+    let mut in_deg: Vec<isize> = g.nodes().map(|v| g.in_degree(v) as isize).collect();
+    let mut removed = vec![false; n];
+    let mut front: Vec<NodeId> = Vec::new();
+    let mut back: Vec<NodeId> = Vec::new();
+    let mut remaining = n;
+
+    let remove = |v: NodeId,
+                      out_deg: &mut Vec<isize>,
+                      in_deg: &mut Vec<isize>,
+                      removed: &mut Vec<bool>| {
+        removed[v.index()] = true;
+        for &w in g.out_neighbors(v) {
+            in_deg[w.index()] -= 1;
+        }
+        for &u in g.in_neighbors(v) {
+            out_deg[u.index()] -= 1;
+        }
+    };
+
+    while remaining > 0 {
+        // Peel sinks.
+        loop {
+            let sink = g
+                .nodes()
+                .find(|&v| !removed[v.index()] && out_deg[v.index()] == 0);
+            match sink {
+                Some(v) => {
+                    back.push(v);
+                    remove(v, &mut out_deg, &mut in_deg, &mut removed);
+                    remaining -= 1;
+                }
+                None => break,
+            }
+        }
+        // Peel sources.
+        loop {
+            let source = g
+                .nodes()
+                .find(|&v| !removed[v.index()] && in_deg[v.index()] == 0);
+            match source {
+                Some(v) => {
+                    front.push(v);
+                    remove(v, &mut out_deg, &mut in_deg, &mut removed);
+                    remaining -= 1;
+                }
+                None => break,
+            }
+        }
+        if remaining == 0 {
+            break;
+        }
+        // All remaining vertices are on cycles: take max outdeg − indeg.
+        let v = g
+            .nodes()
+            .filter(|&v| !removed[v.index()])
+            .max_by_key(|&v| out_deg[v.index()] - in_deg[v.index()])
+            .expect("remaining > 0");
+        front.push(v);
+        remove(v, &mut out_deg, &mut in_deg, &mut removed);
+        remaining -= 1;
+    }
+    back.reverse();
+    front.extend(back);
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antlayer_graph::is_acyclic;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn dag_input_reverses_nothing() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (0, 3), (3, 2)]).unwrap();
+        let o = acyclic_orientation(&g);
+        assert!(o.reversed.is_empty());
+        assert_eq!(o.dag.edge_count(), 4);
+    }
+
+    #[test]
+    fn two_cycle_reverses_one_edge() {
+        let g = DiGraph::from_edges(2, &[(0, 1), (1, 0)]).unwrap();
+        let o = acyclic_orientation(&g);
+        // One direction survives; the duplicate reverse is dropped.
+        assert!(o.dag.edge_count() >= 1);
+        assert!(is_acyclic(&o.dag));
+    }
+
+    #[test]
+    fn triangle_cycle_is_broken() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let o = acyclic_orientation(&g);
+        assert!(is_acyclic(&o.dag));
+        assert_eq!(o.dag.edge_count(), 3);
+        assert_eq!(o.reversed.len(), 1);
+    }
+
+    #[test]
+    fn random_digraphs_become_acyclic_with_bounded_reversals() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..20 {
+            let n = rng.gen_range(5..40);
+            let mut g = DiGraph::new();
+            g.add_nodes(n);
+            for _ in 0..(3 * n) {
+                let u = rng.gen_range(0..n) as u32;
+                let v = rng.gen_range(0..n) as u32;
+                if u != v {
+                    let _ = g.add_edge(NodeId::from(u), NodeId::from(v));
+                }
+            }
+            let m = g.edge_count() as f64;
+            let o = acyclic_orientation(&g);
+            assert!(is_acyclic(&o.dag));
+            // ELS guarantee: |reversed| <= m/2 - n/6 (we allow the exact bound).
+            assert!(
+                (o.reversed.len() as f64) <= m / 2.0,
+                "reversed {} of {} edges",
+                o.reversed.len(),
+                m
+            );
+            // Node ids are preserved.
+            assert_eq!(o.dag.node_count(), n);
+        }
+    }
+
+    #[test]
+    fn reversed_edges_existed_in_input() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)]).unwrap();
+        let o = acyclic_orientation(&g);
+        for (u, v) in &o.reversed {
+            assert!(g.has_edge(*u, *v), "reversed edge not from input");
+            assert!(o.dag.has_edge(*v, *u), "reverse not present in output");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let o = acyclic_orientation(&DiGraph::new());
+        assert_eq!(o.dag.node_count(), 0);
+        assert!(o.reversed.is_empty());
+    }
+}

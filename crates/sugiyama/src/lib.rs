@@ -1,0 +1,45 @@
+//! # antlayer-sugiyama
+//!
+//! The Sugiyama framework stages surrounding the layering step, so the
+//! `antlayer` project is usable end-to-end: give it any digraph and get a
+//! hierarchical drawing whose layering stage is pluggable — LPL, MinWidth,
+//! Promote-refined variants, or the paper's ant colony.
+//!
+//! Stages:
+//! 1. **Cycle removal** — Eades–Lin–Smyth greedy acyclic orientation;
+//! 2. **Layering** — any [`LayeringAlgorithm`](antlayer_layering::LayeringAlgorithm);
+//! 3. **Crossing minimization** — barycenter/median sweeps over the proper
+//!    layering;
+//! 4. **Coordinate assignment** — packed + barycenter-relaxed x positions;
+//! 5. **Rendering** — SVG or ASCII.
+//!
+//! ```
+//! use antlayer_graph::DiGraph;
+//! use antlayer_layering::LongestPath;
+//! use antlayer_sugiyama::{draw, PipelineOptions, SvgOptions};
+//!
+//! let g = DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+//! let drawing = draw(&g, &LongestPath, &PipelineOptions::default());
+//! let svg = drawing.to_svg(|v| v.index().to_string(), &SvgOptions::default());
+//! assert!(svg.starts_with("<svg"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod coords;
+mod cycle;
+mod ordering;
+mod pipeline;
+pub mod render;
+
+pub use coords::{assign_coordinates, CoordOptions, Coordinates};
+pub use cycle::{acyclic_orientation, AcyclicOrientation};
+pub use ordering::{
+    crossings_between, initial_order, minimize_crossings, total_crossings, LayerOrder,
+    OrderingHeuristic,
+};
+pub use pipeline::{draw, Drawing, PipelineOptions};
+pub use render::ascii::{render_ascii, render_ascii_ids};
+pub use render::dot::write_dot_ranked;
+pub use render::svg::{render_svg, SvgOptions};

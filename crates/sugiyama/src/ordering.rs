@@ -1,0 +1,315 @@
+//! Crossing minimization: ordering the vertices inside each layer.
+//!
+//! Operates on a [`ProperLayering`] (long edges already subdivided), so all
+//! crossings happen between adjacent layers. Implements the classic
+//! barycenter and median layer-by-layer sweeps with a crossing counter used
+//! both as the sweep's acceptance test and as a quality metric.
+
+use antlayer_graph::{NodeId, NodeVec};
+use antlayer_layering::ProperLayering;
+
+/// How a sweep computes the new position key of a vertex.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OrderingHeuristic {
+    /// Average position of the neighbours on the fixed layer.
+    #[default]
+    Barycenter,
+    /// Median position of the neighbours on the fixed layer.
+    Median,
+}
+
+/// A left-to-right order for every layer; entry `i` is layer `i + 1`.
+pub type LayerOrder = Vec<Vec<NodeId>>;
+
+/// Initial order: nodes of each layer sorted by id.
+pub fn initial_order(p: &ProperLayering) -> LayerOrder {
+    p.layering.layers()
+}
+
+/// Number of edge crossings between two adjacent ordered layers.
+///
+/// `upper` is the layer with the higher index; edges go from `upper` to
+/// `lower`. Counts inversions among the edge endpoints — `O(E log E)` via
+/// merge-sort counting.
+pub fn crossings_between(
+    p: &ProperLayering,
+    upper: &[NodeId],
+    lower: &[NodeId],
+) -> u64 {
+    let mut pos_lower: NodeVec<u32> = NodeVec::filled(u32::MAX, p.graph.node_count());
+    for (i, &v) in lower.iter().enumerate() {
+        pos_lower[v] = i as u32;
+    }
+    // Collect target positions in upper-order; count inversions.
+    let mut seq: Vec<u32> = Vec::new();
+    for &u in upper {
+        let mut targets: Vec<u32> = p
+            .graph
+            .out_neighbors(u)
+            .iter()
+            .map(|&w| pos_lower[w])
+            .filter(|&x| x != u32::MAX)
+            .collect();
+        targets.sort_unstable();
+        seq.extend(targets);
+    }
+    count_inversions(&mut seq)
+}
+
+/// Total crossings over all adjacent layer pairs.
+pub fn total_crossings(p: &ProperLayering, order: &LayerOrder) -> u64 {
+    let mut total = 0;
+    for i in (1..order.len()).rev() {
+        total += crossings_between(p, &order[i], &order[i - 1]);
+    }
+    total
+}
+
+fn count_inversions(seq: &mut [u32]) -> u64 {
+    let n = seq.len();
+    if n < 2 {
+        return 0;
+    }
+    let mut buf = vec![0u32; n];
+    fn sort(seq: &mut [u32], buf: &mut [u32]) -> u64 {
+        let n = seq.len();
+        if n < 2 {
+            return 0;
+        }
+        let mid = n / 2;
+        let mut inv = sort(&mut seq[..mid], buf) + sort(&mut seq[mid..], buf);
+        // Merge.
+        let (mut i, mut j, mut k) = (0usize, mid, 0usize);
+        while i < mid && j < n {
+            if seq[i] <= seq[j] {
+                buf[k] = seq[i];
+                i += 1;
+            } else {
+                buf[k] = seq[j];
+                j += 1;
+                inv += (mid - i) as u64;
+            }
+            k += 1;
+        }
+        while i < mid {
+            buf[k] = seq[i];
+            i += 1;
+            k += 1;
+        }
+        while j < n {
+            buf[k] = seq[j];
+            j += 1;
+            k += 1;
+        }
+        seq.copy_from_slice(&buf[..n]);
+        inv
+    }
+    sort(seq, &mut buf)
+}
+
+/// Runs alternating down/up sweeps of the chosen heuristic until the
+/// crossing count stops improving (or `max_sweeps` is reached). Returns the
+/// best order found.
+pub fn minimize_crossings(
+    p: &ProperLayering,
+    heuristic: OrderingHeuristic,
+    max_sweeps: usize,
+) -> LayerOrder {
+    let mut order = initial_order(p);
+    if order.len() < 2 {
+        return order;
+    }
+    let mut best = order.clone();
+    let mut best_crossings = total_crossings(p, &best);
+    for sweep in 0..max_sweeps {
+        let downward = sweep % 2 == 0;
+        sweep_once(p, &mut order, heuristic, downward);
+        let c = total_crossings(p, &order);
+        if c < best_crossings {
+            best_crossings = c;
+            best = order.clone();
+            if best_crossings == 0 {
+                break;
+            }
+        }
+    }
+    best
+}
+
+/// One sweep: re-sorts every layer by the heuristic key of its neighbours
+/// on the previously processed (fixed) layer.
+fn sweep_once(
+    p: &ProperLayering,
+    order: &mut LayerOrder,
+    heuristic: OrderingHeuristic,
+    downward: bool,
+) {
+    let h = order.len();
+    let mut pos: NodeVec<f64> = NodeVec::filled(0.0, p.graph.node_count());
+    let indices: Vec<usize> = if downward {
+        // Fix the top layer, re-order downwards (layers h-2 .. 0).
+        (0..h - 1).rev().collect()
+    } else {
+        (1..h).collect()
+    };
+    // Record positions of every layer first.
+    for layer in order.iter() {
+        for (i, &v) in layer.iter().enumerate() {
+            pos[v] = i as f64;
+        }
+    }
+    for li in indices {
+        let fixed_is_upper = downward;
+        let layer = &mut order[li];
+        let keys: Vec<(f64, u32, NodeId)> = layer
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let neigh: Vec<f64> = if fixed_is_upper {
+                    p.graph.in_neighbors(v).iter().map(|&u| pos[u]).collect()
+                } else {
+                    p.graph.out_neighbors(v).iter().map(|&w| pos[w]).collect()
+                };
+                let key = if neigh.is_empty() {
+                    i as f64 // keep isolated vertices where they are
+                } else {
+                    match heuristic {
+                        OrderingHeuristic::Barycenter => {
+                            neigh.iter().sum::<f64>() / neigh.len() as f64
+                        }
+                        OrderingHeuristic::Median => {
+                            let mut s = neigh;
+                            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                            s[s.len() / 2]
+                        }
+                    }
+                };
+                (key, i as u32, v)
+            })
+            .collect();
+        let mut sorted = keys;
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        for (i, (_, _, v)) in sorted.iter().enumerate() {
+            layer[i] = *v;
+            pos[*v] = i as f64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antlayer_graph::Dag;
+    use antlayer_layering::{Layering, ProperLayering};
+
+    /// Two layers, edges forming an X: 2→1' and 3→0' style crossing.
+    fn crossing_fixture() -> ProperLayering {
+        // upper layer: 0, 1 (layer 2); lower: 2, 3 (layer 1).
+        // edges 0→3 and 1→2 cross in id order.
+        let dag = Dag::from_edges(4, &[(0, 3), (1, 2)]).unwrap();
+        let layering = Layering::from_slice(&[2, 2, 1, 1]);
+        ProperLayering::build(&dag, &layering)
+    }
+
+    #[test]
+    fn counts_single_crossing() {
+        let p = crossing_fixture();
+        let order = initial_order(&p);
+        assert_eq!(total_crossings(&p, &order), 1);
+    }
+
+    #[test]
+    fn barycenter_removes_crossing() {
+        let p = crossing_fixture();
+        let order = minimize_crossings(&p, OrderingHeuristic::Barycenter, 4);
+        assert_eq!(total_crossings(&p, &order), 0);
+    }
+
+    #[test]
+    fn median_removes_crossing() {
+        let p = crossing_fixture();
+        let order = minimize_crossings(&p, OrderingHeuristic::Median, 4);
+        assert_eq!(total_crossings(&p, &order), 0);
+    }
+
+    #[test]
+    fn order_is_a_permutation_of_each_layer() {
+        let dag = Dag::from_edges(6, &[(0, 2), (0, 3), (1, 2), (1, 4), (2, 5), (3, 5)]).unwrap();
+        let layering = Layering::from_slice(&[3, 3, 2, 2, 2, 1]);
+        let p = ProperLayering::build(&dag, &layering);
+        let order = minimize_crossings(&p, OrderingHeuristic::Barycenter, 6);
+        let init = initial_order(&p);
+        assert_eq!(order.len(), init.len());
+        for (a, b) in order.iter().zip(init.iter()) {
+            let mut a2 = a.clone();
+            let mut b2 = b.clone();
+            a2.sort();
+            b2.sort();
+            assert_eq!(a2, b2);
+        }
+    }
+
+    #[test]
+    fn sweeps_never_return_worse_than_initial() {
+        let dag = Dag::from_edges(
+            8,
+            &[(0, 4), (0, 5), (1, 4), (1, 6), (2, 5), (2, 7), (3, 6), (3, 7)],
+        )
+        .unwrap();
+        let layering = Layering::from_slice(&[2, 2, 2, 2, 1, 1, 1, 1]);
+        let p = ProperLayering::build(&dag, &layering);
+        let before = total_crossings(&p, &initial_order(&p));
+        let after = total_crossings(&p, &minimize_crossings(&p, OrderingHeuristic::Barycenter, 8));
+        assert!(after <= before);
+    }
+
+    #[test]
+    fn inversion_counter_matches_bruteforce() {
+        let cases: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![1],
+            vec![1, 2, 3],
+            vec![3, 2, 1],
+            vec![2, 1, 3, 5, 4],
+            vec![5, 4, 3, 2, 1, 0],
+        ];
+        for case in cases {
+            let brute = {
+                let mut c = 0u64;
+                for i in 0..case.len() {
+                    for j in i + 1..case.len() {
+                        if case[i] > case[j] {
+                            c += 1;
+                        }
+                    }
+                }
+                c
+            };
+            let mut work = case.clone();
+            assert_eq!(count_inversions(&mut work), brute, "case {case:?}");
+        }
+    }
+
+    #[test]
+    fn single_layer_graph_is_trivial() {
+        let dag = Dag::from_edges(3, &[]).unwrap();
+        let layering = Layering::flat(3);
+        let p = ProperLayering::build(&dag, &layering);
+        let order = minimize_crossings(&p, OrderingHeuristic::Barycenter, 4);
+        assert_eq!(order.len(), 1);
+        assert_eq!(total_crossings(&p, &order), 0);
+    }
+
+    #[test]
+    fn long_edges_cross_via_dummies() {
+        // 0→1 (span 2, gets a dummy) and 2 on the middle layer; the dummy
+        // participates in ordering like a real vertex.
+        let dag = Dag::from_edges(3, &[(0, 1), (0, 2)]).unwrap();
+        let layering = Layering::from_slice(&[3, 1, 2]);
+        let p = ProperLayering::build(&dag, &layering);
+        assert_eq!(p.dummy_count(), 1);
+        let order = minimize_crossings(&p, OrderingHeuristic::Barycenter, 4);
+        // Middle layer holds node 2 and one dummy.
+        assert_eq!(order[1].len(), 2);
+    }
+}

@@ -1,0 +1,174 @@
+//! The end-to-end Sugiyama pipeline.
+//!
+//! Chains the four classic stages around a pluggable layering algorithm:
+//!
+//! 1. cycle removal ([`acyclic_orientation`](crate::acyclic_orientation)),
+//! 2. **layering** — any [`LayeringAlgorithm`]: LPL, MinWidth, their
+//!    PL-refined variants, or the paper's ant colony,
+//! 3. crossing minimization ([`minimize_crossings`](crate::minimize_crossings)),
+//! 4. coordinate assignment ([`assign_coordinates`](crate::assign_coordinates)).
+
+use crate::coords::{assign_coordinates, CoordOptions, Coordinates};
+use crate::cycle::acyclic_orientation;
+use crate::ordering::{minimize_crossings, total_crossings, LayerOrder, OrderingHeuristic};
+use crate::render::ascii::render_ascii;
+use crate::render::svg::{render_svg, SvgOptions};
+use antlayer_graph::{DiGraph, NodeId};
+use antlayer_layering::{Layering, LayeringAlgorithm, LayeringMetrics, ProperLayering, WidthModel};
+
+/// Configuration of the pipeline stages around the layering algorithm.
+#[derive(Clone, Debug)]
+pub struct PipelineOptions {
+    /// Width model used for layering and layout.
+    pub widths: WidthModel,
+    /// Crossing-minimization heuristic.
+    pub ordering: OrderingHeuristic,
+    /// Maximum ordering sweeps.
+    pub max_sweeps: usize,
+    /// Coordinate options.
+    pub coords: CoordOptions,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            widths: WidthModel::unit(),
+            ordering: OrderingHeuristic::Barycenter,
+            max_sweeps: 8,
+            coords: CoordOptions::default(),
+        }
+    }
+}
+
+/// A fully laid-out drawing of a digraph.
+#[derive(Clone, Debug)]
+pub struct Drawing {
+    /// The proper layering (expanded graph + dummy provenance).
+    pub proper: ProperLayering,
+    /// The (normalized) layering of the original DAG.
+    pub layering: Layering,
+    /// Vertex order per layer after crossing minimization.
+    pub order: LayerOrder,
+    /// Node coordinates.
+    pub coords: Coordinates,
+    /// Edges of the *input* digraph that were reversed for cycle removal.
+    pub reversed_edges: Vec<(NodeId, NodeId)>,
+    /// Metrics of the layering stage.
+    pub metrics: LayeringMetrics,
+    /// Edge crossings in the final order.
+    pub crossings: u64,
+}
+
+impl Drawing {
+    /// Renders the drawing as an SVG document.
+    pub fn to_svg(&self, label: impl Fn(NodeId) -> String, opts: &SvgOptions) -> String {
+        render_svg(&self.proper, &self.order, &self.coords, label, opts)
+    }
+
+    /// Renders the drawing as ASCII art (one row per layer).
+    pub fn to_ascii(&self, label: impl Fn(NodeId) -> String) -> String {
+        render_ascii(&self.proper, &self.order, label)
+    }
+}
+
+/// Runs the full pipeline on `graph` (which may contain cycles) with the
+/// given layering algorithm.
+///
+/// # Example
+/// ```
+/// use antlayer_graph::DiGraph;
+/// use antlayer_layering::LongestPath;
+/// use antlayer_sugiyama::{draw, PipelineOptions};
+///
+/// let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (1, 3)]).unwrap();
+/// let drawing = draw(&g, &LongestPath, &PipelineOptions::default());
+/// assert_eq!(drawing.layering.len(), 4);
+/// assert!(!drawing.reversed_edges.is_empty()); // the cycle was broken
+/// ```
+pub fn draw(
+    graph: &DiGraph,
+    algorithm: &dyn LayeringAlgorithm,
+    opts: &PipelineOptions,
+) -> Drawing {
+    let oriented = acyclic_orientation(graph);
+    let mut layering = algorithm.layer(&oriented.dag, &opts.widths);
+    layering.normalize();
+    debug_assert!(layering.validate(&oriented.dag).is_ok());
+    let metrics = LayeringMetrics::compute(&oriented.dag, &layering, &opts.widths);
+    let proper = ProperLayering::build(&oriented.dag, &layering);
+    let order = minimize_crossings(&proper, opts.ordering, opts.max_sweeps);
+    let crossings = total_crossings(&proper, &order);
+    let coords = assign_coordinates(&proper, &order, &opts.widths, opts.coords);
+    Drawing {
+        proper,
+        layering,
+        order,
+        coords,
+        reversed_edges: oriented.reversed,
+        metrics,
+        crossings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antlayer_layering::{LongestPath, MinWidth};
+
+    fn cyclic_fixture() -> DiGraph {
+        DiGraph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 1), (2, 4), (4, 5), (5, 0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pipeline_handles_cyclic_input() {
+        let g = cyclic_fixture();
+        let d = draw(&g, &LongestPath, &PipelineOptions::default());
+        assert!(!d.reversed_edges.is_empty());
+        assert_eq!(d.layering.len(), 6);
+        assert!(d.metrics.height >= 2);
+    }
+
+    #[test]
+    fn different_algorithms_plug_in() {
+        let g = cyclic_fixture();
+        let lpl = draw(&g, &LongestPath, &PipelineOptions::default());
+        let mw = draw(&g, &MinWidth::new(), &PipelineOptions::default());
+        assert!(mw.metrics.height >= lpl.metrics.height);
+    }
+
+    #[test]
+    fn drawing_renders_both_backends() {
+        let g = cyclic_fixture();
+        let d = draw(&g, &LongestPath, &PipelineOptions::default());
+        let svg = d.to_svg(|v| v.index().to_string(), &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        let ascii = d.to_ascii(|v| v.index().to_string());
+        assert!(ascii.contains("layers)"));
+    }
+
+    #[test]
+    fn crossings_metric_is_consistent() {
+        let g = cyclic_fixture();
+        let d = draw(&g, &LongestPath, &PipelineOptions::default());
+        assert_eq!(d.crossings, total_crossings(&d.proper, &d.order));
+    }
+
+    #[test]
+    fn dag_input_keeps_all_edges_forward() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]).unwrap();
+        let d = draw(&g, &LongestPath, &PipelineOptions::default());
+        assert!(d.reversed_edges.is_empty());
+        assert_eq!(d.proper.chains.len(), 5);
+    }
+
+    #[test]
+    fn empty_graph_is_drawable() {
+        let d = draw(&DiGraph::new(), &LongestPath, &PipelineOptions::default());
+        assert_eq!(d.layering.len(), 0);
+        assert_eq!(d.crossings, 0);
+    }
+}

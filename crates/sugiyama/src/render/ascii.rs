@@ -1,0 +1,86 @@
+//! ASCII rendering: a quick terminal view of a layering.
+//!
+//! Draws one text row per layer (top layer first), showing real vertices by
+//! label and dummy vertices as `·`. Useful for eyeballing what a layering
+//! algorithm did without leaving the terminal.
+
+use crate::ordering::LayerOrder;
+use antlayer_graph::NodeId;
+use antlayer_layering::ProperLayering;
+use std::fmt::Write as _;
+
+/// Renders one row per layer, top (highest index) first.
+pub fn render_ascii(
+    p: &ProperLayering,
+    order: &LayerOrder,
+    label: impl Fn(NodeId) -> String,
+) -> String {
+    let mut out = String::new();
+    let height = order.len();
+    for (li, layer) in order.iter().enumerate().rev() {
+        let _ = write!(out, "L{:<3} |", li + 1);
+        for &v in layer {
+            if p.kinds[v.index()].is_dummy() {
+                out.push_str("  ·");
+            } else {
+                let _ = write!(out, "  {}", label(v));
+            }
+        }
+        out.push('\n');
+        if li > 0 {
+            let _ = writeln!(out, "     |");
+        }
+    }
+    let _ = writeln!(out, "      ({height} layers)");
+    out
+}
+
+/// Convenience: render with numeric ids.
+pub fn render_ascii_ids(p: &ProperLayering, order: &LayerOrder) -> String {
+    render_ascii(p, order, |v| v.index().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ordering::initial_order;
+    use antlayer_graph::Dag;
+    use antlayer_layering::{Layering, ProperLayering};
+
+    #[test]
+    fn renders_layers_top_down() {
+        let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let layering = Layering::from_slice(&[3, 2, 1]);
+        let p = ProperLayering::build(&dag, &layering);
+        let order = initial_order(&p);
+        let txt = render_ascii_ids(&p, &order);
+        let lines: Vec<&str> = txt.lines().collect();
+        assert!(lines[0].starts_with("L3"));
+        assert!(lines[0].contains('0'));
+        assert!(txt.contains("(3 layers)"));
+        // L1 (node 2) appears after L3 in the output.
+        let l3 = txt.find("L3").unwrap();
+        let l1 = txt.find("L1 ").unwrap();
+        assert!(l1 > l3);
+    }
+
+    #[test]
+    fn dummies_are_dots() {
+        let dag = Dag::from_edges(2, &[(0, 1)]).unwrap();
+        let layering = Layering::from_slice(&[3, 1]);
+        let p = ProperLayering::build(&dag, &layering);
+        let order = initial_order(&p);
+        let txt = render_ascii_ids(&p, &order);
+        assert!(txt.contains('·'));
+    }
+
+    #[test]
+    fn custom_labels() {
+        let dag = Dag::from_edges(2, &[(0, 1)]).unwrap();
+        let layering = Layering::from_slice(&[2, 1]);
+        let p = ProperLayering::build(&dag, &layering);
+        let order = initial_order(&p);
+        let txt = render_ascii(&p, &order, |v| format!("node{}", v.index()));
+        assert!(txt.contains("node0") && txt.contains("node1"));
+    }
+}

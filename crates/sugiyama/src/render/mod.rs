@@ -1,0 +1,6 @@
+//! Drawing back-ends: SVG for documents, ASCII for terminals, ranked DOT
+//! for Graphviz interop.
+
+pub mod ascii;
+pub mod dot;
+pub mod svg;

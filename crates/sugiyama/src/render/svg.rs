@@ -1,0 +1,165 @@
+//! SVG rendering of a laid-out DAG.
+
+use crate::coords::Coordinates;
+use crate::ordering::LayerOrder;
+use antlayer_graph::NodeId;
+use antlayer_layering::ProperLayering;
+use std::fmt::Write as _;
+
+/// Rendering options for [`render_svg`].
+#[derive(Clone, Debug)]
+pub struct SvgOptions {
+    /// Pixels per layout unit.
+    pub scale: f64,
+    /// Vertex circle radius in pixels.
+    pub node_radius: f64,
+    /// Whether to draw dummy vertices as small dots (for debugging
+    /// layerings) instead of hiding them inside edge polylines.
+    pub show_dummies: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            scale: 40.0,
+            node_radius: 10.0,
+            show_dummies: false,
+        }
+    }
+}
+
+/// Renders the drawing as a standalone SVG document.
+///
+/// Long edges are drawn as polylines through their dummy-vertex bend
+/// points, which is the visual payoff of the layering step: fewer/narrower
+/// dummy columns mean straighter edge bundles.
+pub fn render_svg(
+    p: &ProperLayering,
+    order: &LayerOrder,
+    coords: &Coordinates,
+    label: impl Fn(NodeId) -> String,
+    opts: &SvgOptions,
+) -> String {
+    let s = opts.scale;
+    let margin = 2.0 * opts.node_radius + 10.0;
+    let px = |x: f64| x * s + margin;
+    // Flip y: SVG grows downward, our layers grow upward.
+    let py = |y: f64| (coords.height - y) * s + margin;
+    let width_px = coords.width * s + 2.0 * margin;
+    let height_px = coords.height * s + 2.0 * margin;
+
+    let mut out = String::with_capacity(1024);
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width_px:.0}" height="{height_px:.0}" viewBox="0 0 {width_px:.0} {height_px:.0}">"#
+    );
+    let _ = writeln!(
+        out,
+        r#"  <rect width="100%" height="100%" fill="white"/>"#
+    );
+
+    // Edges: one polyline per original-edge chain.
+    for chain in &p.chains {
+        let pts: Vec<String> = chain
+            .iter()
+            .map(|&v| format!("{:.1},{:.1}", px(coords.x[v]), py(coords.y[v])))
+            .collect();
+        let _ = writeln!(
+            out,
+            r##"  <polyline points="{}" fill="none" stroke="#555" stroke-width="1.5"/>"##,
+            pts.join(" ")
+        );
+    }
+
+    // Vertices on top of edges.
+    for layer in order {
+        for &v in layer {
+            let (x, y) = (px(coords.x[v]), py(coords.y[v]));
+            if p.kinds[v.index()].is_dummy() {
+                if opts.show_dummies {
+                    let _ = writeln!(
+                        out,
+                        r##"  <circle cx="{x:.1}" cy="{y:.1}" r="{:.1}" fill="#bbb"/>"##,
+                        opts.node_radius / 3.0
+                    );
+                }
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                r##"  <circle cx="{x:.1}" cy="{y:.1}" r="{:.1}" fill="#4a90d9" stroke="#1c5a96"/>"##,
+                opts.node_radius
+            );
+            let _ = writeln!(
+                out,
+                r#"  <text x="{x:.1}" y="{:.1}" font-size="{:.0}" text-anchor="middle" fill="white">{}</text>"#,
+                y + opts.node_radius * 0.35,
+                opts.node_radius,
+                escape_xml(&label(v))
+            );
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn escape_xml(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coords::{assign_coordinates, CoordOptions};
+    use crate::ordering::{minimize_crossings, OrderingHeuristic};
+    use antlayer_graph::Dag;
+    use antlayer_layering::{Layering, WidthModel};
+
+    fn render_fixture(show_dummies: bool) -> String {
+        let dag = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (0, 3)]).unwrap();
+        let layering = Layering::from_slice(&[3, 2, 1, 1]);
+        let p = ProperLayering::build(&dag, &layering);
+        let order = minimize_crossings(&p, OrderingHeuristic::Barycenter, 4);
+        let coords = assign_coordinates(&p, &order, &WidthModel::unit(), CoordOptions::default());
+        render_svg(
+            &p,
+            &order,
+            &coords,
+            |v| format!("v{}", v.index()),
+            &SvgOptions {
+                show_dummies,
+                ..SvgOptions::default()
+            },
+        )
+    }
+
+    #[test]
+    fn produces_well_formed_svg() {
+        let svg = render_fixture(false);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 4); // real nodes only
+        assert_eq!(svg.matches("<polyline").count(), 4); // one per edge
+        assert!(svg.contains(">v0<"));
+    }
+
+    #[test]
+    fn dummy_dots_are_optional() {
+        let hidden = render_fixture(false);
+        let shown = render_fixture(true);
+        assert!(shown.matches("<circle").count() > hidden.matches("<circle").count());
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let dag = Dag::from_edges(1, &[]).unwrap();
+        let p = ProperLayering::build(&dag, &Layering::flat(1));
+        let order = vec![vec![antlayer_graph::NodeId::new(0)]];
+        let coords =
+            assign_coordinates(&p, &order, &WidthModel::unit(), CoordOptions::default());
+        let svg = render_svg(&p, &order, &coords, |_| "<a&b>".into(), &SvgOptions::default());
+        assert!(svg.contains("&lt;a&amp;b&gt;"));
+    }
+}

@@ -1,0 +1,59 @@
+//! Benchmark-style comparison on a slice of the AT&T-like suite: the
+//! paper's five algorithms over three size groups, reporting the mean of
+//! every quality metric. A miniature of the full `experiments` harness.
+//!
+//! Run with: `cargo run --release --example compare_algorithms`
+
+use antlayer::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // A small, seeded slice of the suite: 19 groups x 4 graphs.
+    let suite = GraphSuite::att_like_scaled(42, 76);
+    let widths = WidthModel::unit();
+
+    let aco = AcoLayering::new(AcoParams::default().with_seed(7));
+    let lpl_pl = Refined::new(LongestPath, Promote::new());
+    let minwidth = MinWidth::new();
+    let mw_pl = Refined::new(MinWidth::new(), Promote::new());
+    let algorithms: Vec<&dyn LayeringAlgorithm> =
+        vec![&LongestPath, &lpl_pl, &minwidth, &mw_pl, &aco];
+
+    let mut table = Table::new(&[
+        "algorithm", "height", "width", "w_excl", "dummies", "edge_density", "ms/graph",
+    ]);
+    for algo in algorithms {
+        let mut sums = [0.0f64; 5];
+        let mut count = 0usize;
+        let start = Instant::now();
+        for (_, dag) in suite.iter() {
+            let layering = algo.layer(dag, &widths);
+            let m = LayeringMetrics::compute(dag, &layering, &widths);
+            sums[0] += m.height as f64;
+            sums[1] += m.width;
+            sums[2] += m.width_excl_dummies;
+            sums[3] += m.dummy_count as f64;
+            sums[4] += m.edge_density as f64;
+            count += 1;
+        }
+        let ms = start.elapsed().as_secs_f64() * 1e3 / count as f64;
+        let n = count as f64;
+        table.push_row(vec![
+            algo.name().into(),
+            (sums[0] / n).into(),
+            (sums[1] / n).into(),
+            (sums[2] / n).into(),
+            (sums[3] / n).into(),
+            (sums[4] / n).into(),
+            ms.into(),
+        ]);
+    }
+
+    println!(
+        "mean metrics over {} AT&T-like graphs (m/n = {:.2}):\n",
+        suite.len(),
+        suite.mean_edge_node_ratio()
+    );
+    print!("{}", table.to_aligned());
+    println!("\nAs Markdown:\n\n{}", table.to_markdown());
+}

@@ -1,0 +1,58 @@
+//! Measuring the heuristics against ground truth: for tiny DAGs the exact
+//! branch-and-bound of `antlayer_layering::exact` solves the NP-complete
+//! "minimum width at minimum height" problem from the paper's introduction,
+//! and the network simplex gives the exact minimum dummy count. This
+//! example reports how close LPL/MinWidth/PL/ACO get on a batch of small
+//! instances.
+//!
+//! Run with: `cargo run --release --example exact_validation`
+
+use antlayer::layering::{exact, metrics, NetworkSimplex};
+use antlayer::prelude::*;
+use antlayer_graph::generate;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let wm = WidthModel::unit();
+    let aco = AcoLayering::new(AcoParams::default().with_colony(6, 6).with_seed(1));
+    let lpl_pl = Refined::new(LongestPath, Promote::new());
+
+    let mut width_gap_lpl = 0.0;
+    let mut width_gap_aco = 0.0;
+    let mut dummy_gap_pl = 0u64;
+    let mut dummy_gap_ns_check = 0u64;
+    let batches = 25;
+
+    for _ in 0..batches {
+        let dag = generate::gnp_dag(9, 0.22, &mut rng);
+
+        // Exact min width at the minimum height vs LPL (the only heuristic
+        // guaranteed to use minimum height).
+        let (_, w_opt) = exact::min_width_at_min_height(&dag, &wm).expect("feasible");
+        let w_lpl = metrics::width(&dag, &LongestPath.layer(&dag, &wm), &wm);
+        width_gap_lpl += w_lpl - w_opt;
+
+        // The colony is allowed extra height, so compare its width against
+        // the optimum over a relaxed height bound too.
+        let aco_layering = aco.layer(&dag, &wm);
+        let (_, w_opt_relaxed) =
+            exact::min_width_layering(&dag, aco_layering.height(), &wm).expect("feasible");
+        width_gap_aco += metrics::width(&dag, &aco_layering, &wm) - w_opt_relaxed;
+
+        // Promote vs the exact minimum dummy count (network simplex).
+        let d_ns = metrics::dummy_count(&dag, &NetworkSimplex.layer(&dag, &wm));
+        let d_pl = metrics::dummy_count(&dag, &lpl_pl.layer(&dag, &wm));
+        assert!(d_ns <= d_pl, "network simplex must be optimal");
+        dummy_gap_pl += d_pl - d_ns;
+        dummy_gap_ns_check += d_ns;
+    }
+
+    let b = batches as f64;
+    println!("over {batches} random 9-vertex DAGs (means per graph):");
+    println!("  LPL width above the exact min-width-at-min-height: {:+.2}", width_gap_lpl / b);
+    println!("  ACO width above the exact optimum at its own height: {:+.2}", width_gap_aco / b);
+    println!("  LPL+PL dummies above the exact minimum (network simplex): {:+.2}", dummy_gap_pl as f64 / b);
+    println!("  (exact minimum dummy count averaged {:.2})", dummy_gap_ns_check as f64 / b);
+}

@@ -1,0 +1,49 @@
+//! A scaled-down version of the paper's §VIII parameter study: sweep
+//! α, β over a 3×3 grid and nd_width over {0.1, 0.6, 1.0} on a small
+//! workload, and report mean objective and wall time.
+//!
+//! Run with: `cargo run --release --example parameter_tuning`
+//! (The full 5×5 and 12-point sweeps live in the `experiments` harness:
+//! `cargo run -p antlayer-bench --bin experiments -- tune-alpha-beta`.)
+
+use antlayer::aco::tuning;
+use antlayer::prelude::*;
+
+fn main() {
+    let suite = GraphSuite::att_like_scaled(11, 19); // one graph per group
+    let graphs: Vec<Dag> = suite.iter().map(|(_, d)| d.clone()).collect();
+    let widths = WidthModel::unit();
+    let base = AcoParams::default().with_colony(6, 6).with_seed(3);
+
+    println!("alpha/beta grid (mean objective, higher is better):\n");
+    let mut table = Table::new(&["alpha", "beta", "objective", "height", "width", "seconds"]);
+    for alpha in [1.0, 3.0, 5.0] {
+        for beta in [1.0, 3.0, 5.0] {
+            let params = base.clone().with_alpha_beta(alpha, beta);
+            let point = tuning::evaluate(&graphs, &params, &widths);
+            table.push_row(vec![
+                alpha.into(),
+                beta.into(),
+                point.mean_objective.into(),
+                point.mean_height.into(),
+                point.mean_width.into(),
+                point.seconds.into(),
+            ]);
+        }
+    }
+    print!("{}", table.to_aligned());
+
+    println!("\nnd_width sweep:\n");
+    let mut table = Table::new(&["nd_width", "objective", "height", "width", "seconds"]);
+    for nd in [0.1, 0.6, 1.0] {
+        let point = tuning::evaluate(&graphs, &base, &WidthModel::with_dummy_width(nd));
+        table.push_row(vec![
+            nd.into(),
+            point.mean_objective.into(),
+            point.mean_height.into(),
+            point.mean_width.into(),
+            point.seconds.into(),
+        ]);
+    }
+    print!("{}", table.to_aligned());
+}

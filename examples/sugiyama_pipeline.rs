@@ -1,0 +1,66 @@
+//! End-to-end Sugiyama pipeline on a cyclic call graph: cycle removal →
+//! ant-colony layering → crossing minimization → coordinates → SVG + ASCII.
+//!
+//! Run with: `cargo run --example sugiyama_pipeline`
+//! Writes `target/callgraph.svg`.
+
+use antlayer::prelude::*;
+use antlayer::sugiyama::OrderingHeuristic;
+
+fn main() {
+    // A call graph with a recursion cycle (4 -> 1) and a mutual pair (6, 7).
+    let names = [
+        "main", "parse", "eval", "print", "resolve", "lookup", "alloc", "gc", "fmt",
+    ];
+    let graph = DiGraph::from_edges(
+        9,
+        &[
+            (0, 1), // main -> parse
+            (0, 2), // main -> eval
+            (0, 3), // main -> print
+            (1, 4), // parse -> resolve
+            (4, 1), // resolve -> parse (cycle!)
+            (2, 4),
+            (2, 5), // eval -> lookup
+            (4, 5),
+            (5, 6), // lookup -> alloc
+            (6, 7), // alloc -> gc
+            (7, 6), // gc -> alloc (cycle!)
+            (3, 8), // print -> fmt
+            (2, 8),
+        ],
+    )
+    .expect("simple digraph");
+
+    let aco = AcoLayering::new(AcoParams::default().with_seed(99));
+    let opts = PipelineOptions {
+        ordering: OrderingHeuristic::Barycenter,
+        ..PipelineOptions::default()
+    };
+    let drawing = draw(&graph, &aco, &opts);
+
+    println!(
+        "cycle removal reversed {} edge(s): {:?}",
+        drawing.reversed_edges.len(),
+        drawing
+            .reversed_edges
+            .iter()
+            .map(|(u, v)| format!("{} -> {}", names[u.index()], names[v.index()]))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "layering: height {}, width {:.1}, {} dummies, {} crossings\n",
+        drawing.metrics.height,
+        drawing.metrics.width,
+        drawing.metrics.dummy_count,
+        drawing.crossings
+    );
+
+    println!("{}", drawing.to_ascii(|v| names[v.index()].to_string()));
+
+    let svg = drawing.to_svg(|v| names[v.index()].to_string(), &SvgOptions::default());
+    let out = std::path::Path::new("target").join("callgraph.svg");
+    std::fs::create_dir_all("target").ok();
+    std::fs::write(&out, &svg).expect("write svg");
+    println!("wrote {}", out.display());
+}

@@ -1,0 +1,126 @@
+//! Fixtures transcribed from the paper itself: the stretch re-indexing of
+//! Fig. 2, the width bookkeeping of Fig. 3 / Algorithm 5, and the overall
+//! behavioural claims of §VII quoted against small deterministic inputs.
+
+use antlayer::aco::{compute_widths, stretch, SearchState, StretchStrategy};
+use antlayer::prelude::*;
+
+/// Fig. 2: LPL layers L1..L4 stretched by inserting new layers in between.
+#[test]
+fn fig2_between_stretch_reindexes_uniformly() {
+    // 4 LPL layers, 3 gaps; stretch to 10 → 6 extra, 2 per gap.
+    let lpl = Layering::from_slice(&[4, 3, 2, 1]);
+    let s = stretch(&lpl, 10, StretchStrategy::Between);
+    assert_eq!(s.total_layers, 10);
+    assert_eq!(s.layering.as_node_vec().as_slice(), &[10, 7, 4, 1]);
+}
+
+/// Fig. 1: the alternative (inferior) strategies stack layers above/below.
+#[test]
+fn fig1_above_below_strategies() {
+    let lpl = Layering::from_slice(&[2, 1]);
+    let above = stretch(&lpl, 6, StretchStrategy::Above);
+    assert_eq!(above.layering.as_node_vec().as_slice(), &[2, 1]);
+    let below = stretch(&lpl, 6, StretchStrategy::Below);
+    assert_eq!(below.layering.as_node_vec().as_slice(), &[6, 5]);
+    // Both leave the layer span of interior vertices unchanged — the
+    // paper's argument for inserting in between.
+}
+
+/// Algorithm 5 / Fig. 3: moving a vertex updates exactly the traversed
+/// layers by ±indeg/±outdeg dummy widths.
+#[test]
+fn algorithm5_width_reflection_matches_recomputation() {
+    // The Fig. 3 shape: vertex v with 2 in-edges from above and 2 out-edges
+    // below, moved up by two layers.
+    let dag = Dag::from_edges(
+        5,
+        &[
+            (0, 2), // in-edges to v = node 2
+            (1, 2),
+            (2, 3), // out-edges of v
+            (2, 4),
+        ],
+    )
+    .unwrap();
+    let wm = WidthModel::unit();
+    // Layers: sources on 6, v on 3, sinks on 1; total layers 7.
+    let layering = Layering::from_slice(&[6, 6, 3, 1, 1]);
+    let mut state = SearchState::new(&dag, &layering, 7, &wm);
+
+    let before = state.width.clone();
+    state.move_vertex(&dag, &wm, NodeId::new(2), 5);
+    // In-edge dummies disappeared from layers 4 and 5 (−2 each), out-edge
+    // dummies appeared on layers 3 and 4 (+2 each), v's own width moved
+    // from layer 3 to 5.
+    assert_eq!(state.width[3], before[3] + 2.0 - 1.0); // +out −v
+    assert_eq!(state.width[4], before[4] + 2.0 - 2.0); // +out −in
+    assert_eq!(state.width[5], before[5] - 2.0 + 1.0); // −in +v
+    // And the incremental result equals a fresh recomputation.
+    let fresh = compute_widths(&dag, &state.layer, 7, &wm);
+    assert_eq!(&state.width[1..], &fresh[1..]);
+}
+
+/// §VII: "the width of the layerings produced by our algorithm is smaller
+/// than the width of the LPL layerings" — checked on a deterministic
+/// fan-heavy fixture where LPL is clearly suboptimal.
+#[test]
+fn section7_aco_narrows_lpl_fan() {
+    // Three chains of different lengths hanging from one root onto one
+    // sink plane: LPL piles all chain tails onto L1.
+    let mut edges = Vec::new();
+    // root 0; chains: 1-2-3-4, 5-6, 7.
+    edges.extend([(0u32, 1u32), (1, 2), (2, 3), (3, 4)]);
+    edges.extend([(0, 5), (5, 6)]);
+    edges.extend([(0, 7)]);
+    let dag = Dag::from_edges(8, &edges).unwrap();
+    let wm = WidthModel::unit();
+    let lpl = LongestPath.layer(&dag, &wm);
+    let lpl_m = LayeringMetrics::compute(&dag, &lpl, &wm);
+    let aco = AcoLayering::new(AcoParams::default().with_seed(4)).layer(&dag, &wm);
+    let aco_m = LayeringMetrics::compute(&dag, &aco, &wm);
+    assert!(
+        aco_m.width <= lpl_m.width,
+        "ACO width {} vs LPL {}",
+        aco_m.width,
+        lpl_m.width
+    );
+    // Height may grow a little (the paper reports 20–30%), but must stay
+    // within the LPL height plus the slack the stretch provides.
+    assert!(aco_m.height as f64 <= 1.5 * lpl_m.height as f64);
+}
+
+/// §VII: the ACO layering "matches the widths of the LPL plus the PL
+/// heuristic" — on the suite slice the two are close (within 25%).
+#[test]
+fn section7_aco_tracks_lpl_pl_width() {
+    let suite = GraphSuite::att_like_scaled(21, 19);
+    let wm = WidthModel::unit();
+    let aco = AcoLayering::new(AcoParams::default().with_colony(6, 6).with_seed(2));
+    let lpl_pl = Refined::new(LongestPath, Promote::new());
+    let mut w_aco = 0.0;
+    let mut w_ref = 0.0;
+    for (_, dag) in suite.iter() {
+        w_aco += LayeringMetrics::compute(dag, &aco.layer(dag, &wm), &wm).width;
+        w_ref += LayeringMetrics::compute(dag, &lpl_pl.layer(dag, &wm), &wm).width;
+    }
+    let ratio = w_aco / w_ref;
+    assert!(
+        (0.7..=1.3).contains(&ratio),
+        "ACO/LPL+PL width ratio {ratio:.2} outside the reproduction band"
+    );
+}
+
+/// §II definitions on a worked example: spans, dummies, density.
+#[test]
+fn section2_definitions_worked_example() {
+    // Edge (u, v) with u ∈ L4, v ∈ L1 has span 3 → 2 dummies on L2, L3.
+    let dag = Dag::from_edges(2, &[(0, 1)]).unwrap();
+    let l = Layering::from_slice(&[4, 1]);
+    assert_eq!(l.edge_span(NodeId::new(0), NodeId::new(1)), 3);
+    let m = LayeringMetrics::compute(&dag, &l, &WidthModel::unit());
+    assert_eq!(m.dummy_count, 2);
+    // The edge crosses every one of the 3 gaps.
+    assert_eq!(m.edge_density, 1);
+    assert_eq!(m.height, 2, "only two layers hold real vertices");
+}
