@@ -1,0 +1,108 @@
+//! Micro-benchmarks of the serving subsystem's hot paths: digest
+//! computation, cache-hit service, cold computation, and protocol
+//! encode/decode. The end-to-end socket path is covered by the `loadgen`
+//! binary; these isolate the in-process layers.
+
+use antlayer_aco::AcoParams;
+use antlayer_graph::generate;
+use antlayer_service::protocol::{encode_layout_response, parse_request, Request};
+use antlayer_service::{AlgoSpec, LayoutRequest, Scheduler, SchedulerConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn request(seed: u64, n: usize) -> LayoutRequest {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = generate::random_dag_with_edges(n, n * 3 / 2, &mut rng).into_graph();
+    LayoutRequest::new(
+        g,
+        AlgoSpec::Aco(AcoParams::default().with_colony(4, 4).with_seed(seed)),
+    )
+}
+
+fn bench_digest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_digest");
+    for n in [50usize, 200, 1000] {
+        let req = request(1, n);
+        group.bench_with_input(BenchmarkId::new("digest", n), &req, |b, req| {
+            b.iter(|| std::hint::black_box(req).digest())
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_hit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_cache");
+    for n in [50usize, 200] {
+        let scheduler = Scheduler::new(SchedulerConfig {
+            threads: 2,
+            ..Default::default()
+        });
+        let req = request(2, n);
+        // Warm the cache once.
+        scheduler.submit(req.clone()).unwrap().wait().unwrap();
+        group.bench_with_input(BenchmarkId::new("hit", n), &req, |b, req| {
+            b.iter(|| scheduler.submit(req.clone()).unwrap().wait().unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_cold_compute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_cold");
+    group.sample_size(10);
+    for n in [30usize, 60] {
+        let scheduler = Scheduler::new(SchedulerConfig {
+            threads: 2,
+            ..Default::default()
+        });
+        // A distinct seed each iteration defeats the cache; the counter
+        // wraps far beyond any realistic iteration count.
+        let mut seed = 1_000u64;
+        group.bench_with_input(BenchmarkId::new("cold", n), &n, |b, &n| {
+            b.iter(|| {
+                seed += 1;
+                scheduler.submit(request(seed, n)).unwrap().wait().unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_protocol");
+    let scheduler = Scheduler::new(SchedulerConfig {
+        threads: 1,
+        ..Default::default()
+    });
+    let response = scheduler.submit(request(3, 100)).unwrap().wait().unwrap();
+    group.bench_with_input(
+        BenchmarkId::from_parameter("encode_response_n100"),
+        &response,
+        |b, r| b.iter(|| encode_layout_response(std::hint::black_box(r))),
+    );
+    let line = r#"{"op":"layout","algo":"aco","nodes":6,"edges":[[0,1],[0,2],[1,3],[2,3],[3,4],[3,5]],"ants":4,"tours":4}"#;
+    group.bench_with_input(
+        BenchmarkId::from_parameter("parse_request_small"),
+        &line,
+        |b, line| {
+            b.iter(|| {
+                let Request::Layout(req) = parse_request(std::hint::black_box(line)).unwrap()
+                else {
+                    unreachable!()
+                };
+                req
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_digest,
+    bench_cache_hit,
+    bench_cold_compute,
+    bench_protocol
+);
+criterion_main!(benches);

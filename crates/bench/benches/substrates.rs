@@ -70,18 +70,14 @@ fn bench_par_map(c: &mut Criterion) {
     let mut group = c.benchmark_group("par_map");
     let items: Vec<u64> = (0..512).collect();
     for threads in [1usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &items,
-            |b, items| {
-                b.iter(|| {
-                    par_map(threads, items.clone(), |_, x| {
-                        // A small CPU-bound payload.
-                        (0..500u64).fold(x, |acc, i| acc.wrapping_mul(31).wrapping_add(i))
-                    })
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &items, |b, items| {
+            b.iter(|| {
+                par_map(threads, items.clone(), |_, x| {
+                    // A small CPU-bound payload.
+                    (0..500u64).fold(x, |acc, i| acc.wrapping_mul(31).wrapping_add(i))
                 })
-            },
-        );
+            })
+        });
     }
     group.finish();
 }

@@ -103,9 +103,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "extended" => extended(&cfg),
         "convergence" => convergence(&cfg),
         "all" => {
-            for c in [
-                "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-            ] {
+            for c in ["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"] {
                 run(&with_cmd(c, args))?;
             }
             // The sweeps re-run the colony 25 / 12 times; use a slice of the
@@ -177,9 +175,19 @@ fn last<'a>(series: &'a [AlgoSeries], name: &str) -> &'a antlayer_bench::GroupAv
 fn fig_width(cfg: &Config, name: &str, names: &[&str]) -> Result<(), String> {
     let series = selected_series(cfg, names);
     let incl = series_table(&series, "width", |g| g.width);
-    emit(cfg, &format!("{name}_width_incl"), &format!("{name}: width including dummy vertices"), &incl)?;
+    emit(
+        cfg,
+        &format!("{name}_width_incl"),
+        &format!("{name}: width including dummy vertices"),
+        &incl,
+    )?;
     let excl = series_table(&series, "width_excl", |g| g.width_excl);
-    emit(cfg, &format!("{name}_width_excl"), &format!("{name}: width excluding dummy vertices"), &excl)?;
+    emit(
+        cfg,
+        &format!("{name}_width_excl"),
+        &format!("{name}: width excluding dummy vertices"),
+        &excl,
+    )?;
     if name == "fig4" {
         check(
             "AntColony width (incl) < LPL width at n=100",
@@ -207,9 +215,19 @@ fn fig_width(cfg: &Config, name: &str, names: &[&str]) -> Result<(), String> {
 fn fig_height_dvc(cfg: &Config, name: &str, names: &[&str]) -> Result<(), String> {
     let series = selected_series(cfg, names);
     let height = series_table(&series, "height", |g| g.height);
-    emit(cfg, &format!("{name}_height"), &format!("{name}: height (number of layers)"), &height)?;
+    emit(
+        cfg,
+        &format!("{name}_height"),
+        &format!("{name}: height (number of layers)"),
+        &height,
+    )?;
     let dvc = series_table(&series, "dvc", |g| g.dvc);
-    emit(cfg, &format!("{name}_dvc"), &format!("{name}: dummy vertex count"), &dvc)?;
+    emit(
+        cfg,
+        &format!("{name}_dvc"),
+        &format!("{name}: dummy vertex count"),
+        &dvc,
+    )?;
     if name == "fig6" {
         let ratio = last(&series, "AntColony").height / last(&series, "LPL").height;
         check(
@@ -233,9 +251,19 @@ fn fig_height_dvc(cfg: &Config, name: &str, names: &[&str]) -> Result<(), String
 fn fig_ed_rt(cfg: &Config, name: &str, names: &[&str]) -> Result<(), String> {
     let series = selected_series(cfg, names);
     let ed = series_table(&series, "edge_density", |g| g.edge_density);
-    emit(cfg, &format!("{name}_edge_density"), &format!("{name}: edge density (max edges crossing a gap)"), &ed)?;
+    emit(
+        cfg,
+        &format!("{name}_edge_density"),
+        &format!("{name}: edge density (max edges crossing a gap)"),
+        &ed,
+    )?;
     let rt = series_table(&series, "running_time", |g| g.ms);
-    emit(cfg, &format!("{name}_running_time"), &format!("{name}: running time (ms per graph)"), &rt)?;
+    emit(
+        cfg,
+        &format!("{name}_running_time"),
+        &format!("{name}: running time (ms per graph)"),
+        &rt,
+    )?;
     if name == "fig8" {
         check(
             "AntColony edge density below LPL at n=100",
@@ -248,7 +276,8 @@ fn fig_ed_rt(cfg: &Config, name: &str, names: &[&str]) -> Result<(), String> {
     } else {
         check(
             "AntColony ED between MinWidth+PL and MinWidth at n=100",
-            last(&series, "MinWidth+PL").edge_density <= last(&series, "AntColony").edge_density + 1.0
+            last(&series, "MinWidth+PL").edge_density
+                <= last(&series, "AntColony").edge_density + 1.0
                 && last(&series, "AntColony").edge_density
                     <= last(&series, "MinWidth").edge_density + 1.0,
         );
@@ -290,7 +319,12 @@ fn tune_alpha_beta(cfg: &Config) -> Result<(), String> {
             p.seconds.into(),
         ]);
     }
-    emit(cfg, "tune_alpha_beta", "§VIII: α × β sweep (mean objective, higher = better)", &table)?;
+    emit(
+        cfg,
+        "tune_alpha_beta",
+        "§VIII: α × β sweep (mean objective, higher = better)",
+        &table,
+    )?;
     let best = tuning::best_point(&points);
     println!(
         "best grid point: alpha = {}, beta = {} (objective {:.4})",
@@ -345,7 +379,12 @@ fn ablate_stretch(cfg: &Config) -> Result<(), String> {
     .collect();
     let series = evaluate_algorithms(&s, &algos, &wm);
     let table = series_table(&series, "width", |g| g.width);
-    emit(cfg, "ablate_stretch_width", "ablation: stretch strategy → width incl. dummies", &table)?;
+    emit(
+        cfg,
+        "ablate_stretch_width",
+        "ablation: stretch strategy → width incl. dummies",
+        &table,
+    )?;
     let between = last(&series, "stretch-between").width;
     let above = last(&series, "stretch-above").width;
     check(
@@ -369,14 +408,26 @@ fn ablate_pheromone(cfg: &Config) -> Result<(), String> {
         ),
         (
             "order-model".into(),
-            Box::new(OrderAcoLayering::new(AcoParams::default().with_seed(cfg.seed))),
+            Box::new(OrderAcoLayering::new(
+                AcoParams::default().with_seed(cfg.seed),
+            )),
         ),
     ];
     let series = evaluate_algorithms(&s, &algos, &wm);
     let width = series_table(&series, "width", |g| g.width);
-    emit(cfg, "ablate_pheromone_width", "ablation: pheromone model → width incl. dummies", &width)?;
+    emit(
+        cfg,
+        "ablate_pheromone_width",
+        "ablation: pheromone model → width incl. dummies",
+        &width,
+    )?;
     let height = series_table(&series, "height", |g| g.height);
-    emit(cfg, "ablate_pheromone_height", "ablation: pheromone model → height", &height)?;
+    emit(
+        cfg,
+        "ablate_pheromone_height",
+        "ablation: pheromone model → height",
+        &height,
+    )?;
     check(
         "layer-assignment pheromone (the paper's choice) no worse on width at n=100",
         last(&series, "layer-model").width <= last(&series, "order-model").width + 0.5,
@@ -403,9 +454,19 @@ fn ablate_minwidth(cfg: &Config) -> Result<(), String> {
         .collect();
     let series = evaluate_algorithms(&s, &algos, &wm);
     let width = series_table(&series, "width", |g| g.width);
-    emit(cfg, "ablate_minwidth_width", "ablation: MinWidth UBW × c → width incl. dummies", &width)?;
+    emit(
+        cfg,
+        "ablate_minwidth_width",
+        "ablation: MinWidth UBW × c → width incl. dummies",
+        &width,
+    )?;
     let height = series_table(&series, "height", |g| g.height);
-    emit(cfg, "ablate_minwidth_height", "ablation: MinWidth UBW × c → height", &height)?;
+    emit(
+        cfg,
+        "ablate_minwidth_height",
+        "ablation: MinWidth UBW × c → height",
+        &height,
+    )?;
     Ok(())
 }
 
@@ -418,7 +479,10 @@ fn extended(cfg: &Config) -> Result<(), String> {
     let algos = antlayer_bench::extended_algorithms(cfg.seed);
     let series = evaluate_algorithms(&s, &algos, &wm);
     for (metric, pick) in [
-        ("width", (|g| g.width) as fn(&antlayer_bench::GroupAverages) -> f64),
+        (
+            "width",
+            (|g| g.width) as fn(&antlayer_bench::GroupAverages) -> f64,
+        ),
         ("height", |g| g.height),
         ("dvc", |g| g.dvc),
     ] {
@@ -462,9 +526,18 @@ fn convergence(cfg: &Config) -> Result<(), String> {
     let count = graphs.len() as f64;
     let mut table = Table::new(&["tour", "best_objective", "mean_objective"]);
     for t in 0..n_tours {
-        table.push_row(vec![t.into(), (best[t] / count).into(), (mean[t] / count).into()]);
+        table.push_row(vec![
+            t.into(),
+            (best[t] / count).into(),
+            (mean[t] / count).into(),
+        ]);
     }
-    emit(cfg, "convergence", "colony convergence: objective per tour (workload mean)", &table)?;
+    emit(
+        cfg,
+        "convergence",
+        "colony convergence: objective per tour (workload mean)",
+        &table,
+    )?;
     check(
         "late tours at least as good as tour 0 (pheromone helps, never hurts)",
         best[n_tours - 1] >= best[0] - 1e-9,
@@ -492,8 +565,18 @@ fn ablate_selection(cfg: &Config) -> Result<(), String> {
             .collect();
     let series = evaluate_algorithms(&s, &algos, &wm);
     let width = series_table(&series, "width", |g| g.width);
-    emit(cfg, "ablate_selection_width", "ablation: selection rule → width incl. dummies", &width)?;
+    emit(
+        cfg,
+        "ablate_selection_width",
+        "ablation: selection rule → width incl. dummies",
+        &width,
+    )?;
     let height = series_table(&series, "height", |g| g.height);
-    emit(cfg, "ablate_selection_height", "ablation: selection rule → height", &height)?;
+    emit(
+        cfg,
+        "ablate_selection_height",
+        "ablation: selection rule → height",
+        &height,
+    )?;
     Ok(())
 }

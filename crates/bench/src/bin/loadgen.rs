@@ -1,0 +1,256 @@
+//! `loadgen` — load generator for the `antlayer serve` subsystem.
+//!
+//! Spawns an in-process server on a loopback port (or targets an
+//! external one via `--addr`), drives it with concurrent JSON-over-TCP
+//! clients, and reports throughput and latency percentiles for cold
+//! (every request a new graph), cached (one graph requested repeatedly)
+//! and mixed workloads.
+//!
+//! ```text
+//! loadgen [--mode cold|cached|mixed] [--requests N] [--clients C]
+//!         [--n NODES] [--ants A] [--tours T] [--deadline-ms D]
+//!         [--threads W] [--addr HOST:PORT]
+//! ```
+//!
+//! With no `--addr`, an in-process server is started and shut down
+//! around the run; its cache/scheduler counters are printed at the end
+//! (`computed` vs `cache_hits` shows how much work the digest cache
+//! absorbed).
+
+use antlayer_graph::generate;
+use antlayer_service::protocol::{parse, Json};
+use antlayer_service::{SchedulerConfig, Server, ServerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+struct Options {
+    mode: String,
+    requests: usize,
+    clients: usize,
+    n: usize,
+    ants: usize,
+    tours: usize,
+    deadline_ms: Option<u64>,
+    threads: usize,
+    addr: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut o = Options {
+        mode: "mixed".into(),
+        requests: 200,
+        clients: 4,
+        n: 60,
+        ants: 8,
+        tours: 8,
+        deadline_ms: None,
+        threads: 0,
+        addr: None,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--mode" => o.mode = value(&mut i)?,
+            "--requests" => o.requests = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--clients" => o.clients = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--n" => o.n = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--ants" => o.ants = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--tours" => o.tours = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--deadline-ms" => {
+                o.deadline_ms = Some(value(&mut i)?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--threads" => o.threads = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--addr" => o.addr = Some(value(&mut i)?),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    if !["cold", "cached", "mixed"].contains(&o.mode.as_str()) {
+        return Err(format!(
+            "--mode must be cold|cached|mixed, got '{}'",
+            o.mode
+        ));
+    }
+    if o.requests == 0 || o.clients == 0 {
+        return Err("--requests and --clients must be positive".into());
+    }
+    Ok(o)
+}
+
+/// Builds the request line for graph-seed `seed`.
+fn request_line(o: &Options, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dag = generate::random_dag_with_edges(o.n, o.n * 3 / 2, &mut rng);
+    let g = dag.into_graph();
+    let mut obj = std::collections::BTreeMap::new();
+    obj.insert("op".to_string(), Json::Str("layout".into()));
+    obj.insert("algo".to_string(), Json::Str("aco".into()));
+    obj.insert("nodes".to_string(), Json::Num(g.node_count() as f64));
+    obj.insert(
+        "edges".to_string(),
+        Json::Arr(
+            g.edges()
+                .map(|(u, v)| {
+                    Json::Arr(vec![
+                        Json::Num(u.index() as f64),
+                        Json::Num(v.index() as f64),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    obj.insert("seed".to_string(), Json::Num(seed as f64));
+    obj.insert("ants".to_string(), Json::Num(o.ants as f64));
+    obj.insert("tours".to_string(), Json::Num(o.tours as f64));
+    if let Some(d) = o.deadline_ms {
+        obj.insert("deadline_ms".to_string(), Json::Num(d as f64));
+    }
+    Json::Obj(obj).encode()
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let o = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // Start (or target) the server.
+    let (addr, handle) = match &o.addr {
+        Some(a) => (a.clone(), None),
+        None => {
+            let server = Server::bind(ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                scheduler: SchedulerConfig {
+                    threads: o.threads,
+                    ..Default::default()
+                },
+                ..Default::default()
+            })
+            .expect("bind loopback");
+            let handle = server.spawn().expect("spawn server");
+            (handle.addr().to_string(), Some(handle))
+        }
+    };
+
+    // Pre-build the request lines: cold = all distinct, cached = one
+    // line repeated, mixed = 10 distinct lines round-robin.
+    let distinct = match o.mode.as_str() {
+        "cold" => o.requests,
+        "cached" => 1,
+        _ => 10.min(o.requests),
+    };
+    let lines: Vec<String> = (0..distinct).map(|s| request_line(&o, s as u64)).collect();
+
+    println!(
+        "loadgen: mode={} requests={} clients={} n={} colony={}x{} addr={}",
+        o.mode, o.requests, o.clients, o.n, o.ants, o.tours, addr
+    );
+
+    let started = Instant::now();
+    let per_client = o.requests.div_ceil(o.clients);
+    let lines_ref = &lines;
+    let addr_ref = addr.as_str();
+    let latencies: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client in 0..o.clients {
+            let lo = client * per_client;
+            let hi = ((client + 1) * per_client).min(o.requests);
+            if lo >= hi {
+                break;
+            }
+            handles.push(scope.spawn(move || {
+                let stream = TcpStream::connect(addr_ref).expect("connect");
+                stream.set_nodelay(true).expect("nodelay");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(120)))
+                    .expect("read timeout");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut writer = stream;
+                let mut lat = Vec::with_capacity(hi - lo);
+                for i in lo..hi {
+                    let line = &lines_ref[i % lines_ref.len()];
+                    let t0 = Instant::now();
+                    writeln!(writer, "{line}").expect("send");
+                    let mut reply = String::new();
+                    reader.read_line(&mut reply).expect("recv");
+                    lat.push(t0.elapsed().as_micros() as u64);
+                    let v = parse(reply.trim_end()).expect("parse reply");
+                    assert_eq!(
+                        v.get("ok"),
+                        Some(&Json::Bool(true)),
+                        "server error: {reply}"
+                    );
+                }
+                lat
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let wall = started.elapsed();
+
+    let mut all: Vec<u64> = latencies.into_iter().flatten().collect();
+    all.sort_unstable();
+    let total = all.len() as u64;
+    let mean = all.iter().sum::<u64>() as f64 / total.max(1) as f64;
+    println!(
+        "throughput: {:.1} req/s ({total} requests in {:.3} s)",
+        total as f64 / wall.as_secs_f64(),
+        wall.as_secs_f64()
+    );
+    println!(
+        "latency us: mean {:.0}  p50 {}  p95 {}  p99 {}  max {}",
+        mean,
+        percentile(&all, 0.50),
+        percentile(&all, 0.95),
+        percentile(&all, 0.99),
+        all.last().copied().unwrap_or(0)
+    );
+
+    // Pull the server-side counters over the wire.
+    if let Ok(stream) = TcpStream::connect(&addr) {
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        if writeln!(writer, "{{\"op\":\"stats\"}}").is_ok() {
+            let mut reply = String::new();
+            if reader.read_line(&mut reply).is_ok() {
+                if let Ok(stats) = parse(reply.trim_end()) {
+                    let f = |k: &str| stats.get(k).and_then(Json::as_u64).unwrap_or(0);
+                    println!(
+                        "server: computed {}  cache_hits {}  coalesced {}  rejected {}  evictions {}",
+                        f("computed"),
+                        f("cache_hits"),
+                        f("coalesced"),
+                        f("rejected"),
+                        f("cache_evictions")
+                    );
+                }
+            }
+        }
+    }
+
+    drop(handle);
+}

@@ -97,14 +97,13 @@ pub fn evaluate_algorithm(
         .iter()
         .map(|group| {
             let items: Vec<&Dag> = group.graphs.iter().collect();
-            let per_graph: Vec<(LayeringMetrics, f64)> =
-                par_map(threads, items, |_, dag| {
-                    let start = Instant::now();
-                    let layering = algo.layer(dag, wm);
-                    let ms = start.elapsed().as_secs_f64() * 1e3;
-                    debug_assert!(layering.validate(dag).is_ok());
-                    (LayeringMetrics::compute(dag, &layering, wm), ms)
-                });
+            let per_graph: Vec<(LayeringMetrics, f64)> = par_map(threads, items, |_, dag| {
+                let start = Instant::now();
+                let layering = algo.layer(dag, wm);
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                debug_assert!(layering.validate(dag).is_ok());
+                (LayeringMetrics::compute(dag, &layering, wm), ms)
+            });
             let count = per_graph.len().max(1) as f64;
             let mut avg = GroupAverages {
                 n: group.n,

@@ -1,24 +1,35 @@
 //! `antlayer` — command-line front end.
 //!
 //! ```text
-//! antlayer layer  [--algo NAME] [--nd-width F] [--seed N] FILE   # print metrics + layers
-//! antlayer draw   [--algo NAME] [--svg OUT] [--seed N] FILE      # render ASCII (and SVG)
+//! antlayer layer  [--algo NAME] [--nd-width F] [--seed N] [--threads N] FILE
+//!                                                                # print metrics + layers
+//! antlayer draw   [--algo NAME] [--svg OUT] [--seed N] [--threads N] FILE
+//!                                                                # render ASCII (and SVG)
 //! antlayer gen    [--n N] [--seed S] [--gml]                     # emit a synthetic DAG as DOT/GML
 //! antlayer suite  [--seed S] [--total N]                         # AT&T-like suite statistics
+//! antlayer serve  [--addr HOST:PORT] [--threads N] [--cache-cap N]
+//!                 [--queue-cap N] [--shards N] [--max-conns N]   # batch layout server
 //! ```
 //!
 //! `FILE` may be `-` for stdin; `.gml` files (or `--gml`) are parsed as GML,
 //! anything else as DOT. Algorithms: `lpl`, `lpl-pl`, `minwidth`,
 //! `minwidth-pl`, `cg`, `ns`, `aco` (default `aco`).
+//!
+//! `--threads N` sets the colony's worker threads (`0` = all available,
+//! capped at the ant count); results are identical for every thread count.
+//!
+//! `serve` starts the batch layout server of `antlayer-service`: it
+//! answers newline-delimited JSON layout requests over TCP with
+//! canonical-digest caching, in-flight dedup, admission control, and
+//! per-request `deadline_ms` budgets (anytime ACO). See the
+//! `antlayer-service` crate docs for the wire format.
 
-use antlayer_aco::{AcoLayering, AcoParams};
+use antlayer_aco::AcoParams;
 use antlayer_datasets::{att_like_graph, GraphSuite, Table};
 use antlayer_graph::io::{dot, gml};
 use antlayer_graph::DiGraph;
-use antlayer_layering::{
-    CoffmanGraham, LayeringAlgorithm, LayeringMetrics, LongestPath, MinWidth, NetworkSimplex,
-    Promote, Refined, WidthModel,
-};
+use antlayer_layering::{LayeringAlgorithm, LayeringMetrics, WidthModel};
+use antlayer_service::{AlgoSpec, SchedulerConfig, Server, ServerConfig};
 use antlayer_sugiyama::{draw, PipelineOptions, SvgOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,11 +50,15 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  antlayer layer [--algo NAME] [--nd-width F] [--seed N] FILE
-  antlayer draw  [--algo NAME] [--svg OUT]   [--seed N] FILE
+  antlayer layer [--algo NAME] [--nd-width F] [--seed N] [--threads N] FILE
+  antlayer draw  [--algo NAME] [--svg OUT]   [--seed N] [--threads N] FILE
   antlayer gen   [--n N] [--seed S] [--gml]
   antlayer suite [--seed S] [--total N]
-algorithms: lpl, lpl-pl, minwidth, minwidth-pl, cg, ns, aco (default)";
+  antlayer serve [--addr HOST:PORT] [--threads N] [--cache-cap N]
+                 [--queue-cap N] [--shards N] [--max-conns N]
+algorithms: lpl, lpl-pl, minwidth, minwidth-pl, cg, ns, aco (default)
+threads: colony worker threads, 0 = all available (results are
+thread-count independent)";
 
 /// Minimal flag parser: `--key value` pairs plus positionals.
 struct Flags {
@@ -115,6 +130,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "draw" => cmd_draw(rest),
         "gen" => cmd_gen(rest),
         "suite" => cmd_suite(rest),
+        "serve" => cmd_serve(rest),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -151,34 +167,49 @@ fn load_graph(path: &str, force_gml: bool) -> Result<(DiGraph, Vec<String>), Str
     }
 }
 
-fn make_algorithm(name: &str, seed: u64) -> Result<Box<dyn LayeringAlgorithm>, String> {
-    Ok(match name {
-        "lpl" => Box::new(LongestPath),
-        "lpl-pl" => Box::new(Refined::new(LongestPath, Promote::new())),
-        "minwidth" => Box::new(MinWidth::new()),
-        "minwidth-pl" => Box::new(Refined::new(MinWidth::new(), Promote::new())),
-        "cg" => Box::new(CoffmanGraham::new(4)),
-        "ns" => Box::new(NetworkSimplex),
-        "aco" => Box::new(AcoLayering::new(AcoParams::default().with_seed(seed))),
-        other => return Err(format!("unknown algorithm '{other}'")),
-    })
+fn make_algorithm(
+    name: &str,
+    seed: u64,
+    threads: usize,
+) -> Result<Box<dyn LayeringAlgorithm>, String> {
+    // One construction point for CLI and server: the service crate's
+    // AlgoSpec owns the name -> algorithm mapping.
+    let mut spec = AlgoSpec::parse(name, seed)?;
+    if let AlgoSpec::Aco(params) = &mut spec {
+        *params = cli_aco_params(seed, threads);
+    }
+    Ok(spec.build())
+}
+
+/// The colony parameters the CLI builds from its flags: `--seed` and
+/// `--threads` (0 = all available cores, capped at the ant count by the
+/// colony itself).
+fn cli_aco_params(seed: u64, threads: usize) -> AcoParams {
+    AcoParams::default().with_seed(seed).with_threads(threads)
 }
 
 fn cmd_layer(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &["algo", "nd-width", "seed"])?;
+    let flags = Flags::parse(args, &["algo", "nd-width", "seed", "threads"])?;
     let path = flags
         .positional
         .first()
         .ok_or("layer: missing input file")?;
     let (graph, labels) = load_graph(path, flags.has("gml"))?;
-    let algo = make_algorithm(flags.get("algo").unwrap_or("aco"), flags.get_parsed("seed", 1u64)?)?;
+    let algo = make_algorithm(
+        flags.get("algo").unwrap_or("aco"),
+        flags.get_parsed("seed", 1u64)?,
+        flags.get_parsed("threads", 1usize)?,
+    )?;
     let nd: f64 = flags.get_parsed("nd-width", 1.0)?;
     let widths = WidthModel::with_dummy_width(nd);
 
     // Route through the pipeline's cycle removal so cyclic inputs work.
     let oriented = antlayer_sugiyama::acyclic_orientation(&graph);
     if !oriented.reversed.is_empty() {
-        println!("note: reversed {} edge(s) to break cycles", oriented.reversed.len());
+        println!(
+            "note: reversed {} edge(s) to break cycles",
+            oriented.reversed.len()
+        );
     }
     let layering = algo.layer(&oriented.dag, &widths);
     let m = LayeringMetrics::compute(&oriented.dag, &layering, &widths);
@@ -199,18 +230,22 @@ fn cmd_layer(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_draw(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &["algo", "svg", "seed"])?;
-    let path = flags
-        .positional
-        .first()
-        .ok_or("draw: missing input file")?;
+    let flags = Flags::parse(args, &["algo", "svg", "seed", "threads"])?;
+    let path = flags.positional.first().ok_or("draw: missing input file")?;
     let (graph, labels) = load_graph(path, flags.has("gml"))?;
-    let algo = make_algorithm(flags.get("algo").unwrap_or("aco"), flags.get_parsed("seed", 1u64)?)?;
+    let algo = make_algorithm(
+        flags.get("algo").unwrap_or("aco"),
+        flags.get_parsed("seed", 1u64)?,
+        flags.get_parsed("threads", 1usize)?,
+    )?;
     let drawing = draw(&graph, algo.as_ref(), &PipelineOptions::default());
     println!("{}", drawing.to_ascii(|v| labels[v.index()].clone()));
     println!(
         "height {}, width {:.1}, {} dummies, {} crossings",
-        drawing.metrics.height, drawing.metrics.width, drawing.metrics.dummy_count, drawing.crossings
+        drawing.metrics.height,
+        drawing.metrics.width,
+        drawing.metrics.dummy_count,
+        drawing.crossings
     );
     if let Some(out) = flags.get("svg") {
         let svg = drawing.to_svg(|v| labels[v.index()].clone(), &SvgOptions::default());
@@ -260,6 +295,44 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "addr",
+            "threads",
+            "cache-cap",
+            "queue-cap",
+            "shards",
+            "max-conns",
+        ],
+    )?;
+    // Defaults come from the library's Default impls; flags override.
+    let base = ServerConfig::default();
+    let sched = SchedulerConfig::default();
+    let config = ServerConfig {
+        addr: flags.get("addr").unwrap_or(&base.addr).to_string(),
+        scheduler: SchedulerConfig {
+            threads: flags.get_parsed("threads", sched.threads)?,
+            max_queue_depth: flags.get_parsed("queue-cap", sched.max_queue_depth)?,
+            cache_capacity: flags.get_parsed("cache-cap", sched.cache_capacity)?,
+            cache_shards: flags.get_parsed("shards", sched.cache_shards)?,
+        },
+        max_connections: flags.get_parsed("max-conns", base.max_connections)?,
+    };
+    let server = Server::bind(config).map_err(|e| format!("serve: bind failed: {e}"))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("serve: local addr: {e}"))?;
+    eprintln!(
+        "antlayer serve: listening on {addr} ({} worker threads); \
+         send newline-delimited JSON, e.g. {{\"op\":\"ping\"}}",
+        server.scheduler().threads()
+    );
+    server.run();
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,10 +375,27 @@ mod tests {
 
     #[test]
     fn every_algorithm_name_is_constructible() {
-        for name in ["lpl", "lpl-pl", "minwidth", "minwidth-pl", "cg", "ns", "aco"] {
-            assert!(make_algorithm(name, 1).is_ok(), "{name}");
+        for name in [
+            "lpl",
+            "lpl-pl",
+            "minwidth",
+            "minwidth-pl",
+            "cg",
+            "ns",
+            "aco",
+        ] {
+            assert!(make_algorithm(name, 1, 1).is_ok(), "{name}");
         }
-        assert!(make_algorithm("nope", 1).is_err());
+        assert!(make_algorithm("nope", 1, 1).is_err());
+    }
+
+    #[test]
+    fn threads_flag_reaches_the_colony_params() {
+        // 0 = auto (the colony resolves it via default_threads); explicit
+        // values pass through verbatim.
+        assert_eq!(cli_aco_params(1, 0).threads, 0);
+        assert_eq!(cli_aco_params(1, 3).threads, 3);
+        assert_eq!(cli_aco_params(9, 3).seed, 9);
     }
 
     #[test]

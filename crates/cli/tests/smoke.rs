@@ -38,7 +38,15 @@ fn layer_reads_file_and_prints_metrics() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("g.dot");
     std::fs::write(&path, "digraph { a -> b -> c; a -> c; }").unwrap();
-    for algo in ["lpl", "minwidth", "lpl-pl", "minwidth-pl", "cg", "ns", "aco"] {
+    for algo in [
+        "lpl",
+        "minwidth",
+        "lpl-pl",
+        "minwidth-pl",
+        "cg",
+        "ns",
+        "aco",
+    ] {
         let out = run_ok(&["layer", "--algo", algo, path.to_str().unwrap()]);
         assert!(out.contains("height"), "{algo}: {out}");
         assert!(out.contains("L1"), "{algo} missing layer listing");

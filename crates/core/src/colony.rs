@@ -20,9 +20,7 @@ use crate::stretch::stretch;
 use crate::walk::perform_walk;
 use crate::{AcoParams, SearchState, VertexLayerMatrix};
 use antlayer_graph::Dag;
-use antlayer_layering::{
-    Layering, LayeringAlgorithm, LayeringMetrics, LongestPath, WidthModel,
-};
+use antlayer_layering::{Layering, LayeringAlgorithm, LayeringMetrics, LongestPath, WidthModel};
 use antlayer_parallel::{default_threads, par_map};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -54,6 +52,10 @@ pub struct ColonyRun {
     pub metrics: LayeringMetrics,
     /// Statistics of every tour, in order.
     pub tours: Vec<TourStats>,
+    /// `true` when a deadline cut the layering phase short of `n_tours`
+    /// tours (anytime behaviour). The layering is still valid — it is the
+    /// best state seen up to the stop, at worst the stretched-LPL seed.
+    pub stopped_early: bool,
 }
 
 /// The ant colony for one DAG.
@@ -75,11 +77,8 @@ impl<'a> Colony<'a> {
         let target = params.target_layers.unwrap_or(dag.node_count());
         let stretched = stretch(&lpl, target, params.stretch);
         let base = SearchState::new(dag, &stretched.layering, stretched.total_layers.max(1), wm);
-        let tau = VertexLayerMatrix::filled(
-            dag.node_count(),
-            base.total_layers as usize,
-            params.tau0,
-        );
+        let tau =
+            VertexLayerMatrix::filled(dag.node_count(), base.total_layers as usize, params.tau0);
         let best_objective = if dag.node_count() == 0 {
             0.0
         } else {
@@ -100,10 +99,10 @@ impl<'a> Colony<'a> {
     /// seed, so every (tour, ant) pair gets an independent stream and the
     /// result is reproducible under any thread count.
     fn ant_seed(&self, tour: usize, ant: usize) -> u64 {
-        let mut z = self
-            .params
-            .seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(1 + tour as u64 * self.params.n_ants as u64 + ant as u64));
+        let mut z = self.params.seed.wrapping_add(
+            0x9E37_79B9_7F4A_7C15_u64
+                .wrapping_mul(1 + tour as u64 * self.params.n_ants as u64 + ant as u64),
+        );
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
@@ -137,9 +136,7 @@ impl<'a> Colony<'a> {
             .iter()
             .enumerate()
             .max_by(|(ia, (_, fa)), (ib, (_, fb))| {
-                fa.partial_cmp(fb)
-                    .unwrap()
-                    .then(ib.cmp(ia)) // prefer the lower index on ties
+                fa.partial_cmp(fb).unwrap().then(ib.cmp(ia)) // prefer the lower index on ties
             })
             .expect("n_ants >= 1");
         let mean = walks.iter().map(|(_, f)| f).sum::<f64>() / walks.len() as f64;
@@ -164,9 +161,8 @@ impl<'a> Colony<'a> {
             }
             crate::DepositStrategy::RankBased(k) => {
                 let mut ranked: Vec<usize> = (0..walks.len()).collect();
-                ranked.sort_by(|&a, &b| {
-                    walks[b].1.partial_cmp(&walks[a].1).unwrap().then(a.cmp(&b))
-                });
+                ranked
+                    .sort_by(|&a, &b| walks[b].1.partial_cmp(&walks[a].1).unwrap().then(a.cmp(&b)));
                 for (rank, &idx) in ranked.iter().take(k).enumerate() {
                     let weight = (k - rank) as f64 / k as f64;
                     let (state, f) = &walks[idx];
@@ -205,9 +201,23 @@ impl<'a> Colony<'a> {
         stats
     }
 
-    /// Runs the layering phase: `n_tours` tours. Returns the best layering
-    /// (normalized) with metrics and per-tour statistics.
-    pub fn run(mut self) -> ColonyRun {
+    /// Runs the layering phase: `n_tours` tours, bounded by
+    /// [`AcoParams::time_budget`] when one is set. Returns the best
+    /// layering (normalized) with metrics and per-tour statistics.
+    pub fn run(self) -> ColonyRun {
+        // `run_until` applies the params' time budget itself.
+        self.run_until(None)
+    }
+
+    /// Runs the layering phase against an absolute deadline (anytime ACO).
+    ///
+    /// The clock is checked between tours: once `deadline` has passed, no
+    /// further tour starts and the best-so-far layering is returned with
+    /// [`ColonyRun::stopped_early`] set. An already-expired deadline runs
+    /// zero tours and yields the stretched-LPL seed state, which is always
+    /// a valid layering. `None` never stops early. When both `deadline`
+    /// and [`AcoParams::time_budget`] apply, the earlier one wins.
+    pub fn run_until(mut self, deadline: Option<std::time::Instant>) -> ColonyRun {
         if self.dag.node_count() == 0 {
             return ColonyRun {
                 layering: Layering::from_slice(&[]),
@@ -221,10 +231,28 @@ impl<'a> Colony<'a> {
                     objective: 0.0,
                 },
                 tours: Vec::new(),
+                stopped_early: false,
             };
         }
+        // `checked_add` turns an overflow-sized budget (`Duration::MAX`
+        // as a spelling of "unbounded") into no deadline, not a panic.
+        let budget_deadline = self
+            .params
+            .time_budget
+            .and_then(|budget| std::time::Instant::now().checked_add(budget));
+        let deadline = match (deadline, budget_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         let mut tours = Vec::with_capacity(self.params.n_tours);
+        let mut stopped_early = false;
         for t in 0..self.params.n_tours {
+            if let Some(d) = deadline {
+                if std::time::Instant::now() >= d {
+                    stopped_early = true;
+                    break;
+                }
+            }
             tours.push(self.perform_tour(t));
         }
         let mut layering = self.best.to_layering();
@@ -236,6 +264,7 @@ impl<'a> Colony<'a> {
             objective: self.best_objective,
             metrics,
             tours,
+            stopped_early,
         }
     }
 }
@@ -271,6 +300,19 @@ impl AcoLayering {
         Colony::new(dag, wm, self.params.clone())
             .expect("parameters validated at construction")
             .run()
+    }
+
+    /// Runs the colony against an absolute deadline; see
+    /// [`Colony::run_until`].
+    pub fn run_until(
+        &self,
+        dag: &Dag,
+        wm: &WidthModel,
+        deadline: Option<std::time::Instant>,
+    ) -> ColonyRun {
+        Colony::new(dag, wm, self.params.clone())
+            .expect("parameters validated at construction")
+            .run_until(deadline)
     }
 }
 
@@ -325,7 +367,10 @@ mod tests {
         let dag = generate::random_dag_with_edges(25, 35, &mut rng);
         let seq = AcoLayering::new(small_params().with_threads(1)).run(&dag, &WidthModel::unit());
         let par = AcoLayering::new(small_params().with_threads(4)).run(&dag, &WidthModel::unit());
-        assert_eq!(seq.layering, par.layering, "thread count must not change the result");
+        assert_eq!(
+            seq.layering, par.layering,
+            "thread count must not change the result"
+        );
         assert_eq!(seq.tours, par.tours);
     }
 
@@ -400,6 +445,64 @@ mod tests {
         let dag = Dag::from_edges(4, &[]).unwrap();
         let run = AcoLayering::new(small_params()).run(&dag, &wm);
         run.layering.validate(&dag).unwrap();
+    }
+
+    #[test]
+    fn zero_time_budget_returns_valid_seed_layering() {
+        // Anytime contract: an already-spent budget runs zero tours and
+        // hands back the (normalized) stretched-LPL seed.
+        let mut rng = StdRng::seed_from_u64(31);
+        let dag = generate::random_dag_with_edges(25, 40, &mut rng);
+        let wm = WidthModel::unit();
+        let params = small_params().with_time_budget(Some(std::time::Duration::ZERO));
+        let run = AcoLayering::new(params).run(&dag, &wm);
+        run.layering.validate(&dag).unwrap();
+        assert!(run.stopped_early);
+        assert!(run.tours.is_empty());
+        assert!(run.objective > 0.0);
+    }
+
+    #[test]
+    fn expired_deadline_stops_before_any_tour() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let dag = generate::gnp_dag(20, 0.15, &mut rng);
+        let wm = WidthModel::unit();
+        let colony = Colony::new(&dag, &wm, small_params()).unwrap();
+        let run = colony.run_until(Some(std::time::Instant::now()));
+        run.layering.validate(&dag).unwrap();
+        assert!(run.stopped_early);
+        assert!(run.tours.is_empty());
+    }
+
+    #[test]
+    fn unbounded_run_is_not_marked_early() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let dag = generate::gnp_dag(15, 0.2, &mut rng);
+        let run = AcoLayering::new(small_params()).run(&dag, &WidthModel::unit());
+        assert!(!run.stopped_early);
+        assert_eq!(run.tours.len(), small_params().n_tours);
+    }
+
+    #[test]
+    fn generous_budget_completes_all_tours() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let dag = generate::gnp_dag(12, 0.2, &mut rng);
+        let params = small_params().with_time_budget(Some(std::time::Duration::from_secs(3600)));
+        let run = AcoLayering::new(params).run(&dag, &WidthModel::unit());
+        assert!(!run.stopped_early);
+        assert_eq!(run.tours.len(), small_params().n_tours);
+    }
+
+    #[test]
+    fn overflow_sized_budget_is_treated_as_unbounded() {
+        // `Duration::MAX` would overflow `Instant + Duration`; the colony
+        // must run unbounded instead of panicking.
+        let mut rng = StdRng::seed_from_u64(35);
+        let dag = generate::gnp_dag(10, 0.2, &mut rng);
+        let params = small_params().with_time_budget(Some(std::time::Duration::MAX));
+        let run = AcoLayering::new(params).run(&dag, &WidthModel::unit());
+        assert!(!run.stopped_early);
+        assert_eq!(run.tours.len(), small_params().n_tours);
     }
 
     #[test]
@@ -495,6 +598,9 @@ mod tests {
         }
         assert_eq!(boosted, dag.node_count());
         assert!(stats.best_objective > 0.0);
-        assert!(colony.tau.total() < before, "evaporation dominates one deposit");
+        assert!(
+            colony.tau.total() < before,
+            "evaporation dominates one deposit"
+        );
     }
 }

@@ -131,7 +131,10 @@ fn order_walk(
             }
             chosen.unwrap_or_else(|| {
                 // Floating-point residue: fall back to the last unvisited vertex.
-                dag.nodes().filter(|v| !visited[v.index()]).last().expect("n steps")
+                dag.nodes()
+                    .filter(|v| !visited[v.index()])
+                    .last()
+                    .expect("n steps")
             })
         };
         visited[next.index()] = true;
@@ -172,20 +175,16 @@ impl OrderAcoLayering {
             let params = &self.params;
             let base_ref = &base;
             let trails_ref = &trails;
-            let walks: Vec<(SearchState, Vec<NodeId>, f64)> =
-                par_map(threads, seeds, |_, seed| {
-                    let mut state = base_ref.clone();
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    let (order, f) =
-                        order_walk(dag, wm, params, trails_ref, &mut state, &mut rng);
-                    (state, order, f)
-                });
+            let walks: Vec<(SearchState, Vec<NodeId>, f64)> = par_map(threads, seeds, |_, seed| {
+                let mut state = base_ref.clone();
+                let mut rng = StdRng::seed_from_u64(seed);
+                let (order, f) = order_walk(dag, wm, params, trails_ref, &mut state, &mut rng);
+                (state, order, f)
+            });
             let best_idx = walks
                 .iter()
                 .enumerate()
-                .max_by(|(ia, a), (ib, b)| {
-                    a.2.partial_cmp(&b.2).unwrap().then(ib.cmp(ia))
-                })
+                .max_by(|(ia, a), (ib, b)| a.2.partial_cmp(&b.2).unwrap().then(ib.cmp(ia)))
                 .map(|(i, _)| i)
                 .expect("n_ants >= 1");
             trails.scale_all(1.0 - self.params.rho);
@@ -262,7 +261,10 @@ mod tests {
             w_order += metrics::width(&dag, &OrderAcoLayering::new(params()).layer(&dag, &wm), &wm);
             w_lpl += metrics::width(&dag, &LongestPath.layer(&dag, &wm), &wm);
         }
-        assert!(w_order < w_lpl, "order model should still beat LPL: {w_order} vs {w_lpl}");
+        assert!(
+            w_order < w_lpl,
+            "order model should still beat LPL: {w_order} vs {w_lpl}"
+        );
     }
 
     #[test]

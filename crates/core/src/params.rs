@@ -113,7 +113,7 @@ impl DepositStrategy {
 /// `α = 1`, `β = 3` — its adopted production values from §VIII) and
 /// Dorigo–Stützle conventions elsewhere (see DESIGN.md §4 for the
 /// documented inferences).
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct AcoParams {
     /// Number of ants per tour.
     pub n_ants: usize,
@@ -154,6 +154,16 @@ pub struct AcoParams {
     /// layers of width zero (DESIGN.md §4). `None` derives the floor from
     /// the dummy width.
     pub eta_floor: Option<f64>,
+    /// Wall-clock budget for the layering phase (anytime ACO). The colony
+    /// checks the clock between tours and stops once the budget is spent,
+    /// returning the best layering found so far — with a zero budget that
+    /// is the stretched-LPL seed state, which is always valid. `None` runs
+    /// all `n_tours` tours.
+    ///
+    /// The budget is quality-of-service, not identity: the serving layer
+    /// (`antlayer-service`) deliberately excludes it from the cache digest
+    /// and refuses to cache runs that were cut short.
+    pub time_budget: Option<std::time::Duration>,
 }
 
 impl Default for AcoParams {
@@ -175,6 +185,7 @@ impl Default for AcoParams {
             threads: 1,
             target_layers: None,
             eta_floor: None,
+            time_budget: None,
         }
     }
 }
@@ -208,6 +219,13 @@ impl AcoParams {
     /// Sets the worker thread count (chainable; `0` = all available).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the wall-clock budget of the layering phase (chainable;
+    /// `None` = unbounded).
+    pub fn with_time_budget(mut self, budget: Option<std::time::Duration>) -> Self {
+        self.time_budget = budget;
         self
     }
 
@@ -247,7 +265,9 @@ impl AcoParams {
         }
         if let Some((lo, hi)) = self.tau_bounds {
             if !lo.is_finite() || !hi.is_finite() || lo <= 0.0 || hi < lo {
-                return Err(format!("tau bounds must satisfy 0 < min <= max, got ({lo}, {hi})"));
+                return Err(format!(
+                    "tau bounds must satisfy 0 < min <= max, got ({lo}, {hi})"
+                ));
             }
         }
         Ok(())
@@ -294,12 +314,50 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        assert!(AcoParams { n_ants: 0, ..Default::default() }.validate().is_err());
-        assert!(AcoParams { n_tours: 0, ..Default::default() }.validate().is_err());
-        assert!(AcoParams { rho: 1.5, ..Default::default() }.validate().is_err());
-        assert!(AcoParams { alpha: f64::NAN, ..Default::default() }.validate().is_err());
-        assert!(AcoParams { tau0: 0.0, ..Default::default() }.validate().is_err());
-        assert!(AcoParams { eta_floor: Some(0.0), ..Default::default() }.validate().is_err());
+        assert!(AcoParams {
+            n_ants: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(AcoParams {
+            n_tours: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(AcoParams {
+            rho: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(AcoParams {
+            alpha: f64::NAN,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(AcoParams {
+            tau0: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(AcoParams {
+            eta_floor: Some(0.0),
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn time_budget_builder_and_default() {
+        assert_eq!(AcoParams::default().time_budget, None);
+        let p = AcoParams::new().with_time_budget(Some(std::time::Duration::from_millis(25)));
+        assert_eq!(p.time_budget, Some(std::time::Duration::from_millis(25)));
+        assert!(p.validate().is_ok());
     }
 
     #[test]
@@ -307,7 +365,10 @@ mod tests {
         let p = AcoParams::default();
         assert_eq!(p.effective_eta_floor(1.0), 1.0);
         assert_eq!(p.effective_eta_floor(0.0), 0.25);
-        let explicit = AcoParams { eta_floor: Some(0.7), ..Default::default() };
+        let explicit = AcoParams {
+            eta_floor: Some(0.7),
+            ..Default::default()
+        };
         assert_eq!(explicit.effective_eta_floor(0.0), 0.7);
     }
 

@@ -182,8 +182,16 @@ impl SearchState {
         for v in dag.nodes() {
             let mut copy = self.clone();
             copy.refresh_span(dag, v);
-            assert_eq!(copy.span_lo[v.index()], self.span_lo[v.index()], "stale lo span of {v}");
-            assert_eq!(copy.span_hi[v.index()], self.span_hi[v.index()], "stale hi span of {v}");
+            assert_eq!(
+                copy.span_lo[v.index()],
+                self.span_lo[v.index()],
+                "stale lo span of {v}"
+            );
+            assert_eq!(
+                copy.span_hi[v.index()],
+                self.span_hi[v.index()],
+                "stale hi span of {v}"
+            );
         }
     }
 }
@@ -230,11 +238,7 @@ mod tests {
         let wm = WidthModel::unit();
         let lpl = LongestPath.layer(dag, &wm);
         let h = lpl.max_layer() + extra_layers;
-        let stretched = crate::stretch::stretch(
-            &lpl,
-            h as usize,
-            crate::StretchStrategy::Between,
-        );
+        let stretched = crate::stretch::stretch(&lpl, h as usize, crate::StretchStrategy::Between);
         SearchState::new(dag, &stretched.layering, stretched.total_layers, &wm)
     }
 

@@ -31,7 +31,11 @@ pub struct Stretched {
 /// for the ablation experiment.
 pub fn stretch(layering: &Layering, target: usize, strategy: StretchStrategy) -> Stretched {
     let h0 = layering.max_layer();
-    debug_assert_eq!(h0, layering.height(), "stretch expects a normalized layering");
+    debug_assert_eq!(
+        h0,
+        layering.height(),
+        "stretch expects a normalized layering"
+    );
     let target = (target as u32).max(h0).max(1);
     if layering.is_empty() {
         return Stretched {
@@ -177,7 +181,10 @@ mod tests {
                 let s = stretch(&lpl, dag.node_count(), strat);
                 s.layering.validate(&dag).unwrap();
                 assert!(s.layering.max_layer() <= s.total_layers);
-                assert_eq!(s.total_layers as usize, dag.node_count().max(lpl.max_layer() as usize));
+                assert_eq!(
+                    s.total_layers as usize,
+                    dag.node_count().max(lpl.max_layer() as usize)
+                );
                 // Relative order of any two vertices is preserved.
                 for a in dag.nodes() {
                     for b in dag.nodes() {

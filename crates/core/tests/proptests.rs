@@ -26,12 +26,12 @@ fn arb_dag() -> impl Strategy<Value = Dag> {
 
 fn arb_params() -> impl Strategy<Value = AcoParams> {
     (
-        1usize..6,   // ants
-        1usize..5,   // tours
-        0u8..2,      // selection
-        0u8..3,      // visit order
-        0u8..2,      // deposit
-        0u8..4,      // stretch
+        1usize..6, // ants
+        1usize..5, // tours
+        0u8..2,    // selection
+        0u8..3,    // visit order
+        0u8..2,    // deposit
+        0u8..4,    // stretch
         0u64..10_000,
     )
         .prop_map(|(ants, tours, sel, vo, dep, st, seed)| AcoParams {

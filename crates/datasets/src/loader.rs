@@ -118,9 +118,8 @@ mod tests {
         let dir = temp_dir("buckets");
         // A 10-vertex chain → bucket 10; a 12-vertex chain → bucket 10
         // (nearest); a 14-vertex chain → bucket 15.
-        let chain = |n: usize| -> Vec<(u32, u32)> {
-            (0..n as u32 - 1).map(|i| (i, i + 1)).collect()
-        };
+        let chain =
+            |n: usize| -> Vec<(u32, u32)> { (0..n as u32 - 1).map(|i| (i, i + 1)).collect() };
         write_graph(&dir, "a.gml", 10, &chain(10));
         write_graph(&dir, "b.gml", 12, &chain(12));
         write_graph(&dir, "c.gml", 14, &chain(14));

@@ -115,9 +115,21 @@ impl Table {
                 s.to_string()
             }
         };
-        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
         for row in &self.rows {
-            let line = row.iter().map(|c| esc(&c.render())).collect::<Vec<_>>().join(",");
+            let line = row
+                .iter()
+                .map(|c| esc(&c.render()))
+                .collect::<Vec<_>>()
+                .join(",");
             let _ = writeln!(out, "{line}");
         }
         out
@@ -130,7 +142,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let cells: Vec<String> = row.iter().map(Cell::render).collect();

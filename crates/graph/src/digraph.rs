@@ -209,7 +209,8 @@ impl DiGraph {
         let mut g = DiGraph::with_capacity(self.node_count(), self.edge_count());
         g.add_nodes(self.node_count());
         for (u, v) in self.edges() {
-            g.add_edge(v, u).expect("reversing a simple graph stays simple");
+            g.add_edge(v, u)
+                .expect("reversing a simple graph stays simple");
         }
         g
     }
@@ -224,7 +225,8 @@ impl DiGraph {
         g.add_nodes(self.node_count());
         for (u, v) in self.edges() {
             if keep(u, v) {
-                g.add_edge(u, v).expect("subset of a simple graph stays simple");
+                g.add_edge(u, v)
+                    .expect("subset of a simple graph stays simple");
             }
         }
         g

@@ -31,10 +31,7 @@ pub struct NamedGraph {
 impl NamedGraph {
     /// Looks up a node by name (linear scan; parsing keeps its own map).
     pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
-        self.names
-            .iter()
-            .position(|n| n == name)
-            .map(NodeId::new)
+        self.names.iter().position(|n| n == name).map(NodeId::new)
     }
 }
 
@@ -46,7 +43,12 @@ pub fn write_dot(g: &DiGraph, mut name: impl FnMut(NodeId) -> String) -> String 
         let _ = writeln!(out, "  \"{}\";", escape(&name(v)));
     }
     for (u, v) in g.edges() {
-        let _ = writeln!(out, "  \"{}\" -> \"{}\";", escape(&name(u)), escape(&name(v)));
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\";",
+            escape(&name(u)),
+            escape(&name(v))
+        );
     }
     out.push_str("}\n");
     out
@@ -243,15 +245,14 @@ pub fn parse_dot(src: &str) -> Result<NamedGraph, GraphError> {
         toks.push(t);
     }
     let mut i = 0usize;
-    let expect_ident = |toks: &[(Tok, usize, usize)], i: &mut usize, what: &str| {
-        match toks.get(*i) {
-            Some((Tok::Ident(s), _, _)) => {
-                *i += 1;
-                Ok(s.clone())
-            }
-            Some((_, l, c)) => Err(ParseError::new(*l, *c, format!("expected {what}"))),
-            None => Err(ParseError::new(0, 0, format!("expected {what}, got EOF"))),
+    let expect_ident = |toks: &[(Tok, usize, usize)], i: &mut usize, what: &str| match toks.get(*i)
+    {
+        Some((Tok::Ident(s), _, _)) => {
+            *i += 1;
+            Ok(s.clone())
         }
+        Some((_, l, c)) => Err(ParseError::new(*l, *c, format!("expected {what}"))),
+        None => Err(ParseError::new(0, 0, format!("expected {what}, got EOF"))),
     };
 
     // Header: digraph NAME? {
@@ -271,7 +272,10 @@ pub fn parse_dot(src: &str) -> Result<NamedGraph, GraphError> {
     let mut graph = DiGraph::new();
     let mut names: Vec<String> = Vec::new();
     let mut by_name: HashMap<String, NodeId> = HashMap::new();
-    let intern = |graph: &mut DiGraph, names: &mut Vec<String>, by_name: &mut HashMap<String, NodeId>, name: String| {
+    let intern = |graph: &mut DiGraph,
+                  names: &mut Vec<String>,
+                  by_name: &mut HashMap<String, NodeId>,
+                  name: String| {
         *by_name.entry(name.clone()).or_insert_with(|| {
             names.push(name);
             graph.add_node()

@@ -138,9 +138,7 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 toks.push((Tok::Key(src[start..i].to_string()), line));
@@ -288,7 +286,9 @@ pub fn parse_gml(src: &str) -> Result<GmlGraph, GraphError> {
             .target
             .ok_or_else(|| ParseError::new(0, 0, "edge without target"))?;
         let (Some(&u), Some(&v)) = (by_gml_id.get(&s), by_gml_id.get(&t)) else {
-            return Err(ParseError::new(0, 0, format!("edge refers to unknown node {s} or {t}")).into());
+            return Err(
+                ParseError::new(0, 0, format!("edge refers to unknown node {s} or {t}")).into(),
+            );
         };
         match graph.add_edge(u, v) {
             Ok(_) | Err(GraphError::DuplicateEdge(..)) => {}
@@ -341,9 +341,7 @@ fn parse_section(
                         *i += 1;
                     }
                     Some((Tok::LBracket, _)) => skip_value(toks, i)?,
-                    Some((_, line)) => {
-                        return Err(ParseError::new(*line, 1, "expected value"))
-                    }
+                    Some((_, line)) => return Err(ParseError::new(*line, 1, "expected value")),
                     None => return Err(ParseError::new(0, 0, "expected value, got EOF")),
                 }
             }
@@ -392,9 +390,7 @@ graph [
         let src = "graph [ node [ id 1000 ] node [ id -5 ] edge [ source 1000 target -5 ] ]";
         let g = parse_gml(src).unwrap();
         assert_eq!(g.graph.edge_count(), 1);
-        assert!(g
-            .graph
-            .has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(g.graph.has_edge(NodeId::new(0), NodeId::new(1)));
     }
 
     #[test]

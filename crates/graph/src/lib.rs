@@ -31,8 +31,8 @@
 mod acyclic;
 mod digraph;
 mod error;
-mod id;
 pub mod generate;
+mod id;
 pub mod io;
 mod scc;
 mod stats;

@@ -150,7 +150,16 @@ mod tests {
     fn condensation_is_acyclic() {
         let g = DiGraph::from_edges(
             6,
-            &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4), (4, 5), (5, 4)],
+            &[
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 3),
+                (3, 2),
+                (3, 4),
+                (4, 5),
+                (5, 4),
+            ],
         )
         .unwrap();
         let (cg, comp_of) = condensation(&g);

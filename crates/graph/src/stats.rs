@@ -45,7 +45,11 @@ impl GraphStats {
             isolated: g.isolated_nodes().len(),
             max_out_degree: g.nodes().map(|v| g.out_degree(v)).max().unwrap_or(0),
             max_in_degree: g.nodes().map(|v| g.in_degree(v)).max().unwrap_or(0),
-            mean_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            mean_degree: if n == 0 {
+                0.0
+            } else {
+                2.0 * m as f64 / n as f64
+            },
             edge_node_ratio: if n == 0 { 0.0 } else { m as f64 / n as f64 },
             weak_components: weak_components(g).len(),
             longest_path,

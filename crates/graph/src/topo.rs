@@ -162,7 +162,10 @@ mod tests {
     fn topo_sort_chain() {
         let g = chain(5);
         let order = topological_sort(&g).unwrap();
-        assert_eq!(order.iter().copied().map(NodeId::index).collect::<Vec<_>>(), [0, 1, 2, 3, 4]);
+        assert_eq!(
+            order.iter().copied().map(NodeId::index).collect::<Vec<_>>(),
+            [0, 1, 2, 3, 4]
+        );
     }
 
     #[test]

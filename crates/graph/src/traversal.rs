@@ -23,12 +23,9 @@ fn neighbors<'g>(
     match dir {
         Direction::Forward => Box::new(g.out_neighbors(v).iter().copied()),
         Direction::Backward => Box::new(g.in_neighbors(v).iter().copied()),
-        Direction::Undirected => Box::new(
-            g.out_neighbors(v)
-                .iter()
-                .chain(g.in_neighbors(v))
-                .copied(),
-        ),
+        Direction::Undirected => {
+            Box::new(g.out_neighbors(v).iter().chain(g.in_neighbors(v)).copied())
+        }
     }
 }
 

@@ -127,8 +127,14 @@ mod tests {
         let dag = Dag::from_edges(2, &[(0, 1)]).unwrap();
         let boxed: Box<dyn LayeringAlgorithm> = Box::new(Tall);
         assert_eq!(boxed.name(), "tall");
-        boxed.layer(&dag, &WidthModel::unit()).validate(&dag).unwrap();
+        boxed
+            .layer(&dag, &WidthModel::unit())
+            .validate(&dag)
+            .unwrap();
         let by_ref: &dyn LayeringAlgorithm = &Tall;
-        by_ref.layer(&dag, &WidthModel::unit()).validate(&dag).unwrap();
+        by_ref
+            .layer(&dag, &WidthModel::unit())
+            .validate(&dag)
+            .unwrap();
     }
 }

@@ -43,11 +43,7 @@ fn lexicographic_labels(dag: &Dag) -> Vec<u32> {
                 continue;
             }
             // Eligible only when all successors are labelled.
-            if dag
-                .out_neighbors(v)
-                .iter()
-                .any(|w| label[w.index()] == 0)
-            {
+            if dag.out_neighbors(v).iter().any(|w| label[w.index()] == 0) {
                 continue;
             }
             match best {
@@ -101,8 +97,7 @@ impl LayeringAlgorithm for CoffmanGraham {
             let pick = dag
                 .nodes()
                 .filter(|&v| {
-                    !in_u[v.index()]
-                        && dag.out_neighbors(v).iter().all(|w| in_z[w.index()])
+                    !in_u[v.index()] && dag.out_neighbors(v).iter().all(|w| in_z[w.index()])
                 })
                 .max_by_key(|&v| label[v.index()]);
             match pick {

@@ -25,13 +25,12 @@ use antlayer_graph::{Dag, NodeId};
 /// Returns `None` when no valid layering fits in `max_height` layers
 /// (i.e. `max_height < LPL height`). Exponential — intended for
 /// `|V| ≤ ~12`; callers asserting larger inputs get a panic.
-pub fn min_width_layering(
-    dag: &Dag,
-    max_height: u32,
-    wm: &WidthModel,
-) -> Option<(Layering, f64)> {
+pub fn min_width_layering(dag: &Dag, max_height: u32, wm: &WidthModel) -> Option<(Layering, f64)> {
     let n = dag.node_count();
-    assert!(n <= 16, "exact search is exponential; use the heuristics for n > 16");
+    assert!(
+        n <= 16,
+        "exact search is exponential; use the heuristics for n > 16"
+    );
     if n == 0 {
         return Some((Layering::from_slice(&[]), 0.0));
     }
@@ -85,7 +84,17 @@ pub fn min_width_layering(
             }
             layers[v.index()] = l;
             widths[l as usize] = new_w;
-            rec(dag, wm, order, idx + 1, max_height, layers, widths, best_width, best);
+            rec(
+                dag,
+                wm,
+                order,
+                idx + 1,
+                max_height,
+                layers,
+                widths,
+                best_width,
+                best,
+            );
             widths[l as usize] -= wm.node_width(v);
         }
     }
@@ -170,7 +179,10 @@ mod tests {
             // (only LPL qualifies structurally; MinWidth may exceed the
             // height, in which case its width bound doesn't apply).
             let lpl_w = metrics::width(&dag, &LongestPath.layer(&dag, &wm), &wm);
-            assert!(exact <= lpl_w + 1e-9, "exact {exact} worse than LPL {lpl_w}");
+            assert!(
+                exact <= lpl_w + 1e-9,
+                "exact {exact} worse than LPL {lpl_w}"
+            );
             let mw = MinWidth::new().layer(&dag, &wm);
             if mw.height() <= lpl_height {
                 let mw_w = metrics::width(&dag, &mw, &wm);
@@ -188,7 +200,10 @@ mod tests {
             let h0 = LongestPath.layer(&dag, &wm).height();
             let (_, w0) = min_width_layering(&dag, h0, &wm).unwrap();
             let (_, w1) = min_width_layering(&dag, h0 + 2, &wm).unwrap();
-            assert!(w1 <= w0 + 1e-9, "more layers should never hurt: {w1} vs {w0}");
+            assert!(
+                w1 <= w0 + 1e-9,
+                "more layers should never hurt: {w1} vs {w0}"
+            );
         }
     }
 

@@ -142,10 +142,7 @@ impl Layering {
     /// Only meaningful for valid layerings (the subtraction is checked).
     pub fn edge_span(&self, u: NodeId, v: NodeId) -> u32 {
         let (lu, lv) = (self.layer(u), self.layer(v));
-        assert!(
-            lu > lv,
-            "edge ({u}, {v}) spans upwards: layer {lu} vs {lv}"
-        );
+        assert!(lu > lv, "edge ({u}, {v}) spans upwards: layer {lu} vs {lv}");
         lu - lv
     }
 

@@ -33,9 +33,9 @@ mod algo;
 mod coffman_graham;
 pub mod exact;
 mod layering;
+mod lpl;
 pub mod metrics;
 mod minwidth;
-mod lpl;
 mod network_simplex;
 mod promote;
 mod proper;

@@ -46,13 +46,9 @@ pub fn longest_path_setwise(dag: &Dag) -> Layering {
     let mut current_layer = 1u32;
     while assigned < n {
         // Select any vertex v ∈ V \ U with N+(v) ⊆ Z.
-        let pick = dag.nodes().find(|&v| {
-            !in_u[v.index()]
-                && dag
-                    .out_neighbors(v)
-                    .iter()
-                    .all(|w| in_z[w.index()])
-        });
+        let pick = dag
+            .nodes()
+            .find(|&v| !in_u[v.index()] && dag.out_neighbors(v).iter().all(|w| in_z[w.index()]));
         match pick {
             Some(v) => {
                 layering.set_layer(v, current_layer);

@@ -100,8 +100,7 @@ impl LayeringAlgorithm for MinWidth {
                 width_up += wd * dag.in_degree(v) as f64;
 
                 // ConditionGoUp.
-                go_up = (width_current >= self.ubw && d_out < 1)
-                    || width_up >= self.c * self.ubw;
+                go_up = (width_current >= self.ubw && d_out < 1) || width_up >= self.c * self.ubw;
             }
 
             if go_up && assigned < n {

@@ -72,9 +72,7 @@ impl LayeringAlgorithm for NetworkSimplex {
 
 /// Edges of the component, as indices into `dag.edges()` order.
 fn component_edges(dag: &Dag, in_comp: &[bool]) -> Vec<(NodeId, NodeId)> {
-    dag.edges()
-        .filter(|(u, _)| in_comp[u.index()])
-        .collect()
+    dag.edges().filter(|(u, _)| in_comp[u.index()]).collect()
 }
 
 fn slack(ranks: &Ranks, u: NodeId, v: NodeId) -> i64 {
@@ -147,8 +145,7 @@ fn optimize_component(dag: &Dag, ranks: &mut Ranks, comp: &[NodeId]) {
     // verified against brute force in the tests.
     let max_iters = 4 * comp.len() * edges.len() + 32;
     for _ in 0..max_iters {
-        let Some((edge_idx, head_side)) = find_negative_cut(dag, ranks, comp, &tree_edges)
-        else {
+        let Some((edge_idx, head_side)) = find_negative_cut(dag, ranks, comp, &tree_edges) else {
             break; // optimal
         };
         // Replacement: the minimal-slack edge crossing head → tail.
@@ -337,11 +334,15 @@ mod tests {
 
     #[test]
     fn handles_trivial_graphs() {
-        assert!(NetworkSimplex.layer(&Dag::from_edges(0, &[]).unwrap(), &unit()).is_empty());
+        assert!(NetworkSimplex
+            .layer(&Dag::from_edges(0, &[]).unwrap(), &unit())
+            .is_empty());
         let one = NetworkSimplex.layer(&Dag::from_edges(1, &[]).unwrap(), &unit());
         assert_eq!(one.height(), 1);
         let edgeless = NetworkSimplex.layer(&Dag::from_edges(4, &[]).unwrap(), &unit());
-        edgeless.validate(&Dag::from_edges(4, &[]).unwrap()).unwrap();
+        edgeless
+            .validate(&Dag::from_edges(4, &[]).unwrap())
+            .unwrap();
     }
 
     #[test]

@@ -52,10 +52,7 @@ impl LayeringRefinement for Promote {
 
     fn refine(&self, dag: &Dag, layering: &mut Layering, _widths: &WidthModel) {
         debug_assert!(layering.validate(dag).is_ok());
-        let mut layer: NodeVec<u32> = dag
-            .nodes()
-            .map(|v| layering.layer(v))
-            .collect();
+        let mut layer: NodeVec<u32> = dag.nodes().map(|v| layering.layer(v)).collect();
         let mut rounds = 0usize;
         loop {
             let mut improved = false;
@@ -135,11 +132,7 @@ mod tests {
     fn cascading_promotion_respects_validity() {
         // A chain hanging off a hub: promoting the bottom of the chain must
         // drag the vertices directly above it along.
-        let dag = Dag::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (0, 5)],
-        )
-        .unwrap();
+        let dag = Dag::from_edges(6, &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (0, 5)]).unwrap();
         let mut l = LongestPath.layer(&dag, &unit());
         Promote::new().refine(&dag, &mut l, &unit());
         l.validate(&dag).unwrap();
@@ -174,9 +167,7 @@ mod tests {
         let l = algo.layer(&dag, &unit());
         l.validate(&dag).unwrap();
         let plain = LongestPath.layer(&dag, &unit());
-        assert!(
-            metrics::dummy_count(&dag, &l) <= metrics::dummy_count(&dag, &plain)
-        );
+        assert!(metrics::dummy_count(&dag, &l) <= metrics::dummy_count(&dag, &plain));
     }
 
     #[test]

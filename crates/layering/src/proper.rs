@@ -57,9 +57,7 @@ impl ProperLayering {
         let mut graph = DiGraph::with_capacity(n, dag.edge_count());
         graph.add_nodes(n);
         let mut kinds: Vec<NodeKind> = (0..n).map(|i| NodeKind::Real(NodeId::new(i))).collect();
-        let mut layers: Vec<u32> = (0..n)
-            .map(|i| layering.layer(NodeId::new(i)))
-            .collect();
+        let mut layers: Vec<u32> = (0..n).map(|i| layering.layer(NodeId::new(i))).collect();
         let mut chains = Vec::with_capacity(dag.edge_count());
         for (edge_idx, (u, v)) in dag.edges().enumerate() {
             let span = layering.edge_span(u, v);
@@ -143,7 +141,10 @@ mod tests {
         assert_eq!(p.layering.layer(chain[2]), 2);
         assert_eq!(
             p.kinds[chain[1].index()],
-            NodeKind::Dummy { edge: 0, position: 0 }
+            NodeKind::Dummy {
+                edge: 0,
+                position: 0
+            }
         );
     }
 

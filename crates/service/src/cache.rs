@@ -1,0 +1,304 @@
+//! Sharded LRU result cache keyed by canonical [`Digest`]s.
+//!
+//! The cache is `N` independent [`LruShard`]s, each behind its own mutex;
+//! a request's shard is picked from the low digest bits, so contention
+//! scales with core count instead of serializing on one lock. Eviction is
+//! strict least-recently-used per shard via an index-linked list over a
+//! slab — no per-access allocation, `O(1)` get/insert/evict.
+//!
+//! Hit/miss/insert/evict counters are process-wide atomics, cheap enough
+//! to keep always-on and exposed through the server's `stats` op.
+
+use crate::digest::Digest;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters of cache behaviour.
+#[derive(Default, Debug)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A point-in-time copy of [`CacheStats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct CacheCounters {
+    /// Lookups that returned a stored value.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Values stored.
+    pub insertions: u64,
+    /// Values dropped to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    fn snapshot(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+struct Slot<V> {
+    key: u128,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// One LRU shard: hash map for lookup, slab-linked list for recency.
+struct LruShard<V> {
+    map: HashMap<u128, usize>,
+    slots: Vec<Slot<V>>,
+    free: Vec<usize>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used.
+    tail: usize,
+    capacity: usize,
+}
+
+impl<V: Clone> LruShard<V> {
+    fn new(capacity: usize) -> Self {
+        LruShard {
+            map: HashMap::with_capacity(capacity.min(1024)),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slots[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    fn get(&mut self, key: u128) -> Option<V> {
+        let &i = self.map.get(&key)?;
+        self.unlink(i);
+        self.push_front(i);
+        Some(self.slots[i].value.clone())
+    }
+
+    /// Inserts; returns `true` when an old entry was evicted.
+    fn insert(&mut self, key: u128, value: V) -> bool {
+        if let Some(&i) = self.map.get(&key) {
+            // Refresh both value and recency (recompute race: last wins).
+            self.slots[i].value = value;
+            self.unlink(i);
+            self.push_front(i);
+            return false;
+        }
+        let mut evicted = false;
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL, "capacity >= 1 and map non-empty");
+            self.unlink(lru);
+            self.map.remove(&self.slots[lru].key);
+            self.free.push(lru);
+            evicted = true;
+        }
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i].key = key;
+                self.slots[i].value = value;
+                i
+            }
+            None => {
+                self.slots.push(Slot {
+                    key,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.push_front(i);
+        self.map.insert(key, i);
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// The sharded cache. `V` is cheaply cloneable (the scheduler stores
+/// `Arc`ed results).
+pub struct ShardedCache<V> {
+    shards: Vec<Mutex<LruShard<V>>>,
+    /// Power-of-two mask over the shard index bits.
+    mask: u64,
+    stats: CacheStats,
+}
+
+impl<V: Clone> ShardedCache<V> {
+    /// A cache holding at most ~`capacity` values across `shards` shards
+    /// (each shard gets the rounded-up share). `shards` is rounded up to
+    /// a power of two; both are clamped to at least 1.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        let per_shard = capacity.max(1).div_ceil(shards);
+        ShardedCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruShard::new(per_shard)))
+                .collect(),
+            mask: shards as u64 - 1,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn shard(&self, digest: Digest) -> &Mutex<LruShard<V>> {
+        // hi bits feed the in-shard HashMap; lo bits pick the shard.
+        &self.shards[(digest.lo & self.mask) as usize]
+    }
+
+    /// Looks a digest up, refreshing its recency.
+    pub fn get(&self, digest: Digest) -> Option<V> {
+        let got = self.shard(digest).lock().get(digest.as_u128());
+        match got {
+            Some(v) => {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a value, evicting the shard's LRU entry when full.
+    pub fn insert(&self, digest: Digest, value: V) {
+        let evicted = self.shard(digest).lock().insert(digest.as_u128(), value);
+        self.stats.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted {
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of currently stored values.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current counters.
+    pub fn counters(&self) -> CacheCounters {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: u64) -> Digest {
+        // Spread across shards via lo; unique via hi.
+        Digest { hi: i, lo: i }
+    }
+
+    #[test]
+    fn get_after_insert_hits() {
+        let c: ShardedCache<u32> = ShardedCache::new(8, 2);
+        assert_eq!(c.get(d(1)), None);
+        c.insert(d(1), 10);
+        assert_eq!(c.get(d(1)), Some(10));
+        let counters = c.counters();
+        assert_eq!(
+            (counters.hits, counters.misses, counters.insertions),
+            (1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn evicts_least_recently_used_per_shard() {
+        // One shard, capacity 2: inserting a third key evicts the LRU.
+        let c: ShardedCache<u32> = ShardedCache::new(2, 1);
+        c.insert(d(1), 1);
+        c.insert(d(2), 2);
+        assert_eq!(c.get(d(1)), Some(1)); // 2 is now LRU
+        c.insert(d(3), 3);
+        assert_eq!(c.get(d(2)), None, "LRU entry must be evicted");
+        assert_eq!(c.get(d(1)), Some(1));
+        assert_eq!(c.get(d(3)), Some(3));
+        assert_eq!(c.counters().evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let c: ShardedCache<u32> = ShardedCache::new(2, 1);
+        c.insert(d(1), 1);
+        c.insert(d(2), 2);
+        c.insert(d(1), 11); // refresh, no eviction
+        assert_eq!(c.counters().evictions, 0);
+        c.insert(d(3), 3); // evicts 2, the LRU
+        assert_eq!(c.get(d(2)), None);
+        assert_eq!(c.get(d(1)), Some(11));
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let c: ShardedCache<u8> = ShardedCache::new(100, 3);
+        assert_eq!(c.shards.len(), 4);
+        let c: ShardedCache<u8> = ShardedCache::new(100, 0);
+        assert_eq!(c.shards.len(), 1);
+    }
+
+    #[test]
+    fn many_keys_across_shards() {
+        let c: ShardedCache<u64> = ShardedCache::new(1024, 8);
+        for i in 0..1000 {
+            c.insert(d(i), i);
+        }
+        for i in 0..1000 {
+            assert_eq!(c.get(d(i)), Some(i));
+        }
+        assert_eq!(c.len(), 1000);
+    }
+
+    #[test]
+    fn eviction_pressure_keeps_len_bounded() {
+        let c: ShardedCache<u64> = ShardedCache::new(64, 4);
+        for i in 0..10_000 {
+            c.insert(d(i), i);
+        }
+        assert!(c.len() <= 64, "len {} exceeds capacity", c.len());
+        assert!(c.counters().evictions >= 10_000 - 64);
+    }
+}

@@ -1,0 +1,69 @@
+//! # antlayer-service
+//!
+//! The batch layout-serving subsystem: everything needed to run the
+//! colony (and the baseline layering algorithms) as a long-lived server
+//! instead of a one-shot process.
+//!
+//! Interactive diagram tooling lays out the same or near-same graphs
+//! over and over under hard latency budgets. This crate turns that
+//! workload shape into architecture, in four layers:
+//!
+//! | layer | module | contents |
+//! |---|---|---|
+//! | identity | [`digest`] | canonical encoding + 128-bit [`Digest`](digest::Digest) of (graph, algorithm, params, width model) |
+//! | memory | [`cache`] | sharded LRU [`ShardedCache`](cache::ShardedCache) with hit/miss/eviction counters |
+//! | compute | [`scheduler`] | [`Scheduler`](scheduler::Scheduler): digest dedup, admission control, deadline-bounded fan-out over the worker pool |
+//! | transport | [`protocol`], [`server`] | line-delimited JSON over TCP, [`Server`](server::Server) + [`ServerHandle`](server::ServerHandle) |
+//!
+//! Deadlines plug into the colony's anytime mode
+//! ([`AcoParams::time_budget`](antlayer_aco::AcoParams::time_budget) /
+//! [`Colony::run_until`](antlayer_aco::Colony::run_until)): when the
+//! budget expires mid-search the best layering so far is returned —
+//! valid by construction — and deliberately **not** cached, so impatient
+//! callers never degrade what patient callers see.
+//!
+//! ## Library quickstart
+//!
+//! ```
+//! use antlayer_graph::DiGraph;
+//! use antlayer_service::{AlgoSpec, LayoutRequest, Scheduler, SchedulerConfig, Source};
+//!
+//! let scheduler = Scheduler::new(SchedulerConfig::default());
+//! let graph = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+//! let request = LayoutRequest::new(graph, AlgoSpec::parse("aco", 7).unwrap());
+//!
+//! let first = scheduler.submit(request.clone()).unwrap().wait().unwrap();
+//! let second = scheduler.submit(request).unwrap().wait().unwrap();
+//! assert_eq!(second.source, Source::CacheHit);
+//! assert_eq!(first.result.layering, second.result.layering);
+//! ```
+//!
+//! ## Server quickstart
+//!
+//! Start `antlayer serve --addr 127.0.0.1:4617` (CLI) or
+//! [`Server::bind`](server::Server::bind) + `spawn` (library), then
+//! speak newline-delimited JSON:
+//!
+//! ```text
+//! → {"op":"layout","algo":"aco","nodes":4,"edges":[[0,1],[1,2],[2,3]]}
+//! ← {"ok":true,"digest":"…","source":"computed","height":4,…}
+//! → {"op":"stats"}
+//! ← {"ok":true,"cache_hits":0,"computed":1,…}
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod digest;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+
+pub use cache::{CacheCounters, ShardedCache};
+pub use digest::{request_digest, CanonicalHasher, Digest};
+pub use scheduler::{
+    AlgoSpec, LayoutRequest, LayoutResponse, LayoutResult, Scheduler, SchedulerConfig,
+    SchedulerCounters, ServiceError, Source, Ticket,
+};
+pub use server::{Server, ServerConfig, ServerHandle};

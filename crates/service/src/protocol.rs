@@ -1,0 +1,612 @@
+//! The wire protocol: line-delimited JSON over TCP.
+//!
+//! Each request is one JSON object on one line; each response is one
+//! JSON object on one line. The serializer and parser are hand-rolled in
+//! the house style of the DOT/GML writers — the protocol needs exactly
+//! the JSON subset implemented here (objects, arrays, strings, finite
+//! numbers, booleans, null) and no external dependency.
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"op":"layout","algo":"aco","nodes":6,"edges":[[0,1],[0,2],[1,3]],
+//!  "nd_width":1.0,"seed":7,"ants":10,"tours":10,"deadline_ms":50}
+//! {"op":"stats"}
+//! {"op":"ping"}
+//! ```
+//!
+//! `algo` is one of `lpl`, `lpl-pl`, `minwidth`, `minwidth-pl`, `cg`,
+//! `ns`, `aco` (default `aco`); `seed`, `ants`, `tours` tune the colony
+//! and default to the library defaults; `deadline_ms` bounds the search
+//! (anytime ACO); `nd_width` defaults to 1.
+//!
+//! ## Responses
+//!
+//! ```json
+//! {"ok":true,"digest":"…32 hex…","source":"hit","height":3,"width":2.0,
+//!  "dummies":1,"reversed_edges":0,"stopped_early":false,
+//!  "compute_micros":1234,"layers":[[0,2],[1],[3]]}
+//! {"ok":false,"error":"overloaded: …"}
+//! ```
+
+use crate::scheduler::{AlgoSpec, LayoutRequest, LayoutResponse};
+use antlayer_graph::DiGraph;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// A parsed JSON value. Object keys are sorted (`BTreeMap`) so encoded
+/// output is canonical.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A finite number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value as a finite f64, if it is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_num()?;
+        if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Serializes to a single line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => encode_str(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.encode_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    encode_str(k, out);
+                    out.push(':');
+                    v.encode_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn encode_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse failure with byte position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input.
+    pub at: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.at)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parses one JSON value; trailing whitespace is allowed, trailing
+/// garbage is an error.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            at: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{kw}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_keyword("true", Json::Bool(true)),
+            Some(b'f') => self.eat_keyword("false", Json::Bool(false)),
+            Some(b'n') => self.eat_keyword("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            members.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            // Surrogate pairs are not needed by this
+                            // protocol; reject instead of mis-decoding.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ascii");
+        let n: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+        if !n.is_finite() {
+            return Err(self.err("number out of range"));
+        }
+        Ok(Json::Num(n))
+    }
+}
+
+/// A decoded client request.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Compute (or fetch) a layout. Boxed: a layout request carries a
+    /// whole graph, the other variants nothing.
+    Layout(Box<LayoutRequest>),
+    /// Report server counters.
+    Stats,
+    /// Liveness check.
+    Ping,
+}
+
+/// Decodes one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let op = v.get("op").and_then(Json::as_str).unwrap_or("layout");
+    match op {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "layout" => Ok(Request::Layout(Box::new(parse_layout(&v)?))),
+        other => Err(format!("unknown op '{other}'")),
+    }
+}
+
+fn parse_layout(v: &Json) -> Result<LayoutRequest, String> {
+    let nodes = v
+        .get("nodes")
+        .and_then(Json::as_u64)
+        .ok_or("layout: missing 'nodes'")? as usize;
+    if nodes > 1_000_000 {
+        return Err(format!("layout: {nodes} nodes exceeds the 1M cap"));
+    }
+    let mut edges = Vec::new();
+    if let Some(Json::Arr(pairs)) = v.get("edges") {
+        edges.reserve(pairs.len());
+        for pair in pairs {
+            let (u, w) = match pair {
+                Json::Arr(uv) if uv.len() == 2 => {
+                    let u = uv[0]
+                        .as_u64()
+                        .ok_or("layout: edge endpoint must be a non-negative integer")?;
+                    let w = uv[1]
+                        .as_u64()
+                        .ok_or("layout: edge endpoint must be a non-negative integer")?;
+                    (u, w)
+                }
+                _ => return Err("layout: 'edges' must be [[u,v],...]".into()),
+            };
+            if u >= nodes as u64 || w >= nodes as u64 {
+                return Err(format!(
+                    "layout: edge ({u},{w}) out of range for {nodes} nodes"
+                ));
+            }
+            edges.push((u as u32, w as u32));
+        }
+    } else if v.get("edges").is_some() {
+        return Err("layout: 'edges' must be an array".into());
+    }
+    let graph = DiGraph::from_edges(nodes, &edges).map_err(|e| format!("layout: {e:?}"))?;
+
+    let seed = v.get("seed").and_then(Json::as_u64).unwrap_or(1);
+    let algo_name = v.get("algo").and_then(Json::as_str).unwrap_or("aco");
+    let mut algo = AlgoSpec::parse(algo_name, seed)?;
+    if let AlgoSpec::Aco(params) = &mut algo {
+        // Wire-level work caps: admission control counts jobs, not work,
+        // so a single request must not be able to occupy a worker for an
+        // unbounded time (the paper's production colony is 10 x 10).
+        const MAX_ANTS: u64 = 1_024;
+        const MAX_TOURS: u64 = 10_000;
+        if let Some(ants) = v.get("ants").and_then(Json::as_u64) {
+            if ants > MAX_ANTS {
+                return Err(format!("layout: {ants} ants exceeds the {MAX_ANTS} cap"));
+            }
+            params.n_ants = ants as usize;
+        }
+        if let Some(tours) = v.get("tours").and_then(Json::as_u64) {
+            if tours > MAX_TOURS {
+                return Err(format!("layout: {tours} tours exceeds the {MAX_TOURS} cap"));
+            }
+            params.n_tours = tours as usize;
+        }
+    }
+    let nd_width = match v.get("nd_width") {
+        None => 1.0,
+        Some(n) => n.as_num().ok_or("layout: 'nd_width' must be a number")?,
+    };
+    let deadline = v
+        .get("deadline_ms")
+        .map(|d| {
+            d.as_u64()
+                .map(Duration::from_millis)
+                .ok_or("layout: 'deadline_ms' must be a non-negative integer")
+        })
+        .transpose()?;
+    Ok(LayoutRequest {
+        graph,
+        algo,
+        nd_width,
+        deadline,
+    })
+}
+
+/// Encodes a layout response line.
+pub fn encode_layout_response(response: &LayoutResponse) -> String {
+    let result = &response.result;
+    let mut obj = BTreeMap::new();
+    obj.insert("ok".into(), Json::Bool(true));
+    obj.insert("digest".into(), Json::Str(result.digest.to_string()));
+    obj.insert("source".into(), Json::Str(response.source.name().into()));
+    obj.insert("height".into(), Json::Num(result.metrics.height as f64));
+    obj.insert("width".into(), Json::Num(result.metrics.width));
+    obj.insert(
+        "dummies".into(),
+        Json::Num(result.metrics.dummy_count as f64),
+    );
+    obj.insert(
+        "reversed_edges".into(),
+        Json::Num(result.reversed_edges as f64),
+    );
+    obj.insert("stopped_early".into(), Json::Bool(result.stopped_early));
+    obj.insert(
+        "compute_micros".into(),
+        Json::Num(result.compute_micros as f64),
+    );
+    let layers = result
+        .layering
+        .layers()
+        .into_iter()
+        .map(|layer| {
+            Json::Arr(
+                layer
+                    .into_iter()
+                    .map(|v| Json::Num(v.index() as f64))
+                    .collect(),
+            )
+        })
+        .collect();
+    obj.insert("layers".into(), Json::Arr(layers));
+    Json::Obj(obj).encode()
+}
+
+/// Encodes an error response line.
+pub fn encode_error(message: &str) -> String {
+    let mut obj = BTreeMap::new();
+    obj.insert("ok".into(), Json::Bool(false));
+    obj.insert("error".into(), Json::Str(message.into()));
+    Json::Obj(obj).encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_arrays_objects() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("-2.5e1").unwrap(), Json::Num(-25.0));
+        assert_eq!(parse(r#""a\nb""#).unwrap(), Json::Str("a\nb".into()));
+        assert_eq!(
+            parse("[1, [2], {}]").unwrap(),
+            Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Arr(vec![Json::Num(2.0)]),
+                Json::Obj(BTreeMap::new())
+            ])
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "\"x", "tru", "1 2", "{\"a\":}", "nan"] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn encode_parse_roundtrip() {
+        let line = r#"{"a":[1,2.5,"x\"y"],"b":{"c":null,"d":false}}"#;
+        let v = parse(line).unwrap();
+        assert_eq!(parse(&v.encode()).unwrap(), v);
+        assert_eq!(v.encode(), line);
+    }
+
+    #[test]
+    fn unicode_strings_roundtrip() {
+        let v = Json::Str("héllo ⊕ wörld".into());
+        assert_eq!(parse(&v.encode()).unwrap(), v);
+        assert_eq!(parse(r#""é""#).unwrap(), Json::Str("é".into()));
+    }
+
+    #[test]
+    fn layout_request_decoding() {
+        let line = r#"{"op":"layout","algo":"aco","nodes":4,"edges":[[0,1],[1,2],[2,3]],
+                       "seed":9,"ants":3,"tours":2,"deadline_ms":100,"nd_width":0.5}"#;
+        let Request::Layout(req) = parse_request(line).unwrap() else {
+            panic!("expected layout");
+        };
+        assert_eq!(req.graph.node_count(), 4);
+        assert_eq!(req.graph.edge_count(), 3);
+        assert_eq!(req.nd_width, 0.5);
+        assert_eq!(req.deadline, Some(Duration::from_millis(100)));
+        let AlgoSpec::Aco(p) = req.algo else {
+            panic!("expected aco");
+        };
+        assert_eq!((p.n_ants, p.n_tours, p.seed), (3, 2, 9));
+    }
+
+    #[test]
+    fn layout_request_validation_errors() {
+        for (line, needle) in [
+            (r#"{"op":"layout"}"#, "missing 'nodes'"),
+            (
+                r#"{"op":"layout","nodes":2,"edges":[[0,5]]}"#,
+                "out of range",
+            ),
+            (r#"{"op":"layout","nodes":2,"edges":[3]}"#, "[[u,v],...]"),
+            (r#"{"op":"warp"}"#, "unknown op"),
+            (r#"not json"#, "bad JSON"),
+            // Work caps: a single request must not buy unbounded compute.
+            (
+                r#"{"op":"layout","nodes":2,"ants":1000000000}"#,
+                "ants exceeds",
+            ),
+            (
+                r#"{"op":"layout","nodes":2,"tours":1000000000}"#,
+                "tours exceeds",
+            ),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{line} -> {err}");
+        }
+    }
+
+    #[test]
+    fn error_encoding_is_parseable() {
+        let line = encode_error("overloaded: 9 jobs");
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            v.get("error").and_then(Json::as_str),
+            Some("overloaded: 9 jobs")
+        );
+    }
+}

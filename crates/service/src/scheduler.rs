@@ -1,0 +1,731 @@
+//! The batch scheduler: digest-level dedup, admission control, and
+//! deadline-bounded fan-out over the worker pool.
+//!
+//! A submitted [`LayoutRequest`] goes through three gates:
+//!
+//! 1. **In-flight coalescing** — if an identical request (same
+//!    [`Digest`]) is already being computed, the new caller is attached
+//!    to the running job instead of queuing a duplicate;
+//! 2. **Cache** — a stored result is returned immediately;
+//! 3. **Admission control** — if the number of queued-or-running jobs is
+//!    at the configured cap the request is rejected with
+//!    [`ServiceError::Overloaded`] (callers retry with backoff) rather
+//!    than growing an unbounded queue.
+//!
+//! Jobs run on the crate-shared [`WorkerPool`]; each job computes once
+//! and fans the `Arc`ed result out to every attached caller. Requests
+//! carry an optional deadline measured from submission: the ACO colony
+//! receives it as an absolute instant and returns its anytime best when
+//! the clock runs out. Truncated runs are delivered but **not** cached,
+//! and deadline-bounded requests coalesce only with other bounded
+//! requests — a deadline must never poison what patient callers see,
+//! neither through the cache nor through a shared in-flight job.
+
+use crate::cache::{CacheCounters, ShardedCache};
+use crate::digest::{request_digest, Digest};
+use antlayer_aco::{AcoLayering, AcoParams};
+use antlayer_graph::DiGraph;
+use antlayer_layering::{
+    CoffmanGraham, Layering, LayeringAlgorithm, LayeringMetrics, LongestPath, MinWidth,
+    NetworkSimplex, Promote, Refined, WidthModel,
+};
+use antlayer_parallel::WorkerPool;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Which layering algorithm a request asks for.
+///
+/// The string forms accepted by [`AlgoSpec::parse`] match the CLI:
+/// `lpl`, `lpl-pl`, `minwidth`, `minwidth-pl`, `cg`, `ns`, `aco`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AlgoSpec {
+    /// Longest-path layering.
+    LongestPath,
+    /// Longest-path + promotion refinement.
+    LplPromote,
+    /// MinWidth heuristic.
+    MinWidth,
+    /// MinWidth + promotion refinement.
+    MinWidthPromote,
+    /// Coffman–Graham with the given width bound.
+    CoffmanGraham(u32),
+    /// Network simplex (minimum total edge span).
+    NetworkSimplex,
+    /// The paper's ant colony with full parameters.
+    Aco(AcoParams),
+}
+
+impl AlgoSpec {
+    /// Parses a CLI-style algorithm name; `seed` feeds the ACO variant.
+    pub fn parse(name: &str, seed: u64) -> Result<AlgoSpec, String> {
+        Ok(match name {
+            "lpl" => AlgoSpec::LongestPath,
+            "lpl-pl" => AlgoSpec::LplPromote,
+            "minwidth" => AlgoSpec::MinWidth,
+            "minwidth-pl" => AlgoSpec::MinWidthPromote,
+            "cg" => AlgoSpec::CoffmanGraham(4),
+            "ns" => AlgoSpec::NetworkSimplex,
+            "aco" => AlgoSpec::Aco(AcoParams::default().with_seed(seed)),
+            other => return Err(format!("unknown algorithm '{other}'")),
+        })
+    }
+
+    /// Canonical name for digests and responses. Parameters that change
+    /// the result are part of the name (`cg:4`) or hashed separately
+    /// (ACO params).
+    pub fn canonical_name(&self) -> String {
+        match self {
+            AlgoSpec::LongestPath => "lpl".into(),
+            AlgoSpec::LplPromote => "lpl-pl".into(),
+            AlgoSpec::MinWidth => "minwidth".into(),
+            AlgoSpec::MinWidthPromote => "minwidth-pl".into(),
+            AlgoSpec::CoffmanGraham(w) => format!("cg:{w}"),
+            AlgoSpec::NetworkSimplex => "ns".into(),
+            AlgoSpec::Aco(_) => "aco".into(),
+        }
+    }
+
+    fn aco_params(&self) -> Option<&AcoParams> {
+        match self {
+            AlgoSpec::Aco(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Instantiates the algorithm. The single construction point shared
+    /// by the scheduler and the CLI — adding an algorithm means touching
+    /// [`AlgoSpec::parse`], [`AlgoSpec::canonical_name`], and this.
+    pub fn build(&self) -> Box<dyn LayeringAlgorithm> {
+        match self {
+            AlgoSpec::LongestPath => Box::new(LongestPath),
+            AlgoSpec::LplPromote => Box::new(Refined::new(LongestPath, Promote::new())),
+            AlgoSpec::MinWidth => Box::new(MinWidth::new()),
+            AlgoSpec::MinWidthPromote => Box::new(Refined::new(MinWidth::new(), Promote::new())),
+            AlgoSpec::CoffmanGraham(w) => Box::new(CoffmanGraham::new(*w as usize)),
+            AlgoSpec::NetworkSimplex => Box::new(NetworkSimplex),
+            AlgoSpec::Aco(p) => Box::new(AcoLayering::new(p.clone())),
+        }
+    }
+}
+
+/// One layout request.
+#[derive(Clone, Debug)]
+pub struct LayoutRequest {
+    /// The input graph; cycles are handled by the pipeline's
+    /// acyclic-orientation pass.
+    pub graph: DiGraph,
+    /// Algorithm to run.
+    pub algo: AlgoSpec,
+    /// Dummy-vertex width of the width model.
+    pub nd_width: f64,
+    /// Optional wall-clock budget, measured from submission. Only the
+    /// ACO algorithm is anytime; the baselines finish in microseconds
+    /// and ignore it.
+    pub deadline: Option<Duration>,
+}
+
+impl LayoutRequest {
+    /// A request with unit widths, no deadline.
+    pub fn new(graph: DiGraph, algo: AlgoSpec) -> Self {
+        LayoutRequest {
+            graph,
+            algo,
+            nd_width: 1.0,
+            deadline: None,
+        }
+    }
+
+    /// The request's canonical cache key.
+    pub fn digest(&self) -> Digest {
+        request_digest(
+            &self.graph,
+            &self.algo.canonical_name(),
+            self.algo.aco_params(),
+            &WidthModel::with_dummy_width(self.nd_width),
+        )
+    }
+}
+
+/// The immutable, cacheable outcome of one layout computation.
+#[derive(Clone, Debug)]
+pub struct LayoutResult {
+    /// The request digest this result answers.
+    pub digest: Digest,
+    /// The computed layering over the acyclically-oriented graph.
+    pub layering: Layering,
+    /// Metrics of the layering.
+    pub metrics: LayeringMetrics,
+    /// Number of edges reversed to break cycles in the input.
+    pub reversed_edges: usize,
+    /// Whether a deadline truncated the search (never cached when true).
+    pub stopped_early: bool,
+    /// Wall time of the computation in microseconds.
+    pub compute_micros: u64,
+}
+
+/// How a response was produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Source {
+    /// Served from the result cache without computing.
+    CacheHit,
+    /// Computed by the job this caller submitted.
+    Computed,
+    /// Attached to an identical in-flight job another caller submitted.
+    Coalesced,
+}
+
+impl Source {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Source::CacheHit => "hit",
+            Source::Computed => "computed",
+            Source::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// A completed response: the shared result plus per-request provenance.
+#[derive(Clone, Debug)]
+pub struct LayoutResponse {
+    /// The (possibly shared) result.
+    pub result: Arc<LayoutResult>,
+    /// Where the result came from.
+    pub source: Source,
+}
+
+/// Why a request was not admitted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The scheduler's queue-depth cap is reached; retry with backoff.
+    Overloaded {
+        /// Jobs queued or running at rejection time.
+        depth: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// The request is malformed (bad algorithm, width, or graph).
+    InvalidRequest(String),
+    /// The computing job disappeared (its worker panicked).
+    Internal(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded { depth, cap } => {
+                write!(f, "overloaded: {depth} jobs in flight (cap {cap})")
+            }
+            ServiceError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
+            ServiceError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Scheduler tuning knobs.
+#[derive(Clone, Debug)]
+pub struct SchedulerConfig {
+    /// Worker threads computing layouts (`0` = all available
+    /// parallelism, with a sanity cap of 64).
+    pub threads: usize,
+    /// Maximum queued-or-running jobs before admission rejects.
+    pub max_queue_depth: usize,
+    /// Total cached results.
+    pub cache_capacity: usize,
+    /// Cache shard count (rounded up to a power of two).
+    pub cache_shards: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            threads: 0,
+            max_queue_depth: 256,
+            cache_capacity: 4096,
+            cache_shards: 8,
+        }
+    }
+}
+
+#[derive(Default)]
+struct SchedulerStats {
+    served: AtomicU64,
+    computed: AtomicU64,
+    coalesced: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// A point-in-time copy of scheduler + cache counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SchedulerCounters {
+    /// Responses delivered (any source).
+    pub served: u64,
+    /// Jobs actually computed.
+    pub computed: u64,
+    /// Requests attached to an in-flight job.
+    pub coalesced: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Jobs queued or running right now.
+    pub inflight: usize,
+    /// Cache behaviour.
+    pub cache: CacheCounters,
+}
+
+type Waiters = Vec<(mpsc::Sender<LayoutResponse>, Source)>;
+
+/// In-flight key: the request digest plus its deadline class (`true` =
+/// deadline-bounded). Bounded and unbounded requests never share a job,
+/// so truncated results cannot leak to callers that did not opt in.
+type InflightKey = (u128, bool);
+
+/// The batch layout scheduler. Cheap to share: all state is behind
+/// `Arc`s; clone-free sharing via `&Scheduler` is the intended use.
+pub struct Scheduler {
+    cfg: SchedulerConfig,
+    pool: WorkerPool,
+    cache: Arc<ShardedCache<Arc<LayoutResult>>>,
+    inflight: Arc<Mutex<HashMap<InflightKey, Waiters>>>,
+    depth: Arc<AtomicUsize>,
+    stats: Arc<SchedulerStats>,
+}
+
+/// A claim on a submitted request; [`Ticket::wait`] blocks for the
+/// response.
+pub struct Ticket {
+    inner: TicketInner,
+}
+
+enum TicketInner {
+    Ready(LayoutResponse),
+    Pending(mpsc::Receiver<LayoutResponse>),
+}
+
+impl Ticket {
+    /// Blocks until the response is available.
+    pub fn wait(self) -> Result<LayoutResponse, ServiceError> {
+        match self.inner {
+            TicketInner::Ready(r) => Ok(r),
+            TicketInner::Pending(rx) => rx
+                .recv()
+                .map_err(|_| ServiceError::Internal("layout worker vanished".into())),
+        }
+    }
+}
+
+impl Scheduler {
+    /// Builds the scheduler, its worker pool, and its cache.
+    pub fn new(cfg: SchedulerConfig) -> Self {
+        let threads = if cfg.threads == 0 {
+            antlayer_parallel::default_threads(64)
+        } else {
+            cfg.threads
+        };
+        Scheduler {
+            pool: WorkerPool::new(threads),
+            cache: Arc::new(ShardedCache::new(cfg.cache_capacity, cfg.cache_shards)),
+            inflight: Arc::new(Mutex::new(HashMap::new())),
+            depth: Arc::new(AtomicUsize::new(0)),
+            stats: Arc::new(SchedulerStats::default()),
+            cfg,
+        }
+    }
+
+    /// Worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Validates, dedups, admits, and enqueues one request.
+    pub fn submit(&self, request: LayoutRequest) -> Result<Ticket, ServiceError> {
+        if !request.nd_width.is_finite() || request.nd_width < 0.0 {
+            return Err(ServiceError::InvalidRequest(format!(
+                "nd_width must be finite and non-negative, got {}",
+                request.nd_width
+            )));
+        }
+        if let AlgoSpec::Aco(p) = &request.algo {
+            p.validate().map_err(ServiceError::InvalidRequest)?;
+        }
+        let digest = request.digest();
+        // Resolve the deadline to an absolute instant up front, before
+        // any scheduler state changes: `checked_add` turns an
+        // overflow-sized budget (e.g. `Duration::MAX`) into "unbounded"
+        // instead of a panic that would wedge the in-flight entry.
+        let deadline = request.deadline.and_then(|d| Instant::now().checked_add(d));
+        // Jobs coalesce only within their deadline class: a truncated
+        // (bounded) result must never reach a caller that did not accept
+        // a deadline, and bounded callers should not block behind an
+        // unbounded job they did not ask for. The digest excludes the
+        // deadline, so the class is a second key component here.
+        let bounded = deadline.is_some();
+        let key = (digest.as_u128(), bounded);
+
+        // Gate 1+2 under the in-flight lock so a finishing job cannot
+        // slip between our cache miss and our entry insertion: jobs fill
+        // the cache *before* taking this lock to drain their waiters.
+        let mut inflight = self.inflight.lock();
+        if let Some(waiters) = inflight.get_mut(&key) {
+            let (tx, rx) = mpsc::channel();
+            waiters.push((tx, Source::Coalesced));
+            self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+            self.stats.served.fetch_add(1, Ordering::Relaxed);
+            return Ok(Ticket {
+                inner: TicketInner::Pending(rx),
+            });
+        }
+        if let Some(result) = self.cache.get(digest) {
+            self.stats.served.fetch_add(1, Ordering::Relaxed);
+            return Ok(Ticket {
+                inner: TicketInner::Ready(LayoutResponse {
+                    result,
+                    source: Source::CacheHit,
+                }),
+            });
+        }
+
+        // Gate 3: admission control.
+        let depth = self.depth.load(Ordering::Acquire);
+        if depth >= self.cfg.max_queue_depth {
+            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::Overloaded {
+                depth,
+                cap: self.cfg.max_queue_depth,
+            });
+        }
+        self.depth.fetch_add(1, Ordering::AcqRel);
+        let (tx, rx) = mpsc::channel();
+        inflight.insert(key, vec![(tx, Source::Computed)]);
+        drop(inflight);
+
+        let cache = self.cache.clone();
+        let inflight = self.inflight.clone();
+        let depth_counter = self.depth.clone();
+        let stats = self.stats.clone();
+        self.pool.execute(move || {
+            // Contain panics from the layering algorithms: the entry must
+            // leave the in-flight map and the depth must drop no matter
+            // what, or the digest wedges and admission leaks permanently.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                compute(&request, digest, deadline)
+            }));
+            let result = match outcome {
+                Ok(result) => {
+                    let result = Arc::new(result);
+                    if !result.stopped_early {
+                        cache.insert(digest, result.clone());
+                    }
+                    stats.computed.fetch_add(1, Ordering::Relaxed);
+                    Some(result)
+                }
+                Err(_) => None,
+            };
+            let waiters = inflight.lock().remove(&key).unwrap_or_default();
+            depth_counter.fetch_sub(1, Ordering::AcqRel);
+            match result {
+                Some(result) => {
+                    for (tx, source) in waiters {
+                        // A waiter that hung up is not an error.
+                        let _ = tx.send(LayoutResponse {
+                            result: result.clone(),
+                            source,
+                        });
+                    }
+                }
+                // Dropping the senders makes every Ticket::wait return
+                // `Internal("layout worker vanished")`.
+                None => drop(waiters),
+            }
+        });
+        self.stats.served.fetch_add(1, Ordering::Relaxed);
+        Ok(Ticket {
+            inner: TicketInner::Pending(rx),
+        })
+    }
+
+    /// Submits a batch; per-request admission (a rejected request does
+    /// not poison the rest of the batch). Duplicate digests within the
+    /// batch coalesce onto one computation like any other duplicates.
+    pub fn submit_batch(&self, requests: Vec<LayoutRequest>) -> Vec<Result<Ticket, ServiceError>> {
+        requests.into_iter().map(|r| self.submit(r)).collect()
+    }
+
+    /// Blocks until every queued job has finished.
+    pub fn drain(&self) {
+        self.pool.wait();
+    }
+
+    /// Point-in-time counters.
+    pub fn counters(&self) -> SchedulerCounters {
+        SchedulerCounters {
+            served: self.stats.served.load(Ordering::Relaxed),
+            computed: self.stats.computed.load(Ordering::Relaxed),
+            coalesced: self.stats.coalesced.load(Ordering::Relaxed),
+            rejected: self.stats.rejected.load(Ordering::Relaxed),
+            inflight: self.depth.load(Ordering::Relaxed),
+            cache: self.cache.counters(),
+        }
+    }
+}
+
+/// Runs the requested algorithm; cycles in the input are oriented away
+/// first, exactly as the CLI does.
+fn compute(request: &LayoutRequest, digest: Digest, deadline: Option<Instant>) -> LayoutResult {
+    let started = Instant::now();
+    let oriented = antlayer_sugiyama::acyclic_orientation(&request.graph);
+    let wm = WidthModel::with_dummy_width(request.nd_width);
+    let (layering, metrics, stopped_early) = match &request.algo {
+        // ACO is the one anytime algorithm: it takes the deadline and
+        // reports truncation.
+        AlgoSpec::Aco(params) => {
+            let run = AcoLayering::new(params.clone()).run_until(&oriented.dag, &wm, deadline);
+            (run.layering, run.metrics, run.stopped_early)
+        }
+        baseline => {
+            let layering = baseline.build().layer(&oriented.dag, &wm);
+            let metrics = LayeringMetrics::compute(&oriented.dag, &layering, &wm);
+            (layering, metrics, false)
+        }
+    };
+    LayoutResult {
+        digest,
+        layering,
+        metrics,
+        reversed_edges: oriented.reversed.len(),
+        stopped_early,
+        compute_micros: started.elapsed().as_micros() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antlayer_graph::generate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_graph(seed: u64) -> DiGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate::random_dag_with_edges(20, 30, &mut rng).into_graph()
+    }
+
+    fn quick_aco(seed: u64) -> AlgoSpec {
+        AlgoSpec::Aco(AcoParams::default().with_colony(3, 3).with_seed(seed))
+    }
+
+    #[test]
+    fn computed_then_cached() {
+        let s = Scheduler::new(SchedulerConfig {
+            threads: 2,
+            ..Default::default()
+        });
+        let req = LayoutRequest::new(small_graph(1), quick_aco(1));
+        let first = s.submit(req.clone()).unwrap().wait().unwrap();
+        assert_eq!(first.source, Source::Computed);
+        let second = s.submit(req).unwrap().wait().unwrap();
+        assert_eq!(second.source, Source::CacheHit);
+        assert_eq!(first.result.layering, second.result.layering);
+        let c = s.counters();
+        assert_eq!(c.computed, 1);
+        assert_eq!(c.cache.hits, 1);
+    }
+
+    #[test]
+    fn distinct_requests_compute_separately() {
+        let s = Scheduler::new(SchedulerConfig {
+            threads: 2,
+            ..Default::default()
+        });
+        let a = s
+            .submit(LayoutRequest::new(small_graph(1), quick_aco(1)))
+            .unwrap();
+        let b = s
+            .submit(LayoutRequest::new(small_graph(2), quick_aco(1)))
+            .unwrap();
+        let (a, b) = (a.wait().unwrap(), b.wait().unwrap());
+        assert_ne!(a.result.digest, b.result.digest);
+        assert_eq!(s.counters().computed, 2);
+    }
+
+    #[test]
+    fn admission_rejects_past_cap() {
+        // One slow job + cap 1: the second distinct request is rejected.
+        let s = Scheduler::new(SchedulerConfig {
+            threads: 1,
+            max_queue_depth: 1,
+            ..Default::default()
+        });
+        let mut slow = LayoutRequest::new(small_graph(3), quick_aco(3));
+        slow.algo = AlgoSpec::Aco(AcoParams::default().with_colony(10, 50).with_seed(3));
+        let ticket = s.submit(slow).unwrap();
+        let other = LayoutRequest::new(small_graph(4), quick_aco(4));
+        let mut rejected = false;
+        match s.submit(other) {
+            Err(ServiceError::Overloaded { cap: 1, .. }) => rejected = true,
+            Err(e) => panic!("unexpected error {e}"),
+            Ok(t) => {
+                // The slow job may already have finished on a fast
+                // machine; then admission correctly let this through.
+                t.wait().unwrap();
+            }
+        }
+        ticket.wait().unwrap();
+        let c = s.counters();
+        assert_eq!(c.rejected, u64::from(rejected));
+    }
+
+    #[test]
+    fn identical_inflight_requests_coalesce() {
+        let s = Scheduler::new(SchedulerConfig {
+            threads: 1,
+            ..Default::default()
+        });
+        // A moderately slow request submitted twice back to back: the
+        // second attaches to the first's job.
+        let req = LayoutRequest::new(
+            small_graph(5),
+            AlgoSpec::Aco(AcoParams::default().with_colony(8, 20).with_seed(5)),
+        );
+        let t1 = s.submit(req.clone()).unwrap();
+        let t2 = s.submit(req).unwrap();
+        let r1 = t1.wait().unwrap();
+        let r2 = t2.wait().unwrap();
+        assert_eq!(r1.result.digest, r2.result.digest);
+        let c = s.counters();
+        // Either coalesced (normal) or the first finished first and the
+        // second hit the cache (fast machine) — never two computations.
+        assert_eq!(c.computed, 1);
+        assert_eq!(c.coalesced + c.cache.hits, 1);
+        assert!(Arc::ptr_eq(&r1.result, &r2.result) || c.cache.hits == 1);
+    }
+
+    #[test]
+    fn deadline_zero_is_served_but_not_cached() {
+        let s = Scheduler::new(SchedulerConfig {
+            threads: 1,
+            ..Default::default()
+        });
+        let mut req = LayoutRequest::new(small_graph(6), quick_aco(6));
+        req.deadline = Some(Duration::ZERO);
+        let r = s.submit(req.clone()).unwrap().wait().unwrap();
+        assert!(r.result.stopped_early);
+        assert_eq!(s.cache.len(), 0, "truncated runs must not be cached");
+        // The same request again recomputes (no poisoned hit).
+        let r2 = s.submit(req).unwrap().wait().unwrap();
+        assert_eq!(r2.source, Source::Computed);
+    }
+
+    #[test]
+    fn duration_max_deadline_means_unbounded_not_panic() {
+        // `Duration::MAX` overflows `Instant + Duration`; it must be
+        // treated as "no deadline", not wedge the digest with a panic.
+        let s = Scheduler::new(SchedulerConfig {
+            threads: 1,
+            ..Default::default()
+        });
+        let mut req = LayoutRequest::new(small_graph(30), quick_aco(30));
+        req.deadline = Some(Duration::MAX);
+        let r = s.submit(req).unwrap().wait().unwrap();
+        assert!(!r.result.stopped_early);
+        assert_eq!(s.cache.len(), 1, "an unbounded run is cacheable");
+    }
+
+    #[test]
+    fn bounded_and_unbounded_requests_never_share_a_job() {
+        // A deadline-truncated job must not feed a caller that did not
+        // opt into a deadline, even when both are in flight together.
+        let s = Scheduler::new(SchedulerConfig {
+            threads: 2,
+            ..Default::default()
+        });
+        let graph = small_graph(20);
+        let mut bounded = LayoutRequest::new(
+            graph.clone(),
+            AlgoSpec::Aco(AcoParams::default().with_colony(8, 50).with_seed(20)),
+        );
+        bounded.deadline = Some(Duration::ZERO);
+        let unbounded = LayoutRequest {
+            deadline: None,
+            ..bounded.clone()
+        };
+        let tb = s.submit(bounded).unwrap();
+        let tu = s.submit(unbounded).unwrap();
+        let rb = tb.wait().unwrap();
+        let ru = tu.wait().unwrap();
+        assert!(rb.result.stopped_early, "zero budget must truncate");
+        assert!(
+            !ru.result.stopped_early,
+            "unbounded caller must never receive a truncated result"
+        );
+        assert_eq!(s.counters().computed, 2, "the classes compute separately");
+        assert_eq!(s.counters().coalesced, 0);
+    }
+
+    #[test]
+    fn baselines_and_cyclic_inputs() {
+        let s = Scheduler::new(SchedulerConfig::default());
+        // A 3-cycle: the orientation pass must reverse an edge.
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        for name in ["lpl", "lpl-pl", "minwidth", "minwidth-pl", "cg", "ns"] {
+            let algo = AlgoSpec::parse(name, 1).unwrap();
+            let r = s
+                .submit(LayoutRequest::new(g.clone(), algo))
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(r.result.reversed_edges, 1, "{name}");
+            assert!(r.result.metrics.height >= 2, "{name}");
+        }
+        assert!(AlgoSpec::parse("nope", 1).is_err());
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_up_front() {
+        let s = Scheduler::new(SchedulerConfig::default());
+        let mut req = LayoutRequest::new(small_graph(7), quick_aco(7));
+        req.nd_width = f64::NAN;
+        assert!(matches!(
+            s.submit(req),
+            Err(ServiceError::InvalidRequest(_))
+        ));
+        let bad = LayoutRequest::new(
+            small_graph(8),
+            AlgoSpec::Aco(AcoParams {
+                rho: 7.0,
+                ..AcoParams::default()
+            }),
+        );
+        assert!(matches!(
+            s.submit(bad),
+            Err(ServiceError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn batch_submission_mixes_sources() {
+        let s = Scheduler::new(SchedulerConfig {
+            threads: 2,
+            ..Default::default()
+        });
+        let shared = LayoutRequest::new(small_graph(9), quick_aco(9));
+        let batch = vec![
+            shared.clone(),
+            LayoutRequest::new(small_graph(10), quick_aco(9)),
+            shared,
+        ];
+        let tickets = s.submit_batch(batch);
+        let responses: Vec<_> = tickets
+            .into_iter()
+            .map(|t| t.unwrap().wait().unwrap())
+            .collect();
+        assert_eq!(responses.len(), 3);
+        assert_eq!(responses[0].result.digest, responses[2].result.digest);
+        assert_eq!(s.counters().computed, 2, "duplicate digest computes once");
+    }
+}

@@ -1,0 +1,304 @@
+//! The TCP front end: accepts connections, reads one JSON request per
+//! line, answers one JSON response per line.
+//!
+//! Connections are handled by one thread each (bounded by
+//! [`ServerConfig::max_connections`]; excess connections are answered
+//! with an `overloaded` error line and closed). Requests on one
+//! connection are pipelined: the handler reads, submits to the shared
+//! [`Scheduler`], and blocks on the ticket — concurrency across
+//! connections comes from the scheduler's worker pool, which also gives
+//! digest-level dedup across clients for free.
+
+use crate::protocol::{self, Json, Request};
+use crate::scheduler::{Scheduler, SchedulerConfig};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:4617` (port 0 picks a free one).
+    pub addr: String,
+    /// Scheduler configuration (threads, cache, admission).
+    pub scheduler: SchedulerConfig,
+    /// Maximum concurrently served connections.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:4617".into(),
+            scheduler: SchedulerConfig::default(),
+            max_connections: 128,
+        }
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    scheduler: Arc<Scheduler>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    connections: Arc<AtomicUsize>,
+}
+
+/// Handle to a server running on a background thread; dropping it shuts
+/// the server down.
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the configured address.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            listener,
+            scheduler: Arc::new(Scheduler::new(config.scheduler.clone())),
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            connections: Arc::new(AtomicUsize::new(0)),
+        })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared scheduler (for in-process inspection).
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.scheduler
+    }
+
+    /// Runs the accept loop on the calling thread until shutdown.
+    pub fn run(self) {
+        // The accept call blocks; `ServerHandle::stop` sets the shutdown
+        // flag and then opens a wake-up connection so the loop observes
+        // it on the very next iteration.
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            // One small request line, one small response line: Nagle +
+            // delayed ACK would add ~40 ms to every exchange.
+            let _ = stream.set_nodelay(true);
+            let active = self.connections.fetch_add(1, Ordering::AcqRel) + 1;
+            if active > self.config.max_connections {
+                self.connections.fetch_sub(1, Ordering::AcqRel);
+                let mut w = BufWriter::new(&stream);
+                let _ = writeln!(
+                    w,
+                    "{}",
+                    protocol::encode_error(&format!(
+                        "overloaded: {active} connections (cap {})",
+                        self.config.max_connections
+                    ))
+                );
+                let _ = w.flush();
+                let _ = stream.shutdown(Shutdown::Both);
+                continue;
+            }
+            let scheduler = self.scheduler.clone();
+            let connections = self.connections.clone();
+            std::thread::spawn(move || {
+                handle_connection(stream, &scheduler);
+                connections.fetch_sub(1, Ordering::AcqRel);
+            });
+        }
+    }
+
+    /// Runs the server on a background thread and returns a handle.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shutdown = self.shutdown.clone();
+        let thread = std::thread::Builder::new()
+            .name("antlayer-serve-accept".into())
+            .spawn(move || self.run())?;
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The server's address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread. In-flight
+    /// connection handlers finish their current request and exit when
+    /// their client disconnects.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.thread.is_none() {
+            return;
+        }
+        self.shutdown.store(true, Ordering::Release);
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Longest accepted request line. Generous — a million-node graph with
+/// 1.5M edges encodes to ~25 MB — but bounded, so a newline-free stream
+/// cannot grow a line buffer without limit.
+const MAX_LINE_BYTES: u64 = 64 * 1024 * 1024;
+
+fn handle_connection(stream: TcpStream, scheduler: &Scheduler) {
+    let mut reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Bound each read: `take` caps how much one line may buffer.
+        match (&mut reader).take(MAX_LINE_BYTES).read_line(&mut line) {
+            Ok(0) => break, // clean EOF
+            Ok(n) => {
+                if n as u64 >= MAX_LINE_BYTES && !line.ends_with('\n') {
+                    let _ = writeln!(
+                        writer,
+                        "{}",
+                        protocol::encode_error(&format!(
+                            "request line exceeds {MAX_LINE_BYTES} bytes"
+                        ))
+                    );
+                    let _ = writer.flush();
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = respond(line.trim_end(), scheduler);
+        if writeln!(writer, "{reply}")
+            .and_then(|_| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+}
+
+/// Computes the response line for one request line; shared by the TCP
+/// handler and tests.
+pub fn respond(line: &str, scheduler: &Scheduler) -> String {
+    match protocol::parse_request(line) {
+        Err(e) => protocol::encode_error(&e),
+        Ok(Request::Ping) => {
+            let mut obj = BTreeMap::new();
+            obj.insert("ok".into(), Json::Bool(true));
+            obj.insert("op".into(), Json::Str("ping".into()));
+            Json::Obj(obj).encode()
+        }
+        Ok(Request::Stats) => {
+            let c = scheduler.counters();
+            let mut obj = BTreeMap::new();
+            obj.insert("ok".into(), Json::Bool(true));
+            obj.insert("op".into(), Json::Str("stats".into()));
+            obj.insert("served".into(), Json::Num(c.served as f64));
+            obj.insert("computed".into(), Json::Num(c.computed as f64));
+            obj.insert("coalesced".into(), Json::Num(c.coalesced as f64));
+            obj.insert("rejected".into(), Json::Num(c.rejected as f64));
+            obj.insert("inflight".into(), Json::Num(c.inflight as f64));
+            obj.insert("cache_hits".into(), Json::Num(c.cache.hits as f64));
+            obj.insert("cache_misses".into(), Json::Num(c.cache.misses as f64));
+            obj.insert(
+                "cache_insertions".into(),
+                Json::Num(c.cache.insertions as f64),
+            );
+            obj.insert(
+                "cache_evictions".into(),
+                Json::Num(c.cache.evictions as f64),
+            );
+            Json::Obj(obj).encode()
+        }
+        Ok(Request::Layout(req)) => match scheduler.submit(*req) {
+            Err(e) => protocol::encode_error(&e.to_string()),
+            Ok(ticket) => match ticket.wait() {
+                Ok(response) => protocol::encode_layout_response(&response),
+                Err(e) => protocol::encode_error(&e.to_string()),
+            },
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::parse;
+
+    fn test_scheduler() -> Scheduler {
+        Scheduler::new(SchedulerConfig {
+            threads: 2,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn respond_ping_and_stats() {
+        let s = test_scheduler();
+        let pong = parse(&respond(r#"{"op":"ping"}"#, &s)).unwrap();
+        assert_eq!(pong.get("ok"), Some(&Json::Bool(true)));
+        let stats = parse(&respond(r#"{"op":"stats"}"#, &s)).unwrap();
+        assert_eq!(stats.get("served").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn respond_layout_then_cached_layout() {
+        let s = test_scheduler();
+        let line = r#"{"op":"layout","algo":"aco","nodes":5,"edges":[[0,1],[1,2],[2,3],[3,4]],"ants":3,"tours":3}"#;
+        let first = parse(&respond(line, &s)).unwrap();
+        assert_eq!(first.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(first.get("source").and_then(Json::as_str), Some("computed"));
+        let second = parse(&respond(line, &s)).unwrap();
+        assert_eq!(second.get("source").and_then(Json::as_str), Some("hit"));
+        assert_eq!(first.get("layers"), second.get("layers"));
+        assert_eq!(first.get("digest"), second.get("digest"));
+    }
+
+    #[test]
+    fn respond_bad_line_is_error_json() {
+        let s = test_scheduler();
+        let v = parse(&respond("this is not json", &s)).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
+        assert!(v
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("bad JSON"));
+    }
+}

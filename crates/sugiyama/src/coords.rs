@@ -123,11 +123,7 @@ pub fn assign_coordinates(
     for xv in x.values_mut() {
         *xv += shift;
     }
-    let width = x
-        .values()
-        .copied()
-        .fold(0.0f64, f64::max)
-        + 1.0;
+    let width = x.values().copied().fold(0.0f64, f64::max) + 1.0;
     let height = order.len().saturating_sub(1) as f64 * opts.v_gap + 1.0;
     Coordinates {
         x,

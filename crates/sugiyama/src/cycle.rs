@@ -60,18 +60,16 @@ fn greedy_sequence(g: &DiGraph) -> Vec<NodeId> {
     let mut back: Vec<NodeId> = Vec::new();
     let mut remaining = n;
 
-    let remove = |v: NodeId,
-                      out_deg: &mut Vec<isize>,
-                      in_deg: &mut Vec<isize>,
-                      removed: &mut Vec<bool>| {
-        removed[v.index()] = true;
-        for &w in g.out_neighbors(v) {
-            in_deg[w.index()] -= 1;
-        }
-        for &u in g.in_neighbors(v) {
-            out_deg[u.index()] -= 1;
-        }
-    };
+    let remove =
+        |v: NodeId, out_deg: &mut Vec<isize>, in_deg: &mut Vec<isize>, removed: &mut Vec<bool>| {
+            removed[v.index()] = true;
+            for &w in g.out_neighbors(v) {
+                in_deg[w.index()] -= 1;
+            }
+            for &u in g.in_neighbors(v) {
+                out_deg[u.index()] -= 1;
+            }
+        };
 
     while remaining > 0 {
         // Peel sinks.

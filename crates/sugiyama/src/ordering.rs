@@ -31,11 +31,7 @@ pub fn initial_order(p: &ProperLayering) -> LayerOrder {
 /// `upper` is the layer with the higher index; edges go from `upper` to
 /// `lower`. Counts inversions among the edge endpoints — `O(E log E)` via
 /// merge-sort counting.
-pub fn crossings_between(
-    p: &ProperLayering,
-    upper: &[NodeId],
-    lower: &[NodeId],
-) -> u64 {
+pub fn crossings_between(p: &ProperLayering, upper: &[NodeId], lower: &[NodeId]) -> u64 {
     let mut pos_lower: NodeVec<u32> = NodeVec::filled(u32::MAX, p.graph.node_count());
     for (i, &v) in lower.iter().enumerate() {
         pos_lower[v] = i as u32;
@@ -253,13 +249,25 @@ mod tests {
     fn sweeps_never_return_worse_than_initial() {
         let dag = Dag::from_edges(
             8,
-            &[(0, 4), (0, 5), (1, 4), (1, 6), (2, 5), (2, 7), (3, 6), (3, 7)],
+            &[
+                (0, 4),
+                (0, 5),
+                (1, 4),
+                (1, 6),
+                (2, 5),
+                (2, 7),
+                (3, 6),
+                (3, 7),
+            ],
         )
         .unwrap();
         let layering = Layering::from_slice(&[2, 2, 2, 2, 1, 1, 1, 1]);
         let p = ProperLayering::build(&dag, &layering);
         let before = total_crossings(&p, &initial_order(&p));
-        let after = total_crossings(&p, &minimize_crossings(&p, OrderingHeuristic::Barycenter, 8));
+        let after = total_crossings(
+            &p,
+            &minimize_crossings(&p, OrderingHeuristic::Barycenter, 8),
+        );
         assert!(after <= before);
     }
 

@@ -85,11 +85,7 @@ impl Drawing {
 /// assert_eq!(drawing.layering.len(), 4);
 /// assert!(!drawing.reversed_edges.is_empty()); // the cycle was broken
 /// ```
-pub fn draw(
-    graph: &DiGraph,
-    algorithm: &dyn LayeringAlgorithm,
-    opts: &PipelineOptions,
-) -> Drawing {
+pub fn draw(graph: &DiGraph, algorithm: &dyn LayeringAlgorithm, opts: &PipelineOptions) -> Drawing {
     let oriented = acyclic_orientation(graph);
     let mut layering = algorithm.layer(&oriented.dag, &opts.widths);
     layering.normalize();
@@ -116,11 +112,7 @@ mod tests {
     use antlayer_layering::{LongestPath, MinWidth};
 
     fn cyclic_fixture() -> DiGraph {
-        DiGraph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 3), (3, 1), (2, 4), (4, 5), (5, 0)],
-        )
-        .unwrap()
+        DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 1), (2, 4), (4, 5), (5, 0)]).unwrap()
     }
 
     #[test]

@@ -53,10 +53,7 @@ pub fn render_svg(
         out,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width_px:.0}" height="{height_px:.0}" viewBox="0 0 {width_px:.0} {height_px:.0}">"#
     );
-    let _ = writeln!(
-        out,
-        r#"  <rect width="100%" height="100%" fill="white"/>"#
-    );
+    let _ = writeln!(out, r#"  <rect width="100%" height="100%" fill="white"/>"#);
 
     // Edges: one polyline per original-edge chain.
     for chain in &p.chains {
@@ -157,9 +154,14 @@ mod tests {
         let dag = Dag::from_edges(1, &[]).unwrap();
         let p = ProperLayering::build(&dag, &Layering::flat(1));
         let order = vec![vec![antlayer_graph::NodeId::new(0)]];
-        let coords =
-            assign_coordinates(&p, &order, &WidthModel::unit(), CoordOptions::default());
-        let svg = render_svg(&p, &order, &coords, |_| "<a&b>".into(), &SvgOptions::default());
+        let coords = assign_coordinates(&p, &order, &WidthModel::unit(), CoordOptions::default());
+        let svg = render_svg(
+            &p,
+            &order,
+            &coords,
+            |_| "<a&b>".into(),
+            &SvgOptions::default(),
+        );
         assert!(svg.contains("&lt;a&amp;b&gt;"));
     }
 }

@@ -20,7 +20,13 @@ fn main() {
         vec![&LongestPath, &lpl_pl, &minwidth, &mw_pl, &aco];
 
     let mut table = Table::new(&[
-        "algorithm", "height", "width", "w_excl", "dummies", "edge_density", "ms/graph",
+        "algorithm",
+        "height",
+        "width",
+        "w_excl",
+        "dummies",
+        "edge_density",
+        "ms/graph",
     ]);
     for algo in algorithms {
         let mut sums = [0.0f64; 5];

@@ -51,8 +51,20 @@ fn main() {
 
     let b = batches as f64;
     println!("over {batches} random 9-vertex DAGs (means per graph):");
-    println!("  LPL width above the exact min-width-at-min-height: {:+.2}", width_gap_lpl / b);
-    println!("  ACO width above the exact optimum at its own height: {:+.2}", width_gap_aco / b);
-    println!("  LPL+PL dummies above the exact minimum (network simplex): {:+.2}", dummy_gap_pl as f64 / b);
-    println!("  (exact minimum dummy count averaged {:.2})", dummy_gap_ns_check as f64 / b);
+    println!(
+        "  LPL width above the exact min-width-at-min-height: {:+.2}",
+        width_gap_lpl / b
+    );
+    println!(
+        "  ACO width above the exact optimum at its own height: {:+.2}",
+        width_gap_aco / b
+    );
+    println!(
+        "  LPL+PL dummies above the exact minimum (network simplex): {:+.2}",
+        dummy_gap_pl as f64 / b
+    );
+    println!(
+        "  (exact minimum dummy count averaged {:.2})",
+        dummy_gap_ns_check as f64 / b
+    );
 }

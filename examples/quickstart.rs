@@ -41,10 +41,15 @@ fn main() {
     let algorithms: Vec<&dyn LayeringAlgorithm> =
         vec![&LongestPath, &lpl_pl, &minwidth, &mw_pl, &aco];
 
-    println!("{:>12} {:>7} {:>7} {:>8} {:>7} {:>10}", "algorithm", "height", "width", "w(excl)", "dummies", "objective");
+    println!(
+        "{:>12} {:>7} {:>7} {:>8} {:>7} {:>10}",
+        "algorithm", "height", "width", "w(excl)", "dummies", "objective"
+    );
     for algo in algorithms {
         let layering = algo.layer(&dag, &widths);
-        layering.validate(&dag).expect("algorithms produce valid layerings");
+        layering
+            .validate(&dag)
+            .expect("algorithms produce valid layerings");
         let m = LayeringMetrics::compute(&dag, &layering, &widths);
         println!(
             "{:>12} {:>7} {:>7.1} {:>8.1} {:>7} {:>10.4}",

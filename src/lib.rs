@@ -17,6 +17,7 @@
 //! | [`sugiyama`] | `antlayer-sugiyama` | cycle removal, crossing minimization, coordinates, SVG/ASCII |
 //! | [`datasets`] | `antlayer-datasets` | the 1277-graph AT&T-like [`GraphSuite`](datasets::GraphSuite), report writers |
 //! | [`parallel`] | `antlayer-parallel` | deterministic [`par_map`](parallel::par_map), [`WorkerPool`](parallel::WorkerPool) |
+//! | [`service`] | `antlayer-service` | batch layout serving: canonical [`Digest`](service::Digest) cache keys, sharded LRU cache, deadline-bounded [`Scheduler`](service::Scheduler), JSON-over-TCP [`Server`](service::Server) |
 //!
 //! ## Quickstart
 //!
@@ -43,6 +44,7 @@ pub use antlayer_datasets as datasets;
 pub use antlayer_graph as graph;
 pub use antlayer_layering as layering;
 pub use antlayer_parallel as parallel;
+pub use antlayer_service as service;
 pub use antlayer_sugiyama as sugiyama;
 
 /// The most commonly used types, in one import.
@@ -54,5 +56,6 @@ pub mod prelude {
         CoffmanGraham, Layering, LayeringAlgorithm, LayeringMetrics, LongestPath, MinWidth,
         Promote, Refined, WidthModel,
     };
+    pub use antlayer_service::{AlgoSpec, LayoutRequest, Scheduler, SchedulerConfig};
     pub use antlayer_sugiyama::{draw, PipelineOptions, SvgOptions};
 }

@@ -56,7 +56,7 @@ fn algorithm5_width_reflection_matches_recomputation() {
     assert_eq!(state.width[3], before[3] + 2.0 - 1.0); // +out −v
     assert_eq!(state.width[4], before[4] + 2.0 - 2.0); // +out −in
     assert_eq!(state.width[5], before[5] - 2.0 + 1.0); // −in +v
-    // And the incremental result equals a fresh recomputation.
+                                                       // And the incremental result equals a fresh recomputation.
     let fresh = compute_widths(&dag, &state.layer, 7, &wm);
     assert_eq!(&state.width[1..], &fresh[1..]);
 }

@@ -1,9 +1,9 @@
 //! Cross-crate integration: generate → layer (every algorithm) → expand →
 //! order → draw, with validity checked at every joint.
 
-use antlayer::prelude::*;
 use antlayer::graph::generate;
 use antlayer::layering::ProperLayering;
+use antlayer::prelude::*;
 use antlayer::sugiyama::{total_crossings, OrderingHeuristic};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -123,10 +123,20 @@ fn deterministic_end_to_end_across_thread_counts() {
     let suite = GraphSuite::att_like_scaled(8, 19);
     let widths = WidthModel::unit();
     for (_, dag) in suite.iter().take(4) {
-        let seq = AcoLayering::new(AcoParams::default().with_colony(4, 4).with_seed(3).with_threads(1))
-            .layer(dag, &widths);
-        let par = AcoLayering::new(AcoParams::default().with_colony(4, 4).with_seed(3).with_threads(4))
-            .layer(dag, &widths);
+        let seq = AcoLayering::new(
+            AcoParams::default()
+                .with_colony(4, 4)
+                .with_seed(3)
+                .with_threads(1),
+        )
+        .layer(dag, &widths);
+        let par = AcoLayering::new(
+            AcoParams::default()
+                .with_colony(4, 4)
+                .with_seed(3)
+                .with_threads(4),
+        )
+        .layer(dag, &widths);
         assert_eq!(seq, par);
     }
 }

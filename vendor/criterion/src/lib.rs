@@ -1,0 +1,236 @@
+//! Offline stand-in for the subset of `criterion` used by the `antlayer`
+//! benches. It keeps the familiar API (`criterion_group!`,
+//! `criterion_main!`, benchmark groups, `Bencher::iter`, `BenchmarkId`)
+//! but replaces the statistical machinery with a plain
+//! calibrate-then-measure wall-clock loop: each benchmark is timed over
+//! `samples` batches and the median batch is reported to stdout as
+//! nanoseconds per iteration.
+//!
+//! Filters work as in criterion: `cargo bench -- <substring>` runs only
+//! benchmark ids containing the substring.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// An opaque value barrier — re-export of `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Timing loop driver handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The top-level harness state.
+pub struct Criterion {
+    filter: Option<String>,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` forwards everything after `--` to us;
+        // ignore criterion's own flags (they start with '-').
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let samples = self.samples;
+        self.run_one(id, samples, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, samples: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Calibrate the per-sample iteration count to ~5 ms, then take the
+        // median of `samples` timed batches.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let iters =
+            (Duration::from_millis(5).as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut nanos_per_iter: Vec<u128> = (0..samples.max(1))
+            .map(|_| {
+                b.iters = iters;
+                f(&mut b);
+                b.elapsed.as_nanos() / iters as u128
+            })
+            .collect();
+        nanos_per_iter.sort_unstable();
+        let median = nanos_per_iter[nanos_per_iter.len() / 2];
+        println!("bench: {id:<50} {median:>12} ns/iter ({iters} iters x {samples} samples)");
+    }
+}
+
+/// A set of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n);
+        self
+    }
+
+    /// Benchmarks `f` with the given id and input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        let samples = self.samples.unwrap_or(self.criterion.samples);
+        self.criterion.run_one(&full, samples, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` with the given id.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let samples = self.samples.unwrap_or(self.criterion.samples);
+        self.criterion.run_one(&full, samples, |b| f(b));
+        self
+    }
+
+    /// Ends the group (report flushing is a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one group runner, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("lpl", 50).id, "lpl/50");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            samples: 2,
+        };
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::new("f", 1), &3u64, |b, &x| {
+            runs += 1;
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(runs >= 3, "calibration + samples must invoke the closure");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("matches-nothing-xyz".into()),
+            samples: 2,
+        };
+        let mut ran = false;
+        c.bench_function("some/bench", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        assert!(!ran);
+    }
+}

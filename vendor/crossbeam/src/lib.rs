@@ -1,0 +1,15 @@
+//! Offline stand-in for the subset of `crossbeam` used by `antlayer`:
+//! [`scope`] (scoped threads, mapped onto `std::thread::scope`) and
+//! [`channel`] (an unbounded MPMC channel with cloneable receivers, which
+//! `std::sync::mpsc` cannot provide).
+//!
+//! One behavioural difference from real crossbeam: if a spawned thread
+//! panics, [`scope`] propagates the panic instead of returning `Err` —
+//! callers in this workspace `.expect()` the result either way.
+
+#![forbid(unsafe_code)]
+
+pub mod channel;
+pub mod thread;
+
+pub use thread::scope;

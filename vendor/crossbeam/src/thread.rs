@@ -1,0 +1,69 @@
+//! Scoped threads in the crossbeam 0.8 calling convention, on top of
+//! `std::thread::scope` (stable since Rust 1.63).
+
+use std::any::Any;
+
+/// Handle passed to the [`scope`] closure; `spawn` borrows of the
+/// enclosing stack frame.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. As in crossbeam, the closure receives the
+    /// scope again so nested spawns are possible.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let me = *self;
+        self.inner.spawn(move || f(&me))
+    }
+}
+
+/// Runs `f` with a scope in which borrowing spawned threads can be
+/// created; returns when all of them have finished.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_locals() {
+        let counter = AtomicU32::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let counter = AtomicU32::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! A dependency-free, offline stand-in for the subset of the `rand` crate
+//! API that `antlayer` uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] / [`Rng::gen_bool`], and [`seq::SliceRandom`].
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the few external crates it needs as minimal API-compatible
+//! stubs (see `vendor/` in the repository root). The stream of `StdRng`
+//! is **not** the upstream ChaCha12 stream — it is xoshiro256++ seeded via
+//! SplitMix64 — but it has the only property the repo relies on:
+//! deterministic, well-mixed output for a given `seed_from_u64` seed.
+
+#![forbid(unsafe_code)]
+
+pub mod rngs;
+pub mod seq;
+
+/// Low-level source of randomness: everything derives from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (upper half of [`next_u64`]).
+    ///
+    /// [`next_u64`]: RngCore::next_u64
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a reproducible generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open or inclusive).
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// Panics unless `0 <= p <= 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// `u64` bits mapped to a uniform `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits give every representable multiple of 2^-53 in [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A type uniform samples can be drawn for. The element-type trait keeps
+/// [`SampleRange`] a single blanket impl per range shape, which is what
+/// lets inference pin `T` from the range literal exactly as upstream
+/// `rand` does.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// A sample from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`
+    /// (`inclusive = true`); the caller guarantees non-emptiness.
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_int_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span =
+                    (hi as i128).wrapping_sub(lo as i128) as u128 + if inclusive { 1 } else { 0 };
+                let v = (rng.next_u64() as u128) % span;
+                ((lo as i128) + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+            ) -> Self {
+                lo + (hi - lo) * unit_f64(rng.next_u64()) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_sample_uniform!(f32, f64);
+
+/// A range that a uniform sample can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws one sample.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_uniform(rng, lo, hi, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..10usize);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(1..=4i32);
+            assert!((1..=4).contains(&w));
+            let f = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_covers_every_value() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&hits), "p=0.5 gave {hits}/10000");
+    }
+}
