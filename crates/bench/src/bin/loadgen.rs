@@ -2,28 +2,44 @@
 //!
 //! Spawns an in-process server on a loopback port (or targets an
 //! external one via `--addr`), drives it with concurrent JSON-over-TCP
-//! clients, and reports throughput and latency percentiles for cold
-//! (every request a new graph), cached (one graph requested repeatedly)
-//! and mixed workloads.
+//! clients, and reports throughput, goodput and latency percentiles for
+//! cold (every request a new graph), cached (one graph requested
+//! repeatedly), mixed, and edit (interactive editing sessions speaking
+//! `layout_delta`) workloads.
 //!
 //! ```text
-//! loadgen [--mode cold|cached|mixed] [--requests N] [--clients C]
+//! loadgen [--mode cold|cached|mixed|edit] [--requests N] [--clients C]
 //!         [--n NODES] [--ants A] [--tours T] [--deadline-ms D]
-//!         [--threads W] [--addr HOST:PORT]
+//!         [--threads W] [--addr HOST:PORT] [--retries R]
 //! ```
+//!
+//! In `edit` mode every client opens its own editing session: one full
+//! `layout` of a private base graph, then a chain of `layout_delta`
+//! requests each editing 1–3 edges and warm-starting from the previous
+//! response's digest. If the server evicted the base (`base not found`),
+//! the client falls back to a full layout and resumes the chain — the
+//! protocol's intended recovery.
+//!
+//! `overloaded` responses are **not** fatal: the client retries with
+//! exponential backoff (up to `--retries`, default 8) and the report
+//! separates *goodput* (successful layouts per second) from raw
+//! attempt throughput, per the backpressure design: servers shed load,
+//! clients pace themselves.
 //!
 //! With no `--addr`, an in-process server is started and shut down
 //! around the run; its cache/scheduler counters are printed at the end
 //! (`computed` vs `cache_hits` shows how much work the digest cache
-//! absorbed).
+//! absorbed; `seeded` responses show warm starts).
 
-use antlayer_graph::generate;
+use antlayer_graph::{generate, DiGraph, NodeId};
 use antlayer_service::protocol::{parse, Json};
 use antlayer_service::{SchedulerConfig, Server, ServerConfig};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 struct Options {
@@ -36,6 +52,7 @@ struct Options {
     deadline_ms: Option<u64>,
     threads: usize,
     addr: Option<String>,
+    retries: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -50,6 +67,7 @@ fn parse_args() -> Result<Options, String> {
         deadline_ms: None,
         threads: 0,
         addr: None,
+        retries: 8,
     };
     let mut i = 0;
     let value = |i: &mut usize| -> Result<String, String> {
@@ -71,13 +89,14 @@ fn parse_args() -> Result<Options, String> {
             }
             "--threads" => o.threads = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--addr" => o.addr = Some(value(&mut i)?),
+            "--retries" => o.retries = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             other => return Err(format!("unknown flag '{other}'")),
         }
         i += 1;
     }
-    if !["cold", "cached", "mixed"].contains(&o.mode.as_str()) {
+    if !["cold", "cached", "mixed", "edit"].contains(&o.mode.as_str()) {
         return Err(format!(
-            "--mode must be cold|cached|mixed, got '{}'",
+            "--mode must be cold|cached|mixed|edit, got '{}'",
             o.mode
         ));
     }
@@ -87,34 +106,63 @@ fn parse_args() -> Result<Options, String> {
     Ok(o)
 }
 
-/// Builds the request line for graph-seed `seed`.
-fn request_line(o: &Options, seed: u64) -> String {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let dag = generate::random_dag_with_edges(o.n, o.n * 3 / 2, &mut rng);
-    let g = dag.into_graph();
-    let mut obj = std::collections::BTreeMap::new();
-    obj.insert("op".to_string(), Json::Str("layout".into()));
+fn edge_pairs_json(edges: impl Iterator<Item = (NodeId, NodeId)>) -> Json {
+    Json::Arr(
+        edges
+            .map(|(u, v)| {
+                Json::Arr(vec![
+                    Json::Num(u.index() as f64),
+                    Json::Num(v.index() as f64),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// The colony/deadline fields shared by `layout` and `layout_delta`.
+fn common_fields(o: &Options, seed: u64, obj: &mut BTreeMap<String, Json>) {
     obj.insert("algo".to_string(), Json::Str("aco".into()));
-    obj.insert("nodes".to_string(), Json::Num(g.node_count() as f64));
-    obj.insert(
-        "edges".to_string(),
-        Json::Arr(
-            g.edges()
-                .map(|(u, v)| {
-                    Json::Arr(vec![
-                        Json::Num(u.index() as f64),
-                        Json::Num(v.index() as f64),
-                    ])
-                })
-                .collect(),
-        ),
-    );
     obj.insert("seed".to_string(), Json::Num(seed as f64));
     obj.insert("ants".to_string(), Json::Num(o.ants as f64));
     obj.insert("tours".to_string(), Json::Num(o.tours as f64));
     if let Some(d) = o.deadline_ms {
         obj.insert("deadline_ms".to_string(), Json::Num(d as f64));
     }
+}
+
+fn base_graph(o: &Options, seed: u64) -> DiGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate::random_dag_with_edges(o.n, o.n * 3 / 2, &mut rng).into_graph()
+}
+
+/// Builds a full-layout request line for the given graph.
+fn layout_line(o: &Options, seed: u64, g: &DiGraph) -> String {
+    let mut obj = BTreeMap::new();
+    obj.insert("op".to_string(), Json::Str("layout".into()));
+    obj.insert("nodes".to_string(), Json::Num(g.node_count() as f64));
+    obj.insert("edges".to_string(), edge_pairs_json(g.edges()));
+    common_fields(o, seed, &mut obj);
+    Json::Obj(obj).encode()
+}
+
+/// Builds a `layout_delta` request line.
+fn delta_line(
+    o: &Options,
+    seed: u64,
+    base: &str,
+    add: &[(u32, u32)],
+    remove: &[(u32, u32)],
+) -> String {
+    let pair = |&(u, v): &(u32, u32)| Json::Arr(vec![Json::Num(u as f64), Json::Num(v as f64)]);
+    let mut obj = BTreeMap::new();
+    obj.insert("op".to_string(), Json::Str("layout_delta".into()));
+    obj.insert("base".to_string(), Json::Str(base.into()));
+    obj.insert("add".to_string(), Json::Arr(add.iter().map(pair).collect()));
+    obj.insert(
+        "remove".to_string(),
+        Json::Arr(remove.iter().map(pair).collect()),
+    );
+    common_fields(o, seed, &mut obj);
     Json::Obj(obj).encode()
 }
 
@@ -124,6 +172,216 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     }
     let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
     sorted[idx]
+}
+
+/// Per-run tallies shared by all clients.
+#[derive(Default)]
+struct Tallies {
+    /// Successful layout responses.
+    good: AtomicU64,
+    /// `overloaded` responses that were retried.
+    retried: AtomicU64,
+    /// Requests abandoned after exhausting retries.
+    dropped: AtomicU64,
+    /// `seeded:true` responses (warm starts observed on the wire).
+    warm: AtomicU64,
+    /// Edit-chain restarts after `base not found`.
+    rebased: AtomicU64,
+}
+
+struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Connection {
+    fn open(addr: &str) -> Connection {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .expect("read timeout");
+        Connection {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn exchange(&mut self, line: &str) -> Json {
+        writeln!(self.writer, "{line}").expect("send");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("recv");
+        parse(reply.trim_end()).expect("parse reply")
+    }
+
+    /// Sends `line`, retrying `overloaded` rejections with exponential
+    /// backoff. Returns `None` when the request was dropped after
+    /// exhausting the retry budget; panics on any other server error
+    /// (the load generator's inputs are valid by construction, except
+    /// `base not found`, which the *edit* client handles itself).
+    fn exchange_with_backoff(
+        &mut self,
+        line: &str,
+        retries: usize,
+        tallies: &Tallies,
+    ) -> Option<Json> {
+        for attempt in 0..=retries {
+            let v = self.exchange(line);
+            if v.get("ok") == Some(&Json::Bool(true)) {
+                return Some(v);
+            }
+            let error = v.get("error").and_then(Json::as_str).unwrap_or("");
+            if error.starts_with("base not found") {
+                // Not retryable here: surface to the edit client.
+                return Some(v);
+            }
+            assert!(
+                error.starts_with("overloaded"),
+                "unexpected server error: {error}"
+            );
+            if attempt == retries {
+                break;
+            }
+            tallies.retried.fetch_add(1, Ordering::Relaxed);
+            // 1, 2, 4, … ms, capped at 64 ms: enough to drain a burst
+            // without turning the generator into a sleep benchmark.
+            let backoff = Duration::from_millis(1 << attempt.min(6));
+            std::thread::sleep(backoff);
+        }
+        tallies.dropped.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+}
+
+/// Static-line client for the cold/cached/mixed modes.
+fn run_static_client(
+    o: &Options,
+    addr: &str,
+    lines: &[String],
+    range: std::ops::Range<usize>,
+    tallies: &Tallies,
+) -> Vec<u64> {
+    let mut conn = Connection::open(addr);
+    let mut lat = Vec::with_capacity(range.len());
+    for i in range {
+        let line = &lines[i % lines.len()];
+        let t0 = Instant::now();
+        if let Some(v) = conn.exchange_with_backoff(line, o.retries, tallies) {
+            assert!(
+                v.get("ok") == Some(&Json::Bool(true)),
+                "server error: {}",
+                v.encode()
+            );
+            lat.push(t0.elapsed().as_micros() as u64);
+            tallies.good.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    lat
+}
+
+/// Editing-session client: one base layout, then a `layout_delta` chain.
+fn run_edit_client(
+    o: &Options,
+    addr: &str,
+    client: usize,
+    budget: usize,
+    tallies: &Tallies,
+) -> Vec<u64> {
+    let mut conn = Connection::open(addr);
+    let seed = 0xED17 + client as u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut graph = base_graph(o, seed);
+    let mut lat = Vec::with_capacity(budget);
+    let mut digest: Option<String> = None;
+    let mut sent = 0;
+    while sent < budget {
+        let line = match &digest {
+            None => layout_line(o, seed, &graph),
+            Some(base) => {
+                let (add, remove) = random_edit(&graph, &mut rng);
+                let line = delta_line(o, seed, base, &add, &remove);
+                // Optimistically track the edited graph; on `base not
+                // found` the chain restarts from the same state with a
+                // full layout, so tracking stays consistent.
+                graph = antlayer_graph::GraphDelta::new(add, remove)
+                    .apply(&graph)
+                    .expect("generated edit applies");
+                line
+            }
+        };
+        sent += 1;
+        let t0 = Instant::now();
+        let Some(v) = conn.exchange_with_backoff(&line, o.retries, tallies) else {
+            // Dropped after exhausting retries. The local graph already
+            // carries the unacknowledged edit, so the server-side base
+            // no longer matches it — rebase with a full layout of the
+            // current local state instead of chaining a delta that may
+            // not apply.
+            digest = None;
+            continue;
+        };
+        if v.get("ok") == Some(&Json::Bool(true)) {
+            lat.push(t0.elapsed().as_micros() as u64);
+            tallies.good.fetch_add(1, Ordering::Relaxed);
+            if v.get("seeded") == Some(&Json::Bool(true)) {
+                tallies.warm.fetch_add(1, Ordering::Relaxed);
+            }
+            digest = v.get("digest").and_then(Json::as_str).map(String::from);
+        } else {
+            // Base evicted: fall back to a full layout of the current
+            // graph on the next iteration.
+            tallies.rebased.fetch_add(1, Ordering::Relaxed);
+            digest = None;
+        }
+    }
+    lat
+}
+
+type EdgeList = Vec<(u32, u32)>;
+
+/// Picks 1–3 random edge edits that provably apply to `graph`: removals
+/// of existing edges and additions of fresh non-self-loop pairs.
+fn random_edit(graph: &DiGraph, rng: &mut StdRng) -> (EdgeList, EdgeList) {
+    let ops = rng.gen_range(1..=3usize);
+    let mut add = Vec::new();
+    let mut remove = Vec::new();
+    let n = graph.node_count() as u32;
+    let edges: Vec<(NodeId, NodeId)> = graph.edges().collect();
+    for _ in 0..ops {
+        let removing = !edges.is_empty() && rng.gen_bool(0.5);
+        if removing {
+            let (u, v) = edges[rng.gen_range(0..edges.len())];
+            let pair = (u.index() as u32, v.index() as u32);
+            if !remove.contains(&pair) {
+                remove.push(pair);
+            }
+        } else if n >= 2 {
+            // A few attempts to find a fresh pair; dense graphs just
+            // yield a smaller edit.
+            for _ in 0..8 {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                let fresh = u != v
+                    && !graph.has_edge(NodeId::new(u as usize), NodeId::new(v as usize))
+                    && !add.contains(&(u, v))
+                    && !add.contains(&(v, u));
+                if fresh {
+                    add.push((u, v));
+                    break;
+                }
+            }
+        }
+    }
+    if add.is_empty() && remove.is_empty() {
+        // Guarantee a non-empty delta: re-add nothing, remove nothing is
+        // rejected by the protocol. Remove the first edge if any,
+        // otherwise add (0, 1).
+        match edges.first() {
+            Some(&(u, v)) => remove.push((u.index() as u32, v.index() as u32)),
+            None => add.push((0, 1)),
+        }
+    }
+    (add, remove)
 }
 
 fn main() {
@@ -153,24 +411,30 @@ fn main() {
         }
     };
 
-    // Pre-build the request lines: cold = all distinct, cached = one
-    // line repeated, mixed = 10 distinct lines round-robin.
-    let distinct = match o.mode.as_str() {
-        "cold" => o.requests,
-        "cached" => 1,
-        _ => 10.min(o.requests),
+    // Pre-build the request lines for the static modes: cold = all
+    // distinct, cached = one line repeated, mixed = 10 distinct lines
+    // round-robin. Edit mode generates its chains on the fly.
+    let lines: Vec<String> = if o.mode == "edit" {
+        Vec::new()
+    } else {
+        let distinct = match o.mode.as_str() {
+            "cold" => o.requests,
+            "cached" => 1,
+            _ => 10.min(o.requests),
+        };
+        (0..distinct)
+            .map(|s| layout_line(&o, s as u64, &base_graph(&o, s as u64)))
+            .collect()
     };
-    let lines: Vec<String> = (0..distinct).map(|s| request_line(&o, s as u64)).collect();
 
     println!(
-        "loadgen: mode={} requests={} clients={} n={} colony={}x{} addr={}",
-        o.mode, o.requests, o.clients, o.n, o.ants, o.tours, addr
+        "loadgen: mode={} requests={} clients={} n={} colony={}x{} retries={} addr={}",
+        o.mode, o.requests, o.clients, o.n, o.ants, o.tours, o.retries, addr
     );
 
+    let tallies = Tallies::default();
     let started = Instant::now();
     let per_client = o.requests.div_ceil(o.clients);
-    let lines_ref = &lines;
-    let addr_ref = addr.as_str();
     let latencies: Vec<Vec<u64>> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for client in 0..o.clients {
@@ -179,30 +443,13 @@ fn main() {
             if lo >= hi {
                 break;
             }
+            let (o, addr, lines, tallies) = (&o, addr.as_str(), &lines, &tallies);
             handles.push(scope.spawn(move || {
-                let stream = TcpStream::connect(addr_ref).expect("connect");
-                stream.set_nodelay(true).expect("nodelay");
-                stream
-                    .set_read_timeout(Some(Duration::from_secs(120)))
-                    .expect("read timeout");
-                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
-                let mut writer = stream;
-                let mut lat = Vec::with_capacity(hi - lo);
-                for i in lo..hi {
-                    let line = &lines_ref[i % lines_ref.len()];
-                    let t0 = Instant::now();
-                    writeln!(writer, "{line}").expect("send");
-                    let mut reply = String::new();
-                    reader.read_line(&mut reply).expect("recv");
-                    lat.push(t0.elapsed().as_micros() as u64);
-                    let v = parse(reply.trim_end()).expect("parse reply");
-                    assert_eq!(
-                        v.get("ok"),
-                        Some(&Json::Bool(true)),
-                        "server error: {reply}"
-                    );
+                if o.mode == "edit" {
+                    run_edit_client(o, addr, client, hi - lo, tallies)
+                } else {
+                    run_static_client(o, addr, lines, lo..hi, tallies)
                 }
-                lat
             }));
         }
         handles
@@ -214,13 +461,22 @@ fn main() {
 
     let mut all: Vec<u64> = latencies.into_iter().flatten().collect();
     all.sort_unstable();
-    let total = all.len() as u64;
-    let mean = all.iter().sum::<u64>() as f64 / total.max(1) as f64;
+    let good = tallies.good.load(Ordering::Relaxed);
+    let retried = tallies.retried.load(Ordering::Relaxed);
+    let dropped = tallies.dropped.load(Ordering::Relaxed);
+    let mean = all.iter().sum::<u64>() as f64 / all.len().max(1) as f64;
     println!(
-        "throughput: {:.1} req/s ({total} requests in {:.3} s)",
-        total as f64 / wall.as_secs_f64(),
+        "goodput: {:.1} layouts/s ({good} ok, {retried} retries, {dropped} dropped in {:.3} s)",
+        good as f64 / wall.as_secs_f64(),
         wall.as_secs_f64()
     );
+    if o.mode == "edit" {
+        println!(
+            "edit sessions: {} warm responses, {} rebases after eviction",
+            tallies.warm.load(Ordering::Relaxed),
+            tallies.rebased.load(Ordering::Relaxed)
+        );
+    }
     println!(
         "latency us: mean {:.0}  p50 {}  p95 {}  p99 {}  max {}",
         mean,

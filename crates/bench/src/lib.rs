@@ -169,6 +169,57 @@ pub fn series_table(
     table
 }
 
+/// Applies `k` random edge removals plus up to `k` short-span edge
+/// additions to `dag`, returning the edited DAG — the edit-session
+/// workload shared by the `warm_vs_cold` bench and the `experiments
+/// warmstart` CI gate.
+///
+/// Added edges connect nearby ranks (LPL span 1–3), the locality of an
+/// interactive edit on a hierarchical diagram — and of every other edge
+/// in the layered graph class; an edge flung across half the hierarchy
+/// would be a restructuring, not an edit. LPL ranks respect every
+/// existing edge, so rank-downward additions keep the DAG acyclic.
+/// Candidate sampling is attempt-bounded: on dense or degenerate graphs
+/// where few fresh short-span pairs exist, the edit simply comes out
+/// smaller instead of looping forever.
+pub fn edit_session_dag(dag: &Dag, k: usize, rng: &mut rand::rngs::StdRng) -> Dag {
+    use antlayer_graph::GraphDelta;
+    use rand::Rng;
+    let edges: Vec<(u32, u32)> = dag
+        .edges()
+        .map(|(u, v)| (u.index() as u32, v.index() as u32))
+        .collect();
+    let mut removed = Vec::new();
+    let mut attempts = 64 * k.max(1);
+    while removed.len() < k.min(edges.len()) && attempts > 0 {
+        attempts -= 1;
+        let e = edges[rng.gen_range(0..edges.len())];
+        if !removed.contains(&e) {
+            removed.push(e);
+        }
+    }
+    let rank = LongestPath.layer(dag, &WidthModel::unit());
+    let mut added = Vec::new();
+    let mut attempts = 64 * k.max(1);
+    while added.len() < k && attempts > 0 && dag.node_count() >= 2 {
+        attempts -= 1;
+        let u = rng.gen_range(0..dag.node_count() as u32);
+        let v = rng.gen_range(0..dag.node_count() as u32);
+        let (ru, rv) = (rank.layer(u.into()), rank.layer(v.into()));
+        if ru > rv
+            && ru - rv <= 3
+            && !dag.has_edge(u.into(), v.into())
+            && !added.contains(&(u, v))
+            && !removed.contains(&(u, v))
+        {
+            added.push((u, v));
+        }
+    }
+    GraphDelta::new(added, removed)
+        .apply_to_dag(dag)
+        .expect("rank-respecting edges keep the DAG acyclic")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

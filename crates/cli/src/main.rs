@@ -1,7 +1,8 @@
 //! `antlayer` — command-line front end.
 //!
 //! ```text
-//! antlayer layer  [--algo NAME] [--nd-width F] [--seed N] [--threads N] FILE
+//! antlayer layer  [--algo NAME] [--nd-width F] [--seed N] [--threads N]
+//!                 [--warm-from JSON] [--json-out OUT] FILE
 //!                                                                # print metrics + layers
 //! antlayer draw   [--algo NAME] [--svg OUT] [--seed N] [--threads N] FILE
 //!                                                                # render ASCII (and SVG)
@@ -11,12 +12,20 @@
 //!                 [--queue-cap N] [--shards N] [--max-conns N]   # batch layout server
 //! ```
 //!
-//! `FILE` may be `-` for stdin; `.gml` files (or `--gml`) are parsed as GML,
-//! anything else as DOT. Algorithms: `lpl`, `lpl-pl`, `minwidth`,
-//! `minwidth-pl`, `cg`, `ns`, `aco` (default `aco`).
+//! `layout` is accepted as an alias of `layer`. `FILE` may be `-` for
+//! stdin; `.gml` files (or `--gml`) are parsed as GML, anything else as
+//! DOT. Algorithms: `lpl`, `lpl-pl`, `minwidth`, `minwidth-pl`, `cg`,
+//! `ns`, `aco` (default `aco`).
 //!
 //! `--threads N` sets the colony's worker threads (`0` = all available,
 //! capped at the ant count); results are identical for every thread count.
+//!
+//! `--warm-from JSON` warm-starts the colony (ACO only) from a previous
+//! layering: the file holds `{"layers":[[ids…],…]}` — the `layers` member
+//! of a server response, or the output of a previous `--json-out OUT` run.
+//! The layering is repaired onto the (possibly edited) input graph and
+//! installed as the colony's incumbent, so small edits converge in a few
+//! repair tours instead of a cold search.
 //!
 //! `serve` starts the batch layout server of `antlayer-service`: it
 //! answers newline-delimited JSON layout requests over TCP with
@@ -50,7 +59,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  antlayer layer [--algo NAME] [--nd-width F] [--seed N] [--threads N] FILE
+  antlayer layer [--algo NAME] [--nd-width F] [--seed N] [--threads N]
+                 [--warm-from JSON] [--json-out OUT] FILE   (alias: layout)
   antlayer draw  [--algo NAME] [--svg OUT]   [--seed N] [--threads N] FILE
   antlayer gen   [--n N] [--seed S] [--gml]
   antlayer suite [--seed S] [--total N]
@@ -58,7 +68,9 @@ usage:
                  [--queue-cap N] [--shards N] [--max-conns N]
 algorithms: lpl, lpl-pl, minwidth, minwidth-pl, cg, ns, aco (default)
 threads: colony worker threads, 0 = all available (results are
-thread-count independent)";
+thread-count independent)
+warm-from: JSON layering ({\"layers\":[[ids...],...]}) used as the
+colony's incumbent (aco only); write one with --json-out";
 
 /// Minimal flag parser: `--key value` pairs plus positionals.
 struct Flags {
@@ -126,7 +138,7 @@ fn run(args: &[String]) -> Result<(), String> {
     };
     let rest = &args[1..];
     match cmd.as_str() {
-        "layer" => cmd_layer(rest),
+        "layer" | "layout" => cmd_layer(rest),
         "draw" => cmd_draw(rest),
         "gen" => cmd_gen(rest),
         "suite" => cmd_suite(rest),
@@ -189,17 +201,25 @@ fn cli_aco_params(seed: u64, threads: usize) -> AcoParams {
 }
 
 fn cmd_layer(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &["algo", "nd-width", "seed", "threads"])?;
+    let flags = Flags::parse(
+        args,
+        &[
+            "algo",
+            "nd-width",
+            "seed",
+            "threads",
+            "warm-from",
+            "json-out",
+        ],
+    )?;
     let path = flags
         .positional
         .first()
         .ok_or("layer: missing input file")?;
     let (graph, labels) = load_graph(path, flags.has("gml"))?;
-    let algo = make_algorithm(
-        flags.get("algo").unwrap_or("aco"),
-        flags.get_parsed("seed", 1u64)?,
-        flags.get_parsed("threads", 1usize)?,
-    )?;
+    let algo_name = flags.get("algo").unwrap_or("aco");
+    let seed = flags.get_parsed("seed", 1u64)?;
+    let threads = flags.get_parsed("threads", 1usize)?;
     let nd: f64 = flags.get_parsed("nd-width", 1.0)?;
     let widths = WidthModel::with_dummy_width(nd);
 
@@ -211,22 +231,115 @@ fn cmd_layer(args: &[String]) -> Result<(), String> {
             oriented.reversed.len()
         );
     }
-    let layering = algo.layer(&oriented.dag, &widths);
+    let (name, layering) = match flags.get("warm-from") {
+        Some(warm_path) => {
+            // Warm start is a colony feature: the seed layering becomes
+            // the incumbent of a fresh ACO run.
+            if algo_name != "aco" {
+                return Err(format!(
+                    "layer: --warm-from only applies to the aco algorithm, not '{algo_name}'"
+                ));
+            }
+            let text = std::fs::read_to_string(warm_path)
+                .map_err(|e| format!("reading {warm_path}: {e}"))?;
+            let hint = parse_layering_json(&text, oriented.dag.node_count())?;
+            let seed_layering = hint.repaired(&oriented.dag);
+            let colony = antlayer_aco::AcoLayering::new(cli_aco_params(seed, threads));
+            let run = colony
+                .run_seeded(&oriented.dag, &widths, &seed_layering)
+                .map_err(|e| format!("layer: {e}"))?;
+            match run.tours_to_match_seed {
+                Some(t) => println!("warm start: colony matched the seed at tour {t}"),
+                None => println!("warm start: kept the seed as the incumbent"),
+            }
+            ("AntColony (warm)".to_string(), run.layering)
+        }
+        None => {
+            let algo = make_algorithm(algo_name, seed, threads)?;
+            let layering = algo.layer(&oriented.dag, &widths);
+            (algo.name().to_string(), layering)
+        }
+    };
     let m = LayeringMetrics::compute(&oriented.dag, &layering, &widths);
     println!(
         "{}: height {}, width {:.2} (excl. dummies {:.2}), {} dummies, edge density {}",
-        algo.name(),
-        m.height,
-        m.width,
-        m.width_excl_dummies,
-        m.dummy_count,
-        m.edge_density
+        name, m.height, m.width, m.width_excl_dummies, m.dummy_count, m.edge_density
     );
     for (i, layer) in layering.layers().iter().enumerate().rev() {
         let names: Vec<&str> = layer.iter().map(|v| labels[v.index()].as_str()).collect();
         println!("  L{:<3} {}", i + 1, names.join(" "));
     }
+    if let Some(out) = flags.get("json-out") {
+        std::fs::write(out, layering_json(&layering)).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out}");
+    }
     Ok(())
+}
+
+/// Encodes a layering as the `{"layers":[[ids…],…]}` JSON the server
+/// speaks, suitable for a later `--warm-from`.
+fn layering_json(layering: &antlayer_layering::Layering) -> String {
+    use antlayer_service::protocol::Json;
+    let layers = layering
+        .layers()
+        .into_iter()
+        .map(|layer| {
+            Json::Arr(
+                layer
+                    .into_iter()
+                    .map(|v| Json::Num(v.index() as f64))
+                    .collect(),
+            )
+        })
+        .collect();
+    let mut obj = std::collections::BTreeMap::new();
+    obj.insert("layers".to_string(), Json::Arr(layers));
+    let mut line = Json::Obj(obj).encode();
+    line.push('\n');
+    line
+}
+
+/// Decodes a `--warm-from` file: either a bare `[[ids…],…]` array or any
+/// object with a `layers` member (e.g. a saved server response). Layer
+/// `i` of the array becomes layer `i + 1`; every node must appear
+/// exactly once.
+fn parse_layering_json(
+    text: &str,
+    node_count: usize,
+) -> Result<antlayer_layering::Layering, String> {
+    use antlayer_service::protocol::Json;
+    let v = antlayer_service::protocol::parse(text.trim())
+        .map_err(|e| format!("warm-from: bad JSON: {e}"))?;
+    let layers = match (&v, v.get("layers")) {
+        (Json::Arr(a), _) => a,
+        (_, Some(Json::Arr(a))) => a,
+        _ => return Err("warm-from: expected [[ids...],...] or {\"layers\":[...]}".into()),
+    };
+    let mut layer_of = vec![0u32; node_count];
+    for (i, layer) in layers.iter().enumerate() {
+        let Json::Arr(nodes) = layer else {
+            return Err("warm-from: each layer must be an array of node ids".into());
+        };
+        for id in nodes {
+            let id = id
+                .as_u64()
+                .ok_or("warm-from: node ids must be non-negative integers")?
+                as usize;
+            if id >= node_count {
+                return Err(format!(
+                    "warm-from: node id {id} out of range for {node_count} nodes"
+                ));
+            }
+            if layer_of[id] != 0 {
+                return Err(format!("warm-from: node {id} appears in two layers"));
+            }
+            layer_of[id] = i as u32 + 1;
+        }
+    }
+    if let Some(missing) = layer_of.iter().position(|&l| l == 0) {
+        return Err(format!("warm-from: node {missing} has no layer"));
+    }
+    Ok(antlayer_layering::Layering::from_slice(&layer_of))
 }
 
 fn cmd_draw(args: &[String]) -> Result<(), String> {
@@ -396,6 +509,30 @@ mod tests {
         assert_eq!(cli_aco_params(1, 0).threads, 0);
         assert_eq!(cli_aco_params(1, 3).threads, 3);
         assert_eq!(cli_aco_params(9, 3).seed, 9);
+    }
+
+    #[test]
+    fn layering_json_round_trips() {
+        let l = antlayer_layering::Layering::from_slice(&[3, 2, 1, 2]);
+        let json = layering_json(&l);
+        assert_eq!(json, "{\"layers\":[[2],[1,3],[0]]}\n");
+        let back = parse_layering_json(&json, 4).unwrap();
+        assert_eq!(back, l);
+        // A bare array (without the object wrapper) is also accepted.
+        let bare = parse_layering_json("[[2],[1,3],[0]]", 4).unwrap();
+        assert_eq!(bare, l);
+    }
+
+    #[test]
+    fn layering_json_rejects_malformed_input() {
+        assert!(parse_layering_json("nonsense", 2).is_err());
+        assert!(parse_layering_json("{\"other\":1}", 2).is_err());
+        let dup = parse_layering_json("[[0],[0,1]]", 2).unwrap_err();
+        assert!(dup.contains("two layers"), "{dup}");
+        let out_of_range = parse_layering_json("[[0],[7]]", 2).unwrap_err();
+        assert!(out_of_range.contains("out of range"), "{out_of_range}");
+        let missing = parse_layering_json("[[0]]", 2).unwrap_err();
+        assert!(missing.contains("no layer"), "{missing}");
     }
 
     #[test]

@@ -83,6 +83,79 @@ fn draw_writes_svg() {
 }
 
 #[test]
+fn layout_alias_and_json_round_trip_warm_start() {
+    let dir = std::env::temp_dir().join("antlayer-cli-smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("warm.dot");
+    let json = dir.join("warm.json");
+    std::fs::write(&input, "digraph { a -> b -> c -> d; a -> c; b -> d; }").unwrap();
+
+    // 1. Cold run through the `layout` alias, layering saved as JSON.
+    let cold = run_ok(&[
+        "layout",
+        "--algo",
+        "aco",
+        "--json-out",
+        json.to_str().unwrap(),
+        input.to_str().unwrap(),
+    ]);
+    assert!(cold.contains("height"), "{cold}");
+    let saved = std::fs::read_to_string(&json).unwrap();
+    assert!(saved.contains("\"layers\""), "{saved}");
+
+    // 2. Edit the graph (one extra edge) and warm-start from the save.
+    std::fs::write(
+        &input,
+        "digraph { a -> b -> c -> d; a -> c; b -> d; a -> d; }",
+    )
+    .unwrap();
+    let warm = run_ok(&[
+        "layout",
+        "--warm-from",
+        json.to_str().unwrap(),
+        input.to_str().unwrap(),
+    ]);
+    assert!(warm.contains("warm start"), "{warm}");
+    assert!(warm.contains("AntColony (warm)"), "{warm}");
+}
+
+#[test]
+fn warm_from_rejects_non_aco_and_bad_files() {
+    let dir = std::env::temp_dir().join("antlayer-cli-smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("warm-bad.dot");
+    let json = dir.join("warm-bad.json");
+    std::fs::write(&input, "digraph { a -> b; }").unwrap();
+    std::fs::write(&json, "{\"layers\":[[0],[1]]}").unwrap();
+    let out = antlayer()
+        .args([
+            "layer",
+            "--algo",
+            "lpl",
+            "--warm-from",
+            json.to_str().unwrap(),
+            input.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("only applies to the aco"));
+
+    std::fs::write(&json, "{\"layers\":[[0]]}").unwrap();
+    let out = antlayer()
+        .args([
+            "layer",
+            "--warm-from",
+            json.to_str().unwrap(),
+            input.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "incomplete layering must fail");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no layer"));
+}
+
+#[test]
 fn suite_prints_group_table() {
     let out = run_ok(&["suite", "--total", "38", "--seed", "3"]);
     assert!(out.contains("38 graphs"));

@@ -11,6 +11,8 @@
 //!   [`NodeVec`] side tables, not inside the graph).
 //! * [`Dag`] — a digraph whose acyclicity is proven at construction, carrying
 //!   a cached topological order. All layering algorithms take a `Dag`.
+//! * [`GraphDelta`] — validated edge diffs (add/remove) with inverses, the
+//!   substrate of the serving layer's incremental re-layout.
 //! * Topological algorithms ([`topological_sort`], [`longest_path_to_sink`],
 //!   …) and traversals ([`Bfs`], [`Dfs`], [`weak_components`]).
 //! * Seeded random DAG [`generators`](generate) used by the benchmark suite.
@@ -29,6 +31,7 @@
 #![forbid(unsafe_code)]
 
 mod acyclic;
+mod delta;
 mod digraph;
 mod error;
 pub mod generate;
@@ -40,6 +43,7 @@ mod topo;
 mod traversal;
 
 pub use acyclic::Dag;
+pub use delta::{DeltaError, GraphDelta};
 pub use digraph::DiGraph;
 pub use error::{GraphError, ParseError};
 pub use id::{EdgeId, NodeId, NodeSet, NodeVec};

@@ -2,11 +2,11 @@
 
 use antlayer_graph::{
     condensation, generate, io, is_acyclic, strongly_connected_components, topological_sort, Dag,
-    DiGraph, GraphStats, NodeId,
+    DiGraph, GraphDelta, GraphStats, NodeId,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Strategy: an arbitrary simple digraph with up to `max_n` nodes.
 fn arb_digraph(max_n: usize) -> impl Strategy<Value = DiGraph> {
@@ -38,7 +38,74 @@ fn arb_dag() -> impl Strategy<Value = Dag> {
     })
 }
 
+/// Strategy: a digraph plus a delta that provably applies to it (up to
+/// three random removals of existing edges, up to three additions of
+/// fresh pairs).
+fn arb_graph_and_delta() -> impl Strategy<Value = (DiGraph, GraphDelta)> {
+    (arb_digraph(30), 0u64..1_000_000).prop_map(|(g, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let edges: Vec<(u32, u32)> = g
+            .edges()
+            .map(|(u, v)| (u.index() as u32, v.index() as u32))
+            .collect();
+        let mut removed = Vec::new();
+        for _ in 0..rng.gen_range(0..=3usize) {
+            if edges.is_empty() {
+                break;
+            }
+            let e = edges[rng.gen_range(0..edges.len())];
+            if !removed.contains(&e) {
+                removed.push(e);
+            }
+        }
+        let n = g.node_count() as u32;
+        let mut added = Vec::new();
+        for _ in 0..rng.gen_range(0..=3usize) {
+            if n < 2 {
+                break;
+            }
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            let fresh =
+                u != v && !g.has_edge(NodeId::from(u), NodeId::from(v)) && !added.contains(&(u, v));
+            if fresh {
+                added.push((u, v));
+            }
+        }
+        (g, GraphDelta::new(added, removed))
+    })
+}
+
 proptest! {
+    #[test]
+    fn delta_then_inverse_restores_the_digraph((g, d) in arb_graph_and_delta()) {
+        let edited = d.apply(&g).unwrap();
+        prop_assert_eq!(
+            edited.edge_count(),
+            g.edge_count() + d.added.len() - d.removed.len()
+        );
+        let restored = d.inverse().apply(&edited).unwrap();
+        prop_assert_eq!(restored.node_count(), g.node_count());
+        prop_assert_eq!(restored.edge_count(), g.edge_count());
+        for (u, v) in g.edges() {
+            prop_assert!(restored.has_edge(u, v), "lost edge {}->{}", u, v);
+        }
+        for (u, v) in restored.edges() {
+            prop_assert!(g.has_edge(u, v), "invented edge {}->{}", u, v);
+        }
+    }
+
+    #[test]
+    fn delta_application_is_all_or_nothing(g in arb_digraph(20)) {
+        // A delta whose *last* addition is invalid must leave no trace:
+        // apply returns Err and the base graph is unchanged (apply is
+        // pure, so "unchanged" means the original still validates).
+        let bad = GraphDelta::new(vec![(0, 0)], vec![]); // self-loop
+        let before = g.edge_count();
+        prop_assert!(bad.apply(&g).is_err());
+        prop_assert_eq!(g.edge_count(), before);
+    }
+
     #[test]
     fn topo_sort_is_valid_when_it_succeeds(g in arb_digraph(40)) {
         if let Ok(order) = topological_sort(&g) {

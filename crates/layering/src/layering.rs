@@ -228,6 +228,41 @@ impl Layering {
         &self.layer_of
     }
 
+    /// Repairs this layering onto `dag`, producing a valid layering that
+    /// stays as close to the original as possible.
+    ///
+    /// This is the warm-start primitive of incremental re-layout: after an
+    /// edge edit, the previous layering may violate the new edges
+    /// (`layer(u) <= layer(v)` for an added edge `(u, v)`). One pass in
+    /// reverse topological order lifts each vertex to the lowest layer that
+    /// is (a) at least its old layer and (b) strictly above all of its
+    /// successors. Vertices not involved in any violation keep their exact
+    /// old layer, so the repaired layering is a faithful seed for the
+    /// colony's warm start (`Colony::run_seeded` in `antlayer-aco`).
+    ///
+    /// Layers of 0 (never produced by this library, but representable) are
+    /// lifted to 1. Panics if the layering covers a different node count
+    /// than `dag` — an edge-only delta never changes the node set, and a
+    /// node edit is a full re-layout by contract.
+    pub fn repaired(&self, dag: &Dag) -> Layering {
+        assert_eq!(
+            self.len(),
+            dag.node_count(),
+            "repair requires a layering over the same node set"
+        );
+        let mut layer_of = self.layer_of.clone();
+        // Reverse topological order visits every successor of `v` before
+        // `v` itself, so each lift reads final successor layers.
+        for &v in dag.topo_order().iter().rev() {
+            let mut l = layer_of[v].max(1);
+            for &w in dag.out_neighbors(v) {
+                l = l.max(layer_of[w] + 1);
+            }
+            layer_of[v] = l;
+        }
+        Layering { layer_of }
+    }
+
     /// Flips the layering upside down: layer `l` becomes `h − l + 1` where
     /// `h` is the max layer. Converts between "sinks at layer 1" (this
     /// library) and "sources at layer 1" (some of the literature).
@@ -303,6 +338,43 @@ mod tests {
             l.validate(&dag),
             Err(LayeringError::WrongNodeCount { .. })
         ));
+    }
+
+    #[test]
+    fn repaired_is_identity_on_valid_layerings() {
+        let dag = chain3();
+        let l = Layering::from_slice(&[5, 3, 1]);
+        assert_eq!(l.repaired(&dag), l);
+    }
+
+    #[test]
+    fn repaired_lifts_violated_sources() {
+        // An added edge (0, 1) makes the flat assignment invalid; only
+        // the violating vertex should move.
+        let dag = chain3();
+        let l = Layering::from_slice(&[2, 2, 1]);
+        let r = l.repaired(&dag);
+        r.validate(&dag).unwrap();
+        assert_eq!(r.as_node_vec().as_slice(), &[3, 2, 1]);
+    }
+
+    #[test]
+    fn repaired_cascades_through_chains() {
+        let dag = Dag::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let l = Layering::from_slice(&[1, 1, 1, 1]);
+        let r = l.repaired(&dag);
+        r.validate(&dag).unwrap();
+        assert_eq!(r.as_node_vec().as_slice(), &[4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn repaired_lifts_zero_layers() {
+        let dag = Dag::from_edges(2, &[]).unwrap();
+        let l = Layering::from_slice(&[0, 2]);
+        let r = l.repaired(&dag);
+        r.validate(&dag).unwrap();
+        assert_eq!(r.layer(n(0)), 1);
+        assert_eq!(r.layer(n(1)), 2);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Sharded LRU result cache keyed by canonical [`Digest`]s.
 //!
-//! The cache is `N` independent [`LruShard`]s, each behind its own mutex;
+//! The cache is `N` independent LRU shards, each behind its own mutex;
 //! a request's shard is picked from the low digest bits, so contention
 //! scales with core count instead of serializing on one lock. Eviction is
 //! strict least-recently-used per shard via an index-linked list over a
@@ -196,6 +196,15 @@ impl<V: Clone> ShardedCache<V> {
                 None
             }
         }
+    }
+
+    /// Like [`get`](Self::get) — recency is refreshed — but without
+    /// touching the hit/miss counters. For internal resolutions (e.g.
+    /// `layout_delta` base lookups) that are not responses served from
+    /// the cache; counting them would make `cache_hits` overstate how
+    /// much compute the cache absorbed.
+    pub fn peek(&self, digest: Digest) -> Option<V> {
+        self.shard(digest).lock().get(digest.as_u128())
     }
 
     /// Stores a value, evicting the shard's LRU entry when full.

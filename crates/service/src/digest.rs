@@ -39,6 +39,18 @@ impl Digest {
     pub fn as_u128(self) -> u128 {
         ((self.hi as u128) << 64) | self.lo as u128
     }
+
+    /// Parses the 32-hex-digit form produced by [`Display`](fmt::Display);
+    /// the wire format of `layout_delta`'s base reference.
+    pub fn from_hex(s: &str) -> Option<Digest> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        Some(Digest {
+            hi: u64::from_str_radix(&s[..16], 16).ok()?,
+            lo: u64::from_str_radix(&s[16..], 16).ok()?,
+        })
+    }
 }
 
 impl fmt::Display for Digest {
@@ -305,6 +317,17 @@ mod tests {
         let a = request_digest(&g(3, &[(0, 1)]), "lpl", None, &wm);
         let b = request_digest(&g(4, &[(0, 1)]), "lpl", None, &wm);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn from_hex_round_trips_display() {
+        let d = request_digest(&g(3, &[(0, 1)]), "aco", None, &WidthModel::unit());
+        assert_eq!(Digest::from_hex(&d.to_string()), Some(d));
+        assert_eq!(Digest::from_hex("short"), None);
+        assert_eq!(Digest::from_hex(&"x".repeat(32)), None);
+        // Mixed case is accepted (hex digits only).
+        let upper = d.to_string().to_uppercase();
+        assert_eq!(Digest::from_hex(&upper), Some(d));
     }
 
     #[test]

@@ -10,10 +10,20 @@
 //!
 //! | layer | module | contents |
 //! |---|---|---|
-//! | identity | [`digest`] | canonical encoding + 128-bit [`Digest`](digest::Digest) of (graph, algorithm, params, width model) |
-//! | memory | [`cache`] | sharded LRU [`ShardedCache`](cache::ShardedCache) with hit/miss/eviction counters |
-//! | compute | [`scheduler`] | [`Scheduler`](scheduler::Scheduler): digest dedup, admission control, deadline-bounded fan-out over the worker pool |
-//! | transport | [`protocol`], [`server`] | line-delimited JSON over TCP, [`Server`](server::Server) + [`ServerHandle`](server::ServerHandle) |
+//! | identity | [`digest`] | canonical encoding + 128-bit [`Digest`] of (graph, algorithm, params, width model) |
+//! | memory | [`cache`] | sharded LRU [`ShardedCache`] with hit/miss/eviction counters |
+//! | compute | [`scheduler`] | [`Scheduler`]: digest dedup, admission control, deadline-bounded fan-out over the worker pool |
+//! | transport | [`protocol`], [`server`] | line-delimited JSON over TCP, [`Server`] + [`ServerHandle`] |
+//!
+//! Edits are first-class: a `layout_delta` request
+//! ([`DeltaRequest`]) carries the digest of a
+//! previously served layout plus an edge diff
+//! ([`GraphDelta`](antlayer_graph::GraphDelta)); the scheduler applies
+//! the diff to the cached base graph, warm-starts the colony from the
+//! base layering (repaired onto the edited DAG), and caches the result
+//! under the edited request's own canonical digest — so an interactive
+//! editing session is a chain of warm, mostly-repair runs instead of
+//! cold searches.
 //!
 //! Deadlines plug into the colony's anytime mode
 //! ([`AcoParams::time_budget`](antlayer_aco::AcoParams::time_budget) /
@@ -63,7 +73,7 @@ pub mod server;
 pub use cache::{CacheCounters, ShardedCache};
 pub use digest::{request_digest, CanonicalHasher, Digest};
 pub use scheduler::{
-    AlgoSpec, LayoutRequest, LayoutResponse, LayoutResult, Scheduler, SchedulerConfig,
-    SchedulerCounters, ServiceError, Source, Ticket,
+    AlgoSpec, DeltaRequest, LayoutRequest, LayoutResponse, LayoutResult, Scheduler,
+    SchedulerConfig, SchedulerCounters, ServiceError, Source, Ticket,
 };
 pub use server::{Server, ServerConfig, ServerHandle};

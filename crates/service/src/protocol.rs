@@ -11,6 +11,8 @@
 //! ```json
 //! {"op":"layout","algo":"aco","nodes":6,"edges":[[0,1],[0,2],[1,3]],
 //!  "nd_width":1.0,"seed":7,"ants":10,"tours":10,"deadline_ms":50}
+//! {"op":"layout_delta","base":"…32 hex…","add":[[0,3]],"remove":[[0,1]],
+//!  "algo":"aco","seed":7}
 //! {"op":"stats"}
 //! {"op":"ping"}
 //! ```
@@ -20,17 +22,27 @@
 //! and default to the library defaults; `deadline_ms` bounds the search
 //! (anytime ACO); `nd_width` defaults to 1.
 //!
+//! `layout_delta` is the incremental re-layout request: `base` is the
+//! `digest` of a previously served response, `add`/`remove` are edge
+//! diffs against that request's graph, and the remaining fields describe
+//! the edited request exactly like `layout` (callers normally repeat the
+//! base request's values). The server warm-starts the colony from the
+//! cached base layering; if the base has been evicted the response is an
+//! error containing `base not found` and the client falls back to a full
+//! `layout`.
+//!
 //! ## Responses
 //!
 //! ```json
 //! {"ok":true,"digest":"…32 hex…","source":"hit","height":3,"width":2.0,
-//!  "dummies":1,"reversed_edges":0,"stopped_early":false,
+//!  "dummies":1,"reversed_edges":0,"stopped_early":false,"seeded":false,
 //!  "compute_micros":1234,"layers":[[0,2],[1],[3]]}
 //! {"ok":false,"error":"overloaded: …"}
 //! ```
 
-use crate::scheduler::{AlgoSpec, LayoutRequest, LayoutResponse};
-use antlayer_graph::DiGraph;
+use crate::digest::Digest;
+use crate::scheduler::{AlgoSpec, DeltaRequest, LayoutRequest, LayoutResponse};
+use antlayer_graph::{DiGraph, GraphDelta};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -371,6 +383,8 @@ pub enum Request {
     /// Compute (or fetch) a layout. Boxed: a layout request carries a
     /// whole graph, the other variants nothing.
     Layout(Box<LayoutRequest>),
+    /// Incremental re-layout: an edge diff against a cached base layout.
+    LayoutDelta(Box<DeltaRequest>),
     /// Report server counters.
     Stats,
     /// Liveness check.
@@ -385,6 +399,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
         "layout" => Ok(Request::Layout(Box::new(parse_layout(&v)?))),
+        "layout_delta" => Ok(Request::LayoutDelta(Box::new(parse_layout_delta(&v)?))),
         other => Err(format!("unknown op '{other}'")),
     }
 }
@@ -397,34 +412,92 @@ fn parse_layout(v: &Json) -> Result<LayoutRequest, String> {
     if nodes > 1_000_000 {
         return Err(format!("layout: {nodes} nodes exceeds the 1M cap"));
     }
-    let mut edges = Vec::new();
-    if let Some(Json::Arr(pairs)) = v.get("edges") {
-        edges.reserve(pairs.len());
-        for pair in pairs {
-            let (u, w) = match pair {
-                Json::Arr(uv) if uv.len() == 2 => {
-                    let u = uv[0]
-                        .as_u64()
-                        .ok_or("layout: edge endpoint must be a non-negative integer")?;
-                    let w = uv[1]
-                        .as_u64()
-                        .ok_or("layout: edge endpoint must be a non-negative integer")?;
-                    (u, w)
-                }
-                _ => return Err("layout: 'edges' must be [[u,v],...]".into()),
-            };
-            if u >= nodes as u64 || w >= nodes as u64 {
-                return Err(format!(
-                    "layout: edge ({u},{w}) out of range for {nodes} nodes"
-                ));
-            }
-            edges.push((u as u32, w as u32));
+    let edges = parse_edge_pairs(v, "edges")?.unwrap_or_default();
+    for &(u, w) in &edges {
+        if u as usize >= nodes || w as usize >= nodes {
+            return Err(format!(
+                "layout: edge ({u},{w}) out of range for {nodes} nodes"
+            ));
         }
-    } else if v.get("edges").is_some() {
-        return Err("layout: 'edges' must be an array".into());
     }
     let graph = DiGraph::from_edges(nodes, &edges).map_err(|e| format!("layout: {e:?}"))?;
+    let (algo, nd_width, deadline) = parse_common_fields(v, "layout")?;
+    Ok(LayoutRequest {
+        graph,
+        algo,
+        nd_width,
+        deadline,
+    })
+}
 
+fn parse_layout_delta(v: &Json) -> Result<DeltaRequest, String> {
+    let base = v
+        .get("base")
+        .and_then(Json::as_str)
+        .ok_or("layout_delta: missing 'base' digest")?;
+    let base = Digest::from_hex(base)
+        .ok_or("layout_delta: 'base' must be a 32-hex-digit request digest")?;
+    let added = parse_edge_pairs(v, "add")?.unwrap_or_default();
+    let removed = parse_edge_pairs(v, "remove")?.unwrap_or_default();
+    let delta = GraphDelta::new(added, removed);
+    if delta.is_empty() {
+        return Err("layout_delta: empty delta (nothing to add or remove)".into());
+    }
+    // A delta is an *edit*; a diff rewriting a large fraction of a graph
+    // should be sent as a full layout. The cap also bounds the work one
+    // request can buy on the connection thread, where delta application
+    // runs before admission control can shed it.
+    const MAX_DELTA_EDITS: usize = 100_000;
+    if delta.len() > MAX_DELTA_EDITS {
+        return Err(format!(
+            "layout_delta: {} edits exceeds the {MAX_DELTA_EDITS} cap; send a full layout",
+            delta.len()
+        ));
+    }
+    // Endpoint bounds are checked against the base graph when the delta
+    // is applied; the scheduler owns that graph.
+    let (algo, nd_width, deadline) = parse_common_fields(v, "layout_delta")?;
+    Ok(DeltaRequest {
+        base,
+        delta,
+        algo,
+        nd_width,
+        deadline,
+    })
+}
+
+/// Parses a `[[u,v],...]` member; `Ok(None)` when the key is absent.
+fn parse_edge_pairs(v: &Json, key: &str) -> Result<Option<Vec<(u32, u32)>>, String> {
+    let member = match v.get(key) {
+        None => return Ok(None),
+        Some(Json::Arr(pairs)) => pairs,
+        Some(_) => return Err(format!("'{key}' must be an array")),
+    };
+    let mut edges = Vec::with_capacity(member.len());
+    for pair in member {
+        match pair {
+            Json::Arr(uv) if uv.len() == 2 => {
+                let u = uv[0]
+                    .as_u64()
+                    .ok_or("edge endpoint must be a non-negative integer")?;
+                let w = uv[1]
+                    .as_u64()
+                    .ok_or("edge endpoint must be a non-negative integer")?;
+                if u > u32::MAX as u64 || w > u32::MAX as u64 {
+                    return Err(format!("edge ({u},{w}) endpoint exceeds the id range"));
+                }
+                edges.push((u as u32, w as u32));
+            }
+            _ => return Err(format!("'{key}' must be [[u,v],...]")),
+        }
+    }
+    Ok(Some(edges))
+}
+
+/// Parses the fields `layout` and `layout_delta` share: the algorithm
+/// (with wire-level work caps), `nd_width`, and `deadline_ms`. `op`
+/// prefixes error messages so they name the request that failed.
+fn parse_common_fields(v: &Json, op: &str) -> Result<(AlgoSpec, f64, Option<Duration>), String> {
     let seed = v.get("seed").and_then(Json::as_u64).unwrap_or(1);
     let algo_name = v.get("algo").and_then(Json::as_str).unwrap_or("aco");
     let mut algo = AlgoSpec::parse(algo_name, seed)?;
@@ -436,35 +509,32 @@ fn parse_layout(v: &Json) -> Result<LayoutRequest, String> {
         const MAX_TOURS: u64 = 10_000;
         if let Some(ants) = v.get("ants").and_then(Json::as_u64) {
             if ants > MAX_ANTS {
-                return Err(format!("layout: {ants} ants exceeds the {MAX_ANTS} cap"));
+                return Err(format!("{op}: {ants} ants exceeds the {MAX_ANTS} cap"));
             }
             params.n_ants = ants as usize;
         }
         if let Some(tours) = v.get("tours").and_then(Json::as_u64) {
             if tours > MAX_TOURS {
-                return Err(format!("layout: {tours} tours exceeds the {MAX_TOURS} cap"));
+                return Err(format!("{op}: {tours} tours exceeds the {MAX_TOURS} cap"));
             }
             params.n_tours = tours as usize;
         }
     }
     let nd_width = match v.get("nd_width") {
         None => 1.0,
-        Some(n) => n.as_num().ok_or("layout: 'nd_width' must be a number")?,
+        Some(n) => n
+            .as_num()
+            .ok_or_else(|| format!("{op}: 'nd_width' must be a number"))?,
     };
     let deadline = v
         .get("deadline_ms")
         .map(|d| {
             d.as_u64()
                 .map(Duration::from_millis)
-                .ok_or("layout: 'deadline_ms' must be a non-negative integer")
+                .ok_or_else(|| format!("{op}: 'deadline_ms' must be a non-negative integer"))
         })
         .transpose()?;
-    Ok(LayoutRequest {
-        graph,
-        algo,
-        nd_width,
-        deadline,
-    })
+    Ok((algo, nd_width, deadline))
 }
 
 /// Encodes a layout response line.
@@ -485,6 +555,7 @@ pub fn encode_layout_response(response: &LayoutResponse) -> String {
         Json::Num(result.reversed_edges as f64),
     );
     obj.insert("stopped_early".into(), Json::Bool(result.stopped_early));
+    obj.insert("seeded".into(), Json::Bool(result.seeded));
     obj.insert(
         "compute_micros".into(),
         Json::Num(result.compute_micros as f64),
@@ -597,6 +668,60 @@ mod tests {
             let err = parse_request(line).unwrap_err();
             assert!(err.contains(needle), "{line} -> {err}");
         }
+    }
+
+    #[test]
+    fn layout_delta_request_decoding() {
+        let digest = "0123456789abcdef0123456789abcdef";
+        let line = format!(
+            r#"{{"op":"layout_delta","base":"{digest}","add":[[0,3]],"remove":[[0,1],[1,2]],"seed":5,"deadline_ms":40}}"#
+        );
+        let Request::LayoutDelta(req) = parse_request(&line).unwrap() else {
+            panic!("expected layout_delta");
+        };
+        assert_eq!(req.base.to_string(), digest);
+        assert_eq!(req.delta.added, vec![(0, 3)]);
+        assert_eq!(req.delta.removed, vec![(0, 1), (1, 2)]);
+        assert_eq!(req.deadline, Some(Duration::from_millis(40)));
+        let AlgoSpec::Aco(p) = req.algo else {
+            panic!("expected aco");
+        };
+        assert_eq!(p.seed, 5);
+    }
+
+    #[test]
+    fn layout_delta_validation_errors() {
+        for (line, needle) in [
+            (r#"{"op":"layout_delta","add":[[0,1]]}"#, "missing 'base'"),
+            (
+                r#"{"op":"layout_delta","base":"zz","add":[[0,1]]}"#,
+                "32-hex-digit",
+            ),
+            (
+                r#"{"op":"layout_delta","base":"0123456789abcdef0123456789abcdef"}"#,
+                "empty delta",
+            ),
+            (
+                r#"{"op":"layout_delta","base":"0123456789abcdef0123456789abcdef","add":[7]}"#,
+                "[[u,v],...]",
+            ),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{line} -> {err}");
+        }
+    }
+
+    #[test]
+    fn layout_delta_edit_cap_is_enforced() {
+        // 100_001 removals: one request must not buy unbounded delta
+        // application work on the connection thread.
+        let pairs: Vec<String> = (0..100_001).map(|i| format!("[{i},{}]", i + 1)).collect();
+        let line = format!(
+            r#"{{"op":"layout_delta","base":"0123456789abcdef0123456789abcdef","remove":[{}]}}"#,
+            pairs.join(",")
+        );
+        let err = parse_request(&line).unwrap_err();
+        assert!(err.contains("exceeds the 100000"), "{err}");
     }
 
     #[test]

@@ -24,7 +24,7 @@
 use crate::cache::{CacheCounters, ShardedCache};
 use crate::digest::{request_digest, Digest};
 use antlayer_aco::{AcoLayering, AcoParams};
-use antlayer_graph::DiGraph;
+use antlayer_graph::{DiGraph, GraphDelta};
 use antlayer_layering::{
     CoffmanGraham, Layering, LayeringAlgorithm, LayeringMetrics, LongestPath, MinWidth,
     NetworkSimplex, Promote, Refined, WidthModel,
@@ -150,11 +150,56 @@ impl LayoutRequest {
     }
 }
 
+/// An incremental re-layout request: an edge diff against a previously
+/// served layout.
+///
+/// Instead of a graph it carries the canonical digest of the *base*
+/// request (returned in every layout response) plus a [`GraphDelta`].
+/// The scheduler resolves the base in the result cache, applies the
+/// delta, warm-starts the colony from the base layering (repaired onto
+/// the edited graph) and caches the result under the edited request's
+/// own canonical digest — so a chain of edits stays hot, each response's
+/// digest serving as the next edit's base.
+///
+/// The algorithm/width fields describe the *edited* request (they enter
+/// its digest); callers normally repeat the base request's values.
+#[derive(Clone, Debug)]
+pub struct DeltaRequest {
+    /// Digest of the base request whose cached layering seeds the run.
+    pub base: Digest,
+    /// The edge edit to apply to the base graph.
+    pub delta: GraphDelta,
+    /// Algorithm to run on the edited graph.
+    pub algo: AlgoSpec,
+    /// Dummy-vertex width of the width model.
+    pub nd_width: f64,
+    /// Optional wall-clock budget, measured from submission.
+    pub deadline: Option<Duration>,
+}
+
+impl DeltaRequest {
+    /// A delta request with unit widths, no deadline.
+    pub fn new(base: Digest, delta: GraphDelta, algo: AlgoSpec) -> Self {
+        DeltaRequest {
+            base,
+            delta,
+            algo,
+            nd_width: 1.0,
+            deadline: None,
+        }
+    }
+}
+
 /// The immutable, cacheable outcome of one layout computation.
 #[derive(Clone, Debug)]
 pub struct LayoutResult {
     /// The request digest this result answers.
     pub digest: Digest,
+    /// The request's input graph, kept so a later `layout_delta` can
+    /// apply an edge diff to this entry and warm-start from
+    /// [`layering`](Self::layering) — the cache entry is the whole base
+    /// an edit chain builds on.
+    pub graph: DiGraph,
     /// The computed layering over the acyclically-oriented graph.
     pub layering: Layering,
     /// Metrics of the layering.
@@ -163,6 +208,8 @@ pub struct LayoutResult {
     pub reversed_edges: usize,
     /// Whether a deadline truncated the search (never cached when true).
     pub stopped_early: bool,
+    /// Whether the colony was warm-started from a previous layering.
+    pub seeded: bool,
     /// Wall time of the computation in microseconds.
     pub compute_micros: u64,
 }
@@ -174,6 +221,9 @@ pub enum Source {
     CacheHit,
     /// Computed by the job this caller submitted.
     Computed,
+    /// Computed warm-started from a cached base layering
+    /// (`layout_delta`).
+    Warm,
     /// Attached to an identical in-flight job another caller submitted.
     Coalesced,
 }
@@ -184,6 +234,7 @@ impl Source {
         match self {
             Source::CacheHit => "hit",
             Source::Computed => "computed",
+            Source::Warm => "warm",
             Source::Coalesced => "coalesced",
         }
     }
@@ -208,6 +259,9 @@ pub enum ServiceError {
         /// The configured cap.
         cap: usize,
     },
+    /// A `layout_delta` referenced a base digest that is not (or no
+    /// longer) in the cache; the client should resubmit a full layout.
+    BaseNotFound(Digest),
     /// The request is malformed (bad algorithm, width, or graph).
     InvalidRequest(String),
     /// The computing job disappeared (its worker panicked).
@@ -219,6 +273,12 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::Overloaded { depth, cap } => {
                 write!(f, "overloaded: {depth} jobs in flight (cap {cap})")
+            }
+            ServiceError::BaseNotFound(digest) => {
+                write!(
+                    f,
+                    "base not found: {digest} is not cached; resubmit a full layout"
+                )
             }
             ServiceError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
             ServiceError::Internal(m) => write!(f, "internal error: {m}"),
@@ -344,6 +404,44 @@ impl Scheduler {
 
     /// Validates, dedups, admits, and enqueues one request.
     pub fn submit(&self, request: LayoutRequest) -> Result<Ticket, ServiceError> {
+        self.submit_inner(request, None)
+    }
+
+    /// Submits an incremental re-layout: resolves the base layering in
+    /// the cache, applies the edge diff, and warm-starts the colony.
+    ///
+    /// Fails with [`ServiceError::BaseNotFound`] when the base digest has
+    /// been evicted (or never existed) — the client's cue to fall back to
+    /// a full `layout` — and with [`ServiceError::InvalidRequest`] when
+    /// the delta does not apply to the base graph. The result is cached
+    /// under the *edited* request's canonical digest, so a subsequent
+    /// identical full request hits, and a subsequent edit can chain.
+    pub fn submit_delta(&self, request: DeltaRequest) -> Result<Ticket, ServiceError> {
+        // `peek`, not `get`: the base resolution keeps the entry hot but
+        // is not a response served from the cache, so it must not count
+        // as a hit in the stats clients use to size the cache.
+        let base = self
+            .cache
+            .peek(request.base)
+            .ok_or(ServiceError::BaseNotFound(request.base))?;
+        let graph = request
+            .delta
+            .apply(&base.graph)
+            .map_err(|e| ServiceError::InvalidRequest(format!("delta: {e}")))?;
+        let full = LayoutRequest {
+            graph,
+            algo: request.algo,
+            nd_width: request.nd_width,
+            deadline: request.deadline,
+        };
+        self.submit_inner(full, Some(base))
+    }
+
+    fn submit_inner(
+        &self,
+        request: LayoutRequest,
+        warm: Option<Arc<LayoutResult>>,
+    ) -> Result<Ticket, ServiceError> {
         if !request.nd_width.is_finite() || request.nd_width < 0.0 {
             return Err(ServiceError::InvalidRequest(format!(
                 "nd_width must be finite and non-negative, got {}",
@@ -401,7 +499,12 @@ impl Scheduler {
         }
         self.depth.fetch_add(1, Ordering::AcqRel);
         let (tx, rx) = mpsc::channel();
-        inflight.insert(key, vec![(tx, Source::Computed)]);
+        let source = if warm.is_some() {
+            Source::Warm
+        } else {
+            Source::Computed
+        };
+        inflight.insert(key, vec![(tx, source)]);
         drop(inflight);
 
         let cache = self.cache.clone();
@@ -413,7 +516,7 @@ impl Scheduler {
             // leave the in-flight map and the depth must drop no matter
             // what, or the digest wedges and admission leaks permanently.
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                compute(&request, digest, deadline)
+                compute(request, digest, deadline, warm.as_deref())
             }));
             let result = match outcome {
                 Ok(result) => {
@@ -475,30 +578,51 @@ impl Scheduler {
 }
 
 /// Runs the requested algorithm; cycles in the input are oriented away
-/// first, exactly as the CLI does.
-fn compute(request: &LayoutRequest, digest: Digest, deadline: Option<Instant>) -> LayoutResult {
+/// first, exactly as the CLI does. With a `warm` base (the `layout_delta`
+/// path) and the ACO algorithm, the base layering is repaired onto the
+/// edited DAG and installed as the colony's incumbent; the baselines are
+/// single-pass and compute cold either way.
+fn compute(
+    request: LayoutRequest,
+    digest: Digest,
+    deadline: Option<Instant>,
+    warm: Option<&LayoutResult>,
+) -> LayoutResult {
     let started = Instant::now();
     let oriented = antlayer_sugiyama::acyclic_orientation(&request.graph);
     let wm = WidthModel::with_dummy_width(request.nd_width);
-    let (layering, metrics, stopped_early) = match &request.algo {
+    let (layering, metrics, stopped_early, seeded) = match &request.algo {
         // ACO is the one anytime algorithm: it takes the deadline and
         // reports truncation.
         AlgoSpec::Aco(params) => {
-            let run = AcoLayering::new(params.clone()).run_until(&oriented.dag, &wm, deadline);
-            (run.layering, run.metrics, run.stopped_early)
+            let algo = AcoLayering::new(params.clone());
+            let run = match warm {
+                Some(base) => {
+                    let seed = base.layering.repaired(&oriented.dag);
+                    algo.run_seeded_until(&oriented.dag, &wm, &seed, deadline)
+                        .expect("repaired seed is valid by construction")
+                }
+                None => algo.run_until(&oriented.dag, &wm, deadline),
+            };
+            (run.layering, run.metrics, run.stopped_early, run.seeded)
         }
         baseline => {
             let layering = baseline.build().layer(&oriented.dag, &wm);
             let metrics = LayeringMetrics::compute(&oriented.dag, &layering, &wm);
-            (layering, metrics, false)
+            (layering, metrics, false, false)
         }
     };
     LayoutResult {
         digest,
+        // Moved, not cloned: the request is consumed, so carrying the
+        // graph in the result costs nothing extra even for truncated
+        // runs that never reach the cache.
+        graph: request.graph,
         layering,
         metrics,
         reversed_edges: oriented.reversed.len(),
         stopped_early,
+        seeded,
         compute_micros: started.elapsed().as_micros() as u64,
     }
 }
@@ -506,7 +630,7 @@ fn compute(request: &LayoutRequest, digest: Digest, deadline: Option<Instant>) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use antlayer_graph::generate;
+    use antlayer_graph::{generate, GraphDelta};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -665,6 +789,126 @@ mod tests {
         );
         assert_eq!(s.counters().computed, 2, "the classes compute separately");
         assert_eq!(s.counters().coalesced, 0);
+    }
+
+    #[test]
+    fn delta_request_warm_starts_and_caches_under_new_digest() {
+        let s = Scheduler::new(SchedulerConfig {
+            threads: 2,
+            ..Default::default()
+        });
+        let graph = small_graph(11);
+        let base = s
+            .submit(LayoutRequest::new(graph.clone(), quick_aco(11)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        // Remove the first edge of the base graph.
+        let (u, v) = graph.edges().next().unwrap();
+        let delta = GraphDelta::new(vec![], vec![(u.index() as u32, v.index() as u32)]);
+        let req = DeltaRequest::new(base.result.digest, delta.clone(), quick_aco(11));
+        let warm = s.submit_delta(req).unwrap().wait().unwrap();
+        assert_eq!(warm.source, Source::Warm);
+        assert!(warm.result.seeded);
+        assert_ne!(warm.result.digest, base.result.digest);
+
+        // The warm result is cached under the edited request's canonical
+        // digest: the identical *full* request hits.
+        let edited = delta.apply(&graph).unwrap();
+        let full = s
+            .submit(LayoutRequest::new(edited, quick_aco(11)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(full.source, Source::CacheHit);
+        assert_eq!(full.result.digest, warm.result.digest);
+        assert!(Arc::ptr_eq(&full.result, &warm.result));
+    }
+
+    #[test]
+    fn delta_chain_stays_hot() {
+        // Each response's digest is the next edit's base.
+        let s = Scheduler::new(SchedulerConfig {
+            threads: 2,
+            ..Default::default()
+        });
+        let mut graph = small_graph(12);
+        let mut prev = s
+            .submit(LayoutRequest::new(graph.clone(), quick_aco(12)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        for step in 0..3 {
+            let (u, v) = graph.edges().nth(step).unwrap();
+            let delta = GraphDelta::new(vec![], vec![(u.index() as u32, v.index() as u32)]);
+            graph = delta.apply(&graph).unwrap();
+            let next = s
+                .submit_delta(DeltaRequest::new(prev.result.digest, delta, quick_aco(12)))
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(next.source, Source::Warm, "edit {step} should warm-start");
+            prev = next;
+        }
+        assert_eq!(s.counters().computed, 4);
+    }
+
+    #[test]
+    fn delta_with_unknown_base_is_rejected() {
+        let s = Scheduler::new(SchedulerConfig::default());
+        let req = DeltaRequest::new(Digest { hi: 1, lo: 2 }, GraphDelta::default(), quick_aco(1));
+        let err = s.submit_delta(req).map(|_| ()).unwrap_err();
+        assert_eq!(err, ServiceError::BaseNotFound(Digest { hi: 1, lo: 2 }));
+        assert!(err.to_string().contains("base not found"));
+    }
+
+    #[test]
+    fn delta_that_does_not_apply_is_invalid() {
+        let s = Scheduler::new(SchedulerConfig {
+            threads: 2,
+            ..Default::default()
+        });
+        let base = s
+            .submit(LayoutRequest::new(small_graph(13), quick_aco(13)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        // Removing a non-existent edge must fail without touching cache.
+        let bad = DeltaRequest::new(
+            base.result.digest,
+            GraphDelta::new(vec![], vec![(0, 0)]),
+            quick_aco(13),
+        );
+        assert!(matches!(
+            s.submit_delta(bad),
+            Err(ServiceError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn bounded_delta_results_are_not_cached() {
+        let s = Scheduler::new(SchedulerConfig {
+            threads: 1,
+            ..Default::default()
+        });
+        let graph = small_graph(14);
+        let base = s
+            .submit(LayoutRequest::new(graph.clone(), quick_aco(14)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let (u, v) = graph.edges().next().unwrap();
+        let mut req = DeltaRequest::new(
+            base.result.digest,
+            GraphDelta::new(vec![], vec![(u.index() as u32, v.index() as u32)]),
+            quick_aco(14),
+        );
+        req.deadline = Some(Duration::ZERO);
+        let r = s.submit_delta(req).unwrap().wait().unwrap();
+        assert!(r.result.stopped_early);
+        // With a zero budget the run returns the repaired seed itself —
+        // still a valid layering of the edited graph, still not cached.
+        assert_eq!(s.cache.len(), 1, "only the base entry may be cached");
     }
 
     #[test]

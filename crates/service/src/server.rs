@@ -253,6 +253,13 @@ pub fn respond(line: &str, scheduler: &Scheduler) -> String {
                 Err(e) => protocol::encode_error(&e.to_string()),
             },
         },
+        Ok(Request::LayoutDelta(req)) => match scheduler.submit_delta(*req) {
+            Err(e) => protocol::encode_error(&e.to_string()),
+            Ok(ticket) => match ticket.wait() {
+                Ok(response) => protocol::encode_layout_response(&response),
+                Err(e) => protocol::encode_error(&e.to_string()),
+            },
+        },
     }
 }
 

@@ -255,3 +255,178 @@ fn deadline_truncation_degrades_gracefully_not_catastrophically() {
     assert!(response.result.stopped_early);
     assert!(response.result.compute_micros < 5_000_000);
 }
+
+#[test]
+fn delta_inverse_restores_the_canonical_digest() {
+    // The edit protocol's identity invariant: applying a delta and then
+    // its inverse restores not just the graph but its canonical digest,
+    // so an undo in the editor lands back on the same cache entry.
+    use antlayer_graph::GraphDelta;
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(77);
+    for _ in 0..25 {
+        let g = {
+            let n = rng.gen_range(5..40usize);
+            let m = rng.gen_range(0..2 * n);
+            let mut inner = StdRng::seed_from_u64(rng.gen_range(0..u64::MAX));
+            generate::random_dag_with_edges(n, m, &mut inner).into_graph()
+        };
+        // Random applicable delta: remove up to 2 existing edges, add up
+        // to 2 fresh pairs.
+        let edges: Vec<(u32, u32)> = g
+            .edges()
+            .map(|(u, v)| (u.index() as u32, v.index() as u32))
+            .collect();
+        let mut removed = Vec::new();
+        for _ in 0..rng.gen_range(0..=2usize).min(edges.len()) {
+            let e = edges[rng.gen_range(0..edges.len())];
+            if !removed.contains(&e) {
+                removed.push(e);
+            }
+        }
+        let mut added = Vec::new();
+        for _ in 0..rng.gen_range(0..=2usize) {
+            let u = rng.gen_range(0..g.node_count() as u32);
+            let v = rng.gen_range(0..g.node_count() as u32);
+            if u != v
+                && !g.has_edge(u.into(), v.into())
+                && !added.contains(&(u, v))
+                && !removed.contains(&(u, v))
+            {
+                added.push((u, v));
+            }
+        }
+        let delta = GraphDelta::new(added, removed);
+        let request =
+            |g: &antlayer_graph::DiGraph| LayoutRequest::new(g.clone(), quick_aco(1)).digest();
+        let original = request(&g);
+        let edited = delta.apply(&g).unwrap();
+        let restored = delta.inverse().apply(&edited).unwrap();
+        assert_eq!(request(&restored), original, "digest must round-trip");
+        if !delta.is_empty() {
+            assert_ne!(request(&edited), original, "edit must change identity");
+        }
+    }
+}
+
+#[test]
+fn delta_chain_of_five_edits_never_caches_truncated_layerings() {
+    // The interactive pattern: each edit is previewed under a hard
+    // deadline (anytime, truncated) and then committed unbounded. The
+    // previews must never leak into the cache — a commit right after a
+    // preview of the same edit still computes (warm), and the final
+    // full-layout lookup hits the committed, untruncated entry.
+    use antlayer_graph::GraphDelta;
+    let scheduler = Scheduler::new(SchedulerConfig {
+        threads: 2,
+        ..Default::default()
+    });
+    let mut g = graph(21, 40, 60);
+    let base = scheduler
+        .submit(LayoutRequest::new(g.clone(), quick_aco(21)))
+        .unwrap()
+        .wait()
+        .unwrap();
+    let mut digest = base.result.digest;
+    for step in 0..5 {
+        let (u, v) = g.edges().nth(step).unwrap();
+        let delta = GraphDelta::new(vec![], vec![(u.index() as u32, v.index() as u32)]);
+
+        // Preview: zero budget, truncated, served but never cached.
+        let mut preview = antlayer_service::DeltaRequest::new(digest, delta.clone(), quick_aco(21));
+        preview.deadline = Some(Duration::ZERO);
+        let p = scheduler.submit_delta(preview).unwrap().wait().unwrap();
+        assert!(p.result.stopped_early, "edit {step}: preview must truncate");
+        let placed: usize = p.result.layering.layers().iter().map(Vec::len).sum();
+        assert_eq!(placed, 40, "edit {step}: truncated preview still valid");
+
+        // Commit: unbounded. If the preview had been cached this would
+        // be a CacheHit serving a truncated result; it must compute.
+        let commit = antlayer_service::DeltaRequest::new(digest, delta.clone(), quick_aco(21));
+        let c = scheduler.submit_delta(commit).unwrap().wait().unwrap();
+        assert_eq!(c.source, Source::Warm, "edit {step}: commit computes warm");
+        assert!(!c.result.stopped_early, "edit {step}: commit is complete");
+        assert!(c.result.seeded);
+
+        g = delta.apply(&g).unwrap();
+        digest = c.result.digest;
+    }
+    // The tip of the chain is cached, complete, and identical to a full
+    // request for the final graph.
+    let tip = scheduler
+        .submit(LayoutRequest::new(g, quick_aco(21)))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(tip.source, Source::CacheHit);
+    assert_eq!(tip.result.digest, digest);
+    assert!(!tip.result.stopped_early);
+}
+
+#[test]
+fn layout_delta_round_trips_over_loopback_socket() {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        scheduler: SchedulerConfig {
+            threads: 2,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+    .unwrap();
+    let handle = server.spawn().unwrap();
+
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut send = |line: String| -> Json {
+        let mut s = stream.try_clone().unwrap();
+        writeln!(s, "{line}").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        parse(reply.trim_end()).unwrap()
+    };
+
+    let layout = r#"{"op":"layout","algo":"aco","nodes":6,"edges":[[0,1],[0,2],[1,3],[2,3],[3,4],[3,5]],"ants":4,"tours":4,"seed":1}"#;
+    let first = send(layout.to_string());
+    assert_eq!(first.get("ok"), Some(&Json::Bool(true)));
+    let digest = first
+        .get("digest")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+
+    // Edit: drop (3,5), connect 4 -> 5 instead.
+    let delta = format!(
+        r#"{{"op":"layout_delta","base":"{digest}","add":[[4,5]],"remove":[[3,5]],"algo":"aco","ants":4,"tours":4,"seed":1}}"#
+    );
+    let warm = send(delta.clone());
+    assert_eq!(warm.get("ok"), Some(&Json::Bool(true)), "{}", warm.encode());
+    assert_eq!(warm.get("source").and_then(Json::as_str), Some("warm"));
+    assert_eq!(warm.get("seeded"), Some(&Json::Bool(true)));
+    assert_ne!(
+        warm.get("digest").and_then(Json::as_str),
+        Some(digest.as_str())
+    );
+
+    // The same edit again: now a plain cache hit under the new digest.
+    let again = send(delta);
+    assert_eq!(again.get("source").and_then(Json::as_str), Some("hit"));
+    assert_eq!(again.get("layers"), warm.get("layers"));
+
+    // An unknown base yields the structured fallback error.
+    let missing = send(format!(
+        r#"{{"op":"layout_delta","base":"{}","add":[[0,5]]}}"#,
+        "f".repeat(32)
+    ));
+    assert_eq!(missing.get("ok"), Some(&Json::Bool(false)));
+    assert!(missing
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("base not found"));
+
+    handle.shutdown();
+}

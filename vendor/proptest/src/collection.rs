@@ -1,4 +1,4 @@
-//! Collection strategies: only [`vec`] is needed by this workspace.
+//! Collection strategies: only [`vec()`] is needed by this workspace.
 
 use crate::Strategy;
 use rand::rngs::StdRng;
