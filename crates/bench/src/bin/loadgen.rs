@@ -1,24 +1,33 @@
 //! `loadgen` — load generator for the `antlayer serve` subsystem.
 //!
-//! Spawns an in-process server on a loopback port (or targets an
-//! external one via `--addr`), drives it with concurrent JSON-over-TCP
-//! clients, and reports throughput, goodput and latency percentiles for
-//! cold (every request a new graph), cached (one graph requested
-//! repeatedly), mixed, and edit (interactive editing sessions speaking
-//! `layout_delta`) workloads.
+//! Spawns an in-process server on a loopback port (or a whole sharded
+//! fleet with `--router`, or targets an external endpoint via `--addr`),
+//! drives it with concurrent JSON-over-TCP clients, and reports
+//! throughput, goodput and latency percentiles for cold (every request a
+//! new graph), cached (one graph requested repeatedly), mixed, and edit
+//! (interactive editing sessions speaking `layout_delta`) workloads.
 //!
 //! ```text
 //! loadgen [--mode cold|cached|mixed|edit] [--requests N] [--clients C]
 //!         [--n NODES] [--ants A] [--tours T] [--deadline-ms D]
 //!         [--threads W] [--addr HOST:PORT] [--retries R]
+//!         [--router] [--shards S]
 //! ```
+//!
+//! With `--router` (and no `--addr`), the generator boots `--shards`
+//! in-process shard servers plus an `antlayer-router` front and drives
+//! everything through the router — the full sharded topology on
+//! loopback. With `--addr`, the target may equally be a single server or
+//! an external router: the wire protocol is identical.
 //!
 //! In `edit` mode every client opens its own editing session: one full
 //! `layout` of a private base graph, then a chain of `layout_delta`
 //! requests each editing 1–3 edges and warm-starting from the previous
-//! response's digest. If the server evicted the base (`base not found`),
-//! the client falls back to a full layout and resumes the chain — the
-//! protocol's intended recovery.
+//! response's digest. If the server evicted the base (`base not found`)
+//! — or, through a router, the base's shard went down — the client falls
+//! back to a full layout and resumes the chain: the protocol's intended
+//! recovery (implemented in `antlayer_bench::loadclient`, where the
+//! router regression tests exercise it too).
 //!
 //! `overloaded` responses are **not** fatal: the client retries with
 //! exponential backoff (up to `--retries`, default 8) and the report
@@ -26,33 +35,31 @@
 //! attempt throughput, per the backpressure design: servers shed load,
 //! clients pace themselves.
 //!
-//! With no `--addr`, an in-process server is started and shut down
-//! around the run; its cache/scheduler counters are printed at the end
-//! (`computed` vs `cache_hits` shows how much work the digest cache
-//! absorbed; `seeded` responses show warm starts).
+//! With no `--addr`, the spawned fleet is shut down around the run and
+//! its cache/scheduler counters are printed at the end (`computed` vs
+//! `cache_hits` shows how much work the digest cache absorbed; `seeded`
+//! responses show warm starts; through a router the counters are the
+//! fleet-wide aggregates of the `stats` fan-out).
 
-use antlayer_graph::{generate, DiGraph, NodeId};
-use antlayer_service::protocol::{parse, Json};
-use antlayer_service::{SchedulerConfig, Server, ServerConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{Duration, Instant};
+use antlayer_bench::loadclient::{
+    base_graph, layout_line, percentile, spawn_shard, Connection, EditSession, RequestProfile,
+    Tallies,
+};
+use antlayer_router::{Router, RouterConfig, RouterHandle};
+use antlayer_service::protocol::Json;
+use antlayer_service::server::ServerHandle;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
 
 struct Options {
     mode: String,
     requests: usize,
     clients: usize,
-    n: usize,
-    ants: usize,
-    tours: usize,
-    deadline_ms: Option<u64>,
+    profile: RequestProfile,
     threads: usize,
     addr: Option<String>,
-    retries: usize,
+    router: bool,
+    shards: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -61,13 +68,11 @@ fn parse_args() -> Result<Options, String> {
         mode: "mixed".into(),
         requests: 200,
         clients: 4,
-        n: 60,
-        ants: 8,
-        tours: 8,
-        deadline_ms: None,
+        profile: RequestProfile::default(),
         threads: 0,
         addr: None,
-        retries: 8,
+        router: false,
+        shards: 2,
     };
     let mut i = 0;
     let value = |i: &mut usize| -> Result<String, String> {
@@ -81,15 +86,19 @@ fn parse_args() -> Result<Options, String> {
             "--mode" => o.mode = value(&mut i)?,
             "--requests" => o.requests = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--clients" => o.clients = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
-            "--n" => o.n = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
-            "--ants" => o.ants = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
-            "--tours" => o.tours = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--n" => o.profile.n = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--ants" => o.profile.ants = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--tours" => o.profile.tours = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--deadline-ms" => {
-                o.deadline_ms = Some(value(&mut i)?.parse().map_err(|e| format!("{e}"))?)
+                o.profile.deadline_ms = Some(value(&mut i)?.parse().map_err(|e| format!("{e}"))?)
             }
             "--threads" => o.threads = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--addr" => o.addr = Some(value(&mut i)?),
-            "--retries" => o.retries = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--retries" => {
+                o.profile.retries = value(&mut i)?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--router" => o.router = true,
+            "--shards" => o.shards = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             other => return Err(format!("unknown flag '{other}'")),
         }
         i += 1;
@@ -103,154 +112,10 @@ fn parse_args() -> Result<Options, String> {
     if o.requests == 0 || o.clients == 0 {
         return Err("--requests and --clients must be positive".into());
     }
+    if o.router && o.shards == 0 {
+        return Err("--shards must be positive".into());
+    }
     Ok(o)
-}
-
-fn edge_pairs_json(edges: impl Iterator<Item = (NodeId, NodeId)>) -> Json {
-    Json::Arr(
-        edges
-            .map(|(u, v)| {
-                Json::Arr(vec![
-                    Json::Num(u.index() as f64),
-                    Json::Num(v.index() as f64),
-                ])
-            })
-            .collect(),
-    )
-}
-
-/// The colony/deadline fields shared by `layout` and `layout_delta`.
-fn common_fields(o: &Options, seed: u64, obj: &mut BTreeMap<String, Json>) {
-    obj.insert("algo".to_string(), Json::Str("aco".into()));
-    obj.insert("seed".to_string(), Json::Num(seed as f64));
-    obj.insert("ants".to_string(), Json::Num(o.ants as f64));
-    obj.insert("tours".to_string(), Json::Num(o.tours as f64));
-    if let Some(d) = o.deadline_ms {
-        obj.insert("deadline_ms".to_string(), Json::Num(d as f64));
-    }
-}
-
-fn base_graph(o: &Options, seed: u64) -> DiGraph {
-    let mut rng = StdRng::seed_from_u64(seed);
-    generate::random_dag_with_edges(o.n, o.n * 3 / 2, &mut rng).into_graph()
-}
-
-/// Builds a full-layout request line for the given graph.
-fn layout_line(o: &Options, seed: u64, g: &DiGraph) -> String {
-    let mut obj = BTreeMap::new();
-    obj.insert("op".to_string(), Json::Str("layout".into()));
-    obj.insert("nodes".to_string(), Json::Num(g.node_count() as f64));
-    obj.insert("edges".to_string(), edge_pairs_json(g.edges()));
-    common_fields(o, seed, &mut obj);
-    Json::Obj(obj).encode()
-}
-
-/// Builds a `layout_delta` request line.
-fn delta_line(
-    o: &Options,
-    seed: u64,
-    base: &str,
-    add: &[(u32, u32)],
-    remove: &[(u32, u32)],
-) -> String {
-    let pair = |&(u, v): &(u32, u32)| Json::Arr(vec![Json::Num(u as f64), Json::Num(v as f64)]);
-    let mut obj = BTreeMap::new();
-    obj.insert("op".to_string(), Json::Str("layout_delta".into()));
-    obj.insert("base".to_string(), Json::Str(base.into()));
-    obj.insert("add".to_string(), Json::Arr(add.iter().map(pair).collect()));
-    obj.insert(
-        "remove".to_string(),
-        Json::Arr(remove.iter().map(pair).collect()),
-    );
-    common_fields(o, seed, &mut obj);
-    Json::Obj(obj).encode()
-}
-
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
-}
-
-/// Per-run tallies shared by all clients.
-#[derive(Default)]
-struct Tallies {
-    /// Successful layout responses.
-    good: AtomicU64,
-    /// `overloaded` responses that were retried.
-    retried: AtomicU64,
-    /// Requests abandoned after exhausting retries.
-    dropped: AtomicU64,
-    /// `seeded:true` responses (warm starts observed on the wire).
-    warm: AtomicU64,
-    /// Edit-chain restarts after `base not found`.
-    rebased: AtomicU64,
-}
-
-struct Connection {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-}
-
-impl Connection {
-    fn open(addr: &str) -> Connection {
-        let stream = TcpStream::connect(addr).expect("connect");
-        stream.set_nodelay(true).expect("nodelay");
-        stream
-            .set_read_timeout(Some(Duration::from_secs(120)))
-            .expect("read timeout");
-        Connection {
-            reader: BufReader::new(stream.try_clone().expect("clone")),
-            writer: stream,
-        }
-    }
-
-    fn exchange(&mut self, line: &str) -> Json {
-        writeln!(self.writer, "{line}").expect("send");
-        let mut reply = String::new();
-        self.reader.read_line(&mut reply).expect("recv");
-        parse(reply.trim_end()).expect("parse reply")
-    }
-
-    /// Sends `line`, retrying `overloaded` rejections with exponential
-    /// backoff. Returns `None` when the request was dropped after
-    /// exhausting the retry budget; panics on any other server error
-    /// (the load generator's inputs are valid by construction, except
-    /// `base not found`, which the *edit* client handles itself).
-    fn exchange_with_backoff(
-        &mut self,
-        line: &str,
-        retries: usize,
-        tallies: &Tallies,
-    ) -> Option<Json> {
-        for attempt in 0..=retries {
-            let v = self.exchange(line);
-            if v.get("ok") == Some(&Json::Bool(true)) {
-                return Some(v);
-            }
-            let error = v.get("error").and_then(Json::as_str).unwrap_or("");
-            if error.starts_with("base not found") {
-                // Not retryable here: surface to the edit client.
-                return Some(v);
-            }
-            assert!(
-                error.starts_with("overloaded"),
-                "unexpected server error: {error}"
-            );
-            if attempt == retries {
-                break;
-            }
-            tallies.retried.fetch_add(1, Ordering::Relaxed);
-            // 1, 2, 4, … ms, capped at 64 ms: enough to drain a burst
-            // without turning the generator into a sleep benchmark.
-            let backoff = Duration::from_millis(1 << attempt.min(6));
-            std::thread::sleep(backoff);
-        }
-        tallies.dropped.fetch_add(1, Ordering::Relaxed);
-        None
-    }
 }
 
 /// Static-line client for the cold/cached/mixed modes.
@@ -266,7 +131,7 @@ fn run_static_client(
     for i in range {
         let line = &lines[i % lines.len()];
         let t0 = Instant::now();
-        if let Some(v) = conn.exchange_with_backoff(line, o.retries, tallies) {
+        if let Some(v) = conn.exchange_with_backoff(line, o.profile.retries, tallies) {
             assert!(
                 v.get("ok") == Some(&Json::Bool(true)),
                 "server error: {}",
@@ -287,101 +152,21 @@ fn run_edit_client(
     budget: usize,
     tallies: &Tallies,
 ) -> Vec<u64> {
-    let mut conn = Connection::open(addr);
-    let seed = 0xED17 + client as u64;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut graph = base_graph(o, seed);
+    let mut session = EditSession::open(addr, o.profile.clone(), client);
     let mut lat = Vec::with_capacity(budget);
-    let mut digest: Option<String> = None;
-    let mut sent = 0;
-    while sent < budget {
-        let line = match &digest {
-            None => layout_line(o, seed, &graph),
-            Some(base) => {
-                let (add, remove) = random_edit(&graph, &mut rng);
-                let line = delta_line(o, seed, base, &add, &remove);
-                // Optimistically track the edited graph; on `base not
-                // found` the chain restarts from the same state with a
-                // full layout, so tracking stays consistent.
-                graph = antlayer_graph::GraphDelta::new(add, remove)
-                    .apply(&graph)
-                    .expect("generated edit applies");
-                line
-            }
-        };
-        sent += 1;
-        let t0 = Instant::now();
-        let Some(v) = conn.exchange_with_backoff(&line, o.retries, tallies) else {
-            // Dropped after exhausting retries. The local graph already
-            // carries the unacknowledged edit, so the server-side base
-            // no longer matches it — rebase with a full layout of the
-            // current local state instead of chaining a delta that may
-            // not apply.
-            digest = None;
-            continue;
-        };
-        if v.get("ok") == Some(&Json::Bool(true)) {
-            lat.push(t0.elapsed().as_micros() as u64);
-            tallies.good.fetch_add(1, Ordering::Relaxed);
-            if v.get("seeded") == Some(&Json::Bool(true)) {
-                tallies.warm.fetch_add(1, Ordering::Relaxed);
-            }
-            digest = v.get("digest").and_then(Json::as_str).map(String::from);
-        } else {
-            // Base evicted: fall back to a full layout of the current
-            // graph on the next iteration.
-            tallies.rebased.fetch_add(1, Ordering::Relaxed);
-            digest = None;
+    for _ in 0..budget {
+        if let Some(micros) = session.step(tallies) {
+            lat.push(micros);
         }
     }
     lat
 }
 
-type EdgeList = Vec<(u32, u32)>;
-
-/// Picks 1–3 random edge edits that provably apply to `graph`: removals
-/// of existing edges and additions of fresh non-self-loop pairs.
-fn random_edit(graph: &DiGraph, rng: &mut StdRng) -> (EdgeList, EdgeList) {
-    let ops = rng.gen_range(1..=3usize);
-    let mut add = Vec::new();
-    let mut remove = Vec::new();
-    let n = graph.node_count() as u32;
-    let edges: Vec<(NodeId, NodeId)> = graph.edges().collect();
-    for _ in 0..ops {
-        let removing = !edges.is_empty() && rng.gen_bool(0.5);
-        if removing {
-            let (u, v) = edges[rng.gen_range(0..edges.len())];
-            let pair = (u.index() as u32, v.index() as u32);
-            if !remove.contains(&pair) {
-                remove.push(pair);
-            }
-        } else if n >= 2 {
-            // A few attempts to find a fresh pair; dense graphs just
-            // yield a smaller edit.
-            for _ in 0..8 {
-                let u = rng.gen_range(0..n);
-                let v = rng.gen_range(0..n);
-                let fresh = u != v
-                    && !graph.has_edge(NodeId::new(u as usize), NodeId::new(v as usize))
-                    && !add.contains(&(u, v))
-                    && !add.contains(&(v, u));
-                if fresh {
-                    add.push((u, v));
-                    break;
-                }
-            }
-        }
-    }
-    if add.is_empty() && remove.is_empty() {
-        // Guarantee a non-empty delta: re-add nothing, remove nothing is
-        // rejected by the protocol. Remove the first edge if any,
-        // otherwise add (0, 1).
-        match edges.first() {
-            Some(&(u, v)) => remove.push((u.index() as u32, v.index() as u32)),
-            None => add.push((0, 1)),
-        }
-    }
-    (add, remove)
+/// The in-process fleet spawned when no `--addr` is given.
+enum Fleet {
+    None,
+    Single(ServerHandle),
+    Sharded(Vec<ServerHandle>, RouterHandle),
 }
 
 fn main() {
@@ -393,21 +178,24 @@ fn main() {
         }
     };
 
-    // Start (or target) the server.
-    let (addr, handle) = match &o.addr {
-        Some(a) => (a.clone(), None),
-        None => {
-            let server = Server::bind(ServerConfig {
+    // Start (or target) the server / fleet.
+    let (addr, fleet) = match &o.addr {
+        Some(a) => (a.clone(), Fleet::None),
+        None if o.router => {
+            let shards: Vec<ServerHandle> = (0..o.shards).map(|_| spawn_shard(o.threads)).collect();
+            let router = Router::bind(RouterConfig {
                 addr: "127.0.0.1:0".into(),
-                scheduler: SchedulerConfig {
-                    threads: o.threads,
-                    ..Default::default()
-                },
+                shards: shards.iter().map(|h| h.addr().to_string()).collect(),
                 ..Default::default()
             })
-            .expect("bind loopback");
-            let handle = server.spawn().expect("spawn server");
-            (handle.addr().to_string(), Some(handle))
+            .expect("bind router")
+            .spawn()
+            .expect("spawn router");
+            (router.addr().to_string(), Fleet::Sharded(shards, router))
+        }
+        None => {
+            let handle = spawn_shard(o.threads);
+            (handle.addr().to_string(), Fleet::Single(handle))
         }
     };
 
@@ -423,13 +211,24 @@ fn main() {
             _ => 10.min(o.requests),
         };
         (0..distinct)
-            .map(|s| layout_line(&o, s as u64, &base_graph(&o, s as u64)))
+            .map(|s| layout_line(&o.profile, s as u64, &base_graph(&o.profile, s as u64)))
             .collect()
     };
 
+    let topology = match &fleet {
+        Fleet::Sharded(shards, _) => format!("router+{} shards", shards.len()),
+        _ => "direct".into(),
+    };
     println!(
-        "loadgen: mode={} requests={} clients={} n={} colony={}x{} retries={} addr={}",
-        o.mode, o.requests, o.clients, o.n, o.ants, o.tours, o.retries, addr
+        "loadgen: mode={} requests={} clients={} n={} colony={}x{} retries={} addr={} ({topology})",
+        o.mode,
+        o.requests,
+        o.clients,
+        o.profile.n,
+        o.profile.ants,
+        o.profile.tours,
+        o.profile.retries,
+        addr
     );
 
     let tallies = Tallies::default();
@@ -472,7 +271,7 @@ fn main() {
     );
     if o.mode == "edit" {
         println!(
-            "edit sessions: {} warm responses, {} rebases after eviction",
+            "edit sessions: {} warm responses, {} rebases after eviction/failover",
             tallies.warm.load(Ordering::Relaxed),
             tallies.rebased.load(Ordering::Relaxed)
         );
@@ -486,27 +285,43 @@ fn main() {
         all.last().copied().unwrap_or(0)
     );
 
-    // Pull the server-side counters over the wire.
-    if let Ok(stream) = TcpStream::connect(&addr) {
-        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
-        let mut writer = stream;
-        if writeln!(writer, "{{\"op\":\"stats\"}}").is_ok() {
-            let mut reply = String::new();
-            if reader.read_line(&mut reply).is_ok() {
-                if let Ok(stats) = parse(reply.trim_end()) {
-                    let f = |k: &str| stats.get(k).and_then(Json::as_u64).unwrap_or(0);
-                    println!(
-                        "server: computed {}  cache_hits {}  coalesced {}  rejected {}  evictions {}",
-                        f("computed"),
-                        f("cache_hits"),
-                        f("coalesced"),
-                        f("rejected"),
-                        f("cache_evictions")
-                    );
-                }
-            }
+    // Pull the server-side counters over the wire; through a router the
+    // same op fans out and the fields are the fleet-wide sums. Best
+    // effort: an external target that went away after the run costs the
+    // counter lines, not the exit status.
+    let stats = Connection::try_open(&addr)
+        .and_then(|mut conn| conn.try_exchange(r#"{"op":"stats"}"#))
+        .unwrap_or(Json::Null);
+    if stats.get("ok") == Some(&Json::Bool(true)) {
+        let f = |k: &str| stats.get(k).and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "server: computed {}  cache_hits {}  coalesced {}  rejected {}  evictions {}",
+            f("computed"),
+            f("cache_hits"),
+            f("coalesced"),
+            f("rejected"),
+            f("cache_evictions")
+        );
+        if stats.get("router") == Some(&Json::Bool(true)) {
+            println!(
+                "router: {}/{} shards up, forwarded {}  rerouted {}  unroutable {}",
+                f("shards_up"),
+                f("shards"),
+                f("router_forwarded"),
+                f("router_rerouted"),
+                f("router_unroutable")
+            );
         }
     }
 
-    drop(handle);
+    match fleet {
+        Fleet::None => {}
+        Fleet::Single(handle) => handle.shutdown(),
+        Fleet::Sharded(shards, router) => {
+            router.shutdown();
+            for s in shards {
+                s.shutdown();
+            }
+        }
+    }
 }

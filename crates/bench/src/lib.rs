@@ -1,6 +1,10 @@
 //! Shared machinery for the experiment harness and the Criterion benches:
 //! run a set of layering algorithms over the AT&T-like suite and aggregate
-//! the paper's metrics per size group.
+//! the paper's metrics per size group. The [`loadclient`] module holds
+//! the reusable serving-layer clients (`loadgen` and the router
+//! regression tests drive the same code).
+
+pub mod loadclient;
 
 use antlayer_aco::{AcoLayering, AcoParams};
 use antlayer_datasets::{Cell, GraphSuite, Table};

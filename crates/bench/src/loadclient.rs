@@ -1,0 +1,367 @@
+//! Reusable protocol clients for load generation and integration tests:
+//! the request-line builders, the retry-with-backoff exchange, and the
+//! interactive editing session (`layout` + `layout_delta` chain with the
+//! `base not found` → full-`layout` fallback).
+//!
+//! The `loadgen` binary drives these against a server or router; the
+//! router regression tests drive the *same* code against a fleet with a
+//! killed shard, so the client-side recovery path that production
+//! clients are told to implement is itself under test.
+
+use antlayer_graph::{generate, DiGraph, GraphDelta, NodeId};
+use antlayer_service::protocol::{parse, Json};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// The request-shape knobs shared by every generated request.
+#[derive(Clone, Debug)]
+pub struct RequestProfile {
+    /// Nodes per generated graph.
+    pub n: usize,
+    /// Colony ants.
+    pub ants: usize,
+    /// Colony tours.
+    pub tours: usize,
+    /// Optional per-request deadline.
+    pub deadline_ms: Option<u64>,
+    /// Retry budget for `overloaded` rejections.
+    pub retries: usize,
+}
+
+impl Default for RequestProfile {
+    fn default() -> Self {
+        RequestProfile {
+            n: 60,
+            ants: 8,
+            tours: 8,
+            deadline_ms: None,
+            retries: 8,
+        }
+    }
+}
+
+/// Per-run tallies shared by all clients.
+#[derive(Default)]
+pub struct Tallies {
+    /// Successful layout responses.
+    pub good: AtomicU64,
+    /// `overloaded` responses that were retried.
+    pub retried: AtomicU64,
+    /// Requests abandoned after exhausting retries.
+    pub dropped: AtomicU64,
+    /// `seeded:true` responses (warm starts observed on the wire).
+    pub warm: AtomicU64,
+    /// Edit-chain restarts after `base not found`.
+    pub rebased: AtomicU64,
+}
+
+fn edge_pairs_json(edges: impl Iterator<Item = (NodeId, NodeId)>) -> Json {
+    Json::Arr(
+        edges
+            .map(|(u, v)| {
+                Json::Arr(vec![
+                    Json::Num(u.index() as f64),
+                    Json::Num(v.index() as f64),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// The colony/deadline fields shared by `layout` and `layout_delta`.
+fn common_fields(p: &RequestProfile, seed: u64, obj: &mut BTreeMap<String, Json>) {
+    obj.insert("algo".to_string(), Json::Str("aco".into()));
+    obj.insert("seed".to_string(), Json::Num(seed as f64));
+    obj.insert("ants".to_string(), Json::Num(p.ants as f64));
+    obj.insert("tours".to_string(), Json::Num(p.tours as f64));
+    if let Some(d) = p.deadline_ms {
+        obj.insert("deadline_ms".to_string(), Json::Num(d as f64));
+    }
+}
+
+/// The deterministic per-seed base graph of the workload.
+pub fn base_graph(p: &RequestProfile, seed: u64) -> DiGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate::random_dag_with_edges(p.n, p.n * 3 / 2, &mut rng).into_graph()
+}
+
+/// Builds a full-layout request line for the given graph.
+pub fn layout_line(p: &RequestProfile, seed: u64, g: &DiGraph) -> String {
+    let mut obj = BTreeMap::new();
+    obj.insert("op".to_string(), Json::Str("layout".into()));
+    obj.insert("nodes".to_string(), Json::Num(g.node_count() as f64));
+    obj.insert("edges".to_string(), edge_pairs_json(g.edges()));
+    common_fields(p, seed, &mut obj);
+    Json::Obj(obj).encode()
+}
+
+/// Builds a `layout_delta` request line.
+pub fn delta_line(
+    p: &RequestProfile,
+    seed: u64,
+    base: &str,
+    add: &[(u32, u32)],
+    remove: &[(u32, u32)],
+) -> String {
+    let pair = |&(u, v): &(u32, u32)| Json::Arr(vec![Json::Num(u as f64), Json::Num(v as f64)]);
+    let mut obj = BTreeMap::new();
+    obj.insert("op".to_string(), Json::Str("layout_delta".into()));
+    obj.insert("base".to_string(), Json::Str(base.into()));
+    obj.insert("add".to_string(), Json::Arr(add.iter().map(pair).collect()));
+    obj.insert(
+        "remove".to_string(),
+        Json::Arr(remove.iter().map(pair).collect()),
+    );
+    common_fields(p, seed, &mut obj);
+    Json::Obj(obj).encode()
+}
+
+/// A blocking, line-delimited protocol connection.
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Connection {
+    /// Connects with TCP_NODELAY and a generous read timeout; panics on
+    /// failure (load-generating clients treat an unreachable target as
+    /// fatal). Use [`try_open`](Self::try_open) where a missing server
+    /// is survivable.
+    pub fn open(addr: &str) -> Connection {
+        Connection::try_open(addr).expect("connect")
+    }
+
+    /// Fallible [`open`](Self::open).
+    pub fn try_open(addr: &str) -> std::io::Result<Connection> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        Ok(Connection {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one line, reads one reply line, parses it; panics on I/O
+    /// or parse failure. Use [`try_exchange`](Self::try_exchange) where
+    /// a dying server is survivable.
+    pub fn exchange(&mut self, line: &str) -> Json {
+        self.try_exchange(line).expect("exchange")
+    }
+
+    /// Fallible [`exchange`](Self::exchange).
+    pub fn try_exchange(&mut self, line: &str) -> std::io::Result<Json> {
+        writeln!(self.writer, "{line}")?;
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply)?;
+        parse(reply.trim_end())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Sends `line`, retrying `overloaded` rejections with exponential
+    /// backoff. Returns `None` when the request was dropped after
+    /// exhausting the retry budget; panics on any other server error
+    /// (the load generator's inputs are valid by construction, except
+    /// `base not found`, which the *edit* client handles itself).
+    pub fn exchange_with_backoff(
+        &mut self,
+        line: &str,
+        retries: usize,
+        tallies: &Tallies,
+    ) -> Option<Json> {
+        for attempt in 0..=retries {
+            let v = self.exchange(line);
+            if v.get("ok") == Some(&Json::Bool(true)) {
+                return Some(v);
+            }
+            let error = v.get("error").and_then(Json::as_str).unwrap_or("");
+            if error.starts_with("base not found") {
+                // Not retryable here: surface to the edit client.
+                return Some(v);
+            }
+            assert!(
+                error.starts_with("overloaded"),
+                "unexpected server error: {error}"
+            );
+            if attempt == retries {
+                break;
+            }
+            tallies.retried.fetch_add(1, Ordering::Relaxed);
+            // 1, 2, 4, … ms, capped at 64 ms: enough to drain a burst
+            // without turning the generator into a sleep benchmark.
+            let backoff = Duration::from_millis(1 << attempt.min(6));
+            std::thread::sleep(backoff);
+        }
+        tallies.dropped.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+}
+
+/// Edge-pair list, the shape `GraphDelta` speaks.
+pub type EdgeList = Vec<(u32, u32)>;
+
+/// Nearest-rank percentile of an already-sorted latency vector
+/// (microseconds); 0 on empty input. Shared by `loadgen` and the
+/// `experiments sharding` report so the binaries cannot disagree on
+/// what "p99" means.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((sorted.len() - 1) as f64 * p).round() as usize]
+}
+
+/// Spawns an in-process `antlayer serve` shard on a free loopback port
+/// (`threads` = scheduler workers, `0` = all available). The fixture
+/// every loopback topology — loadgen fleets, the sharding bench, the
+/// router regression tests — boots its backends with.
+pub fn spawn_shard(threads: usize) -> antlayer_service::ServerHandle {
+    antlayer_service::Server::bind(antlayer_service::ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        scheduler: antlayer_service::SchedulerConfig {
+            threads,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+    .expect("bind loopback shard")
+    .spawn()
+    .expect("spawn shard")
+}
+
+/// Picks 1–3 random edge edits that provably apply to `graph`: removals
+/// of existing edges and additions of fresh non-self-loop pairs.
+pub fn random_edit(graph: &DiGraph, rng: &mut StdRng) -> (EdgeList, EdgeList) {
+    let ops = rng.gen_range(1..=3usize);
+    let mut add = Vec::new();
+    let mut remove = Vec::new();
+    let n = graph.node_count() as u32;
+    let edges: Vec<(NodeId, NodeId)> = graph.edges().collect();
+    for _ in 0..ops {
+        let removing = !edges.is_empty() && rng.gen_bool(0.5);
+        if removing {
+            let (u, v) = edges[rng.gen_range(0..edges.len())];
+            let pair = (u.index() as u32, v.index() as u32);
+            if !remove.contains(&pair) {
+                remove.push(pair);
+            }
+        } else if n >= 2 {
+            // A few attempts to find a fresh pair; dense graphs just
+            // yield a smaller edit.
+            for _ in 0..8 {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                let fresh = u != v
+                    && !graph.has_edge(NodeId::new(u as usize), NodeId::new(v as usize))
+                    && !add.contains(&(u, v))
+                    && !add.contains(&(v, u));
+                if fresh {
+                    add.push((u, v));
+                    break;
+                }
+            }
+        }
+    }
+    if add.is_empty() && remove.is_empty() {
+        // Guarantee a non-empty delta: re-add nothing, remove nothing is
+        // rejected by the protocol. Remove the first edge if any,
+        // otherwise add (0, 1).
+        match edges.first() {
+            Some(&(u, v)) => remove.push((u.index() as u32, v.index() as u32)),
+            None => add.push((0, 1)),
+        }
+    }
+    (add, remove)
+}
+
+/// One interactive editing session: a full `layout` of a private base
+/// graph, then a chain of `layout_delta` requests each editing 1–3 edges
+/// and warm-starting from the previous response's digest. When the
+/// server answers `base not found` (eviction — or, behind a router, the
+/// base's shard going down), the session falls back to a full layout of
+/// its current local graph and resumes the chain: the protocol's
+/// intended recovery, implemented once here and exercised both by
+/// `loadgen --mode edit` and by the router regression tests.
+pub struct EditSession {
+    conn: Connection,
+    profile: RequestProfile,
+    seed: u64,
+    rng: StdRng,
+    graph: DiGraph,
+    digest: Option<String>,
+}
+
+impl EditSession {
+    /// Opens a session against `addr`; `client` seeds the private graph
+    /// and edit stream.
+    pub fn open(addr: &str, profile: RequestProfile, client: usize) -> EditSession {
+        let seed = 0xED17 + client as u64;
+        EditSession {
+            conn: Connection::open(addr),
+            graph: base_graph(&profile, seed),
+            profile,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            digest: None,
+        }
+    }
+
+    /// The digest the next `layout_delta` would use as its base; `None`
+    /// when the next step sends a full layout (session start or after a
+    /// fallback).
+    pub fn base_digest(&self) -> Option<&str> {
+        self.digest.as_deref()
+    }
+
+    /// Sends one request of the session (full layout or delta) and
+    /// returns the request latency in microseconds, or `None` when the
+    /// request was dropped after exhausting the retry budget.
+    pub fn step(&mut self, tallies: &Tallies) -> Option<u64> {
+        let line = match &self.digest {
+            None => layout_line(&self.profile, self.seed, &self.graph),
+            Some(base) => {
+                let (add, remove) = random_edit(&self.graph, &mut self.rng);
+                let line = delta_line(&self.profile, self.seed, base, &add, &remove);
+                // Optimistically track the edited graph; on `base not
+                // found` the chain restarts from the same state with a
+                // full layout, so tracking stays consistent.
+                self.graph = GraphDelta::new(add, remove)
+                    .apply(&self.graph)
+                    .expect("generated edit applies");
+                line
+            }
+        };
+        let t0 = Instant::now();
+        let Some(v) = self
+            .conn
+            .exchange_with_backoff(&line, self.profile.retries, tallies)
+        else {
+            // Dropped after exhausting retries. The local graph already
+            // carries the unacknowledged edit, so the server-side base
+            // no longer matches it — rebase with a full layout of the
+            // current local state instead of chaining a delta that may
+            // not apply.
+            self.digest = None;
+            return None;
+        };
+        if v.get("ok") == Some(&Json::Bool(true)) {
+            tallies.good.fetch_add(1, Ordering::Relaxed);
+            if v.get("seeded") == Some(&Json::Bool(true)) {
+                tallies.warm.fetch_add(1, Ordering::Relaxed);
+            }
+            self.digest = v.get("digest").and_then(Json::as_str).map(String::from);
+            Some(t0.elapsed().as_micros() as u64)
+        } else {
+            // Base evicted (or its shard is gone): fall back to a full
+            // layout of the current graph on the next step.
+            tallies.rebased.fetch_add(1, Ordering::Relaxed);
+            self.digest = None;
+            None
+        }
+    }
+}

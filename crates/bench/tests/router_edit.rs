@@ -1,0 +1,102 @@
+//! Regression test for the edit client's eviction/failover fallback
+//! against the sharded topology: when the shard holding an edit chain's
+//! base goes down, the `layout_delta` comes back `base not found`, and
+//! the *same client code that `loadgen --mode edit` runs* must recover
+//! with one full `layout` and resume the chain warm — zero dropped
+//! requests, zero panics.
+
+use antlayer_aco::AcoParams;
+use antlayer_bench::loadclient::{base_graph, spawn_shard, EditSession, RequestProfile, Tallies};
+use antlayer_router::{Router, RouterConfig};
+use antlayer_service::{AlgoSpec, LayoutRequest};
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+#[test]
+fn edit_session_survives_its_base_shard_going_down() {
+    let profile = RequestProfile {
+        n: 24,
+        ants: 3,
+        tours: 3,
+        ..Default::default()
+    };
+    let client_id = 0usize;
+
+    // The session's first request is a full layout of its private base
+    // graph; its digest's ring owner is the chain's home shard (every
+    // later delta routes back there). Compute it up front so the kill
+    // is deterministic.
+    let session_seed = 0xED17 + client_id as u64;
+    let first_request = LayoutRequest::new(
+        base_graph(&profile, session_seed),
+        AlgoSpec::Aco(
+            AcoParams::default()
+                .with_colony(profile.ants, profile.tours)
+                .with_seed(session_seed),
+        ),
+    );
+
+    let mut shards: Vec<_> = (0..2).map(|_| spawn_shard(2)).collect();
+    let router = Router::bind(RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: shards.iter().map(|h| h.addr().to_string()).collect(),
+        probe_interval: Duration::from_millis(50),
+        ..Default::default()
+    })
+    .unwrap();
+    let home = router.ring().owner(first_request.digest().lo);
+    let handle = router.spawn().unwrap();
+
+    let tallies = Tallies::default();
+    let mut session = EditSession::open(&handle.addr().to_string(), profile, client_id);
+
+    // Establish the chain: one full layout + a few warm deltas.
+    for step in 0..4 {
+        assert!(session.step(&tallies).is_some(), "step {step} failed");
+    }
+    assert!(session.base_digest().is_some());
+    assert_eq!(tallies.good.load(Ordering::Relaxed), 4);
+    assert!(
+        tallies.warm.load(Ordering::Relaxed) >= 3,
+        "chain must be warm"
+    );
+
+    // Kill the chain's home shard; the cached base dies with it.
+    shards.remove(home).shutdown();
+
+    // The next delta rehashes to the surviving shard, which answers
+    // `base not found`; the client's fallback resets to a full layout.
+    let rebase_step = session.step(&tallies);
+    assert_eq!(
+        rebase_step, None,
+        "the delta against the dead base must rebase"
+    );
+    assert_eq!(tallies.rebased.load(Ordering::Relaxed), 1);
+    assert_eq!(
+        tallies.dropped.load(Ordering::Relaxed),
+        0,
+        "a rebase is recovery, not a drop"
+    );
+    assert_eq!(session.base_digest(), None, "fallback resets the chain");
+
+    // …and the chain resumes: full layout on the surviving shard, then
+    // warm deltas again.
+    let warm_before = tallies.warm.load(Ordering::Relaxed);
+    for step in 0..4 {
+        assert!(
+            session.step(&tallies).is_some(),
+            "post-failover step {step} failed"
+        );
+    }
+    assert_eq!(tallies.good.load(Ordering::Relaxed), 8);
+    assert_eq!(tallies.dropped.load(Ordering::Relaxed), 0);
+    assert!(
+        tallies.warm.load(Ordering::Relaxed) >= warm_before + 3,
+        "the resumed chain must warm-start again"
+    );
+
+    handle.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}

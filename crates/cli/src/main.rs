@@ -10,6 +10,8 @@
 //! antlayer suite  [--seed S] [--total N]                         # AT&T-like suite statistics
 //! antlayer serve  [--addr HOST:PORT] [--threads N] [--cache-cap N]
 //!                 [--queue-cap N] [--shards N] [--max-conns N]   # batch layout server
+//! antlayer route  --shards HOST:PORT,HOST:PORT[,...] [--addr HOST:PORT]
+//!                 [--vnodes N] [--probe-ms MS] [--max-conns N]   # consistent-hash router
 //! ```
 //!
 //! `layout` is accepted as an alias of `layer`. `FILE` may be `-` for
@@ -30,14 +32,19 @@
 //! `serve` starts the batch layout server of `antlayer-service`: it
 //! answers newline-delimited JSON layout requests over TCP with
 //! canonical-digest caching, in-flight dedup, admission control, and
-//! per-request `deadline_ms` budgets (anytime ACO). See the
-//! `antlayer-service` crate docs for the wire format.
+//! per-request `deadline_ms` budgets (anytime ACO). `route` starts the
+//! `antlayer-router` front: it consistent-hashes request digests across
+//! the given `antlayer serve` shards, fails over past down shards, and
+//! aggregates `stats`. Clients speak the identical protocol to either;
+//! see `docs/PROTOCOL.md` for the wire format and `docs/ARCHITECTURE.md`
+//! for the topology.
 
 use antlayer_aco::AcoParams;
 use antlayer_datasets::{att_like_graph, GraphSuite, Table};
 use antlayer_graph::io::{dot, gml};
 use antlayer_graph::DiGraph;
 use antlayer_layering::{LayeringAlgorithm, LayeringMetrics, WidthModel};
+use antlayer_router::{Router, RouterConfig};
 use antlayer_service::{AlgoSpec, SchedulerConfig, Server, ServerConfig};
 use antlayer_sugiyama::{draw, PipelineOptions, SvgOptions};
 use rand::rngs::StdRng;
@@ -66,6 +73,8 @@ usage:
   antlayer suite [--seed S] [--total N]
   antlayer serve [--addr HOST:PORT] [--threads N] [--cache-cap N]
                  [--queue-cap N] [--shards N] [--max-conns N]
+  antlayer route --shards HOST:PORT,HOST:PORT[,...] [--addr HOST:PORT]
+                 [--vnodes N] [--probe-ms MS] [--max-conns N]
 algorithms: lpl, lpl-pl, minwidth, minwidth-pl, cg, ns, aco (default)
 threads: colony worker threads, 0 = all available (results are
 thread-count independent)
@@ -143,6 +152,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "gen" => cmd_gen(rest),
         "suite" => cmd_suite(rest),
         "serve" => cmd_serve(rest),
+        "route" => cmd_route(rest),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -443,6 +453,43 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         server.scheduler().threads()
     );
     server.run();
+    Ok(())
+}
+
+fn cmd_route(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["addr", "shards", "vnodes", "probe-ms", "max-conns"])?;
+    let shards: Vec<String> = flags
+        .get("shards")
+        .ok_or("route: --shards host:port,host:port[,...] is required")?
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if shards.is_empty() {
+        return Err("route: --shards must name at least one backend".into());
+    }
+    let base = RouterConfig::default();
+    let config = RouterConfig {
+        addr: flags.get("addr").unwrap_or("127.0.0.1:4700").to_string(),
+        shards,
+        vnodes: flags.get_parsed("vnodes", base.vnodes)?,
+        probe_interval: std::time::Duration::from_millis(
+            flags.get_parsed("probe-ms", base.probe_interval.as_millis() as u64)?,
+        ),
+        max_connections: flags.get_parsed("max-conns", base.max_connections)?,
+        ..base
+    };
+    let n_shards = config.shards.len();
+    let shard_list = config.shards.join(", ");
+    let router = Router::bind(config).map_err(|e| format!("route: bind failed: {e}"))?;
+    let addr = router
+        .local_addr()
+        .map_err(|e| format!("route: local addr: {e}"))?;
+    eprintln!(
+        "antlayer route: listening on {addr}, hashing across {n_shards} shard(s): {shard_list}"
+    );
+    router.run();
     Ok(())
 }
 

@@ -179,3 +179,82 @@ fn missing_file_fails_cleanly() {
         .unwrap();
     assert!(!out.status.success());
 }
+
+#[test]
+fn route_requires_shards() {
+    let out = antlayer().arg("route").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--shards"), "{err}");
+}
+
+#[test]
+fn route_fronts_a_real_shard_process() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Duration;
+
+    // A real in-process shard server plus the `antlayer route` binary in
+    // front of it, end to end over loopback.
+    let shard = antlayer_service::Server::bind(antlayer_service::ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        scheduler: antlayer_service::SchedulerConfig {
+            threads: 2,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+    .unwrap()
+    .spawn()
+    .unwrap();
+
+    // Reserve a free port for the router (bind-then-drop; the race
+    // window on loopback is negligible for a smoke test).
+    let router_addr = {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let mut router = antlayer()
+        .args([
+            "route",
+            "--shards",
+            &shard.addr().to_string(),
+            "--addr",
+            &router_addr,
+        ])
+        .spawn()
+        .expect("route process starts");
+
+    // Wait for the router to accept, then ping + layout through it.
+    let mut attempt = 0;
+    let stream = loop {
+        match TcpStream::connect(&router_addr) {
+            Ok(s) => break s,
+            Err(e) => {
+                attempt += 1;
+                assert!(attempt < 100, "router never came up: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    };
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut send = |line: &str| -> String {
+        let mut s = stream.try_clone().unwrap();
+        writeln!(s, "{line}").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        reply
+    };
+    let pong = send(r#"{"op":"ping"}"#);
+    assert!(pong.contains("\"router\":true"), "{pong}");
+    let layout = send(r#"{"op":"layout","nodes":3,"edges":[[0,1],[1,2]],"ants":2,"tours":2}"#);
+    assert!(layout.contains("\"ok\":true"), "{layout}");
+    assert!(layout.contains("\"source\":\"computed\""), "{layout}");
+
+    router.kill().unwrap();
+    let _ = router.wait();
+    shard.shutdown();
+}

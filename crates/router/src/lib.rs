@@ -1,0 +1,673 @@
+//! # antlayer-router
+//!
+//! The horizontal-scaling tier of the serving subsystem: a thin TCP
+//! front that consistent-hashes request digests across N backend
+//! `antlayer serve` processes, so the canonical-digest cache (and the
+//! warm-start edit chains built on it) scale past one machine's memory.
+//!
+//! ```text
+//! clients ──► Router ──ring(digest.lo)──► shard 0   (antlayer serve)
+//!                    ├──────────────────► shard 1   (antlayer serve)
+//!                    └──────────────────► shard N-1 (antlayer serve)
+//! ```
+//!
+//! Clients speak the exact same newline-delimited JSON protocol to the
+//! router that they would speak to a single server (`docs/PROTOCOL.md`);
+//! the router parses each request line just enough to pick a routing
+//! key, forwards the original line verbatim, and relays the shard's
+//! reply:
+//!
+//! * `layout` routes by the request's canonical digest, so identical
+//!   requests always land on the same shard — fleet-wide hit rate
+//!   matches one big process;
+//! * `layout_delta` routes by the **base** digest: the cached entry
+//!   being warm-started lives where the base was served. Because a
+//!   delta's *result* is cached on the shard that served it (under the
+//!   edited request's digest, whose ring owner is usually a different
+//!   shard), the router keeps a bounded digest→shard override map: each
+//!   successful delta records where its result actually lives, and later
+//!   requests naming that digest are routed there first — so an edit
+//!   chain stays pinned to one shard and stays warm. If the base's
+//!   shard is down (or the entry was evicted), the shard that receives
+//!   the rehashed request answers `base not found` and the client falls
+//!   back to one full `layout` — the recovery the protocol already
+//!   specifies;
+//! * `stats` fans out to every shard and aggregates the counters
+//!   (plus router-level forwarding/failover counters and per-shard
+//!   health);
+//! * `ping` is answered locally.
+//!
+//! **Failover**: a connect or I/O failure marks the shard down and the
+//! request immediately rehashes to the next ring candidate (the
+//! consistent-hash ring guarantees only the down shard's keys move).
+//! Requests are idempotent — a layout is a pure function of its digest —
+//! so retrying a half-exchanged line on another shard is always safe.
+//! A background probe pings down shards every
+//! [`RouterConfig::probe_interval`] and returns them to rotation.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use antlayer_router::{Router, RouterConfig};
+//!
+//! let router = Router::bind(RouterConfig {
+//!     addr: "127.0.0.1:4700".into(),
+//!     shards: vec!["127.0.0.1:4617".into(), "127.0.0.1:4618".into()],
+//!     ..Default::default()
+//! })
+//! .unwrap();
+//! router.run(); // or .spawn() for a background handle
+//! ```
+//!
+//! Or from the CLI: `antlayer route --shards 127.0.0.1:4617,127.0.0.1:4618`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use antlayer_service::cache::ShardedCache;
+use antlayer_service::digest::Digest;
+use antlayer_service::protocol::{self, Json, Request};
+use antlayer_service::router::{HashRing, LineConn, ShardHealth};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Router tuning knobs.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Address to bind, e.g. `127.0.0.1:4700` (port 0 picks a free one).
+    pub addr: String,
+    /// Backend `antlayer serve` addresses, in ring order. Must be
+    /// non-empty; the shard *index* in this list is its ring identity,
+    /// so keep the order stable across router restarts.
+    pub shards: Vec<String>,
+    /// Virtual nodes per shard on the hash ring (balance knob).
+    pub vnodes: usize,
+    /// Maximum concurrently served client connections.
+    pub max_connections: usize,
+    /// Connect timeout for shard connections.
+    pub connect_timeout: Duration,
+    /// Reply timeout for forwarded requests. A shard that accepts the
+    /// connection but never answers (deadlock, SIGSTOP) would otherwise
+    /// hang its clients forever *and* never be failed over — the
+    /// timeout turns a hung shard into an I/O failure, i.e. mark-down
+    /// plus rehash. Generous by default (well above any admissible
+    /// compute: the wire-level work caps bound a single request), so a
+    /// merely busy shard is not misdiagnosed as dead.
+    pub io_timeout: Duration,
+    /// How often the background probe re-checks down shards.
+    pub probe_interval: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:4700".into(),
+            shards: Vec::new(),
+            vnodes: 64,
+            max_connections: 128,
+            connect_timeout: Duration::from_secs(1),
+            io_timeout: Duration::from_secs(120),
+            probe_interval: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Router-level counters (shard traffic lives in [`ShardHealth`]).
+#[derive(Default)]
+struct RouterCounters {
+    /// Requests forwarded to a shard and answered.
+    forwarded: AtomicU64,
+    /// Requests that succeeded on a non-owner shard (failover rehash).
+    rerouted: AtomicU64,
+    /// Requests that failed because every shard was unreachable.
+    unroutable: AtomicU64,
+}
+
+/// Shared state of a running router.
+struct RouterState {
+    ring: HashRing,
+    shards: Vec<ShardHealth>,
+    counters: RouterCounters,
+    connect_timeout: Duration,
+    io_timeout: Duration,
+    /// Digest → shard overrides for entries that live off their ring
+    /// owner: a `layout_delta` result is cached on the shard that served
+    /// it (the *base*'s shard), not on the edited digest's ring owner,
+    /// and a failed-over `layout` is cached wherever it rehashed to.
+    /// Recording where such results actually live keeps edit chains
+    /// warm and pinned to one shard. Bounded LRU (an eviction merely
+    /// costs one recompute); per-router state, so a second router
+    /// rediscovers homes through `base not found` fallbacks.
+    homes: ShardedCache<usize>,
+}
+
+/// Live client connections, registered so shutdown can sever them.
+#[derive(Default)]
+struct ConnRegistry {
+    streams: Mutex<HashMap<u64, TcpStream>>,
+    next_id: AtomicU64,
+}
+
+impl ConnRegistry {
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.streams.lock().insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.streams.lock().remove(&id);
+    }
+
+    fn sever_all(&self) {
+        for (_, stream) in self.streams.lock().drain() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// A bound, not-yet-running router.
+pub struct Router {
+    listener: TcpListener,
+    state: Arc<RouterState>,
+    config: RouterConfig,
+    shutdown: Arc<AtomicBool>,
+    connections: Arc<AtomicUsize>,
+    registry: Arc<ConnRegistry>,
+}
+
+/// Handle to a router running on background threads; dropping it shuts
+/// the router (and its probe thread) down.
+pub struct RouterHandle {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    registry: Arc<ConnRegistry>,
+    accept_thread: Option<JoinHandle<()>>,
+    probe_thread: Option<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Binds the configured address. Fails on an empty shard list — a
+    /// router with nothing behind it can serve nothing.
+    pub fn bind(config: RouterConfig) -> std::io::Result<Router> {
+        if config.shards.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "router needs at least one --shards backend",
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let state = Arc::new(RouterState {
+            ring: HashRing::new(config.shards.len(), config.vnodes),
+            shards: config
+                .shards
+                .iter()
+                .cloned()
+                .map(ShardHealth::new)
+                .collect(),
+            counters: RouterCounters::default(),
+            connect_timeout: config.connect_timeout,
+            io_timeout: config.io_timeout,
+            // ~3 MB worst case: a u128 key and a shard index per entry.
+            homes: ShardedCache::new(65_536, 8),
+        });
+        Ok(Router {
+            listener,
+            state,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            connections: Arc::new(AtomicUsize::new(0)),
+            registry: Arc::new(ConnRegistry::default()),
+        })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The consistent-hash ring in use (for tests and observability:
+    /// `ring().owner(digest.lo)` is the shard a request lands on while
+    /// every shard is up).
+    pub fn ring(&self) -> &HashRing {
+        &self.state.ring
+    }
+
+    /// Runs the router on the calling thread until shutdown: starts the
+    /// background reconnect probe, then serves the accept loop.
+    pub fn run(self) {
+        // Without the probe, down shards would stay down forever; if the
+        // thread cannot even be spawned the router still serves, merely
+        // without automatic recovery.
+        let _probe = spawn_probe(
+            self.state.clone(),
+            self.shutdown.clone(),
+            self.config.probe_interval,
+        );
+        self.run_accept_loop();
+    }
+
+    fn run_accept_loop(&self) {
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let _ = stream.set_nodelay(true);
+            let active = self.connections.fetch_add(1, Ordering::AcqRel) + 1;
+            if active > self.config.max_connections {
+                self.connections.fetch_sub(1, Ordering::AcqRel);
+                let mut w = BufWriter::new(&stream);
+                let _ = writeln!(
+                    w,
+                    "{}",
+                    protocol::encode_error(&format!(
+                        "overloaded: {active} connections (cap {})",
+                        self.config.max_connections
+                    ))
+                );
+                let _ = w.flush();
+                let _ = stream.shutdown(Shutdown::Both);
+                continue;
+            }
+            let state = self.state.clone();
+            let connections = self.connections.clone();
+            let registry = self.registry.clone();
+            // Register on the accept thread, not the handler: by the
+            // time shutdown has joined this loop, every accepted
+            // connection is in the registry, so sever_all cannot miss
+            // one that a handler thread had not registered yet.
+            let id = registry.register(&stream);
+            std::thread::spawn(move || {
+                handle_client(stream, &state);
+                if let Some(id) = id {
+                    registry.deregister(id);
+                }
+                connections.fetch_sub(1, Ordering::AcqRel);
+            });
+        }
+    }
+
+    /// Runs the router on background threads (accept loop + reconnect
+    /// probe) and returns a handle.
+    pub fn spawn(self) -> std::io::Result<RouterHandle> {
+        let addr = self.local_addr()?;
+        let shutdown = self.shutdown.clone();
+        let registry = self.registry.clone();
+        let probe_thread = Some(spawn_probe(
+            self.state.clone(),
+            self.shutdown.clone(),
+            self.config.probe_interval,
+        )?);
+        let accept_thread = Some(
+            std::thread::Builder::new()
+                .name("antlayer-route-accept".into())
+                .spawn(move || self.run_accept_loop())?,
+        );
+        Ok(RouterHandle {
+            addr,
+            shutdown,
+            registry,
+            accept_thread,
+            probe_thread,
+        })
+    }
+}
+
+impl RouterHandle {
+    /// The router's address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and probe thread, severs live client
+    /// connections, and joins both threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.accept_thread.is_none() {
+            return;
+        }
+        self.shutdown.store(true, Ordering::Release);
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.probe_thread.take() {
+            let _ = t.join();
+        }
+        self.registry.sever_all();
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Starts the reconnect probe: every `interval`, each down shard gets a
+/// fresh connection and a `ping`; success returns it to rotation. The
+/// sleep is chopped into short slices so shutdown is prompt.
+fn spawn_probe(
+    state: Arc<RouterState>,
+    shutdown: Arc<AtomicBool>,
+    interval: Duration,
+) -> std::io::Result<JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name("antlayer-route-probe".into())
+        .spawn(move || {
+            let slice = Duration::from_millis(20).min(interval);
+            let mut slept = Duration::ZERO;
+            loop {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(slice);
+                slept += slice;
+                if slept < interval {
+                    continue;
+                }
+                slept = Duration::ZERO;
+                for shard in state.shards.iter().filter(|s| !s.is_up()) {
+                    let ok = LineConn::connect(&shard.addr, state.connect_timeout)
+                        .and_then(|mut conn| {
+                            conn.set_read_timeout(Some(state.connect_timeout))?;
+                            conn.exchange(r#"{"op":"ping"}"#)
+                        })
+                        .map(|reply| reply.contains("\"ok\":true"))
+                        .unwrap_or(false);
+                    if ok {
+                        shard.mark_up();
+                    }
+                }
+            }
+        })
+}
+
+/// Longest accepted client request line; matches the shard server's cap.
+const MAX_LINE_BYTES: u64 = 64 * 1024 * 1024;
+
+fn handle_client(stream: TcpStream, state: &RouterState) {
+    let mut reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = BufWriter::new(stream);
+    // Per-handler shard connection pool: one connection per shard this
+    // client's traffic has touched, so a request/reply pair is never
+    // interleaved with another client's.
+    let mut conns: Vec<Option<LineConn>> = state.shards.iter().map(|_| None).collect();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match (&mut reader).take(MAX_LINE_BYTES).read_line(&mut line) {
+            Ok(0) => break, // clean EOF
+            Ok(n) => {
+                if n as u64 >= MAX_LINE_BYTES && !line.ends_with('\n') {
+                    let _ = writeln!(
+                        writer,
+                        "{}",
+                        protocol::encode_error(&format!(
+                            "request line exceeds {MAX_LINE_BYTES} bytes"
+                        ))
+                    );
+                    let _ = writer.flush();
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = route_line(line.trim_end(), state, &mut conns);
+        if writeln!(writer, "{reply}")
+            .and_then(|_| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+}
+
+/// Computes the response line for one client line: parse just enough to
+/// route, then forward the original bytes.
+fn route_line(line: &str, state: &RouterState, conns: &mut [Option<LineConn>]) -> String {
+    match protocol::parse_request(line) {
+        Err(e) => protocol::encode_error(&e),
+        Ok(Request::Ping) => {
+            let mut obj = BTreeMap::new();
+            obj.insert("ok".into(), Json::Bool(true));
+            obj.insert("op".into(), Json::Str("ping".into()));
+            obj.insert("router".into(), Json::Bool(true));
+            Json::Obj(obj).encode()
+        }
+        Ok(Request::Stats) => stats_fanout(state, conns),
+        Ok(Request::Layout(req)) => forward(state, conns, line, req.digest(), false),
+        Ok(Request::LayoutDelta(req)) => forward(state, conns, line, req.base, true),
+    }
+}
+
+/// Forwards `line` to the shard where `digest`'s cache entry lives — the
+/// recorded home if one exists, otherwise the ring owner — rehashing
+/// down the ring's candidate order past unreachable shards. A failed
+/// exchange marks the shard down; one reconnect is attempted first in
+/// case only the pooled connection was stale (idle timeout, shard
+/// restart). Retrying a half-exchanged line elsewhere is safe: layouts
+/// are pure functions of their digest.
+fn forward(
+    state: &RouterState,
+    conns: &mut [Option<LineConn>],
+    line: &str,
+    digest: Digest,
+    is_delta: bool,
+) -> String {
+    let home = state.homes.peek(digest).filter(|&s| s < state.shards.len());
+    let order = home.into_iter().chain(
+        state
+            .ring
+            .candidates(digest.lo)
+            .filter(|&s| Some(s) != home),
+    );
+    for (hop, shard) in order.enumerate() {
+        let health = &state.shards[shard];
+        if !health.is_up() {
+            continue; // the probe thread owns recovery
+        }
+        match exchange_on(conns, shard, &health.addr, state, line) {
+            Ok(reply) => {
+                health.count_forwarded();
+                state.counters.forwarded.fetch_add(1, Ordering::Relaxed);
+                if hop > 0 {
+                    state.counters.rerouted.fetch_add(1, Ordering::Relaxed);
+                }
+                record_result_home(state, shard, digest, is_delta, &reply);
+                return reply;
+            }
+            Err(_) => health.mark_down(),
+        }
+    }
+    state.counters.unroutable.fetch_add(1, Ordering::Relaxed);
+    protocol::encode_error(&format!(
+        "no shards available: all {} backends are down",
+        state.shards.len()
+    ))
+}
+
+/// Records where a successfully served result actually lives when that
+/// differs from its digest's ring owner, so later requests naming the
+/// digest route straight to the cache entry:
+///
+/// * a `layout_delta` result is cached under the *edited* request's
+///   digest (taken from the reply) on the shard that held the base —
+///   recording it is what keeps an edit chain warm and on one shard;
+/// * a failed-over `layout` is cached wherever it rehashed to.
+///
+/// Deadline-truncated results are never cached by the shard, so they
+/// never earn a home entry either.
+fn record_result_home(
+    state: &RouterState,
+    shard: usize,
+    request_digest: Digest,
+    is_delta: bool,
+    reply: &str,
+) {
+    // The wire encoding is canonical (our own encoder, escaped strings),
+    // so these substring probes cannot false-positive inside a value.
+    if !reply.contains("\"ok\":true") || reply.contains("\"stopped_early\":true") {
+        return;
+    }
+    if is_delta {
+        let Ok(v) = protocol::parse(reply) else {
+            return;
+        };
+        let Some(d) = v
+            .get("digest")
+            .and_then(Json::as_str)
+            .and_then(Digest::from_hex)
+        else {
+            return;
+        };
+        if state.ring.owner(d.lo) != shard {
+            state.homes.insert(d, shard);
+        }
+    } else if state.ring.owner(request_digest.lo) != shard {
+        state.homes.insert(request_digest, shard);
+    }
+}
+
+/// One exchange on the handler's pooled connection to `shard`,
+/// reconnecting once if the pooled connection turns out to be dead.
+/// On error the pool slot is left empty.
+fn exchange_on(
+    conns: &mut [Option<LineConn>],
+    shard: usize,
+    addr: &str,
+    state: &RouterState,
+    line: &str,
+) -> std::io::Result<String> {
+    let had_pooled = conns[shard].is_some();
+    if had_pooled {
+        if let Ok(reply) = conns[shard].as_mut().expect("just checked").exchange(line) {
+            return Ok(reply);
+        }
+        // Stale pooled connection: fall through to a fresh connect. A
+        // request/reply is all-or-nothing on a shard (layouts are pure
+        // functions of the digest), so re-sending is safe.
+        conns[shard] = None;
+    }
+    let mut fresh = LineConn::connect(addr, state.connect_timeout)?;
+    fresh.set_read_timeout(Some(state.io_timeout))?;
+    let reply = fresh.exchange(line)?;
+    conns[shard] = Some(fresh);
+    Ok(reply)
+}
+
+/// Fans `{"op":"stats"}` out to every shard and aggregates: every
+/// numeric counter in the shard replies is summed field-by-field (so new
+/// server counters aggregate without touching the router), plus
+/// router-level counters and a `per_shard` health/traffic array.
+fn stats_fanout(state: &RouterState, conns: &mut [Option<LineConn>]) -> String {
+    let mut sums: BTreeMap<String, f64> = BTreeMap::new();
+    let mut per_shard = Vec::with_capacity(state.shards.len());
+    let mut shards_up = 0usize;
+    for (i, health) in state.shards.iter().enumerate() {
+        let mut entry = BTreeMap::new();
+        entry.insert("addr".into(), Json::Str(health.addr.clone()));
+        entry.insert("forwarded".into(), Json::Num(health.forwarded() as f64));
+        entry.insert("failures".into(), Json::Num(health.failures() as f64));
+        let reply = if health.is_up() {
+            exchange_on(conns, i, &health.addr, state, r#"{"op":"stats"}"#)
+                .ok()
+                .and_then(|r| protocol::parse(&r).ok())
+        } else {
+            None
+        };
+        match reply {
+            Some(Json::Obj(members)) => {
+                shards_up += 1;
+                entry.insert("up".into(), Json::Bool(true));
+                for (k, v) in members {
+                    if let Json::Num(n) = v {
+                        *sums.entry(k).or_insert(0.0) += n;
+                    }
+                }
+            }
+            _ => {
+                health.mark_down();
+                entry.insert("up".into(), Json::Bool(false));
+                if let Some(d) = health.down_for() {
+                    entry.insert("down_ms".into(), Json::Num(d.as_millis() as f64));
+                }
+            }
+        }
+        per_shard.push(Json::Obj(entry));
+    }
+    // Summed shard counters go in first; every router-owned key is
+    // inserted *after*, so a future shard counter that happens to share
+    // a name (say the server grows a numeric "shards" stat) can never
+    // clobber the router's health fields — the router's value wins.
+    let mut obj = BTreeMap::new();
+    for (k, v) in sums {
+        obj.insert(k, Json::Num(v));
+    }
+    obj.insert("ok".into(), Json::Bool(true));
+    obj.insert("op".into(), Json::Str("stats".into()));
+    obj.insert("router".into(), Json::Bool(true));
+    obj.insert("shards".into(), Json::Num(state.shards.len() as f64));
+    obj.insert("shards_up".into(), Json::Num(shards_up as f64));
+    let c = &state.counters;
+    obj.insert(
+        "router_forwarded".into(),
+        Json::Num(c.forwarded.load(Ordering::Relaxed) as f64),
+    );
+    obj.insert(
+        "router_rerouted".into(),
+        Json::Num(c.rerouted.load(Ordering::Relaxed) as f64),
+    );
+    obj.insert(
+        "router_unroutable".into(),
+        Json::Num(c.unroutable.load(Ordering::Relaxed) as f64),
+    );
+    obj.insert("per_shard".into(), Json::Arr(per_shard));
+    Json::Obj(obj).encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_rejects_empty_shard_list() {
+        let err = Router::bind(RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            ..Default::default()
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn ring_matches_config_shape() {
+        let router = Router::bind(RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()],
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(router.ring().shards(), 2);
+    }
+}

@@ -1,0 +1,391 @@
+//! End-to-end tests of the sharded topology: a real `Router` in front of
+//! real in-process `antlayer serve` shard servers, driven over loopback
+//! TCP with the production wire protocol.
+
+use antlayer_aco::AcoParams;
+use antlayer_graph::{generate, DiGraph};
+use antlayer_router::{Router, RouterConfig};
+use antlayer_service::protocol::{parse, Json};
+use antlayer_service::{
+    AlgoSpec, LayoutRequest, Scheduler, SchedulerConfig, Server, ServerConfig, ServerHandle,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn spawn_shard() -> ServerHandle {
+    Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        scheduler: SchedulerConfig {
+            threads: 2,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+    .unwrap()
+    .spawn()
+    .unwrap()
+}
+
+fn spawn_fleet(shards: usize) -> (Vec<ServerHandle>, Router) {
+    let handles: Vec<ServerHandle> = (0..shards).map(|_| spawn_shard()).collect();
+    let config = RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: handles.iter().map(|h| h.addr().to_string()).collect(),
+        probe_interval: Duration::from_millis(50),
+        ..Default::default()
+    };
+    let router = Router::bind(config).unwrap();
+    (handles, router)
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) -> Json {
+        writeln!(self.writer, "{line}").unwrap();
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).unwrap();
+        parse(reply.trim_end()).unwrap()
+    }
+}
+
+/// A small distinct layout request line per seed (and the matching
+/// in-process request, for digest/owner computations).
+fn layout_line(seed: u64) -> String {
+    let g = test_graph(seed);
+    let edges: Vec<String> = g
+        .edges()
+        .map(|(u, v)| format!("[{},{}]", u.index(), v.index()))
+        .collect();
+    format!(
+        r#"{{"op":"layout","algo":"aco","nodes":{},"edges":[{}],"ants":3,"tours":3,"seed":1}}"#,
+        g.node_count(),
+        edges.join(",")
+    )
+}
+
+fn test_graph(seed: u64) -> DiGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate::random_dag_with_edges(16, 24, &mut rng).into_graph()
+}
+
+fn request_for(seed: u64) -> LayoutRequest {
+    let mut req = LayoutRequest::new(
+        test_graph(seed),
+        AlgoSpec::Aco(AcoParams::default().with_colony(3, 3).with_seed(1)),
+    );
+    req.nd_width = 1.0;
+    req
+}
+
+fn stat(v: &Json, key: &str) -> u64 {
+    v.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+#[test]
+fn sharded_hit_rate_matches_single_process_on_replayed_workload() {
+    // The acceptance scenario: the same replayed workload (10 distinct
+    // requests, 3x each) against one big process and against a 2-shard
+    // fleet must produce the same computed/hit split — identical
+    // requests hash to the same shard, so sharding never costs hits.
+    let workload: Vec<String> = (0..30).map(|i| layout_line(i % 10)).collect();
+
+    // Single process, driven in-process through the scheduler.
+    let single = Scheduler::new(SchedulerConfig {
+        threads: 2,
+        ..Default::default()
+    });
+    for i in 0..30u64 {
+        single.submit(request_for(i % 10)).unwrap().wait().unwrap();
+    }
+    let single_counters = single.counters();
+    assert_eq!(single_counters.computed, 10);
+    assert_eq!(single_counters.cache.hits, 20);
+
+    // The same workload through a router over 2 shards.
+    let (shards, router) = spawn_fleet(2);
+    let handle = router.spawn().unwrap();
+    let mut client = Client::connect(handle.addr());
+    for line in &workload {
+        let v = client.send(line);
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{}", v.encode());
+    }
+    let stats = client.send(r#"{"op":"stats"}"#);
+    assert_eq!(stats.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(stat(&stats, "shards"), 2);
+    assert_eq!(stat(&stats, "shards_up"), 2);
+    assert_eq!(
+        stat(&stats, "computed"),
+        single_counters.computed,
+        "sharding must not split identical digests across shards"
+    );
+    assert_eq!(stat(&stats, "cache_hits"), single_counters.cache.hits);
+    assert_eq!(stat(&stats, "router_forwarded"), 30);
+    assert_eq!(stat(&stats, "router_rerouted"), 0);
+
+    // Both shards actually took traffic (the ring spreads 10 digests).
+    let Some(Json::Arr(per_shard)) = stats.get("per_shard") else {
+        panic!("stats must carry per_shard");
+    };
+    assert_eq!(per_shard.len(), 2);
+    for entry in per_shard {
+        assert_eq!(entry.get("up"), Some(&Json::Bool(true)));
+        assert!(
+            stat(entry, "forwarded") > 0,
+            "idle shard in a 10-digest workload"
+        );
+    }
+
+    handle.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn identical_requests_route_to_the_ring_owner() {
+    // The router's observable routing invariant: the shard that computed
+    // a request is the ring owner of its digest.
+    let (shards, router) = spawn_fleet(3);
+    let owner_of: Vec<usize> = (0..6)
+        .map(|i| router.ring().owner(request_for(i).digest().lo))
+        .collect();
+    let handle = router.spawn().unwrap();
+    let mut client = Client::connect(handle.addr());
+    for i in 0..6u64 {
+        let v = client.send(&layout_line(i));
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    }
+    let stats = client.send(r#"{"op":"stats"}"#);
+    let Some(Json::Arr(per_shard)) = stats.get("per_shard") else {
+        panic!("stats must carry per_shard");
+    };
+    for (shard, entry) in per_shard.iter().enumerate() {
+        let expected = owner_of.iter().filter(|&&o| o == shard).count() as u64;
+        assert_eq!(
+            stat(entry, "forwarded"),
+            expected,
+            "shard {shard} traffic does not match ring ownership"
+        );
+    }
+    handle.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn killing_a_shard_degrades_to_rehash_and_recompute_with_zero_failures() {
+    let (mut shards, router) = spawn_fleet(3);
+    let handle = router.spawn().unwrap();
+    let mut client = Client::connect(handle.addr());
+
+    // Warm all three shards.
+    for i in 0..9u64 {
+        let v = client.send(&layout_line(i));
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    // Kill shard 1: accept loop stopped AND live connections severed.
+    shards.remove(1).shutdown();
+
+    // Replay the whole workload plus fresh requests: every single one
+    // must succeed. Requests owned by the dead shard rehash to the next
+    // ring candidate and recompute there (cache miss, not failure).
+    for i in 0..12u64 {
+        let v = client.send(&layout_line(i));
+        assert_eq!(
+            v.get("ok"),
+            Some(&Json::Bool(true)),
+            "request {i} failed after shard kill: {}",
+            v.encode()
+        );
+    }
+    let stats = client.send(r#"{"op":"stats"}"#);
+    assert_eq!(
+        stat(&stats, "shards_up"),
+        2,
+        "dead shard must be marked down"
+    );
+    assert_eq!(stat(&stats, "router_unroutable"), 0);
+    assert!(
+        stat(&stats, "router_rerouted") > 0,
+        "the dead shard's keys must have rehashed somewhere"
+    );
+
+    handle.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn base_not_found_after_shard_kill_reroutes_via_full_layout() {
+    // The edit-chain survival story (and the regression test for the
+    // client fallback): the base digest's shard dies, the rehashed
+    // `layout_delta` answers `base not found`, the client re-sends one
+    // full `layout`, and the chain continues warm on the new shard.
+    let (mut shards, router) = spawn_fleet(2);
+
+    // Find which shard owns the base request's digest so the kill is
+    // deterministic, not a coin flip.
+    let base_request = request_for(99);
+    let owner = router.ring().owner(base_request.digest().lo);
+
+    let handle = router.spawn().unwrap();
+    let mut client = Client::connect(handle.addr());
+
+    let first = client.send(&layout_line(99));
+    assert_eq!(first.get("ok"), Some(&Json::Bool(true)));
+    let digest = first
+        .get("digest")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+
+    // Kill the owning shard. The cached base dies with it.
+    shards.remove(owner).shutdown();
+
+    // The delta routes by the base digest, rehashes to the surviving
+    // shard, and that shard has never seen the base.
+    let delta = format!(
+        r#"{{"op":"layout_delta","base":"{digest}","add":[[0,15]],"algo":"aco","ants":3,"tours":3,"seed":1}}"#
+    );
+    let err = client.send(&delta);
+    assert_eq!(err.get("ok"), Some(&Json::Bool(false)));
+    assert!(
+        err.get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("base not found"),
+        "{}",
+        err.encode()
+    );
+
+    // Client fallback: one full layout re-establishes the base on the
+    // surviving shard…
+    let refetched = client.send(&layout_line(99));
+    assert_eq!(refetched.get("ok"), Some(&Json::Bool(true)));
+    let new_digest = refetched
+        .get("digest")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    assert_eq!(new_digest, digest, "same request, same canonical digest");
+
+    // …and the retried delta now warm-starts from it.
+    let warm = client.send(&delta);
+    assert_eq!(warm.get("ok"), Some(&Json::Bool(true)), "{}", warm.encode());
+    assert_eq!(warm.get("source").and_then(Json::as_str), Some("warm"));
+    assert_eq!(warm.get("seeded"), Some(&Json::Bool(true)));
+
+    handle.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn probe_returns_a_recovered_shard_to_rotation() {
+    let (mut shards, router) = spawn_fleet(2);
+    let handle = router.spawn().unwrap();
+    let mut client = Client::connect(handle.addr());
+
+    // Kill shard 0 and make the router notice (first request rehashes).
+    let dead_addr = shards[0].addr();
+    shards.remove(0).shutdown();
+    for i in 0..4u64 {
+        let v = client.send(&layout_line(i));
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    }
+    let stats = client.send(r#"{"op":"stats"}"#);
+    assert_eq!(stat(&stats, "shards_up"), 1);
+
+    // Restart a shard on the same port; the probe (50 ms interval)
+    // must bring it back within the deadline.
+    let revived = Server::bind(ServerConfig {
+        addr: dead_addr.to_string(),
+        scheduler: SchedulerConfig {
+            threads: 2,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+    .expect("rebinding the freed port")
+    .spawn()
+    .unwrap();
+    shards.push(revived);
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = client.send(r#"{"op":"stats"}"#);
+        if stat(&stats, "shards_up") == 2 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "probe did not recover the shard within 10 s"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    handle.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn all_shards_down_yields_a_structured_error_not_a_hang() {
+    let (shards, router) = spawn_fleet(2);
+    let handle = router.spawn().unwrap();
+    let mut client = Client::connect(handle.addr());
+    for s in shards {
+        s.shutdown();
+    }
+    let v = client.send(&layout_line(0));
+    assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
+    assert!(v
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("no shards available"));
+    // Ping is still answered locally.
+    let pong = client.send(r#"{"op":"ping"}"#);
+    assert_eq!(pong.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(pong.get("router"), Some(&Json::Bool(true)));
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_lines_are_answered_locally_and_the_connection_survives() {
+    let (shards, router) = spawn_fleet(2);
+    let handle = router.spawn().unwrap();
+    let mut client = Client::connect(handle.addr());
+    let err = client.send("definitely not json");
+    assert_eq!(err.get("ok"), Some(&Json::Bool(false)));
+    let v = client.send(&layout_line(3));
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    handle.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}

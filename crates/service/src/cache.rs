@@ -155,6 +155,19 @@ impl<V: Clone> LruShard<V> {
 
 /// The sharded cache. `V` is cheaply cloneable (the scheduler stores
 /// `Arc`ed results).
+///
+/// # Examples
+///
+/// ```
+/// use antlayer_service::{Digest, ShardedCache};
+///
+/// let cache: ShardedCache<&str> = ShardedCache::new(1024, 8);
+/// let key = Digest { hi: 7, lo: 9 };
+/// assert_eq!(cache.get(key), None);
+/// cache.insert(key, "layering bits");
+/// assert_eq!(cache.get(key), Some("layering bits"));
+/// assert_eq!(cache.counters().hits, 1);
+/// ```
 pub struct ShardedCache<V> {
     shards: Vec<Mutex<LruShard<V>>>,
     /// Power-of-two mask over the shard index bits.

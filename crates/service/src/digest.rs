@@ -26,6 +26,18 @@ use antlayer_layering::WidthModel;
 use std::fmt;
 
 /// A 128-bit content digest, printable as 32 hex digits.
+///
+/// # Examples
+///
+/// ```
+/// use antlayer_service::Digest;
+///
+/// let d = Digest { hi: 0x0123, lo: 0xabcd };
+/// let hex = d.to_string();
+/// assert_eq!(hex.len(), 32);
+/// assert_eq!(Digest::from_hex(&hex), Some(d)); // the wire round-trip
+/// assert_eq!(Digest::from_hex("not hex"), None);
+/// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct Digest {
     /// High 64 bits.
@@ -65,6 +77,20 @@ impl fmt::Display for Digest {
 /// multipliers and a xor-shift avalanche (the SplitMix64 finalizer), so
 /// the lanes never agree by construction; the house style favours this
 /// dependency-free scheme over pulling in a hashing crate.
+///
+/// # Examples
+///
+/// ```
+/// use antlayer_service::CanonicalHasher;
+///
+/// let digest_of = |text: &str| {
+///     let mut h = CanonicalHasher::new("example-v1");
+///     h.write_str(text);
+///     h.finish()
+/// };
+/// assert_eq!(digest_of("same input"), digest_of("same input"));
+/// assert_ne!(digest_of("same input"), digest_of("other input"));
+/// ```
 pub struct CanonicalHasher {
     a: u64,
     b: u64,
@@ -145,6 +171,28 @@ impl CanonicalHasher {
 pub const DIGEST_TAG: &str = "antlayer-digest-v1";
 
 /// Digest of a full layout request: graph + algorithm + width model.
+///
+/// # Examples
+///
+/// ```
+/// use antlayer_graph::DiGraph;
+/// use antlayer_layering::WidthModel;
+/// use antlayer_service::request_digest;
+///
+/// let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+/// let wm = WidthModel::unit();
+/// // Edge insertion order is canonicalized away…
+/// let reordered = DiGraph::from_edges(3, &[(1, 2), (0, 1)]).unwrap();
+/// assert_eq!(
+///     request_digest(&g, "lpl", None, &wm),
+///     request_digest(&reordered, "lpl", None, &wm)
+/// );
+/// // …but the algorithm is part of the identity.
+/// assert_ne!(
+///     request_digest(&g, "lpl", None, &wm),
+///     request_digest(&g, "ns", None, &wm)
+/// );
+/// ```
 pub fn request_digest(
     graph: &DiGraph,
     algo_canonical: &str,

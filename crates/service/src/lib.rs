@@ -14,6 +14,7 @@
 //! | memory | [`cache`] | sharded LRU [`ShardedCache`] with hit/miss/eviction counters |
 //! | compute | [`scheduler`] | [`Scheduler`]: digest dedup, admission control, deadline-bounded fan-out over the worker pool |
 //! | transport | [`protocol`], [`server`] | line-delimited JSON over TCP, [`Server`] + [`ServerHandle`] |
+//! | topology | [`router`] | consistent-hash [`HashRing`] + shard health, shared with the `antlayer-router` crate |
 //!
 //! Edits are first-class: a `layout_delta` request
 //! ([`DeltaRequest`]) carries the digest of a
@@ -60,6 +61,13 @@
 //! → {"op":"stats"}
 //! ← {"ok":true,"cache_hits":0,"computed":1,…}
 //! ```
+//!
+//! When one process's memory is not enough, run several `antlayer serve`
+//! shards behind `antlayer route`: the [`router`] module holds the
+//! consistent-hash ring and shard-health primitives, the
+//! `antlayer-router` crate the TCP front that uses them. Clients speak
+//! the exact same protocol to the router. The complete wire reference
+//! lives in `docs/PROTOCOL.md`, the design in `docs/ARCHITECTURE.md`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -67,11 +75,13 @@
 pub mod cache;
 pub mod digest;
 pub mod protocol;
+pub mod router;
 pub mod scheduler;
 pub mod server;
 
 pub use cache::{CacheCounters, ShardedCache};
 pub use digest::{request_digest, CanonicalHasher, Digest};
+pub use router::{HashRing, ShardHealth};
 pub use scheduler::{
     AlgoSpec, DeltaRequest, LayoutRequest, LayoutResponse, LayoutResult, Scheduler,
     SchedulerConfig, SchedulerCounters, ServiceError, Source, Ticket,

@@ -187,6 +187,18 @@ struct Parser<'a> {
 
 /// Parses one JSON value; trailing whitespace is allowed, trailing
 /// garbage is an error.
+///
+/// # Examples
+///
+/// ```
+/// use antlayer_service::protocol::{parse, Json};
+///
+/// let v = parse(r#"{"ok":true,"height":4}"#).unwrap();
+/// assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+/// assert_eq!(v.get("height").and_then(Json::as_u64), Some(4));
+/// assert_eq!(v.encode(), r#"{"height":4,"ok":true}"#); // canonical: keys sorted
+/// assert!(parse("{truncated").is_err());
+/// ```
 pub fn parse(input: &str) -> Result<Json, JsonError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
@@ -392,6 +404,19 @@ pub enum Request {
 }
 
 /// Decodes one request line.
+///
+/// # Examples
+///
+/// ```
+/// use antlayer_service::protocol::{parse_request, Request};
+///
+/// let line = r#"{"op":"layout","nodes":3,"edges":[[0,1],[1,2]]}"#;
+/// let Request::Layout(req) = parse_request(line).unwrap() else {
+///     panic!("expected a layout request");
+/// };
+/// assert_eq!(req.graph.node_count(), 3);
+/// assert!(parse_request(r#"{"op":"warp"}"#).is_err());
+/// ```
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let v = parse(line).map_err(|e| format!("bad JSON: {e}"))?;
     let op = v.get("op").and_then(Json::as_str).unwrap_or("layout");

@@ -1,0 +1,37 @@
+//! Shared building blocks of the sharded deployment: the consistent-hash
+//! [`ring`] that assigns digests to shards, and the [`shard`] client +
+//! health primitives the router forwards through.
+//!
+//! The topology they support (implemented by the `antlayer-router`
+//! crate, served by `antlayer route`):
+//!
+//! ```text
+//! clients ──► router ──ring(digest.lo)──► shard 0  (antlayer serve)
+//!                    └────────────────► shard 1  (antlayer serve)
+//!                    └────────────────► shard N-1
+//! ```
+//!
+//! Each shard is an unmodified single-process `antlayer serve`: it keeps
+//! its own cache, scheduler, and worker pool, and does not know it is
+//! part of a fleet. All sharding intelligence lives in front:
+//!
+//! * `layout` requests route by the request's canonical digest
+//!   ([`Digest.lo`](crate::digest::Digest) on the ring), so identical
+//!   requests always land on the same shard and the fleet-wide hit rate
+//!   matches one big process;
+//! * `layout_delta` requests route by the **base** digest — the entry
+//!   being warm-started lives where the base was cached, which also
+//!   keeps a whole edit chain on one shard;
+//! * `stats` fans out to every shard and aggregates the counters;
+//! * a connect or I/O failure marks the shard down and the request
+//!   rehashes to the next ring candidate (recompute, not failure);
+//!   a periodic probe brings recovered shards back.
+//!
+//! See `docs/ARCHITECTURE.md` for the full design and its invariants,
+//! and `docs/PROTOCOL.md` for what the wire looks like through a router.
+
+pub mod ring;
+pub mod shard;
+
+pub use ring::HashRing;
+pub use shard::{LineConn, ShardHealth, MAX_REPLY_BYTES};

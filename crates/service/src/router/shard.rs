@@ -1,0 +1,185 @@
+//! Shard backends as the router sees them: a line-delimited TCP client
+//! plus shared per-shard health state.
+//!
+//! Health is deliberately simple — a shard is **up** until a connect or
+//! I/O failure marks it **down**, and down until a reconnect probe (or a
+//! successful opportunistic reconnect) marks it up again. The router
+//! never queues for a down shard: requests rehash to the next ring
+//! candidate immediately, trading cache locality for availability.
+
+use parking_lot::Mutex;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Longest accepted reply line, matching the server's request-line cap:
+/// a forwarded response (the `layers` array of a million-node layout)
+/// can be tens of megabytes but must stay bounded.
+pub const MAX_REPLY_BYTES: u64 = 64 * 1024 * 1024;
+
+/// One line-delimited JSON exchange channel to a shard.
+///
+/// Not shared between threads: each router connection handler owns one
+/// `LineConn` per shard it has talked to, so a request/reply pair is
+/// never interleaved with another handler's traffic.
+pub struct LineConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl LineConn {
+    /// Connects with a bounded connect timeout and disables Nagle
+    /// (one-line requests and replies suffer the full 40 ms
+    /// delayed-ACK penalty otherwise).
+    pub fn connect(addr: &str, timeout: Duration) -> std::io::Result<LineConn> {
+        let mut last_err = None;
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    let reader = BufReader::new(stream.try_clone()?);
+                    return Ok(LineConn {
+                        reader,
+                        writer: stream,
+                    });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )
+        }))
+    }
+
+    /// Sets the read timeout for replies (None = block forever).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.writer.set_read_timeout(timeout)
+    }
+
+    /// Sends one request line, reads one reply line. Any error means the
+    /// connection is unusable (a half-read reply cannot be resynced) and
+    /// the caller should drop it.
+    pub fn exchange(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = (&mut self.reader)
+            .take(MAX_REPLY_BYTES)
+            .read_line(&mut reply)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "shard closed the connection",
+            ));
+        }
+        if n as u64 >= MAX_REPLY_BYTES && !reply.ends_with('\n') {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "shard reply exceeds the line cap",
+            ));
+        }
+        Ok(reply.trim_end().to_string())
+    }
+}
+
+/// Shared health + traffic counters of one shard.
+#[derive(Debug)]
+pub struct ShardHealth {
+    /// Backend address, e.g. `127.0.0.1:4617`.
+    pub addr: String,
+    up: AtomicBool,
+    down_since: Mutex<Option<Instant>>,
+    forwarded: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl ShardHealth {
+    /// A new shard, initially up (the first request finds out).
+    pub fn new(addr: String) -> ShardHealth {
+        ShardHealth {
+            addr,
+            up: AtomicBool::new(true),
+            down_since: Mutex::new(None),
+            forwarded: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the shard is currently considered reachable.
+    pub fn is_up(&self) -> bool {
+        self.up.load(Ordering::Acquire)
+    }
+
+    /// Records a connect/IO failure: the shard is down until a probe
+    /// succeeds. Idempotent; the first marker wins the `down_since`
+    /// timestamp.
+    pub fn mark_down(&self) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        if !self.up.swap(false, Ordering::AcqRel) {
+            return;
+        }
+        *self.down_since.lock() = Some(Instant::now());
+    }
+
+    /// Records a successful probe (or reconnect): the shard serves
+    /// traffic again.
+    pub fn mark_up(&self) {
+        self.up.store(true, Ordering::Release);
+        *self.down_since.lock() = None;
+    }
+
+    /// How long the shard has been down, if it is.
+    pub fn down_for(&self) -> Option<Duration> {
+        self.down_since.lock().map(|t| t.elapsed())
+    }
+
+    /// Counts one forwarded request.
+    pub fn count_forwarded(&self) {
+        self.forwarded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests forwarded to this shard (successfully exchanged).
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded.load(Ordering::Relaxed)
+    }
+
+    /// Connect/IO failures observed against this shard.
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn health_transitions() {
+        let h = ShardHealth::new("127.0.0.1:1".into());
+        assert!(h.is_up());
+        assert_eq!(h.down_for(), None);
+        h.mark_down();
+        assert!(!h.is_up());
+        assert!(h.down_for().is_some());
+        assert_eq!(h.failures(), 1);
+        // A second failure keeps the original down_since.
+        let first = h.down_for().unwrap();
+        h.mark_down();
+        assert!(h.down_for().unwrap() >= first);
+        h.mark_up();
+        assert!(h.is_up());
+        assert_eq!(h.down_for(), None);
+    }
+
+    #[test]
+    fn connect_to_nothing_fails_fast() {
+        // Port 1 on loopback: refused immediately, no long timeout.
+        let err = LineConn::connect("127.0.0.1:1", Duration::from_millis(500));
+        assert!(err.is_err());
+    }
+}

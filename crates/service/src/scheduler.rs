@@ -403,6 +403,22 @@ impl Scheduler {
     }
 
     /// Validates, dedups, admits, and enqueues one request.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use antlayer_graph::DiGraph;
+    /// use antlayer_service::{AlgoSpec, LayoutRequest, Scheduler, SchedulerConfig, Source};
+    ///
+    /// let scheduler = Scheduler::new(SchedulerConfig::default());
+    /// let graph = DiGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+    /// let request = LayoutRequest::new(graph, AlgoSpec::parse("lpl", 1).unwrap());
+    ///
+    /// let first = scheduler.submit(request.clone()).unwrap().wait().unwrap();
+    /// assert_eq!(first.source, Source::Computed);
+    /// let second = scheduler.submit(request).unwrap().wait().unwrap();
+    /// assert_eq!(second.source, Source::CacheHit); // same digest, no recompute
+    /// ```
     pub fn submit(&self, request: LayoutRequest) -> Result<Ticket, ServiceError> {
         self.submit_inner(request, None)
     }

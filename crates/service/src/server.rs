@@ -11,13 +11,44 @@
 
 use crate::protocol::{self, Json, Request};
 use crate::scheduler::{Scheduler, SchedulerConfig};
-use std::collections::BTreeMap;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Live connection streams, registered so shutdown can sever them. A
+/// handler removes itself when its client disconnects; shutdown calls
+/// `Shutdown::Both` on whatever is left, which makes every blocked
+/// `read_line` return and the handler threads exit promptly — a stopped
+/// server answers nothing, which is what fleet failover relies on.
+#[derive(Default)]
+struct ConnRegistry {
+    streams: Mutex<HashMap<u64, TcpStream>>,
+    next_id: AtomicU64,
+}
+
+impl ConnRegistry {
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.streams.lock().insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.streams.lock().remove(&id);
+    }
+
+    fn sever_all(&self) {
+        for (_, stream) in self.streams.lock().drain() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -47,6 +78,7 @@ pub struct Server {
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
     connections: Arc<AtomicUsize>,
+    registry: Arc<ConnRegistry>,
 }
 
 /// Handle to a server running on a background thread; dropping it shuts
@@ -54,11 +86,29 @@ pub struct Server {
 pub struct ServerHandle {
     addr: std::net::SocketAddr,
     shutdown: Arc<AtomicBool>,
+    registry: Arc<ConnRegistry>,
     thread: Option<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds the configured address.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use antlayer_service::{Server, ServerConfig};
+    ///
+    /// // Port 0 picks a free loopback port; `spawn` serves on a
+    /// // background thread until the handle is dropped.
+    /// let server = Server::bind(ServerConfig {
+    ///     addr: "127.0.0.1:0".into(),
+    ///     ..Default::default()
+    /// })
+    /// .unwrap();
+    /// let handle = server.spawn().unwrap();
+    /// println!("serving on {}", handle.addr());
+    /// handle.shutdown();
+    /// ```
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         Ok(Server {
@@ -67,6 +117,7 @@ impl Server {
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
             connections: Arc::new(AtomicUsize::new(0)),
+            registry: Arc::new(ConnRegistry::default()),
         })
     }
 
@@ -114,8 +165,17 @@ impl Server {
             }
             let scheduler = self.scheduler.clone();
             let connections = self.connections.clone();
+            let registry = self.registry.clone();
+            // Register on the accept thread, not the handler: by the
+            // time shutdown has joined this loop, every accepted
+            // connection is in the registry, so sever_all cannot miss
+            // one that a handler thread had not registered yet.
+            let id = registry.register(&stream);
             std::thread::spawn(move || {
                 handle_connection(stream, &scheduler);
+                if let Some(id) = id {
+                    registry.deregister(id);
+                }
                 connections.fetch_sub(1, Ordering::AcqRel);
             });
         }
@@ -125,12 +185,14 @@ impl Server {
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         let shutdown = self.shutdown.clone();
+        let registry = self.registry.clone();
         let thread = std::thread::Builder::new()
             .name("antlayer-serve-accept".into())
             .spawn(move || self.run())?;
         Ok(ServerHandle {
             addr,
             shutdown,
+            registry,
             thread: Some(thread),
         })
     }
@@ -142,9 +204,11 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops the accept loop and joins the server thread. In-flight
-    /// connection handlers finish their current request and exit when
-    /// their client disconnects.
+    /// Stops the accept loop, severs every live connection, and joins
+    /// the server thread. After this returns, the process answers
+    /// nothing on the port — clients (and routers) observe EOF/reset,
+    /// exactly like a crashed shard, which is what failover tests and
+    /// fleet health checks rely on.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -159,6 +223,9 @@ impl ServerHandle {
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
+        // Sever after the accept loop is gone so no new connection can
+        // slip in post-drain.
+        self.registry.sever_all();
     }
 }
 

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Fails when docs/PROTOCOL.md drifts from the protocol source: every
+# request op accepted by parse_request, every response source name, and
+# every error-message prefix a client may dispatch on must be mentioned
+# in the wire reference. Run from the repo root (CI does).
+set -euo pipefail
+
+doc="docs/PROTOCOL.md"
+protocol_src="crates/service/src/protocol.rs"
+scheduler_src="crates/service/src/scheduler.rs"
+
+fail=0
+require() {
+    local needle="$1" why="$2"
+    if ! grep -qF -- "$needle" "$doc"; then
+        echo "MISSING in $doc: '$needle' ($why)" >&2
+        fail=1
+    fi
+}
+
+# Request ops: the match arms of parse_request, e.g. `"layout" => Ok(Request::…`.
+ops=$(grep -oE '"[a-z_]+" => Ok\(Request::' "$protocol_src" | grep -oE '"[a-z_]+"' | tr -d '"' | sort -u)
+[ -n "$ops" ] || { echo "could not extract request ops from $protocol_src" >&2; exit 1; }
+for op in $ops; do
+    require "$op" "request op variant"
+done
+
+# Response sources: the match arms of Source::name, e.g. `Source::Warm => "warm"`.
+sources=$(grep -oE 'Source::[A-Za-z]+ => "[a-z]+"' "$scheduler_src" | grep -oE '"[a-z]+"' | tr -d '"' | sort -u)
+[ -n "$sources" ] || { echo "could not extract response sources from $scheduler_src" >&2; exit 1; }
+for source in $sources; do
+    require "$source" "response source name"
+done
+
+# Error prefixes clients dispatch on (ServiceError Display + parser +
+# router). These are stable wire strings; extend this list when adding
+# an error kind.
+errors=(
+    "overloaded"
+    "base not found"
+    "invalid request"
+    "internal error"
+    "bad JSON"
+    "unknown op"
+    "no shards available"
+)
+for err in "${errors[@]}"; do
+    require "$err" "error kind"
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs/PROTOCOL.md is out of date with the protocol source." >&2
+    exit 1
+fi
+echo "docs check: PROTOCOL.md mentions all $(echo "$ops" | wc -w | tr -d ' ') ops, $(echo "$sources" | wc -w | tr -d ' ') sources, ${#errors[@]} error kinds."

@@ -18,6 +18,7 @@
 //! | [`datasets`] | `antlayer-datasets` | the 1277-graph AT&T-like [`GraphSuite`](datasets::GraphSuite), report writers |
 //! | [`parallel`] | `antlayer-parallel` | deterministic [`par_map`](parallel::par_map), [`WorkerPool`](parallel::WorkerPool) |
 //! | [`service`] | `antlayer-service` | batch layout serving: canonical [`Digest`](service::Digest) cache keys, sharded LRU cache, deadline-bounded [`Scheduler`](service::Scheduler), JSON-over-TCP [`Server`](service::Server) |
+//! | [`router`] | `antlayer-router` | horizontal sharding: consistent-hash [`Router`](router::Router) over N `antlayer serve` backends |
 //!
 //! ## Quickstart
 //!
@@ -44,6 +45,7 @@ pub use antlayer_datasets as datasets;
 pub use antlayer_graph as graph;
 pub use antlayer_layering as layering;
 pub use antlayer_parallel as parallel;
+pub use antlayer_router as router;
 pub use antlayer_service as service;
 pub use antlayer_sugiyama as sugiyama;
 
