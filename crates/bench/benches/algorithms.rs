@@ -3,7 +3,8 @@
 //! regression tracking rather than paper reproduction.
 
 use antlayer_aco::{
-    perform_walk, stretch, AcoParams, SearchState, StretchStrategy, VertexLayerMatrix,
+    perform_walk, stretch, AcoParams, SearchState, StretchStrategy, VertexLayerMatrix, WalkCtx,
+    WalkScratch,
 };
 use antlayer_datasets::att_like_graph;
 use antlayer_graph::{Dag, NodeId};
@@ -57,10 +58,14 @@ fn bench_walk(c: &mut Criterion) {
         let tau =
             VertexLayerMatrix::filled(dag.node_count(), state.total_layers as usize, params.tau0);
         group.bench_with_input(BenchmarkId::new("perform_walk", n), &dag, |b, dag| {
+            let csr = dag.to_csr();
+            let ctx = WalkCtx::new(dag, &csr, &wm, &params);
+            let mut s = state.clone();
+            let mut scratch = WalkScratch::new();
             b.iter(|| {
-                let mut s = state.clone();
+                s.copy_from(&state);
                 let mut rng = StdRng::seed_from_u64(3);
-                perform_walk(dag, &wm, &params, &tau, &mut s, &mut rng)
+                perform_walk(&ctx, &tau, &mut s, &mut scratch, &mut rng)
             })
         });
     }

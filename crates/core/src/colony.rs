@@ -15,15 +15,41 @@
 //! colony as emulating "a parallel work environment" — so the tour is a
 //! deterministic parallel map over per-ant RNG streams: results do not
 //! depend on the thread count.
+//!
+//! The hot path is engineered for **zero heap allocation per walk** (the
+//! tested contract — see the `zero_alloc` counting-allocator test): the
+//! colony's big buffers are allocated once at construction (a [`CsrView`]
+//! of the adjacency, one persistent [`SearchState`] slot per ant, one
+//! [`WalkScratch`] per worker thread) and the tour re-seeds the slots with
+//! [`SearchState::copy_from`] instead of cloning. Each tour still pays
+//! `O(n_ants)` bookkeeping allocations (the seed/slot pairing and the
+//! parallel map's result cells) — small and independent of graph size.
+//! Deadlines are checked *between walks*, not just between tours, so a
+//! budget can interrupt a long tour on large graphs
+//! ([`ColonyRun::stopped_early`]).
 
 use crate::stretch::stretch;
-use crate::walk::perform_walk;
-use crate::{AcoParams, SearchState, VertexLayerMatrix};
-use antlayer_graph::Dag;
+use crate::walk::{perform_walk, WalkCtx};
+use crate::{AcoParams, SearchState, VertexLayerMatrix, WalkScratch};
+use antlayer_graph::{CsrView, Dag};
 use antlayer_layering::{Layering, LayeringAlgorithm, LayeringMetrics, LongestPath, WidthModel};
-use antlayer_parallel::{default_threads, par_map};
+use antlayer_parallel::{default_threads, par_map_with_scratch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Instant;
+
+/// Seed for ant `k` of tour `t`: a SplitMix64 scramble of the master
+/// seed, so every (tour, ant) pair gets an independent stream and the
+/// result is reproducible under any thread count. Shared with the
+/// [`reference`](crate::reference) path so both race identical streams.
+pub(crate) fn ant_seed(params: &AcoParams, tour: usize, ant: usize) -> u64 {
+    let mut z = params.seed.wrapping_add(
+        0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(1 + tour as u64 * params.n_ants as u64 + ant as u64),
+    );
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Per-tour statistics, for convergence plots and the tuning experiments.
 #[derive(Clone, PartialEq, Debug)]
@@ -53,7 +79,8 @@ pub struct ColonyRun {
     /// Statistics of every tour, in order.
     pub tours: Vec<TourStats>,
     /// `true` when a deadline cut the layering phase short of `n_tours`
-    /// tours (anytime behaviour). The layering is still valid — it is the
+    /// tours (anytime behaviour) — including mid-tour, since the clock is
+    /// checked before every walk. The layering is still valid — it is the
     /// best state seen up to the stop, at worst the stretched-LPL seed.
     pub stopped_early: bool,
     /// `true` when the run was warm-started from a caller-supplied
@@ -72,6 +99,11 @@ pub struct Colony<'a> {
     dag: &'a Dag,
     wm: &'a WidthModel,
     params: AcoParams,
+    /// Flat adjacency snapshot scanned by every walk (cold allocation,
+    /// made once here).
+    csr: CsrView,
+    /// Resolved worker count (params' `0` already replaced).
+    threads: usize,
     tau: VertexLayerMatrix,
     base: SearchState,
     best: SearchState,
@@ -81,6 +113,11 @@ pub struct Colony<'a> {
     /// [`ColonyRun::tours_to_match_seed`].
     incumbent_objective: f64,
     seeded: bool,
+    /// One persistent state per ant, re-seeded from `base` each tour via
+    /// `copy_from` — no per-walk clone.
+    walk_states: Vec<SearchState>,
+    /// One scratch per worker thread, reused across tours.
+    scratches: Vec<WalkScratch>,
 }
 
 impl<'a> Colony<'a> {
@@ -96,18 +133,29 @@ impl<'a> Colony<'a> {
         let best_objective = if dag.node_count() == 0 {
             0.0
         } else {
-            base.normalized_objective(dag, wm)
+            base.incremental_objective()
         };
+        let threads = if params.threads == 0 {
+            default_threads(params.n_ants)
+        } else {
+            params.threads
+        };
+        let walk_states = vec![base.clone(); params.n_ants];
+        let scratches = vec![WalkScratch::new(); threads.max(1)];
         Ok(Colony {
             dag,
             wm,
-            params,
+            csr: dag.to_csr(),
+            threads,
             tau,
             best: base.clone(),
             base,
             best_objective,
             incumbent_objective: best_objective,
             seeded: false,
+            walk_states,
+            scratches,
+            params,
         })
     }
 
@@ -151,7 +199,7 @@ impl<'a> Colony<'a> {
             stretched.total_layers.max(1),
             self.wm,
         );
-        let objective = seed_state.normalized_objective(self.dag, self.wm);
+        let objective = seed_state.incremental_objective();
         for v in self.dag.nodes() {
             let layer = seed_state.layer[v.index()];
             // Under an explicit `target_layers` smaller than the seed's
@@ -184,61 +232,74 @@ impl<'a> Colony<'a> {
     pub fn run_seeded_until(
         mut self,
         initial: &Layering,
-        deadline: Option<std::time::Instant>,
+        deadline: Option<Instant>,
     ) -> Result<ColonyRun, String> {
         self.install_seed(initial)?;
         Ok(self.run_until(deadline))
     }
 
-    /// Seed for ant `k` of tour `t`: a SplitMix64 scramble of the master
-    /// seed, so every (tour, ant) pair gets an independent stream and the
-    /// result is reproducible under any thread count.
-    fn ant_seed(&self, tour: usize, ant: usize) -> u64 {
-        let mut z = self.params.seed.wrapping_add(
-            0x9E37_79B9_7F4A_7C15_u64
-                .wrapping_mul(1 + tour as u64 * self.params.n_ants as u64 + ant as u64),
-        );
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Runs one tour; returns its statistics.
-    fn perform_tour(&mut self, tour: usize) -> TourStats {
-        let threads = if self.params.threads == 0 {
-            default_threads(self.params.n_ants)
-        } else {
-            self.params.threads
-        };
-        let seeds: Vec<u64> = (0..self.params.n_ants)
-            .map(|k| self.ant_seed(tour, k))
-            .collect();
-
-        let dag = self.dag;
-        let wm = self.wm;
+    /// Runs one tour. Walks write into the colony's persistent per-ant
+    /// state slots; the deadline (if any) is checked before every walk.
+    ///
+    /// Returns `None` when the deadline interrupted the tour: completed
+    /// walks still feed the global best (anytime behaviour), but the
+    /// partial tour deposits no pheromone and does not replace the base —
+    /// a timing-dependent subset of ants must never steer an unbounded
+    /// continuation.
+    fn perform_tour(&mut self, tour: usize, deadline: Option<Instant>) -> Option<TourStats> {
         let params = &self.params;
+        let ctx = WalkCtx::new(self.dag, &self.csr, self.wm, params);
         let tau = &self.tau;
         let base = &self.base;
-        let walks: Vec<(SearchState, f64)> = par_map(threads, seeds, |_, seed| {
-            let mut state = base.clone();
-            let mut rng = StdRng::seed_from_u64(seed);
-            let f = perform_walk(dag, wm, params, tau, &mut state, &mut rng);
-            (state, f)
-        });
+        let items: Vec<(u64, &mut SearchState)> = self
+            .walk_states
+            .iter_mut()
+            .enumerate()
+            .map(|(k, state)| (ant_seed(params, tour, k), state))
+            .collect();
+        let objectives: Vec<Option<f64>> = par_map_with_scratch(
+            self.threads,
+            &mut self.scratches,
+            items,
+            |scratch, _, (seed, state)| {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return None;
+                    }
+                }
+                state.copy_from(base);
+                let mut rng = StdRng::seed_from_u64(seed);
+                Some(perform_walk(&ctx, tau, state, scratch, &mut rng))
+            },
+        );
+
+        if objectives.iter().any(Option::is_none) {
+            // Interrupted mid-tour: salvage completed walks into the
+            // global best, then stop (the caller reports stopped_early).
+            for (k, f) in objectives.iter().enumerate() {
+                if let Some(f) = *f {
+                    if f > self.best_objective {
+                        self.best_objective = f;
+                        self.best.copy_from(&self.walk_states[k]);
+                    }
+                }
+            }
+            return None;
+        }
+        let objectives: Vec<f64> = objectives
+            .into_iter()
+            .map(|f| f.expect("checked"))
+            .collect();
 
         // Tour best: highest objective, first on ties (deterministic).
-        let (best_idx, _) = walks
+        let (best_idx, &tour_best_f) = objectives
             .iter()
             .enumerate()
-            .max_by(|(ia, (_, fa)), (ib, (_, fb))| {
+            .max_by(|(ia, fa), (ib, fb)| {
                 fa.partial_cmp(fb).unwrap().then(ib.cmp(ia)) // prefer the lower index on ties
             })
             .expect("n_ants >= 1");
-        let mean = walks.iter().map(|(_, f)| f).sum::<f64>() / walks.len() as f64;
-        let (tour_best_state, tour_best_f) = {
-            let (s, f) = &walks[best_idx];
-            (s.clone(), *f)
-        };
+        let mean = objectives.iter().sum::<f64>() / objectives.len() as f64;
 
         // Evaporation, then deposit (Alg. 4, 16–17). The paper's rule is
         // tour-best only; rank-based deposit is an extension.
@@ -249,23 +310,26 @@ impl<'a> Colony<'a> {
                 for v in self.dag.nodes() {
                     self.tau.add(
                         v,
-                        tour_best_state.layer[v.index()],
+                        self.walk_states[best_idx].layer[v.index()],
                         self.params.deposit_q * tour_best_f,
                     );
                 }
             }
             crate::DepositStrategy::RankBased(k) => {
-                let mut ranked: Vec<usize> = (0..walks.len()).collect();
-                ranked
-                    .sort_by(|&a, &b| walks[b].1.partial_cmp(&walks[a].1).unwrap().then(a.cmp(&b)));
+                let mut ranked: Vec<usize> = (0..objectives.len()).collect();
+                ranked.sort_by(|&a, &b| {
+                    objectives[b]
+                        .partial_cmp(&objectives[a])
+                        .unwrap()
+                        .then(a.cmp(&b))
+                });
                 for (rank, &idx) in ranked.iter().take(k).enumerate() {
                     let weight = (k - rank) as f64 / k as f64;
-                    let (state, f) = &walks[idx];
                     for v in self.dag.nodes() {
                         self.tau.add(
                             v,
-                            state.layer[v.index()],
-                            self.params.deposit_q * f * weight,
+                            self.walk_states[idx].layer[v.index()],
+                            self.params.deposit_q * objectives[idx] * weight,
                         );
                     }
                 }
@@ -275,25 +339,28 @@ impl<'a> Colony<'a> {
             self.tau.clamp_range(lo, hi);
         }
 
+        // The stats of the normalized tour-best layering, read directly
+        // off the maintained occupancy/width tables (no Layering rebuild:
+        // H is the occupied-layer count, W the occupied-layer max width —
+        // exactly what normalize + metrics::width would report).
         let stats = {
-            let mut best_layering = tour_best_state.to_layering();
-            best_layering.normalize();
+            let bs = &self.walk_states[best_idx];
             TourStats {
                 tour,
                 best_objective: tour_best_f,
                 mean_objective: mean,
-                best_height: best_layering.max_layer(),
-                best_width: antlayer_layering::metrics::width(self.dag, &best_layering, self.wm),
+                best_height: bs.occupied_layers(),
+                best_width: bs.occupied_max_width(),
             }
         };
 
         // Global best, then base inheritance (Alg. 4 line 18).
         if tour_best_f > self.best_objective {
             self.best_objective = tour_best_f;
-            self.best = tour_best_state.clone();
+            self.best.copy_from(&self.walk_states[best_idx]);
         }
-        self.base = tour_best_state;
-        stats
+        self.base.copy_from(&self.walk_states[best_idx]);
+        Some(stats)
     }
 
     /// Runs the layering phase: `n_tours` tours, bounded by
@@ -306,13 +373,15 @@ impl<'a> Colony<'a> {
 
     /// Runs the layering phase against an absolute deadline (anytime ACO).
     ///
-    /// The clock is checked between tours: once `deadline` has passed, no
-    /// further tour starts and the best-so-far layering is returned with
-    /// [`ColonyRun::stopped_early`] set. An already-expired deadline runs
-    /// zero tours and yields the stretched-LPL seed state, which is always
-    /// a valid layering. `None` never stops early. When both `deadline`
-    /// and [`AcoParams::time_budget`] apply, the earlier one wins.
-    pub fn run_until(mut self, deadline: Option<std::time::Instant>) -> ColonyRun {
+    /// The clock is checked between tours **and between walks**: once
+    /// `deadline` has passed, no further walk starts — a long tour on a
+    /// large graph is interrupted rather than run to completion — and the
+    /// best-so-far layering is returned with [`ColonyRun::stopped_early`]
+    /// set. An already-expired deadline runs zero walks and yields the
+    /// stretched-LPL seed state, which is always a valid layering. `None`
+    /// never stops early. When both `deadline` and
+    /// [`AcoParams::time_budget`] apply, the earlier one wins.
+    pub fn run_until(mut self, deadline: Option<Instant>) -> ColonyRun {
         if self.dag.node_count() == 0 {
             return ColonyRun {
                 layering: Layering::from_slice(&[]),
@@ -336,7 +405,7 @@ impl<'a> Colony<'a> {
         let budget_deadline = self
             .params
             .time_budget
-            .and_then(|budget| std::time::Instant::now().checked_add(budget));
+            .and_then(|budget| Instant::now().checked_add(budget));
         let deadline = match (deadline, budget_deadline) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -345,12 +414,18 @@ impl<'a> Colony<'a> {
         let mut stopped_early = false;
         for t in 0..self.params.n_tours {
             if let Some(d) = deadline {
-                if std::time::Instant::now() >= d {
+                if Instant::now() >= d {
                     stopped_early = true;
                     break;
                 }
             }
-            tours.push(self.perform_tour(t));
+            match self.perform_tour(t, deadline) {
+                Some(stats) => tours.push(stats),
+                None => {
+                    stopped_early = true;
+                    break;
+                }
+            }
         }
         let mut layering = self.best.to_layering();
         layering.normalize();
@@ -406,12 +481,7 @@ impl AcoLayering {
 
     /// Runs the colony against an absolute deadline; see
     /// [`Colony::run_until`].
-    pub fn run_until(
-        &self,
-        dag: &Dag,
-        wm: &WidthModel,
-        deadline: Option<std::time::Instant>,
-    ) -> ColonyRun {
+    pub fn run_until(&self, dag: &Dag, wm: &WidthModel, deadline: Option<Instant>) -> ColonyRun {
         Colony::new(dag, wm, self.params.clone())
             .expect("parameters validated at construction")
             .run_until(deadline)
@@ -436,7 +506,7 @@ impl AcoLayering {
         dag: &Dag,
         wm: &WidthModel,
         initial: &Layering,
-        deadline: Option<std::time::Instant>,
+        deadline: Option<Instant>,
     ) -> Result<ColonyRun, String> {
         Colony::new(dag, wm, self.params.clone())
             .expect("parameters validated at construction")
@@ -503,6 +573,25 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_and_csr_are_thread_count_invariant() {
+        // The stressed configuration: roulette selection consumes the RNG
+        // in the layer choice and BFS visit order exercises the scratch
+        // queues; 1 vs 4 threads must still be byte-identical.
+        let mut rng = StdRng::seed_from_u64(13);
+        let dag = generate::layered_dag(50, 16, 0.05, 2, &mut rng);
+        let params = AcoParams {
+            selection: crate::SelectionRule::Roulette,
+            visit_order: crate::VisitOrder::Bfs,
+            ..small_params()
+        };
+        let seq = AcoLayering::new(params.clone().with_threads(1)).run(&dag, &WidthModel::unit());
+        let par = AcoLayering::new(params.with_threads(4)).run(&dag, &WidthModel::unit());
+        assert_eq!(seq.layering, par.layering);
+        assert_eq!(seq.tours, par.tours);
+        assert_eq!(seq.objective, par.objective);
+    }
+
+    #[test]
     fn objective_never_degrades_below_initial_lpl_state() {
         // The global best is seeded with the stretched LPL state, so the
         // run's objective is at least that.
@@ -554,6 +643,21 @@ mod tests {
     }
 
     #[test]
+    fn tour_stats_match_normalized_layering_metrics() {
+        // best_height/best_width come from the occupancy tables; they must
+        // equal what normalize + metrics report for the same state.
+        let mut rng = StdRng::seed_from_u64(16);
+        let dag = generate::layered_dag(40, 12, 0.05, 2, &mut rng);
+        let wm = WidthModel::unit();
+        let mut colony = Colony::new(&dag, &wm, small_params()).unwrap();
+        let stats = colony.perform_tour(0, None).expect("no deadline");
+        let mut layering = colony.base.to_layering(); // base == tour best
+        layering.normalize();
+        assert_eq!(stats.best_height, layering.max_layer());
+        assert_eq!(stats.best_width, metrics::width(&dag, &layering, &wm));
+    }
+
+    #[test]
     fn handles_degenerate_graphs() {
         let wm = WidthModel::unit();
         // Empty.
@@ -577,7 +681,7 @@ mod tests {
 
     #[test]
     fn zero_time_budget_returns_valid_seed_layering() {
-        // Anytime contract: an already-spent budget runs zero tours and
+        // Anytime contract: an already-spent budget runs zero walks and
         // hands back the (normalized) stretched-LPL seed.
         let mut rng = StdRng::seed_from_u64(31);
         let dag = generate::random_dag_with_edges(25, 40, &mut rng);
@@ -596,10 +700,50 @@ mod tests {
         let dag = generate::gnp_dag(20, 0.15, &mut rng);
         let wm = WidthModel::unit();
         let colony = Colony::new(&dag, &wm, small_params()).unwrap();
-        let run = colony.run_until(Some(std::time::Instant::now()));
+        let run = colony.run_until(Some(Instant::now()));
         run.layering.validate(&dag).unwrap();
         assert!(run.stopped_early);
         assert!(run.tours.is_empty());
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_a_tour_between_walks() {
+        // Drive the tour directly with an already-passed deadline: every
+        // walk sees the expired clock and skips, the tour reports the
+        // interruption, and neither the pheromone nor the base moves.
+        let mut rng = StdRng::seed_from_u64(36);
+        let dag = generate::gnp_dag(20, 0.15, &mut rng);
+        let wm = WidthModel::unit();
+        let mut colony = Colony::new(&dag, &wm, small_params()).unwrap();
+        let tau_before = colony.tau.total();
+        let base_before = colony.base.clone();
+        let best_before = colony.best_objective;
+        assert!(colony.perform_tour(0, Some(Instant::now())).is_none());
+        assert_eq!(colony.tau.total(), tau_before, "no deposit on a cut tour");
+        assert_eq!(colony.base, base_before, "no base inheritance either");
+        assert_eq!(colony.best_objective, best_before);
+    }
+
+    #[test]
+    fn deadline_shorter_than_one_tour_interrupts_mid_tour() {
+        // A budget far smaller than one tour's wall time must not wait for
+        // the tour boundary: zero tours complete, yet the result is the
+        // valid seed layering (anytime contract on large graphs).
+        let mut rng = StdRng::seed_from_u64(37);
+        let dag = generate::layered_dag(500, 60, 0.02, 2, &mut rng);
+        let wm = WidthModel::unit();
+        let params = AcoParams::default()
+            .with_colony(8, 4)
+            .with_seed(3)
+            .with_time_budget(Some(std::time::Duration::from_micros(200)));
+        let run = AcoLayering::new(params).run(&dag, &wm);
+        assert!(run.stopped_early);
+        assert!(
+            run.tours.is_empty(),
+            "a sub-tour budget must not complete a whole tour"
+        );
+        run.layering.validate(&dag).unwrap();
+        assert!(run.objective > 0.0);
     }
 
     #[test]
@@ -674,7 +818,7 @@ mod tests {
         };
         let mut colony = Colony::new(&dag, &wm, params).unwrap();
         for t in 0..3 {
-            colony.perform_tour(t);
+            colony.perform_tour(t, None).expect("unbounded tour");
             for v in dag.nodes() {
                 for l in 1..=colony.base.total_layers {
                     let tau = colony.tau.get(v, l);
@@ -793,11 +937,35 @@ mod tests {
         let seed_run = AcoLayering::new(small_params()).run(&dag, &wm);
         let colony = Colony::new(&dag, &wm, small_params()).unwrap();
         let run = colony
-            .run_seeded_until(&seed_run.layering, Some(std::time::Instant::now()))
+            .run_seeded_until(&seed_run.layering, Some(Instant::now()))
             .unwrap();
         assert!(run.stopped_early);
         assert!(run.seeded);
         assert_eq!(run.layering, seed_run.layering);
+    }
+
+    #[test]
+    fn seeded_run_survives_target_layers_below_seed_height() {
+        // With an explicit `target_layers` smaller than the seed's
+        // height, `install_seed` stores an incumbent whose width and
+        // occupancy tables are sized for more layers than the base's;
+        // the first tour that beats it must re-seed `best` across the
+        // dimension mismatch (regression: `copy_from` used to panic on
+        // the differing buffer lengths).
+        let dag = Dag::from_edges(12, &[]).unwrap();
+        let wm = WidthModel::unit();
+        let seed = Layering::from_slice(&[12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1]);
+        let params = AcoParams {
+            target_layers: Some(3),
+            ..small_params()
+        };
+        let run = AcoLayering::new(params)
+            .run_seeded(&dag, &wm, &seed)
+            .unwrap();
+        run.layering.validate(&dag).unwrap();
+        assert!(run.seeded);
+        // Spreading 12 vertices over 3 layers beats the 12-layer chain.
+        assert!(run.metrics.height <= 3);
     }
 
     #[test]
@@ -835,7 +1003,7 @@ mod tests {
         let wm = WidthModel::unit();
         let mut colony = Colony::new(&dag, &wm, small_params()).unwrap();
         let before = colony.tau.total();
-        let stats = colony.perform_tour(0);
+        let stats = colony.perform_tour(0, None).expect("unbounded tour");
         // After evaporation + deposit the trail on the best ant's couplings
         // exceeds the evaporated baseline.
         let tau0_evap = colony.params.tau0 * (1.0 - colony.params.rho);

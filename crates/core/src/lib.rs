@@ -27,6 +27,15 @@
 //! vertex-order pheromone model of §IV-D ([`OrderAcoLayering`]), and the
 //! §VIII [`tuning`] sweeps.
 //!
+//! The walk loop is the repo's hottest code and performs **zero heap
+//! allocations per walk** after colony warm-up: neighbor scans go
+//! through a [CSR view](antlayer_graph::CsrView), all per-walk buffers
+//! live in a reusable [`WalkScratch`], per-ant states are persistent
+//! slots re-seeded with [`SearchState::copy_from`], and ants are scored
+//! by the flat-scan [`SearchState::incremental_objective`]. The
+//! pre-refactor path is preserved in [`mod@reference`] as the benchmark
+//! comparator (see `docs/ARCHITECTURE.md`, "Hot path").
+//!
 //! ```
 //! use antlayer_graph::generate;
 //! use antlayer_layering::{LayeringAlgorithm, WidthModel};
@@ -48,6 +57,7 @@ mod colony;
 mod matrix;
 mod order_model;
 mod params;
+pub mod reference;
 mod state;
 pub mod stretch;
 pub mod tuning;
@@ -59,4 +69,4 @@ pub use order_model::OrderAcoLayering;
 pub use params::{AcoParams, DepositStrategy, SelectionRule, StretchStrategy, VisitOrder};
 pub use state::{compute_widths, SearchState};
 pub use stretch::{stretch, Stretched};
-pub use walk::{perform_walk, WalkResult};
+pub use walk::{perform_walk, WalkCtx, WalkResult, WalkScratch};

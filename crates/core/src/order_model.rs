@@ -15,7 +15,7 @@
 //! to move them.
 
 use crate::stretch::stretch;
-use crate::walk::choose_layer;
+use crate::walk::{choose_layer, PowExp};
 use crate::{AcoParams, SearchState, VertexLayerMatrix};
 use antlayer_graph::{Dag, NodeId};
 use antlayer_layering::{Layering, LayeringAlgorithm, LongestPath, WidthModel};
@@ -100,10 +100,12 @@ fn order_walk(
 ) -> (Vec<NodeId>, f64) {
     let n = dag.node_count();
     let eta_floor = params.effective_eta_floor(wm.dummy_width);
+    let (alpha, beta) = (PowExp::of(params.alpha), PowExp::of(params.beta));
     // Uniform layer-pheromone: the layer decision is heuristic-only here.
     let uniform = VertexLayerMatrix::filled(n, state.total_layers as usize, 1.0);
     let mut visited = vec![false; n];
     let mut order = Vec::with_capacity(n);
+    let mut scores = Vec::new();
     let mut prev: Option<NodeId> = None;
     for _ in 0..n {
         // Roulette over unvisited vertices by trail^alpha.
@@ -138,8 +140,19 @@ fn order_walk(
             })
         };
         visited[next.index()] = true;
-        let target = choose_layer(next, state, &uniform, params, wm, eta_floor, rng);
-        state.move_vertex(dag, wm, next, target);
+        let target = choose_layer(
+            next,
+            state,
+            uniform.row(next),
+            params.selection,
+            alpha,
+            beta,
+            wm,
+            eta_floor,
+            &mut scores,
+            rng,
+        );
+        state.move_vertex(dag.graph(), wm, next, target);
         order.push(next);
         prev = Some(next);
     }

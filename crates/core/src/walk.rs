@@ -8,9 +8,18 @@
 //! `p(v, l) ∝ τ[v][l]^α · η[v][l]^β` with `η[v][l] = 1 / W(l)` (dynamic
 //! heuristic information — widths change after every move and are
 //! maintained incrementally by [`SearchState::move_vertex`]).
+//!
+//! This is the hottest loop in the repository, engineered to perform **no
+//! heap allocation per walk**: the visit-order, BFS and roulette buffers
+//! live in a reusable [`WalkScratch`], neighbor scans go through the
+//! colony's [CSR view](CsrView), pheromone reads are contiguous row
+//! slices, the `τ^α · η^β` exponents are pre-dispatched to integer powers
+//! ([`PowExp`]), and the ant is scored with the flat-scan incremental
+//! objective instead of rebuilding a `Layering`. The pre-refactor
+//! allocating path survives as [`crate::reference`] for benchmarking.
 
 use crate::{AcoParams, SearchState, SelectionRule, VertexLayerMatrix, VisitOrder};
-use antlayer_graph::{Bfs, Dag, Direction, NodeId};
+use antlayer_graph::{Adjacency, CsrView, Dag, NodeId};
 use antlayer_layering::WidthModel;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -19,22 +28,68 @@ use rand::Rng;
 /// integer exponents avoid `powf` in the hot loop.
 #[inline]
 pub(crate) fn pow_fast(x: f64, e: f64) -> f64 {
-    if e == 0.0 {
-        1.0
-    } else if e == 1.0 {
-        x
-    } else if e == 2.0 {
-        x * x
-    } else if e == 3.0 {
-        x * x * x
-    } else if e == 4.0 {
-        let s = x * x;
-        s * s
-    } else if e == 5.0 {
-        let s = x * x;
-        s * s * x
-    } else {
-        x.powf(e)
+    PowExp::of(e).apply(x)
+}
+
+/// A pre-dispatched exponent for the proportional rule: the float
+/// comparison cascade of [`pow_fast`] runs once per walk setup instead of
+/// once per `(vertex, candidate-layer)` pair.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum PowExp {
+    /// `x⁰ = 1`.
+    Zero,
+    /// `x¹`.
+    One,
+    /// `x²`.
+    Two,
+    /// `x³`.
+    Three,
+    /// `x⁴`.
+    Four,
+    /// `x⁵`.
+    Five,
+    /// Any other exponent, via `powf`.
+    General(f64),
+}
+
+impl PowExp {
+    /// Classifies `e` once.
+    pub(crate) fn of(e: f64) -> Self {
+        if e == 0.0 {
+            PowExp::Zero
+        } else if e == 1.0 {
+            PowExp::One
+        } else if e == 2.0 {
+            PowExp::Two
+        } else if e == 3.0 {
+            PowExp::Three
+        } else if e == 4.0 {
+            PowExp::Four
+        } else if e == 5.0 {
+            PowExp::Five
+        } else {
+            PowExp::General(e)
+        }
+    }
+
+    /// `x^e` by multiplication for the integer cases.
+    #[inline(always)]
+    pub(crate) fn apply(self, x: f64) -> f64 {
+        match self {
+            PowExp::Zero => 1.0,
+            PowExp::One => x,
+            PowExp::Two => x * x,
+            PowExp::Three => x * x * x,
+            PowExp::Four => {
+                let s = x * x;
+                s * s
+            }
+            PowExp::Five => {
+                let s = x * x;
+                s * s * x
+            }
+            PowExp::General(e) => x.powf(e),
+        }
     }
 }
 
@@ -47,6 +102,65 @@ pub struct WalkResult {
     pub objective: f64,
 }
 
+/// Reusable per-thread buffers for [`perform_walk`]: the visit-order
+/// buffer, the roulette score buffer, and the BFS bookkeeping (seen
+/// flags, queue, leftover-component list).
+///
+/// Buffers grow to the graph's size on first use and are reused
+/// afterwards — one warm-up walk, then zero heap allocations per walk
+/// (asserted by the `zero_alloc` counting-allocator test). The colony
+/// owns one scratch per worker thread and threads them through
+/// `antlayer_parallel::par_map_with_scratch`.
+#[derive(Clone, Debug, Default)]
+pub struct WalkScratch {
+    order: Vec<NodeId>,
+    scores: Vec<f64>,
+    seen: Vec<bool>,
+    queue: Vec<NodeId>,
+    rest: Vec<NodeId>,
+}
+
+impl WalkScratch {
+    /// Empty buffers; they size themselves on first use.
+    pub fn new() -> Self {
+        WalkScratch::default()
+    }
+}
+
+/// Colony-lifetime immutable context of a walk: the graph (both as [`Dag`]
+/// for the cached topological order and as the cache-local [`CsrView`] the
+/// inner loops scan), the width model, the parameters, and values derived
+/// from them once instead of per choice.
+#[derive(Clone, Copy)]
+pub struct WalkCtx<'a> {
+    /// The DAG being layered (cold-path queries: topo order, node count).
+    pub dag: &'a Dag,
+    /// Flat adjacency snapshot for the hot neighbor scans.
+    pub csr: &'a CsrView,
+    /// Vertex/dummy widths.
+    pub wm: &'a WidthModel,
+    /// Colony parameters.
+    pub params: &'a AcoParams,
+    eta_floor: f64,
+    alpha: PowExp,
+    beta: PowExp,
+}
+
+impl<'a> WalkCtx<'a> {
+    /// Bundles the references and precomputes the derived constants.
+    pub fn new(dag: &'a Dag, csr: &'a CsrView, wm: &'a WidthModel, params: &'a AcoParams) -> Self {
+        WalkCtx {
+            dag,
+            csr,
+            wm,
+            params,
+            eta_floor: params.effective_eta_floor(wm.dummy_width),
+            alpha: PowExp::of(params.alpha),
+            beta: PowExp::of(params.beta),
+        }
+    }
+}
+
 /// Chooses a layer for `v` among its span according to the selection rule.
 ///
 /// Scores are `τ^α · η^β` (the shared normalisation constant of Eq. (1)
@@ -56,14 +170,21 @@ pub struct WalkResult {
 /// widths keeps the rule fair between staying and moving — scoring the raw
 /// `W(l)` would charge `v`'s own width against its current layer only and
 /// make every ant drift off its layer (documented inference, DESIGN.md §4).
-/// Returns the chosen layer.
+///
+/// `tau_row` is `v`'s contiguous pheromone row (entry `l − 1` is layer
+/// `l`); `scores` is the caller's reusable roulette buffer. Returns the
+/// chosen layer.
+#[allow(clippy::too_many_arguments)] // hot path: flat args beat a builder
 pub(crate) fn choose_layer(
     v: NodeId,
     state: &SearchState,
-    tau: &VertexLayerMatrix,
-    params: &AcoParams,
+    tau_row: &[f64],
+    selection: SelectionRule,
+    alpha: PowExp,
+    beta: PowExp,
     wm: &WidthModel,
     eta_floor: f64,
+    scores: &mut Vec<f64>,
     rng: &mut impl Rng,
 ) -> u32 {
     let lo = state.span_lo[v.index()];
@@ -72,119 +193,241 @@ pub(crate) fn choose_layer(
     if lo == hi {
         return lo;
     }
+    // The scan bodies are monomorphized per exponent pair: the paper's
+    // production rule (α = 1, β = 3, the crate default) gets dedicated
+    // closures of bare multiplications, so the `PowExp` dispatch runs once
+    // per vertex instead of once per candidate layer. Every closure
+    // computes the identical floating-point expression the `pow_fast`
+    // path would, so choices are bit-for-bit the same as the reference
+    // implementation's.
+    match selection {
+        SelectionRule::ArgMax => match (alpha, beta) {
+            (PowExp::One, PowExp::Three) => {
+                argmax_span(v, state, tau_row, wm, eta_floor, |t, e| t * (e * e * e))
+            }
+            _ => argmax_span(v, state, tau_row, wm, eta_floor, |t, e| {
+                alpha.apply(t) * beta.apply(e)
+            }),
+        },
+        SelectionRule::Roulette => match (alpha, beta) {
+            (PowExp::One, PowExp::Three) => {
+                roulette_span(v, state, tau_row, wm, eta_floor, scores, rng, |t, e| {
+                    t * (e * e * e)
+                })
+            }
+            _ => roulette_span(v, state, tau_row, wm, eta_floor, scores, rng, |t, e| {
+                alpha.apply(t) * beta.apply(e)
+            }),
+        },
+    }
+}
+
+/// ArgMax over `v`'s span with a monomorphized scoring rule.
+///
+/// One contiguous pass: the per-candidate divisions are independent, so
+/// the divider pipelines them, while the running-best compare is a cheap
+/// flag chain. (A division-free cross-multiplied formulation was tried
+/// and was ~60% slower: it chains a multiply into the compare, turning
+/// the scan into a latency-bound serial loop.)
+#[inline(always)]
+fn argmax_span(
+    v: NodeId,
+    state: &SearchState,
+    tau_row: &[f64],
+    wm: &WidthModel,
+    eta_floor: f64,
+    score_of: impl Fn(f64, f64) -> f64,
+) -> u32 {
+    let lo = state.span_lo[v.index()];
+    let hi = state.span_hi[v.index()];
     let cur = state.layer[v.index()];
     let vw = wm.node_width(v);
-    let resulting_width = |l: u32| -> f64 {
-        let base = state.width[l as usize];
-        if l == cur {
-            base
-        } else {
-            base + vw
-        }
-    };
-    match params.selection {
-        SelectionRule::ArgMax => {
-            let mut best_layer = lo;
-            let mut best_score = f64::NEG_INFINITY;
-            for l in lo..=hi {
-                let eta = 1.0 / resulting_width(l).max(eta_floor);
-                let score = pow_fast(tau.get(v, l), params.alpha) * pow_fast(eta, params.beta);
-                if score > best_score {
-                    best_score = score;
-                    best_layer = l;
-                }
-            }
-            best_layer
-        }
-        SelectionRule::Roulette => {
-            let count = (hi - lo + 1) as usize;
-            let mut scores = Vec::with_capacity(count);
-            let mut total = 0.0f64;
-            for l in lo..=hi {
-                let eta = 1.0 / resulting_width(l).max(eta_floor);
-                let score = pow_fast(tau.get(v, l), params.alpha) * pow_fast(eta, params.beta);
-                let score = if score.is_finite() { score } else { 0.0 };
-                scores.push(score);
-                total += score;
-            }
-            if total <= 0.0 || !total.is_finite() {
-                // Degenerate weights: fall back to a uniform choice.
-                return rng.gen_range(lo..=hi);
-            }
-            let mut ticket = rng.gen_range(0.0..total);
-            for (i, s) in scores.iter().enumerate() {
-                ticket -= s;
-                if ticket < 0.0 {
-                    return lo + i as u32;
-                }
-            }
-            hi
+    // Contiguous span windows: one bounds check per scan, not per
+    // candidate, and the zip gives the optimizer straight-line slices.
+    let widths = &state.width[lo as usize..=hi as usize];
+    let taus = &tau_row[(lo - 1) as usize..=(hi - 1) as usize];
+    let cur_off = (cur - lo) as usize; // spans always bracket cur
+    let mut best_off = 0usize;
+    let mut best_score = f64::NEG_INFINITY;
+    for (off, (&w, &t)) in widths.iter().zip(taus).enumerate() {
+        let rw = if off == cur_off { w } else { w + vw };
+        let eta = 1.0 / rw.max(eta_floor);
+        let score = score_of(t, eta);
+        if score > best_score {
+            best_score = score;
+            best_off = off;
         }
     }
+    lo + best_off as u32
 }
 
-/// Performs one complete walk: every vertex is (re-)assigned once, in a
-/// random order drawn from `rng`. Mutates `state` in place and returns the
-/// resulting objective.
-pub fn perform_walk(
-    dag: &Dag,
+/// Roulette sampling over `v`'s span with a monomorphized scoring rule;
+/// the sampling weights need the actual `τ^α · η^β` values, so this path
+/// keeps the per-candidate division.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn roulette_span(
+    v: NodeId,
+    state: &SearchState,
+    tau_row: &[f64],
     wm: &WidthModel,
-    params: &AcoParams,
+    eta_floor: f64,
+    scores: &mut Vec<f64>,
+    rng: &mut impl Rng,
+    score_of: impl Fn(f64, f64) -> f64,
+) -> u32 {
+    let lo = state.span_lo[v.index()];
+    let hi = state.span_hi[v.index()];
+    let cur = state.layer[v.index()];
+    let vw = wm.node_width(v);
+    let widths = &state.width[lo as usize..=hi as usize];
+    let taus = &tau_row[(lo - 1) as usize..=(hi - 1) as usize];
+    let cur_off = (cur - lo) as usize;
+    scores.clear();
+    scores.extend(
+        widths[..cur_off]
+            .iter()
+            .zip(&taus[..cur_off])
+            .map(|(&w, &t)| score_of(t, 1.0 / (w + vw).max(eta_floor))),
+    );
+    scores.push(score_of(
+        taus[cur_off],
+        1.0 / widths[cur_off].max(eta_floor),
+    ));
+    scores.extend(
+        widths[cur_off + 1..]
+            .iter()
+            .zip(&taus[cur_off + 1..])
+            .map(|(&w, &t)| score_of(t, 1.0 / (w + vw).max(eta_floor))),
+    );
+    let mut total = 0.0f64;
+    for score in scores.iter_mut() {
+        if !score.is_finite() {
+            *score = 0.0;
+        }
+        total += *score;
+    }
+    if total <= 0.0 || !total.is_finite() {
+        // Degenerate weights: fall back to a uniform choice.
+        return rng.gen_range(lo..=hi);
+    }
+    let mut ticket = rng.gen_range(0.0..total);
+    for (i, s) in scores.iter().enumerate() {
+        ticket -= s;
+        if ticket < 0.0 {
+            return lo + i as u32;
+        }
+    }
+    hi
+}
+
+/// Performs one complete walk: every vertex is (re-)assigned once, in the
+/// order dictated by [`AcoParams::visit_order`]. Mutates `state` in place
+/// (re-seed it with [`SearchState::copy_from`] between walks) and returns
+/// the resulting normalized objective.
+///
+/// Allocation-free once `scratch` has warmed up on a graph of this size.
+pub fn perform_walk(
+    ctx: &WalkCtx<'_>,
     tau: &VertexLayerMatrix,
     state: &mut SearchState,
+    scratch: &mut WalkScratch,
     rng: &mut impl Rng,
 ) -> f64 {
-    let order = visit_order(dag, params.visit_order, rng);
-    let eta_floor = params.effective_eta_floor(wm.dummy_width);
-    for &v in &order {
-        let target = choose_layer(v, state, tau, params, wm, eta_floor, rng);
-        state.move_vertex(dag, wm, v, target);
+    let WalkScratch {
+        order,
+        scores,
+        seen,
+        queue,
+        rest,
+    } = scratch;
+    fill_visit_order(ctx, order, seen, queue, rest, rng);
+    for &v in order.iter() {
+        let target = choose_layer(
+            v,
+            state,
+            tau.row(v),
+            ctx.params.selection,
+            ctx.alpha,
+            ctx.beta,
+            ctx.wm,
+            ctx.eta_floor,
+            scores,
+            rng,
+        );
+        state.move_vertex(ctx.csr, ctx.wm, v, target);
     }
-    state.normalized_objective(dag, wm)
+    state.incremental_objective()
 }
 
-/// Produces the vertex sequence of one walk (paper §IV-D: random by
-/// default; BFS and topological linear orders as the listed alternatives).
-pub(crate) fn visit_order(dag: &Dag, order: VisitOrder, rng: &mut impl Rng) -> Vec<NodeId> {
-    match order {
+/// Fills `order` with the vertex sequence of one walk (paper §IV-D:
+/// random by default; BFS and topological linear orders as the listed
+/// alternatives), using only the caller's buffers.
+pub(crate) fn fill_visit_order(
+    ctx: &WalkCtx<'_>,
+    order: &mut Vec<NodeId>,
+    seen: &mut Vec<bool>,
+    queue: &mut Vec<NodeId>,
+    rest: &mut Vec<NodeId>,
+    rng: &mut impl Rng,
+) {
+    let n = ctx.csr.node_count();
+    order.clear();
+    if n == 0 {
+        return;
+    }
+    match ctx.params.visit_order {
         VisitOrder::Random => {
-            let mut nodes: Vec<NodeId> = dag.nodes().collect();
-            nodes.shuffle(rng);
-            nodes
+            order.extend((0..n as u32).map(NodeId::from));
+            order.shuffle(rng);
         }
         VisitOrder::Bfs => {
-            let n = dag.node_count();
-            if n == 0 {
-                return Vec::new();
-            }
+            seen.clear();
+            seen.resize(n, false);
             let start = NodeId::new(rng.gen_range(0..n));
-            let mut seen = vec![false; n];
-            let mut nodes: Vec<NodeId> = Bfs::new(dag, start, Direction::Undirected).collect();
-            for &v in &nodes {
-                seen[v.index()] = true;
-            }
+            bfs_component(ctx.csr, start, order, seen, queue);
             // Other weak components, shuffled, then BFS'd from their first
             // member for a stable-but-seeded continuation.
-            let mut rest: Vec<NodeId> = dag.nodes().filter(|v| !seen[v.index()]).collect();
+            rest.clear();
+            rest.extend((0..n).map(NodeId::new).filter(|v| !seen[v.index()]));
             rest.shuffle(rng);
-            for v in rest {
+            for &v in rest.iter() {
                 if !seen[v.index()] {
-                    for w in Bfs::new(dag, v, Direction::Undirected) {
-                        if !seen[w.index()] {
-                            seen[w.index()] = true;
-                            nodes.push(w);
-                        }
-                    }
+                    bfs_component(ctx.csr, v, order, seen, queue);
                 }
             }
-            nodes
         }
         VisitOrder::Topological => {
-            let mut nodes = dag.topo_order().to_vec();
+            order.extend_from_slice(ctx.dag.topo_order());
             if rng.gen_bool(0.5) {
-                nodes.reverse();
+                order.reverse();
             }
-            nodes
+        }
+    }
+}
+
+/// Undirected BFS of `start`'s weak component, appending the visit
+/// sequence to `order`.
+fn bfs_component(
+    csr: &CsrView,
+    start: NodeId,
+    order: &mut Vec<NodeId>,
+    seen: &mut [bool],
+    queue: &mut Vec<NodeId>,
+) {
+    queue.clear();
+    seen[start.index()] = true;
+    queue.push(start);
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        order.push(u);
+        for &w in csr.out_neighbors(u).iter().chain(csr.in_neighbors(u)) {
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                queue.push(w);
+            }
         }
     }
 }
@@ -208,6 +451,44 @@ mod tests {
         (dag, state)
     }
 
+    /// One-off walk through the scratch API, for tests that don't reuse
+    /// buffers.
+    fn walk_once(
+        dag: &Dag,
+        wm: &WidthModel,
+        params: &AcoParams,
+        tau: &VertexLayerMatrix,
+        state: &mut SearchState,
+        rng: &mut impl Rng,
+    ) -> f64 {
+        let csr = dag.to_csr();
+        let ctx = WalkCtx::new(dag, &csr, wm, params);
+        perform_walk(&ctx, tau, state, &mut WalkScratch::new(), rng)
+    }
+
+    fn pick(
+        v: NodeId,
+        state: &SearchState,
+        tau: &VertexLayerMatrix,
+        params: &AcoParams,
+        wm: &WidthModel,
+        eta_floor: f64,
+        rng: &mut impl Rng,
+    ) -> u32 {
+        choose_layer(
+            v,
+            state,
+            tau.row(v),
+            params.selection,
+            PowExp::of(params.alpha),
+            PowExp::of(params.beta),
+            wm,
+            eta_floor,
+            &mut Vec::new(),
+            rng,
+        )
+    }
+
     #[test]
     fn pow_fast_matches_powf() {
         for e in [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 2.5] {
@@ -224,7 +505,7 @@ mod tests {
         let tau =
             VertexLayerMatrix::filled(dag.node_count(), state.total_layers as usize, params.tau0);
         let mut rng = StdRng::seed_from_u64(2);
-        let f = perform_walk(
+        let f = walk_once(
             &dag,
             &WidthModel::unit(),
             &params,
@@ -246,7 +527,7 @@ mod tests {
         let wm = WidthModel::unit();
         let mut a = state.clone();
         let mut b = state.clone();
-        perform_walk(
+        walk_once(
             &dag,
             &wm,
             &params,
@@ -254,7 +535,7 @@ mod tests {
             &mut a,
             &mut StdRng::seed_from_u64(9),
         );
-        perform_walk(
+        walk_once(
             &dag,
             &wm,
             &params,
@@ -273,7 +554,7 @@ mod tests {
         };
         let mut c = state.clone();
         let mut d = state.clone();
-        perform_walk(
+        walk_once(
             &dag,
             &wm,
             &roulette,
@@ -281,7 +562,7 @@ mod tests {
             &mut c,
             &mut StdRng::seed_from_u64(9),
         );
-        perform_walk(
+        walk_once(
             &dag,
             &wm,
             &roulette,
@@ -290,6 +571,51 @@ mod tests {
             &mut StdRng::seed_from_u64(10),
         );
         assert_ne!(c.layer, d.layer);
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_change_results() {
+        // The same scratch driven across many walks must match fresh
+        // scratch per walk, for every visit order and selection rule.
+        let (dag, state) = setup(7, 24);
+        let wm = WidthModel::unit();
+        let csr = dag.to_csr();
+        for order in [VisitOrder::Random, VisitOrder::Bfs, VisitOrder::Topological] {
+            for sel in [SelectionRule::ArgMax, SelectionRule::Roulette] {
+                let params = AcoParams {
+                    visit_order: order,
+                    selection: sel,
+                    ..AcoParams::default()
+                };
+                let tau = VertexLayerMatrix::filled(
+                    dag.node_count(),
+                    state.total_layers as usize,
+                    params.tau0,
+                );
+                let ctx = WalkCtx::new(&dag, &csr, &wm, &params);
+                let mut reused = WalkScratch::new();
+                for seed in 0..6u64 {
+                    let mut s1 = state.clone();
+                    let mut s2 = state.clone();
+                    let f1 = perform_walk(
+                        &ctx,
+                        &tau,
+                        &mut s1,
+                        &mut reused,
+                        &mut StdRng::seed_from_u64(seed),
+                    );
+                    let f2 = perform_walk(
+                        &ctx,
+                        &tau,
+                        &mut s2,
+                        &mut WalkScratch::new(),
+                        &mut StdRng::seed_from_u64(seed),
+                    );
+                    assert_eq!(s1, s2, "{order:?}/{sel:?} seed {seed}");
+                    assert_eq!(f1, f2);
+                }
+            }
+        }
     }
 
     #[test]
@@ -304,7 +630,7 @@ mod tests {
         let tau =
             VertexLayerMatrix::filled(dag.node_count(), state.total_layers as usize, params.tau0);
         let mut rng = StdRng::seed_from_u64(4);
-        perform_walk(
+        walk_once(
             &dag,
             &WidthModel::unit(),
             &params,
@@ -326,7 +652,7 @@ mod tests {
         let mut tau = VertexLayerMatrix::filled(1, 2, 1.0);
         tau.set(NodeId::new(0), 2, 100.0);
         let mut rng = StdRng::seed_from_u64(1);
-        let chosen = choose_layer(NodeId::new(0), &state, &tau, &params, &wm, 1.0, &mut rng);
+        let chosen = pick(NodeId::new(0), &state, &tau, &params, &wm, 1.0, &mut rng);
         assert_eq!(chosen, 2);
     }
 
@@ -345,7 +671,7 @@ mod tests {
         let params = AcoParams::default();
         let tau = VertexLayerMatrix::filled(2, 2, 1.0);
         let mut rng = StdRng::seed_from_u64(1);
-        let chosen = choose_layer(NodeId::new(0), &state, &tau, &params, &wm, 1.0, &mut rng);
+        let chosen = pick(NodeId::new(0), &state, &tau, &params, &wm, 1.0, &mut rng);
         assert_eq!(chosen, 2, "empty layer 2 is more attractive");
     }
 
@@ -362,7 +688,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let mut seen = [false; 4];
         for _ in 0..200 {
-            let l = choose_layer(NodeId::new(0), &state, &tau, &params, &wm, 1.0, &mut rng);
+            let l = pick(NodeId::new(0), &state, &tau, &params, &wm, 1.0, &mut rng);
             seen[l as usize] = true;
         }
         assert!(
@@ -375,8 +701,24 @@ mod tests {
     fn visit_orders_are_permutations() {
         let mut rng = StdRng::seed_from_u64(19);
         let dag = generate::random_dag_with_edges(25, 30, &mut rng);
+        let wm = WidthModel::unit();
+        let csr = dag.to_csr();
         for order in [VisitOrder::Random, VisitOrder::Bfs, VisitOrder::Topological] {
-            let mut seq = visit_order(&dag, order, &mut rng);
+            let params = AcoParams {
+                visit_order: order,
+                ..AcoParams::default()
+            };
+            let ctx = WalkCtx::new(&dag, &csr, &wm, &params);
+            let mut scratch = WalkScratch::new();
+            fill_visit_order(
+                &ctx,
+                &mut scratch.order,
+                &mut scratch.seen,
+                &mut scratch.queue,
+                &mut scratch.rest,
+                &mut rng,
+            );
+            let mut seq = scratch.order.clone();
             assert_eq!(seq.len(), 25, "{order:?}");
             seq.sort();
             seq.dedup();
@@ -387,9 +729,24 @@ mod tests {
     #[test]
     fn bfs_order_covers_disconnected_components() {
         let dag = Dag::from_edges(6, &[(0, 1), (2, 3)]).unwrap();
+        let wm = WidthModel::unit();
+        let csr = dag.to_csr();
+        let params = AcoParams {
+            visit_order: VisitOrder::Bfs,
+            ..AcoParams::default()
+        };
+        let ctx = WalkCtx::new(&dag, &csr, &wm, &params);
         let mut rng = StdRng::seed_from_u64(2);
-        let seq = visit_order(&dag, VisitOrder::Bfs, &mut rng);
-        assert_eq!(seq.len(), 6);
+        let mut scratch = WalkScratch::new();
+        fill_visit_order(
+            &ctx,
+            &mut scratch.order,
+            &mut scratch.seen,
+            &mut scratch.queue,
+            &mut scratch.rest,
+            &mut rng,
+        );
+        assert_eq!(scratch.order.len(), 6);
     }
 
     #[test]
@@ -408,7 +765,7 @@ mod tests {
             );
             let mut s = state.clone();
             let mut rng = StdRng::seed_from_u64(4);
-            let f = perform_walk(&dag, &wm, &params, &tau, &mut s, &mut rng);
+            let f = walk_once(&dag, &wm, &params, &tau, &mut s, &mut rng);
             assert!(f > 0.0);
             s.to_layering().validate(&dag).unwrap();
         }
@@ -429,7 +786,7 @@ mod tests {
         let tau = VertexLayerMatrix::filled(3, 3, 1.0);
         let mut rng = StdRng::seed_from_u64(8);
         assert_eq!(
-            choose_layer(NodeId::new(1), &state, &tau, &params, &wm, 1.0, &mut rng),
+            pick(NodeId::new(1), &state, &tau, &params, &wm, 1.0, &mut rng),
             2
         );
     }

@@ -4,13 +4,13 @@
 
 use antlayer_aco::{
     compute_widths, perform_walk, stretch, AcoLayering, AcoParams, DepositStrategy, SearchState,
-    SelectionRule, StretchStrategy, VertexLayerMatrix, VisitOrder,
+    SelectionRule, StretchStrategy, VertexLayerMatrix, VisitOrder, WalkCtx, WalkScratch,
 };
-use antlayer_graph::{generate, Dag};
+use antlayer_graph::{generate, Dag, NodeId, NodeVec};
 use antlayer_layering::{metrics, LayeringAlgorithm, LongestPath, WidthModel};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn arb_dag() -> impl Strategy<Value = Dag> {
     (2usize..40, 0u64..1_000_000, 0u8..4).prop_map(|(n, seed, kind)| {
@@ -113,7 +113,9 @@ proptest! {
             params.tau0,
         );
         let mut rng = StdRng::seed_from_u64(seed);
-        perform_walk(&dag, &wm, &params, &tau, &mut state, &mut rng);
+        let csr = dag.to_csr();
+        let ctx = WalkCtx::new(&dag, &csr, &wm, &params);
+        perform_walk(&ctx, &tau, &mut state, &mut WalkScratch::new(), &mut rng);
         // Incremental widths equal fresh recomputation.
         let fresh = compute_widths(&dag, &state.layer, state.total_layers, &wm);
         for (l, (a, b)) in state.width.iter().zip(fresh.iter()).enumerate().skip(1) {
@@ -150,6 +152,83 @@ proptest! {
             prop_assert!(state.span_lo[v.index()] <= state.layer[v.index()]);
             prop_assert!(state.layer[v.index()] <= state.span_hi[v.index()]);
         }
+    }
+
+    #[test]
+    fn incremental_objective_equals_normalized_after_any_moves(
+        dag in arb_dag(),
+        seed in 0u64..1_000_000,
+        wm_kind in 0u8..4,
+        moves in 0usize..300,
+    ) {
+        // The flat-scan objective must agree with the full rebuild-normalize-
+        // measure path for any DAG, any width model (unit, scaled dummies,
+        // zero dummies, per-node widths) and any legal move sequence.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let wm = match wm_kind {
+            0 => WidthModel::unit(),
+            1 => WidthModel::with_dummy_width(0.3),
+            2 => WidthModel::with_dummy_width(0.0),
+            _ => {
+                let mut widths = NodeVec::filled(1.0f64, dag.node_count());
+                for i in 0..dag.node_count() {
+                    widths[NodeId::new(i)] = 0.5 + f64::from(rng.gen_range(0u32..5));
+                }
+                WidthModel::with_node_widths(widths, 0.7)
+            }
+        };
+        let lpl = LongestPath.layer(&dag, &wm);
+        let s = stretch(&lpl, dag.node_count(), StretchStrategy::Between);
+        let mut state = SearchState::new(&dag, &s.layering, s.total_layers, &wm);
+        prop_assert_eq!(
+            state.incremental_objective(),
+            state.normalized_objective(&dag, &wm),
+            "fresh states must agree bitwise"
+        );
+        let csr = dag.to_csr();
+        for _ in 0..moves {
+            let v = NodeId::new(rng.gen_range(0..dag.node_count()));
+            let (lo, hi) = (state.span_lo[v.index()], state.span_hi[v.index()]);
+            state.move_vertex(&csr, &wm, v, rng.gen_range(lo..=hi));
+        }
+        let inc = state.incremental_objective();
+        let full = state.normalized_objective(&dag, &wm);
+        prop_assert!(
+            (inc - full).abs() < 1e-9,
+            "incremental {} vs normalized {} after {} moves",
+            inc, full, moves
+        );
+    }
+
+    #[test]
+    fn optimized_walk_matches_reference_walk(dag in arb_dag(), seed in 0u64..100_000, sel in 0u8..2) {
+        // Same RNG stream, same base: the zero-alloc CSR walk and the
+        // pre-refactor allocating walk must make identical decisions under
+        // the random visit order (their RNG consumption patterns match and
+        // the monomorphized scoring closures evaluate the identical
+        // floating-point expressions) — bit-for-bit, for both selection
+        // rules.
+        let wm = WidthModel::unit();
+        let params = AcoParams {
+            selection: if sel == 0 { SelectionRule::ArgMax } else { SelectionRule::Roulette },
+            ..AcoParams::default()
+        };
+        let lpl = LongestPath.layer(&dag, &wm);
+        let s = stretch(&lpl, dag.node_count(), StretchStrategy::Between);
+        let base = SearchState::new(&dag, &s.layering, s.total_layers, &wm);
+        let tau = VertexLayerMatrix::filled(dag.node_count(), base.total_layers as usize, 1.0);
+        let mut old = base.clone();
+        let f_old = antlayer_aco::reference::perform_walk(
+            &dag, &wm, &params, &tau, &mut old, &mut StdRng::seed_from_u64(seed),
+        );
+        let csr = dag.to_csr();
+        let ctx = WalkCtx::new(&dag, &csr, &wm, &params);
+        let mut new = base.clone();
+        let f_new = perform_walk(
+            &ctx, &tau, &mut new, &mut WalkScratch::new(), &mut StdRng::seed_from_u64(seed),
+        );
+        prop_assert_eq!(&old.layer, &new.layer);
+        prop_assert!((f_old - f_new).abs() < 1e-9, "{} vs {}", f_old, f_new);
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Compressed-sparse-row adjacency and the [`Adjacency`] abstraction.
+//!
+//! [`DiGraph`] stores adjacency as `Vec<Vec<NodeId>>` — convenient for
+//! construction, but every neighbor scan chases a second pointer and the
+//! per-node lists are scattered across the heap. [`CsrView`] packs both
+//! directions into four flat arrays (`offsets` + `targets` per direction)
+//! so that the inner loops of the ACO walk read contiguous memory. The
+//! view is immutable: build it once per algorithm run from a finished
+//! graph and thread it through the hot path.
+//!
+//! [`Adjacency`] is the minimal neighbor-scan interface shared by
+//! [`DiGraph`], [`Dag`] and [`CsrView`]; algorithms generic over it are
+//! monomorphized, so the abstraction costs nothing at runtime.
+
+use crate::{Dag, DiGraph, NodeId};
+
+/// Read-only neighbor access, implemented by every graph representation.
+///
+/// The neighbor slices must list the same nodes in the same order for all
+/// implementations describing the same graph (CSR construction preserves
+/// the `DiGraph` list order), so algorithms produce identical results no
+/// matter which representation they are handed.
+pub trait Adjacency {
+    /// Number of nodes (ids are dense, `0..node_count`).
+    fn node_count(&self) -> usize;
+
+    /// Successors of `v` (targets of edges leaving `v`).
+    fn out_neighbors(&self, v: NodeId) -> &[NodeId];
+
+    /// Predecessors of `v` (sources of edges entering `v`).
+    fn in_neighbors(&self, v: NodeId) -> &[NodeId];
+
+    /// Out-degree of `v`.
+    #[inline]
+    fn out_degree(&self, v: NodeId) -> usize {
+        self.out_neighbors(v).len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    fn in_degree(&self, v: NodeId) -> usize {
+        self.in_neighbors(v).len()
+    }
+}
+
+impl Adjacency for DiGraph {
+    #[inline]
+    fn node_count(&self) -> usize {
+        DiGraph::node_count(self)
+    }
+
+    #[inline]
+    fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        DiGraph::out_neighbors(self, v)
+    }
+
+    #[inline]
+    fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        DiGraph::in_neighbors(self, v)
+    }
+}
+
+impl Adjacency for Dag {
+    #[inline]
+    fn node_count(&self) -> usize {
+        DiGraph::node_count(self)
+    }
+
+    #[inline]
+    fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        DiGraph::out_neighbors(self, v)
+    }
+
+    #[inline]
+    fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        DiGraph::in_neighbors(self, v)
+    }
+}
+
+/// Flat compressed-sparse-row snapshot of a [`DiGraph`]'s adjacency, both
+/// directions.
+///
+/// Neighbors of node `v` occupy `targets[offsets[v] .. offsets[v + 1]]`;
+/// four dense arrays replace `2 · |V|` heap-allocated lists, so scanning a
+/// neighborhood is one bounds check and a contiguous read.
+///
+/// # Example
+/// ```
+/// use antlayer_graph::{Adjacency, DiGraph, NodeId};
+///
+/// let g = DiGraph::from_edges(3, &[(0, 1), (0, 2), (1, 2)]).unwrap();
+/// let csr = g.to_csr();
+/// assert_eq!(csr.out_neighbors(NodeId::new(0)), g.out_neighbors(NodeId::new(0)));
+/// assert_eq!(csr.in_neighbors(NodeId::new(2)), g.in_neighbors(NodeId::new(2)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CsrView {
+    out_offsets: Vec<u32>,
+    out_targets: Vec<NodeId>,
+    in_offsets: Vec<u32>,
+    in_targets: Vec<NodeId>,
+}
+
+impl CsrView {
+    /// Builds the view from `graph`, preserving neighbor-list order.
+    pub fn from_graph(graph: &DiGraph) -> Self {
+        let n = graph.node_count();
+        let m = graph.edge_count();
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        let mut out_targets = Vec::with_capacity(m);
+        let mut in_offsets = Vec::with_capacity(n + 1);
+        let mut in_targets = Vec::with_capacity(m);
+        out_offsets.push(0);
+        in_offsets.push(0);
+        for v in graph.nodes() {
+            out_targets.extend_from_slice(graph.out_neighbors(v));
+            out_offsets.push(out_targets.len() as u32);
+            in_targets.extend_from_slice(graph.in_neighbors(v));
+            in_offsets.push(in_targets.len() as u32);
+        }
+        CsrView {
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+        }
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+}
+
+impl Adjacency for CsrView {
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    #[inline]
+    fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let i = v.index();
+        &self.out_targets[self.out_offsets[i] as usize..self.out_offsets[i + 1] as usize]
+    }
+
+    #[inline]
+    fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let i = v.index();
+        &self.in_targets[self.in_offsets[i] as usize..self.in_offsets[i + 1] as usize]
+    }
+}
+
+impl DiGraph {
+    /// Snapshots the adjacency into a [`CsrView`] for cache-local scans.
+    pub fn to_csr(&self) -> CsrView {
+        CsrView::from_graph(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_graph_view() {
+        let csr = DiGraph::new().to_csr();
+        assert_eq!(Adjacency::node_count(&csr), 0);
+        assert_eq!(csr.edge_count(), 0);
+    }
+
+    #[test]
+    fn matches_vecvec_adjacency_exactly() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let dag = generate::random_dag_with_edges(30, 60, &mut rng);
+            let csr = dag.to_csr();
+            assert_eq!(Adjacency::node_count(&csr), dag.node_count());
+            assert_eq!(csr.edge_count(), dag.edge_count());
+            for v in dag.nodes() {
+                assert_eq!(csr.out_neighbors(v), DiGraph::out_neighbors(&dag, v));
+                assert_eq!(csr.in_neighbors(v), DiGraph::in_neighbors(&dag, v));
+                assert_eq!(Adjacency::out_degree(&csr, v), DiGraph::out_degree(&dag, v));
+                assert_eq!(Adjacency::in_degree(&csr, v), DiGraph::in_degree(&dag, v));
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_slices() {
+        let g = DiGraph::from_edges(4, &[(0, 1)]).unwrap();
+        let csr = g.to_csr();
+        assert!(csr.out_neighbors(NodeId::new(2)).is_empty());
+        assert!(csr.in_neighbors(NodeId::new(3)).is_empty());
+    }
+
+    #[test]
+    fn adjacency_trait_is_uniform_across_representations() {
+        fn total_degree<A: Adjacency>(g: &A) -> usize {
+            (0..g.node_count())
+                .map(|i| g.out_degree(NodeId::new(i)) + g.in_degree(NodeId::new(i)))
+                .sum()
+        }
+        let dag = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let csr = dag.to_csr();
+        assert_eq!(total_degree(dag.graph()), total_degree(&csr));
+        assert_eq!(total_degree(&dag), 8);
+    }
+}

@@ -11,6 +11,9 @@
 //!   [`NodeVec`] side tables, not inside the graph).
 //! * [`Dag`] — a digraph whose acyclicity is proven at construction, carrying
 //!   a cached topological order. All layering algorithms take a `Dag`.
+//! * [`CsrView`] / [`Adjacency`] — a flat compressed-sparse-row snapshot of
+//!   the adjacency (both directions) for cache-local hot loops, and the
+//!   representation-agnostic neighbor-scan trait shared with `DiGraph`/`Dag`.
 //! * [`GraphDelta`] — validated edge diffs (add/remove) with inverses, the
 //!   substrate of the serving layer's incremental re-layout.
 //! * Topological algorithms ([`topological_sort`], [`longest_path_to_sink`],
@@ -31,6 +34,7 @@
 #![forbid(unsafe_code)]
 
 mod acyclic;
+mod csr;
 mod delta;
 mod digraph;
 mod error;
@@ -43,6 +47,7 @@ mod topo;
 mod traversal;
 
 pub use acyclic::Dag;
+pub use csr::{Adjacency, CsrView};
 pub use delta::{DeltaError, GraphDelta};
 pub use digraph::DiGraph;
 pub use error::{GraphError, ParseError};

@@ -91,6 +91,94 @@ where
         .collect()
 }
 
+/// Like [`par_map_with`], but the per-worker state lives in caller-owned
+/// slots that survive the call — worker `j` borrows `scratch[j]` for the
+/// duration, so buffers warmed up by one invocation are reused by the
+/// next (the ACO colony's scratch-per-thread pattern: one cold
+/// allocation per colony, none per tour).
+///
+/// At most `min(threads, items.len(), scratch.len())` workers run; the
+/// sequential fast path (one worker) uses `scratch[0]`. Which scratch
+/// slot processes which item is unspecified, so `f` must reset any state
+/// it reads before use — determinism of the *results* is then automatic
+/// because they land at their item's index.
+///
+/// # Panics
+/// Panics when `scratch` is empty and there is at least one item.
+///
+/// # Example
+/// ```
+/// let mut scratch = vec![Vec::<u8>::new(); 4];
+/// let out = antlayer_parallel::par_map_with_scratch(4, &mut scratch, vec![1u8, 2, 3], |buf, _, x| {
+///     buf.clear();
+///     buf.push(x);
+///     buf[0] * 2
+/// });
+/// assert_eq!(out, vec![2, 4, 6]);
+/// ```
+pub fn par_map_with_scratch<T, R, S, F>(
+    threads: usize,
+    scratch: &mut [S],
+    items: Vec<T>,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    S: Send,
+    F: Fn(&mut S, usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(!scratch.is_empty(), "need at least one scratch slot");
+    let workers = threads.max(1).min(n).min(scratch.len());
+    if workers == 1 {
+        let s = &mut scratch[0];
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(s, i, item))
+            .collect();
+    }
+    let slots: Vec<parking_lot::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|it| parking_lot::Mutex::new(Some(it)))
+        .collect();
+    let results: Vec<parking_lot::Mutex<Option<R>>> =
+        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    // Shared immutably by every worker; each worker exclusively owns its
+    // `&mut S` for the whole call.
+    {
+        let (f, slots, results, next) = (&f, &slots, &results, &next);
+        crossbeam::scope(|scope| {
+            for s in scratch[..workers].iter_mut() {
+                scope.spawn(move |_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .take()
+                        .expect("each index is claimed exactly once");
+                    let r = f(s, i, item);
+                    *results[i].lock() = Some(r);
+                });
+            }
+        })
+        .expect("worker threads must not panic");
+    }
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every slot was filled"))
+        .collect()
+}
+
 /// Like [`par_map`], but each worker thread carries mutable per-thread state
 /// created by `init` (e.g. a scratch buffer or an RNG *not* used for
 /// item-level decisions — per-item determinism is the caller's business).
@@ -197,6 +285,52 @@ mod tests {
     fn more_threads_than_items_is_fine() {
         let out = par_map(64, vec![1, 2, 3], |_, x| x);
         assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn scratch_slots_survive_and_are_reused() {
+        // The same buffers serve several calls: capacities grown by the
+        // first call carry over (the zero-alloc-per-tour contract).
+        let mut scratch = vec![Vec::<usize>::new(); 4];
+        for round in 0..3 {
+            let out =
+                par_map_with_scratch(4, &mut scratch, (0..100).collect(), |buf, i, x: usize| {
+                    buf.clear();
+                    buf.push(x);
+                    buf[0] + i
+                });
+            assert_eq!(
+                out,
+                (0..100).map(|x| 2 * x).collect::<Vec<_>>(),
+                "round {round}"
+            );
+        }
+        let touched: usize = scratch.iter().map(|b| b.capacity().min(1)).sum();
+        assert!(touched >= 1, "at least one slot must have been used");
+    }
+
+    #[test]
+    fn scratch_results_are_ordered_and_thread_invariant() {
+        let mut s1 = vec![0u64; 1];
+        let mut s8 = vec![0u64; 8];
+        let items: Vec<u64> = (0..257).collect();
+        let seq = par_map_with_scratch(1, &mut s1, items.clone(), |_, i, x| x * 3 + i as u64);
+        let par = par_map_with_scratch(8, &mut s8, items, |_, i, x| x * 3 + i as u64);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn fewer_scratch_slots_than_threads_caps_workers() {
+        let mut scratch = vec![(); 2];
+        let out = par_map_with_scratch(16, &mut scratch, (0..50u32).collect(), |_, _, x| x + 1);
+        assert_eq!(out, (1..=50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scratch_empty_items_is_fine_even_without_slots() {
+        let mut scratch: Vec<()> = Vec::new();
+        let out: Vec<u32> = par_map_with_scratch(4, &mut scratch, Vec::<u32>::new(), |_, _, x| x);
+        assert!(out.is_empty());
     }
 
     #[test]

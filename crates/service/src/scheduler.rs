@@ -420,7 +420,9 @@ impl Scheduler {
     /// assert_eq!(second.source, Source::CacheHit); // same digest, no recompute
     /// ```
     pub fn submit(&self, request: LayoutRequest) -> Result<Ticket, ServiceError> {
-        self.submit_inner(request, None)
+        validate_request(&request)?;
+        let digest = request.digest();
+        self.submit_inner(request, None, digest)
     }
 
     /// Submits an incremental re-layout: resolves the base layering in
@@ -450,24 +452,22 @@ impl Scheduler {
             nd_width: request.nd_width,
             deadline: request.deadline,
         };
-        self.submit_inner(full, Some(base))
+        validate_request(&full)?;
+        let digest = full.digest();
+        self.submit_inner(full, Some(base), digest)
     }
 
+    /// `digest` must be `request.digest()` and the request must already
+    /// have passed [`validate_request`] (digesting an invalid width model
+    /// would panic); every caller validates before hashing, and batch
+    /// admission reuses the digest for classification so the graph is
+    /// hashed once.
     fn submit_inner(
         &self,
         request: LayoutRequest,
         warm: Option<Arc<LayoutResult>>,
+        digest: Digest,
     ) -> Result<Ticket, ServiceError> {
-        if !request.nd_width.is_finite() || request.nd_width < 0.0 {
-            return Err(ServiceError::InvalidRequest(format!(
-                "nd_width must be finite and non-negative, got {}",
-                request.nd_width
-            )));
-        }
-        if let AlgoSpec::Aco(p) = &request.algo {
-            p.validate().map_err(ServiceError::InvalidRequest)?;
-        }
-        let digest = request.digest();
         // Resolve the deadline to an absolute instant up front, before
         // any scheduler state changes: `checked_add` turns an
         // overflow-sized budget (e.g. `Duration::MAX`) into "unbounded"
@@ -571,8 +571,43 @@ impl Scheduler {
     /// Submits a batch; per-request admission (a rejected request does
     /// not poison the rest of the batch). Duplicate digests within the
     /// batch coalesce onto one computation like any other duplicates.
+    ///
+    /// Admission order is **hits before cold misses**: the batch is first
+    /// classified against the cache by digest, every already-cached
+    /// request is served (its ticket resolves immediately), and only then
+    /// are the cold requests enqueued onto the worker pool. A batch that
+    /// mixes one slow cold layout with many cached ones therefore never
+    /// queues the cached responses behind the computation, and a
+    /// contended admission window is spent entirely on requests that
+    /// actually need compute. Tickets are returned in the *original*
+    /// batch positions regardless of the admission order.
     pub fn submit_batch(&self, requests: Vec<LayoutRequest>) -> Vec<Result<Ticket, ServiceError>> {
-        requests.into_iter().map(|r| self.submit(r)).collect()
+        let n = requests.len();
+        let mut out: Vec<Option<Result<Ticket, ServiceError>>> = (0..n).map(|_| None).collect();
+        // Digest once per request; reused for classification and submit.
+        // Classify with `peek`, not `get`: the pre-pass must not inflate
+        // the hit/miss statistics — the authoritative lookup happens
+        // inside `submit_inner`, which also handles the race of an entry
+        // being evicted (or appearing) between the two steps. Invalid
+        // requests are rejected in place and sit out the reorder.
+        let mut indexed: Vec<(bool, usize, Digest, LayoutRequest)> = Vec::with_capacity(n);
+        for (i, r) in requests.into_iter().enumerate() {
+            match validate_request(&r) {
+                Ok(()) => {
+                    let d = r.digest();
+                    indexed.push((self.cache.peek(d).is_none(), i, d, r));
+                }
+                Err(e) => out[i] = Some(Err(e)),
+            }
+        }
+        // Stable partition: hits first, original order within each class.
+        indexed.sort_by_key(|&(miss, i, _, _)| (miss, i));
+        for (_, i, digest, request) in indexed {
+            out[i] = Some(self.submit_inner(request, None, digest));
+        }
+        out.into_iter()
+            .map(|t| t.expect("every position filled"))
+            .collect()
     }
 
     /// Blocks until every queued job has finished.
@@ -591,6 +626,22 @@ impl Scheduler {
             cache: self.cache.counters(),
         }
     }
+}
+
+/// Rejects malformed requests before anything hashes the graph (the
+/// canonical digest builds a [`WidthModel`], which refuses non-finite
+/// widths by panicking).
+fn validate_request(request: &LayoutRequest) -> Result<(), ServiceError> {
+    if !request.nd_width.is_finite() || request.nd_width < 0.0 {
+        return Err(ServiceError::InvalidRequest(format!(
+            "nd_width must be finite and non-negative, got {}",
+            request.nd_width
+        )));
+    }
+    if let AlgoSpec::Aco(p) = &request.algo {
+        p.validate().map_err(ServiceError::InvalidRequest)?;
+    }
+    Ok(())
 }
 
 /// Runs the requested algorithm; cycles in the input are oriented away
@@ -965,6 +1016,69 @@ mod tests {
             s.submit(bad),
             Err(ServiceError::InvalidRequest(_))
         ));
+    }
+
+    #[test]
+    fn batch_hits_drain_before_cold_misses() {
+        // One worker thread, and a cold request slow enough to still be
+        // running while we drain the batch's hit: if the hit were queued
+        // behind the compute its wait() would block until the colony
+        // finishes; instead it must resolve from the cache immediately,
+        // while the cold job is demonstrably still in flight.
+        let s = Scheduler::new(SchedulerConfig {
+            threads: 1,
+            ..Default::default()
+        });
+        let cached = LayoutRequest::new(small_graph(40), quick_aco(40));
+        s.submit(cached.clone()).unwrap().wait().unwrap();
+
+        let slow = LayoutRequest::new(
+            small_graph(41),
+            AlgoSpec::Aco(AcoParams::default().with_colony(10, 60).with_seed(41)),
+        );
+        // The hit is deliberately *behind* the cold miss in batch order.
+        let tickets = s.submit_batch(vec![slow, cached]);
+        let mut tickets = tickets.into_iter();
+        let slow_ticket = tickets.next().unwrap().unwrap();
+        let hit = tickets.next().unwrap().unwrap().wait().unwrap();
+        assert_eq!(hit.source, Source::CacheHit);
+        // The cold compute had no chance to finish a 10x60 colony before
+        // the hit resolved (on any machine this test runs on); seeing it
+        // still in flight proves the hit was not queued behind it.
+        assert_eq!(
+            s.counters().inflight,
+            1,
+            "cold job should still be computing while the hit is served"
+        );
+        slow_ticket.wait().unwrap();
+        let c = s.counters();
+        assert_eq!(c.computed, 2);
+        assert_eq!(c.cache.hits, 1);
+    }
+
+    #[test]
+    fn batch_reorder_preserves_ticket_positions() {
+        let s = Scheduler::new(SchedulerConfig {
+            threads: 2,
+            ..Default::default()
+        });
+        let a = LayoutRequest::new(small_graph(50), quick_aco(50));
+        let b = LayoutRequest::new(small_graph(51), quick_aco(51));
+        let c = LayoutRequest::new(small_graph(52), quick_aco(52));
+        // Warm the middle request only.
+        s.submit(b.clone()).unwrap().wait().unwrap();
+        let digests: Vec<_> = [&a, &b, &c].iter().map(|r| r.digest()).collect();
+        let responses: Vec<_> = s
+            .submit_batch(vec![a, b, c])
+            .into_iter()
+            .map(|t| t.unwrap().wait().unwrap())
+            .collect();
+        // Position i answers request i, whatever the admission order was.
+        for (i, r) in responses.iter().enumerate() {
+            assert_eq!(r.result.digest, digests[i], "position {i}");
+        }
+        assert_eq!(responses[1].source, Source::CacheHit);
+        assert_eq!(s.counters().computed, 3);
     }
 
     #[test]
