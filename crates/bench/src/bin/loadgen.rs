@@ -2,17 +2,23 @@
 //!
 //! Spawns an in-process server on a loopback port (or a whole sharded
 //! fleet with `--router`, or targets an external endpoint via `--addr`),
-//! drives it with concurrent JSON-over-TCP clients, and reports
-//! throughput, goodput and latency percentiles for cold (every request a
-//! new graph), cached (one graph requested repeatedly), mixed, and edit
-//! (interactive editing sessions speaking `layout_delta`) workloads.
+//! drives it with concurrent `antlayer-client` clients over either wire
+//! framing, and reports throughput, goodput and latency percentiles for
+//! cold (every request a new graph), cached (one graph requested
+//! repeatedly), mixed, and edit (interactive editing sessions speaking
+//! `layout_delta`) workloads.
 //!
 //! ```text
 //! loadgen [--mode cold|cached|mixed|edit] [--requests N] [--clients C]
 //!         [--n NODES] [--ants A] [--tours T] [--deadline-ms D]
 //!         [--threads W] [--addr HOST:PORT] [--retries R]
-//!         [--router] [--shards S]
+//!         [--transport tcp|http] [--router] [--shards S]
 //! ```
+//!
+//! `--transport http` speaks the hand-rolled HTTP/1.1 framing
+//! (`POST /v2`) instead of newline-delimited TCP; the protocol — and
+//! therefore the digests, cache hits, and results — is identical, which
+//! `experiments transport` gates in CI (`BENCH_5.json`).
 //!
 //! With `--router` (and no `--addr`), the generator boots `--shards`
 //! in-process shard servers plus an `antlayer-router` front and drives
@@ -24,10 +30,10 @@
 //! `layout` of a private base graph, then a chain of `layout_delta`
 //! requests each editing 1–3 edges and warm-starting from the previous
 //! response's digest. If the server evicted the base (`base not found`)
-//! — or, through a router, the base's shard went down — the client falls
-//! back to a full layout and resumes the chain: the protocol's intended
-//! recovery (implemented in `antlayer_bench::loadclient`, where the
-//! router regression tests exercise it too).
+//! — or, through a router, the base's shard went down — the typed
+//! client recovers in-step with an automatic full layout and the chain
+//! resumes (`antlayer_client::Outcome::fell_back`, reported as
+//! `rebases`); the router regression tests exercise the same path.
 //!
 //! `overloaded` responses are **not** fatal: the client retries with
 //! exponential backoff (up to `--retries`, default 8) and the report
@@ -42,11 +48,11 @@
 //! fleet-wide aggregates of the `stats` fan-out).
 
 use antlayer_bench::loadclient::{
-    base_graph, layout_line, percentile, spawn_shard, Connection, EditSession, RequestProfile,
-    Tallies,
+    base_graph, percentile, spawn_shard_with, EditSession, RequestProfile, Tallies,
 };
+use antlayer_client::{Client, ClientError, Json, Transport};
+use antlayer_graph::DiGraph;
 use antlayer_router::{Router, RouterConfig, RouterHandle};
-use antlayer_service::protocol::Json;
 use antlayer_service::server::ServerHandle;
 use std::sync::atomic::Ordering;
 use std::time::Instant;
@@ -58,6 +64,7 @@ struct Options {
     profile: RequestProfile,
     threads: usize,
     addr: Option<String>,
+    transport: Transport,
     router: bool,
     shards: usize,
 }
@@ -71,6 +78,7 @@ fn parse_args() -> Result<Options, String> {
         profile: RequestProfile::default(),
         threads: 0,
         addr: None,
+        transport: Transport::Tcp,
         router: false,
         shards: 2,
     };
@@ -97,6 +105,7 @@ fn parse_args() -> Result<Options, String> {
             "--retries" => {
                 o.profile.retries = value(&mut i)?.parse().map_err(|e| format!("{e}"))?
             }
+            "--transport" => o.transport = Transport::parse(&value(&mut i)?)?,
             "--router" => o.router = true,
             "--shards" => o.shards = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             other => return Err(format!("unknown flag '{other}'")),
@@ -118,27 +127,37 @@ fn parse_args() -> Result<Options, String> {
     Ok(o)
 }
 
-/// Static-line client for the cold/cached/mixed modes.
+/// Static-workload client for the cold/cached/mixed modes: replays the
+/// pre-built (graph, seed) items through the typed client.
 fn run_static_client(
     o: &Options,
     addr: &str,
-    lines: &[String],
+    workload: &[(DiGraph, u64)],
     range: std::ops::Range<usize>,
     tallies: &Tallies,
 ) -> Vec<u64> {
-    let mut conn = Connection::open(addr);
+    let mut client =
+        Client::connect_with(addr, o.profile.client_config(o.transport)).expect("connect");
     let mut lat = Vec::with_capacity(range.len());
     for i in range {
-        let line = &lines[i % lines.len()];
+        let (graph, seed) = &workload[i % workload.len()];
+        let options = o.profile.options(*seed);
         let t0 = Instant::now();
-        if let Some(v) = conn.exchange_with_backoff(line, o.profile.retries, tallies) {
-            assert!(
-                v.get("ok") == Some(&Json::Bool(true)),
-                "server error: {}",
-                v.encode()
-            );
-            lat.push(t0.elapsed().as_micros() as u64);
-            tallies.good.fetch_add(1, Ordering::Relaxed);
+        match client.layout(graph, &options) {
+            Ok(outcome) => {
+                lat.push(t0.elapsed().as_micros() as u64);
+                tallies.good.fetch_add(1, Ordering::Relaxed);
+                tallies
+                    .retried
+                    .fetch_add(outcome.retried as u64, Ordering::Relaxed);
+            }
+            Err(ClientError::Dropped { attempts }) => {
+                tallies
+                    .retried
+                    .fetch_add(attempts.saturating_sub(1) as u64, Ordering::Relaxed);
+                tallies.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => panic!("server error: {e}"),
         }
     }
     lat
@@ -152,7 +171,7 @@ fn run_edit_client(
     budget: usize,
     tallies: &Tallies,
 ) -> Vec<u64> {
-    let mut session = EditSession::open(addr, o.profile.clone(), client);
+    let mut session = EditSession::open_with(addr, o.transport, o.profile.clone(), client);
     let mut lat = Vec::with_capacity(budget);
     for _ in 0..budget {
         if let Some(micros) = session.step(tallies) {
@@ -169,6 +188,17 @@ enum Fleet {
     Sharded(Vec<ServerHandle>, RouterHandle),
 }
 
+/// The client-facing address of a handle on the chosen transport.
+fn server_addr(handle: &ServerHandle, transport: Transport) -> String {
+    match transport {
+        Transport::Tcp => handle.addr().to_string(),
+        Transport::Http => handle
+            .http_addr()
+            .expect("shard spawned with an HTTP listener")
+            .to_string(),
+    }
+}
+
 fn main() {
     let o = match parse_args() {
         Ok(o) => o,
@@ -177,32 +207,43 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let http = o.transport == Transport::Http;
 
     // Start (or target) the server / fleet.
     let (addr, fleet) = match &o.addr {
         Some(a) => (a.clone(), Fleet::None),
         None if o.router => {
-            let shards: Vec<ServerHandle> = (0..o.shards).map(|_| spawn_shard(o.threads)).collect();
+            let shards: Vec<ServerHandle> = (0..o.shards)
+                .map(|_| spawn_shard_with(o.threads, false))
+                .collect();
             let router = Router::bind(RouterConfig {
                 addr: "127.0.0.1:0".into(),
+                http_addr: http.then(|| "127.0.0.1:0".to_string()),
                 shards: shards.iter().map(|h| h.addr().to_string()).collect(),
                 ..Default::default()
             })
             .expect("bind router")
             .spawn()
             .expect("spawn router");
-            (router.addr().to_string(), Fleet::Sharded(shards, router))
+            let addr = match o.transport {
+                Transport::Tcp => router.addr().to_string(),
+                Transport::Http => router
+                    .http_addr()
+                    .expect("router spawned with an HTTP listener")
+                    .to_string(),
+            };
+            (addr, Fleet::Sharded(shards, router))
         }
         None => {
-            let handle = spawn_shard(o.threads);
-            (handle.addr().to_string(), Fleet::Single(handle))
+            let handle = spawn_shard_with(o.threads, http);
+            (server_addr(&handle, o.transport), Fleet::Single(handle))
         }
     };
 
-    // Pre-build the request lines for the static modes: cold = all
-    // distinct, cached = one line repeated, mixed = 10 distinct lines
+    // Pre-build the workload items for the static modes: cold = all
+    // distinct, cached = one graph repeated, mixed = 10 distinct graphs
     // round-robin. Edit mode generates its chains on the fly.
-    let lines: Vec<String> = if o.mode == "edit" {
+    let workload: Vec<(DiGraph, u64)> = if o.mode == "edit" {
         Vec::new()
     } else {
         let distinct = match o.mode.as_str() {
@@ -210,8 +251,8 @@ fn main() {
             "cached" => 1,
             _ => 10.min(o.requests),
         };
-        (0..distinct)
-            .map(|s| layout_line(&o.profile, s as u64, &base_graph(&o.profile, s as u64)))
+        (0..distinct as u64)
+            .map(|s| (base_graph(&o.profile, s), s))
             .collect()
     };
 
@@ -220,7 +261,7 @@ fn main() {
         _ => "direct".into(),
     };
     println!(
-        "loadgen: mode={} requests={} clients={} n={} colony={}x{} retries={} addr={} ({topology})",
+        "loadgen: mode={} requests={} clients={} n={} colony={}x{} retries={} transport={} addr={} ({topology})",
         o.mode,
         o.requests,
         o.clients,
@@ -228,6 +269,7 @@ fn main() {
         o.profile.ants,
         o.profile.tours,
         o.profile.retries,
+        o.transport.name(),
         addr
     );
 
@@ -242,12 +284,12 @@ fn main() {
             if lo >= hi {
                 break;
             }
-            let (o, addr, lines, tallies) = (&o, addr.as_str(), &lines, &tallies);
+            let (o, addr, workload, tallies) = (&o, addr.as_str(), &workload, &tallies);
             handles.push(scope.spawn(move || {
                 if o.mode == "edit" {
                     run_edit_client(o, addr, client, hi - lo, tallies)
                 } else {
-                    run_static_client(o, addr, lines, lo..hi, tallies)
+                    run_static_client(o, addr, workload, lo..hi, tallies)
                 }
             }));
         }
@@ -289,18 +331,19 @@ fn main() {
     // same op fans out and the fields are the fleet-wide sums. Best
     // effort: an external target that went away after the run costs the
     // counter lines, not the exit status.
-    let stats = Connection::try_open(&addr)
-        .and_then(|mut conn| conn.try_exchange(r#"{"op":"stats"}"#))
-        .unwrap_or(Json::Null);
-    if stats.get("ok") == Some(&Json::Bool(true)) {
+    let stats = Client::connect_with(&addr, o.profile.client_config(o.transport))
+        .map_err(|e| e.to_string())
+        .and_then(|mut c| c.stats().map_err(|e| e.to_string()));
+    if let Ok(stats) = stats {
         let f = |k: &str| stats.get(k).and_then(Json::as_u64).unwrap_or(0);
         println!(
-            "server: computed {}  cache_hits {}  coalesced {}  rejected {}  evictions {}",
+            "server: computed {}  cache_hits {}  coalesced {}  rejected {}  evictions {}  lenient {}",
             f("computed"),
             f("cache_hits"),
             f("coalesced"),
             f("rejected"),
-            f("cache_evictions")
+            f("cache_evictions"),
+            f("lenient_requests")
         );
         if stats.get("router") == Some(&Json::Bool(true)) {
             println!(

@@ -1,22 +1,22 @@
-//! Reusable protocol clients for load generation and integration tests:
-//! the request-line builders, the retry-with-backoff exchange, and the
-//! interactive editing session (`layout` + `layout_delta` chain with the
-//! `base not found` → full-`layout` fallback).
+//! Reusable load-generation plumbing over the `antlayer-client` crate:
+//! deterministic workload builders (base graphs, request lines, random
+//! edits), shared tallies, the in-process shard fixture, and the
+//! interactive editing session.
 //!
-//! The `loadgen` binary drives these against a server or router; the
-//! router regression tests drive the *same* code against a fleet with a
-//! killed shard, so the client-side recovery path that production
-//! clients are told to implement is itself under test.
+//! The socket code that used to live here — framing, retry-with-backoff,
+//! the `base not found` → full-`layout` fallback — is now
+//! `antlayer_client::Client`, the same typed client production callers
+//! use. The `loadgen` binary drives these against a server or router;
+//! the router regression tests drive the *same* code against a fleet
+//! with a killed shard, so the client-side recovery path shipped to
+//! users is itself under test.
 
+use antlayer_client::{Client, ClientConfig, ClientError, LayoutOptions, Transport};
 use antlayer_graph::{generate, DiGraph, GraphDelta, NodeId};
-use antlayer_service::protocol::{parse, Json};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// The request-shape knobs shared by every generated request.
 #[derive(Clone, Debug)]
@@ -45,6 +45,25 @@ impl Default for RequestProfile {
     }
 }
 
+impl RequestProfile {
+    /// The typed client options for this profile at `seed`.
+    pub fn options(&self, seed: u64) -> LayoutOptions {
+        LayoutOptions {
+            deadline_ms: self.deadline_ms,
+            ..LayoutOptions::aco(seed, self.ants, self.tours)
+        }
+    }
+
+    /// The client configuration this profile implies on `transport`.
+    pub fn client_config(&self, transport: Transport) -> ClientConfig {
+        ClientConfig {
+            transport,
+            retries: self.retries,
+            ..Default::default()
+        }
+    }
+}
+
 /// Per-run tallies shared by all clients.
 #[derive(Default)]
 pub struct Tallies {
@@ -56,32 +75,9 @@ pub struct Tallies {
     pub dropped: AtomicU64,
     /// `seeded:true` responses (warm starts observed on the wire).
     pub warm: AtomicU64,
-    /// Edit-chain restarts after `base not found`.
+    /// Edit-chain rebases after `base not found` (the client's automatic
+    /// full-layout fallback firing).
     pub rebased: AtomicU64,
-}
-
-fn edge_pairs_json(edges: impl Iterator<Item = (NodeId, NodeId)>) -> Json {
-    Json::Arr(
-        edges
-            .map(|(u, v)| {
-                Json::Arr(vec![
-                    Json::Num(u.index() as f64),
-                    Json::Num(v.index() as f64),
-                ])
-            })
-            .collect(),
-    )
-}
-
-/// The colony/deadline fields shared by `layout` and `layout_delta`.
-fn common_fields(p: &RequestProfile, seed: u64, obj: &mut BTreeMap<String, Json>) {
-    obj.insert("algo".to_string(), Json::Str("aco".into()));
-    obj.insert("seed".to_string(), Json::Num(seed as f64));
-    obj.insert("ants".to_string(), Json::Num(p.ants as f64));
-    obj.insert("tours".to_string(), Json::Num(p.tours as f64));
-    if let Some(d) = p.deadline_ms {
-        obj.insert("deadline_ms".to_string(), Json::Num(d as f64));
-    }
 }
 
 /// The deterministic per-seed base graph of the workload.
@@ -90,17 +86,17 @@ pub fn base_graph(p: &RequestProfile, seed: u64) -> DiGraph {
     generate::random_dag_with_edges(p.n, p.n * 3 / 2, &mut rng).into_graph()
 }
 
-/// Builds a full-layout request line for the given graph.
+/// Builds a full-layout request line (v1 wire form) for the given graph
+/// — for replayed-workload benches that need literal bytes; interactive
+/// clients go through [`Client`] instead.
 pub fn layout_line(p: &RequestProfile, seed: u64, g: &DiGraph) -> String {
-    let mut obj = BTreeMap::new();
-    obj.insert("op".to_string(), Json::Str("layout".into()));
-    obj.insert("nodes".to_string(), Json::Num(g.node_count() as f64));
-    obj.insert("edges".to_string(), edge_pairs_json(g.edges()));
-    common_fields(p, seed, &mut obj);
-    Json::Obj(obj).encode()
+    p.options(seed)
+        .layout_request(g)
+        .expect("profile options are valid")
+        .encode_v1()
 }
 
-/// Builds a `layout_delta` request line.
+/// Builds a `layout_delta` request line (v1 wire form).
 pub fn delta_line(
     p: &RequestProfile,
     seed: u64,
@@ -108,98 +104,10 @@ pub fn delta_line(
     add: &[(u32, u32)],
     remove: &[(u32, u32)],
 ) -> String {
-    let pair = |&(u, v): &(u32, u32)| Json::Arr(vec![Json::Num(u as f64), Json::Num(v as f64)]);
-    let mut obj = BTreeMap::new();
-    obj.insert("op".to_string(), Json::Str("layout_delta".into()));
-    obj.insert("base".to_string(), Json::Str(base.into()));
-    obj.insert("add".to_string(), Json::Arr(add.iter().map(pair).collect()));
-    obj.insert(
-        "remove".to_string(),
-        Json::Arr(remove.iter().map(pair).collect()),
-    );
-    common_fields(p, seed, &mut obj);
-    Json::Obj(obj).encode()
-}
-
-/// A blocking, line-delimited protocol connection.
-pub struct Connection {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-}
-
-impl Connection {
-    /// Connects with TCP_NODELAY and a generous read timeout; panics on
-    /// failure (load-generating clients treat an unreachable target as
-    /// fatal). Use [`try_open`](Self::try_open) where a missing server
-    /// is survivable.
-    pub fn open(addr: &str) -> Connection {
-        Connection::try_open(addr).expect("connect")
-    }
-
-    /// Fallible [`open`](Self::open).
-    pub fn try_open(addr: &str) -> std::io::Result<Connection> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
-        Ok(Connection {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: stream,
-        })
-    }
-
-    /// Sends one line, reads one reply line, parses it; panics on I/O
-    /// or parse failure. Use [`try_exchange`](Self::try_exchange) where
-    /// a dying server is survivable.
-    pub fn exchange(&mut self, line: &str) -> Json {
-        self.try_exchange(line).expect("exchange")
-    }
-
-    /// Fallible [`exchange`](Self::exchange).
-    pub fn try_exchange(&mut self, line: &str) -> std::io::Result<Json> {
-        writeln!(self.writer, "{line}")?;
-        let mut reply = String::new();
-        self.reader.read_line(&mut reply)?;
-        parse(reply.trim_end())
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
-    }
-
-    /// Sends `line`, retrying `overloaded` rejections with exponential
-    /// backoff. Returns `None` when the request was dropped after
-    /// exhausting the retry budget; panics on any other server error
-    /// (the load generator's inputs are valid by construction, except
-    /// `base not found`, which the *edit* client handles itself).
-    pub fn exchange_with_backoff(
-        &mut self,
-        line: &str,
-        retries: usize,
-        tallies: &Tallies,
-    ) -> Option<Json> {
-        for attempt in 0..=retries {
-            let v = self.exchange(line);
-            if v.get("ok") == Some(&Json::Bool(true)) {
-                return Some(v);
-            }
-            let error = v.get("error").and_then(Json::as_str).unwrap_or("");
-            if error.starts_with("base not found") {
-                // Not retryable here: surface to the edit client.
-                return Some(v);
-            }
-            assert!(
-                error.starts_with("overloaded"),
-                "unexpected server error: {error}"
-            );
-            if attempt == retries {
-                break;
-            }
-            tallies.retried.fetch_add(1, Ordering::Relaxed);
-            // 1, 2, 4, … ms, capped at 64 ms: enough to drain a burst
-            // without turning the generator into a sleep benchmark.
-            let backoff = Duration::from_millis(1 << attempt.min(6));
-            std::thread::sleep(backoff);
-        }
-        tallies.dropped.fetch_add(1, Ordering::Relaxed);
-        None
-    }
+    p.options(seed)
+        .delta_request(base, add, remove)
+        .expect("profile options are valid")
+        .encode_v1()
 }
 
 /// Edge-pair list, the shape `GraphDelta` speaks.
@@ -219,10 +127,13 @@ pub fn percentile(sorted: &[u64], p: f64) -> u64 {
 /// Spawns an in-process `antlayer serve` shard on a free loopback port
 /// (`threads` = scheduler workers, `0` = all available). The fixture
 /// every loopback topology — loadgen fleets, the sharding bench, the
-/// router regression tests — boots its backends with.
-pub fn spawn_shard(threads: usize) -> antlayer_service::ServerHandle {
+/// router regression tests — boots its backends with. With `http`, the
+/// shard additionally serves HTTP/1.1 on a second free port
+/// (`handle.http_addr()`).
+pub fn spawn_shard_with(threads: usize, http: bool) -> antlayer_service::ServerHandle {
     antlayer_service::Server::bind(antlayer_service::ServerConfig {
         addr: "127.0.0.1:0".into(),
+        http_addr: http.then(|| "127.0.0.1:0".to_string()),
         scheduler: antlayer_service::SchedulerConfig {
             threads,
             ..Default::default()
@@ -232,6 +143,11 @@ pub fn spawn_shard(threads: usize) -> antlayer_service::ServerHandle {
     .expect("bind loopback shard")
     .spawn()
     .expect("spawn shard")
+}
+
+/// [`spawn_shard_with`] without an HTTP listener.
+pub fn spawn_shard(threads: usize) -> antlayer_service::ServerHandle {
+    spawn_shard_with(threads, false)
 }
 
 /// Picks 1–3 random edge edits that provably apply to `graph`: removals
@@ -283,12 +199,13 @@ pub fn random_edit(graph: &DiGraph, rng: &mut StdRng) -> (EdgeList, EdgeList) {
 /// graph, then a chain of `layout_delta` requests each editing 1–3 edges
 /// and warm-starting from the previous response's digest. When the
 /// server answers `base not found` (eviction — or, behind a router, the
-/// base's shard going down), the session falls back to a full layout of
-/// its current local graph and resumes the chain: the protocol's
-/// intended recovery, implemented once here and exercised both by
-/// `loadgen --mode edit` and by the router regression tests.
+/// base's shard going down), the typed client recovers *inside the same
+/// step* with an automatic full layout of the session's current graph
+/// ([`antlayer_client::Outcome::fell_back`], tallied as `rebased`) and
+/// the chain resumes — the protocol's intended recovery, exercised both
+/// by `loadgen --mode edit` and by the router regression tests.
 pub struct EditSession {
-    conn: Connection,
+    client: Client,
     profile: RequestProfile,
     seed: u64,
     rng: StdRng,
@@ -297,12 +214,23 @@ pub struct EditSession {
 }
 
 impl EditSession {
-    /// Opens a session against `addr`; `client` seeds the private graph
-    /// and edit stream.
+    /// Opens a TCP session against `addr`; `client` seeds the private
+    /// graph and edit stream.
     pub fn open(addr: &str, profile: RequestProfile, client: usize) -> EditSession {
+        EditSession::open_with(addr, Transport::Tcp, profile, client)
+    }
+
+    /// Opens a session over an explicit transport.
+    pub fn open_with(
+        addr: &str,
+        transport: Transport,
+        profile: RequestProfile,
+        client: usize,
+    ) -> EditSession {
         let seed = 0xED17 + client as u64;
         EditSession {
-            conn: Connection::open(addr),
+            client: Client::connect_with(addr, profile.client_config(transport))
+                .expect("connect edit session"),
             graph: base_graph(&profile, seed),
             profile,
             seed,
@@ -313,55 +241,64 @@ impl EditSession {
 
     /// The digest the next `layout_delta` would use as its base; `None`
     /// when the next step sends a full layout (session start or after a
-    /// fallback).
+    /// dropped request).
     pub fn base_digest(&self) -> Option<&str> {
         self.digest.as_deref()
     }
 
-    /// Sends one request of the session (full layout or delta) and
-    /// returns the request latency in microseconds, or `None` when the
-    /// request was dropped after exhausting the retry budget.
+    /// Sends one request of the session (full layout, or delta with the
+    /// client's automatic fallback) and returns the request latency in
+    /// microseconds, or `None` when the request was dropped after
+    /// exhausting the retry budget.
     pub fn step(&mut self, tallies: &Tallies) -> Option<u64> {
-        let line = match &self.digest {
-            None => layout_line(&self.profile, self.seed, &self.graph),
-            Some(base) => {
-                let (add, remove) = random_edit(&self.graph, &mut self.rng);
-                let line = delta_line(&self.profile, self.seed, base, &add, &remove);
-                // Optimistically track the edited graph; on `base not
-                // found` the chain restarts from the same state with a
-                // full layout, so tracking stays consistent.
-                self.graph = GraphDelta::new(add, remove)
-                    .apply(&self.graph)
-                    .expect("generated edit applies");
-                line
-            }
-        };
+        let options = self.profile.options(self.seed);
+        // Generate the edit and track the edited graph *before* the
+        // latency clock starts: the reported latency is the request, not
+        // the client-side edit generation — and the edited graph is
+        // exactly what the client's `base not found` fallback re-lays
+        // out, so the local state stays consistent either way.
+        let edit = self.digest.take().map(|base| {
+            let (add, remove) = random_edit(&self.graph, &mut self.rng);
+            self.graph = GraphDelta::new(add.clone(), remove.clone())
+                .apply(&self.graph)
+                .expect("generated edit applies");
+            (base, add, remove)
+        });
         let t0 = Instant::now();
-        let Some(v) = self
-            .conn
-            .exchange_with_backoff(&line, self.profile.retries, tallies)
-        else {
-            // Dropped after exhausting retries. The local graph already
-            // carries the unacknowledged edit, so the server-side base
-            // no longer matches it — rebase with a full layout of the
-            // current local state instead of chaining a delta that may
-            // not apply.
-            self.digest = None;
-            return None;
-        };
-        if v.get("ok") == Some(&Json::Bool(true)) {
-            tallies.good.fetch_add(1, Ordering::Relaxed);
-            if v.get("seeded") == Some(&Json::Bool(true)) {
-                tallies.warm.fetch_add(1, Ordering::Relaxed);
+        let outcome = match &edit {
+            None => self.client.layout(&self.graph, &options),
+            Some((base, add, remove)) => {
+                self.client
+                    .layout_delta(base, add, remove, Some(&self.graph), &options)
             }
-            self.digest = v.get("digest").and_then(Json::as_str).map(String::from);
-            Some(t0.elapsed().as_micros() as u64)
-        } else {
-            // Base evicted (or its shard is gone): fall back to a full
-            // layout of the current graph on the next step.
-            tallies.rebased.fetch_add(1, Ordering::Relaxed);
-            self.digest = None;
-            None
+        };
+        match outcome {
+            Ok(outcome) => {
+                tallies.good.fetch_add(1, Ordering::Relaxed);
+                tallies
+                    .retried
+                    .fetch_add(outcome.retried as u64, Ordering::Relaxed);
+                if outcome.fell_back {
+                    tallies.rebased.fetch_add(1, Ordering::Relaxed);
+                }
+                if outcome.reply.seeded {
+                    tallies.warm.fetch_add(1, Ordering::Relaxed);
+                }
+                self.digest = Some(outcome.reply.digest);
+                Some(t0.elapsed().as_micros() as u64)
+            }
+            Err(ClientError::Dropped { attempts }) => {
+                // The local graph already carries the unacknowledged
+                // edit, so the server-side base no longer matches it —
+                // the next step rebases with a full layout.
+                tallies
+                    .retried
+                    .fetch_add(attempts.saturating_sub(1) as u64, Ordering::Relaxed);
+                tallies.dropped.fetch_add(1, Ordering::Relaxed);
+                self.digest = None;
+                None
+            }
+            Err(e) => panic!("edit session: unexpected client error: {e}"),
         }
     }
 }

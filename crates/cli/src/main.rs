@@ -8,10 +8,11 @@
 //!                                                                # render ASCII (and SVG)
 //! antlayer gen    [--n N] [--seed S] [--gml]                     # emit a synthetic DAG as DOT/GML
 //! antlayer suite  [--seed S] [--total N]                         # AT&T-like suite statistics
-//! antlayer serve  [--addr HOST:PORT] [--threads N] [--cache-cap N]
+//! antlayer serve  [--addr HOST:PORT] [--http PORT] [--threads N] [--cache-cap N]
 //!                 [--queue-cap N] [--shards N] [--max-conns N]   # batch layout server
 //! antlayer route  --shards HOST:PORT,HOST:PORT[,...] [--addr HOST:PORT]
-//!                 [--vnodes N] [--probe-ms MS] [--max-conns N]   # consistent-hash router
+//!                 [--http PORT] [--vnodes N] [--probe-ms MS]
+//!                 [--max-conns N]                                # consistent-hash router
 //! ```
 //!
 //! `layout` is accepted as an alias of `layer`. `FILE` may be `-` for
@@ -32,12 +33,17 @@
 //! `serve` starts the batch layout server of `antlayer-service`: it
 //! answers newline-delimited JSON layout requests over TCP with
 //! canonical-digest caching, in-flight dedup, admission control, and
-//! per-request `deadline_ms` budgets (anytime ACO). `route` starts the
-//! `antlayer-router` front: it consistent-hashes request digests across
-//! the given `antlayer serve` shards, fails over past down shards, and
-//! aggregates `stats`. Clients speak the identical protocol to either;
-//! see `docs/PROTOCOL.md` for the wire format and `docs/ARCHITECTURE.md`
-//! for the topology.
+//! per-request `deadline_ms` budgets (anytime ACO). `--http PORT` adds a
+//! second, HTTP/1.1 listener (`POST /v2` with `Content-Length` bodies;
+//! `GET /healthz` for probes) serving the identical protocol — handy
+//! where raw TCP is firewall-hostile; `curl` examples live in the
+//! README. `route` starts the `antlayer-router` front: it
+//! consistent-hashes request digests across the given `antlayer serve`
+//! shards, fails over past down shards, and aggregates `stats`; it takes
+//! the same `--http PORT` for its client-facing side. Clients speak the
+//! identical protocol to either; see `docs/PROTOCOL.md` for the wire
+//! format (v1 lines and the v2 envelope) and `docs/ARCHITECTURE.md` for
+//! the topology.
 
 use antlayer_aco::AcoParams;
 use antlayer_datasets::{att_like_graph, GraphSuite, Table};
@@ -71,11 +77,12 @@ usage:
   antlayer draw  [--algo NAME] [--svg OUT]   [--seed N] [--threads N] FILE
   antlayer gen   [--n N] [--seed S] [--gml]
   antlayer suite [--seed S] [--total N]
-  antlayer serve [--addr HOST:PORT] [--threads N] [--cache-cap N]
-                 [--queue-cap N] [--shards N] [--max-conns N]
+  antlayer serve [--addr HOST:PORT] [--http PORT] [--threads N]
+                 [--cache-cap N] [--queue-cap N] [--shards N] [--max-conns N]
   antlayer route --shards HOST:PORT,HOST:PORT[,...] [--addr HOST:PORT]
-                 [--vnodes N] [--probe-ms MS] [--max-conns N]
+                 [--http PORT] [--vnodes N] [--probe-ms MS] [--max-conns N]
 algorithms: lpl, lpl-pl, minwidth, minwidth-pl, cg, ns, aco (default)
+http: PORT (or HOST:PORT) of an additional HTTP/1.1 listener (POST /v2)
 threads: colony worker threads, 0 = all available (results are
 thread-count independent)
 warm-from: JSON layering ({\"layers\":[[ids...],...]}) used as the
@@ -287,69 +294,21 @@ fn cmd_layer(args: &[String]) -> Result<(), String> {
 }
 
 /// Encodes a layering as the `{"layers":[[ids…],…]}` JSON the server
-/// speaks, suitable for a later `--warm-from`.
+/// speaks, suitable for a later `--warm-from`. The codec itself lives in
+/// the `antlayer-client` crate — the same bytes a saved server response
+/// carries.
 fn layering_json(layering: &antlayer_layering::Layering) -> String {
-    use antlayer_service::protocol::Json;
-    let layers = layering
-        .layers()
-        .into_iter()
-        .map(|layer| {
-            Json::Arr(
-                layer
-                    .into_iter()
-                    .map(|v| Json::Num(v.index() as f64))
-                    .collect(),
-            )
-        })
-        .collect();
-    let mut obj = std::collections::BTreeMap::new();
-    obj.insert("layers".to_string(), Json::Arr(layers));
-    let mut line = Json::Obj(obj).encode();
-    line.push('\n');
-    line
+    antlayer_client::encode_layers_json(layering)
 }
 
-/// Decodes a `--warm-from` file: either a bare `[[ids…],…]` array or any
-/// object with a `layers` member (e.g. a saved server response). Layer
-/// `i` of the array becomes layer `i + 1`; every node must appear
-/// exactly once.
+/// Decodes a `--warm-from` file via the client crate's codec: either a
+/// bare `[[ids…],…]` array or any object with a `layers` member (e.g. a
+/// saved server response).
 fn parse_layering_json(
     text: &str,
     node_count: usize,
 ) -> Result<antlayer_layering::Layering, String> {
-    use antlayer_service::protocol::Json;
-    let v = antlayer_service::protocol::parse(text.trim())
-        .map_err(|e| format!("warm-from: bad JSON: {e}"))?;
-    let layers = match (&v, v.get("layers")) {
-        (Json::Arr(a), _) => a,
-        (_, Some(Json::Arr(a))) => a,
-        _ => return Err("warm-from: expected [[ids...],...] or {\"layers\":[...]}".into()),
-    };
-    let mut layer_of = vec![0u32; node_count];
-    for (i, layer) in layers.iter().enumerate() {
-        let Json::Arr(nodes) = layer else {
-            return Err("warm-from: each layer must be an array of node ids".into());
-        };
-        for id in nodes {
-            let id = id
-                .as_u64()
-                .ok_or("warm-from: node ids must be non-negative integers")?
-                as usize;
-            if id >= node_count {
-                return Err(format!(
-                    "warm-from: node id {id} out of range for {node_count} nodes"
-                ));
-            }
-            if layer_of[id] != 0 {
-                return Err(format!("warm-from: node {id} appears in two layers"));
-            }
-            layer_of[id] = i as u32 + 1;
-        }
-    }
-    if let Some(missing) = layer_of.iter().position(|&l| l == 0) {
-        return Err(format!("warm-from: node {missing} has no layer"));
-    }
-    Ok(antlayer_layering::Layering::from_slice(&layer_of))
+    antlayer_client::parse_layers_json(text, node_count).map_err(|e| format!("warm-from: {e}"))
 }
 
 fn cmd_draw(args: &[String]) -> Result<(), String> {
@@ -418,11 +377,28 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolves a `--http` flag value: a bare port binds the main
+/// listener's host; a full `HOST:PORT` is taken verbatim.
+fn http_addr_flag(flags: &Flags, main_addr: &str) -> Option<String> {
+    flags.get("http").map(|v| {
+        if v.contains(':') {
+            v.to_string()
+        } else {
+            let host = main_addr
+                .rsplit_once(':')
+                .map(|(h, _)| h)
+                .unwrap_or("127.0.0.1");
+            format!("{host}:{v}")
+        }
+    })
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(
         args,
         &[
             "addr",
+            "http",
             "threads",
             "cache-cap",
             "queue-cap",
@@ -433,8 +409,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     // Defaults come from the library's Default impls; flags override.
     let base = ServerConfig::default();
     let sched = SchedulerConfig::default();
+    let addr = flags.get("addr").unwrap_or(&base.addr).to_string();
     let config = ServerConfig {
-        addr: flags.get("addr").unwrap_or(&base.addr).to_string(),
+        http_addr: http_addr_flag(&flags, &addr),
+        addr,
         scheduler: SchedulerConfig {
             threads: flags.get_parsed("threads", sched.threads)?,
             max_queue_depth: flags.get_parsed("queue-cap", sched.max_queue_depth)?,
@@ -447,8 +425,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let addr = server
         .local_addr()
         .map_err(|e| format!("serve: local addr: {e}"))?;
+    let http_note = server
+        .http_addr()
+        .map(|a| format!(", HTTP on {a} (POST /v2)"))
+        .unwrap_or_default();
     eprintln!(
-        "antlayer serve: listening on {addr} ({} worker threads); \
+        "antlayer serve: listening on {addr}{http_note} ({} worker threads); \
          send newline-delimited JSON, e.g. {{\"op\":\"ping\"}}",
         server.scheduler().threads()
     );
@@ -457,7 +439,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_route(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &["addr", "shards", "vnodes", "probe-ms", "max-conns"])?;
+    let flags = Flags::parse(
+        args,
+        &["addr", "http", "shards", "vnodes", "probe-ms", "max-conns"],
+    )?;
     let shards: Vec<String> = flags
         .get("shards")
         .ok_or("route: --shards host:port,host:port[,...] is required")?
@@ -470,8 +455,10 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
         return Err("route: --shards must name at least one backend".into());
     }
     let base = RouterConfig::default();
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:4700").to_string();
     let config = RouterConfig {
-        addr: flags.get("addr").unwrap_or("127.0.0.1:4700").to_string(),
+        http_addr: http_addr_flag(&flags, &addr),
+        addr,
         shards,
         vnodes: flags.get_parsed("vnodes", base.vnodes)?,
         probe_interval: std::time::Duration::from_millis(
@@ -486,8 +473,12 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
     let addr = router
         .local_addr()
         .map_err(|e| format!("route: local addr: {e}"))?;
+    let http_note = router
+        .http_addr()
+        .map(|a| format!(", HTTP on {a} (POST /v2)"))
+        .unwrap_or_default();
     eprintln!(
-        "antlayer route: listening on {addr}, hashing across {n_shards} shard(s): {shard_list}"
+        "antlayer route: listening on {addr}{http_note}, hashing across {n_shards} shard(s): {shard_list}"
     );
     router.run();
     Ok(())

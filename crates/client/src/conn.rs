@@ -1,0 +1,227 @@
+//! The raw framed connection under [`Client`](crate::Client): one
+//! request payload out, one response payload back, over either wire
+//! framing the servers speak.
+//!
+//! * [`Transport::Tcp`] — newline-delimited JSON (the original wire).
+//! * [`Transport::Http`] — HTTP/1.1 `POST /v2` with a `Content-Length`
+//!   body, keep-alive; the framing `antlayer serve --http` serves.
+//!
+//! `send`/`recv` are split so callers can pipeline (the batch submit
+//! path); [`exchange`](Connection::exchange) is the one-shot pair. The
+//! router forwards verbatim request lines through this same type, so
+//! there is exactly one client-side socket implementation in the
+//! workspace.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Longest accepted reply payload, matching the server's request cap: a
+/// forwarded response (the `layers` array of a million-node layout) can
+/// be tens of megabytes but must stay bounded.
+pub const MAX_REPLY_BYTES: u64 = 64 * 1024 * 1024;
+
+/// Which wire framing to speak.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Newline-delimited JSON over TCP (the default).
+    #[default]
+    Tcp,
+    /// HTTP/1.1 `POST /v2` with `Content-Length` bodies, keep-alive.
+    Http,
+}
+
+impl Transport {
+    /// Parses the CLI spelling (`tcp` / `http`).
+    pub fn parse(name: &str) -> Result<Transport, String> {
+        match name {
+            "tcp" => Ok(Transport::Tcp),
+            "http" => Ok(Transport::Http),
+            other => Err(format!("unknown transport '{other}' (tcp|http)")),
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Transport::Tcp => "tcp",
+            Transport::Http => "http",
+        }
+    }
+}
+
+/// A blocking framed connection to a server or router.
+pub struct Connection {
+    transport: Transport,
+    /// `Host` header value (HTTP only).
+    host: String,
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Connection {
+    /// Connects with a 1-second connect timeout.
+    pub fn connect(addr: &str, transport: Transport) -> std::io::Result<Connection> {
+        Connection::connect_timeout(addr, transport, Duration::from_secs(1))
+    }
+
+    /// Connects with a bounded connect timeout and disables Nagle
+    /// (one-message requests and replies suffer the full 40 ms
+    /// delayed-ACK penalty otherwise).
+    pub fn connect_timeout(
+        addr: &str,
+        transport: Transport,
+        timeout: Duration,
+    ) -> std::io::Result<Connection> {
+        let mut last_err = None;
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    let reader = BufReader::new(stream.try_clone()?);
+                    return Ok(Connection {
+                        transport,
+                        host: addr.to_string(),
+                        reader,
+                        writer: stream,
+                    });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )
+        }))
+    }
+
+    /// The framing this connection speaks.
+    pub fn transport(&self) -> Transport {
+        self.transport
+    }
+
+    /// Sets the read timeout for replies (None = block forever).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.writer.set_read_timeout(timeout)
+    }
+
+    /// Writes one request payload (without waiting for the reply); pair
+    /// with [`recv`](Self::recv). Payloads are single-line JSON objects.
+    pub fn send(&mut self, payload: &str) -> std::io::Result<()> {
+        match self.transport {
+            Transport::Tcp => {
+                self.writer.write_all(payload.as_bytes())?;
+                self.writer.write_all(b"\n")?;
+            }
+            Transport::Http => {
+                write!(
+                    self.writer,
+                    "POST /v2 HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{payload}",
+                    self.host,
+                    payload.len()
+                )?;
+            }
+        }
+        self.writer.flush()
+    }
+
+    /// Reads one reply payload. Any error means the connection is
+    /// unusable (a half-read reply cannot be resynced) and the caller
+    /// should drop it.
+    pub fn recv(&mut self) -> std::io::Result<String> {
+        match self.transport {
+            Transport::Tcp => {
+                let mut reply = String::new();
+                let n = (&mut self.reader)
+                    .take(MAX_REPLY_BYTES)
+                    .read_line(&mut reply)?;
+                if n == 0 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ));
+                }
+                if n as u64 >= MAX_REPLY_BYTES && !reply.ends_with('\n') {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "reply exceeds the payload cap",
+                    ));
+                }
+                Ok(reply.trim_end().to_string())
+            }
+            Transport::Http => self.recv_http(),
+        }
+    }
+
+    /// Sends one request payload and reads its reply.
+    pub fn exchange(&mut self, payload: &str) -> std::io::Result<String> {
+        self.send(payload)?;
+        self.recv()
+    }
+
+    /// Reads one HTTP response (status line, headers, `Content-Length`
+    /// body) and returns the body. The status code is not surfaced: the
+    /// servers answer application errors as `200` with `ok:false`
+    /// payloads, and their transport-level 4xx/5xx bodies are protocol
+    /// error objects too, so the payload always carries the verdict.
+    fn recv_http(&mut self) -> std::io::Result<String> {
+        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        let mut line = String::new();
+        if (&mut self.reader).take(16 * 1024).read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        if !line.starts_with("HTTP/1.") {
+            return Err(bad("malformed HTTP status line"));
+        }
+        let mut content_length: Option<u64> = None;
+        loop {
+            line.clear();
+            if (&mut self.reader).take(16 * 1024).read_line(&mut line)? == 0 {
+                return Err(bad("truncated HTTP response head"));
+            }
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().ok();
+                }
+            }
+        }
+        let length = content_length.ok_or_else(|| bad("HTTP response without Content-Length"))?;
+        if length > MAX_REPLY_BYTES {
+            return Err(bad("reply exceeds the payload cap"));
+        }
+        let mut body = vec![0u8; length as usize];
+        self.reader.read_exact(&mut body)?;
+        String::from_utf8(body)
+            .map(|s| s.trim_end().to_string())
+            .map_err(|_| bad("HTTP response body is not UTF-8"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transport_names_round_trip() {
+        for t in [Transport::Tcp, Transport::Http] {
+            assert_eq!(Transport::parse(t.name()), Ok(t));
+        }
+        assert!(Transport::parse("carrier-pigeon").is_err());
+    }
+
+    #[test]
+    fn connect_to_nothing_fails_fast() {
+        // Port 1 on loopback: refused immediately, no long timeout.
+        let err = Connection::connect("127.0.0.1:1", Transport::Tcp);
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! End-to-end tests of the typed client against a real in-process
+//! server (both framings) and against a scripted fake server (the
+//! retry/backoff path, deterministically).
+
+use antlayer_client::{Client, ClientConfig, ClientError, LayoutOptions, Transport};
+use antlayer_graph::DiGraph;
+use antlayer_service::{Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+
+fn spawn_server() -> antlayer_service::ServerHandle {
+    Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        http_addr: Some("127.0.0.1:0".into()),
+        ..Default::default()
+    })
+    .unwrap()
+    .spawn()
+    .unwrap()
+}
+
+fn chain(n: usize) -> DiGraph {
+    let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+    DiGraph::from_edges(n, &edges).unwrap()
+}
+
+fn config(transport: Transport) -> ClientConfig {
+    ClientConfig {
+        transport,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn tcp_and_http_clients_see_one_cache() {
+    let handle = spawn_server();
+    let graph = chain(6);
+    let opts = LayoutOptions::aco(7, 3, 3);
+
+    let mut tcp = Client::connect_with(&handle.addr().to_string(), config(Transport::Tcp)).unwrap();
+    let first = tcp.layout(&graph, &opts).unwrap();
+    assert_eq!(first.reply.source, "computed");
+
+    // The same request over HTTP hits the same cache entry: the framing
+    // (and the envelope) are invisible to identity.
+    let http_addr = handle.http_addr().unwrap().to_string();
+    let mut http = Client::connect_with(&http_addr, config(Transport::Http)).unwrap();
+    let second = http.layout(&graph, &opts).unwrap();
+    assert_eq!(second.reply.source, "hit");
+    assert_eq!(second.reply.digest, first.reply.digest);
+    assert_eq!(second.reply.layers, first.reply.layers);
+
+    assert!(!tcp.ping().unwrap(), "a server is not a router");
+    let stats = http.stats().unwrap();
+    assert!(stats.contains_key("cache_hits"));
+    handle.shutdown();
+}
+
+#[test]
+fn delta_with_automatic_fallback_recovers_from_missing_base() {
+    let handle = spawn_server();
+    let mut client =
+        Client::connect_with(&handle.addr().to_string(), config(Transport::Tcp)).unwrap();
+    let opts = LayoutOptions::aco(3, 3, 3);
+    let graph = chain(8);
+
+    // A delta against a never-cached base: without a fallback graph the
+    // structured error surfaces …
+    let bogus = "ffffffffffffffffffffffffffffffff";
+    let err = client
+        .layout_delta(bogus, &[(0, 2)], &[], None, &opts)
+        .unwrap_err();
+    assert_eq!(err.kind(), Some(antlayer_client::ErrorKind::BaseNotFound));
+
+    // … with one, the client recovers in-step with a full layout.
+    let outcome = client
+        .layout_delta(bogus, &[(0, 2)], &[], Some(&graph), &opts)
+        .unwrap();
+    assert!(outcome.fell_back);
+    assert_eq!(outcome.reply.source, "computed");
+
+    // And a real chain step stays a warm delta (no fallback).
+    let base = outcome.reply.digest.clone();
+    let warm = client
+        .layout_delta(&base, &[(0, 3)], &[], Some(&graph), &opts)
+        .unwrap();
+    assert!(!warm.fell_back);
+    assert!(warm.reply.seeded);
+    assert_eq!(warm.reply.source, "warm");
+    handle.shutdown();
+}
+
+#[test]
+fn batch_submit_pipelines_and_matches_positions() {
+    let handle = spawn_server();
+    let mut client =
+        Client::connect_with(&handle.addr().to_string(), config(Transport::Tcp)).unwrap();
+    let opts = LayoutOptions::aco(5, 3, 3);
+    let (a, b) = (chain(5), chain(9));
+    let results = client
+        .layout_batch(&[(&a, &opts), (&b, &opts), (&a, &opts)])
+        .unwrap();
+    assert_eq!(results.len(), 3);
+    let replies: Vec<_> = results.into_iter().map(|r| r.unwrap()).collect();
+    assert_eq!(replies[0].digest, replies[2].digest, "duplicates coalesce");
+    assert_ne!(replies[0].digest, replies[1].digest);
+    assert_eq!(replies[1].height, 9, "positions answer their requests");
+    handle.shutdown();
+}
+
+/// A scripted line server: answers `overloaded` for the first
+/// `overloads` layout exchanges, then a canned success — so the
+/// client's retry/backoff path is tested deterministically.
+fn scripted_server(overloads: usize) -> (std::net::SocketAddr, std::thread::JoinHandle<usize>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let success = concat!(
+            r#"{"compute_micros":5,"digest":"00112233445566778899aabbccddeeff","#,
+            r#""dummies":0,"height":2,"layers":[[1],[0]],"ok":true,"reversed_edges":0,"#,
+            r#""seeded":false,"source":"computed","stopped_early":false,"width":1}"#
+        );
+        let mut served = 0usize;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                return served;
+            }
+            let reply = if served < overloads {
+                r#"{"error":"overloaded: scripted","ok":false}"#.to_string()
+            } else {
+                success.to_string()
+            };
+            served += 1;
+            if writeln!(writer, "{reply}").is_err() {
+                return served;
+            }
+        }
+    });
+    (addr, handle)
+}
+
+#[test]
+fn overloaded_replies_are_retried_with_backoff() {
+    let (addr, server) = scripted_server(2);
+    let mut client = Client::connect_with(&addr.to_string(), config(Transport::Tcp)).unwrap();
+    let outcome = client.layout(&chain(2), &LayoutOptions::default()).unwrap();
+    assert_eq!(outcome.retried, 2);
+    assert_eq!(outcome.reply.height, 2);
+    drop(client);
+    assert_eq!(server.join().unwrap(), 3, "two rejections + one success");
+}
+
+#[test]
+fn retry_budget_exhaustion_is_a_drop() {
+    let (addr, server) = scripted_server(usize::MAX);
+    let mut client = Client::connect_with(
+        &addr.to_string(),
+        ClientConfig {
+            retries: 2,
+            ..config(Transport::Tcp)
+        },
+    )
+    .unwrap();
+    let err = client
+        .layout(&chain(2), &LayoutOptions::default())
+        .unwrap_err();
+    assert!(matches!(err, ClientError::Dropped { attempts: 3 }), "{err}");
+    drop(client);
+    assert_eq!(server.join().unwrap(), 3);
+}

@@ -92,6 +92,13 @@ pub struct ColonyRun {
     /// when no tour matched it (or no tour ran). For cold runs the
     /// incumbent is the stretched-LPL seed state.
     pub tours_to_match_seed: Option<usize>,
+    /// `true` when a warm-started run stopped before `n_tours` because a
+    /// full tour re-derived the installed incumbent's quality without
+    /// the run ever beating it — the seed held up, so the remaining
+    /// budget was handed back ([`AcoParams::warm_early_stop`]). Distinct
+    /// from [`stopped_early`](Self::stopped_early), which only ever
+    /// means a deadline fired.
+    pub matched_seed_early: bool,
 }
 
 /// The ant colony for one DAG.
@@ -398,6 +405,7 @@ impl<'a> Colony<'a> {
                 stopped_early: false,
                 seeded: self.seeded,
                 tours_to_match_seed: None,
+                matched_seed_early: false,
             };
         }
         // `checked_add` turns an overflow-sized budget (`Duration::MAX`
@@ -412,6 +420,7 @@ impl<'a> Colony<'a> {
         };
         let mut tours = Vec::with_capacity(self.params.n_tours);
         let mut stopped_early = false;
+        let mut matched_seed_early = false;
         for t in 0..self.params.n_tours {
             if let Some(d) = deadline {
                 if Instant::now() >= d {
@@ -420,7 +429,25 @@ impl<'a> Colony<'a> {
                 }
             }
             match self.perform_tour(t, deadline) {
-                Some(stats) => tours.push(stats),
+                Some(stats) => {
+                    let tour_best = stats.best_objective;
+                    tours.push(stats);
+                    // Warm early stop: a *full* tour landed on the
+                    // incumbent's plateau (re-derived its quality) while
+                    // nothing in the run has beaten it — the seed holds
+                    // up, so the remaining tours would only confirm it.
+                    // Deadline-interrupted tours never reach this point
+                    // (they return None above), so the plateau signal is
+                    // only ever read off a complete tour.
+                    if self.seeded
+                        && self.params.warm_early_stop
+                        && tour_best >= self.incumbent_objective - 1e-12
+                        && self.best_objective <= self.incumbent_objective + 1e-12
+                    {
+                        matched_seed_early = true;
+                        break;
+                    }
+                }
                 None => {
                     stopped_early = true;
                     break;
@@ -442,6 +469,7 @@ impl<'a> Colony<'a> {
             stopped_early,
             seeded: self.seeded,
             tours_to_match_seed,
+            matched_seed_early,
         }
     }
 }
@@ -899,6 +927,49 @@ mod tests {
             "warm colony should match its incumbent within 3 tours, got {:?}",
             run.tours_to_match_seed
         );
+    }
+
+    #[test]
+    fn warm_run_hands_back_budget_once_the_seed_holds_up() {
+        // A chain DAG: LPL is optimal, so a converged seed cannot be
+        // beaten — the first full tour lands on the incumbent's plateau
+        // and the run stops instead of spending all n_tours confirming
+        // it (the ROADMAP's early-stop follow-on to warm starts).
+        let edges: Vec<(u32, u32)> = (0..9).map(|i| (i, i + 1)).collect();
+        let dag = Dag::from_edges(10, &edges).unwrap();
+        let wm = WidthModel::unit();
+        let seed_run = AcoLayering::new(small_params()).run(&dag, &wm);
+        let run = AcoLayering::new(small_params())
+            .run_seeded(&dag, &wm, &seed_run.layering)
+            .unwrap();
+        assert!(
+            run.matched_seed_early,
+            "the seed plateau should stop the run"
+        );
+        assert!(!run.stopped_early, "early match is not a deadline stop");
+        assert!(run.tours.len() < small_params().n_tours);
+        assert!(run.objective >= seed_run.objective - 1e-12);
+        run.layering.validate(&dag).unwrap();
+
+        // With the rule off, every tour runs and the flag stays unset.
+        let patient = AcoParams {
+            warm_early_stop: false,
+            ..small_params()
+        };
+        let full = AcoLayering::new(patient.clone())
+            .run_seeded(&dag, &wm, &seed_run.layering)
+            .unwrap();
+        assert!(!full.matched_seed_early);
+        assert_eq!(full.tours.len(), patient.n_tours);
+    }
+
+    #[test]
+    fn cold_runs_never_match_seed_early() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let dag = generate::random_dag_with_edges(20, 30, &mut rng);
+        let run = AcoLayering::new(small_params()).run(&dag, &WidthModel::unit());
+        assert!(!run.matched_seed_early, "early stop is a warm-run rule");
+        assert_eq!(run.tours.len(), small_params().n_tours);
     }
 
     #[test]

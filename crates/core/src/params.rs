@@ -164,6 +164,19 @@ pub struct AcoParams {
     /// (`antlayer-service`) deliberately excludes it from the cache digest
     /// and refuses to cache runs that were cut short.
     pub time_budget: Option<std::time::Duration>,
+    /// Early-stop rule for warm-started runs (`Colony::run_seeded`):
+    /// once a *full* tour re-derives the installed incumbent's quality
+    /// without the run ever having beaten it, the remaining tours are
+    /// skipped and the incumbent is returned
+    /// ([`ColonyRun::matched_seed_early`](crate::ColonyRun::matched_seed_early)).
+    /// The plateau signal is deadline-aware by construction: tours
+    /// interrupted by a deadline never trigger it (they report
+    /// `stopped_early` instead), and a tour that *beats* the incumbent
+    /// keeps the search running — only confirmed "the seed already holds
+    /// up" runs hand their budget back. Cold runs are unaffected. Like
+    /// the time budget, this is quality-of-service, not identity: it is
+    /// excluded from the serving layer's cache digest.
+    pub warm_early_stop: bool,
 }
 
 impl Default for AcoParams {
@@ -186,6 +199,7 @@ impl Default for AcoParams {
             target_layers: None,
             eta_floor: None,
             time_budget: None,
+            warm_early_stop: true,
         }
     }
 }

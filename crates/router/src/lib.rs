@@ -11,11 +11,14 @@
 //!                    └──────────────────► shard N-1 (antlayer serve)
 //! ```
 //!
-//! Clients speak the exact same newline-delimited JSON protocol to the
-//! router that they would speak to a single server (`docs/PROTOCOL.md`);
-//! the router parses each request line just enough to pick a routing
-//! key, forwards the original line verbatim, and relays the shard's
-//! reply:
+//! Clients speak the exact same JSON protocol to the router that they
+//! would speak to a single server (`docs/PROTOCOL.md`), over either
+//! client-facing framing — newline-delimited TCP ([`RouterConfig::addr`])
+//! or HTTP/1.1 `POST /v2` ([`RouterConfig::http_addr`], `antlayer route
+//! --http PORT`). The router parses each request just enough to pick a
+//! routing key, forwards the original payload verbatim over its
+//! line-TCP upstream connections (one [`antlayer_client::Connection`]
+//! per shard per handler), and relays the shard's reply:
 //!
 //! * `layout` routes by the request's canonical digest, so identical
 //!   requests always land on the same shard — fleet-wide hit rate
@@ -31,7 +34,7 @@
 //!   shard is down (or the entry was evicted), the shard that receives
 //!   the rehashed request answers `base not found` and the client falls
 //!   back to one full `layout` — the recovery the protocol already
-//!   specifies;
+//!   specifies (and `antlayer-client` implements);
 //! * `stats` fans out to every shard and aggregates the counters
 //!   (plus router-level forwarding/failover counters and per-shard
 //!   health);
@@ -64,13 +67,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use antlayer_client::{Connection, Transport as ClientTransport};
 use antlayer_service::cache::ShardedCache;
 use antlayer_service::digest::Digest;
-use antlayer_service::protocol::{self, Json, Request};
-use antlayer_service::router::{HashRing, LineConn, ShardHealth};
+use antlayer_service::protocol::{self, Envelope, ErrorKind, Json, Request, Response, WireError};
+use antlayer_service::router::{HashRing, ShardHealth};
+use antlayer_service::transport::{HttpTransport, LineTransport, Transport};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -80,8 +84,13 @@ use std::time::Duration;
 /// Router tuning knobs.
 #[derive(Clone, Debug)]
 pub struct RouterConfig {
-    /// Address to bind, e.g. `127.0.0.1:4700` (port 0 picks a free one).
+    /// Address of the line-TCP listener, e.g. `127.0.0.1:4700` (port 0
+    /// picks a free one).
     pub addr: String,
+    /// Optional address of an HTTP/1.1 listener (`POST /v2`); `None`
+    /// serves line-delimited TCP only. Upstream shard connections are
+    /// line-TCP either way.
+    pub http_addr: Option<String>,
     /// Backend `antlayer serve` addresses, in ring order. Must be
     /// non-empty; the shard *index* in this list is its ring identity,
     /// so keep the order stable across router restarts.
@@ -108,6 +117,7 @@ impl Default for RouterConfig {
     fn default() -> Self {
         RouterConfig {
             addr: "127.0.0.1:4700".into(),
+            http_addr: None,
             shards: Vec::new(),
             vnodes: 64,
             max_connections: 128,
@@ -173,29 +183,35 @@ impl ConnRegistry {
     }
 }
 
+/// Front-end state shared by the accept loops and connection handlers.
+struct RouterShared {
+    state: Arc<RouterState>,
+    max_connections: usize,
+    shutdown: AtomicBool,
+    connections: AtomicUsize,
+    registry: ConnRegistry,
+}
+
 /// A bound, not-yet-running router.
 pub struct Router {
     listener: TcpListener,
-    state: Arc<RouterState>,
-    config: RouterConfig,
-    shutdown: Arc<AtomicBool>,
-    connections: Arc<AtomicUsize>,
-    registry: Arc<ConnRegistry>,
+    http_listener: Option<TcpListener>,
+    shared: Arc<RouterShared>,
+    probe_interval: Duration,
 }
 
 /// Handle to a router running on background threads; dropping it shuts
 /// the router (and its probe thread) down.
 pub struct RouterHandle {
     addr: std::net::SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    registry: Arc<ConnRegistry>,
-    accept_thread: Option<JoinHandle<()>>,
-    probe_thread: Option<JoinHandle<()>>,
+    http_addr: Option<std::net::SocketAddr>,
+    shared: Arc<RouterShared>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl Router {
-    /// Binds the configured address. Fails on an empty shard list — a
-    /// router with nothing behind it can serve nothing.
+    /// Binds the configured address(es). Fails on an empty shard list —
+    /// a router with nothing behind it can serve nothing.
     pub fn bind(config: RouterConfig) -> std::io::Result<Router> {
         if config.shards.is_empty() {
             return Err(std::io::Error::new(
@@ -204,6 +220,10 @@ impl Router {
             ));
         }
         let listener = TcpListener::bind(&config.addr)?;
+        let http_listener = match &config.http_addr {
+            Some(addr) => Some(TcpListener::bind(addr)?),
+            None => None,
+        };
         let state = Arc::new(RouterState {
             ring: HashRing::new(config.shards.len(), config.vnodes),
             shards: config
@@ -220,136 +240,123 @@ impl Router {
         });
         Ok(Router {
             listener,
-            state,
-            config,
-            shutdown: Arc::new(AtomicBool::new(false)),
-            connections: Arc::new(AtomicUsize::new(0)),
-            registry: Arc::new(ConnRegistry::default()),
+            http_listener,
+            shared: Arc::new(RouterShared {
+                state,
+                max_connections: config.max_connections,
+                shutdown: AtomicBool::new(false),
+                connections: AtomicUsize::new(0),
+                registry: ConnRegistry::default(),
+            }),
+            probe_interval: config.probe_interval,
         })
     }
 
-    /// The actually-bound address (resolves port 0).
+    /// The actually-bound line-TCP address (resolves port 0).
     pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The actually-bound HTTP address, when an HTTP listener exists.
+    pub fn http_addr(&self) -> Option<std::net::SocketAddr> {
+        self.http_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
     }
 
     /// The consistent-hash ring in use (for tests and observability:
     /// `ring().owner(digest.lo)` is the shard a request lands on while
     /// every shard is up).
     pub fn ring(&self) -> &HashRing {
-        &self.state.ring
+        &self.shared.state.ring
     }
 
     /// Runs the router on the calling thread until shutdown: starts the
-    /// background reconnect probe, then serves the accept loop.
+    /// background reconnect probe (and the HTTP accept loop, if
+    /// configured), then serves the line-TCP accept loop.
     pub fn run(self) {
         // Without the probe, down shards would stay down forever; if the
         // thread cannot even be spawned the router still serves, merely
         // without automatic recovery.
-        let _probe = spawn_probe(
-            self.state.clone(),
-            self.shutdown.clone(),
-            self.config.probe_interval,
-        );
-        self.run_accept_loop();
-    }
-
-    fn run_accept_loop(&self) {
-        for stream in self.listener.incoming() {
-            if self.shutdown.load(Ordering::Acquire) {
-                break;
+        let _probe = spawn_probe(self.shared.clone(), self.probe_interval);
+        let mut threads = Vec::new();
+        if let Some(http) = self.http_listener {
+            let shared = self.shared.clone();
+            if let Ok(t) = std::thread::Builder::new()
+                .name("antlayer-route-http".into())
+                .spawn(move || accept_loop(&http, &HttpTransport, &shared))
+            {
+                threads.push(t);
             }
-            let stream = match stream {
-                Ok(s) => s,
-                Err(_) => continue,
-            };
-            let _ = stream.set_nodelay(true);
-            let active = self.connections.fetch_add(1, Ordering::AcqRel) + 1;
-            if active > self.config.max_connections {
-                self.connections.fetch_sub(1, Ordering::AcqRel);
-                let mut w = BufWriter::new(&stream);
-                let _ = writeln!(
-                    w,
-                    "{}",
-                    protocol::encode_error(&format!(
-                        "overloaded: {active} connections (cap {})",
-                        self.config.max_connections
-                    ))
-                );
-                let _ = w.flush();
-                let _ = stream.shutdown(Shutdown::Both);
-                continue;
-            }
-            let state = self.state.clone();
-            let connections = self.connections.clone();
-            let registry = self.registry.clone();
-            // Register on the accept thread, not the handler: by the
-            // time shutdown has joined this loop, every accepted
-            // connection is in the registry, so sever_all cannot miss
-            // one that a handler thread had not registered yet.
-            let id = registry.register(&stream);
-            std::thread::spawn(move || {
-                handle_client(stream, &state);
-                if let Some(id) = id {
-                    registry.deregister(id);
-                }
-                connections.fetch_sub(1, Ordering::AcqRel);
-            });
+        }
+        accept_loop(&self.listener, &LineTransport, &self.shared);
+        for t in threads {
+            let _ = t.join();
         }
     }
 
-    /// Runs the router on background threads (accept loop + reconnect
+    /// Runs the router on background threads (accept loops + reconnect
     /// probe) and returns a handle.
     pub fn spawn(self) -> std::io::Result<RouterHandle> {
         let addr = self.local_addr()?;
-        let shutdown = self.shutdown.clone();
-        let registry = self.registry.clone();
-        let probe_thread = Some(spawn_probe(
-            self.state.clone(),
-            self.shutdown.clone(),
-            self.config.probe_interval,
-        )?);
-        let accept_thread = Some(
+        let http_addr = self.http_addr();
+        let shared = self.shared.clone();
+        let mut threads = vec![spawn_probe(self.shared.clone(), self.probe_interval)?];
+        if let Some(http) = self.http_listener {
+            let http_shared = self.shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("antlayer-route-http".into())
+                    .spawn(move || accept_loop(&http, &HttpTransport, &http_shared))?,
+            );
+        }
+        let listener = self.listener;
+        let line_shared = self.shared.clone();
+        threads.push(
             std::thread::Builder::new()
                 .name("antlayer-route-accept".into())
-                .spawn(move || self.run_accept_loop())?,
+                .spawn(move || accept_loop(&listener, &LineTransport, &line_shared))?,
         );
         Ok(RouterHandle {
             addr,
-            shutdown,
-            registry,
-            accept_thread,
-            probe_thread,
+            http_addr,
+            shared,
+            threads,
         })
     }
 }
 
 impl RouterHandle {
-    /// The router's address.
+    /// The router's line-TCP address.
     pub fn addr(&self) -> std::net::SocketAddr {
         self.addr
     }
 
-    /// Stops the accept loop and probe thread, severs live client
-    /// connections, and joins both threads.
+    /// The router's HTTP address, when an HTTP listener is serving.
+    pub fn http_addr(&self) -> Option<std::net::SocketAddr> {
+        self.http_addr
+    }
+
+    /// Stops the accept and probe threads, severs live client
+    /// connections, and joins everything.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
-        if self.accept_thread.is_none() {
+        if self.threads.is_empty() {
             return;
         }
-        self.shutdown.store(true, Ordering::Release);
-        // Wake the accept loop so it observes the flag.
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Wake the accept loops so they observe the flag.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
-        if let Some(t) = self.accept_thread.take() {
+        if let Some(http) = self.http_addr {
+            let _ = TcpStream::connect_timeout(&http, Duration::from_secs(1));
+        }
+        for t in self.threads.drain(..) {
             let _ = t.join();
         }
-        if let Some(t) = self.probe_thread.take() {
-            let _ = t.join();
-        }
-        self.registry.sever_all();
+        self.shared.registry.sever_all();
     }
 }
 
@@ -362,18 +369,15 @@ impl Drop for RouterHandle {
 /// Starts the reconnect probe: every `interval`, each down shard gets a
 /// fresh connection and a `ping`; success returns it to rotation. The
 /// sleep is chopped into short slices so shutdown is prompt.
-fn spawn_probe(
-    state: Arc<RouterState>,
-    shutdown: Arc<AtomicBool>,
-    interval: Duration,
-) -> std::io::Result<JoinHandle<()>> {
+fn spawn_probe(shared: Arc<RouterShared>, interval: Duration) -> std::io::Result<JoinHandle<()>> {
     std::thread::Builder::new()
         .name("antlayer-route-probe".into())
         .spawn(move || {
+            let state = &shared.state;
             let slice = Duration::from_millis(20).min(interval);
             let mut slept = Duration::ZERO;
             loop {
-                if shutdown.load(Ordering::Acquire) {
+                if shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
                 std::thread::sleep(slice);
@@ -383,13 +387,17 @@ fn spawn_probe(
                 }
                 slept = Duration::ZERO;
                 for shard in state.shards.iter().filter(|s| !s.is_up()) {
-                    let ok = LineConn::connect(&shard.addr, state.connect_timeout)
-                        .and_then(|mut conn| {
-                            conn.set_read_timeout(Some(state.connect_timeout))?;
-                            conn.exchange(r#"{"op":"ping"}"#)
-                        })
-                        .map(|reply| reply.contains("\"ok\":true"))
-                        .unwrap_or(false);
+                    let ok = Connection::connect_timeout(
+                        &shard.addr,
+                        ClientTransport::Tcp,
+                        state.connect_timeout,
+                    )
+                    .and_then(|mut conn| {
+                        conn.set_read_timeout(Some(state.connect_timeout))?;
+                        conn.exchange(r#"{"op":"ping"}"#)
+                    })
+                    .map(|reply| reply.contains("\"ok\":true"))
+                    .unwrap_or(false);
                     if ok {
                         shard.mark_up();
                     }
@@ -398,68 +406,97 @@ fn spawn_probe(
         })
 }
 
-/// Longest accepted client request line; matches the shard server's cap.
-const MAX_LINE_BYTES: u64 = 64 * 1024 * 1024;
-
-fn handle_client(stream: TcpStream, state: &RouterState) {
-    let mut reader = match stream.try_clone() {
-        Ok(s) => BufReader::new(s),
-        Err(_) => return,
-    };
-    let mut writer = BufWriter::new(stream);
-    // Per-handler shard connection pool: one connection per shard this
-    // client's traffic has touched, so a request/reply pair is never
-    // interleaved with another client's.
-    let mut conns: Vec<Option<LineConn>> = state.shards.iter().map(|_| None).collect();
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match (&mut reader).take(MAX_LINE_BYTES).read_line(&mut line) {
-            Ok(0) => break, // clean EOF
-            Ok(n) => {
-                if n as u64 >= MAX_LINE_BYTES && !line.ends_with('\n') {
-                    let _ = writeln!(
-                        writer,
-                        "{}",
-                        protocol::encode_error(&format!(
-                            "request line exceeds {MAX_LINE_BYTES} bytes"
-                        ))
-                    );
-                    let _ = writer.flush();
-                    break;
-                }
-            }
-            Err(_) => break,
+/// One accept loop over one listener/framing pair; mirrors the server's.
+fn accept_loop(
+    listener: &TcpListener,
+    transport: &'static dyn Transport,
+    shared: &Arc<RouterShared>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
         }
-        if line.trim().is_empty() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let _ = stream.set_nodelay(true);
+        let active = shared.connections.fetch_add(1, Ordering::AcqRel) + 1;
+        if active > shared.max_connections {
+            shared.connections.fetch_sub(1, Ordering::AcqRel);
+            transport.reject(
+                stream,
+                &protocol::encode_error(&format!(
+                    "overloaded: {active} connections (cap {})",
+                    shared.max_connections
+                )),
+            );
             continue;
         }
-        let reply = route_line(line.trim_end(), state, &mut conns);
-        if writeln!(writer, "{reply}")
-            .and_then(|_| writer.flush())
-            .is_err()
-        {
-            break;
+        let shared = shared.clone();
+        // Register on the accept thread, not the handler: by the time
+        // shutdown has joined this loop, every accepted connection is in
+        // the registry, so sever_all cannot miss one that a handler
+        // thread had not registered yet.
+        let id = shared.registry.register(&stream);
+        std::thread::spawn(move || {
+            // Per-handler shard connection pool: one connection per shard
+            // this client's traffic has touched, so a request/reply pair
+            // is never interleaved with another client's.
+            let mut conns: Vec<Option<Connection>> =
+                shared.state.shards.iter().map(|_| None).collect();
+            transport.serve(stream, &mut |line| {
+                route_line(line, &shared.state, &mut conns)
+            });
+            if let Some(id) = id {
+                shared.registry.deregister(id);
+            }
+            shared.connections.fetch_sub(1, Ordering::AcqRel);
+        });
+    }
+}
+
+/// Computes the response for one client request: parse just enough to
+/// route, then forward the original payload verbatim. Locally answered
+/// ops (ping, stats, errors) seal the request's envelope; forwarded
+/// replies already carry it from the shard.
+fn route_line(line: &str, state: &RouterState, conns: &mut [Option<Connection>]) -> String {
+    let (request, env) = match protocol::parse_request_envelope(line) {
+        Err((e, env)) => return Response::Error(e).encode(&env),
+        Ok(parsed) => parsed,
+    };
+    match &request {
+        Request::Ping => Response::Pong { router: true }.encode(&env),
+        Request::Stats => stats_fanout(state, conns, &env),
+        Request::Layout(req) => {
+            let wire = forwardable(line, &request, &env);
+            forward(state, conns, &wire, req.digest(), false, &env)
+        }
+        Request::LayoutDelta(req) => {
+            let wire = forwardable(line, &request, &env);
+            forward(state, conns, &wire, req.base, true, &env)
         }
     }
 }
 
-/// Computes the response line for one client line: parse just enough to
-/// route, then forward the original bytes.
-fn route_line(line: &str, state: &RouterState, conns: &mut [Option<LineConn>]) -> String {
-    match protocol::parse_request(line) {
-        Err(e) => protocol::encode_error(&e),
-        Ok(Request::Ping) => {
-            let mut obj = BTreeMap::new();
-            obj.insert("ok".into(), Json::Bool(true));
-            obj.insert("op".into(), Json::Str("ping".into()));
-            obj.insert("router".into(), Json::Bool(true));
-            Json::Obj(obj).encode()
-        }
-        Ok(Request::Stats) => stats_fanout(state, conns),
-        Ok(Request::Layout(req)) => forward(state, conns, line, req.digest(), false),
-        Ok(Request::LayoutDelta(req)) => forward(state, conns, line, req.base, true),
+/// The payload written to a shard must be a **single line**: the
+/// upstream connections speak the newline-delimited framing, so a
+/// multi-line HTTP body forwarded verbatim would be split into several
+/// shard requests (and desync the pooled connection). Such payloads are
+/// re-encoded canonically from the parsed request — same decoded
+/// fields, same digest; single-line payloads forward untouched.
+fn forwardable<'a>(
+    line: &'a str,
+    request: &protocol::Request,
+    env: &Envelope,
+) -> std::borrow::Cow<'a, str> {
+    if !line.contains(['\n', '\r']) {
+        return std::borrow::Cow::Borrowed(line);
     }
+    std::borrow::Cow::Owned(match env.version {
+        2 => request.encode_v2(env.id.as_ref()),
+        _ => request.encode_v1(),
+    })
 }
 
 /// Forwards `line` to the shard where `digest`'s cache entry lives — the
@@ -471,10 +508,11 @@ fn route_line(line: &str, state: &RouterState, conns: &mut [Option<LineConn>]) -
 /// are pure functions of their digest.
 fn forward(
     state: &RouterState,
-    conns: &mut [Option<LineConn>],
+    conns: &mut [Option<Connection>],
     line: &str,
     digest: Digest,
     is_delta: bool,
+    env: &Envelope,
 ) -> String {
     let home = state.homes.peek(digest).filter(|&s| s < state.shards.len());
     let order = home.into_iter().chain(
@@ -502,10 +540,14 @@ fn forward(
         }
     }
     state.counters.unroutable.fetch_add(1, Ordering::Relaxed);
-    protocol::encode_error(&format!(
-        "no shards available: all {} backends are down",
-        state.shards.len()
+    Response::Error(WireError::new(
+        ErrorKind::Unroutable,
+        format!(
+            "no shards available: all {} backends are down",
+            state.shards.len()
+        ),
     ))
+    .encode(env)
 }
 
 /// Records where a successfully served result actually lives when that
@@ -554,7 +596,7 @@ fn record_result_home(
 /// reconnecting once if the pooled connection turns out to be dead.
 /// On error the pool slot is left empty.
 fn exchange_on(
-    conns: &mut [Option<LineConn>],
+    conns: &mut [Option<Connection>],
     shard: usize,
     addr: &str,
     state: &RouterState,
@@ -570,7 +612,7 @@ fn exchange_on(
         // functions of the digest), so re-sending is safe.
         conns[shard] = None;
     }
-    let mut fresh = LineConn::connect(addr, state.connect_timeout)?;
+    let mut fresh = Connection::connect_timeout(addr, ClientTransport::Tcp, state.connect_timeout)?;
     fresh.set_read_timeout(Some(state.io_timeout))?;
     let reply = fresh.exchange(line)?;
     conns[shard] = Some(fresh);
@@ -581,7 +623,7 @@ fn exchange_on(
 /// numeric counter in the shard replies is summed field-by-field (so new
 /// server counters aggregate without touching the router), plus
 /// router-level counters and a `per_shard` health/traffic array.
-fn stats_fanout(state: &RouterState, conns: &mut [Option<LineConn>]) -> String {
+fn stats_fanout(state: &RouterState, conns: &mut [Option<Connection>], env: &Envelope) -> String {
     let mut sums: BTreeMap<String, f64> = BTreeMap::new();
     let mut per_shard = Vec::with_capacity(state.shards.len());
     let mut shards_up = 0usize;
@@ -621,30 +663,28 @@ fn stats_fanout(state: &RouterState, conns: &mut [Option<LineConn>]) -> String {
     // inserted *after*, so a future shard counter that happens to share
     // a name (say the server grows a numeric "shards" stat) can never
     // clobber the router's health fields — the router's value wins.
-    let mut obj = BTreeMap::new();
+    let mut counters: BTreeMap<String, Json> = BTreeMap::new();
     for (k, v) in sums {
-        obj.insert(k, Json::Num(v));
+        counters.insert(k, Json::Num(v));
     }
-    obj.insert("ok".into(), Json::Bool(true));
-    obj.insert("op".into(), Json::Str("stats".into()));
-    obj.insert("router".into(), Json::Bool(true));
-    obj.insert("shards".into(), Json::Num(state.shards.len() as f64));
-    obj.insert("shards_up".into(), Json::Num(shards_up as f64));
+    counters.insert("router".into(), Json::Bool(true));
+    counters.insert("shards".into(), Json::Num(state.shards.len() as f64));
+    counters.insert("shards_up".into(), Json::Num(shards_up as f64));
     let c = &state.counters;
-    obj.insert(
+    counters.insert(
         "router_forwarded".into(),
         Json::Num(c.forwarded.load(Ordering::Relaxed) as f64),
     );
-    obj.insert(
+    counters.insert(
         "router_rerouted".into(),
         Json::Num(c.rerouted.load(Ordering::Relaxed) as f64),
     );
-    obj.insert(
+    counters.insert(
         "router_unroutable".into(),
         Json::Num(c.unroutable.load(Ordering::Relaxed) as f64),
     );
-    obj.insert("per_shard".into(), Json::Arr(per_shard));
-    Json::Obj(obj).encode()
+    counters.insert("per_shard".into(), Json::Arr(per_shard));
+    Response::Stats(counters).encode(env)
 }
 
 #[cfg(test)]
@@ -658,6 +698,41 @@ mod tests {
             ..Default::default()
         });
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn multi_line_payloads_are_reencoded_before_forwarding() {
+        // An HTTP client may POST pretty-printed (multi-line) JSON; the
+        // line-framed upstream would split it into several shard
+        // requests, so forwarding must canonicalize it to one line.
+        let line = "{\"op\":\"layout\",\r\n \"nodes\":3,\n \"edges\":[[0,1],[1,2]]}";
+        let (request, env) = protocol::parse_request_envelope(line).unwrap();
+        let wire = forwardable(line, &request, &env);
+        assert!(!wire.contains(['\n', '\r']));
+        let (Request::Layout(a), Request::Layout(b)) =
+            (&request, &protocol::parse_request(&wire).unwrap())
+        else {
+            panic!("expected layout requests");
+        };
+        assert_eq!(a.digest(), b.digest(), "re-encoding preserves identity");
+
+        // Single-line payloads forward verbatim (zero-copy).
+        let single = r#"{"op":"layout","nodes":3,"edges":[[0,1],[1,2]]}"#;
+        let (request, env) = protocol::parse_request_envelope(single).unwrap();
+        assert!(matches!(
+            forwardable(single, &request, &env),
+            std::borrow::Cow::Borrowed(_)
+        ));
+
+        // A v2 multi-line payload keeps its envelope through the
+        // re-encoding, so the shard still seals v/id onto the reply.
+        let v2 = "{\"v\":2,\n\"op\":\"layout\",\"id\":9,\"body\":{\"nodes\":2}}";
+        let (request, env) = protocol::parse_request_envelope(v2).unwrap();
+        let wire = forwardable(v2, &request, &env);
+        assert!(
+            wire.contains("\"v\":2") && wire.contains("\"id\":9"),
+            "{wire}"
+        );
     }
 
     #[test]

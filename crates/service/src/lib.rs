@@ -13,7 +13,8 @@
 //! | identity | [`digest`] | canonical encoding + 128-bit [`Digest`] of (graph, algorithm, params, width model) |
 //! | memory | [`cache`] | sharded LRU [`ShardedCache`] with hit/miss/eviction counters |
 //! | compute | [`scheduler`] | [`Scheduler`]: digest dedup, admission control, deadline-bounded fan-out over the worker pool |
-//! | transport | [`protocol`], [`server`] | line-delimited JSON over TCP, [`Server`] + [`ServerHandle`] |
+//! | protocol | [`protocol`] | the typed codec: v1/v2 envelopes, [`protocol::Request`]/[`protocol::Response`]/[`protocol::ErrorKind`] |
+//! | transport | [`transport`], [`server`] | framing ([`transport::Transport`]: line TCP + hand-rolled HTTP/1.1), [`Server`] + [`ServerHandle`] |
 //! | topology | [`router`] | consistent-hash [`HashRing`] + shard health, shared with the `antlayer-router` crate |
 //!
 //! Edits are first-class: a `layout_delta` request
@@ -78,12 +79,15 @@ pub mod protocol;
 pub mod router;
 pub mod scheduler;
 pub mod server;
+pub mod transport;
 
 pub use cache::{CacheCounters, ShardedCache};
 pub use digest::{request_digest, CanonicalHasher, Digest};
+pub use protocol::{Envelope, ErrorKind, LayoutReply, Request, Response, WireError};
 pub use router::{HashRing, ShardHealth};
 pub use scheduler::{
     AlgoSpec, DeltaRequest, LayoutRequest, LayoutResponse, LayoutResult, Scheduler,
     SchedulerConfig, SchedulerCounters, ServiceError, Source, Ticket,
 };
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{Server, ServerConfig, ServerHandle, ServiceCore};
+pub use transport::{HttpTransport, LineTransport, Transport};

@@ -1,12 +1,17 @@
-//! The wire protocol: line-delimited JSON over TCP.
+//! The wire protocol: one JSON object per message, carried either as a
+//! newline-delimited line over TCP or as an HTTP/1.1 `POST /v2` body
+//! (see [`crate::transport`]).
 //!
-//! Each request is one JSON object on one line; each response is one
-//! JSON object on one line. The serializer and parser are hand-rolled in
-//! the house style of the DOT/GML writers — the protocol needs exactly
-//! the JSON subset implemented here (objects, arrays, strings, finite
-//! numbers, booleans, null) and no external dependency.
+//! This module is the **single source of truth** for serialization: the
+//! typed [`Request`] / [`Response`] / [`ErrorKind`] codec is what the
+//! server, the router, and the `antlayer-client` crate all speak; the
+//! hand-rolled [`Json`] value underneath needs exactly the JSON subset
+//! implemented here (objects, arrays, strings, finite numbers, booleans,
+//! null) and no external dependency.
 //!
-//! ## Requests
+//! ## Requests — v1 (flat) and v2 (enveloped)
+//!
+//! v1, the original wire format, is one flat object per message:
 //!
 //! ```json
 //! {"op":"layout","algo":"aco","nodes":6,"edges":[[0,1],[0,2],[1,3]],
@@ -16,6 +21,20 @@
 //! {"op":"stats"}
 //! {"op":"ping"}
 //! ```
+//!
+//! v2 wraps the same op bodies in a versioned envelope with an optional
+//! caller correlation `id` (number or string, echoed in the response):
+//!
+//! ```json
+//! {"v":2,"op":"layout","id":7,"body":{"nodes":6,"edges":[[0,1],[0,2],[1,3]]}}
+//! {"v":2,"op":"ping"}
+//! ```
+//!
+//! v1 lines keep parsing **bit-for-bit** (regression-tested against the
+//! example lines in `docs/PROTOCOL.md`), including the lenient historic
+//! default of an absent `"op"` meaning `layout` — flagged as
+//! [`Envelope::lenient_op`] so servers can count it. Under v2 the op is
+//! mandatory: a missing one is rejected with [`ErrorKind::MissingOp`].
 //!
 //! `algo` is one of `lpl`, `lpl-pl`, `minwidth`, `minwidth-pl`, `cg`,
 //! `ns`, `aco` (default `aco`); `seed`, `ants`, `tours` tune the colony
@@ -39,10 +58,18 @@
 //!  "compute_micros":1234,"layers":[[0,2],[1],[3]]}
 //! {"ok":false,"error":"overloaded: …"}
 //! ```
+//!
+//! A response to a v2 request carries the envelope back: `"v":2`, the
+//! request's `"id"` if one was sent, and — on errors — a structured
+//! `"kind"` member naming the [`ErrorKind`]:
+//!
+//! ```json
+//! {"error":"missing op: v2 requests must name an op","kind":"missing_op","ok":false,"v":2}
+//! ```
 
 use crate::digest::Digest;
 use crate::scheduler::{AlgoSpec, DeltaRequest, LayoutRequest, LayoutResponse};
-use antlayer_graph::{DiGraph, GraphDelta};
+use antlayer_graph::{DiGraph, GraphDelta, NodeId};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -389,6 +416,178 @@ impl<'a> Parser<'a> {
     }
 }
 
+/// Structured classification of every error a server or router answers
+/// with. The v1 wire carries it implicitly as the message *prefix*
+/// (clients dispatch on `overloaded`, `base not found`, …); v2 error
+/// responses name it explicitly in a `"kind"` member.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The line/body is not the accepted JSON subset.
+    BadJson,
+    /// A `"v"` member naming a version this server does not speak.
+    BadVersion,
+    /// A v2 request without an `"op"` (v1 leniently defaults to
+    /// `layout`; v2 does not).
+    MissingOp,
+    /// An `"op"` no server recognizes.
+    UnknownOp,
+    /// Semantic validation failure (bad `nd_width`, colony params, caps,
+    /// malformed fields).
+    InvalidRequest,
+    /// Graph-shape validation failure: self-loops, duplicate edges,
+    /// endpoints out of range, a delta that does not apply. One kind for
+    /// `layout` and `layout_delta` alike.
+    InvalidGraph,
+    /// Admission control (queue depth or connection cap); retry with
+    /// backoff.
+    Overloaded,
+    /// `layout_delta` named a base digest that is not cached; re-send a
+    /// full `layout`.
+    BaseNotFound,
+    /// A compute worker vanished (panic); the server itself stays up.
+    Internal,
+    /// The request exceeds a transport cap (line length, HTTP
+    /// `Content-Length`); the connection closes.
+    TooLarge,
+    /// Router only: every backend shard is down.
+    Unroutable,
+}
+
+impl ErrorKind {
+    /// The stable snake_case name carried in a v2 `"kind"` member.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            ErrorKind::BadJson => "bad_json",
+            ErrorKind::BadVersion => "bad_version",
+            ErrorKind::MissingOp => "missing_op",
+            ErrorKind::UnknownOp => "unknown_op",
+            ErrorKind::InvalidRequest => "invalid_request",
+            ErrorKind::InvalidGraph => "invalid_graph",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::BaseNotFound => "base_not_found",
+            ErrorKind::Internal => "internal",
+            ErrorKind::TooLarge => "too_large",
+            ErrorKind::Unroutable => "unroutable",
+        }
+    }
+
+    /// Inverse of [`wire_name`](Self::wire_name).
+    pub fn from_wire_name(name: &str) -> Option<ErrorKind> {
+        Some(match name {
+            "bad_json" => ErrorKind::BadJson,
+            "bad_version" => ErrorKind::BadVersion,
+            "missing_op" => ErrorKind::MissingOp,
+            "unknown_op" => ErrorKind::UnknownOp,
+            "invalid_request" => ErrorKind::InvalidRequest,
+            "invalid_graph" => ErrorKind::InvalidGraph,
+            "overloaded" => ErrorKind::Overloaded,
+            "base_not_found" => ErrorKind::BaseNotFound,
+            "internal" => ErrorKind::Internal,
+            "too_large" => ErrorKind::TooLarge,
+            "unroutable" => ErrorKind::Unroutable,
+            _ => return None,
+        })
+    }
+
+    /// Classifies a v1 error message by its stable prefix — how clients
+    /// without the `"kind"` member have always dispatched.
+    pub fn classify(message: &str) -> ErrorKind {
+        for (prefix, kind) in [
+            ("bad JSON", ErrorKind::BadJson),
+            ("unsupported protocol version", ErrorKind::BadVersion),
+            ("missing op", ErrorKind::MissingOp),
+            ("unknown op", ErrorKind::UnknownOp),
+            ("invalid graph", ErrorKind::InvalidGraph),
+            ("overloaded", ErrorKind::Overloaded),
+            ("base not found", ErrorKind::BaseNotFound),
+            ("internal error", ErrorKind::Internal),
+            ("request line exceeds", ErrorKind::TooLarge),
+            ("request body exceeds", ErrorKind::TooLarge),
+            ("no shards available", ErrorKind::Unroutable),
+        ] {
+            if message.starts_with(prefix) {
+                return kind;
+            }
+        }
+        ErrorKind::InvalidRequest
+    }
+
+    /// The kind a [`ServiceError`](crate::scheduler::ServiceError) maps
+    /// to on the wire.
+    pub fn of_service_error(e: &crate::scheduler::ServiceError) -> ErrorKind {
+        use crate::scheduler::ServiceError;
+        match e {
+            ServiceError::Overloaded { .. } => ErrorKind::Overloaded,
+            ServiceError::BaseNotFound(_) => ErrorKind::BaseNotFound,
+            ServiceError::InvalidRequest(_) => ErrorKind::InvalidRequest,
+            ServiceError::InvalidGraph(_) => ErrorKind::InvalidGraph,
+            ServiceError::Internal(_) => ErrorKind::Internal,
+        }
+    }
+}
+
+/// A wire-level error: the structured kind plus the v1 message (whose
+/// prefix is the kind's historic spelling).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Structured classification.
+    pub kind: ErrorKind,
+    /// Full human-readable message; its prefix is stable per kind.
+    pub message: String,
+}
+
+impl WireError {
+    /// Builds an error of `kind` with the given message.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> WireError {
+        WireError {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// The request envelope: protocol version, the caller's correlation id
+/// (v2 only; echoed in the response), and whether a v1 request leaned on
+/// the historic absent-`op`-means-`layout` default.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope {
+    /// Protocol version the request spoke (1 or 2).
+    pub version: u8,
+    /// v2 correlation id (a JSON number or string), echoed verbatim.
+    pub id: Option<Json>,
+    /// `true` when a v1 request omitted `"op"` and got the lenient
+    /// `layout` default — counted by servers as `lenient_requests`.
+    pub lenient_op: bool,
+}
+
+impl Envelope {
+    /// A plain v1 envelope (no id, explicit op).
+    pub fn v1() -> Envelope {
+        Envelope {
+            version: 1,
+            id: None,
+            lenient_op: false,
+        }
+    }
+
+    /// A v2 envelope with an optional correlation id.
+    pub fn v2(id: Option<Json>) -> Envelope {
+        Envelope {
+            version: 2,
+            id,
+            lenient_op: false,
+        }
+    }
+}
+
 /// A decoded client request.
 #[derive(Clone, Debug)]
 pub enum Request {
@@ -403,7 +602,264 @@ pub enum Request {
     Ping,
 }
 
-/// Decodes one request line.
+impl Request {
+    /// The wire op name.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Layout(_) => "layout",
+            Request::LayoutDelta(_) => "layout_delta",
+            Request::Stats => "stats",
+            Request::Ping => "ping",
+        }
+    }
+
+    /// The op body as a JSON object (the fields *without* the op / the
+    /// envelope) — what goes inline in v1 and under `"body"` in v2.
+    pub fn body_json(&self) -> Json {
+        match self {
+            Request::Ping | Request::Stats => Json::Obj(BTreeMap::new()),
+            Request::Layout(r) => layout_body_json(&r.graph, &r.algo, r.nd_width, r.deadline),
+            Request::LayoutDelta(r) => delta_body_json(
+                r.base,
+                &r.delta.added,
+                &r.delta.removed,
+                &r.algo,
+                r.nd_width,
+                r.deadline,
+            ),
+        }
+    }
+
+    /// Encodes the v1 (flat) wire form.
+    pub fn encode_v1(&self) -> String {
+        encode_op_v1(self.op(), self.body_json())
+    }
+
+    /// Encodes the v2 enveloped wire form, with an optional correlation
+    /// id (must be a JSON number or string).
+    pub fn encode_v2(&self, id: Option<&Json>) -> String {
+        encode_op_v2(self.op(), id, self.body_json())
+    }
+}
+
+/// Builds a `layout` op body from a **borrowed** graph — the allocation
+/// a typed client actually needs is the serialized bytes, never a copy
+/// of the graph (the wire allows up to a million nodes).
+pub fn layout_body_json(
+    graph: &DiGraph,
+    algo: &AlgoSpec,
+    nd_width: f64,
+    deadline: Option<Duration>,
+) -> Json {
+    let mut obj = BTreeMap::new();
+    obj.insert("nodes".into(), Json::Num(graph.node_count() as f64));
+    obj.insert("edges".into(), edge_pairs_json(graph.edges()));
+    encode_common_fields(algo, nd_width, deadline, &mut obj);
+    Json::Obj(obj)
+}
+
+/// Builds a `layout_delta` op body from borrowed edit slices.
+pub fn delta_body_json(
+    base: Digest,
+    add: &[(u32, u32)],
+    remove: &[(u32, u32)],
+    algo: &AlgoSpec,
+    nd_width: f64,
+    deadline: Option<Duration>,
+) -> Json {
+    let mut obj = BTreeMap::new();
+    obj.insert("base".into(), Json::Str(base.to_string()));
+    obj.insert("add".into(), edge_u32_pairs_json(add));
+    obj.insert("remove".into(), edge_u32_pairs_json(remove));
+    encode_common_fields(algo, nd_width, deadline, &mut obj);
+    Json::Obj(obj)
+}
+
+/// Encodes one v1 (flat) request line: the op spliced into its body.
+pub fn encode_op_v1(op: &str, body: Json) -> String {
+    let Json::Obj(mut obj) = body else {
+        panic!("request bodies are objects");
+    };
+    obj.insert("op".into(), Json::Str(op.into()));
+    Json::Obj(obj).encode()
+}
+
+/// Encodes one v2 (enveloped) request line.
+pub fn encode_op_v2(op: &str, id: Option<&Json>, body: Json) -> String {
+    let mut obj = BTreeMap::new();
+    obj.insert("v".into(), Json::Num(2.0));
+    obj.insert("op".into(), Json::Str(op.into()));
+    if let Some(id) = id {
+        obj.insert("id".into(), id.clone());
+    }
+    obj.insert("body".into(), body);
+    Json::Obj(obj).encode()
+}
+
+fn edge_pairs_json(edges: impl Iterator<Item = (NodeId, NodeId)>) -> Json {
+    Json::Arr(
+        edges
+            .map(|(u, v)| {
+                Json::Arr(vec![
+                    Json::Num(u.index() as f64),
+                    Json::Num(v.index() as f64),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn edge_u32_pairs_json(pairs: &[(u32, u32)]) -> Json {
+    Json::Arr(
+        pairs
+            .iter()
+            .map(|&(u, v)| Json::Arr(vec![Json::Num(u as f64), Json::Num(v as f64)]))
+            .collect(),
+    )
+}
+
+/// Emits the fields [`parse_common_fields`] reads, canonically: `algo`
+/// always, colony knobs only for ACO, `deadline_ms` only when set.
+fn encode_common_fields(
+    algo: &AlgoSpec,
+    nd_width: f64,
+    deadline: Option<Duration>,
+    obj: &mut BTreeMap<String, Json>,
+) {
+    // The wire names match AlgoSpec::parse; Coffman–Graham's width bound
+    // is not a wire parameter, so any CoffmanGraham spec encodes as "cg".
+    let name = match algo {
+        AlgoSpec::CoffmanGraham(_) => "cg".to_string(),
+        other => other.canonical_name(),
+    };
+    obj.insert("algo".into(), Json::Str(name));
+    if let AlgoSpec::Aco(p) = algo {
+        obj.insert("seed".into(), Json::Num(p.seed as f64));
+        obj.insert("ants".into(), Json::Num(p.n_ants as f64));
+        obj.insert("tours".into(), Json::Num(p.n_tours as f64));
+    }
+    obj.insert("nd_width".into(), Json::Num(nd_width));
+    if let Some(d) = deadline {
+        obj.insert("deadline_ms".into(), Json::Num(d.as_millis() as f64));
+    }
+}
+
+/// Decodes one request line (v1 or v2) together with its [`Envelope`].
+/// Errors carry the envelope too, so the reply can echo `v`/`id`.
+///
+/// # Examples
+///
+/// ```
+/// use antlayer_service::protocol::{parse_request_envelope, ErrorKind, Request};
+///
+/// let (req, env) =
+///     parse_request_envelope(r#"{"v":2,"op":"layout","id":9,"body":{"nodes":2}}"#).unwrap();
+/// assert!(matches!(req, Request::Layout(_)));
+/// assert_eq!(env.version, 2);
+///
+/// // v2 requires an explicit op; v1 defaults a missing one to `layout`.
+/// let (err, _) = parse_request_envelope(r#"{"v":2,"body":{"nodes":2}}"#).unwrap_err();
+/// assert_eq!(err.kind, ErrorKind::MissingOp);
+/// let (_, env) = parse_request_envelope(r#"{"nodes":2}"#).unwrap();
+/// assert!(env.lenient_op);
+/// ```
+pub fn parse_request_envelope(line: &str) -> Result<(Request, Envelope), (WireError, Envelope)> {
+    let v = parse(line).map_err(|e| {
+        (
+            WireError::new(ErrorKind::BadJson, format!("bad JSON: {e}")),
+            Envelope::v1(),
+        )
+    })?;
+    let (env, op, body) = match v.get("v") {
+        None => {
+            let lenient = v.get("op").is_none();
+            let op = v.get("op").and_then(Json::as_str).unwrap_or("layout");
+            let env = Envelope {
+                version: 1,
+                id: None,
+                lenient_op: lenient,
+            };
+            (env, op, &v)
+        }
+        Some(version) => {
+            // Echo the id even on version errors, so a v2 client can
+            // correlate the rejection; only numbers and strings qualify.
+            let id = v
+                .get("id")
+                .filter(|j| matches!(j, Json::Num(_) | Json::Str(_)))
+                .cloned();
+            let env = Envelope::v2(id);
+            if version.as_u64() != Some(2) {
+                return Err((
+                    WireError::new(
+                        ErrorKind::BadVersion,
+                        format!(
+                            "unsupported protocol version {} (this server speaks v2 \
+                             and unversioned v1)",
+                            version.encode()
+                        ),
+                    ),
+                    env,
+                ));
+            }
+            if let Some(id) = v.get("id") {
+                if !matches!(id, Json::Num(_) | Json::Str(_)) {
+                    return Err((
+                        WireError::new(
+                            ErrorKind::InvalidRequest,
+                            "invalid request: 'id' must be a number or string",
+                        ),
+                        env,
+                    ));
+                }
+            }
+            let Some(op) = v.get("op").and_then(Json::as_str) else {
+                return Err((
+                    WireError::new(
+                        ErrorKind::MissingOp,
+                        "missing op: v2 requests must name an op",
+                    ),
+                    env,
+                ));
+            };
+            let body = match v.get("body") {
+                None => &EMPTY_BODY,
+                Some(b @ Json::Obj(_)) => b,
+                Some(_) => {
+                    return Err((
+                        WireError::new(
+                            ErrorKind::InvalidRequest,
+                            "invalid request: 'body' must be an object",
+                        ),
+                        env,
+                    ))
+                }
+            };
+            (env, op, body)
+        }
+    };
+    let request = match op {
+        "ping" => Request::Ping,
+        "stats" => Request::Stats,
+        "layout" => Request::Layout(Box::new(parse_layout(body).map_err(|e| (e, env.clone()))?)),
+        "layout_delta" => Request::LayoutDelta(Box::new(
+            parse_layout_delta(body).map_err(|e| (e, env.clone()))?,
+        )),
+        other => {
+            return Err((
+                WireError::new(ErrorKind::UnknownOp, format!("unknown op '{other}'")),
+                env,
+            ))
+        }
+    };
+    Ok((request, env))
+}
+
+/// The empty v2 body used when `"body"` is absent (ping/stats need none).
+static EMPTY_BODY: Json = Json::Obj(BTreeMap::new());
+
+/// Decodes one request line, discarding the envelope; kept for callers
+/// that only dispatch (the router) and for v1-era tests.
 ///
 /// # Examples
 ///
@@ -418,34 +874,33 @@ pub enum Request {
 /// assert!(parse_request(r#"{"op":"warp"}"#).is_err());
 /// ```
 pub fn parse_request(line: &str) -> Result<Request, String> {
-    let v = parse(line).map_err(|e| format!("bad JSON: {e}"))?;
-    let op = v.get("op").and_then(Json::as_str).unwrap_or("layout");
-    match op {
-        "ping" => Ok(Request::Ping),
-        "stats" => Ok(Request::Stats),
-        "layout" => Ok(Request::Layout(Box::new(parse_layout(&v)?))),
-        "layout_delta" => Ok(Request::LayoutDelta(Box::new(parse_layout_delta(&v)?))),
-        other => Err(format!("unknown op '{other}'")),
-    }
+    parse_request_envelope(line)
+        .map(|(r, _)| r)
+        .map_err(|(e, _)| e.message)
 }
 
-fn parse_layout(v: &Json) -> Result<LayoutRequest, String> {
+fn parse_layout(v: &Json) -> Result<LayoutRequest, WireError> {
+    let invalid = |m: String| WireError::new(ErrorKind::InvalidRequest, m);
     let nodes = v
         .get("nodes")
         .and_then(Json::as_u64)
-        .ok_or("layout: missing 'nodes'")? as usize;
+        .ok_or_else(|| invalid("layout: missing 'nodes'".into()))? as usize;
     if nodes > 1_000_000 {
-        return Err(format!("layout: {nodes} nodes exceeds the 1M cap"));
+        return Err(invalid(format!("layout: {nodes} nodes exceeds the 1M cap")));
     }
     let edges = parse_edge_pairs(v, "edges")?.unwrap_or_default();
     for &(u, w) in &edges {
         if u as usize >= nodes || w as usize >= nodes {
-            return Err(format!(
-                "layout: edge ({u},{w}) out of range for {nodes} nodes"
+            return Err(WireError::new(
+                ErrorKind::InvalidGraph,
+                format!("invalid graph: edge ({u},{w}) out of range for {nodes} nodes"),
             ));
         }
     }
-    let graph = DiGraph::from_edges(nodes, &edges).map_err(|e| format!("layout: {e:?}"))?;
+    // Self-loops and duplicate edges surface as the same structured
+    // `invalid graph` kind a bad `layout_delta` gets from the scheduler.
+    let graph = DiGraph::from_edges(nodes, &edges)
+        .map_err(|e| WireError::new(ErrorKind::InvalidGraph, format!("invalid graph: {e}")))?;
     let (algo, nd_width, deadline) = parse_common_fields(v, "layout")?;
     Ok(LayoutRequest {
         graph,
@@ -455,18 +910,21 @@ fn parse_layout(v: &Json) -> Result<LayoutRequest, String> {
     })
 }
 
-fn parse_layout_delta(v: &Json) -> Result<DeltaRequest, String> {
+fn parse_layout_delta(v: &Json) -> Result<DeltaRequest, WireError> {
+    let invalid = |m: &str| WireError::new(ErrorKind::InvalidRequest, m.to_string());
     let base = v
         .get("base")
         .and_then(Json::as_str)
-        .ok_or("layout_delta: missing 'base' digest")?;
+        .ok_or_else(|| invalid("layout_delta: missing 'base' digest"))?;
     let base = Digest::from_hex(base)
-        .ok_or("layout_delta: 'base' must be a 32-hex-digit request digest")?;
+        .ok_or_else(|| invalid("layout_delta: 'base' must be a 32-hex-digit request digest"))?;
     let added = parse_edge_pairs(v, "add")?.unwrap_or_default();
     let removed = parse_edge_pairs(v, "remove")?.unwrap_or_default();
     let delta = GraphDelta::new(added, removed);
     if delta.is_empty() {
-        return Err("layout_delta: empty delta (nothing to add or remove)".into());
+        return Err(invalid(
+            "layout_delta: empty delta (nothing to add or remove)",
+        ));
     }
     // A delta is an *edit*; a diff rewriting a large fraction of a graph
     // should be sent as a full layout. The cap also bounds the work one
@@ -474,9 +932,12 @@ fn parse_layout_delta(v: &Json) -> Result<DeltaRequest, String> {
     // runs before admission control can shed it.
     const MAX_DELTA_EDITS: usize = 100_000;
     if delta.len() > MAX_DELTA_EDITS {
-        return Err(format!(
-            "layout_delta: {} edits exceeds the {MAX_DELTA_EDITS} cap; send a full layout",
-            delta.len()
+        return Err(WireError::new(
+            ErrorKind::InvalidRequest,
+            format!(
+                "layout_delta: {} edits exceeds the {MAX_DELTA_EDITS} cap; send a full layout",
+                delta.len()
+            ),
         ));
     }
     // Endpoint bounds are checked against the base graph when the delta
@@ -492,28 +953,32 @@ fn parse_layout_delta(v: &Json) -> Result<DeltaRequest, String> {
 }
 
 /// Parses a `[[u,v],...]` member; `Ok(None)` when the key is absent.
-fn parse_edge_pairs(v: &Json, key: &str) -> Result<Option<Vec<(u32, u32)>>, String> {
+fn parse_edge_pairs(v: &Json, key: &str) -> Result<Option<Vec<(u32, u32)>>, WireError> {
+    let invalid = |m: String| WireError::new(ErrorKind::InvalidRequest, m);
     let member = match v.get(key) {
         None => return Ok(None),
         Some(Json::Arr(pairs)) => pairs,
-        Some(_) => return Err(format!("'{key}' must be an array")),
+        Some(_) => return Err(invalid(format!("'{key}' must be an array"))),
     };
     let mut edges = Vec::with_capacity(member.len());
     for pair in member {
         match pair {
             Json::Arr(uv) if uv.len() == 2 => {
-                let u = uv[0]
-                    .as_u64()
-                    .ok_or("edge endpoint must be a non-negative integer")?;
-                let w = uv[1]
-                    .as_u64()
-                    .ok_or("edge endpoint must be a non-negative integer")?;
+                let endpoint = |j: &Json| {
+                    j.as_u64().ok_or_else(|| {
+                        invalid("edge endpoint must be a non-negative integer".into())
+                    })
+                };
+                let u = endpoint(&uv[0])?;
+                let w = endpoint(&uv[1])?;
                 if u > u32::MAX as u64 || w > u32::MAX as u64 {
-                    return Err(format!("edge ({u},{w}) endpoint exceeds the id range"));
+                    return Err(invalid(format!(
+                        "edge ({u},{w}) endpoint exceeds the id range"
+                    )));
                 }
                 edges.push((u as u32, w as u32));
             }
-            _ => return Err(format!("'{key}' must be [[u,v],...]")),
+            _ => return Err(invalid(format!("'{key}' must be [[u,v],...]"))),
         }
     }
     Ok(Some(edges))
@@ -522,10 +987,11 @@ fn parse_edge_pairs(v: &Json, key: &str) -> Result<Option<Vec<(u32, u32)>>, Stri
 /// Parses the fields `layout` and `layout_delta` share: the algorithm
 /// (with wire-level work caps), `nd_width`, and `deadline_ms`. `op`
 /// prefixes error messages so they name the request that failed.
-fn parse_common_fields(v: &Json, op: &str) -> Result<(AlgoSpec, f64, Option<Duration>), String> {
+fn parse_common_fields(v: &Json, op: &str) -> Result<(AlgoSpec, f64, Option<Duration>), WireError> {
+    let invalid = |m: String| WireError::new(ErrorKind::InvalidRequest, m);
     let seed = v.get("seed").and_then(Json::as_u64).unwrap_or(1);
     let algo_name = v.get("algo").and_then(Json::as_str).unwrap_or("aco");
-    let mut algo = AlgoSpec::parse(algo_name, seed)?;
+    let mut algo = AlgoSpec::parse(algo_name, seed).map_err(invalid)?;
     if let AlgoSpec::Aco(params) = &mut algo {
         // Wire-level work caps: admission control counts jobs, not work,
         // so a single request must not be able to occupy a worker for an
@@ -534,13 +1000,17 @@ fn parse_common_fields(v: &Json, op: &str) -> Result<(AlgoSpec, f64, Option<Dura
         const MAX_TOURS: u64 = 10_000;
         if let Some(ants) = v.get("ants").and_then(Json::as_u64) {
             if ants > MAX_ANTS {
-                return Err(format!("{op}: {ants} ants exceeds the {MAX_ANTS} cap"));
+                return Err(invalid(format!(
+                    "{op}: {ants} ants exceeds the {MAX_ANTS} cap"
+                )));
             }
             params.n_ants = ants as usize;
         }
         if let Some(tours) = v.get("tours").and_then(Json::as_u64) {
             if tours > MAX_TOURS {
-                return Err(format!("{op}: {tours} tours exceeds the {MAX_TOURS} cap"));
+                return Err(invalid(format!(
+                    "{op}: {tours} tours exceeds the {MAX_TOURS} cap"
+                )));
             }
             params.n_tours = tours as usize;
         }
@@ -549,65 +1019,290 @@ fn parse_common_fields(v: &Json, op: &str) -> Result<(AlgoSpec, f64, Option<Dura
         None => 1.0,
         Some(n) => n
             .as_num()
-            .ok_or_else(|| format!("{op}: 'nd_width' must be a number"))?,
+            .ok_or_else(|| invalid(format!("{op}: 'nd_width' must be a number")))?,
     };
     let deadline = v
         .get("deadline_ms")
         .map(|d| {
-            d.as_u64()
-                .map(Duration::from_millis)
-                .ok_or_else(|| format!("{op}: 'deadline_ms' must be a non-negative integer"))
+            d.as_u64().map(Duration::from_millis).ok_or_else(|| {
+                invalid(format!(
+                    "{op}: 'deadline_ms' must be a non-negative integer"
+                ))
+            })
         })
         .transpose()?;
     Ok((algo, nd_width, deadline))
 }
 
-/// Encodes a layout response line.
-pub fn encode_layout_response(response: &LayoutResponse) -> String {
-    let result = &response.result;
-    let mut obj = BTreeMap::new();
-    obj.insert("ok".into(), Json::Bool(true));
-    obj.insert("digest".into(), Json::Str(result.digest.to_string()));
-    obj.insert("source".into(), Json::Str(response.source.name().into()));
-    obj.insert("height".into(), Json::Num(result.metrics.height as f64));
-    obj.insert("width".into(), Json::Num(result.metrics.width));
-    obj.insert(
-        "dummies".into(),
-        Json::Num(result.metrics.dummy_count as f64),
-    );
-    obj.insert(
-        "reversed_edges".into(),
-        Json::Num(result.reversed_edges as f64),
-    );
-    obj.insert("stopped_early".into(), Json::Bool(result.stopped_early));
-    obj.insert("seeded".into(), Json::Bool(result.seeded));
-    obj.insert(
-        "compute_micros".into(),
-        Json::Num(result.compute_micros as f64),
-    );
-    let layers = result
-        .layering
-        .layers()
-        .into_iter()
-        .map(|layer| {
-            Json::Arr(
-                layer
-                    .into_iter()
-                    .map(|v| Json::Num(v.index() as f64))
-                    .collect(),
-            )
-        })
-        .collect();
-    obj.insert("layers".into(), Json::Arr(layers));
-    Json::Obj(obj).encode()
+/// The client-side view of a successful layout response — every field a
+/// server puts on the wire, decoded. The serializer and parser live
+/// together here so encode → parse is the identity (property-tested).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LayoutReply {
+    /// 32-hex-digit canonical digest (the cache key / next delta base).
+    pub digest: String,
+    /// How the response was produced (`hit`, `computed`, `warm`,
+    /// `coalesced`).
+    pub source: String,
+    /// Number of layers.
+    pub height: u64,
+    /// Widest layer including dummies (width-model units).
+    pub width: f64,
+    /// Dummy-vertex count.
+    pub dummies: u64,
+    /// Edges reversed to break input cycles.
+    pub reversed_edges: u64,
+    /// Whether a deadline truncated the search.
+    pub stopped_early: bool,
+    /// Whether the colony was warm-started from a cached base.
+    pub seeded: bool,
+    /// Wall time of the computation in microseconds.
+    pub compute_micros: u64,
+    /// Bottom-up layers, each a list of node ids.
+    pub layers: Vec<Vec<u32>>,
 }
 
-/// Encodes an error response line.
+impl LayoutReply {
+    /// The response body as a JSON object (without envelope members).
+    pub fn to_json(&self) -> Json {
+        let mut obj = BTreeMap::new();
+        obj.insert("ok".into(), Json::Bool(true));
+        obj.insert("digest".into(), Json::Str(self.digest.clone()));
+        obj.insert("source".into(), Json::Str(self.source.clone()));
+        obj.insert("height".into(), Json::Num(self.height as f64));
+        obj.insert("width".into(), Json::Num(self.width));
+        obj.insert("dummies".into(), Json::Num(self.dummies as f64));
+        obj.insert(
+            "reversed_edges".into(),
+            Json::Num(self.reversed_edges as f64),
+        );
+        obj.insert("stopped_early".into(), Json::Bool(self.stopped_early));
+        obj.insert("seeded".into(), Json::Bool(self.seeded));
+        obj.insert(
+            "compute_micros".into(),
+            Json::Num(self.compute_micros as f64),
+        );
+        let layers = self
+            .layers
+            .iter()
+            .map(|layer| Json::Arr(layer.iter().map(|&v| Json::Num(v as f64)).collect()))
+            .collect();
+        obj.insert("layers".into(), Json::Arr(layers));
+        Json::Obj(obj)
+    }
+
+    /// Decodes a layout response object.
+    pub fn from_json(v: &Json) -> Result<LayoutReply, String> {
+        let str_field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(String::from)
+                .ok_or_else(|| format!("layout reply: missing string '{k}'"))
+        };
+        let u64_field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("layout reply: missing integer '{k}'"))
+        };
+        let bool_field = |k: &str| match v.get(k) {
+            Some(Json::Bool(b)) => Ok(*b),
+            _ => Err(format!("layout reply: missing boolean '{k}'")),
+        };
+        let layers = match v.get("layers") {
+            Some(Json::Arr(layers)) => layers
+                .iter()
+                .map(|layer| match layer {
+                    Json::Arr(ids) => ids
+                        .iter()
+                        .map(|id| {
+                            id.as_u64()
+                                .filter(|&n| n <= u32::MAX as u64)
+                                .map(|n| n as u32)
+                                .ok_or_else(|| "layout reply: bad node id".to_string())
+                        })
+                        .collect::<Result<Vec<u32>, String>>(),
+                    _ => Err("layout reply: each layer must be an array".into()),
+                })
+                .collect::<Result<Vec<Vec<u32>>, String>>()?,
+            _ => return Err("layout reply: missing 'layers'".into()),
+        };
+        Ok(LayoutReply {
+            digest: str_field("digest")?,
+            source: str_field("source")?,
+            height: u64_field("height")?,
+            width: v
+                .get("width")
+                .and_then(Json::as_num)
+                .ok_or("layout reply: missing number 'width'")?,
+            dummies: u64_field("dummies")?,
+            reversed_edges: u64_field("reversed_edges")?,
+            stopped_early: bool_field("stopped_early")?,
+            seeded: bool_field("seeded")?,
+            compute_micros: u64_field("compute_micros")?,
+            layers,
+        })
+    }
+}
+
+/// Builds the wire view of a server-side [`LayoutResponse`].
+pub fn layout_reply_of(response: &LayoutResponse) -> LayoutReply {
+    let result = &response.result;
+    LayoutReply {
+        digest: result.digest.to_string(),
+        source: response.source.name().to_string(),
+        height: result.metrics.height as u64,
+        width: result.metrics.width,
+        dummies: result.metrics.dummy_count,
+        reversed_edges: result.reversed_edges as u64,
+        stopped_early: result.stopped_early,
+        seeded: result.seeded,
+        compute_micros: result.compute_micros,
+        layers: result
+            .layering
+            .layers()
+            .into_iter()
+            .map(|layer| layer.into_iter().map(|v| v.index() as u32).collect())
+            .collect(),
+    }
+}
+
+/// A decoded server response — the other half of the typed codec.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// A successful layout (full or delta).
+    Layout(Box<LayoutReply>),
+    /// Counters: every non-envelope member of a stats reply, verbatim
+    /// (routers add per-shard arrays; they round-trip untouched).
+    Stats(BTreeMap<String, Json>),
+    /// A ping answer; `router` is set when a router answered locally.
+    Pong {
+        /// `true` when the responder is a router front.
+        router: bool,
+    },
+    /// An error reply.
+    Error(WireError),
+}
+
+impl Response {
+    /// The response body as a JSON object (without envelope members —
+    /// no `v`, `id`, or `kind`; [`encode`](Self::encode) adds those).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Layout(reply) => reply.to_json(),
+            Response::Stats(counters) => {
+                let mut obj = counters.clone();
+                obj.insert("ok".into(), Json::Bool(true));
+                obj.insert("op".into(), Json::Str("stats".into()));
+                Json::Obj(obj)
+            }
+            Response::Pong { router } => {
+                let mut obj = BTreeMap::new();
+                obj.insert("ok".into(), Json::Bool(true));
+                obj.insert("op".into(), Json::Str("ping".into()));
+                if *router {
+                    obj.insert("router".into(), Json::Bool(true));
+                }
+                Json::Obj(obj)
+            }
+            Response::Error(e) => {
+                let mut obj = BTreeMap::new();
+                obj.insert("ok".into(), Json::Bool(false));
+                obj.insert("error".into(), Json::Str(e.message.clone()));
+                Json::Obj(obj)
+            }
+        }
+    }
+
+    /// Encodes one response line, sealing the request's [`Envelope`]
+    /// onto it: a v1 request gets the exact historic v1 wire bytes; a v2
+    /// request additionally gets `"v":2`, its echoed `"id"`, and — for
+    /// errors — the structured `"kind"`.
+    pub fn encode(&self, env: &Envelope) -> String {
+        let Json::Obj(mut obj) = self.to_json() else {
+            unreachable!("to_json returns an object");
+        };
+        if env.version == 2 {
+            obj.insert("v".into(), Json::Num(2.0));
+            if let Some(id) = &env.id {
+                obj.insert("id".into(), id.clone());
+            }
+            if let Response::Error(e) = self {
+                obj.insert("kind".into(), Json::Str(e.kind.wire_name().into()));
+            }
+        }
+        Json::Obj(obj).encode()
+    }
+}
+
+/// Decodes one response line (v1 or v2) together with its [`Envelope`].
+///
+/// # Examples
+///
+/// ```
+/// use antlayer_service::protocol::{parse_response, ErrorKind, Response};
+///
+/// let (resp, env) = parse_response(r#"{"ok":true,"op":"ping"}"#).unwrap();
+/// assert_eq!(resp, Response::Pong { router: false });
+/// assert_eq!(env.version, 1);
+///
+/// let (resp, _) = parse_response(r#"{"error":"overloaded: 9 jobs","ok":false}"#).unwrap();
+/// let Response::Error(e) = resp else { panic!() };
+/// assert_eq!(e.kind, ErrorKind::Overloaded); // classified by prefix
+/// ```
+pub fn parse_response(line: &str) -> Result<(Response, Envelope), String> {
+    let v = parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let env = match v.get("v") {
+        None => Envelope::v1(),
+        Some(version) if version.as_u64() == Some(2) => Envelope::v2(v.get("id").cloned()),
+        Some(version) => return Err(format!("unsupported response version {}", version.encode())),
+    };
+    let response = match v.get("ok") {
+        Some(Json::Bool(false)) => {
+            let message = v
+                .get("error")
+                .and_then(Json::as_str)
+                .ok_or("error reply: missing 'error'")?
+                .to_string();
+            let kind = v
+                .get("kind")
+                .and_then(Json::as_str)
+                .and_then(ErrorKind::from_wire_name)
+                .unwrap_or_else(|| ErrorKind::classify(&message));
+            Response::Error(WireError { kind, message })
+        }
+        Some(Json::Bool(true)) => match v.get("op").and_then(Json::as_str) {
+            Some("ping") => Response::Pong {
+                router: v.get("router") == Some(&Json::Bool(true)),
+            },
+            Some("stats") => {
+                let Json::Obj(members) = &v else {
+                    unreachable!("get succeeded on a non-object");
+                };
+                let counters = members
+                    .iter()
+                    .filter(|(k, _)| !matches!(k.as_str(), "ok" | "op" | "v" | "id"))
+                    .map(|(k, val)| (k.clone(), val.clone()))
+                    .collect();
+                Response::Stats(counters)
+            }
+            Some(other) => return Err(format!("unknown response op '{other}'")),
+            None => Response::Layout(Box::new(LayoutReply::from_json(&v)?)),
+        },
+        _ => return Err("reply has no boolean 'ok'".into()),
+    };
+    Ok((response, env))
+}
+
+/// Encodes a layout response line in the v1 wire form.
+pub fn encode_layout_response(response: &LayoutResponse) -> String {
+    Response::Layout(Box::new(layout_reply_of(response))).encode(&Envelope::v1())
+}
+
+/// Encodes an error response line in the v1 wire form. The kind is
+/// recovered from the message prefix; callers that know the kind (and
+/// the request envelope) should build a [`Response::Error`] directly.
 pub fn encode_error(message: &str) -> String {
-    let mut obj = BTreeMap::new();
-    obj.insert("ok".into(), Json::Bool(false));
-    obj.insert("error".into(), Json::Str(message.into()));
-    Json::Obj(obj).encode()
+    Response::Error(WireError::new(ErrorKind::classify(message), message)).encode(&Envelope::v1())
 }
 
 #[cfg(test)]

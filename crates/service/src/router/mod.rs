@@ -34,4 +34,4 @@ pub mod ring;
 pub mod shard;
 
 pub use ring::HashRing;
-pub use shard::{LineConn, ShardHealth, MAX_REPLY_BYTES};
+pub use shard::ShardHealth;

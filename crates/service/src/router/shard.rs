@@ -1,5 +1,7 @@
-//! Shard backends as the router sees them: a line-delimited TCP client
-//! plus shared per-shard health state.
+//! Shard backends as the router sees them: shared per-shard health
+//! state. (The framed connection the router forwards through lives in
+//! the `antlayer-client` crate — one client-side socket implementation
+//! for routers, load generators, and end users alike.)
 //!
 //! Health is deliberately simple — a shard is **up** until a connect or
 //! I/O failure marks it **down**, and down until a reconnect probe (or a
@@ -8,84 +10,8 @@
 //! candidate immediately, trading cache locality for availability.
 
 use parking_lot::Mutex;
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
-
-/// Longest accepted reply line, matching the server's request-line cap:
-/// a forwarded response (the `layers` array of a million-node layout)
-/// can be tens of megabytes but must stay bounded.
-pub const MAX_REPLY_BYTES: u64 = 64 * 1024 * 1024;
-
-/// One line-delimited JSON exchange channel to a shard.
-///
-/// Not shared between threads: each router connection handler owns one
-/// `LineConn` per shard it has talked to, so a request/reply pair is
-/// never interleaved with another handler's traffic.
-pub struct LineConn {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-}
-
-impl LineConn {
-    /// Connects with a bounded connect timeout and disables Nagle
-    /// (one-line requests and replies suffer the full 40 ms
-    /// delayed-ACK penalty otherwise).
-    pub fn connect(addr: &str, timeout: Duration) -> std::io::Result<LineConn> {
-        let mut last_err = None;
-        for resolved in addr.to_socket_addrs()? {
-            match TcpStream::connect_timeout(&resolved, timeout) {
-                Ok(stream) => {
-                    stream.set_nodelay(true)?;
-                    let reader = BufReader::new(stream.try_clone()?);
-                    return Ok(LineConn {
-                        reader,
-                        writer: stream,
-                    });
-                }
-                Err(e) => last_err = Some(e),
-            }
-        }
-        Err(last_err.unwrap_or_else(|| {
-            std::io::Error::new(
-                std::io::ErrorKind::InvalidInput,
-                "address resolved to nothing",
-            )
-        }))
-    }
-
-    /// Sets the read timeout for replies (None = block forever).
-    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
-        self.writer.set_read_timeout(timeout)
-    }
-
-    /// Sends one request line, reads one reply line. Any error means the
-    /// connection is unusable (a half-read reply cannot be resynced) and
-    /// the caller should drop it.
-    pub fn exchange(&mut self, line: &str) -> std::io::Result<String> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
-        let mut reply = String::new();
-        let n = (&mut self.reader)
-            .take(MAX_REPLY_BYTES)
-            .read_line(&mut reply)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "shard closed the connection",
-            ));
-        }
-        if n as u64 >= MAX_REPLY_BYTES && !reply.ends_with('\n') {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "shard reply exceeds the line cap",
-            ));
-        }
-        Ok(reply.trim_end().to_string())
-    }
-}
 
 /// Shared health + traffic counters of one shard.
 #[derive(Debug)]
@@ -174,12 +100,5 @@ mod tests {
         h.mark_up();
         assert!(h.is_up());
         assert_eq!(h.down_for(), None);
-    }
-
-    #[test]
-    fn connect_to_nothing_fails_fast() {
-        // Port 1 on loopback: refused immediately, no long timeout.
-        let err = LineConn::connect("127.0.0.1:1", Duration::from_millis(500));
-        assert!(err.is_err());
     }
 }

@@ -262,8 +262,13 @@ pub enum ServiceError {
     /// A `layout_delta` referenced a base digest that is not (or no
     /// longer) in the cache; the client should resubmit a full layout.
     BaseNotFound(Digest),
-    /// The request is malformed (bad algorithm, width, or graph).
+    /// The request is malformed (bad algorithm, width, or parameters).
     InvalidRequest(String),
+    /// The request's graph shape is invalid: self-loops, duplicate
+    /// edges, endpoints out of range, or a delta that does not apply to
+    /// its base. The same structured kind whether the graph arrived
+    /// inline (`layout`) or as an edge diff (`layout_delta`).
+    InvalidGraph(String),
     /// The computing job disappeared (its worker panicked).
     Internal(String),
 }
@@ -281,6 +286,7 @@ impl fmt::Display for ServiceError {
                 )
             }
             ServiceError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
+            ServiceError::InvalidGraph(m) => write!(f, "invalid graph: {m}"),
             ServiceError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -442,10 +448,13 @@ impl Scheduler {
             .cache
             .peek(request.base)
             .ok_or(ServiceError::BaseNotFound(request.base))?;
+        // Graph-shape failures (self-loops, duplicates, out-of-range
+        // endpoints, missing removals) get the same structured kind a bad
+        // inline `layout` graph gets from the parser.
         let graph = request
             .delta
             .apply(&base.graph)
-            .map_err(|e| ServiceError::InvalidRequest(format!("delta: {e}")))?;
+            .map_err(|e| ServiceError::InvalidGraph(format!("delta: {e}")))?;
         let full = LayoutRequest {
             graph,
             algo: request.algo,
@@ -940,16 +949,16 @@ mod tests {
             .unwrap()
             .wait()
             .unwrap();
-        // Removing a non-existent edge must fail without touching cache.
+        // Removing a non-existent edge must fail without touching cache,
+        // with the unified graph-shape error kind.
         let bad = DeltaRequest::new(
             base.result.digest,
             GraphDelta::new(vec![], vec![(0, 0)]),
             quick_aco(13),
         );
-        assert!(matches!(
-            s.submit_delta(bad),
-            Err(ServiceError::InvalidRequest(_))
-        ));
+        let err = s.submit_delta(bad).map(|_| ()).unwrap_err();
+        assert!(matches!(err, ServiceError::InvalidGraph(_)), "{err}");
+        assert!(err.to_string().starts_with("invalid graph"), "{err}");
     }
 
     #[test]

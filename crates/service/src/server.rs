@@ -1,19 +1,26 @@
-//! The TCP front end: accepts connections, reads one JSON request per
-//! line, answers one JSON response per line.
+//! The network front end: accepts connections and answers protocol
+//! requests through a pluggable [`Transport`] framing.
+//!
+//! Two listeners can serve the same scheduler side by side: the
+//! line-delimited TCP listener ([`ServerConfig::addr`], the original
+//! wire) and an optional HTTP/1.1 listener ([`ServerConfig::http_addr`],
+//! `antlayer serve --http PORT`) speaking `POST /v2` — see
+//! [`crate::transport`]. Everything below the framing is shared: one
+//! connection cap, one [`Scheduler`], one cache.
 //!
 //! Connections are handled by one thread each (bounded by
 //! [`ServerConfig::max_connections`]; excess connections are answered
-//! with an `overloaded` error line and closed). Requests on one
-//! connection are pipelined: the handler reads, submits to the shared
+//! with an `overloaded` error and closed). Requests on one connection
+//! are pipelined: the handler reads, submits to the shared
 //! [`Scheduler`], and blocks on the ticket — concurrency across
 //! connections comes from the scheduler's worker pool, which also gives
 //! digest-level dedup across clients for free.
 
-use crate::protocol::{self, Json, Request};
-use crate::scheduler::{Scheduler, SchedulerConfig};
+use crate::protocol::{self, ErrorKind, Json, Request, Response, WireError};
+use crate::scheduler::{Scheduler, SchedulerConfig, ServiceError};
+use crate::transport::{HttpTransport, LineTransport, Transport};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -23,7 +30,7 @@ use std::time::Duration;
 /// Live connection streams, registered so shutdown can sever them. A
 /// handler removes itself when its client disconnects; shutdown calls
 /// `Shutdown::Both` on whatever is left, which makes every blocked
-/// `read_line` return and the handler threads exit promptly — a stopped
+/// read return and the handler threads exit promptly — a stopped
 /// server answers nothing, which is what fleet failover relies on.
 #[derive(Default)]
 struct ConnRegistry {
@@ -53,11 +60,15 @@ impl ConnRegistry {
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Address to bind, e.g. `127.0.0.1:4617` (port 0 picks a free one).
+    /// Address of the line-delimited TCP listener, e.g. `127.0.0.1:4617`
+    /// (port 0 picks a free one).
     pub addr: String,
+    /// Optional address of the HTTP/1.1 listener (`POST /v2`); `None`
+    /// serves line-delimited TCP only.
+    pub http_addr: Option<String>,
     /// Scheduler configuration (threads, cache, admission).
     pub scheduler: SchedulerConfig,
-    /// Maximum concurrently served connections.
+    /// Maximum concurrently served connections, across both listeners.
     pub max_connections: usize,
 }
 
@@ -65,33 +76,128 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:4617".into(),
+            http_addr: None,
             scheduler: SchedulerConfig::default(),
             max_connections: 128,
         }
     }
 }
 
+/// The transport-independent request handler: the scheduler plus the
+/// protocol-level counters that do not belong to it (today: how many v1
+/// requests leaned on the lenient absent-`op` default).
+pub struct ServiceCore {
+    scheduler: Arc<Scheduler>,
+    /// v1 requests that omitted `"op"` and got the historic `layout`
+    /// default; reported by `stats` as `lenient_requests` so operators
+    /// can find clients to migrate before the default is retired.
+    lenient_requests: AtomicU64,
+}
+
+impl ServiceCore {
+    /// Builds a core around a scheduler.
+    pub fn new(scheduler: Arc<Scheduler>) -> ServiceCore {
+        ServiceCore {
+            scheduler,
+            lenient_requests: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared scheduler (for in-process inspection).
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.scheduler
+    }
+
+    /// v1 requests served through the lenient absent-`op` default.
+    pub fn lenient_requests(&self) -> u64 {
+        self.lenient_requests.load(Ordering::Relaxed)
+    }
+
+    /// Computes the response for one request payload (v1 or v2); the
+    /// single dispatch point every transport calls.
+    pub fn respond(&self, line: &str) -> String {
+        let (request, env) = match protocol::parse_request_envelope(line) {
+            Err((err, env)) => return Response::Error(err).encode(&env),
+            Ok(parsed) => parsed,
+        };
+        if env.lenient_op {
+            self.lenient_requests.fetch_add(1, Ordering::Relaxed);
+        }
+        let response = match request {
+            Request::Ping => Response::Pong { router: false },
+            Request::Stats => Response::Stats(self.stats_counters()),
+            Request::Layout(req) => match self.scheduler.submit(*req) {
+                Err(e) => error_response(&e),
+                Ok(ticket) => match ticket.wait() {
+                    Ok(r) => Response::Layout(Box::new(protocol::layout_reply_of(&r))),
+                    Err(e) => error_response(&e),
+                },
+            },
+            Request::LayoutDelta(req) => match self.scheduler.submit_delta(*req) {
+                Err(e) => error_response(&e),
+                Ok(ticket) => match ticket.wait() {
+                    Ok(r) => Response::Layout(Box::new(protocol::layout_reply_of(&r))),
+                    Err(e) => error_response(&e),
+                },
+            },
+        };
+        response.encode(&env)
+    }
+
+    fn stats_counters(&self) -> BTreeMap<String, Json> {
+        let c = self.scheduler.counters();
+        let mut obj = BTreeMap::new();
+        let mut num = |k: &str, v: f64| {
+            obj.insert(k.to_string(), Json::Num(v));
+        };
+        num("served", c.served as f64);
+        num("computed", c.computed as f64);
+        num("coalesced", c.coalesced as f64);
+        num("rejected", c.rejected as f64);
+        num("inflight", c.inflight as f64);
+        num("lenient_requests", self.lenient_requests() as f64);
+        num("cache_hits", c.cache.hits as f64);
+        num("cache_misses", c.cache.misses as f64);
+        num("cache_insertions", c.cache.insertions as f64);
+        num("cache_evictions", c.cache.evictions as f64);
+        obj
+    }
+}
+
+fn error_response(e: &ServiceError) -> Response {
+    Response::Error(WireError::new(
+        ErrorKind::of_service_error(e),
+        e.to_string(),
+    ))
+}
+
 /// A bound, not-yet-running server.
 pub struct Server {
     listener: TcpListener,
-    scheduler: Arc<Scheduler>,
-    config: ServerConfig,
-    shutdown: Arc<AtomicBool>,
-    connections: Arc<AtomicUsize>,
-    registry: Arc<ConnRegistry>,
+    http_listener: Option<TcpListener>,
+    shared: Arc<ServerShared>,
 }
 
-/// Handle to a server running on a background thread; dropping it shuts
+/// State shared by both accept loops and every connection handler.
+struct ServerShared {
+    core: ServiceCore,
+    max_connections: usize,
+    shutdown: AtomicBool,
+    connections: AtomicUsize,
+    registry: ConnRegistry,
+}
+
+/// Handle to a server running on background threads; dropping it shuts
 /// the server down.
 pub struct ServerHandle {
     addr: std::net::SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    registry: Arc<ConnRegistry>,
-    thread: Option<JoinHandle<()>>,
+    http_addr: Option<std::net::SocketAddr>,
+    shared: Arc<ServerShared>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds the configured address.
+    /// Binds the configured address(es).
     ///
     /// # Examples
     ///
@@ -111,102 +217,103 @@ impl Server {
     /// ```
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        let http_listener = match &config.http_addr {
+            Some(addr) => Some(TcpListener::bind(addr)?),
+            None => None,
+        };
         Ok(Server {
             listener,
-            scheduler: Arc::new(Scheduler::new(config.scheduler.clone())),
-            config,
-            shutdown: Arc::new(AtomicBool::new(false)),
-            connections: Arc::new(AtomicUsize::new(0)),
-            registry: Arc::new(ConnRegistry::default()),
+            http_listener,
+            shared: Arc::new(ServerShared {
+                core: ServiceCore::new(Arc::new(Scheduler::new(config.scheduler.clone()))),
+                max_connections: config.max_connections,
+                shutdown: AtomicBool::new(false),
+                connections: AtomicUsize::new(0),
+                registry: ConnRegistry::default(),
+            }),
         })
     }
 
-    /// The actually-bound address (resolves port 0).
+    /// The actually-bound line-TCP address (resolves port 0).
     pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
         self.listener.local_addr()
     }
 
-    /// The shared scheduler (for in-process inspection).
-    pub fn scheduler(&self) -> &Arc<Scheduler> {
-        &self.scheduler
+    /// The actually-bound HTTP address, when an HTTP listener exists.
+    pub fn http_addr(&self) -> Option<std::net::SocketAddr> {
+        self.http_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
     }
 
-    /// Runs the accept loop on the calling thread until shutdown.
+    /// The shared scheduler (for in-process inspection).
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        self.shared.core.scheduler()
+    }
+
+    /// Runs the accept loop(s) on the calling thread until shutdown; the
+    /// HTTP listener (if any) gets a background thread.
     pub fn run(self) {
-        // The accept call blocks; `ServerHandle::stop` sets the shutdown
-        // flag and then opens a wake-up connection so the loop observes
-        // it on the very next iteration.
-        for stream in self.listener.incoming() {
-            if self.shutdown.load(Ordering::Acquire) {
-                break;
+        let mut threads = Vec::new();
+        if let Some(http) = self.http_listener {
+            let shared = self.shared.clone();
+            if let Ok(t) = std::thread::Builder::new()
+                .name("antlayer-serve-http".into())
+                .spawn(move || accept_loop(&http, &HttpTransport, &shared))
+            {
+                threads.push(t);
             }
-            let stream = match stream {
-                Ok(s) => s,
-                Err(_) => continue,
-            };
-            // One small request line, one small response line: Nagle +
-            // delayed ACK would add ~40 ms to every exchange.
-            let _ = stream.set_nodelay(true);
-            let active = self.connections.fetch_add(1, Ordering::AcqRel) + 1;
-            if active > self.config.max_connections {
-                self.connections.fetch_sub(1, Ordering::AcqRel);
-                let mut w = BufWriter::new(&stream);
-                let _ = writeln!(
-                    w,
-                    "{}",
-                    protocol::encode_error(&format!(
-                        "overloaded: {active} connections (cap {})",
-                        self.config.max_connections
-                    ))
-                );
-                let _ = w.flush();
-                let _ = stream.shutdown(Shutdown::Both);
-                continue;
-            }
-            let scheduler = self.scheduler.clone();
-            let connections = self.connections.clone();
-            let registry = self.registry.clone();
-            // Register on the accept thread, not the handler: by the
-            // time shutdown has joined this loop, every accepted
-            // connection is in the registry, so sever_all cannot miss
-            // one that a handler thread had not registered yet.
-            let id = registry.register(&stream);
-            std::thread::spawn(move || {
-                handle_connection(stream, &scheduler);
-                if let Some(id) = id {
-                    registry.deregister(id);
-                }
-                connections.fetch_sub(1, Ordering::AcqRel);
-            });
+        }
+        accept_loop(&self.listener, &LineTransport, &self.shared);
+        for t in threads {
+            let _ = t.join();
         }
     }
 
-    /// Runs the server on a background thread and returns a handle.
+    /// Runs the server on background threads and returns a handle.
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let addr = self.local_addr()?;
-        let shutdown = self.shutdown.clone();
-        let registry = self.registry.clone();
-        let thread = std::thread::Builder::new()
-            .name("antlayer-serve-accept".into())
-            .spawn(move || self.run())?;
+        let http_addr = self.http_addr();
+        let shared = self.shared.clone();
+        let mut threads = Vec::new();
+        if let Some(http) = self.http_listener {
+            let shared = self.shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("antlayer-serve-http".into())
+                    .spawn(move || accept_loop(&http, &HttpTransport, &shared))?,
+            );
+        }
+        let listener = self.listener;
+        let line_shared = self.shared.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("antlayer-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &LineTransport, &line_shared))?,
+        );
         Ok(ServerHandle {
             addr,
-            shutdown,
-            registry,
-            thread: Some(thread),
+            http_addr,
+            shared,
+            threads,
         })
     }
 }
 
 impl ServerHandle {
-    /// The server's address.
+    /// The server's line-TCP address.
     pub fn addr(&self) -> std::net::SocketAddr {
         self.addr
     }
 
-    /// Stops the accept loop, severs every live connection, and joins
-    /// the server thread. After this returns, the process answers
-    /// nothing on the port — clients (and routers) observe EOF/reset,
+    /// The server's HTTP address, when an HTTP listener is serving.
+    pub fn http_addr(&self) -> Option<std::net::SocketAddr> {
+        self.http_addr
+    }
+
+    /// Stops the accept loops, severs every live connection, and joins
+    /// the server threads. After this returns, the process answers
+    /// nothing on its ports — clients (and routers) observe EOF/reset,
     /// exactly like a crashed shard, which is what failover tests and
     /// fleet health checks rely on.
     pub fn shutdown(mut self) {
@@ -214,18 +321,21 @@ impl ServerHandle {
     }
 
     fn stop(&mut self) {
-        if self.thread.is_none() {
+        if self.threads.is_empty() {
             return;
         }
-        self.shutdown.store(true, Ordering::Release);
-        // Wake the accept loop so it observes the flag.
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Wake each accept loop so it observes the flag.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
-        if let Some(t) = self.thread.take() {
+        if let Some(http) = self.http_addr {
+            let _ = TcpStream::connect_timeout(&http, Duration::from_secs(1));
+        }
+        for t in self.threads.drain(..) {
             let _ = t.join();
         }
-        // Sever after the accept loop is gone so no new connection can
+        // Sever after the accept loops are gone so no new connection can
         // slip in post-drain.
-        self.registry.sever_all();
+        self.shared.registry.sever_all();
     }
 }
 
@@ -235,98 +345,50 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Longest accepted request line. Generous — a million-node graph with
-/// 1.5M edges encodes to ~25 MB — but bounded, so a newline-free stream
-/// cannot grow a line buffer without limit.
-const MAX_LINE_BYTES: u64 = 64 * 1024 * 1024;
-
-fn handle_connection(stream: TcpStream, scheduler: &Scheduler) {
-    let mut reader = match stream.try_clone() {
-        Ok(s) => BufReader::new(s),
-        Err(_) => return,
-    };
-    let mut writer = BufWriter::new(stream);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        // Bound each read: `take` caps how much one line may buffer.
-        match (&mut reader).take(MAX_LINE_BYTES).read_line(&mut line) {
-            Ok(0) => break, // clean EOF
-            Ok(n) => {
-                if n as u64 >= MAX_LINE_BYTES && !line.ends_with('\n') {
-                    let _ = writeln!(
-                        writer,
-                        "{}",
-                        protocol::encode_error(&format!(
-                            "request line exceeds {MAX_LINE_BYTES} bytes"
-                        ))
-                    );
-                    let _ = writer.flush();
-                    break;
-                }
-            }
-            Err(_) => break,
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        let reply = respond(line.trim_end(), scheduler);
-        if writeln!(writer, "{reply}")
-            .and_then(|_| writer.flush())
-            .is_err()
-        {
+/// One accept loop: admission (connection cap), registration (so
+/// shutdown can sever), and a handler thread per connection serving it
+/// through `transport`.
+fn accept_loop(
+    listener: &TcpListener,
+    transport: &'static dyn Transport,
+    shared: &Arc<ServerShared>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::Acquire) {
             break;
         }
-    }
-}
-
-/// Computes the response line for one request line; shared by the TCP
-/// handler and tests.
-pub fn respond(line: &str, scheduler: &Scheduler) -> String {
-    match protocol::parse_request(line) {
-        Err(e) => protocol::encode_error(&e),
-        Ok(Request::Ping) => {
-            let mut obj = BTreeMap::new();
-            obj.insert("ok".into(), Json::Bool(true));
-            obj.insert("op".into(), Json::Str("ping".into()));
-            Json::Obj(obj).encode()
-        }
-        Ok(Request::Stats) => {
-            let c = scheduler.counters();
-            let mut obj = BTreeMap::new();
-            obj.insert("ok".into(), Json::Bool(true));
-            obj.insert("op".into(), Json::Str("stats".into()));
-            obj.insert("served".into(), Json::Num(c.served as f64));
-            obj.insert("computed".into(), Json::Num(c.computed as f64));
-            obj.insert("coalesced".into(), Json::Num(c.coalesced as f64));
-            obj.insert("rejected".into(), Json::Num(c.rejected as f64));
-            obj.insert("inflight".into(), Json::Num(c.inflight as f64));
-            obj.insert("cache_hits".into(), Json::Num(c.cache.hits as f64));
-            obj.insert("cache_misses".into(), Json::Num(c.cache.misses as f64));
-            obj.insert(
-                "cache_insertions".into(),
-                Json::Num(c.cache.insertions as f64),
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        // One small request, one small response: Nagle + delayed ACK
+        // would add ~40 ms to every exchange.
+        let _ = stream.set_nodelay(true);
+        let active = shared.connections.fetch_add(1, Ordering::AcqRel) + 1;
+        if active > shared.max_connections {
+            shared.connections.fetch_sub(1, Ordering::AcqRel);
+            transport.reject(
+                stream,
+                &protocol::encode_error(&format!(
+                    "overloaded: {active} connections (cap {})",
+                    shared.max_connections
+                )),
             );
-            obj.insert(
-                "cache_evictions".into(),
-                Json::Num(c.cache.evictions as f64),
-            );
-            Json::Obj(obj).encode()
+            continue;
         }
-        Ok(Request::Layout(req)) => match scheduler.submit(*req) {
-            Err(e) => protocol::encode_error(&e.to_string()),
-            Ok(ticket) => match ticket.wait() {
-                Ok(response) => protocol::encode_layout_response(&response),
-                Err(e) => protocol::encode_error(&e.to_string()),
-            },
-        },
-        Ok(Request::LayoutDelta(req)) => match scheduler.submit_delta(*req) {
-            Err(e) => protocol::encode_error(&e.to_string()),
-            Ok(ticket) => match ticket.wait() {
-                Ok(response) => protocol::encode_layout_response(&response),
-                Err(e) => protocol::encode_error(&e.to_string()),
-            },
-        },
+        let shared = shared.clone();
+        // Register on the accept thread, not the handler: by the time
+        // shutdown has joined this loop, every accepted connection is in
+        // the registry, so sever_all cannot miss one that a handler
+        // thread had not registered yet.
+        let id = shared.registry.register(&stream);
+        std::thread::spawn(move || {
+            transport.serve(stream, &mut |line| shared.core.respond(line));
+            if let Some(id) = id {
+                shared.registry.deregister(id);
+            }
+            shared.connections.fetch_sub(1, Ordering::AcqRel);
+        });
     }
 }
 
@@ -335,30 +397,34 @@ mod tests {
     use super::*;
     use crate::protocol::parse;
 
-    fn test_scheduler() -> Scheduler {
-        Scheduler::new(SchedulerConfig {
+    fn test_core() -> ServiceCore {
+        ServiceCore::new(Arc::new(Scheduler::new(SchedulerConfig {
             threads: 2,
             ..Default::default()
-        })
+        })))
     }
 
     #[test]
     fn respond_ping_and_stats() {
-        let s = test_scheduler();
-        let pong = parse(&respond(r#"{"op":"ping"}"#, &s)).unwrap();
+        let core = test_core();
+        let pong = parse(&core.respond(r#"{"op":"ping"}"#)).unwrap();
         assert_eq!(pong.get("ok"), Some(&Json::Bool(true)));
-        let stats = parse(&respond(r#"{"op":"stats"}"#, &s)).unwrap();
+        let stats = parse(&core.respond(r#"{"op":"stats"}"#)).unwrap();
         assert_eq!(stats.get("served").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            stats.get("lenient_requests").and_then(Json::as_u64),
+            Some(0)
+        );
     }
 
     #[test]
     fn respond_layout_then_cached_layout() {
-        let s = test_scheduler();
+        let core = test_core();
         let line = r#"{"op":"layout","algo":"aco","nodes":5,"edges":[[0,1],[1,2],[2,3],[3,4]],"ants":3,"tours":3}"#;
-        let first = parse(&respond(line, &s)).unwrap();
+        let first = parse(&core.respond(line)).unwrap();
         assert_eq!(first.get("ok"), Some(&Json::Bool(true)));
         assert_eq!(first.get("source").and_then(Json::as_str), Some("computed"));
-        let second = parse(&respond(line, &s)).unwrap();
+        let second = parse(&core.respond(line)).unwrap();
         assert_eq!(second.get("source").and_then(Json::as_str), Some("hit"));
         assert_eq!(first.get("layers"), second.get("layers"));
         assert_eq!(first.get("digest"), second.get("digest"));
@@ -366,13 +432,74 @@ mod tests {
 
     #[test]
     fn respond_bad_line_is_error_json() {
-        let s = test_scheduler();
-        let v = parse(&respond("this is not json", &s)).unwrap();
+        let core = test_core();
+        let v = parse(&core.respond("this is not json")).unwrap();
         assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
         assert!(v
             .get("error")
             .and_then(Json::as_str)
             .unwrap()
             .contains("bad JSON"));
+    }
+
+    #[test]
+    fn lenient_v1_requests_are_counted_v2_rejected() {
+        let core = test_core();
+        // v1 without an op: served as layout, counted as lenient.
+        let v = parse(&core.respond(r#"{"nodes":2,"edges":[[0,1]],"algo":"lpl"}"#)).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(core.lenient_requests(), 1);
+        let stats = parse(&core.respond(r#"{"op":"stats"}"#)).unwrap();
+        assert_eq!(
+            stats.get("lenient_requests").and_then(Json::as_u64),
+            Some(1)
+        );
+        // v2 without an op: structured rejection, not a layout.
+        let v = parse(&core.respond(r#"{"v":2,"id":5,"body":{"nodes":2}}"#)).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(v.get("kind").and_then(Json::as_str), Some("missing_op"));
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(5));
+        assert_eq!(core.lenient_requests(), 1, "a v2 rejection is not lenient");
+    }
+
+    #[test]
+    fn v2_layout_echoes_envelope() {
+        let core = test_core();
+        let line = r#"{"v":2,"op":"layout","id":"req-1","body":{"nodes":3,"edges":[[0,1],[1,2]],"algo":"lpl"}}"#;
+        let v = parse(&core.respond(line)).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("v").and_then(Json::as_u64), Some(2));
+        assert_eq!(v.get("id").and_then(Json::as_str), Some("req-1"));
+        // The same body through v1 computes the same digest: the
+        // envelope is framing, not identity.
+        let v1 =
+            parse(&core.respond(r#"{"op":"layout","nodes":3,"edges":[[0,1],[1,2]],"algo":"lpl"}"#))
+                .unwrap();
+        assert_eq!(v1.get("digest"), v.get("digest"));
+        assert_eq!(v1.get("source").and_then(Json::as_str), Some("hit"));
+    }
+
+    #[test]
+    fn unified_invalid_graph_kind_for_layout_and_delta() {
+        let core = test_core();
+        // Inline self-loop via `layout`.
+        let v = parse(&core.respond(r#"{"v":2,"op":"layout","body":{"nodes":2,"edges":[[1,1]]}}"#))
+            .unwrap();
+        assert_eq!(v.get("kind").and_then(Json::as_str), Some("invalid_graph"));
+        // The same defect as a delta: add a duplicate edge to a cached base.
+        let base =
+            parse(&core.respond(r#"{"op":"layout","nodes":2,"edges":[[0,1]],"algo":"lpl"}"#))
+                .unwrap();
+        let digest = base.get("digest").and_then(Json::as_str).unwrap();
+        let line = format!(
+            r#"{{"v":2,"op":"layout_delta","body":{{"base":"{digest}","add":[[0,1]],"algo":"lpl"}}}}"#
+        );
+        let v = parse(&core.respond(&line)).unwrap();
+        assert_eq!(v.get("kind").and_then(Json::as_str), Some("invalid_graph"));
+        assert!(v
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .starts_with("invalid graph"));
     }
 }

@@ -1,0 +1,164 @@
+//! Wire back-compat regression: every request/response example line in
+//! `docs/PROTOCOL.md` parses — and keeps parsing to the same decoded
+//! meaning — forever. Each case embeds the doc's literal text and
+//! asserts it still appears in the doc, so neither the parser nor the
+//! reference can drift without this test going red.
+
+use antlayer_service::protocol::{
+    self, parse, parse_request, parse_response, ErrorKind, Json, Request, Response,
+};
+use std::time::Duration;
+
+const DOC: &str = include_str!("../../../docs/PROTOCOL.md");
+
+/// Asserts the fragment is literally in the doc (so the embedded copies
+/// below cannot silently diverge from the reference).
+fn in_doc(fragment: &str) {
+    assert!(
+        DOC.contains(fragment),
+        "docs/PROTOCOL.md no longer contains the tested example:\n{fragment}"
+    );
+}
+
+/// Parse → encode → parse is value-identity for a doc line (doc lines
+/// are hand-wrapped, so string identity is up to whitespace — the
+/// canonical re-encoding must be stable instead).
+fn json_round_trips(line: &str) {
+    let v = parse(line).expect("doc example parses");
+    let re = parse(&v.encode()).expect("canonical encoding parses");
+    assert_eq!(re, v, "round trip changed the value of: {line}");
+}
+
+#[test]
+fn v1_layout_request_examples_parse_unchanged() {
+    let full = "{\"op\":\"layout\",\"algo\":\"aco\",\"nodes\":6,\"edges\":[[0,1],[0,2],[1,3],[2,3],[3,4],[3,5]],\n \"nd_width\":1.0,\"seed\":7,\"ants\":10,\"tours\":10,\"deadline_ms\":50}";
+    for fragment in full.split('\n') {
+        in_doc(fragment.trim_end());
+    }
+    json_round_trips(full);
+    let Request::Layout(req) = parse_request(full).unwrap() else {
+        panic!("expected layout");
+    };
+    assert_eq!(req.graph.node_count(), 6);
+    assert_eq!(req.graph.edge_count(), 6);
+    assert_eq!(req.nd_width, 1.0);
+    assert_eq!(req.deadline, Some(Duration::from_millis(50)));
+
+    // The netcat worked example (no optional fields).
+    let bare =
+        r#"{"op":"layout","algo":"aco","nodes":6,"edges":[[0,1],[0,2],[1,3],[2,3],[3,4],[3,5]]}"#;
+    in_doc(bare);
+    json_round_trips(bare);
+    let Request::Layout(req) = parse_request(bare).unwrap() else {
+        panic!("expected layout");
+    };
+    // The typed encoder reproduces an equivalent request: same digest.
+    let reparsed = parse_request(&Request::Layout(req.clone()).encode_v1()).unwrap();
+    let Request::Layout(again) = reparsed else {
+        panic!("expected layout");
+    };
+    assert_eq!(req.digest(), again.digest());
+}
+
+#[test]
+fn v1_layout_delta_examples_parse_unchanged() {
+    // The doc writes the base digest as a placeholder; the concrete
+    // eviction-fallback example is fully literal.
+    let evict = r#"{"op":"layout_delta","base":"ffffffffffffffffffffffffffffffff","add":[[0,5]]}"#;
+    in_doc(evict);
+    json_round_trips(evict);
+    let Request::LayoutDelta(req) = parse_request(evict).unwrap() else {
+        panic!("expected layout_delta");
+    };
+    assert_eq!(req.base.to_string(), "ffffffffffffffffffffffffffffffff");
+    assert_eq!(req.delta.added, vec![(0, 5)]);
+    assert!(req.delta.removed.is_empty());
+
+    // The header example, with the placeholder digest made concrete.
+    let digest = "93fd580123456789abcdef0123456789";
+    let line = format!(
+        "{{\"op\":\"layout_delta\",\"base\":\"{digest}\",\"add\":[[4,5]],\"remove\":[[3,5]],\n \"algo\":\"aco\",\"seed\":7,\"ants\":10,\"tours\":10,\"deadline_ms\":50}}"
+    );
+    json_round_trips(&line);
+    let Request::LayoutDelta(req) = parse_request(&line).unwrap() else {
+        panic!("expected layout_delta");
+    };
+    assert_eq!(req.base.to_string(), digest);
+    assert_eq!(req.delta.added, vec![(4, 5)]);
+    assert_eq!(req.delta.removed, vec![(3, 5)]);
+}
+
+#[test]
+fn v1_ping_and_stats_examples_parse_unchanged() {
+    for line in [r#"{"op":"ping"}"#, r#"{"op":"stats"}"#] {
+        in_doc(line);
+        json_round_trips(line);
+        assert!(matches!(
+            parse_request(line).unwrap(),
+            Request::Ping | Request::Stats
+        ));
+    }
+    in_doc(r#"{"ok":true,"op":"ping"}"#);
+    let (resp, env) = parse_response(r#"{"ok":true,"op":"ping"}"#).unwrap();
+    assert_eq!(resp, Response::Pong { router: false });
+    assert_eq!(env.version, 1);
+    // The encoder reproduces the doc's exact bytes.
+    assert_eq!(
+        resp.encode(&protocol::Envelope::v1()),
+        r#"{"ok":true,"op":"ping"}"#
+    );
+}
+
+#[test]
+fn v1_stats_response_example_parses_unchanged() {
+    let line = "{\"cache_evictions\":0,\"cache_hits\":1,\"cache_insertions\":1,\"cache_misses\":1,\n \"coalesced\":0,\"computed\":1,\"inflight\":0,\"lenient_requests\":0,\"ok\":true,\n \"op\":\"stats\",\"rejected\":0,\"served\":2}";
+    for fragment in line.split('\n') {
+        in_doc(fragment.trim_end());
+    }
+    json_round_trips(line);
+    let (resp, _) = parse_response(line).unwrap();
+    let Response::Stats(counters) = resp else {
+        panic!("expected stats");
+    };
+    assert_eq!(counters.get("served"), Some(&Json::Num(2.0)));
+    assert_eq!(counters.get("lenient_requests"), Some(&Json::Num(0.0)));
+}
+
+#[test]
+fn v1_error_response_example_parses_unchanged() {
+    let line = r#"{"error":"base not found: ffffffffffffffffffffffffffffffff is not cached; resubmit a full layout","ok":false}"#;
+    in_doc(line);
+    json_round_trips(line);
+    let (resp, env) = parse_response(line).unwrap();
+    let Response::Error(e) = resp else {
+        panic!("expected an error");
+    };
+    assert_eq!(e.kind, ErrorKind::BaseNotFound);
+    // v1 errors re-encode byte-identically (no kind member leaks in).
+    assert_eq!(Response::Error(e).encode(&env), line);
+}
+
+#[test]
+fn v2_envelope_examples_parse_as_documented() {
+    let layout = r#"{"v":2,"op":"layout","id":7,"body":{"nodes":3,"edges":[[0,1],[1,2]]}}"#;
+    in_doc(layout);
+    let (req, env) = protocol::parse_request_envelope(layout).unwrap();
+    assert!(matches!(req, Request::Layout(_)));
+    assert_eq!((env.version, env.id), (2, Some(Json::Num(7.0))));
+
+    let ping = r#"{"v":2,"op":"ping","id":41}"#;
+    in_doc(ping);
+    let (req, env) = protocol::parse_request_envelope(ping).unwrap();
+    assert!(matches!(req, Request::Ping));
+    let pong = Response::Pong { router: false }.encode(&env);
+    in_doc(&pong);
+    assert_eq!(pong, r#"{"id":41,"ok":true,"op":"ping","v":2}"#);
+
+    let missing = r#"{"v":2,"id":42,"body":{"nodes":2}}"#;
+    in_doc(missing);
+    let (err, env) = protocol::parse_request_envelope(missing).unwrap_err();
+    assert_eq!(err.kind, ErrorKind::MissingOp);
+    assert_eq!(env.id, Some(Json::Num(42.0)));
+    let encoded = Response::Error(err).encode(&env);
+    in_doc(&encoded);
+}

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Fails when docs/PROTOCOL.md drifts from the protocol source: every
-# request op accepted by parse_request, every response source name, and
-# every error-message prefix a client may dispatch on must be mentioned
-# in the wire reference. Run from the repo root (CI does).
+# request op dispatched by the parser (v1 and v2 share one dispatch),
+# every response source name, every structured ErrorKind wire name,
+# every legacy error-message prefix clients dispatch on, and every HTTP
+# route the transport serves must be mentioned in the wire reference.
+# Run from the repo root (CI does).
 set -euo pipefail
 
 doc="docs/PROTOCOL.md"
 protocol_src="crates/service/src/protocol.rs"
 scheduler_src="crates/service/src/scheduler.rs"
+transport_src="crates/service/src/transport.rs"
 
 fail=0
 require() {
@@ -18,12 +21,17 @@ require() {
     fi
 }
 
-# Request ops: the match arms of parse_request, e.g. `"layout" => Ok(Request::…`.
-ops=$(grep -oE '"[a-z_]+" => Ok\(Request::' "$protocol_src" | grep -oE '"[a-z_]+"' | tr -d '"' | sort -u)
+# Request ops: the dispatch arms over the parsed op, e.g.
+# `"layout" => Request::…` — one dispatch serves both v1 and v2, so the
+# list covers the v2 envelope too.
+ops=$(grep -oE '"[a-z_]+" => Request::' "$protocol_src" | grep -oE '"[a-z_]+"' | tr -d '"' | sort -u)
 [ -n "$ops" ] || { echo "could not extract request ops from $protocol_src" >&2; exit 1; }
 for op in $ops; do
     require "$op" "request op variant"
 done
+
+# The v2 envelope itself: the doc must show the versioned form.
+require '"v":2' "v2 envelope marker"
 
 # Response sources: the match arms of Source::name, e.g. `Source::Warm => "warm"`.
 sources=$(grep -oE 'Source::[A-Za-z]+ => "[a-z]+"' "$scheduler_src" | grep -oE '"[a-z]+"' | tr -d '"' | sort -u)
@@ -32,15 +40,35 @@ for source in $sources; do
     require "$source" "response source name"
 done
 
-# Error prefixes clients dispatch on (ServiceError Display + parser +
-# router). These are stable wire strings; extend this list when adding
-# an error kind.
+# Structured error kinds: the match arms of ErrorKind::wire_name, e.g.
+# `ErrorKind::MissingOp => "missing_op"` — every kind a v2 client can
+# dispatch on must be documented.
+kinds=$(grep -oE 'ErrorKind::[A-Za-z]+ => "[a-z_]+"' "$protocol_src" | grep -oE '"[a-z_]+"' | tr -d '"' | sort -u)
+[ -n "$kinds" ] || { echo "could not extract error kinds from $protocol_src" >&2; exit 1; }
+for kind in $kinds; do
+    require "$kind" "ErrorKind wire name"
+done
+
+# HTTP routes: the route constants of the transport module, e.g.
+# `"POST /v2"`.
+routes=$(grep -oE '"(GET|POST|PUT|DELETE) /[a-z0-9_]*"' "$transport_src" | tr -d '"' | sort -u)
+[ -n "$routes" ] || { echo "could not extract HTTP routes from $transport_src" >&2; exit 1; }
+while IFS= read -r route; do
+    require "$route" "HTTP route"
+done <<< "$routes"
+
+# Legacy v1 error prefixes clients dispatch on (ServiceError Display +
+# parser + router). These are stable wire strings; extend this list
+# when adding an error kind.
 errors=(
     "overloaded"
     "base not found"
     "invalid request"
+    "invalid graph"
     "internal error"
     "bad JSON"
+    "unsupported protocol version"
+    "missing op"
     "unknown op"
     "no shards available"
 )
@@ -52,4 +80,6 @@ if [ "$fail" -ne 0 ]; then
     echo "docs/PROTOCOL.md is out of date with the protocol source." >&2
     exit 1
 fi
-echo "docs check: PROTOCOL.md mentions all $(echo "$ops" | wc -w | tr -d ' ') ops, $(echo "$sources" | wc -w | tr -d ' ') sources, ${#errors[@]} error kinds."
+echo "docs check: PROTOCOL.md mentions all $(echo "$ops" | wc -w | tr -d ' ') ops, \
+$(echo "$sources" | wc -w | tr -d ' ') sources, $(echo "$kinds" | wc -w | tr -d ' ') error kinds, \
+$(echo "$routes" | wc -l | tr -d ' ') HTTP routes, ${#errors[@]} legacy prefixes."

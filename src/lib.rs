@@ -17,7 +17,8 @@
 //! | [`sugiyama`] | `antlayer-sugiyama` | cycle removal, crossing minimization, coordinates, SVG/ASCII |
 //! | [`datasets`] | `antlayer-datasets` | the 1277-graph AT&T-like [`GraphSuite`](datasets::GraphSuite), report writers |
 //! | [`parallel`] | `antlayer-parallel` | deterministic [`par_map`](parallel::par_map), [`WorkerPool`](parallel::WorkerPool) |
-//! | [`service`] | `antlayer-service` | batch layout serving: canonical [`Digest`](service::Digest) cache keys, sharded LRU cache, deadline-bounded [`Scheduler`](service::Scheduler), JSON-over-TCP [`Server`](service::Server) |
+//! | [`service`] | `antlayer-service` | batch layout serving: canonical [`Digest`](service::Digest) cache keys, sharded LRU cache, deadline-bounded [`Scheduler`](service::Scheduler), the typed v1/v2 protocol codec, line-TCP + HTTP/1.1 [`Server`](service::Server) |
+//! | [`client`] | `antlayer-client` | the typed [`Client`](client::Client): either transport, retry/backoff, `layout_delta` with automatic fallback, batch submit |
 //! | [`router`] | `antlayer-router` | horizontal sharding: consistent-hash [`Router`](router::Router) over N `antlayer serve` backends |
 //!
 //! ## Quickstart
@@ -41,6 +42,7 @@
 #![forbid(unsafe_code)]
 
 pub use antlayer_aco as aco;
+pub use antlayer_client as client;
 pub use antlayer_datasets as datasets;
 pub use antlayer_graph as graph;
 pub use antlayer_layering as layering;
