@@ -53,6 +53,7 @@ use antlayer_bench::loadclient::{
 use antlayer_client::{Client, ClientError, Json, Transport};
 use antlayer_graph::DiGraph;
 use antlayer_router::{Router, RouterConfig, RouterHandle};
+use antlayer_service::protocol::histogram_from_json;
 use antlayer_service::server::ServerHandle;
 use std::sync::atomic::Ordering;
 use std::time::Instant;
@@ -353,6 +354,32 @@ fn main() {
                 f("router_forwarded"),
                 f("router_rerouted"),
                 f("router_unroutable")
+            );
+        }
+        // The same run as the servers measured it, next to the
+        // client-observed percentiles above: the gap between the two
+        // vantage points is the wire + connection-handling overhead.
+        let hist = |k: &str| stats.get(k).and_then(histogram_from_json);
+        if let Some(snap) = hist("server_request_us") {
+            println!(
+                "server-side us: p50 {}  p95 {}  p99 {}  ({} requests measured on the shard{})",
+                snap.percentile(0.50),
+                snap.percentile(0.95),
+                snap.percentile(0.99),
+                snap.count,
+                if matches!(fleet, Fleet::Sharded(..)) {
+                    "s, merged bucket-wise"
+                } else {
+                    ""
+                }
+            );
+        }
+        if let Some(snap) = hist("router_request_us") {
+            println!(
+                "router-side us: p50 {}  p95 {}  p99 {}",
+                snap.percentile(0.50),
+                snap.percentile(0.95),
+                snap.percentile(0.99)
             );
         }
     }

@@ -9,7 +9,8 @@
 //! antlayer gen    [--n N] [--seed S] [--gml]                     # emit a synthetic DAG as DOT/GML
 //! antlayer suite  [--seed S] [--total N]                         # AT&T-like suite statistics
 //! antlayer serve  [--addr HOST:PORT] [--http PORT] [--threads N] [--cache-cap N]
-//!                 [--queue-cap N] [--shards N] [--max-conns N]   # batch layout server
+//!                 [--cache-bytes B] [--queue-cap N] [--shards N]
+//!                 [--max-conns N]                                # batch layout server
 //! antlayer route  --shards HOST:PORT,HOST:PORT[,...] [--addr HOST:PORT]
 //!                 [--http PORT] [--vnodes N] [--probe-ms MS]
 //!                 [--max-conns N]                                # consistent-hash router
@@ -35,9 +36,12 @@
 //! canonical-digest caching, in-flight dedup, admission control, and
 //! per-request `deadline_ms` budgets (anytime ACO). `--http PORT` adds a
 //! second, HTTP/1.1 listener (`POST /v2` with `Content-Length` bodies;
-//! `GET /healthz` for probes) serving the identical protocol — handy
-//! where raw TCP is firewall-hostile; `curl` examples live in the
-//! README. `route` starts the `antlayer-router` front: it
+//! `GET /healthz` for probes, `GET /metrics` for Prometheus scrapes)
+//! serving the identical protocol — handy where raw TCP is
+//! firewall-hostile; `curl` examples live in the README.
+//! `--cache-bytes B` sets a soft byte budget on the layout cache:
+//! crossing it logs one warning (observability, not eviction — sizing
+//! stays `--cache-cap`'s job). `route` starts the `antlayer-router` front: it
 //! consistent-hashes request digests across the given `antlayer serve`
 //! shards, fails over past down shards, and aggregates `stats`; it takes
 //! the same `--http PORT` for its client-facing side. Clients speak the
@@ -78,11 +82,15 @@ usage:
   antlayer gen   [--n N] [--seed S] [--gml]
   antlayer suite [--seed S] [--total N]
   antlayer serve [--addr HOST:PORT] [--http PORT] [--threads N]
-                 [--cache-cap N] [--queue-cap N] [--shards N] [--max-conns N]
+                 [--cache-cap N] [--cache-bytes B] [--queue-cap N]
+                 [--shards N] [--max-conns N]
   antlayer route --shards HOST:PORT,HOST:PORT[,...] [--addr HOST:PORT]
                  [--http PORT] [--vnodes N] [--probe-ms MS] [--max-conns N]
 algorithms: lpl, lpl-pl, minwidth, minwidth-pl, cg, ns, aco (default)
-http: PORT (or HOST:PORT) of an additional HTTP/1.1 listener (POST /v2)
+http: PORT (or HOST:PORT) of an additional HTTP/1.1 listener (POST /v2,
+GET /healthz, GET /metrics for Prometheus scrapes)
+cache-bytes: soft budget on the layout cache's approximate byte size;
+crossing it logs one warning (sizing stays --cache-cap's job)
 threads: colony worker threads, 0 = all available (results are
 thread-count independent)
 warm-from: JSON layering ({\"layers\":[[ids...],...]}) used as the
@@ -401,6 +409,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "http",
             "threads",
             "cache-cap",
+            "cache-bytes",
             "queue-cap",
             "shards",
             "max-conns",
@@ -418,6 +427,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             max_queue_depth: flags.get_parsed("queue-cap", sched.max_queue_depth)?,
             cache_capacity: flags.get_parsed("cache-cap", sched.cache_capacity)?,
             cache_shards: flags.get_parsed("shards", sched.cache_shards)?,
+            cache_byte_budget: match flags.get("cache-bytes") {
+                Some(v) => Some(v.parse().map_err(|e| format!("--cache-bytes: {e}"))?),
+                None => sched.cache_byte_budget,
+            },
         },
         max_connections: flags.get_parsed("max-conns", base.max_connections)?,
     };
@@ -427,7 +440,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("serve: local addr: {e}"))?;
     let http_note = server
         .http_addr()
-        .map(|a| format!(", HTTP on {a} (POST /v2)"))
+        .map(|a| format!(", HTTP on {a} (POST /v2, GET /metrics)"))
         .unwrap_or_default();
     eprintln!(
         "antlayer serve: listening on {addr}{http_note} ({} worker threads); \
@@ -475,7 +488,7 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("route: local addr: {e}"))?;
     let http_note = router
         .http_addr()
-        .map(|a| format!(", HTTP on {a} (POST /v2)"))
+        .map(|a| format!(", HTTP on {a} (POST /v2, GET /metrics)"))
         .unwrap_or_default();
     eprintln!(
         "antlayer route: listening on {addr}{http_note}, hashing across {n_shards} shard(s): {shard_list}"

@@ -348,6 +348,24 @@ impl Client {
         }
     }
 
+    /// The server's (or router's) slow-request log: the `debug` op's
+    /// body, whose `slow_requests` member holds the K slowest requests
+    /// with their phase breakdowns (see `docs/PROTOCOL.md`). Against a
+    /// router, each entry may also embed the serving shard's span.
+    pub fn debug(&mut self) -> Result<BTreeMap<String, Json>, ClientError> {
+        let line = self.encode(&WireRequest {
+            op: "debug",
+            body: Json::Obj(BTreeMap::new()),
+        });
+        match self.exchange_response(&line)? {
+            Response::Debug(body) => Ok(body),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::BadReply(format!(
+                "expected debug, got {other:?}"
+            ))),
+        }
+    }
+
     /// Computes (or fetches) a layout, retrying `overloaded` with
     /// backoff.
     pub fn layout(

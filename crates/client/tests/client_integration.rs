@@ -57,6 +57,31 @@ fn tcp_and_http_clients_see_one_cache() {
 }
 
 #[test]
+fn debug_returns_the_slow_request_log() {
+    let handle = spawn_server();
+    let mut client =
+        Client::connect_with(&handle.addr().to_string(), config(Transport::Tcp)).unwrap();
+    let outcome = client
+        .layout(&chain(6), &LayoutOptions::aco(11, 3, 3))
+        .unwrap();
+    assert_eq!(outcome.reply.source, "computed");
+
+    let body = client.debug().unwrap();
+    let Some(antlayer_client::Json::Arr(slow)) = body.get("slow_requests") else {
+        panic!("debug body must carry slow_requests");
+    };
+    // The layout we just computed is among the slowest requests seen.
+    assert!(
+        slow.iter().any(|e| {
+            e.get("op").and_then(antlayer_client::Json::as_str) == Some("layout")
+                && e.get("phase_us").and_then(|p| p.get("compute")).is_some()
+        }),
+        "{body:?}"
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn delta_with_automatic_fallback_recovers_from_missing_base() {
     let handle = spawn_server();
     let mut client =

@@ -66,6 +66,21 @@ pub struct TourStats {
     pub best_width: f64,
 }
 
+/// One point of a run's convergence trajectory: the incumbent (global
+/// best) objective after a number of completed tours, with the wall
+/// clock attached so anytime curves can be plotted against time as well
+/// as iterations.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TrajectoryPoint {
+    /// Completed tours when this incumbent was recorded (`0` = the
+    /// stretched-LPL seed, or the installed warm-start incumbent).
+    pub after_tours: usize,
+    /// The incumbent objective at that point (stretched space).
+    pub objective: f64,
+    /// Microseconds since the layering phase started.
+    pub elapsed_us: u64,
+}
+
 /// Result of a full colony run.
 #[derive(Clone, Debug)]
 pub struct ColonyRun {
@@ -99,6 +114,12 @@ pub struct ColonyRun {
     /// from [`stopped_early`](Self::stopped_early), which only ever
     /// means a deadline fired.
     pub matched_seed_early: bool,
+    /// Convergence telemetry: the starting incumbent plus one point per
+    /// incumbent improvement, in order, capped at
+    /// [`AcoParams::trajectory_cap`] points (empty when the cap is 0).
+    /// Recorded between tours at one comparison per tour — the walk hot
+    /// path is untouched.
+    pub trajectory: Vec<TrajectoryPoint>,
 }
 
 /// The ant colony for one DAG.
@@ -406,8 +427,10 @@ impl<'a> Colony<'a> {
                 seeded: self.seeded,
                 tours_to_match_seed: None,
                 matched_seed_early: false,
+                trajectory: Vec::new(),
             };
         }
+        let started = Instant::now();
         // `checked_add` turns an overflow-sized budget (`Duration::MAX`
         // as a spelling of "unbounded") into no deadline, not a panic.
         let budget_deadline = self
@@ -421,6 +444,21 @@ impl<'a> Colony<'a> {
         let mut tours = Vec::with_capacity(self.params.n_tours);
         let mut stopped_early = false;
         let mut matched_seed_early = false;
+        // Convergence telemetry: the starting incumbent, then one point
+        // whenever a tour improves the global best, capped. The cap
+        // bounds both memory and the (already tiny) per-tour cost.
+        let cap = self.params.trajectory_cap;
+        let mut trajectory = Vec::with_capacity(cap.min(self.params.n_tours + 1));
+        let record = |after_tours: usize, objective: f64, trajectory: &mut Vec<TrajectoryPoint>| {
+            if trajectory.len() < cap {
+                trajectory.push(TrajectoryPoint {
+                    after_tours,
+                    objective,
+                    elapsed_us: started.elapsed().as_micros() as u64,
+                });
+            }
+        };
+        record(0, self.best_objective, &mut trajectory);
         for t in 0..self.params.n_tours {
             if let Some(d) = deadline {
                 if Instant::now() >= d {
@@ -428,10 +466,14 @@ impl<'a> Colony<'a> {
                     break;
                 }
             }
+            let prev_best = self.best_objective;
             match self.perform_tour(t, deadline) {
                 Some(stats) => {
                     let tour_best = stats.best_objective;
                     tours.push(stats);
+                    if self.best_objective > prev_best {
+                        record(t + 1, self.best_objective, &mut trajectory);
+                    }
                     // Warm early stop: a *full* tour landed on the
                     // incumbent's plateau (re-derived its quality) while
                     // nothing in the run has beaten it — the seed holds
@@ -449,6 +491,11 @@ impl<'a> Colony<'a> {
                     }
                 }
                 None => {
+                    // Walks salvaged from the interrupted tour may still
+                    // have improved the incumbent.
+                    if self.best_objective > prev_best {
+                        record(t + 1, self.best_objective, &mut trajectory);
+                    }
                     stopped_early = true;
                     break;
                 }
@@ -470,6 +517,7 @@ impl<'a> Colony<'a> {
             seeded: self.seeded,
             tours_to_match_seed,
             matched_seed_early,
+            trajectory,
         }
     }
 }
@@ -585,6 +633,43 @@ mod tests {
         let b = AcoLayering::new(small_params()).run(&dag, &WidthModel::unit());
         assert_eq!(a.layering, b.layering);
         assert_eq!(a.objective, b.objective);
+    }
+
+    #[test]
+    fn trajectory_tracks_incumbent_improvements() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let dag = generate::random_dag_with_edges(30, 45, &mut rng);
+        let run = AcoLayering::new(small_params()).run(&dag, &WidthModel::unit());
+        let t = &run.trajectory;
+        assert!(!t.is_empty(), "default cap records at least the seed");
+        assert_eq!(t[0].after_tours, 0, "first point is the seed state");
+        for pair in t.windows(2) {
+            assert!(pair[1].after_tours > pair[0].after_tours);
+            assert!(pair[1].objective > pair[0].objective);
+            assert!(pair[1].elapsed_us >= pair[0].elapsed_us);
+        }
+        assert_eq!(
+            t.last().unwrap().objective,
+            run.objective,
+            "the last point is the final incumbent"
+        );
+        assert!(t.len() <= AcoParams::default().trajectory_cap);
+    }
+
+    #[test]
+    fn trajectory_cap_zero_disables_without_changing_the_result() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let dag = generate::random_dag_with_edges(25, 35, &mut rng);
+        let on = AcoLayering::new(small_params()).run(&dag, &WidthModel::unit());
+        let off =
+            AcoLayering::new(small_params().with_trajectory_cap(0)).run(&dag, &WidthModel::unit());
+        assert!(off.trajectory.is_empty());
+        assert_eq!(
+            on.layering, off.layering,
+            "telemetry must not steer the search"
+        );
+        assert_eq!(on.objective, off.objective);
+        assert!(!on.trajectory.is_empty());
     }
 
     #[test]

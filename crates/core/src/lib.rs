@@ -63,7 +63,7 @@ pub mod stretch;
 pub mod tuning;
 mod walk;
 
-pub use colony::{AcoLayering, Colony, ColonyRun, TourStats};
+pub use colony::{AcoLayering, Colony, ColonyRun, TourStats, TrajectoryPoint};
 pub use matrix::VertexLayerMatrix;
 pub use order_model::OrderAcoLayering;
 pub use params::{AcoParams, DepositStrategy, SelectionRule, StretchStrategy, VisitOrder};

@@ -177,6 +177,14 @@ pub struct AcoParams {
     /// the time budget, this is quality-of-service, not identity: it is
     /// excluded from the serving layer's cache digest.
     pub warm_early_stop: bool,
+    /// Maximum points of the convergence trajectory a run records
+    /// ([`ColonyRun::trajectory`](crate::ColonyRun)): the seed state plus
+    /// one point per incumbent improvement, capped here so telemetry
+    /// cost stays bounded on long runs. `0` disables recording entirely.
+    /// Pure observability, not identity: like the time budget, it is
+    /// excluded from the serving layer's cache digest and never changes
+    /// which layering a run returns.
+    pub trajectory_cap: usize,
 }
 
 impl Default for AcoParams {
@@ -200,6 +208,7 @@ impl Default for AcoParams {
             eta_floor: None,
             time_budget: None,
             warm_early_stop: true,
+            trajectory_cap: 64,
         }
     }
 }
@@ -240,6 +249,13 @@ impl AcoParams {
     /// `None` = unbounded).
     pub fn with_time_budget(mut self, budget: Option<std::time::Duration>) -> Self {
         self.time_budget = budget;
+        self
+    }
+
+    /// Sets the convergence-trajectory point cap (chainable; `0`
+    /// disables recording).
+    pub fn with_trajectory_cap(mut self, cap: usize) -> Self {
+        self.trajectory_cap = cap;
         self
     }
 
@@ -371,6 +387,14 @@ mod tests {
         assert_eq!(AcoParams::default().time_budget, None);
         let p = AcoParams::new().with_time_budget(Some(std::time::Duration::from_millis(25)));
         assert_eq!(p.time_budget, Some(std::time::Duration::from_millis(25)));
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn trajectory_cap_builder_and_default() {
+        assert_eq!(AcoParams::default().trajectory_cap, 64);
+        let p = AcoParams::new().with_trajectory_cap(0);
+        assert_eq!(p.trajectory_cap, 0);
         assert!(p.validate().is_ok());
     }
 

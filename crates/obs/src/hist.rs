@@ -1,0 +1,320 @@
+//! Log-bucketed latency histograms: lock-free to record, mergeable by
+//! bucket, percentile-exact to within one bucket's relative width.
+//!
+//! ## Bucket layout
+//!
+//! Values `0..16` get one exact bucket each; from 16 up, every octave
+//! `[2^e, 2^(e+1))` is split into 8 log-linear sub-buckets, so a
+//! bucket's width is at most 1/8 of its lower bound — any value is
+//! reported to within **12.5 % relative error** (exactly below 16).
+//! The full `u64` range fits in [`N_BUCKETS`] = 496 buckets, 4 KiB of
+//! atomics per histogram, allocated once at registration; recording is
+//! a leading-zeros index computation plus three relaxed `fetch_add`s.
+//!
+//! Percentiles use the same nearest-rank convention as the bench
+//! crate's `percentile` helper (`rank = round((n − 1) · p)`) and report
+//! the **inclusive upper bound** of the bucket holding that rank, so a
+//! reported percentile `r` of a true sample value `q` always satisfies
+//! `q ≤ r ≤ q · 9/8` — the property the `hist_merge` suite checks
+//! against a sort-based oracle across merge orders.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per octave as a power of two (2³ = 8).
+const SUB_BITS: u32 = 3;
+/// Sub-buckets per octave.
+const SUB: u64 = 1 << SUB_BITS;
+/// Values below this get one exact bucket each.
+const EXACT: u64 = 2 * SUB;
+/// Total bucket count covering the whole `u64` range: 16 exact buckets
+/// plus 8 sub-buckets for each of the 60 remaining octaves.
+pub const N_BUCKETS: usize = EXACT as usize + (64 - SUB_BITS as usize - 1) * SUB as usize;
+
+/// The bucket index `value` lands in.
+fn bucket_index(value: u64) -> usize {
+    if value < EXACT {
+        return value as usize;
+    }
+    let e = 63 - value.leading_zeros(); // floor(log2), ≥ 4
+    let sub = (value >> (e - SUB_BITS)) - SUB; // top 3 bits after the leading 1
+    EXACT as usize + ((e - SUB_BITS - 1) as u64 * SUB + sub) as usize
+}
+
+/// The largest value that lands in bucket `index` (the Prometheus `le`
+/// bound, and what percentile queries report).
+fn bucket_bound(index: usize) -> u64 {
+    if index < EXACT as usize {
+        return index as u64;
+    }
+    let rest = index - EXACT as usize;
+    let octave = (rest as u64) / SUB;
+    let sub = (rest as u64) % SUB;
+    // Lower bound of the *next* bucket, minus one; the topmost bucket's
+    // next-lower-bound is 2^64, which saturates to `u64::MAX`.
+    let next_lo = u128::from(SUB + sub + 1) << (octave + 1);
+    u64::try_from(next_lo - 1).unwrap_or(u64::MAX)
+}
+
+/// A lock-free histogram over `u64` samples (the stack records
+/// microseconds, but nothing here assumes a unit).
+pub struct Histogram {
+    buckets: Box<[AtomicU64; N_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram. The only allocation this type ever performs.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: Box::new([(); N_BUCKETS].map(|()| AtomicU64::new(0))),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample: three relaxed `fetch_add`s, no allocation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy for percentile queries, merging, and wire
+    /// encoding. Concurrent recording may skew count/sum/buckets by the
+    /// in-flight samples; monitoring reads tolerate that.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned copy of a [`Histogram`]'s state.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts, indexed like the live histogram.
+    buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (the identity for [`merge`](Self::merge)).
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: vec![0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Folds `other` in: buckets, count and sum all add index-wise.
+    /// This is the correct fleet aggregation — percentiles of the merge
+    /// are percentiles of the pooled samples (to bucket resolution),
+    /// unlike any arithmetic on the shards' own percentiles.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, n) in other.buckets.iter().enumerate() {
+            self.buckets[i] += n;
+        }
+        self.count += other.count;
+        // The per-sample sum saturates rather than wraps on pathological
+        // inputs (the samples are microseconds in practice; only the
+        // adversarial property suite feeds values near `u64::MAX`).
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Nearest-rank percentile (`p` in `[0, 1]`), reported as the
+    /// inclusive upper bound of the bucket holding the rank — at most
+    /// one bucket's relative width (12.5 %) above the true sample.
+    /// Returns 0 on an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count - 1) as f64 * p.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if n > 0 && seen > rank {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(self.buckets.len().saturating_sub(1))
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The non-empty buckets as `(inclusive_upper_bound, count)` pairs —
+    /// the compact form the `stats` wire extension and the router's
+    /// fleet merge exchange.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_bound(i), n))
+            .collect()
+    }
+
+    /// Rebuilds a snapshot from `(upper_bound, count)` pairs produced by
+    /// [`nonzero_buckets`](Self::nonzero_buckets) (bounds that are not
+    /// exact bucket bounds fold into the bucket containing them, so a
+    /// foreign-resolution wire histogram still merges losslessly at our
+    /// resolution). `sum` is carried separately on the wire.
+    pub fn from_buckets(pairs: &[(u64, u64)], sum: u64) -> HistogramSnapshot {
+        let mut snap = HistogramSnapshot::empty();
+        for &(bound, n) in pairs {
+            snap.buckets[bucket_index(bound)] += n;
+            snap.count += n;
+        }
+        snap.sum = sum;
+        snap
+    }
+
+    /// Cumulative `(le, count)` pairs over the non-empty buckets plus
+    /// the implicit `+Inf` total — the Prometheus exposition shape.
+    pub fn cumulative(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut acc = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                acc += n;
+                out.push((bucket_bound(i), acc));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..16 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 16);
+        assert_eq!(s.percentile(0.0), 0);
+        assert_eq!(s.percentile(1.0), 15);
+        // Every recorded small value is its own bucket bound.
+        for (bound, n) in s.nonzero_buckets() {
+            assert_eq!(n, 1);
+            assert!(bound < 16);
+        }
+    }
+
+    #[test]
+    fn bucket_index_and_bound_agree() {
+        // Every probe value lands in a bucket whose inclusive bound is
+        // ≥ the value and within 12.5 % of it.
+        let probes = [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            100,
+            1_000,
+            12_345,
+            1_000_000,
+            u32::MAX as u64,
+            u64::MAX / 2,
+            u64::MAX,
+        ];
+        for &v in &probes {
+            let i = bucket_index(v);
+            assert!(i < N_BUCKETS, "index {i} out of range for {v}");
+            let bound = bucket_bound(i);
+            assert!(bound >= v, "bound {bound} < value {v}");
+            if v >= 16 {
+                assert!(
+                    (bound - v) as f64 <= v as f64 / 8.0 + 1.0,
+                    "bound {bound} too far above {v}"
+                );
+            }
+            // The bound itself must land in the same bucket (it is the
+            // largest member).
+            assert_eq!(bucket_index(bound), i, "bound {bound} of {v} escapes");
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_strictly_increasing() {
+        let mut prev = None;
+        for i in 0..N_BUCKETS {
+            let b = bucket_bound(i);
+            if let Some(p) = prev {
+                assert!(b > p, "bound {b} at {i} not above {p}");
+            }
+            prev = Some(b);
+        }
+    }
+
+    #[test]
+    fn merge_equals_pooled_recording() {
+        let (a, b) = (Histogram::new(), Histogram::new());
+        let pooled = Histogram::new();
+        for v in [3u64, 90, 90, 4_000, 77, 1 << 40] {
+            a.record(v);
+            pooled.record(v);
+        }
+        for v in [5u64, 90, 800_000] {
+            b.record(v);
+            pooled.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, pooled.snapshot());
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_distribution() {
+        let h = Histogram::new();
+        for v in [0u64, 9, 17, 1_000, 65_537, 12_345_678] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let back = HistogramSnapshot::from_buckets(&snap.nonzero_buckets(), snap.sum);
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn percentile_of_empty_is_zero() {
+        assert_eq!(HistogramSnapshot::empty().percentile(0.99), 0);
+        assert_eq!(HistogramSnapshot::empty().mean(), 0.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # antlayer-obs
+//!
+//! Observability primitives for the serving stack, with no dependencies
+//! beyond `std` (the build environment has no registry access, and the
+//! recording paths must be cheap enough to leave on in production):
+//!
+//! * [`Counter`] / [`Gauge`] — single atomics;
+//! * [`Histogram`] — a fixed array of atomic buckets with logarithmic
+//!   spacing (≤ 12.5 % relative width), so recording is one index
+//!   computation plus three `fetch_add`s — **no allocation, no lock** —
+//!   and two histograms merge by summing buckets index-wise, which is
+//!   what lets a router aggregate per-shard latency distributions
+//!   without the field-wise-percentile-addition fallacy;
+//! * [`Registry`] — a named collection of the above plus closure-based
+//!   collectors over counters other subsystems already maintain,
+//!   rendered as Prometheus text exposition for `GET /metrics`;
+//! * [`TraceEntry`] / [`SlowLog`] — per-request phase breakdowns keyed
+//!   by the protocol's v2 envelope id, with the top-K slowest requests
+//!   retained for the `debug` op (including stitched downstream spans
+//!   when a router forwarded the request to a shard).
+//!
+//! The consuming crates (`antlayer-service`, `antlayer-router`) own the
+//! wire encodings; this crate deliberately knows nothing about JSON or
+//! HTTP so the core stays dependency-free and reusable.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod hist;
+pub mod registry;
+pub mod trace;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use registry::{Counter, Gauge, MetricValue, Registry};
+pub use trace::{RemoteSpan, SlowLog, TraceEntry};

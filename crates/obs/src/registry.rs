@@ -1,0 +1,328 @@
+//! The named-metric registry behind `GET /metrics` and the `stats`
+//! histogram extension.
+//!
+//! Registration (cold path, once per process or per server) takes a
+//! lock and may allocate; recording through the returned [`Counter`] /
+//! [`Gauge`] / [`Histogram`] handles is lock- and allocation-free.
+//! Subsystems that already maintain their own atomics (the scheduler's
+//! served/computed counters, the cache's hit/miss stats) register
+//! closure **collectors** instead of mirroring every increment — the
+//! closure is only called when the registry is rendered or snapshotted,
+//! so the hot path pays nothing for exposure.
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing metric.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (bytes in a cache, entries live).
+#[derive(Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`; the caller maintains the ≥ 0 invariant (paired
+    /// add/sub around owned resources).
+    pub fn sub(&self, n: u64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Replaces the value.
+    pub fn set(&self, n: u64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One registered metric's value source.
+enum Source {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+    /// Render-time read of a value another subsystem maintains.
+    CounterFn(Box<dyn Fn() -> u64 + Send + Sync>),
+    /// Render-time gauge read.
+    GaugeFn(Box<dyn Fn() -> u64 + Send + Sync>),
+}
+
+struct Entry {
+    help: &'static str,
+    source: Source,
+}
+
+/// A point-in-time value of one registered metric, as exchanged by the
+/// `stats` extension.
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(u64),
+    /// Full histogram snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// Named metrics of one server/router instance.
+///
+/// # Examples
+///
+/// ```
+/// use antlayer_obs::Registry;
+///
+/// let registry = Registry::new();
+/// let requests = registry.counter("requests_total", "requests served");
+/// let latency = registry.histogram("request_us", "request latency");
+/// requests.inc();
+/// latency.record(420);
+/// let text = registry.render_prometheus();
+/// assert!(text.contains("requests_total 1"));
+/// assert!(text.contains("request_us_count 1"));
+/// ```
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<&'static str, Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers (or fetches — registration is idempotent by name) a
+    /// counter.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Arc<Counter> {
+        let mut metrics = self.metrics.lock().expect("registry lock");
+        let entry = metrics.entry(name).or_insert_with(|| Entry {
+            help,
+            source: Source::Counter(Arc::new(Counter::default())),
+        });
+        match &entry.source {
+            Source::Counter(c) => c.clone(),
+            _ => panic!("metric '{name}' already registered with another type"),
+        }
+    }
+
+    /// Registers (or fetches) a gauge.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Arc<Gauge> {
+        let mut metrics = self.metrics.lock().expect("registry lock");
+        let entry = metrics.entry(name).or_insert_with(|| Entry {
+            help,
+            source: Source::Gauge(Arc::new(Gauge::default())),
+        });
+        match &entry.source {
+            Source::Gauge(g) => g.clone(),
+            _ => panic!("metric '{name}' already registered with another type"),
+        }
+    }
+
+    /// Registers (or fetches) a histogram.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Arc<Histogram> {
+        let mut metrics = self.metrics.lock().expect("registry lock");
+        let entry = metrics.entry(name).or_insert_with(|| Entry {
+            help,
+            source: Source::Histogram(Arc::new(Histogram::new())),
+        });
+        match &entry.source {
+            Source::Histogram(h) => h.clone(),
+            _ => panic!("metric '{name}' already registered with another type"),
+        }
+    }
+
+    /// Registers a render-time counter collector over a value another
+    /// subsystem already maintains (no double bookkeeping on hot paths).
+    pub fn counter_fn(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        f: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        self.metrics.lock().expect("registry lock").insert(
+            name,
+            Entry {
+                help,
+                source: Source::CounterFn(Box::new(f)),
+            },
+        );
+    }
+
+    /// Registers a render-time gauge collector.
+    pub fn gauge_fn(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        f: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        self.metrics.lock().expect("registry lock").insert(
+            name,
+            Entry {
+                help,
+                source: Source::GaugeFn(Box::new(f)),
+            },
+        );
+    }
+
+    /// Snapshots every metric, sorted by name — the source of the
+    /// `stats` body extension.
+    pub fn snapshot(&self) -> Vec<(&'static str, MetricValue)> {
+        let metrics = self.metrics.lock().expect("registry lock");
+        metrics
+            .iter()
+            .map(|(name, e)| {
+                let value = match &e.source {
+                    Source::Counter(c) => MetricValue::Counter(c.get()),
+                    Source::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Source::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    Source::CounterFn(f) => MetricValue::Counter(f()),
+                    Source::GaugeFn(f) => MetricValue::Gauge(f()),
+                };
+                (*name, value)
+            })
+            .collect()
+    }
+
+    /// The snapshot of one histogram, when `name` names one.
+    pub fn histogram_snapshot(&self, name: &str) -> Option<HistogramSnapshot> {
+        let metrics = self.metrics.lock().expect("registry lock");
+        match &metrics.get(name)?.source {
+            Source::Histogram(h) => Some(h.snapshot()),
+            _ => None,
+        }
+    }
+
+    /// Renders the Prometheus text exposition format (`GET /metrics`):
+    /// `# HELP`/`# TYPE` headers, counters/gauges as single samples,
+    /// histograms as cumulative `_bucket{le=…}` series plus `_sum` and
+    /// `_count`. Histogram names keep their `_us` suffix — the stack
+    /// records integer microseconds, not Prometheus' base seconds, and
+    /// the unit lives in the name per convention.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let metrics = self.metrics.lock().expect("registry lock");
+        let mut out = String::with_capacity(1024);
+        for (name, e) in metrics.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", e.help);
+            match &e.source {
+                Source::Counter(_) | Source::CounterFn(_) => {
+                    let v = match &e.source {
+                        Source::Counter(c) => c.get(),
+                        Source::CounterFn(f) => f(),
+                        _ => unreachable!(),
+                    };
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                Source::Gauge(_) | Source::GaugeFn(_) => {
+                    let v = match &e.source {
+                        Source::Gauge(g) => g.get(),
+                        Source::GaugeFn(f) => f(),
+                        _ => unreachable!(),
+                    };
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                Source::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    for (le, cumulative) in snap.cumulative() {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                    }
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count);
+                    let _ = writeln!(out, "{name}_sum {}", snap.sum);
+                    let _ = writeln!(out, "{name}_count {}", snap.count);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_shared() {
+        let r = Registry::new();
+        let a = r.counter("c", "help");
+        let b = r.counter("c", "other help ignored");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "another type")]
+    fn cross_type_registration_panics() {
+        let r = Registry::new();
+        let _ = r.counter("m", "");
+        let _ = r.gauge("m", "");
+    }
+
+    #[test]
+    fn collectors_read_external_state() {
+        let r = Registry::new();
+        let shared = Arc::new(AtomicU64::new(7));
+        let reader = shared.clone();
+        r.counter_fn("external_total", "externally maintained", move || {
+            reader.load(Ordering::Relaxed)
+        });
+        assert!(r.render_prometheus().contains("external_total 7"));
+        shared.store(9, Ordering::Relaxed);
+        assert!(r.render_prometheus().contains("external_total 9"));
+    }
+
+    #[test]
+    fn prometheus_histogram_shape() {
+        let r = Registry::new();
+        let h = r.histogram("lat_us", "latency");
+        h.record(5);
+        h.record(5);
+        h.record(100);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE lat_us histogram"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"5\"} 2"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("lat_us_count 3"), "{text}");
+        assert!(text.contains("lat_us_sum 110"), "{text}");
+    }
+
+    #[test]
+    fn gauge_tracks_up_and_down() {
+        let r = Registry::new();
+        let g = r.gauge("bytes", "cache bytes");
+        g.add(100);
+        g.sub(40);
+        assert_eq!(g.get(), 60);
+        g.set(5);
+        assert_eq!(g.get(), 5);
+    }
+}

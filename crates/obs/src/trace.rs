@@ -1,0 +1,168 @@
+//! Per-request phase traces and the top-K slow-request log behind the
+//! protocol's `debug` op.
+//!
+//! A [`TraceEntry`] is one request's timeline: the v2 envelope `id` as
+//! correlation id, the op, the total duration, and a flat phase
+//! breakdown (`parse → queue_wait → cache_lookup → compute → encode`
+//! for a shard; `parse → forward → encode` for a router). When a router
+//! forwarded the request, the shard's own breakdown comes back on the
+//! wire and is stitched in as [`TraceEntry::remote`] — one timeline per
+//! fleet request, keyed by the id the client chose.
+//!
+//! The [`SlowLog`] retains the K slowest requests seen so far in a
+//! bounded buffer. [`SlowLog::would_keep`] lets the caller skip
+//! building an entry at all (string formatting, reply parsing) for the
+//! common fast request — the always-on cost is one lock and one
+//! comparison.
+
+use std::sync::Mutex;
+
+/// A downstream span stitched into a router's [`TraceEntry`]: the phase
+/// breakdown the shard reported on the wire for the same envelope id.
+#[derive(Clone, Debug)]
+pub struct RemoteSpan {
+    /// The shard address the request was forwarded to.
+    pub addr: String,
+    /// Total microseconds the shard reported.
+    pub total_us: u64,
+    /// The shard's phase breakdown, in wire order.
+    pub phases: Vec<(String, u64)>,
+}
+
+/// One request's recorded timeline.
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    /// Correlation id: the v2 envelope `id` (encoded), `"-"` for v1 or
+    /// id-less requests.
+    pub id: String,
+    /// The request op (`layout`, `layout_delta`, `stats`, …).
+    pub op: &'static str,
+    /// End-to-end microseconds in this process.
+    pub total_us: u64,
+    /// Phase name → microseconds, in execution order.
+    pub phases: Vec<(&'static str, u64)>,
+    /// The downstream (shard) span, when this process forwarded the
+    /// request and the reply carried a trace.
+    pub remote: Option<RemoteSpan>,
+}
+
+/// Bounded log of the K slowest requests, fleet-debuggable via the
+/// protocol's `debug` op.
+///
+/// # Examples
+///
+/// ```
+/// use antlayer_obs::{SlowLog, TraceEntry};
+///
+/// let log = SlowLog::new(2);
+/// for (id, us) in [("a", 10), ("b", 30), ("c", 20)] {
+///     if log.would_keep(us) {
+///         log.record(TraceEntry {
+///             id: id.into(),
+///             op: "layout",
+///             total_us: us,
+///             phases: vec![("compute", us)],
+///             remote: None,
+///         });
+///     }
+/// }
+/// let slowest: Vec<String> = log.snapshot().into_iter().map(|e| e.id).collect();
+/// assert_eq!(slowest, ["b", "c"]); // "a" was displaced, order is slowest-first
+/// ```
+pub struct SlowLog {
+    k: usize,
+    /// Kept sorted descending by `total_us`; K is small (tens), so a
+    /// sorted insert beats a heap's constant factors and gives free
+    /// ordered snapshots.
+    entries: Mutex<Vec<TraceEntry>>,
+}
+
+impl SlowLog {
+    /// A log retaining the `k` slowest requests.
+    pub fn new(k: usize) -> SlowLog {
+        SlowLog {
+            k,
+            entries: Mutex::new(Vec::with_capacity(k)),
+        }
+    }
+
+    /// Whether a request of `total_us` would enter the log — the cheap
+    /// pre-check that lets fast requests skip building a [`TraceEntry`]
+    /// entirely.
+    pub fn would_keep(&self, total_us: u64) -> bool {
+        if self.k == 0 {
+            return false;
+        }
+        let entries = self.entries.lock().expect("slow log lock");
+        entries.len() < self.k || entries.last().is_some_and(|e| total_us > e.total_us)
+    }
+
+    /// Inserts `entry` if it ranks among the K slowest (re-checked under
+    /// the lock; racing [`would_keep`](Self::would_keep) callers cannot
+    /// overfill the log).
+    pub fn record(&self, entry: TraceEntry) {
+        if self.k == 0 {
+            return;
+        }
+        let mut entries = self.entries.lock().expect("slow log lock");
+        if entries.len() >= self.k && entries.last().is_some_and(|e| entry.total_us <= e.total_us) {
+            return;
+        }
+        let at = entries
+            .iter()
+            .position(|e| e.total_us < entry.total_us)
+            .unwrap_or(entries.len());
+        entries.insert(at, entry);
+        entries.truncate(self.k);
+    }
+
+    /// The retained entries, slowest first.
+    pub fn snapshot(&self) -> Vec<TraceEntry> {
+        self.entries.lock().expect("slow log lock").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: &str, us: u64) -> TraceEntry {
+        TraceEntry {
+            id: id.into(),
+            op: "layout",
+            total_us: us,
+            phases: vec![("parse", 1), ("compute", us.saturating_sub(1))],
+            remote: None,
+        }
+    }
+
+    #[test]
+    fn keeps_top_k_sorted() {
+        let log = SlowLog::new(3);
+        for (id, us) in [("a", 5), ("b", 50), ("c", 10), ("d", 40), ("e", 1)] {
+            log.record(entry(id, us));
+        }
+        let ids: Vec<String> = log.snapshot().into_iter().map(|e| e.id).collect();
+        assert_eq!(ids, ["b", "d", "c"]);
+    }
+
+    #[test]
+    fn would_keep_matches_record() {
+        let log = SlowLog::new(2);
+        log.record(entry("a", 100));
+        log.record(entry("b", 200));
+        assert!(!log.would_keep(100)); // ties with the floor are dropped
+        assert!(log.would_keep(101));
+        log.record(entry("c", 150));
+        let ids: Vec<String> = log.snapshot().into_iter().map(|e| e.id).collect();
+        assert_eq!(ids, ["b", "c"]);
+    }
+
+    #[test]
+    fn zero_capacity_is_inert() {
+        let log = SlowLog::new(0);
+        assert!(!log.would_keep(u64::MAX));
+        log.record(entry("a", 1));
+        assert!(log.snapshot().is_empty());
+    }
+}

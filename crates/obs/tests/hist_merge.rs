@@ -1,0 +1,80 @@
+//! Property: percentiles of merged log-bucket histograms agree with an
+//! exact sort-based oracle to within one bucket's relative width
+//! (12.5 %, exact below 16), across adversarial value distributions and
+//! arbitrary merge orders.
+
+use antlayer_obs::{Histogram, HistogramSnapshot};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Nearest-rank oracle over the raw samples — the same convention the
+/// bench crate's `percentile` helper and the histogram use.
+fn oracle(sorted: &[u64], p: f64) -> u64 {
+    sorted[((sorted.len() - 1) as f64 * p).round() as usize]
+}
+
+/// Adversarial sample shapes: each `(shape, x)` pair expands into a
+/// value chosen to stress a different bucket regime.
+fn expand(shape: u8, x: u64) -> u64 {
+    match shape % 6 {
+        0 => x % 16,                                 // the exact region
+        1 => 16 + x % 64,                            // first log octaves
+        2 => (x % 50) * 1_000,                       // round milliseconds
+        3 => 1u64 << (x % 63),                       // powers of two (bucket edges)
+        4 => (1u64 << (x % 60)).wrapping_add(x % 7), // just past the edges
+        _ => x,                                      // anywhere in u64
+    }
+}
+
+/// Checks `reported` against the oracle value `q`: never below, and at
+/// most one bucket's relative width above (+1 absorbs the inclusive
+/// upper bound of integer-width buckets).
+fn within_one_bucket(reported: u64, q: u64) {
+    assert!(reported >= q, "reported {reported} below oracle {q}");
+    let ceiling = q.saturating_add(q / 8).saturating_add(1);
+    assert!(
+        reported <= ceiling,
+        "reported {reported} above one-bucket ceiling {ceiling} of oracle {q}"
+    );
+}
+
+proptest! {
+    #[test]
+    fn merged_percentiles_match_sort_oracle(
+        samples in vec((0u8..=255, 0u64..u64::MAX), 1..400),
+        parts in 1usize..8,
+        order_seed in 0u64..u64::MAX,
+    ) {
+        let values: Vec<u64> = samples.iter().map(|&(s, x)| expand(s, x)).collect();
+
+        // Split the samples across `parts` histograms (shards), then
+        // merge the snapshots in a seed-chosen order.
+        let hists: Vec<Histogram> = (0..parts).map(|_| Histogram::new()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            hists[i % parts].record(v);
+        }
+        let mut snaps: Vec<HistogramSnapshot> = hists.iter().map(Histogram::snapshot).collect();
+        let mut rng = proptest::test_rng(&format!("merge-order-{order_seed}"));
+        let mut merged = HistogramSnapshot::empty();
+        while !snaps.is_empty() {
+            let pick = rng.gen_range(0..snaps.len());
+            merged.merge(&snaps.swap_remove(pick));
+        }
+
+        prop_assert_eq!(merged.count, values.len() as u64);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for p in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            within_one_bucket(merged.percentile(p), oracle(&sorted, p));
+        }
+
+        // The wire round-trip (non-zero buckets out, rebuilt snapshot
+        // in) must preserve every percentile bit-for-bit: the router's
+        // fleet merge runs on rebuilt snapshots.
+        let rebuilt = HistogramSnapshot::from_buckets(&merged.nonzero_buckets(), merged.sum);
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            prop_assert_eq!(rebuilt.percentile(p), merged.percentile(p));
+        }
+    }
+}

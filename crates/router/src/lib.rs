@@ -68,18 +68,20 @@
 #![forbid(unsafe_code)]
 
 use antlayer_client::{Connection, Transport as ClientTransport};
+use antlayer_obs::{Histogram, HistogramSnapshot, Registry, RemoteSpan, SlowLog, TraceEntry};
 use antlayer_service::cache::ShardedCache;
 use antlayer_service::digest::Digest;
 use antlayer_service::protocol::{self, Envelope, ErrorKind, Json, Request, Response, WireError};
 use antlayer_service::router::{HashRing, ShardHealth};
-use antlayer_service::transport::{HttpTransport, LineTransport, Transport};
+use antlayer_service::server::SLOW_LOG_CAPACITY;
+use antlayer_service::transport::{Handler, HttpTransport, LineTransport, Transport};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Router tuning knobs.
 #[derive(Clone, Debug)]
@@ -142,8 +144,18 @@ struct RouterCounters {
 /// Shared state of a running router.
 struct RouterState {
     ring: HashRing,
-    shards: Vec<ShardHealth>,
-    counters: RouterCounters,
+    shards: Arc<Vec<ShardHealth>>,
+    counters: Arc<RouterCounters>,
+    /// The router's own Prometheus registry (`GET /metrics` on the HTTP
+    /// listener): forward/reroute counters, shards-up gauge, and the
+    /// client-observed request latency histogram.
+    metrics: Arc<Registry>,
+    /// End-to-end latency as the router's clients see it (parse +
+    /// forward + shard time + encode).
+    request_us: Arc<Histogram>,
+    /// The K slowest routed requests, each stitched with the serving
+    /// shard's own phase breakdown (`debug` op).
+    slow_log: SlowLog,
     connect_timeout: Duration,
     io_timeout: Duration,
     /// Digest → shard overrides for entries that live off their ring
@@ -224,15 +236,53 @@ impl Router {
             Some(addr) => Some(TcpListener::bind(addr)?),
             None => None,
         };
-        let state = Arc::new(RouterState {
-            ring: HashRing::new(config.shards.len(), config.vnodes),
-            shards: config
+        let shards: Arc<Vec<ShardHealth>> = Arc::new(
+            config
                 .shards
                 .iter()
                 .cloned()
                 .map(ShardHealth::new)
                 .collect(),
-            counters: RouterCounters::default(),
+        );
+        let counters = Arc::new(RouterCounters::default());
+        let metrics = Arc::new(Registry::new());
+        let request_us = metrics.histogram(
+            "router_request_us",
+            "end-to-end microseconds per routed request, as the router's clients see it",
+        );
+        {
+            let c = counters.clone();
+            metrics.counter_fn(
+                "router_forwarded_total",
+                "requests forwarded to a shard and answered",
+                move || c.forwarded.load(Ordering::Relaxed),
+            );
+            let c = counters.clone();
+            metrics.counter_fn(
+                "router_rerouted_total",
+                "requests that succeeded on a non-owner shard (failover rehash)",
+                move || c.rerouted.load(Ordering::Relaxed),
+            );
+            let c = counters.clone();
+            metrics.counter_fn(
+                "router_unroutable_total",
+                "requests that failed because every shard was unreachable",
+                move || c.unroutable.load(Ordering::Relaxed),
+            );
+            let s = shards.clone();
+            metrics.gauge_fn(
+                "router_shards_up",
+                "shards currently in rotation",
+                move || s.iter().filter(|h| h.is_up()).count() as u64,
+            );
+        }
+        let state = Arc::new(RouterState {
+            ring: HashRing::new(config.shards.len(), config.vnodes),
+            shards,
+            counters,
+            metrics,
+            request_us,
+            slow_log: SlowLog::new(SLOW_LOG_CAPACITY),
             connect_timeout: config.connect_timeout,
             io_timeout: config.io_timeout,
             // ~3 MB worst case: a u128 key and a shard index per entry.
@@ -443,11 +493,12 @@ fn accept_loop(
             // Per-handler shard connection pool: one connection per shard
             // this client's traffic has touched, so a request/reply pair
             // is never interleaved with another client's.
-            let mut conns: Vec<Option<Connection>> =
-                shared.state.shards.iter().map(|_| None).collect();
-            transport.serve(stream, &mut |line| {
-                route_line(line, &shared.state, &mut conns)
-            });
+            let conns: Vec<Option<Connection>> = shared.state.shards.iter().map(|_| None).collect();
+            let mut handler = RouterConnHandler {
+                state: shared.state.clone(),
+                conns,
+            };
+            transport.serve(stream, &mut handler);
             if let Some(id) = id {
                 shared.registry.deregister(id);
             }
@@ -456,27 +507,137 @@ fn accept_loop(
     }
 }
 
+/// One client connection's handler: routes protocol payloads, serves
+/// the router's own registry on `GET /metrics`.
+struct RouterConnHandler {
+    state: Arc<RouterState>,
+    conns: Vec<Option<Connection>>,
+}
+
+impl Handler for RouterConnHandler {
+    fn respond(&mut self, line: &str) -> String {
+        route_line(line, &self.state, &mut self.conns)
+    }
+
+    fn metrics(&mut self) -> Option<String> {
+        Some(self.state.metrics.render_prometheus())
+    }
+}
+
 /// Computes the response for one client request: parse just enough to
 /// route, then forward the original payload verbatim. Locally answered
-/// ops (ping, stats, errors) seal the request's envelope; forwarded
-/// replies already carry it from the shard.
+/// ops (ping, stats, debug, errors) seal the request's envelope;
+/// forwarded replies already carry it from the shard.
+///
+/// Every request is timed into `router_request_us` and, when slow
+/// enough, into the router's [`SlowLog`]. Forwarded **v2** requests get
+/// `"trace":true` spliced onto the wire, so the shard's reply carries
+/// its own phase breakdown; for slow requests that breakdown is
+/// stitched into the log entry as the downstream span — one timeline
+/// per fleet request, keyed by the client's envelope id. The trace
+/// member rides through to the client untouched (replies forward
+/// verbatim).
 fn route_line(line: &str, state: &RouterState, conns: &mut [Option<Connection>]) -> String {
+    let started = Instant::now();
     let (request, env) = match protocol::parse_request_envelope(line) {
         Err((e, env)) => return Response::Error(e).encode(&env),
         Ok(parsed) => parsed,
     };
-    match &request {
-        Request::Ping => Response::Pong { router: true }.encode(&env),
-        Request::Stats => stats_fanout(state, conns, &env),
+    let op = request.op();
+    let mut phases: Vec<(&'static str, u64)> =
+        vec![("parse", started.elapsed().as_micros() as u64)];
+    let forwarding = Instant::now();
+    let (reply, served_by) = match &request {
+        Request::Ping => (Response::Pong { router: true }.encode(&env), None),
+        Request::Stats => (stats_fanout(state, conns, &env), None),
+        Request::Debug => (debug_local(state, &env), None),
         Request::Layout(req) => {
-            let wire = forwardable(line, &request, &env);
+            let wire = traceable(forwardable(line, &request, &env), &env);
             forward(state, conns, &wire, req.digest(), false, &env)
         }
         Request::LayoutDelta(req) => {
-            let wire = forwardable(line, &request, &env);
+            let wire = traceable(forwardable(line, &request, &env), &env);
             forward(state, conns, &wire, req.base, true, &env)
         }
+    };
+    phases.push(("forward", forwarding.elapsed().as_micros() as u64));
+    let total_us = started.elapsed().as_micros() as u64;
+    state.request_us.record(total_us);
+    if state.slow_log.would_keep(total_us) {
+        // Only now — for a request already known slow — is the reply
+        // parsed for its trace member; fast requests never pay for it.
+        let remote =
+            served_by.and_then(|shard| extract_remote_span(&reply, &state.shards[shard].addr));
+        state.slow_log.record(TraceEntry {
+            id: correlation_id(&env.id),
+            op,
+            total_us,
+            phases,
+            remote,
+        });
     }
+    reply
+}
+
+/// Splices `"trace":true` onto a v2 payload about to be forwarded, so
+/// the shard reports its phase breakdown back for stitching. v1 has no
+/// trace field, so v1 payloads pass through untouched.
+fn traceable<'a>(wire: std::borrow::Cow<'a, str>, env: &Envelope) -> std::borrow::Cow<'a, str> {
+    if env.version == 2 {
+        std::borrow::Cow::Owned(protocol::with_trace_flag(&wire))
+    } else {
+        wire
+    }
+}
+
+/// The envelope `id` as a slow-log correlation string (mirrors the
+/// shard side, so one fleet request logs under one key on both tiers).
+fn correlation_id(id: &Option<Json>) -> String {
+    match id {
+        Some(Json::Str(s)) => s.clone(),
+        Some(other) => other.encode(),
+        None => "-".into(),
+    }
+}
+
+/// Pulls the shard's `"trace"` member out of a forwarded reply as the
+/// downstream span of a router slow-log entry.
+fn extract_remote_span(reply: &str, addr: &str) -> Option<RemoteSpan> {
+    let v = protocol::parse(reply).ok()?;
+    let trace = v.get("trace")?;
+    let total_us = trace.get("total_us")?.as_u64()?;
+    let phases = match trace.get("phase_us")? {
+        Json::Obj(m) => m
+            .iter()
+            .filter_map(|(k, v)| Some((k.clone(), v.as_u64()?)))
+            .collect(),
+        _ => return None,
+    };
+    Some(RemoteSpan {
+        addr: addr.to_string(),
+        total_us,
+        phases,
+    })
+}
+
+/// Answers the `debug` op from the router's own slow log (requests are
+/// not fanned out: each tier's log is inspected where it lives, and a
+/// router entry already embeds the shard's span for its slow requests).
+fn debug_local(state: &RouterState, env: &Envelope) -> String {
+    let mut obj = BTreeMap::new();
+    obj.insert("router".into(), Json::Bool(true));
+    obj.insert(
+        "slow_requests".into(),
+        Json::Arr(
+            state
+                .slow_log
+                .snapshot()
+                .iter()
+                .map(protocol::trace_entry_json)
+                .collect(),
+        ),
+    );
+    Response::Debug(obj).encode(env)
 }
 
 /// The payload written to a shard must be a **single line**: the
@@ -513,7 +674,7 @@ fn forward(
     digest: Digest,
     is_delta: bool,
     env: &Envelope,
-) -> String {
+) -> (String, Option<usize>) {
     let home = state.homes.peek(digest).filter(|&s| s < state.shards.len());
     let order = home.into_iter().chain(
         state
@@ -534,20 +695,21 @@ fn forward(
                     state.counters.rerouted.fetch_add(1, Ordering::Relaxed);
                 }
                 record_result_home(state, shard, digest, is_delta, &reply);
-                return reply;
+                return (reply, Some(shard));
             }
             Err(_) => health.mark_down(),
         }
     }
     state.counters.unroutable.fetch_add(1, Ordering::Relaxed);
-    Response::Error(WireError::new(
+    let reply = Response::Error(WireError::new(
         ErrorKind::Unroutable,
         format!(
             "no shards available: all {} backends are down",
             state.shards.len()
         ),
     ))
-    .encode(env)
+    .encode(env);
+    (reply, None)
 }
 
 /// Records where a successfully served result actually lives when that
@@ -621,10 +783,16 @@ fn exchange_on(
 
 /// Fans `{"op":"stats"}` out to every shard and aggregates: every
 /// numeric counter in the shard replies is summed field-by-field (so new
-/// server counters aggregate without touching the router), plus
-/// router-level counters and a `per_shard` health/traffic array.
+/// server counters aggregate without touching the router), histogram
+/// members are merged **bucket-wise** — counts sum, bounds align, and
+/// percentiles are recomputed from the merged distribution, because
+/// percentiles themselves never add (two shards at p99=10ms do not make
+/// a fleet at p99=20ms) — plus router-level counters and a `per_shard`
+/// health/traffic array carrying each shard's own `p99_us` and the age
+/// of its up/down state.
 fn stats_fanout(state: &RouterState, conns: &mut [Option<Connection>], env: &Envelope) -> String {
     let mut sums: BTreeMap<String, f64> = BTreeMap::new();
+    let mut hists: BTreeMap<String, HistogramSnapshot> = BTreeMap::new();
     let mut per_shard = Vec::with_capacity(state.shards.len());
     let mut shards_up = 0usize;
     for (i, health) in state.shards.iter().enumerate() {
@@ -632,6 +800,10 @@ fn stats_fanout(state: &RouterState, conns: &mut [Option<Connection>], env: &Env
         entry.insert("addr".into(), Json::Str(health.addr.clone()));
         entry.insert("forwarded".into(), Json::Num(health.forwarded() as f64));
         entry.insert("failures".into(), Json::Num(health.failures() as f64));
+        entry.insert(
+            "age_ms".into(),
+            Json::Num(health.status_age().as_millis() as f64),
+        );
         let reply = if health.is_up() {
             exchange_on(conns, i, &health.addr, state, r#"{"op":"stats"}"#)
                 .ok()
@@ -643,9 +815,23 @@ fn stats_fanout(state: &RouterState, conns: &mut [Option<Connection>], env: &Env
             Some(Json::Obj(members)) => {
                 shards_up += 1;
                 entry.insert("up".into(), Json::Bool(true));
+                // This shard's own request p99, so a fleet operator can
+                // spot the one slow shard the merged fleet histogram
+                // would average away.
+                if let Some(snap) = members
+                    .get("server_request_us")
+                    .and_then(protocol::histogram_from_json)
+                {
+                    entry.insert("p99_us".into(), Json::Num(snap.percentile(0.99) as f64));
+                }
                 for (k, v) in members {
                     if let Json::Num(n) = v {
                         *sums.entry(k).or_insert(0.0) += n;
+                    } else if let Some(snap) = protocol::histogram_from_json(&v) {
+                        hists
+                            .entry(k)
+                            .and_modify(|merged| merged.merge(&snap))
+                            .or_insert(snap);
                     }
                 }
             }
@@ -667,6 +853,9 @@ fn stats_fanout(state: &RouterState, conns: &mut [Option<Connection>], env: &Env
     for (k, v) in sums {
         counters.insert(k, Json::Num(v));
     }
+    for (k, snap) in hists {
+        counters.insert(k, protocol::histogram_json(&snap));
+    }
     counters.insert("router".into(), Json::Bool(true));
     counters.insert("shards".into(), Json::Num(state.shards.len() as f64));
     counters.insert("shards_up".into(), Json::Num(shards_up as f64));
@@ -682,6 +871,10 @@ fn stats_fanout(state: &RouterState, conns: &mut [Option<Connection>], env: &Env
     counters.insert(
         "router_unroutable".into(),
         Json::Num(c.unroutable.load(Ordering::Relaxed) as f64),
+    );
+    counters.insert(
+        "router_request_us".into(),
+        protocol::histogram_json(&state.request_us.snapshot()),
     );
     counters.insert("per_shard".into(), Json::Arr(per_shard));
     Response::Stats(counters).encode(env)

@@ -375,6 +375,181 @@ fn all_shards_down_yields_a_structured_error_not_a_hang() {
     handle.shutdown();
 }
 
+/// The same request as [`layout_line`], wrapped in a v2 envelope with a
+/// client-chosen correlation id.
+fn v2_layout_line(seed: u64, id: &str) -> String {
+    let body = layout_line(seed).replacen(r#"{"op":"layout","#, "{", 1);
+    format!(r#"{{"v":2,"op":"layout","id":"{id}","body":{body}}}"#)
+}
+
+#[test]
+fn routed_v2_debug_stitches_shard_phases_under_the_envelope_id() {
+    // The end-to-end tracing story: one v2 request through the router
+    // produces one slow-log entry whose key is the client's envelope id
+    // and whose downstream span is the serving shard's own phase
+    // breakdown — a stitched router→shard timeline.
+    let (shards, router) = spawn_fleet(2);
+    let handle = router.spawn().unwrap();
+    let mut client = Client::connect(handle.addr());
+
+    let reply = client.send(&v2_layout_line(7, "trace-me"));
+    assert_eq!(
+        reply.get("ok"),
+        Some(&Json::Bool(true)),
+        "{}",
+        reply.encode()
+    );
+    // The router splices "trace":true onto the forwarded payload and the
+    // shard's reply forwards verbatim, so the client sees the shard
+    // trace too.
+    let trace = reply
+        .get("trace")
+        .unwrap_or_else(|| panic!("routed v2 reply lost the shard trace: {}", reply.encode()));
+    assert!(
+        trace
+            .get("phase_us")
+            .and_then(|p| p.get("compute"))
+            .is_some(),
+        "{}",
+        reply.encode()
+    );
+
+    let debug = client.send(r#"{"v":2,"op":"debug","id":"dbg-1"}"#);
+    assert_eq!(debug.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(debug.get("router"), Some(&Json::Bool(true)));
+    let Some(Json::Arr(slow)) = debug.get("slow_requests") else {
+        panic!("debug must carry slow_requests: {}", debug.encode());
+    };
+    let entry = slow
+        .iter()
+        .find(|e| e.get("id").and_then(Json::as_str) == Some("trace-me"))
+        .unwrap_or_else(|| panic!("no slow-log entry keyed 'trace-me': {}", debug.encode()));
+    assert_eq!(entry.get("op").and_then(Json::as_str), Some("layout"));
+    let phases = entry.get("phase_us").expect("router-side phases");
+    assert!(
+        phases.get("parse").is_some() && phases.get("forward").is_some(),
+        "{}",
+        entry.encode()
+    );
+    // The stitched shard span: real shard address, shard-side phases.
+    let remote = entry
+        .get("remote")
+        .unwrap_or_else(|| panic!("entry lacks the stitched shard span: {}", entry.encode()));
+    let addr = remote.get("addr").and_then(Json::as_str).unwrap();
+    assert!(
+        shards.iter().any(|s| s.addr().to_string() == addr),
+        "remote addr {addr} is not one of the shards"
+    );
+    assert!(
+        remote
+            .get("phase_us")
+            .and_then(|p| p.get("compute"))
+            .is_some(),
+        "{}",
+        entry.encode()
+    );
+    assert!(stat(remote, "total_us") <= stat(entry, "total_us"));
+
+    handle.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn stats_merges_shard_histograms_bucketwise_with_per_shard_p99() {
+    let (shards, router) = spawn_fleet(2);
+    let handle = router.spawn().unwrap();
+    let mut client = Client::connect(handle.addr());
+    for i in 0..8u64 {
+        let v = client.send(&layout_line(i));
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    }
+    let stats = client.send(r#"{"op":"stats"}"#);
+    assert_eq!(stats.get("ok"), Some(&Json::Bool(true)));
+
+    // The fleet-wide request histogram is merged bucket-wise: its count
+    // is the sum of both shards' counts (every layout landed somewhere),
+    // not a meaningless sum of percentiles.
+    let merged = stats
+        .get("server_request_us")
+        .unwrap_or_else(|| panic!("stats lost the merged histogram: {}", stats.encode()));
+    assert_eq!(stat(merged, "count"), 8, "{}", merged.encode());
+    assert!(stat(merged, "sum_us") > 0);
+    let Some(Json::Arr(buckets)) = merged.get("buckets") else {
+        panic!(
+            "merged histogram must keep its buckets: {}",
+            merged.encode()
+        );
+    };
+    let bucket_total: u64 = buckets
+        .iter()
+        .filter_map(|b| match b {
+            Json::Arr(pair) => pair.get(1).and_then(Json::as_u64),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(bucket_total, 8, "bucket counts must sum to the count");
+    assert!(stat(merged, "p99_us") >= stat(merged, "p50_us"));
+
+    // The router's own client-observed histogram counted them too.
+    let own = stats
+        .get("router_request_us")
+        .expect("router_request_us histogram");
+    assert!(stat(own, "count") >= 8, "{}", own.encode());
+
+    // Per-shard health carries each shard's own p99 and status age.
+    let Some(Json::Arr(per_shard)) = stats.get("per_shard") else {
+        panic!("stats must carry per_shard");
+    };
+    for entry in per_shard {
+        assert!(entry.get("p99_us").is_some(), "{}", entry.encode());
+        assert!(entry.get("age_ms").is_some(), "{}", entry.encode());
+    }
+
+    handle.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn router_http_listener_serves_prometheus_metrics() {
+    let handles: Vec<ServerHandle> = (0..2).map(|_| spawn_shard()).collect();
+    let router = Router::bind(RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        http_addr: Some("127.0.0.1:0".into()),
+        shards: handles.iter().map(|h| h.addr().to_string()).collect(),
+        probe_interval: Duration::from_millis(50),
+        ..Default::default()
+    })
+    .unwrap();
+    let handle = router.spawn().unwrap();
+    let mut client = Client::connect(handle.addr());
+    let v = client.send(&layout_line(1));
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+
+    let mut stream = TcpStream::connect(handle.http_addr().unwrap()).unwrap();
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut text = String::new();
+    use std::io::Read;
+    stream.read_to_string(&mut text).unwrap();
+    assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+    assert!(text.contains("text/plain; version=0.0.4"), "{text}");
+    assert!(text.contains("router_forwarded_total 1"), "{text}");
+    assert!(text.contains("router_shards_up 2"), "{text}");
+    assert!(text.contains("router_request_us_bucket"), "{text}");
+
+    handle.shutdown();
+    for s in handles {
+        s.shutdown();
+    }
+}
+
 #[test]
 fn malformed_lines_are_answered_locally_and_the_connection_survives() {
     let (shards, router) = spawn_fleet(2);

@@ -14,13 +14,16 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Monotonic counters of cache behaviour.
+/// Monotonic counters of cache behaviour (plus the live byte gauge).
 #[derive(Default, Debug)]
 pub struct CacheStats {
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    /// Live gauge: the summed byte cost of every stored entry, as
+    /// declared by [`ShardedCache::insert_costed`] callers.
+    bytes: AtomicU64,
 }
 
 /// A point-in-time copy of [`CacheStats`].
@@ -34,6 +37,10 @@ pub struct CacheCounters {
     pub insertions: u64,
     /// Values dropped to make room.
     pub evictions: u64,
+    /// Approximate bytes held right now (a gauge, not a counter): the
+    /// summed per-entry cost declared at insertion. Entries inserted
+    /// without a cost count as zero.
+    pub bytes: u64,
 }
 
 impl CacheStats {
@@ -43,6 +50,7 @@ impl CacheStats {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -52,6 +60,8 @@ const NIL: usize = usize::MAX;
 struct Slot<V> {
     key: u128,
     value: V,
+    /// Declared byte cost of the value (0 for cost-free inserts).
+    cost: u64,
     prev: usize,
     next: usize,
 }
@@ -109,21 +119,28 @@ impl<V: Clone> LruShard<V> {
         Some(self.slots[i].value.clone())
     }
 
-    /// Inserts; returns `true` when an old entry was evicted.
-    fn insert(&mut self, key: u128, value: V) -> bool {
+    /// Inserts with a declared byte cost; returns `(evicted, freed)`
+    /// where `freed` is the summed cost of entries this insert displaced
+    /// (the refreshed old value and/or the evicted LRU entry), so the
+    /// caller can keep the byte gauge exact.
+    fn insert(&mut self, key: u128, value: V, cost: u64) -> (bool, u64) {
         if let Some(&i) = self.map.get(&key) {
             // Refresh both value and recency (recompute race: last wins).
+            let freed = self.slots[i].cost;
             self.slots[i].value = value;
+            self.slots[i].cost = cost;
             self.unlink(i);
             self.push_front(i);
-            return false;
+            return (false, freed);
         }
         let mut evicted = false;
+        let mut freed = 0;
         if self.map.len() >= self.capacity {
             let lru = self.tail;
             debug_assert_ne!(lru, NIL, "capacity >= 1 and map non-empty");
             self.unlink(lru);
             self.map.remove(&self.slots[lru].key);
+            freed = self.slots[lru].cost;
             self.free.push(lru);
             evicted = true;
         }
@@ -131,12 +148,14 @@ impl<V: Clone> LruShard<V> {
             Some(i) => {
                 self.slots[i].key = key;
                 self.slots[i].value = value;
+                self.slots[i].cost = cost;
                 i
             }
             None => {
                 self.slots.push(Slot {
                     key,
                     value,
+                    cost,
                     prev: NIL,
                     next: NIL,
                 });
@@ -145,7 +164,7 @@ impl<V: Clone> LruShard<V> {
         };
         self.push_front(i);
         self.map.insert(key, i);
-        evicted
+        (evicted, freed)
     }
 
     fn len(&self) -> usize {
@@ -220,13 +239,40 @@ impl<V: Clone> ShardedCache<V> {
         self.shard(digest).lock().get(digest.as_u128())
     }
 
-    /// Stores a value, evicting the shard's LRU entry when full.
+    /// Stores a value, evicting the shard's LRU entry when full. The
+    /// entry counts zero bytes toward [`bytes`](Self::bytes); use
+    /// [`insert_costed`](Self::insert_costed) when memory accounting
+    /// matters.
     pub fn insert(&self, digest: Digest, value: V) {
-        let evicted = self.shard(digest).lock().insert(digest.as_u128(), value);
+        self.insert_costed(digest, value, 0);
+    }
+
+    /// Stores a value with a declared byte cost; the cache maintains
+    /// the exact sum of live entries' costs in [`bytes`](Self::bytes)
+    /// (costs of refreshed and evicted entries leave the gauge).
+    pub fn insert_costed(&self, digest: Digest, value: V, bytes: u64) {
+        let (evicted, freed) = self
+            .shard(digest)
+            .lock()
+            .insert(digest.as_u128(), value, bytes);
         self.stats.insertions.fetch_add(1, Ordering::Relaxed);
         if evicted {
             self.stats.evictions.fetch_add(1, Ordering::Relaxed);
         }
+        // Add before sub could transiently overshoot; sub-then-add could
+        // transiently underflow the unsigned gauge. Do the net change in
+        // one step.
+        if bytes >= freed {
+            self.stats.bytes.fetch_add(bytes - freed, Ordering::Relaxed);
+        } else {
+            self.stats.bytes.fetch_sub(freed - bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Approximate bytes held right now (see
+    /// [`insert_costed`](Self::insert_costed)).
+    pub fn bytes(&self) -> u64 {
+        self.stats.bytes.load(Ordering::Relaxed)
     }
 
     /// Number of currently stored values.
@@ -312,6 +358,24 @@ mod tests {
             assert_eq!(c.get(d(i)), Some(i));
         }
         assert_eq!(c.len(), 1000);
+    }
+
+    #[test]
+    fn byte_gauge_tracks_inserts_refreshes_and_evictions() {
+        let c: ShardedCache<u32> = ShardedCache::new(2, 1);
+        c.insert_costed(d(1), 1, 100);
+        c.insert_costed(d(2), 2, 50);
+        assert_eq!(c.bytes(), 150);
+        // Refresh replaces the old cost, not adds to it.
+        c.insert_costed(d(1), 11, 70);
+        assert_eq!(c.bytes(), 120);
+        // Eviction (of LRU entry 2) releases its cost.
+        c.insert_costed(d(3), 3, 10);
+        assert_eq!(c.bytes(), 80);
+        assert_eq!(c.counters().bytes, 80);
+        // Cost-free insert paths leave the gauge untouched.
+        c.insert(d(4), 4);
+        assert_eq!(c.bytes(), 80 - 70, "evicting 1 released its 70 bytes");
     }
 
     #[test]

@@ -283,6 +283,8 @@ fn write_aco_params(h: &mut CanonicalHasher, p: &AcoParams) {
     h.write_opt_u64(p.eta_floor.map(f64::to_bits));
     // time_budget intentionally omitted: QoS, not identity. threads
     // likewise — the colony is deterministic under any thread count.
+    // trajectory_cap likewise: convergence telemetry never changes
+    // which layering a run returns.
 }
 
 #[cfg(test)]
@@ -352,6 +354,20 @@ mod tests {
         let p2 = AcoParams::default()
             .with_threads(8)
             .with_time_budget(Some(std::time::Duration::from_millis(5)));
+        assert_eq!(
+            request_digest(&graph, "aco", Some(&p1), &wm),
+            request_digest(&graph, "aco", Some(&p2), &wm)
+        );
+    }
+
+    #[test]
+    fn trajectory_cap_does_not_change_identity() {
+        // Convergence telemetry is QoS, not identity: caching must treat
+        // instrumented and uninstrumented runs as the same request.
+        let graph = g(4, &[(0, 1), (1, 2), (2, 3)]);
+        let wm = WidthModel::unit();
+        let p1 = AcoParams::default().with_trajectory_cap(0);
+        let p2 = AcoParams::default().with_trajectory_cap(1024);
         assert_eq!(
             request_digest(&graph, "aco", Some(&p1), &wm),
             request_digest(&graph, "aco", Some(&p2), &wm)

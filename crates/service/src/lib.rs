@@ -89,5 +89,5 @@ pub use scheduler::{
     AlgoSpec, DeltaRequest, LayoutRequest, LayoutResponse, LayoutResult, Scheduler,
     SchedulerConfig, SchedulerCounters, ServiceError, Source, Ticket,
 };
-pub use server::{Server, ServerConfig, ServerHandle, ServiceCore};
-pub use transport::{HttpTransport, LineTransport, Transport};
+pub use server::{Server, ServerConfig, ServerHandle, ServiceCore, SLOW_LOG_CAPACITY};
+pub use transport::{Handler, HttpTransport, LineTransport, Transport};

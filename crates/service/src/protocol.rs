@@ -70,6 +70,7 @@
 use crate::digest::Digest;
 use crate::scheduler::{AlgoSpec, DeltaRequest, LayoutRequest, LayoutResponse};
 use antlayer_graph::{DiGraph, GraphDelta, NodeId};
+use antlayer_obs::{HistogramSnapshot, TraceEntry};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -566,6 +567,11 @@ pub struct Envelope {
     /// `true` when a v1 request omitted `"op"` and got the lenient
     /// `layout` default — counted by servers as `lenient_requests`.
     pub lenient_op: bool,
+    /// The v2 trace-context flag (`"trace":true` in the envelope): asks
+    /// the responder to return its phase breakdown inside the reply
+    /// body. Routers set it on forwarded requests so the shard's span
+    /// stitches into the fleet timeline under the client's envelope id.
+    pub trace: bool,
 }
 
 impl Envelope {
@@ -575,6 +581,7 @@ impl Envelope {
             version: 1,
             id: None,
             lenient_op: false,
+            trace: false,
         }
     }
 
@@ -584,7 +591,14 @@ impl Envelope {
             version: 2,
             id,
             lenient_op: false,
+            trace: false,
         }
+    }
+
+    /// The same envelope with the trace flag raised.
+    pub fn traced(mut self) -> Envelope {
+        self.trace = true;
+        self
     }
 }
 
@@ -600,6 +614,9 @@ pub enum Request {
     Stats,
     /// Liveness check.
     Ping,
+    /// Dump the slow-request log (the K slowest requests with their
+    /// phase breakdowns) for fleet debugging.
+    Debug,
 }
 
 impl Request {
@@ -610,6 +627,7 @@ impl Request {
             Request::LayoutDelta(_) => "layout_delta",
             Request::Stats => "stats",
             Request::Ping => "ping",
+            Request::Debug => "debug",
         }
     }
 
@@ -617,7 +635,7 @@ impl Request {
     /// envelope) — what goes inline in v1 and under `"body"` in v2.
     pub fn body_json(&self) -> Json {
         match self {
-            Request::Ping | Request::Stats => Json::Obj(BTreeMap::new()),
+            Request::Ping | Request::Stats | Request::Debug => Json::Obj(BTreeMap::new()),
             Request::Layout(r) => layout_body_json(&r.graph, &r.algo, r.nd_width, r.deadline),
             Request::LayoutDelta(r) => delta_body_json(
                 r.base,
@@ -694,6 +712,100 @@ pub fn encode_op_v2(op: &str, id: Option<&Json>, body: Json) -> String {
     }
     obj.insert("body".into(), body);
     Json::Obj(obj).encode()
+}
+
+/// Splices `"trace":true` into an already-encoded single-line v2
+/// request — the router's way of asking a shard for its phase
+/// breakdown without re-parsing the payload it is forwarding. Duplicate
+/// members are harmless (object parsing is last-wins and both are
+/// `true`); non-object lines pass through unchanged and fail shard-side
+/// parsing exactly as they would have.
+pub fn with_trace_flag(line: &str) -> String {
+    match line.trim_start().strip_prefix('{') {
+        Some(rest) if rest.trim_start().starts_with('}') => format!("{{\"trace\":true{rest}"),
+        Some(rest) => format!("{{\"trace\":true,{rest}"),
+        None => line.to_string(),
+    }
+}
+
+/// Encodes one histogram snapshot as the `stats` extension's JSON
+/// shape: raw mergeable buckets plus precomputed percentiles, so a
+/// human reading the body gets numbers and a router aggregating shard
+/// stats gets data it can merge *correctly* (bucket-wise — percentiles
+/// of sums, never sums of percentiles).
+///
+/// ```json
+/// {"count":3,"sum_us":110,"p50_us":5,"p90_us":100,"p99_us":100,
+///  "p999_us":100,"buckets":[[5,2],[100,1]]}
+/// ```
+pub fn histogram_json(snap: &HistogramSnapshot) -> Json {
+    let mut obj = BTreeMap::new();
+    obj.insert("count".into(), Json::Num(snap.count as f64));
+    obj.insert("sum_us".into(), Json::Num(snap.sum as f64));
+    obj.insert("p50_us".into(), Json::Num(snap.percentile(0.50) as f64));
+    obj.insert("p90_us".into(), Json::Num(snap.percentile(0.90) as f64));
+    obj.insert("p99_us".into(), Json::Num(snap.percentile(0.99) as f64));
+    obj.insert("p999_us".into(), Json::Num(snap.percentile(0.999) as f64));
+    obj.insert(
+        "buckets".into(),
+        Json::Arr(
+            snap.nonzero_buckets()
+                .into_iter()
+                .map(|(bound, count)| {
+                    Json::Arr(vec![Json::Num(bound as f64), Json::Num(count as f64)])
+                })
+                .collect(),
+        ),
+    );
+    Json::Obj(obj)
+}
+
+/// Decodes a [`histogram_json`] value back into a mergeable snapshot.
+/// Returns `None` when the value is not an object with a `buckets`
+/// array — the member routers use to tell histogram stats apart from
+/// plain counters when aggregating shard replies.
+pub fn histogram_from_json(v: &Json) -> Option<HistogramSnapshot> {
+    let buckets = match v.get("buckets")? {
+        Json::Arr(items) => items,
+        _ => return None,
+    };
+    let mut pairs = Vec::with_capacity(buckets.len());
+    for pair in buckets {
+        let Json::Arr(bc) = pair else { return None };
+        match (bc.first()?.as_u64(), bc.get(1)?.as_u64()) {
+            (Some(bound), Some(count)) => pairs.push((bound, count)),
+            _ => return None,
+        }
+    }
+    let sum = v.get("sum_us")?.as_u64()?;
+    Some(HistogramSnapshot::from_buckets(&pairs, sum))
+}
+
+/// Encodes one slow-log entry for the `debug` op: the correlation id,
+/// op, total, ordered phase breakdown, and — on a router — the stitched
+/// downstream shard span under `"remote"`.
+pub fn trace_entry_json(e: &TraceEntry) -> Json {
+    let mut obj = BTreeMap::new();
+    obj.insert("id".into(), Json::Str(e.id.clone()));
+    obj.insert("op".into(), Json::Str(e.op.into()));
+    obj.insert("total_us".into(), Json::Num(e.total_us as f64));
+    let mut phases = BTreeMap::new();
+    for (name, us) in &e.phases {
+        phases.insert((*name).to_string(), Json::Num(*us as f64));
+    }
+    obj.insert("phase_us".into(), Json::Obj(phases));
+    if let Some(remote) = &e.remote {
+        let mut r = BTreeMap::new();
+        r.insert("addr".into(), Json::Str(remote.addr.clone()));
+        r.insert("total_us".into(), Json::Num(remote.total_us as f64));
+        let mut p = BTreeMap::new();
+        for (name, us) in &remote.phases {
+            p.insert(name.clone(), Json::Num(*us as f64));
+        }
+        r.insert("phase_us".into(), Json::Obj(p));
+        obj.insert("remote".into(), Json::Obj(r));
+    }
+    Json::Obj(obj)
 }
 
 fn edge_pairs_json(edges: impl Iterator<Item = (NodeId, NodeId)>) -> Json {
@@ -778,6 +890,8 @@ pub fn parse_request_envelope(line: &str) -> Result<(Request, Envelope), (WireEr
                 version: 1,
                 id: None,
                 lenient_op: lenient,
+                // v1 has no trace-context field; tracing is v2-only.
+                trace: false,
             };
             (env, op, &v)
         }
@@ -788,7 +902,8 @@ pub fn parse_request_envelope(line: &str) -> Result<(Request, Envelope), (WireEr
                 .get("id")
                 .filter(|j| matches!(j, Json::Num(_) | Json::Str(_)))
                 .cloned();
-            let env = Envelope::v2(id);
+            let mut env = Envelope::v2(id);
+            env.trace = v.get("trace") == Some(&Json::Bool(true));
             if version.as_u64() != Some(2) {
                 return Err((
                     WireError::new(
@@ -841,6 +956,7 @@ pub fn parse_request_envelope(line: &str) -> Result<(Request, Envelope), (WireEr
     let request = match op {
         "ping" => Request::Ping,
         "stats" => Request::Stats,
+        "debug" => Request::Debug,
         "layout" => Request::Layout(Box::new(parse_layout(body).map_err(|e| (e, env.clone()))?)),
         "layout_delta" => Request::LayoutDelta(Box::new(
             parse_layout_delta(body).map_err(|e| (e, env.clone()))?,
@@ -1179,6 +1295,10 @@ pub enum Response {
         /// `true` when the responder is a router front.
         router: bool,
     },
+    /// The slow-request log: every non-envelope member of a debug
+    /// reply, verbatim (`slow_requests` plus whatever the responder
+    /// adds), mirroring [`Response::Stats`].
+    Debug(BTreeMap<String, Json>),
     /// An error reply.
     Error(WireError),
 }
@@ -1204,6 +1324,12 @@ impl Response {
                 }
                 Json::Obj(obj)
             }
+            Response::Debug(members) => {
+                let mut obj = members.clone();
+                obj.insert("ok".into(), Json::Bool(true));
+                obj.insert("op".into(), Json::Str("debug".into()));
+                Json::Obj(obj)
+            }
             Response::Error(e) => {
                 let mut obj = BTreeMap::new();
                 obj.insert("ok".into(), Json::Bool(false));
@@ -1218,9 +1344,20 @@ impl Response {
     /// request additionally gets `"v":2`, its echoed `"id"`, and — for
     /// errors — the structured `"kind"`.
     pub fn encode(&self, env: &Envelope) -> String {
+        self.encode_with_trace(env, None)
+    }
+
+    /// Like [`encode`](Self::encode), additionally splicing a `"trace"`
+    /// member (the responder's phase breakdown) into the body — the
+    /// reply half of the envelope's `trace` flag. `None` encodes
+    /// exactly as [`encode`](Self::encode) does.
+    pub fn encode_with_trace(&self, env: &Envelope, trace: Option<Json>) -> String {
         let Json::Obj(mut obj) = self.to_json() else {
             unreachable!("to_json returns an object");
         };
+        if let Some(trace) = trace {
+            obj.insert("trace".into(), trace);
+        }
         if env.version == 2 {
             obj.insert("v".into(), Json::Num(2.0));
             if let Some(id) = &env.id {
@@ -1274,16 +1411,20 @@ pub fn parse_response(line: &str) -> Result<(Response, Envelope), String> {
             Some("ping") => Response::Pong {
                 router: v.get("router") == Some(&Json::Bool(true)),
             },
-            Some("stats") => {
+            Some(op @ ("stats" | "debug")) => {
                 let Json::Obj(members) = &v else {
                     unreachable!("get succeeded on a non-object");
                 };
-                let counters = members
+                let body = members
                     .iter()
                     .filter(|(k, _)| !matches!(k.as_str(), "ok" | "op" | "v" | "id"))
                     .map(|(k, val)| (k.clone(), val.clone()))
                     .collect();
-                Response::Stats(counters)
+                if op == "stats" {
+                    Response::Stats(body)
+                } else {
+                    Response::Debug(body)
+                }
             }
             Some(other) => return Err(format!("unknown response op '{other}'")),
             None => Response::Layout(Box::new(LayoutReply::from_json(&v)?)),

@@ -20,6 +20,10 @@ pub struct ShardHealth {
     pub addr: String,
     up: AtomicBool,
     down_since: Mutex<Option<Instant>>,
+    /// When the up/down state last flipped; its age tells an operator
+    /// whether "up" means "stable for an hour" or "flapped a second
+    /// ago" — reported as `age_ms` in the router's per-shard stats.
+    last_change: Mutex<Instant>,
     forwarded: AtomicU64,
     failures: AtomicU64,
 }
@@ -31,6 +35,7 @@ impl ShardHealth {
             addr,
             up: AtomicBool::new(true),
             down_since: Mutex::new(None),
+            last_change: Mutex::new(Instant::now()),
             forwarded: AtomicU64::new(0),
             failures: AtomicU64::new(0),
         }
@@ -50,18 +55,28 @@ impl ShardHealth {
             return;
         }
         *self.down_since.lock() = Some(Instant::now());
+        *self.last_change.lock() = Instant::now();
     }
 
     /// Records a successful probe (or reconnect): the shard serves
-    /// traffic again.
+    /// traffic again. Idempotent; re-marking an up shard does not reset
+    /// its health age.
     pub fn mark_up(&self) {
-        self.up.store(true, Ordering::Release);
+        if self.up.swap(true, Ordering::AcqRel) {
+            return;
+        }
         *self.down_since.lock() = None;
+        *self.last_change.lock() = Instant::now();
     }
 
     /// How long the shard has been down, if it is.
     pub fn down_for(&self) -> Option<Duration> {
         self.down_since.lock().map(|t| t.elapsed())
+    }
+
+    /// How long the shard has held its current up/down state.
+    pub fn status_age(&self) -> Duration {
+        self.last_change.lock().elapsed()
     }
 
     /// Counts one forwarded request.
@@ -100,5 +115,19 @@ mod tests {
         h.mark_up();
         assert!(h.is_up());
         assert_eq!(h.down_for(), None);
+    }
+
+    #[test]
+    fn status_age_resets_only_on_transitions() {
+        let h = ShardHealth::new("127.0.0.1:1".into());
+        std::thread::sleep(Duration::from_millis(5));
+        let aged = h.status_age();
+        assert!(aged >= Duration::from_millis(5));
+        // Re-marking an up shard up keeps the age.
+        h.mark_up();
+        assert!(h.status_age() >= aged);
+        // A real transition resets it.
+        h.mark_down();
+        assert!(h.status_age() < aged);
     }
 }

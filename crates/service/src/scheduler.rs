@@ -29,11 +29,12 @@ use antlayer_layering::{
     CoffmanGraham, Layering, LayeringAlgorithm, LayeringMetrics, LongestPath, MinWidth,
     NetworkSimplex, Promote, Refined, WidthModel,
 };
+use antlayer_obs::{Counter, Histogram, Registry};
 use antlayer_parallel::WorkerPool;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -214,6 +215,16 @@ pub struct LayoutResult {
     pub compute_micros: u64,
 }
 
+impl LayoutResult {
+    /// Rough resident size of this entry for the cache byte gauge: the
+    /// graph's edge list plus the layering's per-node assignment, with a
+    /// small fixed overhead. An estimator, not an exact measurement —
+    /// the gauge exists to spot runaway growth, not to bill memory.
+    pub fn approx_bytes(&self) -> u64 {
+        64 + self.graph.node_count() as u64 * 12 + self.graph.edge_count() as u64 * 16
+    }
+}
+
 /// How a response was produced.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Source {
@@ -247,6 +258,10 @@ pub struct LayoutResponse {
     pub result: Arc<LayoutResult>,
     /// Where the result came from.
     pub source: Source,
+    /// Microseconds the job spent queued before a worker picked it up
+    /// (`0` for cache hits, which never queue). Coalesced callers see
+    /// the computing job's queue wait — they shared its queue.
+    pub queue_us: u64,
 }
 
 /// Why a request was not admitted.
@@ -306,6 +321,11 @@ pub struct SchedulerConfig {
     pub cache_capacity: usize,
     /// Cache shard count (rounded up to a power of two).
     pub cache_shards: usize,
+    /// Soft byte budget for the result cache: crossing it logs one
+    /// warning (re-armed once usage drops back under) and raises no
+    /// error — the entry-count capacity stays the only eviction driver.
+    /// `None` disables the warning.
+    pub cache_byte_budget: Option<u64>,
 }
 
 impl Default for SchedulerConfig {
@@ -315,6 +335,7 @@ impl Default for SchedulerConfig {
             max_queue_depth: 256,
             cache_capacity: 4096,
             cache_shards: 8,
+            cache_byte_budget: None,
         }
     }
 }
@@ -360,6 +381,14 @@ pub struct Scheduler {
     inflight: Arc<Mutex<HashMap<InflightKey, Waiters>>>,
     depth: Arc<AtomicUsize>,
     stats: Arc<SchedulerStats>,
+    metrics: Arc<Registry>,
+    queue_wait_us: Arc<Histogram>,
+    compute_us: Arc<Histogram>,
+    colony_stopped_early: Arc<Counter>,
+    colony_seeded: Arc<Counter>,
+    /// Latch for the byte-budget warning: set while over budget so the
+    /// warning fires once per crossing, re-armed when usage drops back.
+    bytes_warned: Arc<AtomicBool>,
 }
 
 /// A claim on a submitted request; [`Ticket::wait`] blocks for the
@@ -386,19 +415,110 @@ impl Ticket {
 }
 
 impl Scheduler {
-    /// Builds the scheduler, its worker pool, and its cache.
+    /// Builds the scheduler, its worker pool, its cache, and the metric
+    /// registry every layer above shares (the server adds its own
+    /// request histogram to the same registry so `GET /metrics` renders
+    /// one coherent page).
     pub fn new(cfg: SchedulerConfig) -> Self {
         let threads = if cfg.threads == 0 {
             antlayer_parallel::default_threads(64)
         } else {
             cfg.threads
         };
+        let cache = Arc::new(ShardedCache::new(cfg.cache_capacity, cfg.cache_shards));
+        let depth = Arc::new(AtomicUsize::new(0));
+        let stats = Arc::new(SchedulerStats::default());
+        let metrics = Arc::new(Registry::new());
+
+        // The scheduler and cache already maintain their counters as
+        // atomics; expose them as render-time collectors so the hot path
+        // pays nothing for /metrics. Only genuinely new measurements
+        // (latency histograms, colony outcome counters) get handles.
+        let queue_wait_us = metrics.histogram(
+            "scheduler_queue_wait_us",
+            "microseconds a job waited in the queue before a worker picked it up",
+        );
+        let compute_us = metrics.histogram(
+            "scheduler_compute_us",
+            "microseconds a layout computation ran on a worker",
+        );
+        let colony_stopped_early = metrics.counter(
+            "colony_stopped_early_total",
+            "ACO runs truncated by a deadline",
+        );
+        let colony_seeded = metrics.counter(
+            "colony_seeded_total",
+            "ACO runs warm-started from a cached base layering",
+        );
+        {
+            let s = stats.clone();
+            metrics.counter_fn("scheduler_served_total", "responses delivered", move || {
+                s.served.load(Ordering::Relaxed)
+            });
+            let s = stats.clone();
+            metrics.counter_fn("scheduler_computed_total", "jobs computed", move || {
+                s.computed.load(Ordering::Relaxed)
+            });
+            let s = stats.clone();
+            metrics.counter_fn(
+                "scheduler_coalesced_total",
+                "requests attached to an in-flight job",
+                move || s.coalesced.load(Ordering::Relaxed),
+            );
+            let s = stats.clone();
+            metrics.counter_fn(
+                "scheduler_rejected_total",
+                "requests rejected by admission control",
+                move || s.rejected.load(Ordering::Relaxed),
+            );
+            let d = depth.clone();
+            metrics.gauge_fn("scheduler_inflight", "jobs queued or running", move || {
+                d.load(Ordering::Relaxed) as u64
+            });
+            let c = cache.clone();
+            metrics.counter_fn("cache_hits_total", "result cache hits", move || {
+                c.counters().hits
+            });
+            let c = cache.clone();
+            metrics.counter_fn("cache_misses_total", "result cache misses", move || {
+                c.counters().misses
+            });
+            let c = cache.clone();
+            metrics.counter_fn(
+                "cache_insertions_total",
+                "result cache insertions",
+                move || c.counters().insertions,
+            );
+            let c = cache.clone();
+            metrics.counter_fn(
+                "cache_evictions_total",
+                "result cache evictions",
+                move || c.counters().evictions,
+            );
+            let c = cache.clone();
+            metrics.gauge_fn(
+                "cache_bytes",
+                "approximate bytes held by the result cache",
+                move || c.bytes(),
+            );
+            let c = cache.clone();
+            metrics.gauge_fn("cache_entries", "entries in the result cache", move || {
+                c.len() as u64
+            });
+        }
+
         Scheduler {
             pool: WorkerPool::new(threads),
-            cache: Arc::new(ShardedCache::new(cfg.cache_capacity, cfg.cache_shards)),
+            cache,
             inflight: Arc::new(Mutex::new(HashMap::new())),
-            depth: Arc::new(AtomicUsize::new(0)),
-            stats: Arc::new(SchedulerStats::default()),
+            depth,
+            stats,
+            metrics,
+            queue_wait_us,
+            compute_us,
+            colony_stopped_early,
+            colony_seeded,
+            bytes_warned: Arc::new(AtomicBool::new(false)),
             cfg,
         }
     }
@@ -406,6 +526,13 @@ impl Scheduler {
     /// Worker threads in the pool.
     pub fn threads(&self) -> usize {
         self.pool.threads()
+    }
+
+    /// The metric registry this scheduler (and its cache) report into.
+    /// The server layer registers its request histogram here and renders
+    /// the whole registry for `GET /metrics`.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.metrics
     }
 
     /// Validates, dedups, admits, and enqueues one request.
@@ -509,6 +636,7 @@ impl Scheduler {
                 inner: TicketInner::Ready(LayoutResponse {
                     result,
                     source: Source::CacheHit,
+                    queue_us: 0,
                 }),
             });
         }
@@ -536,7 +664,18 @@ impl Scheduler {
         let inflight = self.inflight.clone();
         let depth_counter = self.depth.clone();
         let stats = self.stats.clone();
+        let queue_wait_us = self.queue_wait_us.clone();
+        let compute_us = self.compute_us.clone();
+        let colony_stopped_early = self.colony_stopped_early.clone();
+        let colony_seeded = self.colony_seeded.clone();
+        let bytes_warned = self.bytes_warned.clone();
+        let byte_budget = self.cfg.cache_byte_budget;
+        let enqueued = Instant::now();
         self.pool.execute(move || {
+            // The gap between enqueue and this first line is pure queue
+            // wait: the pool picked the job up just now.
+            let queue_us = enqueued.elapsed().as_micros() as u64;
+            queue_wait_us.record(queue_us);
             // Contain panics from the layering algorithms: the entry must
             // leave the in-flight map and the depth must drop no matter
             // what, or the digest wedges and admission leaks permanently.
@@ -546,8 +685,18 @@ impl Scheduler {
             let result = match outcome {
                 Ok(result) => {
                     let result = Arc::new(result);
+                    compute_us.record(result.compute_micros);
+                    if result.stopped_early {
+                        colony_stopped_early.inc();
+                    }
+                    if result.seeded {
+                        colony_seeded.inc();
+                    }
                     if !result.stopped_early {
-                        cache.insert(digest, result.clone());
+                        cache.insert_costed(digest, result.clone(), result.approx_bytes());
+                        if let Some(budget) = byte_budget {
+                            warn_if_over_budget(cache.bytes(), budget, &bytes_warned);
+                        }
                     }
                     stats.computed.fetch_add(1, Ordering::Relaxed);
                     Some(result)
@@ -563,6 +712,7 @@ impl Scheduler {
                         let _ = tx.send(LayoutResponse {
                             result: result.clone(),
                             source,
+                            queue_us,
                         });
                     }
                 }
@@ -635,6 +785,25 @@ impl Scheduler {
             cache: self.cache.counters(),
         }
     }
+}
+
+/// Logs one warning per budget crossing: the latch sets when usage
+/// first exceeds the budget and re-arms once it drops back under, so a
+/// cache hovering above its budget does not spam a line per insert.
+/// Returns whether this call emitted the warning (for tests).
+fn warn_if_over_budget(bytes: u64, budget: u64, warned: &AtomicBool) -> bool {
+    if bytes > budget {
+        if !warned.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "warning: layout cache holds ~{bytes} bytes, over its {budget}-byte budget; \
+                 consider lowering --cache-cap or raising --cache-bytes"
+            );
+            return true;
+        }
+    } else {
+        warned.store(false, Ordering::Relaxed);
+    }
+    false
 }
 
 /// Rejects malformed requests before anything hashes the graph (the
@@ -1025,6 +1194,76 @@ mod tests {
             s.submit(bad),
             Err(ServiceError::InvalidRequest(_))
         ));
+    }
+
+    #[test]
+    fn metrics_registry_reflects_scheduler_activity() {
+        let s = Scheduler::new(SchedulerConfig {
+            threads: 2,
+            ..Default::default()
+        });
+        let req = LayoutRequest::new(small_graph(60), quick_aco(60));
+        s.submit(req.clone()).unwrap().wait().unwrap();
+        s.submit(req).unwrap().wait().unwrap();
+        let text = s.metrics().render_prometheus();
+        assert!(text.contains("scheduler_served_total 2"), "{text}");
+        assert!(text.contains("scheduler_computed_total 1"), "{text}");
+        assert!(text.contains("cache_hits_total 1"), "{text}");
+        assert!(text.contains("cache_entries 1"), "{text}");
+        // The computed job recorded exactly one queue-wait and one
+        // compute sample.
+        let q = s.metrics().histogram_snapshot("scheduler_queue_wait_us");
+        assert_eq!(q.unwrap().count, 1);
+        let c = s.metrics().histogram_snapshot("scheduler_compute_us");
+        assert_eq!(c.unwrap().count, 1);
+        // The cache byte gauge is the entry's estimator value.
+        assert!(
+            s.metrics().render_prometheus().contains("cache_bytes"),
+            "{text}"
+        );
+        assert!(s.cache.bytes() > 0);
+    }
+
+    #[test]
+    fn queue_us_is_zero_for_hits_and_measured_for_computes() {
+        let s = Scheduler::new(SchedulerConfig {
+            threads: 1,
+            ..Default::default()
+        });
+        let req = LayoutRequest::new(small_graph(61), quick_aco(61));
+        let computed = s.submit(req.clone()).unwrap().wait().unwrap();
+        assert_eq!(computed.source, Source::Computed);
+        let hit = s.submit(req).unwrap().wait().unwrap();
+        assert_eq!(hit.source, Source::CacheHit);
+        assert_eq!(hit.queue_us, 0, "cache hits never queue");
+    }
+
+    #[test]
+    fn byte_budget_warns_once_per_crossing() {
+        let warned = AtomicBool::new(false);
+        // Under budget: nothing, latch stays armed.
+        assert!(!warn_if_over_budget(50, 100, &warned));
+        // First crossing warns; hovering above does not repeat.
+        assert!(warn_if_over_budget(150, 100, &warned));
+        assert!(!warn_if_over_budget(200, 100, &warned));
+        // Dropping back under re-arms, so the next crossing warns again.
+        assert!(!warn_if_over_budget(80, 100, &warned));
+        assert!(warn_if_over_budget(101, 100, &warned));
+    }
+
+    #[test]
+    fn colony_outcome_counters_track_truncation_and_seeding() {
+        let s = Scheduler::new(SchedulerConfig {
+            threads: 1,
+            ..Default::default()
+        });
+        let mut req = LayoutRequest::new(small_graph(62), quick_aco(62));
+        req.deadline = Some(Duration::ZERO);
+        let r = s.submit(req).unwrap().wait().unwrap();
+        assert!(r.result.stopped_early);
+        let text = s.metrics().render_prometheus();
+        assert!(text.contains("colony_stopped_early_total 1"), "{text}");
+        assert!(text.contains("colony_seeded_total 0"), "{text}");
     }
 
     #[test]

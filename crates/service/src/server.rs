@@ -17,15 +17,21 @@
 //! digest-level dedup across clients for free.
 
 use crate::protocol::{self, ErrorKind, Json, Request, Response, WireError};
-use crate::scheduler::{Scheduler, SchedulerConfig, ServiceError};
-use crate::transport::{HttpTransport, LineTransport, Transport};
+use crate::scheduler::{Scheduler, SchedulerConfig, ServiceError, Source};
+use crate::transport::{Handler, HttpTransport, LineTransport, Transport};
+use antlayer_obs::{Histogram, MetricValue, SlowLog, TraceEntry};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Slowest requests retained for the `debug` op. Small and fixed: the
+/// log is a debugging aid (which requests hurt, and where their time
+/// went), not a metrics store — the histograms are.
+pub const SLOW_LOG_CAPACITY: usize = 32;
 
 /// Live connection streams, registered so shutdown can sever them. A
 /// handler removes itself when its client disconnects; shutdown calls
@@ -92,15 +98,31 @@ pub struct ServiceCore {
     /// default; reported by `stats` as `lenient_requests` so operators
     /// can find clients to migrate before the default is retired.
     lenient_requests: AtomicU64,
+    /// End-to-end request latency, registered in the scheduler's
+    /// registry so `GET /metrics` renders one page for the process.
+    request_us: Arc<Histogram>,
+    /// The K slowest requests with their phase breakdowns (`debug` op).
+    slow_log: SlowLog,
 }
 
 impl ServiceCore {
     /// Builds a core around a scheduler.
     pub fn new(scheduler: Arc<Scheduler>) -> ServiceCore {
+        let request_us = scheduler.metrics().histogram(
+            "server_request_us",
+            "end-to-end microseconds from request parse to encoded reply",
+        );
         ServiceCore {
             scheduler,
             lenient_requests: AtomicU64::new(0),
+            request_us,
+            slow_log: SlowLog::new(SLOW_LOG_CAPACITY),
         }
+    }
+
+    /// The slow-request log (for in-process inspection and tests).
+    pub fn slow_log(&self) -> &SlowLog {
+        &self.slow_log
     }
 
     /// The shared scheduler (for in-process inspection).
@@ -115,7 +137,15 @@ impl ServiceCore {
 
     /// Computes the response for one request payload (v1 or v2); the
     /// single dispatch point every transport calls.
+    ///
+    /// Every request is timed end to end into the `server_request_us`
+    /// histogram and, when slow enough, into the [`SlowLog`] with its
+    /// phase breakdown (`parse → cache_lookup → queue_wait → compute →
+    /// encode`). A v2 request with `"trace":true` gets the same
+    /// breakdown echoed in the response's `"trace"` member — the
+    /// router's way of stitching a fleet-wide timeline.
     pub fn respond(&self, line: &str) -> String {
+        let started = Instant::now();
         let (request, env) = match protocol::parse_request_envelope(line) {
             Err((err, env)) => return Response::Error(err).encode(&env),
             Ok(parsed) => parsed,
@@ -123,25 +153,76 @@ impl ServiceCore {
         if env.lenient_op {
             self.lenient_requests.fetch_add(1, Ordering::Relaxed);
         }
+        let op = request.op();
+        let mut phases: Vec<(&'static str, u64)> =
+            vec![("parse", started.elapsed().as_micros() as u64)];
         let response = match request {
             Request::Ping => Response::Pong { router: false },
             Request::Stats => Response::Stats(self.stats_counters()),
-            Request::Layout(req) => match self.scheduler.submit(*req) {
-                Err(e) => error_response(&e),
-                Ok(ticket) => match ticket.wait() {
-                    Ok(r) => Response::Layout(Box::new(protocol::layout_reply_of(&r))),
+            Request::Debug => Response::Debug(self.debug_body()),
+            Request::Layout(req) => {
+                let submitted = Instant::now();
+                match self.scheduler.submit(*req) {
                     Err(e) => error_response(&e),
-                },
-            },
-            Request::LayoutDelta(req) => match self.scheduler.submit_delta(*req) {
-                Err(e) => error_response(&e),
-                Ok(ticket) => match ticket.wait() {
-                    Ok(r) => Response::Layout(Box::new(protocol::layout_reply_of(&r))),
+                    Ok(ticket) => {
+                        // Digest + cache probe + admission, before any
+                        // queueing: the hit path ends here.
+                        phases.push(("cache_lookup", submitted.elapsed().as_micros() as u64));
+                        self.finish_layout(ticket, &mut phases)
+                    }
+                }
+            }
+            Request::LayoutDelta(req) => {
+                let submitted = Instant::now();
+                match self.scheduler.submit_delta(*req) {
                     Err(e) => error_response(&e),
-                },
-            },
+                    Ok(ticket) => {
+                        phases.push(("cache_lookup", submitted.elapsed().as_micros() as u64));
+                        self.finish_layout(ticket, &mut phases)
+                    }
+                }
+            }
         };
-        response.encode(&env)
+        // The wire trace closes before encoding (it is part of what gets
+        // encoded); the slow log closes after, so it sees the full cost.
+        let wire_trace = env
+            .trace
+            .then(|| wire_trace_json(&env.id, op, started.elapsed().as_micros() as u64, &phases));
+        let encoding = Instant::now();
+        let reply = response.encode_with_trace(&env, wire_trace);
+        phases.push(("encode", encoding.elapsed().as_micros() as u64));
+        let total_us = started.elapsed().as_micros() as u64;
+        self.request_us.record(total_us);
+        if self.slow_log.would_keep(total_us) {
+            self.slow_log.record(TraceEntry {
+                id: correlation_id(&env.id),
+                op,
+                total_us,
+                phases,
+                remote: None,
+            });
+        }
+        reply
+    }
+
+    /// Waits out a layout ticket, recording where the time went.
+    fn finish_layout(
+        &self,
+        ticket: crate::scheduler::Ticket,
+        phases: &mut Vec<(&'static str, u64)>,
+    ) -> Response {
+        match ticket.wait() {
+            Ok(r) => {
+                // A cache hit neither queued nor computed; its
+                // breakdown is parse + cache_lookup + encode.
+                if r.source != Source::CacheHit {
+                    phases.push(("queue_wait", r.queue_us));
+                    phases.push(("compute", r.result.compute_micros));
+                }
+                Response::Layout(Box::new(protocol::layout_reply_of(&r)))
+            }
+            Err(e) => error_response(&e),
+        }
     }
 
     fn stats_counters(&self) -> BTreeMap<String, Json> {
@@ -160,7 +241,84 @@ impl ServiceCore {
         num("cache_misses", c.cache.misses as f64);
         num("cache_insertions", c.cache.insertions as f64);
         num("cache_evictions", c.cache.evictions as f64);
+        num("cache_bytes", c.cache.bytes as f64);
+        // Latency histograms ride along as objects (count, sum_us,
+        // percentiles, raw buckets) — see `protocol::histogram_json`.
+        // The flat counters above stay plain numbers for compatibility.
+        for (name, value) in self.scheduler.metrics().snapshot() {
+            if let MetricValue::Histogram(snap) = value {
+                obj.insert(name.to_string(), protocol::histogram_json(&snap));
+            }
+        }
         obj
+    }
+
+    fn debug_body(&self) -> BTreeMap<String, Json> {
+        let mut obj = BTreeMap::new();
+        obj.insert(
+            "slow_requests".into(),
+            Json::Arr(
+                self.slow_log
+                    .snapshot()
+                    .iter()
+                    .map(protocol::trace_entry_json)
+                    .collect(),
+            ),
+        );
+        obj
+    }
+
+    /// The process-wide Prometheus page (`GET /metrics`).
+    pub fn metrics_text(&self) -> String {
+        self.scheduler.metrics().render_prometheus()
+    }
+}
+
+/// The envelope `id` as a slow-log correlation string: the encoded JSON
+/// value for strings/numbers, `"-"` when the request carried none.
+fn correlation_id(id: &Option<Json>) -> String {
+    match id {
+        Some(Json::Str(s)) => s.clone(),
+        Some(other) => other.encode(),
+        None => "-".into(),
+    }
+}
+
+/// The `"trace"` member of a traced response: the same phase breakdown
+/// the slow log keeps, minus `encode` (which cannot measure itself).
+fn wire_trace_json(
+    id: &Option<Json>,
+    op: &'static str,
+    total_us: u64,
+    phases: &[(&'static str, u64)],
+) -> Json {
+    let mut obj = BTreeMap::new();
+    if let Some(id) = id {
+        obj.insert("id".into(), id.clone());
+    }
+    obj.insert("op".into(), Json::Str(op.into()));
+    obj.insert("total_us".into(), Json::Num(total_us as f64));
+    let mut p = BTreeMap::new();
+    for (name, us) in phases {
+        p.insert((*name).to_string(), Json::Num(*us as f64));
+    }
+    obj.insert("phase_us".into(), Json::Obj(p));
+    Json::Obj(obj)
+}
+
+/// The [`Handler`] connection handlers use: protocol payloads go to
+/// [`ServiceCore::respond`], `GET /metrics` renders the registry.
+struct CoreHandler {
+    shared: Arc<ServerShared>,
+}
+
+impl Handler for CoreHandler {
+    fn respond(&mut self, line: &str) -> String {
+        self.shared.core.respond(line)
+    }
+
+    fn metrics(&mut self) -> Option<String> {
+        Some(self.shared.core.metrics_text())
     }
 }
 
@@ -383,7 +541,10 @@ fn accept_loop(
         // thread had not registered yet.
         let id = shared.registry.register(&stream);
         std::thread::spawn(move || {
-            transport.serve(stream, &mut |line| shared.core.respond(line));
+            let mut handler = CoreHandler {
+                shared: shared.clone(),
+            };
+            transport.serve(stream, &mut handler);
             if let Some(id) = id {
                 shared.registry.deregister(id);
             }
@@ -477,6 +638,106 @@ mod tests {
                 .unwrap();
         assert_eq!(v1.get("digest"), v.get("digest"));
         assert_eq!(v1.get("source").and_then(Json::as_str), Some("hit"));
+    }
+
+    #[test]
+    fn traced_v2_layout_carries_phase_breakdown() {
+        let core = test_core();
+        let line = r#"{"v":2,"op":"layout","id":"t-1","trace":true,"body":{"nodes":4,"edges":[[0,1],[1,2],[2,3]],"algo":"aco","ants":3,"tours":3}}"#;
+        let v = parse(&core.respond(line)).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        let trace = v.get("trace").expect("traced request echoes a trace");
+        assert_eq!(trace.get("id").and_then(Json::as_str), Some("t-1"));
+        assert_eq!(trace.get("op").and_then(Json::as_str), Some("layout"));
+        assert!(trace.get("total_us").and_then(Json::as_u64).is_some());
+        let phases = trace.get("phase_us").expect("phase breakdown");
+        for phase in ["parse", "cache_lookup", "queue_wait", "compute"] {
+            assert!(phases.get(phase).is_some(), "missing phase {phase}");
+        }
+        // An untraced request gets no trace member.
+        let quiet = parse(&core.respond(r#"{"v":2,"op":"ping"}"#)).unwrap();
+        assert!(quiet.get("trace").is_none());
+    }
+
+    #[test]
+    fn debug_op_returns_slow_requests_with_phases() {
+        let core = test_core();
+        let line = r#"{"v":2,"op":"layout","id":77,"body":{"nodes":4,"edges":[[0,1],[1,2],[2,3]],"algo":"aco","ants":3,"tours":3}}"#;
+        assert_eq!(
+            parse(&core.respond(line)).unwrap().get("ok"),
+            Some(&Json::Bool(true))
+        );
+        let v = parse(&core.respond(r#"{"v":2,"op":"debug"}"#)).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("debug"));
+        let Some(Json::Arr(entries)) = v.get("slow_requests") else {
+            panic!("debug body should carry slow_requests");
+        };
+        let layout = entries
+            .iter()
+            .find(|e| e.get("op").and_then(Json::as_str) == Some("layout"))
+            .expect("the layout request should rank in the slow log");
+        assert_eq!(layout.get("id").and_then(Json::as_str), Some("77"));
+        let phases = layout.get("phase_us").expect("phase breakdown");
+        assert!(phases.get("compute").is_some());
+        assert!(phases.get("encode").is_some(), "slow log includes encode");
+    }
+
+    #[test]
+    fn stats_includes_request_histogram_with_buckets() {
+        let core = test_core();
+        core.respond(r#"{"op":"ping"}"#);
+        let v = parse(&core.respond(r#"{"op":"stats"}"#)).unwrap();
+        let hist = v.get("server_request_us").expect("histogram in stats");
+        assert!(hist.get("count").and_then(Json::as_u64).unwrap() >= 1);
+        assert!(hist.get("p99_us").is_some());
+        assert!(matches!(hist.get("buckets"), Some(Json::Arr(_))));
+        // The wire shape round-trips into a mergeable snapshot.
+        let snap = crate::protocol::histogram_from_json(hist).unwrap();
+        assert!(snap.count >= 1);
+    }
+
+    #[test]
+    fn metrics_text_renders_all_layers() {
+        let core = test_core();
+        core.respond(r#"{"op":"layout","nodes":3,"edges":[[0,1],[1,2]],"algo":"lpl"}"#);
+        let text = core.metrics_text();
+        for metric in [
+            "server_request_us_count",
+            "scheduler_served_total",
+            "scheduler_queue_wait_us_count",
+            "cache_bytes",
+            "colony_stopped_early_total",
+        ] {
+            assert!(text.contains(metric), "missing {metric} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn http_get_metrics_serves_prometheus_text() {
+        use std::io::{Read as _, Write as _};
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            http_addr: Some("127.0.0.1:0".into()),
+            scheduler: SchedulerConfig {
+                threads: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+        .unwrap();
+        let handle = server.spawn().unwrap();
+        let addr = handle.http_addr().unwrap();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).unwrap();
+        assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+        assert!(reply.contains("Content-Type: text/plain"), "{reply}");
+        assert!(reply.contains("scheduler_served_total"), "{reply}");
+        handle.shutdown();
     }
 
     #[test]

@@ -37,18 +37,46 @@ const MAX_HEAD_BYTES: usize = 16 * 1024;
 pub const HTTP_LAYOUT_ROUTE: &str = "POST /v2";
 /// The HTTP liveness route (answers the `ping` op).
 pub const HTTP_HEALTH_ROUTE: &str = "GET /healthz";
+/// The HTTP metrics route (Prometheus text exposition).
+pub const HTTP_METRICS_ROUTE: &str = "GET /metrics";
+
+/// How a connection's payloads are answered.
+///
+/// [`respond`](Handler::respond) maps one protocol request payload to
+/// one response payload — the only method the line framing ever calls.
+/// [`metrics`](Handler::metrics) serves `GET /metrics` on the HTTP
+/// framing; the default `None` turns the route into a 404, which is
+/// what a bare closure (the blanket impl below) gets.
+pub trait Handler {
+    /// Answers one protocol request payload.
+    fn respond(&mut self, line: &str) -> String;
+
+    /// Renders the Prometheus metrics page, if this handler has one.
+    fn metrics(&mut self) -> Option<String> {
+        None
+    }
+}
+
+/// Any `FnMut(&str) -> String` is a handler without a metrics page, so
+/// tests and simple servers keep passing plain closures.
+impl<F: FnMut(&str) -> String> Handler for F {
+    fn respond(&mut self, line: &str) -> String {
+        self(line)
+    }
+}
 
 /// One connection-serving strategy: reads requests off the stream, calls
-/// `respond` once per request payload, writes the replies back.
+/// the handler once per request payload, writes the replies back.
 pub trait Transport: Send + Sync + 'static {
     /// Framing name for logs (`"tcp"` / `"http"`).
     fn name(&self) -> &'static str;
 
     /// Serves one accepted connection until EOF, error, or (HTTP)
-    /// `Connection: close`. `respond` maps one request payload to one
-    /// response payload; transport-level failures (malformed framing,
-    /// oversized requests) are answered by the transport itself.
-    fn serve(&self, stream: TcpStream, respond: &mut dyn FnMut(&str) -> String);
+    /// `Connection: close`. [`Handler::respond`] maps one request
+    /// payload to one response payload; transport-level failures
+    /// (malformed framing, oversized requests) are answered by the
+    /// transport itself.
+    fn serve(&self, stream: TcpStream, handler: &mut dyn Handler);
 
     /// Writes a one-shot rejection (connection-cap overload) and closes.
     /// `error_line` is an already-encoded protocol error object.
@@ -63,7 +91,7 @@ impl Transport for LineTransport {
         "tcp"
     }
 
-    fn serve(&self, stream: TcpStream, respond: &mut dyn FnMut(&str) -> String) {
+    fn serve(&self, stream: TcpStream, handler: &mut dyn Handler) {
         let mut reader = match stream.try_clone() {
             Ok(s) => BufReader::new(s),
             Err(_) => return,
@@ -93,7 +121,7 @@ impl Transport for LineTransport {
             if line.trim().is_empty() {
                 continue;
             }
-            let reply = respond(line.trim_end());
+            let reply = handler.respond(line.trim_end());
             if writeln!(writer, "{reply}")
                 .and_then(|_| writer.flush())
                 .is_err()
@@ -137,7 +165,7 @@ impl Transport for HttpTransport {
         "http"
     }
 
-    fn serve(&self, stream: TcpStream, respond: &mut dyn FnMut(&str) -> String) {
+    fn serve(&self, stream: TcpStream, handler: &mut dyn Handler) {
         let mut reader = match stream.try_clone() {
             Ok(s) => BufReader::new(s),
             Err(_) => return,
@@ -185,21 +213,41 @@ impl Transport for HttpTransport {
                     // Application-level errors (bad JSON included) are a
                     // 200 with `ok:false`, matching the TCP framing's
                     // behavior: the connection stays usable.
-                    (200, respond(body.trim()))
+                    (200, handler.respond(body.trim()))
                 }
-                HTTP_HEALTH_ROUTE => (200, respond(r#"{"op":"ping"}"#)),
+                HTTP_HEALTH_ROUTE => (200, handler.respond(r#"{"op":"ping"}"#)),
+                HTTP_METRICS_ROUTE => match handler.metrics() {
+                    Some(text) => {
+                        // Prometheus text exposition, not JSON: typed
+                        // accordingly and written directly.
+                        if write_http_typed(&mut writer, 200, METRICS_CONTENT_TYPE, &text).is_err()
+                            || head.close
+                        {
+                            return;
+                        }
+                        continue;
+                    }
+                    None => {
+                        let reply = crate::protocol::encode_error(
+                            "unknown op 'http route GET /metrics' (this handler exposes no metrics)",
+                        );
+                        let _ = write_http(&mut writer, 404, &reply);
+                        return;
+                    }
+                },
                 _ => {
                     // Close after answering, as PROTOCOL.md promises for
                     // every 4xx: the unread request body (if any) would
                     // otherwise desync the keep-alive stream.
-                    let status = if head.path == "/v2" || head.path == "/healthz" {
+                    let known = ["/v2", "/healthz", "/metrics"];
+                    let status = if known.contains(&head.path.as_str()) {
                         405
                     } else {
                         404
                     };
                     let reply = crate::protocol::encode_error(&format!(
                         "unknown op 'http route {route}' (this server serves \
-                         POST /v2 and GET /healthz)"
+                         POST /v2, GET /healthz, and GET /metrics)"
                     ));
                     let _ = write_http(&mut writer, status, &reply);
                     return;
@@ -296,9 +344,23 @@ fn read_head(reader: &mut BufReader<TcpStream>) -> Result<HttpHead, HeadError> {
     }
 }
 
+/// Content type of the `GET /metrics` page (Prometheus text exposition).
+const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
 /// Writes one HTTP/1.1 response with a JSON body (a trailing newline is
 /// appended and counted, so `curl` output ends cleanly).
 fn write_http(writer: &mut impl Write, status: u16, body: &str) -> std::io::Result<()> {
+    write_http_typed(writer, status, "application/json", body)
+}
+
+/// [`write_http`] with an explicit content type (`GET /metrics` serves
+/// Prometheus text, not JSON).
+fn write_http_typed(
+    writer: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -311,10 +373,14 @@ fn write_http(writer: &mut impl Write, status: u16, body: &str) -> std::io::Resu
         505 => "HTTP Version Not Supported",
         _ => "Error",
     };
+    // A trailing newline is appended and counted; for the metrics page
+    // it is only added when the body does not already end with one
+    // (Prometheus text ends each sample with '\n').
+    let newline = if body.ends_with('\n') { "" } else { "\n" };
     write!(
         writer,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}\n",
-        body.len() + 1
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\r\n{body}{newline}",
+        body.len() + newline.len()
     )?;
     writer.flush()
 }
@@ -329,6 +395,27 @@ mod tests {
         // compares against the same constants, so they cannot drift.
         assert_eq!(HTTP_LAYOUT_ROUTE, "POST /v2");
         assert_eq!(HTTP_HEALTH_ROUTE, "GET /healthz");
+        assert_eq!(HTTP_METRICS_ROUTE, "GET /metrics");
+    }
+
+    #[test]
+    fn metrics_page_is_typed_as_prometheus_text() {
+        let mut out = Vec::new();
+        write_http_typed(&mut out, 200, METRICS_CONTENT_TYPE, "m_total 1\n").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let (head, body) = text.split_once("\r\n\r\n").unwrap();
+        assert!(head.contains("Content-Type: text/plain; version=0.0.4"));
+        // The body already ends with '\n'; no second newline is added.
+        assert!(head.contains("Content-Length: 10"), "{head}");
+        assert_eq!(body, "m_total 1\n");
+    }
+
+    #[test]
+    fn closures_are_handlers_without_metrics() {
+        let mut f = |line: &str| format!("echo {line}");
+        let h: &mut dyn Handler = &mut f;
+        assert_eq!(h.respond("x"), "echo x");
+        assert!(h.metrics().is_none());
     }
 
     #[test]

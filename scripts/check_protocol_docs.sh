@@ -2,8 +2,9 @@
 # Fails when docs/PROTOCOL.md drifts from the protocol source: every
 # request op dispatched by the parser (v1 and v2 share one dispatch),
 # every response source name, every structured ErrorKind wire name,
-# every legacy error-message prefix clients dispatch on, and every HTTP
-# route the transport serves must be mentioned in the wire reference.
+# every legacy error-message prefix clients dispatch on, every HTTP
+# route the transport serves, and every metric name registered against
+# the shared registry must be mentioned in the wire reference.
 # Run from the repo root (CI does).
 set -euo pipefail
 
@@ -11,6 +12,8 @@ doc="docs/PROTOCOL.md"
 protocol_src="crates/service/src/protocol.rs"
 scheduler_src="crates/service/src/scheduler.rs"
 transport_src="crates/service/src/transport.rs"
+server_src="crates/service/src/server.rs"
+router_src="crates/router/src/lib.rs"
 
 fail=0
 require() {
@@ -57,6 +60,20 @@ while IFS= read -r route; do
     require "$route" "HTTP route"
 done <<< "$routes"
 
+# Exposed metric names: every registration against the shared registry
+# (`.counter("name", …)`, `.histogram(…)`, and the `_fn` collector
+# variants). rustfmt wraps long calls, so whitespace is squeezed out
+# before matching. Anything a `GET /metrics` scrape can return must be
+# documented.
+metrics=$(cat "$scheduler_src" "$server_src" "$router_src" \
+    | tr -d ' \n' \
+    | grep -oE '\.(counter_fn|gauge_fn|counter|gauge|histogram)\("[a-z0-9_]+"' \
+    | grep -oE '"[a-z0-9_]+"' | tr -d '"' | sort -u)
+[ -n "$metrics" ] || { echo "could not extract metric names from the service/router sources" >&2; exit 1; }
+for metric in $metrics; do
+    require "$metric" "exposed metric name"
+done
+
 # Legacy v1 error prefixes clients dispatch on (ServiceError Display +
 # parser + router). These are stable wire strings; extend this list
 # when adding an error kind.
@@ -82,4 +99,5 @@ if [ "$fail" -ne 0 ]; then
 fi
 echo "docs check: PROTOCOL.md mentions all $(echo "$ops" | wc -w | tr -d ' ') ops, \
 $(echo "$sources" | wc -w | tr -d ' ') sources, $(echo "$kinds" | wc -w | tr -d ' ') error kinds, \
-$(echo "$routes" | wc -l | tr -d ' ') HTTP routes, ${#errors[@]} legacy prefixes."
+$(echo "$routes" | wc -l | tr -d ' ') HTTP routes, $(echo "$metrics" | wc -w | tr -d ' ') metrics, \
+${#errors[@]} legacy prefixes."
