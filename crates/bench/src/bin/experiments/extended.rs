@@ -1,0 +1,85 @@
+//! Beyond the paper's algorithm set: the extended baselines
+//! (Coffman–Graham, network simplex) and the colony's per-tour
+//! convergence trajectory.
+
+use crate::common::{check, emit, last, sweep_workload, Config};
+use antlayer_aco::{AcoLayering, AcoParams};
+use antlayer_bench::{evaluate_algorithms, series_table};
+use antlayer_datasets::{GraphSuite, Table};
+use antlayer_layering::WidthModel;
+
+/// All seven algorithms (paper set + Coffman–Graham + network simplex) on
+/// a suite slice: one row per metric family, plus optimality checks for
+/// the exact method.
+pub(crate) fn extended(cfg: &Config) -> Result<(), String> {
+    let s = GraphSuite::att_like_scaled(cfg.seed, 190); // 10 per group
+    let wm = WidthModel::unit();
+    let algos = antlayer_bench::extended_algorithms(cfg.seed);
+    let series = evaluate_algorithms(&s, &algos, &wm);
+    for (metric, pick) in [
+        (
+            "width",
+            (|g| g.width) as fn(&antlayer_bench::GroupAverages) -> f64,
+        ),
+        ("height", |g| g.height),
+        ("dvc", |g| g.dvc),
+    ] {
+        let table = series_table(&series, metric, pick);
+        emit(
+            cfg,
+            &format!("extended_{metric}"),
+            &format!("extended baselines: {metric}"),
+            &table,
+        )?;
+    }
+    check(
+        "NetworkSimplex has the fewest dummies of all algorithms (n=100)",
+        series.iter().all(|ser| {
+            last(&series, "NetworkSimplex").dvc <= ser.groups.last().unwrap().dvc + 1e-9
+        }),
+    );
+    println!();
+    Ok(())
+}
+
+/// Convergence over tours: mean (over a 19-graph workload) of the per-tour
+/// best and tour-mean objective, for a 20-tour colony. Shows how quickly
+/// the pheromone focuses the search.
+pub(crate) fn convergence(cfg: &Config) -> Result<(), String> {
+    let graphs = sweep_workload(cfg);
+    let n_tours = 20usize;
+    let params = AcoParams::default()
+        .with_colony(10, n_tours)
+        .with_seed(cfg.seed);
+    let wm = WidthModel::unit();
+    let mut best = vec![0.0f64; n_tours];
+    let mut mean = vec![0.0f64; n_tours];
+    for dag in &graphs {
+        let run = AcoLayering::new(params.clone()).run(dag, &wm);
+        for t in &run.tours {
+            best[t.tour] += t.best_objective;
+            mean[t.tour] += t.mean_objective;
+        }
+    }
+    let count = graphs.len() as f64;
+    let mut table = Table::new(&["tour", "best_objective", "mean_objective"]);
+    for t in 0..n_tours {
+        table.push_row(vec![
+            t.into(),
+            (best[t] / count).into(),
+            (mean[t] / count).into(),
+        ]);
+    }
+    emit(
+        cfg,
+        "convergence",
+        "colony convergence: objective per tour (workload mean)",
+        &table,
+    )?;
+    check(
+        "late tours at least as good as tour 0 (pheromone helps, never hurts)",
+        best[n_tours - 1] >= best[0] - 1e-9,
+    );
+    println!();
+    Ok(())
+}

@@ -1,0 +1,119 @@
+//! Figures 4–9 of the paper: width, height/dummy-count, and edge
+//! density/runtime series over the AT&T-like suite.
+
+use crate::common::{check, emit, last, selected_series, Config};
+use antlayer_bench::series_table;
+
+pub(crate) fn fig_width(cfg: &Config, name: &str, names: &[&str]) -> Result<(), String> {
+    let series = selected_series(cfg, names);
+    let incl = series_table(&series, "width", |g| g.width);
+    emit(
+        cfg,
+        &format!("{name}_width_incl"),
+        &format!("{name}: width including dummy vertices"),
+        &incl,
+    )?;
+    let excl = series_table(&series, "width_excl", |g| g.width_excl);
+    emit(
+        cfg,
+        &format!("{name}_width_excl"),
+        &format!("{name}: width excluding dummy vertices"),
+        &excl,
+    )?;
+    if name == "fig4" {
+        check(
+            "AntColony width (incl) < LPL width at n=100",
+            last(&series, "AntColony").width < last(&series, "LPL").width,
+        );
+        check(
+            "AntColony width (incl) within 35% of LPL+PL at n=100",
+            (last(&series, "AntColony").width / last(&series, "LPL+PL").width) < 1.35,
+        );
+    } else {
+        check(
+            "MinWidth+PL <= AntColony <= MinWidth (width incl dummies, n=100)",
+            last(&series, "MinWidth+PL").width <= last(&series, "AntColony").width
+                && last(&series, "AntColony").width <= last(&series, "MinWidth").width,
+        );
+        check(
+            "MinWidth narrowest excluding dummies at n=100",
+            last(&series, "MinWidth").width_excl <= last(&series, "AntColony").width_excl,
+        );
+    }
+    println!();
+    Ok(())
+}
+
+pub(crate) fn fig_height_dvc(cfg: &Config, name: &str, names: &[&str]) -> Result<(), String> {
+    let series = selected_series(cfg, names);
+    let height = series_table(&series, "height", |g| g.height);
+    emit(
+        cfg,
+        &format!("{name}_height"),
+        &format!("{name}: height (number of layers)"),
+        &height,
+    )?;
+    let dvc = series_table(&series, "dvc", |g| g.dvc);
+    emit(
+        cfg,
+        &format!("{name}_dvc"),
+        &format!("{name}: dummy vertex count"),
+        &dvc,
+    )?;
+    if name == "fig6" {
+        let ratio = last(&series, "AntColony").height / last(&series, "LPL").height;
+        check(
+            &format!("AntColony height within 1.0–1.35x of LPL at n=100 (got {ratio:.2})"),
+            (1.0..=1.35).contains(&ratio),
+        );
+        check(
+            "AntColony DVC above LPL+PL at n=100",
+            last(&series, "AntColony").dvc >= last(&series, "LPL+PL").dvc,
+        );
+    } else {
+        check(
+            "AntColony below MinWidth height at n=100",
+            last(&series, "AntColony").height <= last(&series, "MinWidth").height,
+        );
+    }
+    println!();
+    Ok(())
+}
+
+pub(crate) fn fig_ed_rt(cfg: &Config, name: &str, names: &[&str]) -> Result<(), String> {
+    let series = selected_series(cfg, names);
+    let ed = series_table(&series, "edge_density", |g| g.edge_density);
+    emit(
+        cfg,
+        &format!("{name}_edge_density"),
+        &format!("{name}: edge density (max edges crossing a gap)"),
+        &ed,
+    )?;
+    let rt = series_table(&series, "running_time", |g| g.ms);
+    emit(
+        cfg,
+        &format!("{name}_running_time"),
+        &format!("{name}: running time (ms per graph)"),
+        &rt,
+    )?;
+    if name == "fig8" {
+        check(
+            "AntColony edge density below LPL at n=100",
+            last(&series, "AntColony").edge_density <= last(&series, "LPL").edge_density,
+        );
+        check(
+            "LPL faster than AntColony at n=100",
+            last(&series, "LPL").ms < last(&series, "AntColony").ms,
+        );
+    } else {
+        check(
+            "AntColony ED between MinWidth+PL and MinWidth at n=100",
+            last(&series, "MinWidth+PL").edge_density
+                <= last(&series, "AntColony").edge_density + 1.0
+                && last(&series, "AntColony").edge_density
+                    <= last(&series, "MinWidth").edge_density + 1.0,
+        );
+    }
+    println!();
+    Ok(())
+}

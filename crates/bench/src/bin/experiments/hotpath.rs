@@ -1,0 +1,234 @@
+//! The zero-allocation hot-path benchmark behind `BENCH_4.json`.
+
+use crate::common::{check, emit, Config};
+use antlayer_aco::{AcoLayering, AcoParams};
+use antlayer_datasets::Table;
+use antlayer_graph::Dag;
+use antlayer_layering::WidthModel;
+
+/// The hot-path benchmark behind `BENCH_4.json`: the zero-allocation
+/// CSR/scratch/incremental-objective colony vs the preserved pre-refactor
+/// path ([`antlayer_aco::reference`]), raced **in the same run** on the
+/// 200-node edit-session graphs, plus the p50 service latency of cold
+/// `layout` and warm `layout_delta` requests through the scheduler.
+///
+/// The speedup is the **median** of the per-(round, graph) time ratios —
+/// robust against scheduler spikes on shared runners — and the *ratio*
+/// is what gets gated rather than raw tours/sec, because absolute
+/// throughput is a property of the runner while the same-run ratio is
+/// the machine-portable signal that the hot path regressed.
+///
+/// Gates (nonzero exit on failure):
+///
+/// * without `--baseline` (the artifact-generation mode): the optimized
+///   path must sustain ≥ 1.5× the reference path's tours/sec;
+/// * with `--baseline FILE` (CI passes the checked-in `BENCH_4.json`):
+///   the fresh speedup must be ≥ 90% of the baseline's — a >10%
+///   regression of the checked-in ratio turns the build red.
+pub(crate) fn hotpath(cfg: &Config) -> Result<(), String> {
+    use antlayer_aco::reference;
+    use antlayer_bench::loadclient::{percentile, random_edit};
+    use antlayer_graph::{generate, GraphDelta};
+    use antlayer_service::protocol::Json;
+    use antlayer_service::{
+        AlgoSpec, DeltaRequest, LayoutRequest, Scheduler, SchedulerConfig, Source,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeMap;
+    use std::time::Instant;
+
+    const NODES: usize = 200;
+    const LAYERS: usize = 50;
+    const GRAPHS: u64 = 5;
+    const ROUNDS: usize = 4;
+    const EDITS_PER_GRAPH: usize = 3;
+    let wm = WidthModel::unit();
+    // Single-threaded colonies: the ratio then measures the hot path
+    // itself, not the parallel map's scheduling noise.
+    let params = AcoParams::default().with_seed(cfg.seed).with_threads(1);
+    let graphs: Vec<Dag> = (0..GRAPHS)
+        .map(|g| {
+            let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(4444) + g);
+            generate::layered_dag(NODES, LAYERS, 0.04, 2, &mut rng)
+        })
+        .collect();
+
+    // Warm-up pass (page cache, branch predictors) — not measured.
+    for dag in &graphs {
+        std::hint::black_box(AcoLayering::new(params.clone()).run(dag, &wm).objective);
+        std::hint::black_box(reference::run_colony(dag, &wm, &params).objective);
+    }
+
+    // Interleaved measurement: optimized and reference alternate per
+    // graph and round, so drift (thermal, noisy neighbors) hits both.
+    let (mut new_secs, mut ref_secs) = (0.0f64, 0.0f64);
+    let (mut new_tours, mut ref_tours) = (0usize, 0usize);
+    let (mut new_obj, mut ref_obj) = (0.0f64, 0.0f64);
+    let mut pair_ratios: Vec<f64> = Vec::new();
+    for _ in 0..ROUNDS {
+        for dag in &graphs {
+            let t0 = Instant::now();
+            let run = AcoLayering::new(params.clone()).run(dag, &wm);
+            let new_dt = t0.elapsed().as_secs_f64();
+            new_secs += new_dt;
+            new_tours += run.tours.len();
+            new_obj += run.objective;
+            let t1 = Instant::now();
+            let rrun = reference::run_colony(dag, &wm, &params);
+            let ref_dt = t1.elapsed().as_secs_f64();
+            ref_secs += ref_dt;
+            ref_tours += rrun.tours.len();
+            ref_obj += rrun.objective;
+            pair_ratios.push(ref_dt / new_dt);
+        }
+    }
+    let new_tps = new_tours as f64 / new_secs;
+    let ref_tps = ref_tours as f64 / ref_secs;
+    // Median of per-pair ratios: one preempted timing slice skews a
+    // total-time quotient but not the middle of 20 paired measurements.
+    pair_ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let speedup = pair_ratios[pair_ratios.len() / 2];
+
+    // Service-level view: p50 latency of a cold layout and of the warm
+    // layout_delta edits it seeds, through the real scheduler.
+    let scheduler = Scheduler::new(SchedulerConfig {
+        threads: 2,
+        ..Default::default()
+    });
+    let algo = || AlgoSpec::Aco(AcoParams::default().with_seed(cfg.seed));
+    let mut cold_us: Vec<u64> = Vec::new();
+    let mut warm_us: Vec<u64> = Vec::new();
+    for (g, dag) in graphs.iter().enumerate() {
+        let mut graph = dag.graph().clone();
+        let t0 = Instant::now();
+        let resp = scheduler
+            .submit(LayoutRequest::new(graph.clone(), algo()))
+            .map_err(|e| e.to_string())?
+            .wait()
+            .map_err(|e| e.to_string())?;
+        cold_us.push(t0.elapsed().as_micros() as u64);
+        if resp.source != Source::Computed {
+            return Err(format!("cold request {g} unexpectedly {:?}", resp.source));
+        }
+        let mut base = resp.result.digest;
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(71) + g as u64);
+        for _ in 0..EDITS_PER_GRAPH {
+            let (add, remove) = random_edit(&graph, &mut rng);
+            let delta = GraphDelta::new(add, remove);
+            graph = delta.apply(&graph).map_err(|e| e.to_string())?;
+            let t = Instant::now();
+            let resp = scheduler
+                .submit_delta(DeltaRequest::new(base, delta, algo()))
+                .map_err(|e| e.to_string())?
+                .wait()
+                .map_err(|e| e.to_string())?;
+            warm_us.push(t.elapsed().as_micros() as u64);
+            if resp.source != Source::Warm {
+                return Err(format!("edit of graph {g} unexpectedly {:?}", resp.source));
+            }
+            base = resp.result.digest;
+        }
+    }
+    cold_us.sort_unstable();
+    warm_us.sort_unstable();
+    let cold_p50 = percentile(&cold_us, 0.50);
+    let warm_p50 = percentile(&warm_us, 0.50);
+
+    let mut table = Table::new(&["metric", "optimized", "reference"]);
+    table.push_row(vec!["tours_per_sec".into(), new_tps.into(), ref_tps.into()]);
+    table.push_row(vec![
+        "mean_objective".into(),
+        (new_obj / (ROUNDS as f64 * GRAPHS as f64)).into(),
+        (ref_obj / (ROUNDS as f64 * GRAPHS as f64)).into(),
+    ]);
+    table.push_row(vec!["speedup".into(), speedup.into(), 1.0.into()]);
+    table.push_row(vec![
+        "service_p50_us (cold/warm)".into(),
+        (cold_p50 as f64).into(),
+        (warm_p50 as f64).into(),
+    ]);
+    emit(
+        cfg,
+        "hotpath",
+        "hot path: zero-alloc CSR colony vs pre-refactor reference (tours/sec, same run)",
+        &table,
+    )?;
+
+    // Quality must not be traded for speed: the two paths search the same
+    // space with identical RNG streams, so their mean objectives agree up
+    // to floating-point tie-breaks.
+    let quality_ok = new_obj >= 0.99 * ref_obj;
+    check(
+        "optimized path matches reference solution quality",
+        quality_ok,
+    );
+    let speedup_ok = match &cfg.baseline {
+        None => {
+            let ok = speedup >= 1.5;
+            check(
+                "optimized hot path sustains >= 1.5x the reference tours/sec",
+                ok,
+            );
+            ok
+        }
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading baseline {path:?}: {e}"))?;
+            let doc = antlayer_service::protocol::parse(text.trim())
+                .map_err(|e| format!("parsing baseline {path:?}: {e}"))?;
+            let baseline_speedup = doc
+                .get("speedup")
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("baseline {path:?} has no numeric 'speedup'"))?;
+            let ok = speedup >= 0.9 * baseline_speedup;
+            check(
+                &format!(
+                    "speedup within 10% of checked-in baseline ({speedup:.2}x vs {baseline_speedup:.2}x)"
+                ),
+                ok,
+            );
+            ok
+        }
+    };
+
+    let pass = speedup_ok && quality_ok;
+    let mut doc = BTreeMap::new();
+    doc.insert("bench".to_string(), Json::Str("hotpath_zero_alloc".into()));
+    doc.insert(
+        "scenario".to_string(),
+        Json::Str(format!(
+            "{GRAPHS} layered DAGs, {NODES} nodes over {LAYERS} ranks, colony {}x{} single-threaded, \
+             {ROUNDS} interleaved rounds; service p50 over cold layouts + {EDITS_PER_GRAPH} warm edits each",
+            params.n_ants, params.n_tours
+        )),
+    );
+    doc.insert("seed".to_string(), Json::Num(cfg.seed as f64));
+    doc.insert("tours_per_sec_optimized".to_string(), Json::Num(new_tps));
+    doc.insert("tours_per_sec_reference".to_string(), Json::Num(ref_tps));
+    doc.insert("speedup".to_string(), Json::Num(speedup));
+    doc.insert("cold_p50_us".to_string(), Json::Num(cold_p50 as f64));
+    doc.insert("warm_p50_us".to_string(), Json::Num(warm_p50 as f64));
+    doc.insert(
+        "mean_objective_optimized".to_string(),
+        Json::Num(new_obj / (ROUNDS as f64 * GRAPHS as f64)),
+    );
+    doc.insert(
+        "mean_objective_reference".to_string(),
+        Json::Num(ref_obj / (ROUNDS as f64 * GRAPHS as f64)),
+    );
+    doc.insert("pass".to_string(), Json::Bool(pass));
+    let path = cfg.out.join("BENCH_4.json");
+    let mut text = Json::Obj(doc).encode();
+    text.push('\n');
+    std::fs::write(&path, text).map_err(|e| format!("writing {path:?}: {e}"))?;
+    println!("wrote {}\n", path.display());
+
+    if !pass {
+        return Err(format!(
+            "hot-path regression: speedup {speedup:.2}x (optimized {new_tps:.0} vs reference \
+             {ref_tps:.0} tours/sec), quality {new_obj:.4} vs {ref_obj:.4}"
+        ));
+    }
+    Ok(())
+}

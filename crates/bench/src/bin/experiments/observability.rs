@@ -1,0 +1,277 @@
+//! The observability-overhead benchmark behind `BENCH_6.json`.
+
+use crate::common::{check, emit, Config};
+use antlayer_aco::{AcoLayering, AcoParams};
+use antlayer_datasets::Table;
+use antlayer_graph::Dag;
+use antlayer_layering::WidthModel;
+
+/// The observability-overhead benchmark behind `BENCH_6.json`: the
+/// fully instrumented colony (convergence trajectory on, the default)
+/// vs the same colony with telemetry off (`trajectory_cap = 0`), raced
+/// **interleaved in the same run** on the 200-node edit-session graphs
+/// — plus an audit of the served-side instrumentation: a mixed workload
+/// through a real in-process server whose `server_request_us` histogram
+/// must account for every request, with its percentiles and the `debug`
+/// slow-log depth reported.
+///
+/// The overhead ratio is the **median** of the per-(round, graph) time
+/// ratios (instrumented time in the denominator), robust against
+/// scheduler spikes on shared runners.
+///
+/// Gates (nonzero exit on failure):
+///
+/// * observability must be effectively free: the instrumented colony
+///   sustains ≥ 95% of the telemetry-off tours/sec (< 5% overhead);
+/// * with `--baseline FILE` (CI passes the checked-in `BENCH_6.json`)
+///   the fresh ratio must be within 5 points of the baseline's instead
+///   — same-machine noise tolerance without letting a real regression
+///   hide behind the 0.95 floor;
+/// * telemetry must not change the search: both variants produce
+///   identical objectives (same RNG stream, recording between tours);
+/// * the server's request histogram counts exactly the workload — a
+///   metric that under-counts is worse than none.
+pub(crate) fn observability(cfg: &Config) -> Result<(), String> {
+    use antlayer_bench::loadclient::{base_graph, spawn_shard, RequestProfile};
+    use antlayer_client::{Client, Json as CJson, Transport};
+    use antlayer_graph::generate;
+    use antlayer_service::protocol::{histogram_from_json, Json};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeMap;
+    use std::time::Instant;
+
+    const NODES: usize = 200;
+    const LAYERS: usize = 50;
+    const GRAPHS: u64 = 5;
+    const ROUNDS: usize = 4;
+    let wm = WidthModel::unit();
+    // Single-threaded colonies: the ratio then measures the recording
+    // overhead itself, not the parallel map's scheduling noise.
+    let instrumented = AcoParams::default().with_seed(cfg.seed).with_threads(1);
+    let telemetry_off = instrumented.clone().with_trajectory_cap(0);
+    let graphs: Vec<Dag> = (0..GRAPHS)
+        .map(|g| {
+            let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(6666) + g);
+            generate::layered_dag(NODES, LAYERS, 0.04, 2, &mut rng)
+        })
+        .collect();
+
+    // Warm-up pass (page cache, branch predictors) — not measured.
+    for dag in &graphs {
+        std::hint::black_box(
+            AcoLayering::new(instrumented.clone())
+                .run(dag, &wm)
+                .objective,
+        );
+        std::hint::black_box(
+            AcoLayering::new(telemetry_off.clone())
+                .run(dag, &wm)
+                .objective,
+        );
+    }
+
+    // Interleaved measurement: on and off alternate per graph and round,
+    // so drift (thermal, noisy neighbors) hits both.
+    let (mut on_secs, mut off_secs) = (0.0f64, 0.0f64);
+    let (mut on_tours, mut off_tours) = (0usize, 0usize);
+    let (mut on_obj, mut off_obj) = (0.0f64, 0.0f64);
+    let mut trajectory_points = 0usize;
+    let mut pair_ratios: Vec<f64> = Vec::new();
+    for _ in 0..ROUNDS {
+        for dag in &graphs {
+            let t0 = Instant::now();
+            let on = AcoLayering::new(instrumented.clone()).run(dag, &wm);
+            let on_dt = t0.elapsed().as_secs_f64();
+            on_secs += on_dt;
+            on_tours += on.tours.len();
+            on_obj += on.objective;
+            trajectory_points += on.trajectory.len();
+            let t1 = Instant::now();
+            let off = AcoLayering::new(telemetry_off.clone()).run(dag, &wm);
+            let off_dt = t1.elapsed().as_secs_f64();
+            off_secs += off_dt;
+            off_tours += off.tours.len();
+            off_obj += off.objective;
+            // > 1 means telemetry-off took longer (free instrumentation).
+            pair_ratios.push(off_dt / on_dt);
+        }
+    }
+    let on_tps = on_tours as f64 / on_secs;
+    let off_tps = off_tours as f64 / off_secs;
+    // Median of per-pair ratios: one preempted timing slice skews a
+    // total-time quotient but not the middle of 20 paired measurements.
+    pair_ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let overhead_ratio = pair_ratios[pair_ratios.len() / 2];
+
+    // Served-side audit: the mixed workload through a real server; its
+    // request histogram must account for every request, and the debug op
+    // must hold the slow log.
+    const DISTINCT: u64 = 10;
+    const PASSES: u64 = 4;
+    let profile = RequestProfile {
+        n: 40,
+        ants: 4,
+        tours: 4,
+        ..Default::default()
+    };
+    let handle = spawn_shard(2);
+    let mut client = Client::connect_with(
+        &handle.addr().to_string(),
+        profile.client_config(Transport::Tcp),
+    )
+    .map_err(|e| format!("connect: {e}"))?;
+    let mut served_good = 0u64;
+    for i in 0..DISTINCT * PASSES {
+        let seed = cfg.seed.wrapping_mul(30_000) + i % DISTINCT;
+        if client
+            .layout(&base_graph(&profile, seed), &profile.options(seed))
+            .is_ok()
+        {
+            served_good += 1;
+        }
+    }
+    let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
+    let served_hist = stats
+        .get("server_request_us")
+        .and_then(histogram_from_json)
+        .ok_or("stats reply lacks the server_request_us histogram")?;
+    let slow_entries = match client
+        .debug()
+        .map_err(|e| format!("debug: {e}"))?
+        .get("slow_requests")
+    {
+        Some(CJson::Arr(entries)) => entries.len(),
+        _ => 0,
+    };
+    handle.shutdown();
+
+    let mut table = Table::new(&["metric", "instrumented", "telemetry_off"]);
+    table.push_row(vec!["tours_per_sec".into(), on_tps.into(), off_tps.into()]);
+    table.push_row(vec![
+        "mean_objective".into(),
+        (on_obj / (ROUNDS as f64 * GRAPHS as f64)).into(),
+        (off_obj / (ROUNDS as f64 * GRAPHS as f64)).into(),
+    ]);
+    table.push_row(vec![
+        "overhead_ratio".into(),
+        overhead_ratio.into(),
+        1.0.into(),
+    ]);
+    table.push_row(vec![
+        "trajectory_points_per_run".into(),
+        (trajectory_points as f64 / (ROUNDS as f64 * GRAPHS as f64)).into(),
+        0.0.into(),
+    ]);
+    table.push_row(vec![
+        "server_p50_us / p99_us".into(),
+        (served_hist.percentile(0.50) as f64).into(),
+        (served_hist.percentile(0.99) as f64).into(),
+    ]);
+    emit(
+        cfg,
+        "observability",
+        "observability overhead: instrumented vs telemetry-off colony (tours/sec, same run)",
+        &table,
+    )?;
+
+    let quality_ok = (on_obj - off_obj).abs() < 1e-9;
+    check(
+        "telemetry does not change the search (identical objectives)",
+        quality_ok,
+    );
+    let total = DISTINCT * PASSES;
+    let audit_ok = served_good == total && served_hist.count == total;
+    check(
+        "server_request_us accounts for every served request",
+        audit_ok,
+    );
+    let ratio_ok = match &cfg.baseline {
+        None => {
+            let ok = overhead_ratio >= 0.95;
+            check(
+                "instrumented colony sustains >= 95% of telemetry-off tours/sec",
+                ok,
+            );
+            ok
+        }
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading baseline {path:?}: {e}"))?;
+            let doc = antlayer_service::protocol::parse(text.trim())
+                .map_err(|e| format!("parsing baseline {path:?}: {e}"))?;
+            let baseline_ratio = doc
+                .get("overhead_ratio")
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("baseline {path:?} has no numeric 'overhead_ratio'"))?;
+            let ok = overhead_ratio >= baseline_ratio - 0.05;
+            check(
+                &format!(
+                    "overhead ratio within 5 points of checked-in baseline \
+                     ({overhead_ratio:.3} vs {baseline_ratio:.3})"
+                ),
+                ok,
+            );
+            ok
+        }
+    };
+
+    let pass = ratio_ok && quality_ok && audit_ok;
+    let mut doc = BTreeMap::new();
+    doc.insert(
+        "bench".to_string(),
+        Json::Str("observability_overhead".into()),
+    );
+    doc.insert(
+        "scenario".to_string(),
+        Json::Str(format!(
+            "{GRAPHS} layered DAGs, {NODES} nodes over {LAYERS} ranks, colony {}x{} \
+             single-threaded, {ROUNDS} interleaved rounds (trajectory cap {} vs 0); \
+             plus {DISTINCT} distinct requests x {PASSES} passes through an instrumented server",
+            instrumented.n_ants, instrumented.n_tours, instrumented.trajectory_cap
+        )),
+    );
+    doc.insert("seed".to_string(), Json::Num(cfg.seed as f64));
+    doc.insert("tours_per_sec_instrumented".to_string(), Json::Num(on_tps));
+    doc.insert(
+        "tours_per_sec_telemetry_off".to_string(),
+        Json::Num(off_tps),
+    );
+    doc.insert("overhead_ratio".to_string(), Json::Num(overhead_ratio));
+    doc.insert(
+        "trajectory_points_per_run".to_string(),
+        Json::Num(trajectory_points as f64 / (ROUNDS as f64 * GRAPHS as f64)),
+    );
+    doc.insert(
+        "server_histogram_count".to_string(),
+        Json::Num(served_hist.count as f64),
+    );
+    doc.insert(
+        "server_p50_us".to_string(),
+        Json::Num(served_hist.percentile(0.50) as f64),
+    );
+    doc.insert(
+        "server_p99_us".to_string(),
+        Json::Num(served_hist.percentile(0.99) as f64),
+    );
+    doc.insert(
+        "slow_log_entries".to_string(),
+        Json::Num(slow_entries as f64),
+    );
+    doc.insert("pass".to_string(), Json::Bool(pass));
+    let path = cfg.out.join("BENCH_6.json");
+    let mut text = Json::Obj(doc).encode();
+    text.push('\n');
+    std::fs::write(&path, text).map_err(|e| format!("writing {path:?}: {e}"))?;
+    println!("wrote {}\n", path.display());
+
+    if !pass {
+        return Err(format!(
+            "observability regression: overhead ratio {overhead_ratio:.3} \
+             (instrumented {on_tps:.0} vs telemetry-off {off_tps:.0} tours/sec), \
+             quality {on_obj:.4} vs {off_obj:.4}, histogram count {} of {total}",
+            served_hist.count
+        ));
+    }
+    Ok(())
+}

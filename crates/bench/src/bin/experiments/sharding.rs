@@ -1,0 +1,217 @@
+//! The sharded-serving benchmark behind `BENCH_3.json`.
+
+use crate::common::{check, emit, Config};
+use antlayer_datasets::Table;
+
+/// The sharded-serving benchmark behind `BENCH_3.json`: one replayed
+/// workload (24 distinct layout requests, 4 passes, sequential — so the
+/// computed/hit split is deterministic) against one big process and
+/// against an `antlayer-router` fleet of 1, 2 and 4 shards.
+///
+/// Reported per topology: aggregate cache hit rate (from the `stats`
+/// fan-out), goodput, and p50/p99 request latency. The command **fails**
+/// (nonzero exit) when any request fails or when a sharded topology's
+/// aggregate hit count differs from the single process's — the
+/// consistent-hash invariant "identical requests land on the same
+/// shard, so sharding never costs hits" is a gate, not a hope. Latency
+/// columns are informational (loopback noise is not a regression
+/// signal).
+pub(crate) fn sharding(cfg: &Config) -> Result<(), String> {
+    use antlayer_bench::loadclient::{
+        base_graph, layout_line, percentile, spawn_shard, RequestProfile,
+    };
+    use antlayer_client::{Connection, Transport};
+    use antlayer_router::{Router, RouterConfig, RouterHandle};
+    use antlayer_service::protocol::{parse, Json};
+    use antlayer_service::ServerHandle;
+    use std::collections::BTreeMap;
+    use std::time::Instant;
+
+    /// One raw exchange, parsed: the replayed workload needs the literal
+    /// line bytes forwarded, not the typed client.
+    fn exchange(conn: &mut Connection, line: &str) -> Json {
+        let reply = conn.exchange(line).expect("exchange");
+        parse(&reply).expect("reply parses")
+    }
+
+    const DISTINCT: u64 = 24;
+    const PASSES: u64 = 4;
+    let profile = RequestProfile {
+        n: 40,
+        ants: 4,
+        tours: 4,
+        ..Default::default()
+    };
+    let workload: Vec<String> = (0..DISTINCT * PASSES)
+        .map(|i| {
+            let seed = cfg.seed.wrapping_mul(10_000) + i % DISTINCT;
+            layout_line(&profile, seed, &base_graph(&profile, seed))
+        })
+        .collect();
+
+    struct TopologyResult {
+        name: String,
+        shards: usize,
+        good: u64,
+        failed: u64,
+        computed: u64,
+        cache_hits: u64,
+        hit_rate: f64,
+        goodput: f64,
+        p50_us: u64,
+        p99_us: u64,
+    }
+
+    let run_topology = |name: &str, shard_count: usize| -> TopologyResult {
+        let (addr, shards, router): (String, Vec<ServerHandle>, Option<RouterHandle>) =
+            if shard_count == 0 {
+                let s = spawn_shard(2);
+                (s.addr().to_string(), vec![s], None)
+            } else {
+                let shards: Vec<ServerHandle> = (0..shard_count).map(|_| spawn_shard(2)).collect();
+                let router = Router::bind(RouterConfig {
+                    addr: "127.0.0.1:0".into(),
+                    shards: shards.iter().map(|h| h.addr().to_string()).collect(),
+                    ..Default::default()
+                })
+                .expect("bind router")
+                .spawn()
+                .expect("spawn router");
+                (router.addr().to_string(), shards, Some(router))
+            };
+        let mut conn = Connection::connect(&addr, Transport::Tcp).expect("connect");
+        conn.set_read_timeout(Some(std::time::Duration::from_secs(120)))
+            .expect("read timeout");
+        let (mut good, mut failed) = (0u64, 0u64);
+        let mut latencies = Vec::with_capacity(workload.len());
+        let started = Instant::now();
+        for line in &workload {
+            let t0 = Instant::now();
+            let v = exchange(&mut conn, line);
+            latencies.push(t0.elapsed().as_micros() as u64);
+            if v.get("ok") == Some(&Json::Bool(true)) {
+                good += 1;
+            } else {
+                failed += 1;
+            }
+        }
+        let wall = started.elapsed().as_secs_f64();
+        let stats = exchange(&mut conn, r#"{"op":"stats"}"#);
+        let stat = |k: &str| stats.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let (computed, cache_hits, served) = (stat("computed"), stat("cache_hits"), stat("served"));
+        if let Some(r) = router {
+            r.shutdown();
+        }
+        for s in shards {
+            s.shutdown();
+        }
+        latencies.sort_unstable();
+        TopologyResult {
+            name: name.to_string(),
+            shards: shard_count.max(1),
+            good,
+            failed,
+            computed,
+            cache_hits,
+            hit_rate: cache_hits as f64 / served.max(1) as f64,
+            goodput: good as f64 / wall,
+            p50_us: percentile(&latencies, 0.50),
+            p99_us: percentile(&latencies, 0.99),
+        }
+    };
+
+    let results = vec![
+        run_topology("direct", 0),
+        run_topology("router_1", 1),
+        run_topology("router_2", 2),
+        run_topology("router_4", 4),
+    ];
+
+    let mut table = Table::new(&[
+        "topology",
+        "shards",
+        "good",
+        "computed",
+        "hits",
+        "hit_rate",
+        "goodput_rps",
+        "p50_us",
+        "p99_us",
+    ]);
+    for r in &results {
+        table.push_row(vec![
+            r.name.clone().into(),
+            r.shards.into(),
+            r.good.into(),
+            r.computed.into(),
+            r.cache_hits.into(),
+            r.hit_rate.into(),
+            r.goodput.into(),
+            r.p50_us.into(),
+            r.p99_us.into(),
+        ]);
+    }
+    emit(
+        cfg,
+        "sharding",
+        "sharded serving: router over 1/2/4 shards vs one process (replayed workload)",
+        &table,
+    )?;
+
+    let baseline = &results[0];
+    let total = DISTINCT * PASSES;
+    let all_served = results.iter().all(|r| r.good == total && r.failed == 0);
+    let hits_match = results
+        .iter()
+        .all(|r| r.cache_hits == baseline.cache_hits && r.computed == baseline.computed);
+    check("every topology served the full workload", all_served);
+    check(
+        "aggregate hit count with 1/2/4 shards equals the single process's",
+        hits_match,
+    );
+
+    let mut topo_json = Vec::new();
+    for r in &results {
+        let mut row = BTreeMap::new();
+        row.insert("topology".to_string(), Json::Str(r.name.clone()));
+        row.insert("shards".to_string(), Json::Num(r.shards as f64));
+        row.insert("good".to_string(), Json::Num(r.good as f64));
+        row.insert("failed".to_string(), Json::Num(r.failed as f64));
+        row.insert("computed".to_string(), Json::Num(r.computed as f64));
+        row.insert("cache_hits".to_string(), Json::Num(r.cache_hits as f64));
+        row.insert("hit_rate".to_string(), Json::Num(r.hit_rate));
+        row.insert("goodput_rps".to_string(), Json::Num(r.goodput));
+        row.insert("p50_us".to_string(), Json::Num(r.p50_us as f64));
+        row.insert("p99_us".to_string(), Json::Num(r.p99_us as f64));
+        topo_json.push(Json::Obj(row));
+    }
+    let mut doc = BTreeMap::new();
+    doc.insert("bench".to_string(), Json::Str("sharded_router".into()));
+    doc.insert(
+        "scenario".to_string(),
+        Json::Str(format!(
+            "{DISTINCT} distinct layout requests x {PASSES} passes, sequential replay, \
+             n={} colony {}x{}; direct server vs antlayer-router over 1/2/4 shards",
+            profile.n, profile.ants, profile.tours
+        )),
+    );
+    doc.insert("seed".to_string(), Json::Num(cfg.seed as f64));
+    doc.insert("topologies".to_string(), Json::Arr(topo_json));
+    doc.insert("pass".to_string(), Json::Bool(all_served && hits_match));
+    let path = cfg.out.join("BENCH_3.json");
+    let mut text = Json::Obj(doc).encode();
+    text.push('\n');
+    std::fs::write(&path, text).map_err(|e| format!("writing {path:?}: {e}"))?;
+    println!("wrote {}\n", path.display());
+
+    if !(all_served && hits_match) {
+        return Err(format!(
+            "sharding regression: served {:?}, hits {:?} (baseline computed {} hits {})",
+            results.iter().map(|r| r.good).collect::<Vec<_>>(),
+            results.iter().map(|r| r.cache_hits).collect::<Vec<_>>(),
+            baseline.computed,
+            baseline.cache_hits,
+        ));
+    }
+    Ok(())
+}

@@ -1,0 +1,173 @@
+//! The TCP vs HTTP/1.1 transport-parity benchmark behind `BENCH_5.json`.
+
+use crate::common::{check, emit, Config};
+use antlayer_datasets::Table;
+
+/// The transport-parity benchmark behind `BENCH_5.json`: the standard
+/// mixed workload (10 distinct layout requests replayed for 4 passes,
+/// sequential — so the computed/hit split is deterministic) driven
+/// through the typed `antlayer-client` over line-TCP and over the
+/// hand-rolled HTTP/1.1 framing, each against a fresh in-process server.
+///
+/// The framing must be invisible to the protocol: the command **fails**
+/// (nonzero exit) when either transport fails a request or when the two
+/// runs disagree on cache hit or compute counts — the parity `loadgen
+/// --transport http` relies on is a gate, not a hope. Latency columns
+/// are informational (loopback noise is not a regression signal).
+pub(crate) fn transport(cfg: &Config) -> Result<(), String> {
+    use antlayer_bench::loadclient::{base_graph, percentile, spawn_shard_with, RequestProfile};
+    use antlayer_client::{Client, Json, Transport};
+    use antlayer_graph::DiGraph;
+    use std::collections::BTreeMap;
+    use std::time::Instant;
+
+    const DISTINCT: u64 = 10;
+    const PASSES: u64 = 4;
+    let profile = RequestProfile {
+        n: 40,
+        ants: 4,
+        tours: 4,
+        ..Default::default()
+    };
+    let workload: Vec<(DiGraph, u64)> = (0..DISTINCT)
+        .map(|i| {
+            let seed = cfg.seed.wrapping_mul(20_000) + i;
+            (base_graph(&profile, seed), seed)
+        })
+        .collect();
+
+    struct TransportResult {
+        name: &'static str,
+        good: u64,
+        failed: u64,
+        computed: u64,
+        cache_hits: u64,
+        goodput: f64,
+        p50_us: u64,
+        p99_us: u64,
+    }
+
+    let run_transport = |t: Transport| -> Result<TransportResult, String> {
+        let handle = spawn_shard_with(2, t == Transport::Http);
+        let addr = match t {
+            Transport::Tcp => handle.addr().to_string(),
+            Transport::Http => handle.http_addr().expect("http listener").to_string(),
+        };
+        let mut client = Client::connect_with(&addr, profile.client_config(t))
+            .map_err(|e| format!("connect {}: {e}", t.name()))?;
+        let (mut good, mut failed) = (0u64, 0u64);
+        let mut latencies = Vec::with_capacity((DISTINCT * PASSES) as usize);
+        let started = Instant::now();
+        for i in 0..DISTINCT * PASSES {
+            let (graph, seed) = &workload[(i % DISTINCT) as usize];
+            let t0 = Instant::now();
+            match client.layout(graph, &profile.options(*seed)) {
+                Ok(_) => good += 1,
+                Err(_) => failed += 1,
+            }
+            latencies.push(t0.elapsed().as_micros() as u64);
+        }
+        let wall = started.elapsed().as_secs_f64();
+        let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
+        let stat = |k: &str| stats.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let (computed, cache_hits) = (stat("computed"), stat("cache_hits"));
+        handle.shutdown();
+        latencies.sort_unstable();
+        Ok(TransportResult {
+            name: t.name(),
+            good,
+            failed,
+            computed,
+            cache_hits,
+            goodput: good as f64 / wall,
+            p50_us: percentile(&latencies, 0.50),
+            p99_us: percentile(&latencies, 0.99),
+        })
+    };
+
+    let results = vec![
+        run_transport(Transport::Tcp)?,
+        run_transport(Transport::Http)?,
+    ];
+
+    let mut table = Table::new(&[
+        "transport",
+        "good",
+        "failed",
+        "computed",
+        "hits",
+        "goodput_rps",
+        "p50_us",
+        "p99_us",
+    ]);
+    for r in &results {
+        table.push_row(vec![
+            r.name.into(),
+            r.good.into(),
+            r.failed.into(),
+            r.computed.into(),
+            r.cache_hits.into(),
+            r.goodput.into(),
+            r.p50_us.into(),
+            r.p99_us.into(),
+        ]);
+    }
+    emit(
+        cfg,
+        "transport",
+        "transport parity: line-TCP vs hand-rolled HTTP/1.1, same mixed workload",
+        &table,
+    )?;
+
+    let total = DISTINCT * PASSES;
+    let all_served = results.iter().all(|r| r.good == total && r.failed == 0);
+    let counts_match = results[0].cache_hits == results[1].cache_hits
+        && results[0].computed == results[1].computed;
+    check("both transports served the full workload", all_served);
+    check(
+        "HTTP hit/compute counts equal line-TCP's (framing is invisible)",
+        counts_match,
+    );
+
+    let mut transports_json = Vec::new();
+    for r in &results {
+        let mut row = BTreeMap::new();
+        row.insert("transport".to_string(), Json::Str(r.name.into()));
+        row.insert("good".to_string(), Json::Num(r.good as f64));
+        row.insert("failed".to_string(), Json::Num(r.failed as f64));
+        row.insert("computed".to_string(), Json::Num(r.computed as f64));
+        row.insert("cache_hits".to_string(), Json::Num(r.cache_hits as f64));
+        row.insert("goodput_rps".to_string(), Json::Num(r.goodput));
+        row.insert("p50_us".to_string(), Json::Num(r.p50_us as f64));
+        row.insert("p99_us".to_string(), Json::Num(r.p99_us as f64));
+        transports_json.push(Json::Obj(row));
+    }
+    let mut doc = BTreeMap::new();
+    doc.insert("bench".to_string(), Json::Str("transport_parity".into()));
+    doc.insert(
+        "scenario".to_string(),
+        Json::Str(format!(
+            "{DISTINCT} distinct layout requests x {PASSES} passes, sequential replay, \
+             n={} colony {}x{}; typed client over tcp and http against fresh servers",
+            profile.n, profile.ants, profile.tours
+        )),
+    );
+    doc.insert("seed".to_string(), Json::Num(cfg.seed as f64));
+    doc.insert("transports".to_string(), Json::Arr(transports_json));
+    doc.insert("pass".to_string(), Json::Bool(all_served && counts_match));
+    let path = cfg.out.join("BENCH_5.json");
+    let mut text = Json::Obj(doc).encode();
+    text.push('\n');
+    std::fs::write(&path, text).map_err(|e| format!("writing {path:?}: {e}"))?;
+    println!("wrote {}\n", path.display());
+
+    if !(all_served && counts_match) {
+        return Err(format!(
+            "transport parity regression: served {:?}, hits {:?}, computed {:?}",
+            results.iter().map(|r| r.good).collect::<Vec<_>>(),
+            results.iter().map(|r| r.cache_hits).collect::<Vec<_>>(),
+            results.iter().map(|r| r.computed).collect::<Vec<_>>(),
+        ));
+    }
+    Ok(())
+}

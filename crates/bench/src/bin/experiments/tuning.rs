@@ -1,0 +1,216 @@
+//! §VIII parameter studies and the DESIGN.md ablations: α×β and
+//! nd-width sweeps, stretch/selection/pheromone-model/MinWidth grids.
+
+use crate::common::{check, emit, last, sweep_workload, Config};
+use antlayer_aco::{tuning, AcoLayering, AcoParams, SelectionRule, StretchStrategy};
+use antlayer_bench::{evaluate_algorithms, series_table};
+use antlayer_datasets::{GraphSuite, Table};
+use antlayer_layering::{LayeringAlgorithm, WidthModel};
+
+pub(crate) fn tune_alpha_beta(cfg: &Config) -> Result<(), String> {
+    let graphs = sweep_workload(cfg);
+    // Under the deterministic ArgMax rule the chosen layer is invariant to
+    // β while the pheromone is uniform, so an α×β grid would be flat; the
+    // paper's reported α/β sensitivity implies its tuning used the
+    // probabilistic rule, so the sweep runs with Roulette selection
+    // (inference documented in DESIGN.md §4).
+    let base = AcoParams {
+        selection: SelectionRule::Roulette,
+        ..AcoParams::default().with_seed(cfg.seed)
+    };
+    let points = tuning::alpha_beta_sweep(&graphs, &base, &WidthModel::unit());
+    let mut table = Table::new(&["alpha", "beta", "objective", "height", "width", "seconds"]);
+    for p in &points {
+        table.push_row(vec![
+            p.alpha.into(),
+            p.beta.into(),
+            p.mean_objective.into(),
+            p.mean_height.into(),
+            p.mean_width.into(),
+            p.seconds.into(),
+        ]);
+    }
+    emit(
+        cfg,
+        "tune_alpha_beta",
+        "§VIII: α × β sweep (mean objective, higher = better)",
+        &table,
+    )?;
+    let best = tuning::best_point(&points);
+    println!(
+        "best grid point: alpha = {}, beta = {} (objective {:.4})",
+        best.alpha, best.beta, best.mean_objective
+    );
+    check(
+        "best point has beta >= alpha (heuristic information carries the search)",
+        best.beta >= best.alpha,
+    );
+    println!();
+    Ok(())
+}
+
+pub(crate) fn tune_nd_width(cfg: &Config) -> Result<(), String> {
+    let graphs = sweep_workload(cfg);
+    let base = AcoParams::default().with_seed(cfg.seed);
+    let points = tuning::nd_width_sweep(&graphs, &base);
+    let mut table = Table::new(&["nd_width", "objective", "height", "width", "seconds"]);
+    for p in &points {
+        table.push_row(vec![
+            p.nd_width.into(),
+            p.mean_objective.into(),
+            p.mean_height.into(),
+            p.mean_width.into(),
+            p.seconds.into(),
+        ]);
+    }
+    emit(cfg, "tune_nd_width", "§VIII: dummy-width sweep", &table)?;
+    Ok(())
+}
+
+pub(crate) fn ablate_stretch(cfg: &Config) -> Result<(), String> {
+    let s = GraphSuite::att_like_scaled(cfg.seed, 95); // 5 per group
+    let wm = WidthModel::unit();
+    let algos: Vec<(String, Box<dyn LayeringAlgorithm + Sync>)> = [
+        StretchStrategy::Between,
+        StretchStrategy::Above,
+        StretchStrategy::Below,
+        StretchStrategy::Split,
+    ]
+    .into_iter()
+    .map(|strat| {
+        let params = AcoParams {
+            stretch: strat,
+            ..AcoParams::default().with_seed(cfg.seed)
+        };
+        (
+            format!("stretch-{}", strat.name()),
+            Box::new(AcoLayering::new(params)) as Box<dyn LayeringAlgorithm + Sync>,
+        )
+    })
+    .collect();
+    let series = evaluate_algorithms(&s, &algos, &wm);
+    let table = series_table(&series, "width", |g| g.width);
+    emit(
+        cfg,
+        "ablate_stretch_width",
+        "ablation: stretch strategy → width incl. dummies",
+        &table,
+    )?;
+    let between = last(&series, "stretch-between").width;
+    let above = last(&series, "stretch-above").width;
+    check(
+        "in-between stretch no worse than stacking above (paper §V-A claim, n=100)",
+        between <= above + 0.5,
+    );
+    println!();
+    Ok(())
+}
+
+/// §IV-D pheromone-model ablation: the paper's layer-assignment trails vs
+/// the vertex-order trails it describes as the alternative.
+pub(crate) fn ablate_pheromone(cfg: &Config) -> Result<(), String> {
+    use antlayer_aco::OrderAcoLayering;
+    let s = GraphSuite::att_like_scaled(cfg.seed, 95);
+    let wm = WidthModel::unit();
+    let algos: Vec<(String, Box<dyn LayeringAlgorithm + Sync>)> = vec![
+        (
+            "layer-model".into(),
+            Box::new(AcoLayering::new(AcoParams::default().with_seed(cfg.seed))),
+        ),
+        (
+            "order-model".into(),
+            Box::new(OrderAcoLayering::new(
+                AcoParams::default().with_seed(cfg.seed),
+            )),
+        ),
+    ];
+    let series = evaluate_algorithms(&s, &algos, &wm);
+    let width = series_table(&series, "width", |g| g.width);
+    emit(
+        cfg,
+        "ablate_pheromone_width",
+        "ablation: pheromone model → width incl. dummies",
+        &width,
+    )?;
+    let height = series_table(&series, "height", |g| g.height);
+    emit(
+        cfg,
+        "ablate_pheromone_height",
+        "ablation: pheromone model → height",
+        &height,
+    )?;
+    check(
+        "layer-assignment pheromone (the paper's choice) no worse on width at n=100",
+        last(&series, "layer-model").width <= last(&series, "order-model").width + 0.5,
+    );
+    println!();
+    Ok(())
+}
+
+/// MinWidth UBW × c grid, the tuning the WEA'04 authors report.
+pub(crate) fn ablate_minwidth(cfg: &Config) -> Result<(), String> {
+    use antlayer_layering::MinWidth;
+    let s = GraphSuite::att_like_scaled(cfg.seed, 190);
+    let wm = WidthModel::unit();
+    let algos: Vec<(String, Box<dyn LayeringAlgorithm + Sync>)> = [1.0, 2.0, 3.0, 4.0]
+        .into_iter()
+        .flat_map(|ubw| {
+            [1.0, 2.0].into_iter().map(move |c| {
+                (
+                    format!("UBW{ubw}/c{c}"),
+                    Box::new(MinWidth::with_bounds(ubw, c)) as Box<dyn LayeringAlgorithm + Sync>,
+                )
+            })
+        })
+        .collect();
+    let series = evaluate_algorithms(&s, &algos, &wm);
+    let width = series_table(&series, "width", |g| g.width);
+    emit(
+        cfg,
+        "ablate_minwidth_width",
+        "ablation: MinWidth UBW × c → width incl. dummies",
+        &width,
+    )?;
+    let height = series_table(&series, "height", |g| g.height);
+    emit(
+        cfg,
+        "ablate_minwidth_height",
+        "ablation: MinWidth UBW × c → height",
+        &height,
+    )?;
+    Ok(())
+}
+pub(crate) fn ablate_selection(cfg: &Config) -> Result<(), String> {
+    let s = GraphSuite::att_like_scaled(cfg.seed, 95);
+    let wm = WidthModel::unit();
+    let algos: Vec<(String, Box<dyn LayeringAlgorithm + Sync>)> =
+        [SelectionRule::ArgMax, SelectionRule::Roulette]
+            .into_iter()
+            .map(|rule| {
+                let params = AcoParams {
+                    selection: rule,
+                    ..AcoParams::default().with_seed(cfg.seed)
+                };
+                (
+                    format!("select-{}", rule.name()),
+                    Box::new(AcoLayering::new(params)) as Box<dyn LayeringAlgorithm + Sync>,
+                )
+            })
+            .collect();
+    let series = evaluate_algorithms(&s, &algos, &wm);
+    let width = series_table(&series, "width", |g| g.width);
+    emit(
+        cfg,
+        "ablate_selection_width",
+        "ablation: selection rule → width incl. dummies",
+        &width,
+    )?;
+    let height = series_table(&series, "height", |g| g.height);
+    emit(
+        cfg,
+        "ablate_selection_height",
+        "ablation: selection rule → height",
+        &height,
+    )?;
+    Ok(())
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! antlayer layer  [--algo NAME] [--nd-width F] [--seed N] [--threads N]
-//!                 [--warm-from JSON] [--json-out OUT] FILE
+//!                 [--deadline-ms MS] [--warm-from JSON] [--json-out OUT] FILE
 //!                                                                # print metrics + layers
 //! antlayer draw   [--algo NAME] [--svg OUT] [--seed N] [--threads N] FILE
 //!                                                                # render ASCII (and SVG)
@@ -19,7 +19,13 @@
 //! `layout` is accepted as an alias of `layer`. `FILE` may be `-` for
 //! stdin; `.gml` files (or `--gml`) are parsed as GML, anything else as
 //! DOT. Algorithms: `lpl`, `lpl-pl`, `minwidth`, `minwidth-pl`, `cg`,
-//! `ns`, `aco` (default `aco`).
+//! `ns`, `aco` (default `aco`), `exact` (certified optimum on small
+//! graphs), `portfolio` (races every solver under one deadline and
+//! reports the winner).
+//!
+//! `--deadline-ms MS` gives `layer` an anytime budget: the solver
+//! returns its best incumbent when the clock runs out and the output
+//! notes the truncation. Most useful with `aco` and `portfolio`.
 //!
 //! `--threads N` sets the colony's worker threads (`0` = all available,
 //! capped at the ant count); results are identical for every thread count.
@@ -53,7 +59,7 @@ use antlayer_aco::AcoParams;
 use antlayer_datasets::{att_like_graph, GraphSuite, Table};
 use antlayer_graph::io::{dot, gml};
 use antlayer_graph::DiGraph;
-use antlayer_layering::{LayeringAlgorithm, LayeringMetrics, WidthModel};
+use antlayer_layering::{LayeringAlgorithm, LayeringMetrics, Solution, WidthModel};
 use antlayer_router::{Router, RouterConfig};
 use antlayer_service::{AlgoSpec, SchedulerConfig, Server, ServerConfig};
 use antlayer_sugiyama::{draw, PipelineOptions, SvgOptions};
@@ -77,7 +83,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   antlayer layer [--algo NAME] [--nd-width F] [--seed N] [--threads N]
-                 [--warm-from JSON] [--json-out OUT] FILE   (alias: layout)
+                 [--deadline-ms MS] [--warm-from JSON] [--json-out OUT]
+                 FILE                                       (alias: layout)
   antlayer draw  [--algo NAME] [--svg OUT]   [--seed N] [--threads N] FILE
   antlayer gen   [--n N] [--seed S] [--gml]
   antlayer suite [--seed S] [--total N]
@@ -86,7 +93,10 @@ usage:
                  [--shards N] [--max-conns N]
   antlayer route --shards HOST:PORT,HOST:PORT[,...] [--addr HOST:PORT]
                  [--http PORT] [--vnodes N] [--probe-ms MS] [--max-conns N]
-algorithms: lpl, lpl-pl, minwidth, minwidth-pl, cg, ns, aco (default)
+algorithms: lpl, lpl-pl, minwidth, minwidth-pl, cg, ns, aco (default),
+exact (certified optimum, small graphs), portfolio (race them all)
+deadline-ms: anytime budget for layer; the best incumbent at the
+deadline is returned and the truncation is noted
 http: PORT (or HOST:PORT) of an additional HTTP/1.1 listener (POST /v2,
 GET /healthz, GET /metrics for Prometheus scrapes)
 cache-bytes: soft budget on the layout cache's approximate byte size;
@@ -211,11 +221,15 @@ fn make_algorithm(
 ) -> Result<Box<dyn LayeringAlgorithm>, String> {
     // One construction point for CLI and server: the service crate's
     // AlgoSpec owns the name -> algorithm mapping.
+    Ok(cli_algo_spec(name, seed, threads)?.build())
+}
+
+fn cli_algo_spec(name: &str, seed: u64, threads: usize) -> Result<AlgoSpec, String> {
     let mut spec = AlgoSpec::parse(name, seed)?;
-    if let AlgoSpec::Aco(params) = &mut spec {
+    if let AlgoSpec::Aco(params) | AlgoSpec::Portfolio(params) = &mut spec {
         *params = cli_aco_params(seed, threads);
     }
-    Ok(spec.build())
+    Ok(spec)
 }
 
 /// The colony parameters the CLI builds from its flags: `--seed` and
@@ -233,6 +247,7 @@ fn cmd_layer(args: &[String]) -> Result<(), String> {
             "nd-width",
             "seed",
             "threads",
+            "deadline-ms",
             "warm-from",
             "json-out",
         ],
@@ -247,6 +262,15 @@ fn cmd_layer(args: &[String]) -> Result<(), String> {
     let threads = flags.get_parsed("threads", 1usize)?;
     let nd: f64 = flags.get_parsed("nd-width", 1.0)?;
     let widths = WidthModel::with_dummy_width(nd);
+    let deadline = match flags.get("deadline-ms") {
+        Some(v) => {
+            let ms: u64 = v
+                .parse()
+                .map_err(|_| format!("invalid value '{v}' for --deadline-ms"))?;
+            Some(std::time::Instant::now() + std::time::Duration::from_millis(ms))
+        }
+        None => None,
+    };
 
     // Route through the pipeline's cycle removal so cyclic inputs work.
     let oriented = antlayer_sugiyama::acyclic_orientation(&graph);
@@ -280,9 +304,15 @@ fn cmd_layer(args: &[String]) -> Result<(), String> {
             ("AntColony (warm)".to_string(), run.layering)
         }
         None => {
-            let algo = make_algorithm(algo_name, seed, threads)?;
-            let layering = algo.layer(&oriented.dag, &widths);
-            (algo.name().to_string(), layering)
+            // The cold path runs through the anytime Solver contract:
+            // `--deadline-ms` bounds the search, `exact` certifies, and
+            // `portfolio` reports its race.
+            let spec = cli_algo_spec(algo_name, seed, threads)?;
+            let solver = spec.solver();
+            let display = spec.build().name().to_string();
+            let solution = solver.solve(&oriented.dag, &widths, deadline);
+            report_solution(&solution);
+            (display, solution.layering)
         }
     };
     let m = LayeringMetrics::compute(&oriented.dag, &layering, &widths);
@@ -299,6 +329,36 @@ fn cmd_layer(args: &[String]) -> Result<(), String> {
         println!("wrote {out}");
     }
     Ok(())
+}
+
+/// Prints the anytime-contract side of a cold solve: certification,
+/// deadline truncation, and (for the portfolio) the per-member race.
+fn report_solution(solution: &Solution) {
+    if solution.stopped_early {
+        println!("note: deadline reached, best incumbent returned");
+    }
+    if solution.certified {
+        println!("certified: exact search proved this layering optimal");
+    }
+    if let Some(race) = &solution.race {
+        println!(
+            "portfolio: winner {} (cost {:.2})",
+            race.winner, solution.cost
+        );
+        for m in &race.members {
+            let mut notes = String::new();
+            if m.certified {
+                notes.push_str(" certified");
+            }
+            if m.stopped_early {
+                notes.push_str(" truncated");
+            }
+            println!(
+                "  {:<12} cost {:>8.2}  {:>8} µs{}",
+                m.solver, m.cost, m.micros, notes
+            );
+        }
+    }
 }
 
 /// Encodes a layering as the `{"layers":[[ids…],…]}` JSON the server
@@ -547,8 +607,11 @@ mod tests {
             "cg",
             "ns",
             "aco",
+            "exact",
+            "portfolio",
         ] {
             assert!(make_algorithm(name, 1, 1).is_ok(), "{name}");
+            assert!(cli_algo_spec(name, 1, 1).is_ok(), "{name} as a solver");
         }
         assert!(make_algorithm("nope", 1, 1).is_err());
     }

@@ -46,11 +46,35 @@ fn layer_reads_file_and_prints_metrics() {
         "cg",
         "ns",
         "aco",
+        "exact",
+        "portfolio",
     ] {
         let out = run_ok(&["layer", "--algo", algo, path.to_str().unwrap()]);
         assert!(out.contains("height"), "{algo}: {out}");
         assert!(out.contains("L1"), "{algo} missing layer listing");
     }
+}
+
+#[test]
+fn layer_exact_certifies_and_portfolio_reports_its_race() {
+    let dir = std::env::temp_dir().join("antlayer-cli-smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("solver.dot");
+    std::fs::write(&path, "digraph { a -> b -> d; a -> c -> d; c -> e; }").unwrap();
+
+    let exact = run_ok(&["layer", "--algo", "exact", path.to_str().unwrap()]);
+    assert!(exact.contains("certified"), "{exact}");
+
+    let race = run_ok(&[
+        "layer",
+        "--algo",
+        "portfolio",
+        "--deadline-ms",
+        "2000",
+        path.to_str().unwrap(),
+    ]);
+    assert!(race.contains("portfolio: winner"), "{race}");
+    assert!(race.contains("lpl"), "member table missing: {race}");
 }
 
 #[test]

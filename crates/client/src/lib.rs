@@ -44,7 +44,9 @@ pub mod conn;
 
 pub use conn::{Connection, Transport, MAX_REPLY_BYTES};
 
-pub use antlayer_service::protocol::{ErrorKind, Json, LayoutReply, Request, Response, WireError};
+pub use antlayer_service::protocol::{
+    ErrorKind, Json, LayoutReply, MemberStats, RaceReport, Request, Response, WireError,
+};
 
 use antlayer_graph::{DiGraph, GraphDelta};
 use antlayer_service::digest::Digest;
@@ -133,14 +135,16 @@ impl ClientError {
 /// wire fields of `docs/PROTOCOL.md`.
 #[derive(Clone, Debug)]
 pub struct LayoutOptions {
-    /// Algorithm name (`lpl`, `lpl-pl`, `minwidth`, `minwidth-pl`,
-    /// `cg`, `ns`, `aco`).
+    /// Solver name (`lpl`, `lpl-pl`, `minwidth`, `minwidth-pl`, `cg`,
+    /// `ns`, `aco`, `exact`, `portfolio`) — sent as `algo`/`solver` on
+    /// the wire, which the server treats as aliases.
     pub algo: String,
-    /// Colony RNG seed (ACO only; part of the request's identity).
+    /// Colony RNG seed (ACO/portfolio only; part of the request's
+    /// identity).
     pub seed: u64,
-    /// Colony size override (ACO only).
+    /// Colony size override (ACO/portfolio only).
     pub ants: Option<usize>,
-    /// Colony iterations override (ACO only).
+    /// Colony iterations override (ACO/portfolio only).
     pub tours: Option<usize>,
     /// Dummy-vertex width of the width model.
     pub nd_width: f64,
@@ -173,9 +177,20 @@ impl LayoutOptions {
         }
     }
 
+    /// Convenience: the solver portfolio with the given colony seed for
+    /// its ACO member. The reply carries the race (`winner`, `members`,
+    /// `certified`).
+    pub fn portfolio(seed: u64) -> LayoutOptions {
+        LayoutOptions {
+            algo: "portfolio".into(),
+            seed,
+            ..Default::default()
+        }
+    }
+
     fn algo_spec(&self) -> Result<AlgoSpec, ClientError> {
         let mut spec = AlgoSpec::parse(&self.algo, self.seed).map_err(ClientError::Invalid)?;
-        if let AlgoSpec::Aco(params) = &mut spec {
+        if let AlgoSpec::Aco(params) | AlgoSpec::Portfolio(params) = &mut spec {
             if let Some(ants) = self.ants {
                 params.n_ants = ants;
             }

@@ -32,7 +32,9 @@ use crate::stretch::stretch;
 use crate::walk::{perform_walk, WalkCtx};
 use crate::{AcoParams, SearchState, VertexLayerMatrix, WalkScratch};
 use antlayer_graph::{CsrView, Dag};
-use antlayer_layering::{Layering, LayeringAlgorithm, LayeringMetrics, LongestPath, WidthModel};
+use antlayer_layering::{
+    Layering, LayeringAlgorithm, LayeringMetrics, LongestPath, Solution, Solver, WidthModel,
+};
 use antlayer_parallel::{default_threads, par_map_with_scratch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -597,6 +599,48 @@ impl LayeringAlgorithm for AcoLayering {
 
     fn layer(&self, dag: &Dag, wm: &WidthModel) -> Layering {
         self.run(dag, wm).layering
+    }
+}
+
+fn solution_from_run(dag: &Dag, wm: &WidthModel, run: ColonyRun) -> Solution {
+    let cost = antlayer_layering::solution_cost(dag, &run.layering, wm);
+    Solution {
+        layering: run.layering,
+        cost,
+        stopped_early: run.stopped_early,
+        certified: false,
+        seeded: run.seeded,
+        race: None,
+    }
+}
+
+/// The colony under the anytime [`Solver`] contract: `solve` maps to
+/// [`AcoLayering::run_until`], `solve_seeded` warm-starts the incumbent
+/// from the caller's seed ([`AcoLayering::run_seeded_until`]). A deadline
+/// interrupts between walks; the reported incumbent is the colony's best
+/// at that point and `stopped_early` is set.
+impl Solver for AcoLayering {
+    fn name(&self) -> &str {
+        "aco"
+    }
+
+    fn solve(&self, dag: &Dag, wm: &WidthModel, deadline: Option<Instant>) -> Solution {
+        solution_from_run(dag, wm, self.run_until(dag, wm, deadline))
+    }
+
+    fn solve_seeded(
+        &self,
+        dag: &Dag,
+        wm: &WidthModel,
+        seed: &Layering,
+        deadline: Option<Instant>,
+    ) -> Solution {
+        match self.run_seeded_until(dag, wm, seed, deadline) {
+            Ok(run) => solution_from_run(dag, wm, run),
+            // An unusable seed must not break the contract: fall back to
+            // the cold anytime run.
+            Err(_) => Solver::solve(self, dag, wm, deadline),
+        }
     }
 }
 

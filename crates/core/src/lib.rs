@@ -57,6 +57,7 @@ mod colony;
 mod matrix;
 mod order_model;
 mod params;
+mod portfolio;
 pub mod reference;
 mod state;
 pub mod stretch;
@@ -67,6 +68,7 @@ pub use colony::{AcoLayering, Colony, ColonyRun, TourStats, TrajectoryPoint};
 pub use matrix::VertexLayerMatrix;
 pub use order_model::OrderAcoLayering;
 pub use params::{AcoParams, DepositStrategy, SelectionRule, StretchStrategy, VisitOrder};
+pub use portfolio::Portfolio;
 pub use state::{compute_widths, SearchState};
 pub use stretch::{stretch, Stretched};
 pub use walk::{perform_walk, WalkCtx, WalkResult, WalkScratch};

@@ -1,0 +1,253 @@
+//! Conformance suite for the anytime [`Solver`] contract.
+//!
+//! Every implementation — the six constructive wrappers, the exact
+//! branch and bound, the ant colony, and the portfolio — is run through
+//! the same battery:
+//!
+//! * **deadline honored**: an already-expired deadline still returns a
+//!   valid incumbent, never panics, and sets `stopped_early` iff the
+//!   solver actually searches (constructive answers are instant and may
+//!   not claim truncation);
+//! * **determinism**: two unbounded solves under a fixed seed return the
+//!   same layering and bitwise-identical cost;
+//! * **objective parity**: the reported `cost` equals `H + W` of the
+//!   returned layering, and matches what the solver's direct API
+//!   produces.
+
+use antlayer_aco::{AcoLayering, AcoParams, Portfolio};
+use antlayer_graph::{generate, Dag};
+use antlayer_layering::{
+    exact, solution_cost, CoffmanGraham, Constructive, Exact, LayeringAlgorithm, LayeringMetrics,
+    LongestPath, MinWidth, NetworkSimplex, Promote, Refined, Solver, WidthModel,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn params() -> AcoParams {
+    AcoParams::default().with_colony(4, 6).with_seed(77)
+}
+
+/// Every registered solver, plus whether it is a genuine anytime search
+/// (its `stopped_early` must be set under an expired deadline).
+fn solvers() -> Vec<(Box<dyn Solver>, bool)> {
+    vec![
+        (Box::new(Constructive::new("lpl", LongestPath)), false),
+        (
+            Box::new(Constructive::new(
+                "lpl-pl",
+                Refined::new(LongestPath, Promote::new()),
+            )),
+            false,
+        ),
+        (
+            Box::new(Constructive::new("minwidth", MinWidth::new())),
+            false,
+        ),
+        (
+            Box::new(Constructive::new(
+                "minwidth-pl",
+                Refined::new(MinWidth::new(), Promote::new()),
+            )),
+            false,
+        ),
+        (
+            Box::new(Constructive::new("cg:4", CoffmanGraham::new(4))),
+            false,
+        ),
+        (Box::new(Constructive::new("ns", NetworkSimplex)), false),
+        (Box::new(Exact::default()), true),
+        (Box::new(AcoLayering::new(params())), true),
+        (Box::new(Portfolio::new(params())), true),
+    ]
+}
+
+fn graphs() -> Vec<Dag> {
+    let mut rng = StdRng::seed_from_u64(2024);
+    vec![
+        // Under the exact cap: the exact/portfolio members certify.
+        generate::gnp_dag(8, 0.3, &mut rng),
+        // Above the cap: exact falls back, portfolio skips its member.
+        generate::random_dag_with_edges(30, 50, &mut rng),
+        // Single vertex: the degenerate but legal request.
+        Dag::from_edges(1, &[]).unwrap(),
+    ]
+}
+
+#[test]
+fn expired_deadline_returns_a_valid_incumbent() {
+    for (solver, anytime) in solvers() {
+        for dag in graphs() {
+            let wm = WidthModel::unit();
+            let s = solver.solve(&dag, &wm, Some(Instant::now()));
+            s.layering
+                .validate(&dag)
+                .unwrap_or_else(|e| panic!("{}: invalid incumbent: {e:?}", solver.name()));
+            assert!(
+                (s.cost - solution_cost(&dag, &s.layering, &wm)).abs() < 1e-9,
+                "{}: cost disagrees with the returned layering",
+                solver.name()
+            );
+            if !anytime {
+                assert!(
+                    !s.stopped_early,
+                    "{}: constructive answers are instant, not truncated",
+                    solver.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn anytime_solvers_report_truncation_under_an_expired_deadline() {
+    let mut rng = StdRng::seed_from_u64(6);
+    // Big enough that no anytime search can finish before its first
+    // deadline check.
+    let dag = generate::random_dag_with_edges(40, 70, &mut rng);
+    let wm = WidthModel::unit();
+    for (solver, anytime) in solvers() {
+        if !anytime {
+            continue;
+        }
+        // `exact` is a special case above its node cap: the search is
+        // never attempted, so there is nothing to truncate.
+        if solver.name() == "exact" {
+            continue;
+        }
+        let s = solver.solve(&dag, &wm, Some(Instant::now()));
+        assert!(
+            s.stopped_early,
+            "{}: expired deadline must set stopped_early",
+            solver.name()
+        );
+    }
+}
+
+#[test]
+fn deterministic_under_a_fixed_seed() {
+    for (solver, _) in solvers() {
+        for dag in graphs() {
+            let wm = WidthModel::unit();
+            let a = solver.solve(&dag, &wm, None);
+            let b = solver.solve(&dag, &wm, None);
+            assert_eq!(
+                a.layering,
+                b.layering,
+                "{}: layering differs across identical solves",
+                solver.name()
+            );
+            assert_eq!(
+                a.cost.to_bits(),
+                b.cost.to_bits(),
+                "{}: cost differs across identical solves",
+                solver.name()
+            );
+            assert_eq!(a.certified, b.certified, "{}", solver.name());
+        }
+    }
+}
+
+#[test]
+fn constructive_solutions_match_the_direct_algorithm() {
+    let cases: Vec<(Box<dyn Solver>, Box<dyn LayeringAlgorithm>)> = vec![
+        (
+            Box::new(Constructive::new("lpl", LongestPath)),
+            Box::new(LongestPath),
+        ),
+        (
+            Box::new(Constructive::new("minwidth", MinWidth::new())),
+            Box::new(MinWidth::new()),
+        ),
+        (
+            Box::new(Constructive::new("ns", NetworkSimplex)),
+            Box::new(NetworkSimplex),
+        ),
+        (
+            Box::new(Constructive::new("cg:4", CoffmanGraham::new(4))),
+            Box::new(CoffmanGraham::new(4)),
+        ),
+    ];
+    for dag in graphs() {
+        let wm = WidthModel::unit();
+        for (solver, algo) in &cases {
+            let s = solver.solve(&dag, &wm, None);
+            assert_eq!(s.layering, algo.layer(&dag, &wm), "{}", solver.name());
+        }
+    }
+}
+
+#[test]
+fn aco_solution_matches_the_direct_colony_run() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let dag = generate::random_dag_with_edges(25, 40, &mut rng);
+    let wm = WidthModel::unit();
+    let algo = AcoLayering::new(params());
+    let s = Solver::solve(&algo, &dag, &wm, None);
+    let run = algo.run(&dag, &wm);
+    assert_eq!(s.layering, run.layering);
+    // Parity between the solver's H+W cost and the colony's objective
+    // f = 1/(H+W) on the same layering.
+    assert!((s.cost * run.objective - 1.0).abs() < 1e-9);
+    let m = LayeringMetrics::compute(&dag, &s.layering, &wm);
+    assert!((s.cost - (m.height as f64 + m.width)).abs() < 1e-9);
+}
+
+#[test]
+fn exact_solution_matches_the_direct_bounded_search() {
+    let mut rng = StdRng::seed_from_u64(10);
+    let dag = generate::gnp_dag(9, 0.25, &mut rng);
+    let wm = WidthModel::unit();
+    let s = Solver::solve(&Exact::default(), &dag, &wm, None);
+    assert!(s.certified);
+    let direct = exact::min_cost_layering(&dag, &wm, &exact::SearchBudget::unlimited());
+    let (layering, cost) = direct.best.unwrap();
+    assert_eq!(s.layering, layering);
+    assert_eq!(s.cost.to_bits(), cost.to_bits());
+}
+
+#[test]
+fn portfolio_winner_cost_is_the_member_minimum() {
+    for dag in graphs() {
+        let wm = WidthModel::unit();
+        let s = Portfolio::new(params()).solve(&dag, &wm, None);
+        let race = s.race.expect("the portfolio always reports its race");
+        let min = race
+            .members
+            .iter()
+            .map(|m| m.cost)
+            .fold(f64::INFINITY, f64::min);
+        assert!((s.cost - min).abs() < 1e-9);
+        let winner = race
+            .members
+            .iter()
+            .find(|m| m.solver == race.winner)
+            .expect("winner is one of the members");
+        assert!((winner.cost - s.cost).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn seeded_solves_never_return_something_worse_than_searching_from_scratch_allows() {
+    // The seeded contract: the seed is installed as the incumbent, so
+    // the anytime solvers can only return something at least as good.
+    let mut rng = StdRng::seed_from_u64(12);
+    let dag = generate::random_dag_with_edges(30, 50, &mut rng);
+    let wm = WidthModel::unit();
+    let seed = LongestPath.layer(&dag, &wm);
+    let seed_cost = solution_cost(&dag, &seed, &wm);
+    for solver in [
+        Box::new(AcoLayering::new(params())) as Box<dyn Solver>,
+        Box::new(Portfolio::new(params())),
+    ] {
+        let s = solver.solve_seeded(&dag, &wm, &seed, None);
+        assert!(s.seeded, "{}: seeded flag must be set", solver.name());
+        assert!(
+            s.cost <= seed_cost + 1e-9,
+            "{}: returned {} but the seed already scores {}",
+            solver.name(),
+            s.cost,
+            seed_cost
+        );
+    }
+}

@@ -39,6 +39,7 @@ mod minwidth;
 mod network_simplex;
 mod promote;
 mod proper;
+pub mod solver;
 mod width;
 
 pub use algo::{LayeringAlgorithm, LayeringRefinement, Refined};
@@ -50,4 +51,7 @@ pub use minwidth::MinWidth;
 pub use network_simplex::NetworkSimplex;
 pub use promote::Promote;
 pub use proper::{NodeKind, ProperLayering};
+pub use solver::{
+    solution_cost, AsAlgorithm, Constructive, Exact, MemberStats, RaceReport, Solution, Solver,
+};
 pub use width::WidthModel;

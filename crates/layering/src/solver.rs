@@ -1,0 +1,312 @@
+//! The anytime [`Solver`] contract every layering engine serves under.
+//!
+//! The service races heterogeneous engines — single-pass constructive
+//! algorithms, the exponential exact search, the ant colony — behind one
+//! contract: *given a DAG, a width model, and an optional absolute
+//! deadline, return the best incumbent found by the deadline, never
+//! panic, and say whether the clock truncated the search.* The paper's
+//! objective is `f = 1 / (H + W)`; solvers report the denominator
+//! [`Solution::cost`] `= H + W` of the normalized layering, so results
+//! from different engines compare directly (smaller is better).
+//!
+//! * [`Constructive`] adapts any [`LayeringAlgorithm`]: its one solution
+//!   is the incumbent, available instantly, so an expired deadline still
+//!   gets an answer and `stopped_early` stays `false`.
+//! * [`Exact`] wraps the branch and bound of [`crate::exact`] with a
+//!   deadline check and a node cap; a run that completes the search
+//!   *certifies* its solution as optimal ([`Solution::certified`]).
+//! * The ant colony and the portfolio driver implement the trait in the
+//!   `antlayer-aco` crate (they need colony internals to warm-start).
+//!
+//! A [`Solution`] may carry a [`RaceReport`] when the solver is itself a
+//! race over members (the portfolio): who won, and each member's cost,
+//! wall time, and flags.
+
+use crate::{exact, Layering, LayeringAlgorithm, LayeringMetrics, LongestPath, WidthModel};
+use antlayer_graph::Dag;
+use std::time::Instant;
+
+/// The paper's comparison cost of a layering: `height + width` of the
+/// normalized layering (the denominator of the objective `1/(H+W)`),
+/// dummy widths included per `wm`. Smaller is better; every [`Solver`]
+/// reports it so heterogeneous engines compare directly.
+pub fn solution_cost(dag: &Dag, layering: &Layering, wm: &WidthModel) -> f64 {
+    let m = LayeringMetrics::compute(dag, layering, wm);
+    m.height as f64 + m.width
+}
+
+/// One member's line in a [`RaceReport`]: how a portfolio member fared.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MemberStats {
+    /// The member's registered solver name (`lpl`, `aco`, `exact`, …).
+    pub solver: String,
+    /// The member's [`solution_cost`] (`H + W`, smaller is better).
+    pub cost: f64,
+    /// Wall time the member ran, in microseconds.
+    pub micros: u64,
+    /// Whether the deadline truncated this member's search.
+    pub stopped_early: bool,
+    /// Whether this member *proved* its solution optimal.
+    pub certified: bool,
+}
+
+/// The outcome of a race over several members: who won and how each ran.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RaceReport {
+    /// Name of the member whose solution was returned (ties go to the
+    /// earlier, cheaper member).
+    pub winner: String,
+    /// Every member that produced an incumbent, in run order.
+    pub members: Vec<MemberStats>,
+}
+
+/// What a [`Solver`] returns: the incumbent plus the contract's flags.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// The best layering found (valid and normalized).
+    pub layering: Layering,
+    /// The [`solution_cost`] of [`layering`](Self::layering).
+    pub cost: f64,
+    /// Whether the deadline truncated the search (the incumbent is the
+    /// anytime best, not the solver's converged answer).
+    pub stopped_early: bool,
+    /// Whether the solution is proven optimal for the paper's objective
+    /// (minimum `H + W`) — only the exact search can set this.
+    pub certified: bool,
+    /// Whether the solver was warm-started from a caller-provided seed.
+    pub seeded: bool,
+    /// Per-member breakdown when the solver raced several engines.
+    pub race: Option<RaceReport>,
+}
+
+impl Solution {
+    /// A plain solution around `layering`: cost computed, every flag
+    /// false. Builders set the flags that apply.
+    pub fn of(dag: &Dag, wm: &WidthModel, layering: Layering) -> Solution {
+        let cost = solution_cost(dag, &layering, wm);
+        Solution {
+            layering,
+            cost,
+            stopped_early: false,
+            certified: false,
+            seeded: false,
+            race: None,
+        }
+    }
+}
+
+/// The anytime contract: return the best incumbent by `deadline`, never
+/// panic, report truncation. See the module docs for the semantics each
+/// implementation gives the flags.
+pub trait Solver {
+    /// The solver's registered wire name (`lpl`, `aco`, `exact`,
+    /// `portfolio`, …) — what requests select and responses report.
+    fn name(&self) -> &str;
+
+    /// Solves `dag` under `wm`, returning the best incumbent found by
+    /// `deadline` (`None` = run to the solver's own convergence).
+    fn solve(&self, dag: &Dag, wm: &WidthModel, deadline: Option<Instant>) -> Solution;
+
+    /// Like [`solve`](Self::solve), warm-started from `seed` (a valid
+    /// layering of `dag`). Solvers that cannot exploit a seed ignore it;
+    /// the default does exactly that.
+    fn solve_seeded(
+        &self,
+        dag: &Dag,
+        wm: &WidthModel,
+        seed: &Layering,
+        deadline: Option<Instant>,
+    ) -> Solution {
+        let _ = seed;
+        self.solve(dag, wm, deadline)
+    }
+}
+
+/// Adapts a single-pass [`LayeringAlgorithm`] to the anytime contract:
+/// its one solution is computed immediately and *is* the incumbent, so
+/// even an already-expired deadline gets an answer and `stopped_early`
+/// stays `false`.
+pub struct Constructive {
+    name: String,
+    algo: Box<dyn LayeringAlgorithm>,
+}
+
+impl Constructive {
+    /// Wraps `algo` under the registered solver name `name`.
+    pub fn new(name: impl Into<String>, algo: impl LayeringAlgorithm + 'static) -> Constructive {
+        Constructive {
+            name: name.into(),
+            algo: Box::new(algo),
+        }
+    }
+
+    /// Wraps an already-boxed algorithm (the service's construction
+    /// point hands these out).
+    pub fn from_boxed(name: impl Into<String>, algo: Box<dyn LayeringAlgorithm>) -> Constructive {
+        Constructive {
+            name: name.into(),
+            algo,
+        }
+    }
+}
+
+impl Solver for Constructive {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn solve(&self, dag: &Dag, wm: &WidthModel, _deadline: Option<Instant>) -> Solution {
+        Solution::of(dag, wm, self.algo.layer(dag, wm))
+    }
+}
+
+/// The exact branch and bound behind the anytime contract: under the
+/// node cap it searches for the true minimum of `H + W` and *certifies*
+/// the result when the search completes; a deadline (or the expansion
+/// budget) truncates it to its best incumbent instead. Above the cap it
+/// degrades to the LPL incumbent — the contract demands an answer, and
+/// an exponential search on a large graph would never produce one.
+pub struct Exact {
+    /// Largest graph the search attempts (the search is exponential;
+    /// larger inputs return the constructive fallback uncertified).
+    pub node_cap: usize,
+    /// Deterministic work bound on the branch and bound, in search-tree
+    /// expansions — the machine-independent twin of the deadline, so a
+    /// pathological instance cannot pin a worker even without one.
+    pub max_expansions: u64,
+}
+
+impl Default for Exact {
+    fn default() -> Self {
+        Exact {
+            node_cap: 12,
+            max_expansions: 2_000_000,
+        }
+    }
+}
+
+impl Solver for Exact {
+    fn name(&self) -> &str {
+        "exact"
+    }
+
+    fn solve(&self, dag: &Dag, wm: &WidthModel, deadline: Option<Instant>) -> Solution {
+        if dag.node_count() > self.node_cap.min(exact::MAX_EXACT_NODES) {
+            // Too large to certify: the cheap constructive incumbent is
+            // the honest anytime answer (not truncated — the exact
+            // search was never attempted, and waiting longer would not
+            // have produced one).
+            return Solution::of(dag, wm, LongestPath.layer(dag, wm));
+        }
+        let budget = exact::SearchBudget {
+            deadline,
+            max_expansions: self.max_expansions,
+        };
+        let search = exact::min_cost_layering(dag, wm, &budget);
+        match search.best {
+            Some((layering, cost)) => Solution {
+                layering,
+                cost,
+                stopped_early: !search.completed,
+                certified: search.completed,
+                seeded: false,
+                race: None,
+            },
+            // Truncated before the first complete assignment: fall back
+            // to the instant constructive incumbent.
+            None => Solution {
+                stopped_early: !search.completed,
+                ..Solution::of(dag, wm, LongestPath.layer(dag, wm))
+            },
+        }
+    }
+}
+
+/// Adapts any [`Solver`] back to the [`LayeringAlgorithm`] interface
+/// (deadline-free solve); lets the CLI and benches treat `exact` and
+/// `portfolio` like any other algorithm.
+pub struct AsAlgorithm<S>(pub S);
+
+impl<S: Solver> LayeringAlgorithm for AsAlgorithm<S> {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+
+    fn layer(&self, dag: &Dag, widths: &WidthModel) -> Layering {
+        self.0.solve(dag, widths, None).layering
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MinWidth;
+
+    fn diamond() -> Dag {
+        Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn constructive_matches_its_algorithm_and_ignores_deadlines() {
+        let dag = diamond();
+        let wm = WidthModel::unit();
+        let solver = Constructive::new("lpl", LongestPath);
+        assert_eq!(solver.name(), "lpl");
+        let expired = Some(Instant::now());
+        let s = solver.solve(&dag, &wm, expired);
+        assert_eq!(s.layering, LongestPath.layer(&dag, &wm));
+        assert!(!s.stopped_early, "constructive answers are instant");
+        assert!(!s.certified);
+        assert_eq!(s.cost, solution_cost(&dag, &s.layering, &wm));
+        // The default seeded path ignores the seed.
+        let seeded = solver.solve_seeded(&dag, &wm, &s.layering, None);
+        assert_eq!(seeded.layering, s.layering);
+        assert!(!seeded.seeded);
+    }
+
+    #[test]
+    fn exact_certifies_small_graphs() {
+        let dag = diamond();
+        let wm = WidthModel::unit();
+        let s = Exact::default().solve(&dag, &wm, None);
+        s.layering.validate(&dag).unwrap();
+        assert!(s.certified);
+        assert!(!s.stopped_early);
+        // Certified optimum must not lose to any heuristic.
+        let mw = solution_cost(&dag, &MinWidth::new().layer(&dag, &wm), &wm);
+        let lpl = solution_cost(&dag, &LongestPath.layer(&dag, &wm), &wm);
+        assert!(s.cost <= mw + 1e-9 && s.cost <= lpl + 1e-9);
+    }
+
+    #[test]
+    fn exact_falls_back_above_the_node_cap() {
+        let edges: Vec<(u32, u32)> = (0..19).map(|i| (i, i + 1)).collect();
+        let dag = Dag::from_edges(20, &edges).unwrap();
+        let wm = WidthModel::unit();
+        let s = Exact::default().solve(&dag, &wm, None);
+        s.layering.validate(&dag).unwrap();
+        assert!(!s.certified, "no certification without a complete search");
+        assert!(!s.stopped_early);
+        assert_eq!(s.layering, LongestPath.layer(&dag, &wm));
+    }
+
+    #[test]
+    fn exact_with_expired_deadline_returns_an_incumbent_truncated() {
+        let dag = diamond();
+        let wm = WidthModel::unit();
+        let s = Exact::default().solve(&dag, &wm, Some(Instant::now()));
+        s.layering.validate(&dag).unwrap();
+        assert!(s.stopped_early, "expired deadline must report truncation");
+        assert!(!s.certified);
+    }
+
+    #[test]
+    fn as_algorithm_adapts_a_solver() {
+        let dag = diamond();
+        let wm = WidthModel::unit();
+        let algo = AsAlgorithm(Exact::default());
+        assert_eq!(algo.name(), "exact");
+        let l = algo.layer(&dag, &wm);
+        l.validate(&dag).unwrap();
+    }
+}

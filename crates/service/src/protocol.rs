@@ -37,7 +37,9 @@
 //! mandatory: a missing one is rejected with [`ErrorKind::MissingOp`].
 //!
 //! `algo` is one of `lpl`, `lpl-pl`, `minwidth`, `minwidth-pl`, `cg`,
-//! `ns`, `aco` (default `aco`); `seed`, `ants`, `tours` tune the colony
+//! `ns`, `aco` (default `aco`), `exact`, `portfolio` — `solver` is an
+//! accepted alias for the key, and `"portfolio": true` is shorthand for
+//! selecting the portfolio; `seed`, `ants`, `tours` tune the colony
 //! and default to the library defaults; `deadline_ms` bounds the search
 //! (anytime ACO); `nd_width` defaults to 1.
 //!
@@ -71,6 +73,8 @@ use crate::digest::Digest;
 use crate::scheduler::{AlgoSpec, DeltaRequest, LayoutRequest, LayoutResponse};
 use antlayer_graph::{DiGraph, GraphDelta, NodeId};
 use antlayer_obs::{HistogramSnapshot, TraceEntry};
+
+pub use antlayer_layering::{MemberStats, RaceReport};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -831,7 +835,10 @@ fn edge_u32_pairs_json(pairs: &[(u32, u32)]) -> Json {
 }
 
 /// Emits the fields [`parse_common_fields`] reads, canonically: `algo`
-/// always, colony knobs only for ACO, `deadline_ms` only when set.
+/// for the classic algorithms and `solver` for the solver-contract
+/// additions (`exact`, `portfolio`) — the two keys are aliases on the
+/// read side; colony knobs only for ACO/portfolio, `deadline_ms` only
+/// when set.
 fn encode_common_fields(
     algo: &AlgoSpec,
     nd_width: f64,
@@ -840,12 +847,18 @@ fn encode_common_fields(
 ) {
     // The wire names match AlgoSpec::parse; Coffman–Graham's width bound
     // is not a wire parameter, so any CoffmanGraham spec encodes as "cg".
-    let name = match algo {
-        AlgoSpec::CoffmanGraham(_) => "cg".to_string(),
-        other => other.canonical_name(),
-    };
-    obj.insert("algo".into(), Json::Str(name));
-    if let AlgoSpec::Aco(p) = algo {
+    match algo {
+        AlgoSpec::Exact | AlgoSpec::Portfolio(_) => {
+            obj.insert("solver".into(), Json::Str(algo.canonical_name()));
+        }
+        AlgoSpec::CoffmanGraham(_) => {
+            obj.insert("algo".into(), Json::Str("cg".into()));
+        }
+        other => {
+            obj.insert("algo".into(), Json::Str(other.canonical_name()));
+        }
+    }
+    if let AlgoSpec::Aco(p) | AlgoSpec::Portfolio(p) = algo {
         obj.insert("seed".into(), Json::Num(p.seed as f64));
         obj.insert("ants".into(), Json::Num(p.n_ants as f64));
         obj.insert("tours".into(), Json::Num(p.n_tours as f64));
@@ -1100,15 +1113,62 @@ fn parse_edge_pairs(v: &Json, key: &str) -> Result<Option<Vec<(u32, u32)>>, Wire
     Ok(Some(edges))
 }
 
-/// Parses the fields `layout` and `layout_delta` share: the algorithm
-/// (with wire-level work caps), `nd_width`, and `deadline_ms`. `op`
-/// prefixes error messages so they name the request that failed.
+/// Parses the fields `layout` and `layout_delta` share: the solver
+/// selection (with wire-level work caps), `nd_width`, and
+/// `deadline_ms`. `op` prefixes error messages so they name the request
+/// that failed.
+///
+/// The solver is selected by `algo` or its alias `solver` (either key
+/// accepts any registered name; giving both with different values is
+/// invalid), or by the shorthand `"portfolio": true`. Absent all three,
+/// the default is `aco`.
 fn parse_common_fields(v: &Json, op: &str) -> Result<(AlgoSpec, f64, Option<Duration>), WireError> {
     let invalid = |m: String| WireError::new(ErrorKind::InvalidRequest, m);
     let seed = v.get("seed").and_then(Json::as_u64).unwrap_or(1);
-    let algo_name = v.get("algo").and_then(Json::as_str).unwrap_or("aco");
+    let algo_key = match v.get("algo") {
+        None => None,
+        Some(j) => Some(
+            j.as_str()
+                .ok_or_else(|| invalid(format!("{op}: 'algo' must be a string")))?,
+        ),
+    };
+    let solver_key = match v.get("solver") {
+        None => None,
+        Some(j) => Some(
+            j.as_str()
+                .ok_or_else(|| invalid(format!("{op}: 'solver' must be a string")))?,
+        ),
+    };
+    let named = match (solver_key, algo_key) {
+        (Some(s), Some(a)) if s != a => {
+            return Err(invalid(format!(
+                "{op}: 'solver' ({s}) and 'algo' ({a}) disagree"
+            )))
+        }
+        (Some(s), _) => Some(s),
+        (None, a) => a,
+    };
+    let portfolio_flag = match v.get("portfolio") {
+        None => None,
+        Some(Json::Bool(b)) => Some(*b),
+        Some(_) => return Err(invalid(format!("{op}: 'portfolio' must be a boolean"))),
+    };
+    let algo_name = match (portfolio_flag, named) {
+        (Some(true), Some(name)) if name != "portfolio" => {
+            return Err(invalid(format!(
+                "{op}: 'portfolio': true contradicts solver '{name}'"
+            )))
+        }
+        (Some(true), _) => "portfolio",
+        (Some(false), Some("portfolio")) => {
+            return Err(invalid(format!(
+                "{op}: 'portfolio': false contradicts solver 'portfolio'"
+            )))
+        }
+        (_, name) => name.unwrap_or("aco"),
+    };
     let mut algo = AlgoSpec::parse(algo_name, seed).map_err(invalid)?;
-    if let AlgoSpec::Aco(params) = &mut algo {
+    if let AlgoSpec::Aco(params) | AlgoSpec::Portfolio(params) = &mut algo {
         // Wire-level work caps: admission control counts jobs, not work,
         // so a single request must not be able to occupy a worker for an
         // unbounded time (the paper's production colony is 10 x 10).
@@ -1172,6 +1232,15 @@ pub struct LayoutReply {
     pub stopped_early: bool,
     /// Whether the colony was warm-started from a cached base.
     pub seeded: bool,
+    /// Whether the result is certified optimal for the paper's cost
+    /// `H + W` (the exact search completed for this graph).
+    pub certified: bool,
+    /// The winning portfolio member's solver name; absent for
+    /// single-solver requests.
+    pub winner: Option<String>,
+    /// Per-member race stats, in run order; empty for single-solver
+    /// requests.
+    pub members: Vec<MemberStats>,
     /// Wall time of the computation in microseconds.
     pub compute_micros: u64,
     /// Bottom-up layers, each a list of node ids.
@@ -1194,6 +1263,26 @@ impl LayoutReply {
         );
         obj.insert("stopped_early".into(), Json::Bool(self.stopped_early));
         obj.insert("seeded".into(), Json::Bool(self.seeded));
+        obj.insert("certified".into(), Json::Bool(self.certified));
+        if let Some(winner) = &self.winner {
+            obj.insert("winner".into(), Json::Str(winner.clone()));
+        }
+        if !self.members.is_empty() {
+            let members = self
+                .members
+                .iter()
+                .map(|m| {
+                    let mut o = BTreeMap::new();
+                    o.insert("solver".into(), Json::Str(m.solver.clone()));
+                    o.insert("cost".into(), Json::Num(m.cost));
+                    o.insert("micros".into(), Json::Num(m.micros as f64));
+                    o.insert("stopped_early".into(), Json::Bool(m.stopped_early));
+                    o.insert("certified".into(), Json::Bool(m.certified));
+                    Json::Obj(o)
+                })
+                .collect();
+            obj.insert("members".into(), Json::Arr(members));
+        }
         obj.insert(
             "compute_micros".into(),
             Json::Num(self.compute_micros as f64),
@@ -1242,6 +1331,38 @@ impl LayoutReply {
                 .collect::<Result<Vec<Vec<u32>>, String>>()?,
             _ => return Err("layout reply: missing 'layers'".into()),
         };
+        let members = match v.get("members") {
+            None => Vec::new(),
+            Some(Json::Arr(members)) => members
+                .iter()
+                .map(|m| {
+                    let solver = m
+                        .get("solver")
+                        .and_then(Json::as_str)
+                        .ok_or("layout reply: member missing string 'solver'")?;
+                    let cost = m
+                        .get("cost")
+                        .and_then(Json::as_num)
+                        .ok_or("layout reply: member missing number 'cost'")?;
+                    let micros = m
+                        .get("micros")
+                        .and_then(Json::as_u64)
+                        .ok_or("layout reply: member missing integer 'micros'")?;
+                    let flag = |k: &str| match m.get(k) {
+                        Some(Json::Bool(b)) => Ok(*b),
+                        _ => Err(format!("layout reply: member missing boolean '{k}'")),
+                    };
+                    Ok(MemberStats {
+                        solver: solver.to_string(),
+                        cost,
+                        micros,
+                        stopped_early: flag("stopped_early")?,
+                        certified: flag("certified")?,
+                    })
+                })
+                .collect::<Result<Vec<MemberStats>, String>>()?,
+            Some(_) => return Err("layout reply: 'members' must be an array".into()),
+        };
         Ok(LayoutReply {
             digest: str_field("digest")?,
             source: str_field("source")?,
@@ -1254,6 +1375,10 @@ impl LayoutReply {
             reversed_edges: u64_field("reversed_edges")?,
             stopped_early: bool_field("stopped_early")?,
             seeded: bool_field("seeded")?,
+            // Absent on pre-portfolio servers: default to uncertified.
+            certified: matches!(v.get("certified"), Some(Json::Bool(true))),
+            winner: v.get("winner").and_then(Json::as_str).map(String::from),
+            members,
             compute_micros: u64_field("compute_micros")?,
             layers,
         })
@@ -1272,6 +1397,13 @@ pub fn layout_reply_of(response: &LayoutResponse) -> LayoutReply {
         reversed_edges: result.reversed_edges as u64,
         stopped_early: result.stopped_early,
         seeded: result.seeded,
+        certified: result.certified,
+        winner: result.race.as_ref().map(|r| r.winner.clone()),
+        members: result
+            .race
+            .as_ref()
+            .map(|r| r.members.clone())
+            .unwrap_or_default(),
         compute_micros: result.compute_micros,
         layers: result
             .layering
@@ -1524,6 +1656,62 @@ mod tests {
             (
                 r#"{"op":"layout","nodes":2,"tours":1000000000}"#,
                 "tours exceeds",
+            ),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{line} -> {err}");
+        }
+    }
+
+    #[test]
+    fn solver_selection_aliases_and_portfolio_shorthand() {
+        // `solver` is an alias for `algo` and accepts the new names.
+        let line = r#"{"op":"layout","solver":"exact","nodes":3,"edges":[[0,1],[1,2]]}"#;
+        let Request::Layout(req) = parse_request(line).unwrap() else {
+            panic!("expected layout");
+        };
+        assert_eq!(req.algo, AlgoSpec::Exact);
+
+        // `"portfolio": true` selects the portfolio, colony knobs apply.
+        let line = r#"{"op":"layout","portfolio":true,"nodes":3,"seed":4,"ants":2,"tours":3}"#;
+        let Request::Layout(req) = parse_request(line).unwrap() else {
+            panic!("expected layout");
+        };
+        let AlgoSpec::Portfolio(p) = req.algo else {
+            panic!("expected portfolio");
+        };
+        assert_eq!((p.n_ants, p.n_tours, p.seed), (2, 3, 4));
+
+        // Agreeing keys are fine; `"portfolio": false` is a no-op.
+        let line = r#"{"op":"layout","algo":"lpl","solver":"lpl","portfolio":false,"nodes":2}"#;
+        let Request::Layout(req) = parse_request(line).unwrap() else {
+            panic!("expected layout");
+        };
+        assert_eq!(req.algo, AlgoSpec::LongestPath);
+    }
+
+    #[test]
+    fn contradictory_solver_selections_are_invalid() {
+        for (line, needle) in [
+            (
+                r#"{"op":"layout","algo":"aco","solver":"exact","nodes":2}"#,
+                "disagree",
+            ),
+            (
+                r#"{"op":"layout","portfolio":true,"algo":"aco","nodes":2}"#,
+                "contradicts",
+            ),
+            (
+                r#"{"op":"layout","portfolio":false,"solver":"portfolio","nodes":2}"#,
+                "contradicts",
+            ),
+            (
+                r#"{"op":"layout","portfolio":"yes","nodes":2}"#,
+                "'portfolio' must be a boolean",
+            ),
+            (
+                r#"{"op":"layout","solver":7,"nodes":2}"#,
+                "'solver' must be a string",
             ),
         ] {
             let err = parse_request(line).unwrap_err();

@@ -23,11 +23,11 @@
 
 use crate::cache::{CacheCounters, ShardedCache};
 use crate::digest::{request_digest, Digest};
-use antlayer_aco::{AcoLayering, AcoParams};
+use antlayer_aco::{AcoLayering, AcoParams, Portfolio};
 use antlayer_graph::{DiGraph, GraphDelta};
 use antlayer_layering::{
-    CoffmanGraham, Layering, LayeringAlgorithm, LayeringMetrics, LongestPath, MinWidth,
-    NetworkSimplex, Promote, Refined, WidthModel,
+    AsAlgorithm, CoffmanGraham, Constructive, Exact, Layering, LayeringAlgorithm, LayeringMetrics,
+    LongestPath, MinWidth, NetworkSimplex, Promote, RaceReport, Refined, Solver, WidthModel,
 };
 use antlayer_obs::{Counter, Histogram, Registry};
 use antlayer_parallel::WorkerPool;
@@ -41,7 +41,8 @@ use std::time::{Duration, Instant};
 /// Which layering algorithm a request asks for.
 ///
 /// The string forms accepted by [`AlgoSpec::parse`] match the CLI:
-/// `lpl`, `lpl-pl`, `minwidth`, `minwidth-pl`, `cg`, `ns`, `aco`.
+/// `lpl`, `lpl-pl`, `minwidth`, `minwidth-pl`, `cg`, `ns`, `aco`,
+/// `exact`, `portfolio`.
 #[derive(Clone, Debug, PartialEq)]
 pub enum AlgoSpec {
     /// Longest-path layering.
@@ -58,10 +59,17 @@ pub enum AlgoSpec {
     NetworkSimplex,
     /// The paper's ant colony with full parameters.
     Aco(AcoParams),
+    /// The size-capped exact branch and bound (certifies optimality).
+    Exact,
+    /// The solver portfolio: constructive incumbents, size-capped exact
+    /// certification, and a warm-started colony raced per request; the
+    /// parameters feed the colony member.
+    Portfolio(AcoParams),
 }
 
 impl AlgoSpec {
-    /// Parses a CLI-style algorithm name; `seed` feeds the ACO variant.
+    /// Parses a CLI-style algorithm name; `seed` feeds the ACO and
+    /// portfolio variants.
     pub fn parse(name: &str, seed: u64) -> Result<AlgoSpec, String> {
         Ok(match name {
             "lpl" => AlgoSpec::LongestPath,
@@ -71,6 +79,8 @@ impl AlgoSpec {
             "cg" => AlgoSpec::CoffmanGraham(4),
             "ns" => AlgoSpec::NetworkSimplex,
             "aco" => AlgoSpec::Aco(AcoParams::default().with_seed(seed)),
+            "exact" => AlgoSpec::Exact,
+            "portfolio" => AlgoSpec::Portfolio(AcoParams::default().with_seed(seed)),
             other => return Err(format!("unknown algorithm '{other}'")),
         })
     }
@@ -87,19 +97,21 @@ impl AlgoSpec {
             AlgoSpec::CoffmanGraham(w) => format!("cg:{w}"),
             AlgoSpec::NetworkSimplex => "ns".into(),
             AlgoSpec::Aco(_) => "aco".into(),
+            AlgoSpec::Exact => "exact".into(),
+            AlgoSpec::Portfolio(_) => "portfolio".into(),
         }
     }
 
     fn aco_params(&self) -> Option<&AcoParams> {
         match self {
-            AlgoSpec::Aco(p) => Some(p),
+            AlgoSpec::Aco(p) | AlgoSpec::Portfolio(p) => Some(p),
             _ => None,
         }
     }
 
-    /// Instantiates the algorithm. The single construction point shared
-    /// by the scheduler and the CLI — adding an algorithm means touching
-    /// [`AlgoSpec::parse`], [`AlgoSpec::canonical_name`], and this.
+    /// Instantiates the algorithm. Deadline-free view of
+    /// [`AlgoSpec::solver`] for callers (CLI `draw`, benches) that want
+    /// a plain [`LayeringAlgorithm`].
     pub fn build(&self) -> Box<dyn LayeringAlgorithm> {
         match self {
             AlgoSpec::LongestPath => Box::new(LongestPath),
@@ -109,6 +121,24 @@ impl AlgoSpec {
             AlgoSpec::CoffmanGraham(w) => Box::new(CoffmanGraham::new(*w as usize)),
             AlgoSpec::NetworkSimplex => Box::new(NetworkSimplex),
             AlgoSpec::Aco(p) => Box::new(AcoLayering::new(p.clone())),
+            AlgoSpec::Exact => Box::new(AsAlgorithm(Exact::default())),
+            AlgoSpec::Portfolio(p) => Box::new(AsAlgorithm(Portfolio::new(p.clone()))),
+        }
+    }
+
+    /// Instantiates the solver behind the anytime contract. The single
+    /// construction point shared by the scheduler and the CLI — adding
+    /// a solver means touching [`AlgoSpec::parse`],
+    /// [`AlgoSpec::canonical_name`], and this.
+    pub fn solver(&self) -> Box<dyn Solver> {
+        match self {
+            AlgoSpec::Aco(p) => Box::new(AcoLayering::new(p.clone())),
+            AlgoSpec::Exact => Box::new(Exact::default()),
+            AlgoSpec::Portfolio(p) => Box::new(Portfolio::new(p.clone())),
+            constructive => Box::new(Constructive::from_boxed(
+                constructive.canonical_name(),
+                constructive.build(),
+            )),
         }
     }
 }
@@ -211,6 +241,11 @@ pub struct LayoutResult {
     pub stopped_early: bool,
     /// Whether the colony was warm-started from a previous layering.
     pub seeded: bool,
+    /// Whether the result is certified optimal for the paper's cost
+    /// `H + W` (the exact search completed for this graph).
+    pub certified: bool,
+    /// Per-member race outcome when the solver was the portfolio.
+    pub race: Option<RaceReport>,
     /// Wall time of the computation in microseconds.
     pub compute_micros: u64,
 }
@@ -386,6 +421,7 @@ pub struct Scheduler {
     compute_us: Arc<Histogram>,
     colony_stopped_early: Arc<Counter>,
     colony_seeded: Arc<Counter>,
+    solver_certified: Arc<Counter>,
     /// Latch for the byte-budget warning: set while over budget so the
     /// warning fires once per crossing, re-armed when usage drops back.
     bytes_warned: Arc<AtomicBool>,
@@ -449,6 +485,10 @@ impl Scheduler {
         let colony_seeded = metrics.counter(
             "colony_seeded_total",
             "ACO runs warm-started from a cached base layering",
+        );
+        let solver_certified = metrics.counter(
+            "solver_certified_total",
+            "layout results certified optimal by the exact search",
         );
         {
             let s = stats.clone();
@@ -518,6 +558,7 @@ impl Scheduler {
             compute_us,
             colony_stopped_early,
             colony_seeded,
+            solver_certified,
             bytes_warned: Arc::new(AtomicBool::new(false)),
             cfg,
         }
@@ -668,6 +709,7 @@ impl Scheduler {
         let compute_us = self.compute_us.clone();
         let colony_stopped_early = self.colony_stopped_early.clone();
         let colony_seeded = self.colony_seeded.clone();
+        let solver_certified = self.solver_certified.clone();
         let bytes_warned = self.bytes_warned.clone();
         let byte_budget = self.cfg.cache_byte_budget;
         let enqueued = Instant::now();
@@ -691,6 +733,9 @@ impl Scheduler {
                     }
                     if result.seeded {
                         colony_seeded.inc();
+                    }
+                    if result.certified {
+                        solver_certified.inc();
                     }
                     if !result.stopped_early {
                         cache.insert_costed(digest, result.clone(), result.approx_bytes());
@@ -816,17 +861,18 @@ fn validate_request(request: &LayoutRequest) -> Result<(), ServiceError> {
             request.nd_width
         )));
     }
-    if let AlgoSpec::Aco(p) = &request.algo {
+    if let AlgoSpec::Aco(p) | AlgoSpec::Portfolio(p) = &request.algo {
         p.validate().map_err(ServiceError::InvalidRequest)?;
     }
     Ok(())
 }
 
-/// Runs the requested algorithm; cycles in the input are oriented away
-/// first, exactly as the CLI does. With a `warm` base (the `layout_delta`
-/// path) and the ACO algorithm, the base layering is repaired onto the
-/// edited DAG and installed as the colony's incumbent; the baselines are
-/// single-pass and compute cold either way.
+/// Runs the requested solver under the anytime contract; cycles in the
+/// input are oriented away first, exactly as the CLI does. With a `warm`
+/// base (the `layout_delta` path), the base layering is repaired onto
+/// the edited DAG and handed to [`Solver::solve_seeded`] — the colony
+/// installs it as its incumbent, the portfolio races it as a member, and
+/// the single-pass solvers ignore it.
 fn compute(
     request: LayoutRequest,
     digest: Digest,
@@ -836,38 +882,28 @@ fn compute(
     let started = Instant::now();
     let oriented = antlayer_sugiyama::acyclic_orientation(&request.graph);
     let wm = WidthModel::with_dummy_width(request.nd_width);
-    let (layering, metrics, stopped_early, seeded) = match &request.algo {
-        // ACO is the one anytime algorithm: it takes the deadline and
-        // reports truncation.
-        AlgoSpec::Aco(params) => {
-            let algo = AcoLayering::new(params.clone());
-            let run = match warm {
-                Some(base) => {
-                    let seed = base.layering.repaired(&oriented.dag);
-                    algo.run_seeded_until(&oriented.dag, &wm, &seed, deadline)
-                        .expect("repaired seed is valid by construction")
-                }
-                None => algo.run_until(&oriented.dag, &wm, deadline),
-            };
-            (run.layering, run.metrics, run.stopped_early, run.seeded)
+    let solver = request.algo.solver();
+    let solution = match warm {
+        Some(base) => {
+            let seed = base.layering.repaired(&oriented.dag);
+            solver.solve_seeded(&oriented.dag, &wm, &seed, deadline)
         }
-        baseline => {
-            let layering = baseline.build().layer(&oriented.dag, &wm);
-            let metrics = LayeringMetrics::compute(&oriented.dag, &layering, &wm);
-            (layering, metrics, false, false)
-        }
+        None => solver.solve(&oriented.dag, &wm, deadline),
     };
+    let metrics = LayeringMetrics::compute(&oriented.dag, &solution.layering, &wm);
     LayoutResult {
         digest,
         // Moved, not cloned: the request is consumed, so carrying the
         // graph in the result costs nothing extra even for truncated
         // runs that never reach the cache.
         graph: request.graph,
-        layering,
+        layering: solution.layering,
         metrics,
         reversed_edges: oriented.reversed.len(),
-        stopped_early,
-        seeded,
+        stopped_early: solution.stopped_early,
+        seeded: solution.seeded,
+        certified: solution.certified,
+        race: solution.race,
         compute_micros: started.elapsed().as_micros() as u64,
     }
 }
@@ -1161,7 +1197,15 @@ mod tests {
         let s = Scheduler::new(SchedulerConfig::default());
         // A 3-cycle: the orientation pass must reverse an edge.
         let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
-        for name in ["lpl", "lpl-pl", "minwidth", "minwidth-pl", "cg", "ns"] {
+        for name in [
+            "lpl",
+            "lpl-pl",
+            "minwidth",
+            "minwidth-pl",
+            "cg",
+            "ns",
+            "exact",
+        ] {
             let algo = AlgoSpec::parse(name, 1).unwrap();
             let r = s
                 .submit(LayoutRequest::new(g.clone(), algo))
@@ -1172,6 +1216,81 @@ mod tests {
             assert!(r.result.metrics.height >= 2, "{name}");
         }
         assert!(AlgoSpec::parse("nope", 1).is_err());
+    }
+
+    #[test]
+    fn exact_requests_on_small_graphs_come_back_certified() {
+        let s = Scheduler::new(SchedulerConfig::default());
+        let g = DiGraph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]).unwrap();
+        let r = s
+            .submit(LayoutRequest::new(g, AlgoSpec::Exact))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(r.result.certified);
+        assert!(!r.result.stopped_early);
+        assert!(r.result.race.is_none(), "exact is not a race");
+        assert_eq!(s.cache.len(), 1, "certified results cache normally");
+        let text = s.metrics().render_prometheus();
+        assert!(text.contains("solver_certified_total 1"), "{text}");
+    }
+
+    #[test]
+    fn exact_requests_above_the_cap_fall_back_uncertified() {
+        let s = Scheduler::new(SchedulerConfig::default());
+        let r = s
+            .submit(LayoutRequest::new(small_graph(77), AlgoSpec::Exact))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(!r.result.certified);
+        assert!(!r.result.stopped_early);
+    }
+
+    #[test]
+    fn portfolio_requests_report_winner_and_members() {
+        let s = Scheduler::new(SchedulerConfig::default());
+        let algo = AlgoSpec::Portfolio(AcoParams::default().with_colony(3, 3).with_seed(5));
+        let r = s
+            .submit(LayoutRequest::new(small_graph(5), algo))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let race = r.result.race.as_ref().expect("portfolio reports its race");
+        assert!(race.members.len() >= 5);
+        assert!(race.members.iter().any(|m| m.solver == race.winner));
+        // The request digest keys on the portfolio name + colony params:
+        // a plain aco request with the same params must not collide.
+        let aco = AlgoSpec::Aco(AcoParams::default().with_colony(3, 3).with_seed(5));
+        let r2 = s
+            .submit(LayoutRequest::new(small_graph(5), aco))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_ne!(r.result.digest, r2.result.digest);
+        assert_eq!(r2.source, Source::Computed);
+    }
+
+    #[test]
+    fn portfolio_delta_path_races_the_repaired_seed() {
+        let s = Scheduler::new(SchedulerConfig::default());
+        let algo = AlgoSpec::Portfolio(AcoParams::default().with_colony(3, 3).with_seed(21));
+        let base = s
+            .submit(LayoutRequest::new(small_graph(21), algo.clone()))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let (u, v) = base.result.graph.edges().next().unwrap();
+        let delta = GraphDelta::new(vec![], vec![(u.index() as u32, v.index() as u32)]);
+        let req = DeltaRequest::new(base.result.digest, delta, algo);
+        let warm = s.submit_delta(req).unwrap().wait().unwrap();
+        assert_eq!(warm.source, Source::Warm);
+        assert!(warm.result.seeded);
+        let race = warm.result.race.as_ref().unwrap();
+        assert!(
+            race.members.iter().any(|m| m.solver == "seed"),
+            "the repaired base layering must race as a member"
+        );
     }
 
     #[test]

@@ -7,14 +7,14 @@
 use antlayer_graph::{DiGraph, GraphDelta};
 use antlayer_service::digest::Digest;
 use antlayer_service::protocol::{
-    self, Envelope, ErrorKind, Json, LayoutReply, Request, Response, WireError,
+    self, Envelope, ErrorKind, Json, LayoutReply, MemberStats, Request, Response, WireError,
 };
 use antlayer_service::scheduler::{AlgoSpec, DeltaRequest, LayoutRequest};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-const ALGOS: [&str; 7] = [
+const ALGOS: [&str; 9] = [
     "lpl",
     "lpl-pl",
     "minwidth",
@@ -22,6 +22,8 @@ const ALGOS: [&str; 7] = [
     "cg",
     "ns",
     "aco",
+    "exact",
+    "portfolio",
 ];
 const SOURCES: [&str; 4] = ["hit", "computed", "warm", "coalesced"];
 const KINDS: [ErrorKind; 11] = [
@@ -64,7 +66,7 @@ fn request_of(
     base: (u64, u64),
 ) -> Request {
     let mut spec = AlgoSpec::parse(ALGOS[algo % ALGOS.len()], seed).expect("known algo");
-    if let AlgoSpec::Aco(p) = &mut spec {
+    if let AlgoSpec::Aco(p) | AlgoSpec::Portfolio(p) = &mut spec {
         p.n_ants = ants;
         p.n_tours = tours;
     }
@@ -97,7 +99,7 @@ fn request_of(
                 algo: {
                     let mut spec =
                         AlgoSpec::parse(ALGOS[algo % ALGOS.len()], seed).expect("known algo");
-                    if let AlgoSpec::Aco(p) = &mut spec {
+                    if let AlgoSpec::Aco(p) | AlgoSpec::Portfolio(p) = &mut spec {
                         p.n_ants = ants;
                         p.n_tours = tours;
                     }
@@ -118,7 +120,7 @@ proptest! {
         op in 0usize..4,
         nodes in 1usize..16,
         raw_edges in proptest::collection::vec((0u32..16, 0u32..16), 0..24),
-        algo in 0usize..7,
+        algo in 0usize..9,
         seed in 0u64..10_000,
         ants in 1usize..64,
         tours in 1usize..64,
@@ -161,9 +163,10 @@ proptest! {
         widthq in 1u32..400,
         dummies in 0u64..1_000,
         reversed in 0u64..40,
-        flags in 0u32..4,
+        flags in 0u32..8,
         micros in 0u64..10_000_000,
         layers in proptest::collection::vec(proptest::collection::vec(0u32..500, 0..6), 0..8),
+        members in proptest::collection::vec((0usize..9, 1u32..400, 0u64..100_000, 0u32..4), 0..5),
         counters in proptest::collection::vec((0usize..8, 0u64..100_000), 0..8),
         kind in 0usize..11,
         suffix in 0u64..1_000,
@@ -203,18 +206,34 @@ proptest! {
                 };
                 Response::Error(WireError::new(kind, format!("{prefix}: detail {suffix}")))
             }
-            _ => Response::Layout(Box::new(LayoutReply {
-                digest: format!("{:016x}{:016x}", digest_hi, digest_lo),
-                source: SOURCES[source % SOURCES.len()].to_string(),
-                height,
-                width: widthq as f64 / 4.0,
-                dummies,
-                reversed_edges: reversed,
-                stopped_early: flags & 1 != 0,
-                seeded: flags & 2 != 0,
-                compute_micros: micros,
-                layers,
-            })),
+            _ => {
+                let members: Vec<MemberStats> = members
+                    .iter()
+                    .map(|&(solver, costq, micros, mflags)| MemberStats {
+                        solver: ALGOS[solver % ALGOS.len()].to_string(),
+                        cost: costq as f64 / 4.0,
+                        micros,
+                        stopped_early: mflags & 1 != 0,
+                        certified: mflags & 2 != 0,
+                    })
+                    .collect();
+                let winner = members.first().map(|m| m.solver.clone());
+                Response::Layout(Box::new(LayoutReply {
+                    digest: format!("{:016x}{:016x}", digest_hi, digest_lo),
+                    source: SOURCES[source % SOURCES.len()].to_string(),
+                    height,
+                    width: widthq as f64 / 4.0,
+                    dummies,
+                    reversed_edges: reversed,
+                    stopped_early: flags & 1 != 0,
+                    seeded: flags & 2 != 0,
+                    certified: flags & 4 != 0,
+                    winner,
+                    members,
+                    compute_micros: micros,
+                    layers,
+                }))
+            }
         };
 
         // v1 framing.

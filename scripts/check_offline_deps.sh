@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Fails when any Cargo.toml declares a dependency that would need the
+# network. The build environment is offline: every dependency must be a
+# workspace member under crates/ or a vendored stand-in under vendor/.
+# Concretely:
+#
+#   * every [workspace.dependencies] entry at the root must be a path
+#     dep into crates/ or vendor/;
+#   * every [dependencies] / [dev-dependencies] / [build-dependencies]
+#     entry in any manifest must inherit that workspace spec
+#     (`name.workspace = true`) — a `name = "1.0"` registry dep or a
+#     path dep escaping the repo turns the build red here, before a
+#     clean checkout discovers it the hard way.
+#
+# Run from the repo root (CI does).
+set -euo pipefail
+
+fail=0
+
+# Root [workspace.dependencies]: the single place a dependency's source
+# is spelled out, so the offline rule is enforced there.
+while IFS= read -r line; do
+    if ! grep -qE 'path *= *"(crates|vendor)/' <<<"$line"; then
+        echo "NOT OFFLINE in Cargo.toml [workspace.dependencies]: $line" >&2
+        fail=1
+    fi
+done < <(awk '/^\[workspace\.dependencies\]/{f=1;next} /^\[/{f=0} f && /^[a-zA-Z0-9_-]+ *=/' Cargo.toml)
+
+# Every dependency section in every manifest: entries may only inherit
+# the (path-checked) workspace spec, or name a path that resolves back
+# into crates/ or vendor/ (the vendored stand-ins dep on each other by
+# relative path).
+manifests=(Cargo.toml crates/*/Cargo.toml vendor/*/Cargo.toml)
+checked=0
+for manifest in "${manifests[@]}"; do
+    while IFS= read -r line; do
+        checked=$((checked + 1))
+        case "$line" in
+        *[a-zA-Z0-9_-].workspace*=*true*) continue ;;
+        esac
+        dep_path=$(sed -nE 's/.*path *= *"([^"]+)".*/\1/p' <<<"$line")
+        if [ -n "$dep_path" ]; then
+            resolved=$(realpath --relative-to=. "$(dirname "$manifest")/$dep_path" 2>/dev/null || true)
+            case "$resolved" in
+            crates/* | vendor/*) continue ;;
+            esac
+        fi
+        echo "NOT OFFLINE in $manifest: $line" >&2
+        fail=1
+    done < <(awk '/^\[(dependencies|dev-dependencies|build-dependencies)\]/{f=1;next} /^\[/{f=0} f && /^[a-zA-Z0-9_.-]+ *=/' "$manifest")
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "a Cargo.toml declares a dependency that is neither a workspace member nor vendored." >&2
+    exit 1
+fi
+echo "offline deps check: ${#manifests[@]} manifests, $checked dependency declarations, all workspace-or-vendored."

@@ -36,6 +36,15 @@ done
 # The v2 envelope itself: the doc must show the versioned form.
 require '"v":2' "v2 envelope marker"
 
+# Registered solver/algorithm names: the parse arms of AlgoSpec::parse,
+# e.g. `"portfolio" => AlgoSpec::…` — every name a request can select
+# must be documented.
+solvers=$(grep -oE '"[a-z-]+" => AlgoSpec::' "$scheduler_src" | grep -oE '"[a-z-]+"' | tr -d '"' | sort -u)
+[ -n "$solvers" ] || { echo "could not extract solver names from $scheduler_src" >&2; exit 1; }
+for solver in $solvers; do
+    require "\`$solver\`" "registered solver name"
+done
+
 # Response sources: the match arms of Source::name, e.g. `Source::Warm => "warm"`.
 sources=$(grep -oE 'Source::[A-Za-z]+ => "[a-z]+"' "$scheduler_src" | grep -oE '"[a-z]+"' | tr -d '"' | sort -u)
 [ -n "$sources" ] || { echo "could not extract response sources from $scheduler_src" >&2; exit 1; }
@@ -98,6 +107,7 @@ if [ "$fail" -ne 0 ]; then
     exit 1
 fi
 echo "docs check: PROTOCOL.md mentions all $(echo "$ops" | wc -w | tr -d ' ') ops, \
+$(echo "$solvers" | wc -w | tr -d ' ') solvers, \
 $(echo "$sources" | wc -w | tr -d ' ') sources, $(echo "$kinds" | wc -w | tr -d ' ') error kinds, \
 $(echo "$routes" | wc -l | tr -d ' ') HTTP routes, $(echo "$metrics" | wc -w | tr -d ' ') metrics, \
 ${#errors[@]} legacy prefixes."
