@@ -28,6 +28,7 @@
 //!   observability                   instrumented vs telemetry-off colony + served-histogram audit → BENCH_6.json
 //!                                   (--baseline FILE gates the overhead ratio against a checked-in run)
 //!   portfolio                       solver portfolio vs ACO-only under the anytime contract → BENCH_7.json
+//!   durability                      durable cache + replication under seeded fault injection → BENCH_8.json
 //!   all                             everything above, CSVs into --out
 //! ```
 //!
@@ -36,6 +37,7 @@
 //! gnuplot-ready `.dat`.
 
 mod common;
+mod durability;
 mod extended;
 mod figures;
 mod hotpath;
@@ -47,6 +49,7 @@ mod tuning;
 mod warmstart;
 
 use common::Config;
+use durability::durability;
 use extended::{convergence, extended};
 use figures::{fig_ed_rt, fig_height_dvc, fig_width};
 use hotpath::hotpath;
@@ -136,6 +139,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "transport" => transport(&cfg),
         "observability" => observability(&cfg),
         "portfolio" => portfolio(&cfg),
+        "durability" => durability(&cfg),
         "all" => {
             for c in ["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"] {
                 run(&with_cmd(c, args))?;
@@ -155,6 +159,7 @@ fn run(args: &[String]) -> Result<(), String> {
             transport(&cfg)?;
             observability(&cfg)?;
             portfolio(&cfg)?;
+            durability(&cfg)?;
             hotpath(&cfg)
         }
         other => Err(format!("unknown command '{other}'")),

@@ -2,8 +2,11 @@
 //! run a set of layering algorithms over the AT&T-like suite and aggregate
 //! the paper's metrics per size group. The [`loadclient`] module holds
 //! the reusable serving-layer clients (`loadgen` and the router
-//! regression tests drive the same code).
+//! regression tests drive the same code), the [`faultplan`] module the
+//! deterministic fault-injection harness behind the durability
+//! experiment and regression tests.
 
+pub mod faultplan;
 pub mod loadclient;
 
 use antlayer_aco::{AcoLayering, AcoParams};

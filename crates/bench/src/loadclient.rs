@@ -150,6 +150,26 @@ pub fn spawn_shard(threads: usize) -> antlayer_service::ServerHandle {
     spawn_shard_with(threads, false)
 }
 
+/// Spawns a shard on an **explicit** address with a full scheduler
+/// configuration — the fixture behind restart-style fault injection,
+/// where a shard must come back on the same `host:port` (so routers and
+/// probes find it again) with the same `cache_dir` (so the segment-log
+/// replay proves durability).
+pub fn spawn_shard_configured(
+    addr: &str,
+    scheduler: antlayer_service::SchedulerConfig,
+) -> antlayer_service::ServerHandle {
+    antlayer_service::Server::bind(antlayer_service::ServerConfig {
+        addr: addr.into(),
+        http_addr: None,
+        scheduler,
+        ..Default::default()
+    })
+    .expect("bind configured shard")
+    .spawn()
+    .expect("spawn configured shard")
+}
+
 /// Picks 1–3 random edge edits that provably apply to `graph`: removals
 /// of existing edges and additions of fresh non-self-loop pairs.
 pub fn random_edit(graph: &DiGraph, rng: &mut StdRng) -> (EdgeList, EdgeList) {

@@ -1,0 +1,100 @@
+//! Fault-harness regression test for the replicated cache tier: at
+//! `--replicas 2` a `layout_delta` chain's cached base survives its
+//! primary shard being killed, so the rerouted delta is served **warm**
+//! from the replica (`Source::Warm` on the wire) instead of forcing the
+//! client's cold full-layout fallback. The replicas=1 control for the
+//! identical scenario is `router_edit.rs`, where the same kill rebases
+//! the chain — that remains correct recovery, this proves it is no
+//! longer *necessary*.
+
+use antlayer_aco::AcoParams;
+use antlayer_bench::faultplan::FaultFleet;
+use antlayer_bench::loadclient::{base_graph, EditSession, RequestProfile, Tallies};
+use antlayer_router::{Router, RouterConfig};
+use antlayer_service::{AlgoSpec, LayoutRequest};
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+#[test]
+fn warm_delta_chain_survives_primary_kill_at_two_replicas() {
+    let profile = RequestProfile {
+        n: 24,
+        ants: 3,
+        tours: 3,
+        ..Default::default()
+    };
+    let client_id = 0usize;
+
+    // The session's first request is a full layout of its private base
+    // graph; its digest's ring owner is the shard the kill must target.
+    // Compute it up front so the kill is deterministic.
+    let session_seed = 0xED17 + client_id as u64;
+    let first_request = LayoutRequest::new(
+        base_graph(&profile, session_seed),
+        AlgoSpec::Aco(
+            AcoParams::default()
+                .with_colony(profile.ants, profile.tours)
+                .with_seed(session_seed),
+        ),
+    );
+
+    let mut fleet = FaultFleet::boot(2, 2);
+    let router = Router::bind(RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: fleet.addrs(),
+        replicas: 2,
+        probe_interval: Duration::from_millis(50),
+        ..Default::default()
+    })
+    .unwrap();
+    let home = router.ring().owner(first_request.digest().lo);
+    let handle = router.spawn().unwrap();
+
+    let tallies = Tallies::default();
+    let mut session = EditSession::open(&handle.addr().to_string(), profile, client_id);
+
+    // Establish the chain. Replication is synchronous inside the
+    // router's request path, so by the time this step returns the
+    // computed base entry is already installed on the other shard.
+    assert!(session.step(&tallies).is_some(), "opening layout failed");
+    assert_eq!(tallies.good.load(Ordering::Relaxed), 1);
+    assert!(session.base_digest().is_some());
+
+    // Kill the base digest's ring owner — the primary holding the
+    // chain's cached base.
+    fleet.kill(home);
+
+    // The next delta rehashes to the survivor, which holds the
+    // replicated base: the step is served warm, with no client-side
+    // rebase and nothing dropped.
+    assert!(session.step(&tallies).is_some(), "post-kill delta failed");
+    assert_eq!(
+        tallies.warm.load(Ordering::Relaxed),
+        1,
+        "Source::Warm must survive the primary kill at replicas >= 2"
+    );
+    assert_eq!(
+        tallies.rebased.load(Ordering::Relaxed),
+        0,
+        "the replica makes the client's full-layout fallback unnecessary"
+    );
+    assert_eq!(tallies.dropped.load(Ordering::Relaxed), 0);
+
+    // …and the chain keeps warm-starting on the survivor.
+    for step in 0..3 {
+        assert!(
+            session.step(&tallies).is_some(),
+            "post-kill step {step} failed"
+        );
+    }
+    assert_eq!(tallies.good.load(Ordering::Relaxed), 5);
+    assert_eq!(tallies.rebased.load(Ordering::Relaxed), 0);
+    assert_eq!(tallies.dropped.load(Ordering::Relaxed), 0);
+    assert!(
+        tallies.warm.load(Ordering::Relaxed) >= 4,
+        "every post-kill delta warm-starts"
+    );
+
+    handle.shutdown();
+    fleet.shutdown();
+}

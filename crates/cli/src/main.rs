@@ -9,11 +9,11 @@
 //! antlayer gen    [--n N] [--seed S] [--gml]                     # emit a synthetic DAG as DOT/GML
 //! antlayer suite  [--seed S] [--total N]                         # AT&T-like suite statistics
 //! antlayer serve  [--addr HOST:PORT] [--http PORT] [--threads N] [--cache-cap N]
-//!                 [--cache-bytes B] [--queue-cap N] [--shards N]
-//!                 [--max-conns N]                                # batch layout server
+//!                 [--cache-bytes B] [--cache-dir DIR] [--queue-cap N]
+//!                 [--shards N] [--max-conns N]                   # batch layout server
 //! antlayer route  --shards HOST:PORT,HOST:PORT[,...] [--addr HOST:PORT]
 //!                 [--http PORT] [--vnodes N] [--probe-ms MS]
-//!                 [--max-conns N]                                # consistent-hash router
+//!                 [--max-conns N] [--replicas N]                 # consistent-hash router
 //! ```
 //!
 //! `layout` is accepted as an alias of `layer`. `FILE` may be `-` for
@@ -47,10 +47,16 @@
 //! firewall-hostile; `curl` examples live in the README.
 //! `--cache-bytes B` sets a soft byte budget on the layout cache:
 //! crossing it logs one warning (observability, not eviction — sizing
-//! stays `--cache-cap`'s job). `route` starts the `antlayer-router` front: it
+//! stays `--cache-cap`'s job). `--cache-dir DIR` makes the cache durable:
+//! every computed layout is appended to a checksummed segment log in
+//! `DIR` and replayed on the next boot, so a restarted shard serves its
+//! pre-crash entries from disk instead of recomputing them.
+//! `route` starts the `antlayer-router` front: it
 //! consistent-hashes request digests across the given `antlayer serve`
 //! shards, fails over past down shards, and aggregates `stats`; it takes
-//! the same `--http PORT` for its client-facing side. Clients speak the
+//! the same `--http PORT` for its client-facing side. `--replicas N`
+//! write-throughs each fresh result to the next `N−1` ring candidates,
+//! so a single shard death loses no cached work. Clients speak the
 //! identical protocol to either; see `docs/PROTOCOL.md` for the wire
 //! format (v1 lines and the v2 envelope) and `docs/ARCHITECTURE.md` for
 //! the topology.
@@ -89,10 +95,11 @@ usage:
   antlayer gen   [--n N] [--seed S] [--gml]
   antlayer suite [--seed S] [--total N]
   antlayer serve [--addr HOST:PORT] [--http PORT] [--threads N]
-                 [--cache-cap N] [--cache-bytes B] [--queue-cap N]
-                 [--shards N] [--max-conns N]
+                 [--cache-cap N] [--cache-bytes B] [--cache-dir DIR]
+                 [--queue-cap N] [--shards N] [--max-conns N]
   antlayer route --shards HOST:PORT,HOST:PORT[,...] [--addr HOST:PORT]
                  [--http PORT] [--vnodes N] [--probe-ms MS] [--max-conns N]
+                 [--replicas N]
 algorithms: lpl, lpl-pl, minwidth, minwidth-pl, cg, ns, aco (default),
 exact (certified optimum, small graphs), portfolio (race them all)
 deadline-ms: anytime budget for layer; the best incumbent at the
@@ -101,6 +108,10 @@ http: PORT (or HOST:PORT) of an additional HTTP/1.1 listener (POST /v2,
 GET /healthz, GET /metrics for Prometheus scrapes)
 cache-bytes: soft budget on the layout cache's approximate byte size;
 crossing it logs one warning (sizing stays --cache-cap's job)
+cache-dir: durable cache: computed layouts are appended to a segment
+log in DIR and replayed on the next boot
+replicas: fleet-wide copies per cached layout (route); N >= 2 survives
+any single shard death without losing cached work
 threads: colony worker threads, 0 = all available (results are
 thread-count independent)
 warm-from: JSON layering ({\"layers\":[[ids...],...]}) used as the
@@ -470,6 +481,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "threads",
             "cache-cap",
             "cache-bytes",
+            "cache-dir",
             "queue-cap",
             "shards",
             "max-conns",
@@ -491,6 +503,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 Some(v) => Some(v.parse().map_err(|e| format!("--cache-bytes: {e}"))?),
                 None => sched.cache_byte_budget,
             },
+            cache_dir: flags.get("cache-dir").map(std::path::PathBuf::from),
         },
         max_connections: flags.get_parsed("max-conns", base.max_connections)?,
     };
@@ -514,7 +527,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 fn cmd_route(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(
         args,
-        &["addr", "http", "shards", "vnodes", "probe-ms", "max-conns"],
+        &[
+            "addr",
+            "http",
+            "shards",
+            "vnodes",
+            "probe-ms",
+            "max-conns",
+            "replicas",
+        ],
     )?;
     let shards: Vec<String> = flags
         .get("shards")
@@ -538,6 +559,7 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
             flags.get_parsed("probe-ms", base.probe_interval.as_millis() as u64)?,
         ),
         max_connections: flags.get_parsed("max-conns", base.max_connections)?,
+        replicas: flags.get_parsed("replicas", base.replicas)?,
         ..base
     };
     let n_shards = config.shards.len();

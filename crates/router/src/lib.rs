@@ -35,10 +35,20 @@
 //!   the rehashed request answers `base not found` and the client falls
 //!   back to one full `layout` — the recovery the protocol already
 //!   specifies (and `antlayer-client` implements);
+//! * `cache_put` routes by the entry's digest, landing the entry where
+//!   requests naming that digest will look for it;
 //! * `stats` fans out to every shard and aggregates the counters
 //!   (plus router-level forwarding/failover counters and per-shard
 //!   health);
 //! * `ping` is answered locally.
+//!
+//! **Replication** (`--replicas N`, default 1 = off): every fresh layout
+//! result is written through — as a `cache_put` — to the next `N−1` live
+//! ring candidates after the shard that served it, so a single shard
+//! death loses no cached work; the rehashed requests land on a replica
+//! and serve from its cache, and edit chains stay warm. A hit served by
+//! a non-owner shard is written back to its ring owner (read repair), so
+//! traffic returns to the primary once the probe revives it.
 //!
 //! **Failover**: a connect or I/O failure marks the shard down and the
 //! request immediately rehashes to the next ring candidate (the
@@ -71,7 +81,10 @@ use antlayer_client::{Connection, Transport as ClientTransport};
 use antlayer_obs::{Histogram, HistogramSnapshot, Registry, RemoteSpan, SlowLog, TraceEntry};
 use antlayer_service::cache::ShardedCache;
 use antlayer_service::digest::Digest;
-use antlayer_service::protocol::{self, Envelope, ErrorKind, Json, Request, Response, WireError};
+use antlayer_service::protocol::{
+    self, CacheEntry, Envelope, ErrorKind, Json, Request, Response, WireError,
+};
+use antlayer_service::scheduler::LayoutRequest;
 use antlayer_service::router::{HashRing, ShardHealth};
 use antlayer_service::server::SLOW_LOG_CAPACITY;
 use antlayer_service::transport::{Handler, HttpTransport, LineTransport, Transport};
@@ -113,6 +126,17 @@ pub struct RouterConfig {
     pub io_timeout: Duration,
     /// How often the background probe re-checks down shards.
     pub probe_interval: Duration,
+    /// Copies of each cached layout kept across the fleet, **including**
+    /// the primary. `1` (the default) disables replication. At `N ≥ 2`
+    /// every fresh layout result is written through to the next `N−1`
+    /// ring candidates after its serving shard (a `cache_put` per
+    /// replica), so killing any single shard loses no cached work: the
+    /// rehashed requests land on a replica and serve from its cache.
+    /// When a request for a replicated digest is served by a non-owner
+    /// shard (failover), the reply is also written back to the ring
+    /// owner — read repair — so traffic returns to the primary once the
+    /// probe brings it back.
+    pub replicas: usize,
 }
 
 impl Default for RouterConfig {
@@ -126,6 +150,7 @@ impl Default for RouterConfig {
             connect_timeout: Duration::from_secs(1),
             io_timeout: Duration::from_secs(120),
             probe_interval: Duration::from_millis(500),
+            replicas: 1,
         }
     }
 }
@@ -139,6 +164,11 @@ struct RouterCounters {
     rerouted: AtomicU64,
     /// Requests that failed because every shard was unreachable.
     unroutable: AtomicU64,
+    /// `cache_put` write-throughs delivered to replica shards.
+    replica_puts: AtomicU64,
+    /// Write-backs that re-populated a digest's ring owner after a
+    /// non-owner shard served it (failover recovery).
+    read_repairs: AtomicU64,
 }
 
 /// Shared state of a running router.
@@ -158,6 +188,9 @@ struct RouterState {
     slow_log: SlowLog,
     connect_timeout: Duration,
     io_timeout: Duration,
+    /// Fleet-wide copies per cached layout ([`RouterConfig::replicas`]);
+    /// `< 2` means replication is off.
+    replicas: usize,
     /// Digest → shard overrides for entries that live off their ring
     /// owner: a `layout_delta` result is cached on the shard that served
     /// it (the *base*'s shard), not on the edited digest's ring owner,
@@ -269,6 +302,18 @@ impl Router {
                 "requests that failed because every shard was unreachable",
                 move || c.unroutable.load(Ordering::Relaxed),
             );
+            let c = counters.clone();
+            metrics.counter_fn(
+                "replica_puts_total",
+                "cache_put write-throughs delivered to replica shards",
+                move || c.replica_puts.load(Ordering::Relaxed),
+            );
+            let c = counters.clone();
+            metrics.counter_fn(
+                "read_repairs_total",
+                "write-backs that re-populated a digest's ring owner after failover",
+                move || c.read_repairs.load(Ordering::Relaxed),
+            );
             let s = shards.clone();
             metrics.gauge_fn(
                 "router_shards_up",
@@ -285,6 +330,7 @@ impl Router {
             slow_log: SlowLog::new(SLOW_LOG_CAPACITY),
             connect_timeout: config.connect_timeout,
             io_timeout: config.io_timeout,
+            replicas: config.replicas,
             // ~3 MB worst case: a u128 key and a shard index per entry.
             homes: ShardedCache::new(65_536, 8),
         });
@@ -553,11 +599,23 @@ fn route_line(line: &str, state: &RouterState, conns: &mut [Option<Connection>])
         Request::Debug => (debug_local(state, &env), None),
         Request::Layout(req) => {
             let wire = traceable(forwardable(line, &request, &env), &env);
-            forward(state, conns, &wire, req.digest(), false, &env)
+            let digest = req.digest();
+            let served = forward(state, conns, &wire, digest, false, &env);
+            if let (reply, Some(shard)) = &served {
+                replicate(state, conns, req, digest, *shard, reply);
+            }
+            served
         }
         Request::LayoutDelta(req) => {
             let wire = traceable(forwardable(line, &request, &env), &env);
             forward(state, conns, &wire, req.base, true, &env)
+        }
+        // A client-sent cache_put routes like a layout for the same
+        // digest: recorded home first, then ring order — the entry lands
+        // where requests naming the digest will look for it.
+        Request::CachePut(entry) => {
+            let wire = traceable(forwardable(line, &request, &env), &env);
+            forward(state, conns, &wire, entry.digest, false, &env)
         }
     };
     phases.push(("forward", forwarding.elapsed().as_micros() as u64));
@@ -754,6 +812,88 @@ fn record_result_home(
     }
 }
 
+/// Write-through replication + read repair for a just-served layout.
+///
+/// With [`RouterConfig::replicas`] `= N ≥ 2`, a fresh result (source
+/// `computed` or `warm`, not deadline-truncated) is re-encoded as a
+/// `cache_put` and delivered to the next `N−1` live ring candidates
+/// after the serving shard, so a single shard death loses no cached
+/// work. A cache *hit* served by a non-owner shard (failover) is written
+/// back to its ring owner instead — read repair — and the digest's
+/// recorded home is pointed back at the owner, so traffic returns to the
+/// primary once the probe revives it. `coalesced` results need no put:
+/// they share a digest with the `computed` result that already
+/// replicated. Puts ride the handler's pooled connections; a failed put
+/// marks the target down (the probe owns recovery) — replication is
+/// best-effort and never fails the client's request.
+fn replicate(
+    state: &RouterState,
+    conns: &mut [Option<Connection>],
+    req: &LayoutRequest,
+    digest: Digest,
+    shard: usize,
+    reply: &str,
+) {
+    if state.replicas < 2 {
+        return;
+    }
+    // Cheap substring gates first (the wire encoding is canonical, so
+    // these cannot false-positive inside a value) — a stats-heavy or
+    // replication-off fleet never pays for the reply re-parse.
+    if !reply.contains("\"ok\":true") || reply.contains("\"stopped_early\":true") {
+        return;
+    }
+    let Ok((Response::Layout(lr), _)) = protocol::parse_response(reply) else {
+        return;
+    };
+    let owner = state.ring.owner(digest.lo);
+    let targets: Vec<usize> = match lr.source.as_str() {
+        "computed" | "warm" => state
+            .ring
+            .candidates(digest.lo)
+            .filter(|&s| s != shard && state.shards[s].is_up())
+            .take(state.replicas - 1)
+            .collect(),
+        "hit" if shard != owner && state.shards[owner].is_up() => vec![owner],
+        _ => return,
+    };
+    if targets.is_empty() {
+        return;
+    }
+    let entry = CacheEntry {
+        digest,
+        nodes: req.graph.node_count() as u64,
+        edges: req
+            .graph
+            .edges()
+            .map(|(a, b)| (a.index() as u32, b.index() as u32))
+            .collect(),
+        layers: lr.layers.clone(),
+        nd_width: req.nd_width,
+        reversed_edges: lr.reversed_edges,
+        seeded: lr.seeded,
+        certified: lr.certified,
+        compute_micros: lr.compute_micros,
+    };
+    let put = Request::CachePut(Box::new(entry)).encode_v1();
+    for target in targets {
+        let health = &state.shards[target];
+        match exchange_on(conns, target, &health.addr, state, &put) {
+            Ok(ack) if ack.contains("\"ok\":true") => {
+                state.counters.replica_puts.fetch_add(1, Ordering::Relaxed);
+                if target == owner && shard != owner {
+                    state.counters.read_repairs.fetch_add(1, Ordering::Relaxed);
+                    // The owner holds the entry again: point the home
+                    // override back at the primary.
+                    state.homes.insert(digest, owner);
+                }
+            }
+            Ok(_) => {}
+            Err(_) => health.mark_down(),
+        }
+    }
+}
+
 /// One exchange on the handler's pooled connection to `shard`,
 /// reconnecting once if the pooled connection turns out to be dead.
 /// On error the pool slot is left empty.
@@ -871,6 +1011,14 @@ fn stats_fanout(state: &RouterState, conns: &mut [Option<Connection>], env: &Env
     counters.insert(
         "router_unroutable".into(),
         Json::Num(c.unroutable.load(Ordering::Relaxed) as f64),
+    );
+    counters.insert(
+        "replica_puts".into(),
+        Json::Num(c.replica_puts.load(Ordering::Relaxed) as f64),
+    );
+    counters.insert(
+        "read_repairs".into(),
+        Json::Num(c.read_repairs.load(Ordering::Relaxed) as f64),
     );
     counters.insert(
         "router_request_us".into(),

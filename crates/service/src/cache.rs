@@ -170,6 +170,17 @@ impl<V: Clone> LruShard<V> {
     fn len(&self) -> usize {
         self.map.len()
     }
+
+    /// Visits every live entry from least- to most-recently used without
+    /// touching recency.
+    fn for_each(&self, mut f: impl FnMut(u128, &V)) {
+        let mut i = self.tail;
+        while i != NIL {
+            let slot = &self.slots[i];
+            f(slot.key, &slot.value);
+            i = slot.prev;
+        }
+    }
 }
 
 /// The sharded cache. `V` is cheaply cloneable (the scheduler stores
@@ -289,6 +300,24 @@ impl<V: Clone> ShardedCache<V> {
     pub fn counters(&self) -> CacheCounters {
         self.stats.snapshot()
     }
+
+    /// Visits every live entry, shard by shard, least- to most-recently
+    /// used within each shard. Recency and counters are untouched; each
+    /// shard's lock is held only while that shard is walked. Used by the
+    /// persistence layer to snapshot live entries for compaction, where
+    /// the LRU-first order means a replay of the snapshot reconstructs
+    /// the same per-shard recency order.
+    pub fn for_each(&self, mut f: impl FnMut(Digest, &V)) {
+        for shard in &self.shards {
+            shard.lock().for_each(|key, value| {
+                let digest = Digest {
+                    hi: (key >> 64) as u64,
+                    lo: key as u64,
+                };
+                f(digest, value);
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -376,6 +405,21 @@ mod tests {
         // Cost-free insert paths leave the gauge untouched.
         c.insert(d(4), 4);
         assert_eq!(c.bytes(), 80 - 70, "evicting 1 released its 70 bytes");
+    }
+
+    #[test]
+    fn for_each_visits_live_entries_lru_first() {
+        let c: ShardedCache<u64> = ShardedCache::new(2, 1);
+        c.insert(d(1), 1);
+        c.insert(d(2), 2);
+        c.insert(d(3), 3); // evicts 1
+        let mut seen = Vec::new();
+        c.for_each(|digest, &v| seen.push((digest, v)));
+        assert_eq!(seen, vec![(d(2), 2), (d(3), 3)], "LRU first, evictee gone");
+        // Iteration must not disturb recency: 2 is still the LRU.
+        c.insert(d(4), 4);
+        assert_eq!(c.get(d(2)), None);
+        assert_eq!(c.get(d(3)), Some(3));
     }
 
     #[test]

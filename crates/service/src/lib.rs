@@ -12,6 +12,7 @@
 //! |---|---|---|
 //! | identity | [`digest`] | canonical encoding + 128-bit [`Digest`] of (graph, algorithm, params, width model) |
 //! | memory | [`cache`] | sharded LRU [`ShardedCache`] with hit/miss/eviction counters |
+//! | durability | [`persist`] | append-only [`SegmentLog`]: checksummed records, replay on boot, snapshot compaction |
 //! | compute | [`scheduler`] | [`Scheduler`]: digest dedup, admission control, deadline-bounded fan-out over the worker pool |
 //! | protocol | [`protocol`] | the typed codec: v1/v2 envelopes, [`protocol::Request`]/[`protocol::Response`]/[`protocol::ErrorKind`] |
 //! | transport | [`transport`], [`server`] | framing ([`transport::Transport`]: line TCP + hand-rolled HTTP/1.1), [`Server`] + [`ServerHandle`] |
@@ -75,6 +76,7 @@
 
 pub mod cache;
 pub mod digest;
+pub mod persist;
 pub mod protocol;
 pub mod router;
 pub mod scheduler;
@@ -83,7 +85,8 @@ pub mod transport;
 
 pub use cache::{CacheCounters, ShardedCache};
 pub use digest::{request_digest, CanonicalHasher, Digest};
-pub use protocol::{Envelope, ErrorKind, LayoutReply, Request, Response, WireError};
+pub use persist::{ReplayReport, SegmentLog};
+pub use protocol::{CacheEntry, Envelope, ErrorKind, LayoutReply, Request, Response, WireError};
 pub use router::{HashRing, ShardHealth};
 pub use scheduler::{
     AlgoSpec, DeltaRequest, LayoutRequest, LayoutResponse, LayoutResult, Scheduler,

@@ -70,7 +70,7 @@
 //! ```
 
 use crate::digest::Digest;
-use crate::scheduler::{AlgoSpec, DeltaRequest, LayoutRequest, LayoutResponse};
+use crate::scheduler::{AlgoSpec, DeltaRequest, LayoutRequest, LayoutResponse, LayoutResult};
 use antlayer_graph::{DiGraph, GraphDelta, NodeId};
 use antlayer_obs::{HistogramSnapshot, TraceEntry};
 
@@ -614,6 +614,10 @@ pub enum Request {
     Layout(Box<LayoutRequest>),
     /// Incremental re-layout: an edge diff against a cached base layout.
     LayoutDelta(Box<DeltaRequest>),
+    /// Store an already-computed entry in the receiver's cache — the
+    /// replication write-through (router → replica shard) and read-repair
+    /// carrier. Boxed like `Layout`: the entry carries a whole graph.
+    CachePut(Box<CacheEntry>),
     /// Report server counters.
     Stats,
     /// Liveness check.
@@ -629,6 +633,7 @@ impl Request {
         match self {
             Request::Layout(_) => "layout",
             Request::LayoutDelta(_) => "layout_delta",
+            Request::CachePut(_) => "cache_put",
             Request::Stats => "stats",
             Request::Ping => "ping",
             Request::Debug => "debug",
@@ -640,6 +645,7 @@ impl Request {
     pub fn body_json(&self) -> Json {
         match self {
             Request::Ping | Request::Stats | Request::Debug => Json::Obj(BTreeMap::new()),
+            Request::CachePut(e) => e.to_json(),
             Request::Layout(r) => layout_body_json(&r.graph, &r.algo, r.nd_width, r.deadline),
             Request::LayoutDelta(r) => delta_body_json(
                 r.base,
@@ -973,6 +979,9 @@ pub fn parse_request_envelope(line: &str) -> Result<(Request, Envelope), (WireEr
         "layout" => Request::Layout(Box::new(parse_layout(body).map_err(|e| (e, env.clone()))?)),
         "layout_delta" => Request::LayoutDelta(Box::new(
             parse_layout_delta(body).map_err(|e| (e, env.clone()))?,
+        )),
+        "cache_put" => Request::CachePut(Box::new(
+            CacheEntry::from_json(body).map_err(|e| (e, env.clone()))?,
         )),
         other => {
             return Err((
@@ -1414,6 +1423,182 @@ pub fn layout_reply_of(response: &LayoutResponse) -> LayoutReply {
     }
 }
 
+/// A portable cached layout: everything a process needs to reconstruct
+/// a [`LayoutResult`] it never computed. One codec, two carriers: the
+/// `cache_put` wire op (the router's replication write-through and
+/// read-repair) and the segment-log records of [`crate::persist`] — so
+/// the persistence property tests exercise the wire body too.
+///
+/// The entry stores the *inputs* of the derived fields (graph edges,
+/// bottom-up layer lists, `nd_width`) rather than the metrics
+/// themselves: the receiver re-derives orientation and metrics with the
+/// same code that produced them, so a restored entry is
+/// indistinguishable from the entry an organic compute would have
+/// cached — including `approx_bytes`, which keeps the byte budget
+/// honest across restore paths.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheEntry {
+    /// The canonical request digest the entry is cached under. Trusted
+    /// as given: on the wire the sender is the fleet's own router; in a
+    /// segment log the record is checksummed.
+    pub digest: Digest,
+    /// Node count of the request graph.
+    pub nodes: u64,
+    /// Edges of the request graph (as sent, before orientation).
+    pub edges: Vec<(u32, u32)>,
+    /// Bottom-up layers of the cached layering, each a list of node ids
+    /// — the same shape a [`LayoutReply`] carries.
+    pub layers: Vec<Vec<u32>>,
+    /// The request's node/dummy width ratio, needed to re-derive the
+    /// width metrics.
+    pub nd_width: f64,
+    /// Edges reversed to break input cycles.
+    pub reversed_edges: u64,
+    /// Whether the colony was warm-started from a cached base.
+    pub seeded: bool,
+    /// Whether the result is certified optimal.
+    pub certified: bool,
+    /// Wall time of the original computation in microseconds.
+    pub compute_micros: u64,
+}
+
+impl CacheEntry {
+    /// Captures a computed result as a portable entry.
+    pub fn of_result(result: &LayoutResult) -> CacheEntry {
+        CacheEntry {
+            digest: result.digest,
+            nodes: result.graph.node_count() as u64,
+            edges: result
+                .graph
+                .edges()
+                .map(|(u, v)| (u.index() as u32, v.index() as u32))
+                .collect(),
+            layers: result
+                .layering
+                .layers()
+                .into_iter()
+                .map(|layer| layer.into_iter().map(|v| v.index() as u32).collect())
+                .collect(),
+            nd_width: result.nd_width,
+            reversed_edges: result.reversed_edges as u64,
+            seeded: result.seeded,
+            certified: result.certified,
+            compute_micros: result.compute_micros,
+        }
+    }
+
+    /// The entry as a JSON object — the `cache_put` op body and the
+    /// segment-log record payload.
+    pub fn to_json(&self) -> Json {
+        let mut obj = BTreeMap::new();
+        obj.insert("digest".into(), Json::Str(self.digest.to_string()));
+        obj.insert("nodes".into(), Json::Num(self.nodes as f64));
+        obj.insert("edges".into(), edge_u32_pairs_json(&self.edges));
+        obj.insert(
+            "layers".into(),
+            Json::Arr(
+                self.layers
+                    .iter()
+                    .map(|layer| Json::Arr(layer.iter().map(|&v| Json::Num(v as f64)).collect()))
+                    .collect(),
+            ),
+        );
+        obj.insert("nd_width".into(), Json::Num(self.nd_width));
+        obj.insert(
+            "reversed_edges".into(),
+            Json::Num(self.reversed_edges as f64),
+        );
+        obj.insert("seeded".into(), Json::Bool(self.seeded));
+        obj.insert("certified".into(), Json::Bool(self.certified));
+        obj.insert(
+            "compute_micros".into(),
+            Json::Num(self.compute_micros as f64),
+        );
+        Json::Obj(obj)
+    }
+
+    /// Decodes and validates an entry object (the inverse of
+    /// [`to_json`](Self::to_json)). Shares the `layout` op's caps: the
+    /// graph shape is fully validated here so a malformed entry is
+    /// rejected before it can poison a cache or a replay.
+    pub fn from_json(v: &Json) -> Result<CacheEntry, WireError> {
+        let invalid = |m: String| WireError::new(ErrorKind::InvalidRequest, m);
+        let digest = v
+            .get("digest")
+            .and_then(Json::as_str)
+            .ok_or_else(|| invalid("cache_put: missing 'digest'".into()))?;
+        let digest = Digest::from_hex(digest)
+            .ok_or_else(|| invalid("cache_put: 'digest' must be 32 hex digits".into()))?;
+        let nodes = v
+            .get("nodes")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| invalid("cache_put: missing 'nodes'".into()))?;
+        if nodes > 1_000_000 {
+            return Err(invalid(format!(
+                "cache_put: {nodes} nodes exceeds the 1M cap"
+            )));
+        }
+        let edges = parse_edge_pairs(v, "edges")?.unwrap_or_default();
+        for &(u, w) in &edges {
+            if u as u64 >= nodes || w as u64 >= nodes {
+                return Err(WireError::new(
+                    ErrorKind::InvalidGraph,
+                    format!("invalid graph: edge ({u},{w}) out of range for {nodes} nodes"),
+                ));
+            }
+        }
+        let layers = match v.get("layers") {
+            Some(Json::Arr(layers)) => layers
+                .iter()
+                .map(|layer| match layer {
+                    Json::Arr(ids) => ids
+                        .iter()
+                        .map(|id| {
+                            id.as_u64()
+                                .filter(|&n| n < nodes)
+                                .map(|n| n as u32)
+                                .ok_or_else(|| invalid("cache_put: bad layer node id".into()))
+                        })
+                        .collect::<Result<Vec<u32>, WireError>>(),
+                    _ => Err(invalid("cache_put: each layer must be an array".into())),
+                })
+                .collect::<Result<Vec<Vec<u32>>, WireError>>()?,
+            _ => return Err(invalid("cache_put: missing 'layers'".into())),
+        };
+        let nd_width = match v.get("nd_width") {
+            None => 1.0,
+            Some(n) => n
+                .as_num()
+                .filter(|w| w.is_finite() && *w >= 0.0)
+                .ok_or_else(|| {
+                    invalid("cache_put: 'nd_width' must be a finite non-negative number".into())
+                })?,
+        };
+        let opt_u64 = |k: &str| match v.get(k) {
+            None => Ok(0),
+            Some(n) => n
+                .as_u64()
+                .ok_or_else(|| invalid(format!("cache_put: '{k}' must be a non-negative integer"))),
+        };
+        let flag = |k: &str| match v.get(k) {
+            None => Ok(false),
+            Some(Json::Bool(b)) => Ok(*b),
+            Some(_) => Err(invalid(format!("cache_put: '{k}' must be a boolean"))),
+        };
+        Ok(CacheEntry {
+            digest,
+            nodes,
+            edges,
+            layers,
+            nd_width,
+            reversed_edges: opt_u64("reversed_edges")?,
+            seeded: flag("seeded")?,
+            certified: flag("certified")?,
+            compute_micros: opt_u64("compute_micros")?,
+        })
+    }
+}
+
 /// A decoded server response — the other half of the typed codec.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
@@ -1431,6 +1616,12 @@ pub enum Response {
     /// reply, verbatim (`slow_requests` plus whatever the responder
     /// adds), mirroring [`Response::Stats`].
     Debug(BTreeMap<String, Json>),
+    /// Acknowledgement of a `cache_put`: `stored` is `false` when the
+    /// receiver already held the entry (idempotent re-put).
+    CachePutAck {
+        /// Whether the entry was newly installed.
+        stored: bool,
+    },
     /// An error reply.
     Error(WireError),
 }
@@ -1460,6 +1651,13 @@ impl Response {
                 let mut obj = members.clone();
                 obj.insert("ok".into(), Json::Bool(true));
                 obj.insert("op".into(), Json::Str("debug".into()));
+                Json::Obj(obj)
+            }
+            Response::CachePutAck { stored } => {
+                let mut obj = BTreeMap::new();
+                obj.insert("ok".into(), Json::Bool(true));
+                obj.insert("op".into(), Json::Str("cache_put".into()));
+                obj.insert("stored".into(), Json::Bool(*stored));
                 Json::Obj(obj)
             }
             Response::Error(e) => {
@@ -1558,6 +1756,9 @@ pub fn parse_response(line: &str) -> Result<(Response, Envelope), String> {
                     Response::Debug(body)
                 }
             }
+            Some("cache_put") => Response::CachePutAck {
+                stored: v.get("stored") == Some(&Json::Bool(true)),
+            },
             Some(other) => return Err(format!("unknown response op '{other}'")),
             None => Response::Layout(Box::new(LayoutReply::from_json(&v)?)),
         },
@@ -1771,6 +1972,53 @@ mod tests {
         );
         let err = parse_request(&line).unwrap_err();
         assert!(err.contains("exceeds the 100000"), "{err}");
+    }
+
+    #[test]
+    fn cache_put_request_and_ack_roundtrip() {
+        let entry = CacheEntry {
+            digest: Digest { hi: 1, lo: 2 },
+            nodes: 4,
+            edges: vec![(0, 1), (1, 2), (2, 3)],
+            layers: vec![vec![3], vec![2], vec![1], vec![0]],
+            nd_width: 0.5,
+            reversed_edges: 1,
+            seeded: true,
+            certified: false,
+            compute_micros: 77,
+        };
+        let line = Request::CachePut(Box::new(entry.clone())).encode_v1();
+        let Request::CachePut(parsed) = parse_request(&line).unwrap() else {
+            panic!("expected cache_put");
+        };
+        assert_eq!(*parsed, entry);
+
+        let ack = Response::CachePutAck { stored: true }.encode(&Envelope::v1());
+        let (resp, _) = parse_response(&ack).unwrap();
+        assert_eq!(resp, Response::CachePutAck { stored: true });
+    }
+
+    #[test]
+    fn cache_put_validation_errors() {
+        let hex = "0123456789abcdef0123456789abcdef";
+        for (line, needle) in [
+            (r#"{"op":"cache_put","nodes":2,"layers":[[0]]}"#.to_string(), "missing 'digest'"),
+            (
+                format!(r#"{{"op":"cache_put","digest":"{hex}","nodes":2,"layers":[[5]]}}"#),
+                "bad layer node id",
+            ),
+            (
+                format!(r#"{{"op":"cache_put","digest":"{hex}","nodes":2,"edges":[[0,9]],"layers":[[0],[1]]}}"#),
+                "out of range",
+            ),
+            (
+                format!(r#"{{"op":"cache_put","digest":"{hex}","nodes":2}}"#),
+                "missing 'layers'",
+            ),
+        ] {
+            let err = parse_request(&line).unwrap_err();
+            assert!(err.contains(needle), "{line} -> {err}");
+        }
     }
 
     #[test]

@@ -235,6 +235,11 @@ pub struct LayoutResult {
     pub layering: Layering,
     /// Metrics of the layering.
     pub metrics: LayeringMetrics,
+    /// The request's node/dummy width ratio — part of the digest
+    /// identity, retained so the entry can be re-encoded as a portable
+    /// [`CacheEntry`](crate::protocol::CacheEntry) for the segment log
+    /// and for replication.
+    pub nd_width: f64,
     /// Number of edges reversed to break cycles in the input.
     pub reversed_edges: usize,
     /// Whether a deadline truncated the search (never cached when true).
@@ -361,6 +366,12 @@ pub struct SchedulerConfig {
     /// error — the entry-count capacity stays the only eviction driver.
     /// `None` disables the warning.
     pub cache_byte_budget: Option<u64>,
+    /// Directory for the cache's segment log (`--cache-dir`): cacheable
+    /// results are appended as they are computed, boot replays the
+    /// segments back into the cache, and compaction keeps the on-disk
+    /// footprint proportional to the live set. `None` (the default)
+    /// keeps the cache memory-only.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for SchedulerConfig {
@@ -371,6 +382,7 @@ impl Default for SchedulerConfig {
             cache_capacity: 4096,
             cache_shards: 8,
             cache_byte_budget: None,
+            cache_dir: None,
         }
     }
 }
@@ -422,6 +434,11 @@ pub struct Scheduler {
     colony_stopped_early: Arc<Counter>,
     colony_seeded: Arc<Counter>,
     solver_certified: Arc<Counter>,
+    /// Entries restored into the cache without computing: segment-log
+    /// replay at boot plus installed `cache_put` replicas.
+    cache_restored: Arc<Counter>,
+    /// The cache's segment log when `cache_dir` is configured.
+    persist: Option<Arc<crate::persist::SegmentLog>>,
     /// Latch for the byte-budget warning: set while over budget so the
     /// warning fires once per crossing, re-armed when usage drops back.
     bytes_warned: Arc<AtomicBool>,
@@ -490,6 +507,10 @@ impl Scheduler {
             "solver_certified_total",
             "layout results certified optimal by the exact search",
         );
+        let cache_restored = metrics.counter(
+            "cache_restored_total",
+            "cache entries filled without computing: segment-log replay and cache_put installs",
+        );
         {
             let s = stats.clone();
             metrics.counter_fn("scheduler_served_total", "responses delivered", move || {
@@ -547,6 +568,57 @@ impl Scheduler {
             });
         }
 
+        // Replay the segment log (if any) before the scheduler serves:
+        // restored entries go through the same `insert_costed` +
+        // `approx_bytes` path organic inserts use, so `cache_bytes` and
+        // the byte budget see one consistent accounting.
+        let bytes_warned = Arc::new(AtomicBool::new(false));
+        let persist = cfg.cache_dir.as_deref().and_then(|dir| {
+            let log = match crate::persist::SegmentLog::open(dir) {
+                Ok(log) => Arc::new(log),
+                Err(e) => {
+                    eprintln!(
+                        "warning: cannot open cache dir {}: {e}; persistence disabled",
+                        dir.display()
+                    );
+                    return None;
+                }
+            };
+            match log.replay() {
+                Ok((entries, report)) => {
+                    if report.damaged {
+                        eprintln!(
+                            "warning: cache segments in {} end in a torn or corrupt record; \
+                             restored the {} entries before the damage",
+                            dir.display(),
+                            report.entries
+                        );
+                    }
+                    for entry in &entries {
+                        match crate::persist::restore_result(entry) {
+                            Ok(result) => {
+                                let bytes = result.approx_bytes();
+                                cache.insert_costed(entry.digest, Arc::new(result), bytes);
+                                cache_restored.inc();
+                            }
+                            Err(e) => eprintln!(
+                                "warning: skipping cache record {}: {e}",
+                                entry.digest
+                            ),
+                        }
+                    }
+                    if let Some(budget) = cfg.cache_byte_budget {
+                        warn_if_over_budget(cache.bytes(), budget, &bytes_warned);
+                    }
+                }
+                Err(e) => eprintln!(
+                    "warning: cannot replay cache segments in {}: {e}; starting cold",
+                    dir.display()
+                ),
+            }
+            Some(log)
+        });
+
         Scheduler {
             pool: WorkerPool::new(threads),
             cache,
@@ -559,7 +631,9 @@ impl Scheduler {
             colony_stopped_early,
             colony_seeded,
             solver_certified,
-            bytes_warned: Arc::new(AtomicBool::new(false)),
+            cache_restored,
+            persist,
+            bytes_warned,
             cfg,
         }
     }
@@ -712,6 +786,7 @@ impl Scheduler {
         let solver_certified = self.solver_certified.clone();
         let bytes_warned = self.bytes_warned.clone();
         let byte_budget = self.cfg.cache_byte_budget;
+        let persist = self.persist.clone();
         let enqueued = Instant::now();
         self.pool.execute(move || {
             // The gap between enqueue and this first line is pure queue
@@ -741,6 +816,9 @@ impl Scheduler {
                         cache.insert_costed(digest, result.clone(), result.approx_bytes());
                         if let Some(budget) = byte_budget {
                             warn_if_over_budget(cache.bytes(), budget, &bytes_warned);
+                        }
+                        if let Some(log) = &persist {
+                            persist_insert(log, &cache, &result);
                         }
                     }
                     stats.computed.fetch_add(1, Ordering::Relaxed);
@@ -814,6 +892,51 @@ impl Scheduler {
             .collect()
     }
 
+    /// Installs an already-computed entry (the `cache_put` op: a
+    /// replication write-through or read-repair) without computing.
+    /// Returns `Ok(false)` when the digest is already cached — the put
+    /// is idempotent and the resident entry wins. The restored result
+    /// is charged through the same `approx_bytes` path as organic
+    /// inserts and appended to the segment log like one.
+    pub fn install(&self, entry: &crate::protocol::CacheEntry) -> Result<bool, ServiceError> {
+        if self.cache.peek(entry.digest).is_some() {
+            return Ok(false);
+        }
+        let result = Arc::new(
+            crate::persist::restore_result(entry).map_err(ServiceError::InvalidRequest)?,
+        );
+        let bytes = result.approx_bytes();
+        self.cache.insert_costed(entry.digest, result.clone(), bytes);
+        self.cache_restored.inc();
+        if let Some(budget) = self.cfg.cache_byte_budget {
+            warn_if_over_budget(self.cache.bytes(), budget, &self.bytes_warned);
+        }
+        if let Some(log) = &self.persist {
+            persist_insert(log, &self.cache, &result);
+        }
+        Ok(true)
+    }
+
+    /// Entries filled without computing (segment-log replay at boot plus
+    /// installed `cache_put`s) — the `cache_restored` stats field.
+    pub fn restored(&self) -> u64 {
+        self.cache_restored.get()
+    }
+
+    /// Forces a segment-log compaction now; production compaction
+    /// triggers automatically from log growth, this handle exists for
+    /// fault-injection schedules. Returns `false` (doing nothing) when
+    /// no `cache_dir` is configured.
+    pub fn compact_cache(&self) -> bool {
+        match &self.persist {
+            Some(log) => {
+                compact_segments(log, &self.cache);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Blocks until every queued job has finished.
     pub fn drain(&self) {
         self.pool.wait();
@@ -829,6 +952,32 @@ impl Scheduler {
             inflight: self.depth.load(Ordering::Relaxed),
             cache: self.cache.counters(),
         }
+    }
+}
+
+/// Appends one freshly cached result to the segment log, compacting
+/// first when the log has outgrown the live set. Failures warn and move
+/// on: durability is an optimization, serving must not depend on disk.
+fn persist_insert(
+    log: &crate::persist::SegmentLog,
+    cache: &ShardedCache<Arc<LayoutResult>>,
+    result: &LayoutResult,
+) {
+    if log.should_compact(cache.len()) {
+        compact_segments(log, cache);
+    }
+    if let Err(e) = log.append(&crate::protocol::CacheEntry::of_result(result)) {
+        eprintln!("warning: cache segment append failed: {e}");
+    }
+}
+
+/// Rewrites the live cache into the snapshot segment and truncates the
+/// log.
+fn compact_segments(log: &crate::persist::SegmentLog, cache: &ShardedCache<Arc<LayoutResult>>) {
+    let mut live = Vec::with_capacity(cache.len());
+    cache.for_each(|_, result| live.push(crate::protocol::CacheEntry::of_result(result)));
+    if let Err(e) = log.compact(&live) {
+        eprintln!("warning: cache compaction failed: {e}");
     }
 }
 
@@ -899,6 +1048,7 @@ fn compute(
         graph: request.graph,
         layering: solution.layering,
         metrics,
+        nd_width: request.nd_width,
         reversed_edges: oriented.reversed.len(),
         stopped_early: solution.stopped_early,
         seeded: solution.seeded,
@@ -1468,5 +1618,78 @@ mod tests {
         assert_eq!(responses.len(), 3);
         assert_eq!(responses[0].result.digest, responses[2].result.digest);
         assert_eq!(s.counters().computed, 2, "duplicate digest computes once");
+    }
+
+    #[test]
+    fn restored_and_installed_entries_charge_organic_bytes() {
+        // One accounting path for all three ways an entry enters the
+        // cache: organic compute, segment-log replay at boot, and a
+        // replication `cache_put` install. All must land on the same
+        // `approx_bytes` charge, so `cache_bytes` (and the byte budget)
+        // stay honest across restarts and replication.
+        let dir = std::env::temp_dir().join(format!(
+            "antlayer-sched-bytes-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let persistent = SchedulerConfig {
+            threads: 2,
+            cache_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+
+        // Organic: compute three layouts with persistence on.
+        let (results, organic_bytes) = {
+            let a = Scheduler::new(persistent.clone());
+            let results: Vec<Arc<LayoutResult>> = (1..=3u64)
+                .map(|seed| {
+                    a.submit(LayoutRequest::new(small_graph(seed), quick_aco(seed)))
+                        .unwrap()
+                        .wait()
+                        .unwrap()
+                        .result
+                })
+                .collect();
+            a.drain();
+            assert_eq!(a.restored(), 0, "organic inserts are not restores");
+            (results, a.cache.bytes())
+        };
+        assert!(organic_bytes > 0);
+
+        // Boot replay: a second scheduler over the same directory
+        // restores every entry at the identical byte charge.
+        let b = Scheduler::new(persistent);
+        assert_eq!(b.restored(), 3, "all three entries replay");
+        assert_eq!(
+            b.cache.bytes(),
+            organic_bytes,
+            "replayed entries charge the same approx_bytes as organic inserts"
+        );
+
+        // cache_put installs on a cold scheduler: same charge again,
+        // idempotent on repeat, and servable as a plain cache hit.
+        let c = Scheduler::new(SchedulerConfig {
+            threads: 2,
+            ..Default::default()
+        });
+        for r in &results {
+            let entry = crate::protocol::CacheEntry::of_result(r);
+            assert!(c.install(&entry).unwrap(), "fresh install stores");
+            assert!(!c.install(&entry).unwrap(), "repeat put is a no-op");
+        }
+        assert_eq!(c.restored(), 3);
+        assert_eq!(
+            c.cache.bytes(),
+            organic_bytes,
+            "installed replicas charge the same approx_bytes as organic inserts"
+        );
+        let hit = c
+            .submit(LayoutRequest::new(small_graph(1), quick_aco(1)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(hit.source, Source::CacheHit);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -182,6 +182,10 @@ impl ServiceCore {
                     }
                 }
             }
+            Request::CachePut(entry) => match self.scheduler.install(&entry) {
+                Ok(stored) => Response::CachePutAck { stored },
+                Err(e) => error_response(&e),
+            },
         };
         // The wire trace closes before encoding (it is part of what gets
         // encoded); the slow log closes after, so it sees the full cost.
@@ -242,6 +246,7 @@ impl ServiceCore {
         num("cache_insertions", c.cache.insertions as f64);
         num("cache_evictions", c.cache.evictions as f64);
         num("cache_bytes", c.cache.bytes as f64);
+        num("cache_restored", self.scheduler.restored() as f64);
         // Latency histograms ride along as objects (count, sum_us,
         // percentiles, raw buckets) — see `protocol::histogram_json`.
         // The flat counters above stay plain numbers for compatibility.
@@ -467,6 +472,12 @@ impl ServerHandle {
     /// The server's HTTP address, when an HTTP listener is serving.
     pub fn http_addr(&self) -> Option<std::net::SocketAddr> {
         self.http_addr
+    }
+
+    /// The shared scheduler (for in-process inspection: fault harnesses
+    /// trigger segment-log compaction and read restore counters here).
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        self.shared.core.scheduler()
     }
 
     /// Stops the accept loops, severs every live connection, and joins

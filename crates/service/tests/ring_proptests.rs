@@ -56,6 +56,54 @@ proptest! {
         }
     }
 
+    // The replication contract: a digest's replication set is its first
+    // R ring candidates (owner + next R-1, all distinct). Marking one
+    // shard down (expressed the way the router expresses it — filtering
+    // it out of candidate order) changes the set by at most replacing
+    // the downed member: every surviving member keeps its slot's order,
+    // the downed shard never appears, and at most one new shard joins.
+    // This is what bounds re-replication traffic to the dead shard's
+    // entries.
+    #[test]
+    fn marking_a_shard_down_changes_each_replication_set_by_at_most_one(
+        shards in 3usize..9,
+        vnodes in 8usize..65,
+        replicas_raw in 2usize..9,
+        down_raw in 0usize..9,
+        keys in proptest::collection::vec(0u64..u64::MAX, 64..65),
+    ) {
+        let ring = HashRing::new(shards, vnodes);
+        // R <= shards - 1 keeps the filtered set fully formable.
+        let replicas = 2 + replicas_raw % (shards - 1).max(1);
+        let replicas = replicas.min(shards - 1);
+        let down = down_raw % shards;
+        for key in keys {
+            let before: Vec<usize> = ring.candidates(key).take(replicas).collect();
+            let after: Vec<usize> = ring
+                .candidates(key)
+                .filter(|&s| s != down)
+                .take(replicas)
+                .collect();
+            prop_assert_eq!(before.len(), replicas);
+            prop_assert_eq!(after.len(), replicas);
+            prop_assert!(!after.contains(&down), "down shard in set for key {}", key);
+            // Survivors keep their relative order...
+            let survivors: Vec<usize> =
+                before.iter().copied().filter(|&s| s != down).collect();
+            prop_assert_eq!(&after[..survivors.len()], &survivors[..]);
+            // ...and at most one member is new.
+            let gained = after.iter().filter(|s| !before.contains(s)).count();
+            prop_assert!(
+                gained <= 1,
+                "key {}: set {:?} -> {:?} gained {} members",
+                key, before, after, gained
+            );
+            if !before.contains(&down) {
+                prop_assert_eq!(&before, &after, "unaffected set changed for key {}", key);
+            }
+        }
+    }
+
     // Assignment is a pure function of (shards, vnodes, key): two
     // independently built rings always agree, which is what lets a
     // router restart (or a second router) route identically without

@@ -19,6 +19,7 @@ out="${1:-bench-out}"
 #   sharding       router over 1/2/4 shards vs one process    → BENCH_3.json
 #   transport      TCP vs HTTP/1.1 framing parity             → BENCH_5.json
 #   portfolio      solver portfolio vs ACO-only anytime gate  → BENCH_7.json
+#   durability     durable cache + replication fault harness  → BENCH_8.json
 #   observability  instrumented vs telemetry-off colony       → BENCH_6.json (baseline-gated)
 #   hotpath        zero-alloc colony vs reference path        → BENCH_4.json (baseline-gated)
 scenarios=(
@@ -26,6 +27,7 @@ scenarios=(
     "sharding:"
     "transport:"
     "portfolio:"
+    "durability:"
     "observability:BENCH_6.json"
     "hotpath:BENCH_4.json"
 )
