@@ -29,6 +29,7 @@
 //!                                   (--baseline FILE gates the overhead ratio against a checked-in run)
 //!   portfolio                       solver portfolio vs ACO-only under the anytime contract → BENCH_7.json
 //!   durability                      durable cache + replication under seeded fault injection → BENCH_8.json
+//!   reshard                         live shard join/drain under a seeded elastic schedule → BENCH_9.json
 //!   all                             everything above, CSVs into --out
 //! ```
 //!
@@ -43,6 +44,7 @@ mod figures;
 mod hotpath;
 mod observability;
 mod portfolio;
+mod reshard;
 mod sharding;
 mod transport;
 mod tuning;
@@ -55,6 +57,7 @@ use figures::{fig_ed_rt, fig_height_dvc, fig_width};
 use hotpath::hotpath;
 use observability::observability;
 use portfolio::portfolio;
+use reshard::reshard;
 use sharding::sharding;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -140,6 +143,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "observability" => observability(&cfg),
         "portfolio" => portfolio(&cfg),
         "durability" => durability(&cfg),
+        "reshard" => reshard(&cfg),
         "all" => {
             for c in ["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"] {
                 run(&with_cmd(c, args))?;
@@ -160,6 +164,7 @@ fn run(args: &[String]) -> Result<(), String> {
             observability(&cfg)?;
             portfolio(&cfg)?;
             durability(&cfg)?;
+            reshard(&cfg)?;
             hotpath(&cfg)
         }
         other => Err(format!("unknown command '{other}'")),

@@ -12,7 +12,8 @@
 //! loadgen [--mode cold|cached|mixed|edit] [--requests N] [--clients C]
 //!         [--n NODES] [--ants A] [--tours T] [--deadline-ms D]
 //!         [--threads W] [--addr HOST:PORT] [--retries R]
-//!         [--transport tcp|http] [--router] [--shards S]
+//!         [--retry-budget B] [--transport tcp|http] [--router]
+//!         [--shards S]
 //! ```
 //!
 //! `--transport http` speaks the hand-rolled HTTP/1.1 framing
@@ -39,7 +40,12 @@
 //! exponential backoff (up to `--retries`, default 8) and the report
 //! separates *goodput* (successful layouts per second) from raw
 //! attempt throughput, per the backpressure design: servers shed load,
-//! clients pace themselves.
+//! clients pace themselves. `--retry-budget B` additionally caps each
+//! client session's *lifetime* retry spend at `B` (the typed client's
+//! `ClientConfig::retry_budget`): once a session has burned its budget
+//! later `overloaded` replies drop immediately instead of backing off,
+//! and the goodput report shows the fleet-wide spend and how many
+//! sessions ran dry.
 //!
 //! With no `--addr`, the spawned fleet is shut down around the run and
 //! its cache/scheduler counters are printed at the end (`computed` vs
@@ -106,6 +112,10 @@ fn parse_args() -> Result<Options, String> {
             "--retries" => {
                 o.profile.retries = value(&mut i)?.parse().map_err(|e| format!("{e}"))?
             }
+            "--retry-budget" => {
+                o.profile.retry_budget =
+                    Some(value(&mut i)?.parse().map_err(|e| format!("{e}"))?)
+            }
             "--transport" => o.transport = Transport::parse(&value(&mut i)?)?,
             "--router" => o.router = true,
             "--shards" => o.shards = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
@@ -129,14 +139,16 @@ fn parse_args() -> Result<Options, String> {
 }
 
 /// Static-workload client for the cold/cached/mixed modes: replays the
-/// pre-built (graph, seed) items through the typed client.
+/// pre-built (graph, seed) items through the typed client. Returns the
+/// request latencies and the session's lifetime retry spend (what the
+/// `--retry-budget` cap is charged against).
 fn run_static_client(
     o: &Options,
     addr: &str,
     workload: &[(DiGraph, u64)],
     range: std::ops::Range<usize>,
     tallies: &Tallies,
-) -> Vec<u64> {
+) -> (Vec<u64>, u64) {
     let mut client =
         Client::connect_with(addr, o.profile.client_config(o.transport)).expect("connect");
     let mut lat = Vec::with_capacity(range.len());
@@ -161,7 +173,8 @@ fn run_static_client(
             Err(e) => panic!("server error: {e}"),
         }
     }
-    lat
+    let spent = client.retries_spent();
+    (lat, spent)
 }
 
 /// Editing-session client: one base layout, then a `layout_delta` chain.
@@ -169,17 +182,18 @@ fn run_edit_client(
     o: &Options,
     addr: &str,
     client: usize,
-    budget: usize,
+    steps: usize,
     tallies: &Tallies,
-) -> Vec<u64> {
+) -> (Vec<u64>, u64) {
     let mut session = EditSession::open_with(addr, o.transport, o.profile.clone(), client);
-    let mut lat = Vec::with_capacity(budget);
-    for _ in 0..budget {
+    let mut lat = Vec::with_capacity(steps);
+    for _ in 0..steps {
         if let Some(micros) = session.step(tallies) {
             lat.push(micros);
         }
     }
-    lat
+    let spent = session.retries_spent();
+    (lat, spent)
 }
 
 /// The in-process fleet spawned when no `--addr` is given.
@@ -261,8 +275,12 @@ fn main() {
         Fleet::Sharded(shards, _) => format!("router+{} shards", shards.len()),
         _ => "direct".into(),
     };
+    let budget = match o.profile.retry_budget {
+        Some(b) => format!(" retry-budget={b}/session"),
+        None => String::new(),
+    };
     println!(
-        "loadgen: mode={} requests={} clients={} n={} colony={}x{} retries={} transport={} addr={} ({topology})",
+        "loadgen: mode={} requests={} clients={} n={} colony={}x{} retries={}{budget} transport={} addr={} ({topology})",
         o.mode,
         o.requests,
         o.clients,
@@ -277,7 +295,7 @@ fn main() {
     let tallies = Tallies::default();
     let started = Instant::now();
     let per_client = o.requests.div_ceil(o.clients);
-    let latencies: Vec<Vec<u64>> = std::thread::scope(|scope| {
+    let results: Vec<(Vec<u64>, u64)> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for client in 0..o.clients {
             let lo = client * per_client;
@@ -301,7 +319,8 @@ fn main() {
     });
     let wall = started.elapsed();
 
-    let mut all: Vec<u64> = latencies.into_iter().flatten().collect();
+    let spends: Vec<u64> = results.iter().map(|(_, spent)| *spent).collect();
+    let mut all: Vec<u64> = results.into_iter().flat_map(|(lat, _)| lat).collect();
     all.sort_unstable();
     let good = tallies.good.load(Ordering::Relaxed);
     let retried = tallies.retried.load(Ordering::Relaxed);
@@ -312,6 +331,17 @@ fn main() {
         good as f64 / wall.as_secs_f64(),
         wall.as_secs_f64()
     );
+    if let Some(budget) = o.profile.retry_budget {
+        // Per-session spend against the lifetime cap: a session that
+        // burned its whole budget drops every later `overloaded` reply
+        // without backoff, so "exhausted" sessions explain drops above.
+        let spent: u64 = spends.iter().sum();
+        let exhausted = spends.iter().filter(|&&s| s >= budget).count();
+        println!(
+            "retry budget: {budget}/session, {spent} spent across {} sessions, {exhausted} exhausted",
+            spends.len()
+        );
+    }
     if o.mode == "edit" {
         println!(
             "edit sessions: {} warm responses, {} rebases after eviction/failover",

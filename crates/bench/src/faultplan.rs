@@ -44,6 +44,20 @@ pub enum FaultAction {
     Restart,
     /// Trigger a segment-log compaction on a live shard.
     Compact,
+    /// Elastic: boot a fresh shard at this (new) index and `shard_join`
+    /// it through the router. Executed by the experiment driver — only
+    /// the router can re-key its ring; the fleet side is
+    /// [`FaultFleet::grow`].
+    Join,
+    /// Elastic: `shard_drain` this shard through the router, then kill
+    /// its process — the zero-loss proof is that nothing cached on it
+    /// is ever recomputed afterwards. Driver-executed, like `Join`.
+    Drain,
+    /// Slow-shard robustness: every request this shard serves from now
+    /// on stalls by the given milliseconds before its reply (injected
+    /// at the in-process transport via
+    /// `ServerHandle::set_respond_delay`).
+    Delay(u64),
 }
 
 impl FaultAction {
@@ -52,6 +66,9 @@ impl FaultAction {
             FaultAction::Kill => "kill",
             FaultAction::Restart => "restart",
             FaultAction::Compact => "compact",
+            FaultAction::Join => "join",
+            FaultAction::Drain => "drain",
+            FaultAction::Delay(_) => "delay",
         }
     }
 }
@@ -84,6 +101,11 @@ pub struct FaultPlan {
     pub shards: usize,
     /// Workload steps the events are spread over.
     pub steps: usize,
+    /// Whether this is an elastic (`faultplan/v2`) schedule — join /
+    /// drain / delay events over a growable fleet — or a classic crash
+    /// schedule. Changes only the [`encode`](Self::encode) header; the
+    /// two constructors draw from independent RNG layouts either way.
+    pub elastic: bool,
     /// The schedule, in firing order.
     pub events: Vec<FaultEvent>,
 }
@@ -121,7 +143,7 @@ impl FaultPlan {
                     FaultAction::Kill => up.iter().filter(|&&u| u).count() > 1,
                     FaultAction::Restart => up.iter().any(|&u| !u),
                     // Always valid: the kill rule keeps one shard up.
-                    FaultAction::Compact => true,
+                    _ => true,
                 };
                 if valid {
                     break roll;
@@ -152,6 +174,86 @@ impl FaultPlan {
             seed,
             shards,
             steps,
+            elastic: false,
+            events,
+        }
+    }
+
+    /// Derives an **elastic** schedule: joins, drains, respond-delays,
+    /// and compactions over a fleet that starts at `shards` members and
+    /// may grow to twice that. Pure in `seed`, like
+    /// [`seeded`](Self::seeded) — the byte-identical
+    /// [`encode`](Self::encode) output is what `experiments reshard`
+    /// gates on. Applicable by construction: a join always targets the
+    /// next fresh index (matching what [`FaultFleet::grow`] will hand
+    /// back), a drain never removes the last active member and never
+    /// targets an already-drained one (drained shards stay gone), and
+    /// delays/compactions only land on active members. No crashes: at
+    /// replication factor 1 a kill would conflate crash loss with
+    /// handoff loss, and this plan exists to prove the handoff alone
+    /// loses nothing.
+    pub fn seeded_elastic(seed: u64, shards: usize, steps: usize, faults: usize) -> FaultPlan {
+        assert!(shards > 0, "a fault plan needs at least one shard");
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Membership over time: initial members active, joins append,
+        // drains retire for good (tombstones — indices never reused).
+        let mut active: Vec<bool> = vec![true; shards];
+        let mut events = Vec::new();
+        let mut remaining = faults.min(steps.saturating_sub(1));
+        for step in 1..steps {
+            if remaining == 0 {
+                break;
+            }
+            let steps_left = steps - step;
+            if rng.gen_range(0..steps_left) >= remaining {
+                continue;
+            }
+            remaining -= 1;
+            let action = loop {
+                let roll = match rng.gen_range(0..4u8) {
+                    0 => FaultAction::Join,
+                    1 => FaultAction::Drain,
+                    // Large enough to be observable, small enough that a
+                    // generous io_timeout never misreads it as death.
+                    2 => FaultAction::Delay(20 + rng.gen_range(0..41)),
+                    _ => FaultAction::Compact,
+                };
+                let valid = match roll {
+                    FaultAction::Join => active.len() < shards * 2,
+                    FaultAction::Drain => active.iter().filter(|&&u| u).count() > 1,
+                    _ => true,
+                };
+                if valid {
+                    break roll;
+                }
+            };
+            let shard = if action == FaultAction::Join {
+                active.push(true);
+                active.len() - 1
+            } else {
+                let eligible: Vec<usize> = active
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &u)| u)
+                    .map(|(i, _)| i)
+                    .collect();
+                let shard = eligible[rng.gen_range(0..eligible.len())];
+                if action == FaultAction::Drain {
+                    active[shard] = false;
+                }
+                shard
+            };
+            events.push(FaultEvent {
+                step,
+                shard,
+                action,
+            });
+        }
+        FaultPlan {
+            seed,
+            shards,
+            steps,
+            elastic: true,
             events,
         }
     }
@@ -164,17 +266,24 @@ impl FaultPlan {
     /// The canonical text form of the schedule — the determinism
     /// artifact: two plans from the same seed must encode byte-identically.
     pub fn encode(&self) -> String {
+        let version = if self.elastic { 2 } else { 1 };
         let mut out = format!(
-            "faultplan/v1 seed={} shards={} steps={}\n",
+            "faultplan/v{version} seed={} shards={} steps={}\n",
             self.seed, self.shards, self.steps
         );
         for e in &self.events {
-            out.push_str(&format!(
-                "{} shard={} step={}\n",
-                e.action.name(),
-                e.shard,
-                e.step
-            ));
+            match e.action {
+                FaultAction::Delay(ms) => out.push_str(&format!(
+                    "delay shard={} step={} ms={ms}\n",
+                    e.shard, e.step
+                )),
+                action => out.push_str(&format!(
+                    "{} shard={} step={}\n",
+                    action.name(),
+                    e.shard,
+                    e.step
+                )),
+            }
         }
         out
     }
@@ -289,6 +398,44 @@ impl FaultFleet {
         );
     }
 
+    /// Boots one additional shard (the fleet side of a `Join` event)
+    /// and returns its index — always the next fresh one, matching what
+    /// [`FaultPlan::seeded_elastic`] schedules for the join.
+    pub fn grow(&mut self) -> usize {
+        let i = self.shards.len();
+        let cache_dir = self.root.join(format!("shard-{i}"));
+        let handle =
+            bind_shard("127.0.0.1:0", self.threads, &cache_dir).expect("boot joined shard");
+        self.shards.push(ShardSlot {
+            addr: handle.addr().to_string(),
+            cache_dir,
+            handle: Some(handle),
+        });
+        i
+    }
+
+    /// Number of shard slots ever booted (live or not).
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the fleet has no shards (it never does after `boot`).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Stalls every reply shard `i` serves from now on by `ms`
+    /// milliseconds (the `Delay` fault); `false` when the shard is down.
+    pub fn set_delay(&mut self, i: usize, ms: u64) -> bool {
+        match self.shards[i].handle.as_ref() {
+            Some(h) => {
+                h.set_respond_delay(Duration::from_millis(ms));
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Compacts shard `i`'s segment log; `false` when the shard is down
     /// or persistence is off.
     pub fn compact(&mut self, i: usize) -> bool {
@@ -298,7 +445,11 @@ impl FaultFleet {
             .is_some_and(|h| h.scheduler().compact_cache())
     }
 
-    /// Applies one plan event.
+    /// Applies one plan event's **fleet-side** effect. `Join` and
+    /// `Drain` are intentionally not handled here: membership is the
+    /// router's to change, so the experiment driver executes them —
+    /// [`grow`](Self::grow) + the router's `shard_join` for a join,
+    /// the router's `shard_drain` + [`kill`](Self::kill) for a drain.
     pub fn apply(&mut self, event: &FaultEvent) {
         match event.action {
             FaultAction::Kill => self.kill(event.shard),
@@ -306,6 +457,10 @@ impl FaultFleet {
             FaultAction::Compact => {
                 self.compact(event.shard);
             }
+            FaultAction::Delay(ms) => {
+                self.set_delay(event.shard, ms);
+            }
+            FaultAction::Join | FaultAction::Drain => {}
         }
     }
 
@@ -367,9 +522,77 @@ mod tests {
                     FaultAction::Compact => {
                         assert!(up[e.shard], "compact targets a live shard");
                     }
+                    other => panic!("classic plans never schedule {other:?}"),
                 }
             }
         }
+    }
+
+    #[test]
+    fn same_seed_encodes_byte_identical_elastic_plans() {
+        let a = FaultPlan::seeded_elastic(7, 3, 60, 10);
+        let b = FaultPlan::seeded_elastic(7, 3, 60, 10);
+        assert_eq!(a.encode(), b.encode());
+        assert!(a.encode().starts_with("faultplan/v2 "), "{}", a.encode());
+        let c = FaultPlan::seeded_elastic(8, 3, 60, 10);
+        assert_ne!(a.encode(), c.encode(), "seeds differentiate plans");
+        // The classic constructor keeps its v1 header and RNG stream —
+        // BENCH_8's recorded plans must stay byte-identical.
+        let classic = FaultPlan::seeded(7, 3, 50, 8);
+        assert!(classic.encode().starts_with("faultplan/v1 "));
+    }
+
+    #[test]
+    fn elastic_plans_are_applicable_by_construction() {
+        for seed in 0..32 {
+            let plan = FaultPlan::seeded_elastic(seed, 3, 120, 24);
+            let mut active = vec![true; plan.shards];
+            for e in &plan.events {
+                assert!(e.step > 0, "step 0 is never faulted");
+                match e.action {
+                    FaultAction::Join => {
+                        assert_eq!(
+                            e.shard,
+                            active.len(),
+                            "a join always targets the next fresh index"
+                        );
+                        assert!(active.len() < plan.shards * 2, "growth is capped");
+                        active.push(true);
+                    }
+                    FaultAction::Drain => {
+                        assert!(active[e.shard], "drain targets an active shard");
+                        active[e.shard] = false;
+                        assert!(
+                            active.iter().any(|&u| u),
+                            "one shard always stays active"
+                        );
+                    }
+                    FaultAction::Delay(ms) => {
+                        assert!(active[e.shard], "delay targets an active shard");
+                        assert!((20..=60).contains(&ms), "delay {ms}ms out of band");
+                    }
+                    FaultAction::Compact => {
+                        assert!(active[e.shard], "compact targets an active shard");
+                    }
+                    FaultAction::Kill | FaultAction::Restart => {
+                        panic!("elastic plans never crash shards");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_grows_and_injects_delays() {
+        let mut fleet = FaultFleet::boot(1, 1);
+        assert_eq!(fleet.len(), 1);
+        let joined = fleet.grow();
+        assert_eq!(joined, 1);
+        assert!(fleet.is_up(joined));
+        assert!(fleet.set_delay(joined, 5));
+        fleet.kill(joined);
+        assert!(!fleet.set_delay(joined, 5), "a dead shard takes no delay");
+        fleet.shutdown();
     }
 
     #[test]

@@ -29,8 +29,13 @@ pub struct RequestProfile {
     pub tours: usize,
     /// Optional per-request deadline.
     pub deadline_ms: Option<u64>,
-    /// Retry budget for `overloaded` rejections.
+    /// Per-request retry allowance for `overloaded` rejections.
     pub retries: usize,
+    /// Optional per-session (per-connection) lifetime cap on those
+    /// retries: once a client has spent this many, later requests fail
+    /// fast instead of backing off. `None` = unlimited (per-request
+    /// allowance only).
+    pub retry_budget: Option<u64>,
 }
 
 impl Default for RequestProfile {
@@ -41,6 +46,7 @@ impl Default for RequestProfile {
             tours: 8,
             deadline_ms: None,
             retries: 8,
+            retry_budget: None,
         }
     }
 }
@@ -59,6 +65,7 @@ impl RequestProfile {
         ClientConfig {
             transport,
             retries: self.retries,
+            retry_budget: self.retry_budget,
             ..Default::default()
         }
     }
@@ -264,6 +271,13 @@ impl EditSession {
     /// dropped request).
     pub fn base_digest(&self) -> Option<&str> {
         self.digest.as_deref()
+    }
+
+    /// `overloaded` retries this session's client has spent over its
+    /// lifetime — the number the session's retry budget (if any) is
+    /// charged against.
+    pub fn retries_spent(&self) -> u64 {
+        self.client.retries_spent()
     }
 
     /// Sends one request of the session (full layout, or delta with the

@@ -14,6 +14,8 @@
 //! antlayer route  --shards HOST:PORT,HOST:PORT[,...] [--addr HOST:PORT]
 //!                 [--http PORT] [--vnodes N] [--probe-ms MS]
 //!                 [--max-conns N] [--replicas N]                 # consistent-hash router
+//! antlayer reshard --router HOST:PORT (--join ADDR | --drain ADDR)
+//!                                                                # live fleet membership
 //! ```
 //!
 //! `layout` is accepted as an alias of `layer`. `FILE` may be `-` for
@@ -60,6 +62,13 @@
 //! identical protocol to either; see `docs/PROTOCOL.md` for the wire
 //! format (v1 lines and the v2 envelope) and `docs/ARCHITECTURE.md` for
 //! the topology.
+//! `reshard` changes a running router's fleet membership **live**:
+//! `--join ADDR` enrolls a freshly started `antlayer serve` shard (its
+//! keys' cache entries stream over from their old owners while requests
+//! keep serving), `--drain ADDR` empties a shard into the rest of the
+//! fleet and removes it — both with zero cached-work loss. The command
+//! blocks until the handoff completes and prints the resulting
+//! topology.
 
 use antlayer_aco::AcoParams;
 use antlayer_datasets::{att_like_graph, GraphSuite, Table};
@@ -100,6 +109,7 @@ usage:
   antlayer route --shards HOST:PORT,HOST:PORT[,...] [--addr HOST:PORT]
                  [--http PORT] [--vnodes N] [--probe-ms MS] [--max-conns N]
                  [--replicas N]
+  antlayer reshard --router HOST:PORT (--join ADDR | --drain ADDR)
 algorithms: lpl, lpl-pl, minwidth, minwidth-pl, cg, ns, aco (default),
 exact (certified optimum, small graphs), portfolio (race them all)
 deadline-ms: anytime budget for layer; the best incumbent at the
@@ -189,6 +199,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "suite" => cmd_suite(rest),
         "serve" => cmd_serve(rest),
         "route" => cmd_route(rest),
+        "reshard" => cmd_reshard(rest),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -576,6 +587,40 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
         "antlayer route: listening on {addr}{http_note}, hashing across {n_shards} shard(s): {shard_list}"
     );
     router.run();
+    Ok(())
+}
+
+fn cmd_reshard(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["router", "join", "drain"])?;
+    let router = flags
+        .get("router")
+        .ok_or("reshard: --router HOST:PORT is required")?;
+    let mut client = antlayer_client::Client::connect(router)
+        .map_err(|e| format!("reshard: connecting to router {router}: {e}"))?;
+    let (verb, reply) = match (flags.get("join"), flags.get("drain")) {
+        (Some(addr), None) => (
+            "joined",
+            client
+                .shard_join(addr)
+                .map_err(|e| format!("reshard: shard_join {addr}: {e}"))?,
+        ),
+        (None, Some(addr)) => (
+            "drained",
+            client
+                .shard_drain(addr)
+                .map_err(|e| format!("reshard: shard_drain {addr}: {e}"))?,
+        ),
+        _ => return Err("reshard: exactly one of --join ADDR or --drain ADDR is required".into()),
+    };
+    println!(
+        "antlayer reshard: {verb}; topology epoch {}, {} cache entr{} transferred",
+        reply.epoch,
+        reply.moved,
+        if reply.moved == 1 { "y" } else { "ies" }
+    );
+    for (i, shard) in reply.shards.iter().enumerate() {
+        println!("  shard {i}  {}  {}", shard.addr, shard.state);
+    }
     Ok(())
 }
 

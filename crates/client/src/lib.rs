@@ -45,7 +45,8 @@ pub mod conn;
 pub use conn::{Connection, Transport, MAX_REPLY_BYTES};
 
 pub use antlayer_service::protocol::{
-    ErrorKind, Json, LayoutReply, MemberStats, RaceReport, Request, Response, WireError,
+    ErrorKind, Json, LayoutReply, MemberStats, RaceReport, Request, Response, TopologyReply,
+    TopologyShard, WireError,
 };
 
 use antlayer_graph::{DiGraph, GraphDelta};
@@ -68,6 +69,13 @@ pub struct ClientConfig {
     /// Retry budget for `overloaded` rejections (exponential backoff,
     /// 1, 2, 4, … ms capped at 64 ms).
     pub retries: usize,
+    /// Total `overloaded` retries this client may spend across its
+    /// **lifetime**, `None` = unbounded. A session replaying a long
+    /// edit chain against a degraded fleet otherwise pays the full
+    /// per-request budget on every step; the session budget caps the
+    /// aggregate stall instead, after which requests drop immediately
+    /// ([`ClientError::Dropped`]) and the caller can rebase.
+    pub retry_budget: Option<u64>,
     /// Speak the v2 envelope (with correlation ids). v1 remains fully
     /// supported server-side; the digests — and therefore cache hits —
     /// are identical either way.
@@ -81,8 +89,18 @@ impl Default for ClientConfig {
             connect_timeout: Duration::from_secs(1),
             read_timeout: Some(Duration::from_secs(120)),
             retries: 8,
+            retry_budget: None,
             v2: true,
         }
+    }
+}
+
+/// Retries allowed for the next request: the per-request cap, further
+/// clamped by whatever remains of the session-wide budget.
+fn effective_retries(per_request: usize, budget: Option<u64>, spent: u64) -> usize {
+    match budget {
+        Some(total) => total.saturating_sub(spent).min(per_request as u64) as usize,
+        None => per_request,
     }
 }
 
@@ -288,6 +306,9 @@ pub struct Client {
     conn: Connection,
     config: ClientConfig,
     next_id: u64,
+    /// Lifetime `overloaded` retries spent, charged against
+    /// [`ClientConfig::retry_budget`].
+    retries_spent: u64,
 }
 
 impl Client {
@@ -305,12 +326,26 @@ impl Client {
             conn,
             config,
             next_id: 0,
+            retries_spent: 0,
         })
     }
 
     /// The connection's framing.
     pub fn transport(&self) -> Transport {
         self.config.transport
+    }
+
+    /// Lifetime `overloaded` retries this client has spent (what the
+    /// [`ClientConfig::retry_budget`] is charged against).
+    pub fn retries_spent(&self) -> u64 {
+        self.retries_spent
+    }
+
+    /// What remains of the session retry budget, `None` if unbounded.
+    pub fn retry_budget_remaining(&self) -> Option<u64> {
+        self.config
+            .retry_budget
+            .map(|total| total.saturating_sub(self.retries_spent))
     }
 
     fn encode(&mut self, request: &WireRequest) -> String {
@@ -478,6 +513,36 @@ impl Client {
         Ok(out)
     }
 
+    /// `shard_join` admin op — only meaningful against a router: adds
+    /// `addr` to the fleet and blocks until the zero-loss handoff has
+    /// completed (see `docs/PROTOCOL.md`). Returns the new topology.
+    pub fn shard_join(&mut self, addr: &str) -> Result<TopologyReply, ClientError> {
+        self.admin("shard_join", addr)
+    }
+
+    /// `shard_drain` admin op — only meaningful against a router:
+    /// streams every cache entry off `addr` and removes it from the
+    /// fleet. Returns the new topology.
+    pub fn shard_drain(&mut self, addr: &str) -> Result<TopologyReply, ClientError> {
+        self.admin("shard_drain", addr)
+    }
+
+    fn admin(&mut self, op: &'static str, addr: &str) -> Result<TopologyReply, ClientError> {
+        let mut body = BTreeMap::new();
+        body.insert("addr".to_string(), Json::Str(addr.to_string()));
+        let line = self.encode(&WireRequest {
+            op,
+            body: Json::Obj(body),
+        });
+        match self.exchange_response(&line)? {
+            Response::Topology(reply) => Ok(*reply),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::BadReply(format!(
+                "expected a topology reply, got {other:?}"
+            ))),
+        }
+    }
+
     fn exchange_response(&mut self, payload: &str) -> Result<Response, ClientError> {
         let line = self.conn.exchange(payload).map_err(ClientError::Io)?;
         let (response, _env) = protocol::parse_response(&line).map_err(ClientError::BadReply)?;
@@ -488,19 +553,25 @@ impl Client {
     /// exponential backoff (1, 2, 4, … ms capped at 64 ms — enough to
     /// drain a burst without turning the caller into a sleep benchmark).
     fn submit(&mut self, request: &WireRequest) -> Result<(LayoutReply, usize), ClientError> {
+        let allowed = effective_retries(
+            self.config.retries,
+            self.config.retry_budget,
+            self.retries_spent,
+        );
         let mut retried = 0usize;
         loop {
             let payload = self.encode(request);
             match self.exchange_response(&payload)? {
                 Response::Layout(reply) => return Ok((*reply, retried)),
                 Response::Error(e) if e.kind == ErrorKind::Overloaded => {
-                    if retried >= self.config.retries {
+                    if retried >= allowed {
                         return Err(ClientError::Dropped {
                             attempts: retried + 1,
                         });
                     }
                     std::thread::sleep(Duration::from_millis(1 << retried.min(6)));
                     retried += 1;
+                    self.retries_spent += 1;
                 }
                 Response::Error(e) => return Err(ClientError::Server(e)),
                 other => {
@@ -629,5 +700,18 @@ mod tests {
         let opts = LayoutOptions::default();
         let err = opts.delta_request("zz", &[(0, 1)], &[]).unwrap_err();
         assert!(matches!(err, ClientError::Invalid(_)), "{err}");
+    }
+
+    #[test]
+    fn retry_budget_clamps_the_per_request_allowance() {
+        // No budget: the per-request cap stands.
+        assert_eq!(effective_retries(8, None, 1_000), 8);
+        // A fresh budget above the cap changes nothing.
+        assert_eq!(effective_retries(8, Some(100), 0), 8);
+        // A nearly-spent budget clamps below the cap...
+        assert_eq!(effective_retries(8, Some(100), 97), 3);
+        // ...and an exhausted (or overdrawn) budget drops immediately.
+        assert_eq!(effective_retries(8, Some(100), 100), 0);
+        assert_eq!(effective_retries(8, Some(100), 200), 0);
     }
 }

@@ -58,6 +58,21 @@
 //! A background probe pings down shards every
 //! [`RouterConfig::probe_interval`] and returns them to rotation.
 //!
+//! **Elastic fleet** (`shard_join` / `shard_drain` admin ops): the
+//! fleet grows and shrinks *while serving*. A join appends the new
+//! shard to the ring — the grown ring is a point-superset of the old
+//! one, so only keys the new shard owns move — and streams those keys'
+//! cache entries from their old owners as replayed `cache_put`s; reads
+//! keep going to the old owner until the transfer cursor passes their
+//! digest, and fresh results are written to both homes. A drain streams
+//! everything the shard holds to each entry's next ring candidate, then
+//! tombstones its slot (indices never compact, so no other key moves)
+//! and sweeps the straggler window shut — zero cached work is lost and
+//! warm edit chains survive the move. Every membership change bumps a
+//! **topology epoch**, and a digest→shard override is honoured only
+//! while its slot is still active, so a removed member never draws
+//! traffic from a stale override.
+//!
 //! ## Quickstart
 //!
 //! ```no_run
@@ -89,7 +104,7 @@ use antlayer_service::router::{HashRing, ShardHealth};
 use antlayer_service::server::SLOW_LOG_CAPACITY;
 use antlayer_service::transport::{Handler, HttpTransport, LineTransport, Transport};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -169,12 +184,125 @@ struct RouterCounters {
     /// Write-backs that re-populated a digest's ring owner after a
     /// non-owner shard served it (failover recovery).
     read_repairs: AtomicU64,
+    /// `shard_join` admin ops accepted.
+    joins: AtomicU64,
+    /// `shard_drain` admin ops accepted.
+    drains: AtomicU64,
+    /// Cache entries copied between shards by join/drain transfers
+    /// (including dual-homed fresh results written during a join).
+    transferred: AtomicU64,
+}
+
+/// Lifecycle state of one topology slot. Slots are append-only: a
+/// drained shard leaves a `Removed` tombstone so every surviving slot
+/// keeps its ring index — which is what makes a drain move only the
+/// drained shard's keys and a join move only the new shard's keys.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SlotState {
+    /// Appended by `shard_join`; receives its keys' entries from their
+    /// old owners while reads keep going to those owners until the
+    /// transfer cursor passes each digest.
+    Joining,
+    /// In full rotation.
+    Live,
+    /// Being emptied by `shard_drain`; still serves reads and writes
+    /// until every entry has streamed to its next ring candidate.
+    Draining,
+    /// Tombstone: out of rotation forever, index retired.
+    Removed,
+}
+
+impl SlotState {
+    fn name(self) -> &'static str {
+        match self {
+            SlotState::Joining => "joining",
+            SlotState::Live => "live",
+            SlotState::Draining => "draining",
+            SlotState::Removed => "removed",
+        }
+    }
+
+    /// A member of the fleet (anything but a tombstone).
+    fn active(self) -> bool {
+        self != SlotState::Removed
+    }
+}
+
+/// One ring position: a shard's health (shared across topology
+/// snapshots, so a mark-down survives an epoch bump) plus its
+/// lifecycle state (immutable per snapshot).
+#[derive(Clone)]
+struct Slot {
+    health: Arc<ShardHealth>,
+    state: SlotState,
+}
+
+/// An immutable snapshot of fleet membership. Requests grab one Arc at
+/// dispatch and route against it end-to-end; admin ops publish a new
+/// snapshot with `epoch + 1` for every membership or state change, so
+/// anything epoch-tagged (the digest→shard home map) self-invalidates.
+struct Topology {
+    epoch: u64,
+    /// Hash ring over **all** slots, tombstones included — ring points
+    /// are a pure function of (index, replica), so growing the slot
+    /// vector grows the ring to a point-superset and nothing else moves.
+    /// Tombstones are filtered at walk time, exactly like down shards.
+    ring: HashRing,
+    slots: Vec<Slot>,
+}
+
+impl Topology {
+    /// Indices of fleet members (non-tombstone slots).
+    fn active(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.slots.len()).filter(|&i| self.slots[i].state.active())
+    }
+
+    /// The first active candidate for a key: where routing looks first
+    /// while everything is up. (The ring owner itself may be a
+    /// tombstone; this is the post-filter owner.)
+    fn primary(&self, key: u64) -> usize {
+        self.ring
+            .candidates(key)
+            .find(|&s| self.slots[s].state.active())
+            .expect("a topology always keeps at least one active slot")
+    }
+}
+
+/// The swap cell holding the current topology snapshot. Shared between
+/// the router state and the metric closures (which must outlive neither).
+struct TopologyCell(Mutex<Arc<Topology>>);
+
+impl TopologyCell {
+    fn snapshot(&self) -> Arc<Topology> {
+        self.0.lock().clone()
+    }
+
+    fn publish(&self, next: Arc<Topology>) {
+        *self.0.lock() = next;
+    }
+}
+
+/// A join in flight: the slot receiving its keys, and the transfer
+/// cursor — every owed digest numerically `<= cursor` has been copied
+/// to the target, so reads for those digests may route to it while
+/// everything above still reads from the old owner.
+struct Transfer {
+    target: usize,
+    cursor: u128,
 }
 
 /// Shared state of a running router.
 struct RouterState {
-    ring: HashRing,
-    shards: Arc<Vec<ShardHealth>>,
+    /// Current fleet membership; swapped atomically by admin ops.
+    topology: Arc<TopologyCell>,
+    /// Virtual nodes per shard, kept so topology changes rebuild the
+    /// ring with the configured balance.
+    vnodes: usize,
+    /// Serializes `shard_join`/`shard_drain`: one membership change at
+    /// a time, while ordinary traffic keeps flowing.
+    admin: Mutex<()>,
+    /// The in-flight join's read gate, `None` outside a join.
+    transfer: Mutex<Option<Transfer>>,
     counters: Arc<RouterCounters>,
     /// The router's own Prometheus registry (`GET /metrics` on the HTTP
     /// listener): forward/reroute counters, shards-up gauge, and the
@@ -198,8 +326,25 @@ struct RouterState {
     /// Recording where such results actually live keeps edit chains
     /// warm and pinned to one shard. Bounded LRU (an eviction merely
     /// costs one recompute); per-router state, so a second router
-    /// rediscovers homes through `base not found` fallbacks.
+    /// rediscovers homes through `base not found` fallbacks. Slot
+    /// indices are stable across topology changes (slots are
+    /// append-only and tombstoned, never reused), so an override stays
+    /// valid exactly as long as its slot is active — a drained slot's
+    /// overrides die with the slot instead of routing deltas at a
+    /// removed member.
     homes: ShardedCache<usize>,
+}
+
+impl RouterState {
+    /// Whether the join transfer has already copied `digest` to the
+    /// joining slot `shard` — the gate that lets reads chase the
+    /// transfer instead of racing it.
+    fn transfer_passed(&self, shard: usize, digest: Digest) -> bool {
+        self.transfer
+            .lock()
+            .as_ref()
+            .is_some_and(|t| t.target == shard && digest.as_u128() <= t.cursor)
+    }
 }
 
 /// Live client connections, registered so shutdown can sever them.
@@ -269,14 +414,21 @@ impl Router {
             Some(addr) => Some(TcpListener::bind(addr)?),
             None => None,
         };
-        let shards: Arc<Vec<ShardHealth>> = Arc::new(
-            config
-                .shards
-                .iter()
-                .cloned()
-                .map(ShardHealth::new)
-                .collect(),
-        );
+        let slots: Vec<Slot> = config
+            .shards
+            .iter()
+            .cloned()
+            .map(|addr| Slot {
+                health: Arc::new(ShardHealth::new(addr)),
+                state: SlotState::Live,
+            })
+            .collect();
+        let topology = Arc::new(TopologyCell(Mutex::new(Arc::new(Topology {
+            // Epoch 1, so 0 can never collide with a tagged home entry.
+            epoch: 1,
+            ring: HashRing::new(slots.len(), config.vnodes),
+            slots,
+        }))));
         let counters = Arc::new(RouterCounters::default());
         let metrics = Arc::new(Registry::new());
         let request_us = metrics.histogram(
@@ -314,16 +466,47 @@ impl Router {
                 "write-backs that re-populated a digest's ring owner after failover",
                 move || c.read_repairs.load(Ordering::Relaxed),
             );
-            let s = shards.clone();
+            let c = counters.clone();
+            metrics.counter_fn(
+                "router_joins_total",
+                "shard_join admin ops accepted",
+                move || c.joins.load(Ordering::Relaxed),
+            );
+            let c = counters.clone();
+            metrics.counter_fn(
+                "router_drains_total",
+                "shard_drain admin ops accepted",
+                move || c.drains.load(Ordering::Relaxed),
+            );
+            let c = counters.clone();
+            metrics.counter_fn(
+                "router_transferred_total",
+                "cache entries copied between shards by join/drain transfers",
+                move || c.transferred.load(Ordering::Relaxed),
+            );
+            let t = topology.clone();
             metrics.gauge_fn(
                 "router_shards_up",
                 "shards currently in rotation",
-                move || s.iter().filter(|h| h.is_up()).count() as u64,
+                move || {
+                    let topo = t.snapshot();
+                    topo.active()
+                        .filter(|&i| topo.slots[i].health.is_up())
+                        .count() as u64
+                },
+            );
+            let t = topology.clone();
+            metrics.gauge_fn(
+                "router_topology_epoch",
+                "fleet membership version; bumps on every join/drain state change",
+                move || t.snapshot().epoch,
             );
         }
         let state = Arc::new(RouterState {
-            ring: HashRing::new(config.shards.len(), config.vnodes),
-            shards,
+            topology,
+            vnodes: config.vnodes,
+            admin: Mutex::new(()),
+            transfer: Mutex::new(None),
             counters,
             metrics,
             request_us,
@@ -360,11 +543,12 @@ impl Router {
             .and_then(|l| l.local_addr().ok())
     }
 
-    /// The consistent-hash ring in use (for tests and observability:
-    /// `ring().owner(digest.lo)` is the shard a request lands on while
-    /// every shard is up).
-    pub fn ring(&self) -> &HashRing {
-        &self.shared.state.ring
+    /// A snapshot of the consistent-hash ring in use (for tests and
+    /// observability: `ring().owner(digest.lo)` is the shard a request
+    /// lands on while every shard is up). Owned, not borrowed: the live
+    /// ring is swapped atomically by `shard_join`/`shard_drain`.
+    pub fn ring(&self) -> HashRing {
+        self.shared.state.topology.snapshot().ring.clone()
     }
 
     /// Runs the router on the calling thread until shutdown: starts the
@@ -482,9 +666,14 @@ fn spawn_probe(shared: Arc<RouterShared>, interval: Duration) -> std::io::Result
                     continue;
                 }
                 slept = Duration::ZERO;
-                for shard in state.shards.iter().filter(|s| !s.is_up()) {
+                let topo = state.topology.snapshot();
+                for i in topo.active() {
+                    let health = &topo.slots[i].health;
+                    if health.is_up() {
+                        continue;
+                    }
                     let ok = Connection::connect_timeout(
-                        &shard.addr,
+                        &health.addr,
                         ClientTransport::Tcp,
                         state.connect_timeout,
                     )
@@ -495,7 +684,7 @@ fn spawn_probe(shared: Arc<RouterShared>, interval: Duration) -> std::io::Result
                     .map(|reply| reply.contains("\"ok\":true"))
                     .unwrap_or(false);
                     if ok {
-                        shard.mark_up();
+                        health.mark_up();
                     }
                 }
             }
@@ -538,11 +727,11 @@ fn accept_loop(
         std::thread::spawn(move || {
             // Per-handler shard connection pool: one connection per shard
             // this client's traffic has touched, so a request/reply pair
-            // is never interleaved with another client's.
-            let conns: Vec<Option<Connection>> = shared.state.shards.iter().map(|_| None).collect();
+            // is never interleaved with another client's. Grown lazily
+            // (slot index → connection) so joined shards get slots too.
             let mut handler = RouterConnHandler {
                 state: shared.state.clone(),
-                conns,
+                conns: Vec::new(),
             };
             transport.serve(stream, &mut handler);
             if let Some(id) = id {
@@ -583,7 +772,7 @@ impl Handler for RouterConnHandler {
 /// per fleet request, keyed by the client's envelope id. The trace
 /// member rides through to the client untouched (replies forward
 /// verbatim).
-fn route_line(line: &str, state: &RouterState, conns: &mut [Option<Connection>]) -> String {
+fn route_line(line: &str, state: &RouterState, conns: &mut Vec<Option<Connection>>) -> String {
     let started = Instant::now();
     let (request, env) = match protocol::parse_request_envelope(line) {
         Err((e, env)) => return Response::Error(e).encode(&env),
@@ -593,30 +782,45 @@ fn route_line(line: &str, state: &RouterState, conns: &mut [Option<Connection>])
     let mut phases: Vec<(&'static str, u64)> =
         vec![("parse", started.elapsed().as_micros() as u64)];
     let forwarding = Instant::now();
+    // One topology snapshot per request: the whole route — candidate
+    // walk, home lookup, replication — sees a single consistent epoch.
+    let topo = state.topology.snapshot();
     let (reply, served_by) = match &request {
         Request::Ping => (Response::Pong { router: true }.encode(&env), None),
-        Request::Stats => (stats_fanout(state, conns, &env), None),
+        Request::Stats => (stats_fanout(state, &topo, conns, &env), None),
         Request::Debug => (debug_local(state, &env), None),
         Request::Layout(req) => {
             let wire = traceable(forwardable(line, &request, &env), &env);
             let digest = req.digest();
-            let served = forward(state, conns, &wire, digest, false, &env);
+            let served = forward(state, &topo, conns, &wire, digest, false, &env);
             if let (reply, Some(shard)) = &served {
-                replicate(state, conns, req, digest, *shard, reply);
+                replicate(state, &topo, conns, req, digest, *shard, reply);
             }
             served
         }
         Request::LayoutDelta(req) => {
             let wire = traceable(forwardable(line, &request, &env), &env);
-            forward(state, conns, &wire, req.base, true, &env)
+            forward(state, &topo, conns, &wire, req.base, true, &env)
         }
         // A client-sent cache_put routes like a layout for the same
         // digest: recorded home first, then ring order — the entry lands
         // where requests naming the digest will look for it.
         Request::CachePut(entry) => {
             let wire = traceable(forwardable(line, &request, &env), &env);
-            forward(state, conns, &wire, entry.digest, false, &env)
+            forward(state, &topo, conns, &wire, entry.digest, false, &env)
         }
+        // Shard-local: a page walk only means something against one
+        // cache, so the router has no digest to route it by.
+        Request::CachePull { .. } => (
+            Response::Error(WireError::new(
+                ErrorKind::InvalidRequest,
+                "invalid request: 'cache_pull' is a shard-local op; address a shard directly",
+            ))
+            .encode(&env),
+            None,
+        ),
+        Request::ShardJoin { addr } => (admin_join(state, conns, addr, &env), None),
+        Request::ShardDrain { addr } => (admin_drain(state, conns, addr, &env), None),
     };
     phases.push(("forward", forwarding.elapsed().as_micros() as u64));
     let total_us = started.elapsed().as_micros() as u64;
@@ -624,8 +828,8 @@ fn route_line(line: &str, state: &RouterState, conns: &mut [Option<Connection>])
     if state.slow_log.would_keep(total_us) {
         // Only now — for a request already known slow — is the reply
         // parsed for its trace member; fast requests never pay for it.
-        let remote =
-            served_by.and_then(|shard| extract_remote_span(&reply, &state.shards[shard].addr));
+        let remote = served_by
+            .and_then(|shard| extract_remote_span(&reply, &topo.slots[shard].health.addr));
         state.slow_log.record(TraceEntry {
             id: correlation_id(&env.id),
             op,
@@ -727,35 +931,56 @@ fn forwardable<'a>(
 /// are pure functions of their digest.
 fn forward(
     state: &RouterState,
-    conns: &mut [Option<Connection>],
+    topo: &Topology,
+    conns: &mut Vec<Option<Connection>>,
     line: &str,
     digest: Digest,
     is_delta: bool,
     env: &Envelope,
 ) -> (String, Option<usize>) {
-    let home = state.homes.peek(digest).filter(|&s| s < state.shards.len());
-    let order = home.into_iter().chain(
-        state
-            .ring
-            .candidates(digest.lo)
-            .filter(|&s| Some(s) != home),
-    );
-    for (hop, shard) in order.enumerate() {
-        let health = &state.shards[shard];
-        if !health.is_up() {
+    // A recorded home is trusted only while it names an active slot:
+    // entries never leave an active shard except by eviction, but a
+    // drain tombstones its slot — and a stale override could otherwise
+    // route an edit chain at a removed member forever.
+    let home = state
+        .homes
+        .peek(digest)
+        .filter(|&s| s < topo.slots.len() && topo.slots[s].state.active());
+    let order = home
+        .into_iter()
+        .chain(topo.ring.candidates(digest.lo).filter(|&s| Some(s) != home));
+    // `hops` counts *attempted-but-unavailable* candidates, so a reroute
+    // means failover — not a tombstone walked past (the steady state
+    // after a drain) and not the by-design old-owner read during a join.
+    let mut hops = 0u32;
+    for shard in order {
+        let slot = &topo.slots[shard];
+        if !slot.state.active() {
+            continue; // tombstone: never a candidate
+        }
+        if slot.state == SlotState::Joining && !state.transfer_passed(shard, digest) {
+            // The joining shard does not hold this digest yet; its old
+            // owner — the next candidate — still serves it.
+            continue;
+        }
+        if !slot.health.is_up() {
+            hops += 1;
             continue; // the probe thread owns recovery
         }
-        match exchange_on(conns, shard, &health.addr, state, line) {
+        match exchange_on(conns, shard, &slot.health.addr, state, line) {
             Ok(reply) => {
-                health.count_forwarded();
+                slot.health.count_forwarded();
                 state.counters.forwarded.fetch_add(1, Ordering::Relaxed);
-                if hop > 0 {
+                if hops > 0 {
                     state.counters.rerouted.fetch_add(1, Ordering::Relaxed);
                 }
-                record_result_home(state, shard, digest, is_delta, &reply);
+                record_result_home(state, topo, shard, digest, is_delta, &reply);
                 return (reply, Some(shard));
             }
-            Err(_) => health.mark_down(),
+            Err(_) => {
+                slot.health.mark_down();
+                hops += 1;
+            }
         }
     }
     state.counters.unroutable.fetch_add(1, Ordering::Relaxed);
@@ -763,7 +988,7 @@ fn forward(
         ErrorKind::Unroutable,
         format!(
             "no shards available: all {} backends are down",
-            state.shards.len()
+            topo.active().count()
         ),
     ))
     .encode(env);
@@ -783,6 +1008,7 @@ fn forward(
 /// never earn a home entry either.
 fn record_result_home(
     state: &RouterState,
+    topo: &Topology,
     shard: usize,
     request_digest: Digest,
     is_delta: bool,
@@ -804,10 +1030,10 @@ fn record_result_home(
         else {
             return;
         };
-        if state.ring.owner(d.lo) != shard {
+        if topo.primary(d.lo) != shard {
             state.homes.insert(d, shard);
         }
-    } else if state.ring.owner(request_digest.lo) != shard {
+    } else if topo.primary(request_digest.lo) != shard {
         state.homes.insert(request_digest, shard);
     }
 }
@@ -828,13 +1054,27 @@ fn record_result_home(
 /// best-effort and never fails the client's request.
 fn replicate(
     state: &RouterState,
-    conns: &mut [Option<Connection>],
+    topo: &Topology,
+    conns: &mut Vec<Option<Connection>>,
     req: &LayoutRequest,
     digest: Digest,
     shard: usize,
     reply: &str,
 ) {
-    if state.replicas < 2 {
+    // During a join, a fresh result whose *post-join* ring owner is the
+    // still-joining shard is written to both homes: the old owner served
+    // (and cached) it, and a copy goes to the joining shard so the
+    // transfer sweep has nothing to chase. Active even with replication
+    // off — it is handoff correctness, not durability.
+    let dual = state
+        .transfer
+        .lock()
+        .as_ref()
+        .map(|t| t.target)
+        .filter(|&j| {
+            j != shard && j < topo.slots.len() && topo.ring.owner(digest.lo) == j
+        });
+    if state.replicas < 2 && dual.is_none() {
         return;
     }
     // Cheap substring gates first (the wire encoding is canonical, so
@@ -846,17 +1086,33 @@ fn replicate(
     let Ok((Response::Layout(lr), _)) = protocol::parse_response(reply) else {
         return;
     };
-    let owner = state.ring.owner(digest.lo);
-    let targets: Vec<usize> = match lr.source.as_str() {
-        "computed" | "warm" => state
-            .ring
-            .candidates(digest.lo)
-            .filter(|&s| s != shard && state.shards[s].is_up())
-            .take(state.replicas - 1)
-            .collect(),
-        "hit" if shard != owner && state.shards[owner].is_up() => vec![owner],
-        _ => return,
+    let owner = topo.primary(digest.lo);
+    let mut targets: Vec<usize> = if state.replicas >= 2 {
+        match lr.source.as_str() {
+            "computed" | "warm" => topo
+                .ring
+                .candidates(digest.lo)
+                .filter(|&s| {
+                    s != shard && topo.slots[s].state.active() && topo.slots[s].health.is_up()
+                })
+                .take(state.replicas - 1)
+                .collect(),
+            "hit" if shard != owner && topo.slots[owner].health.is_up() => vec![owner],
+            _ => Vec::new(),
+        }
+    } else {
+        Vec::new()
     };
+    if let Some(j) = dual {
+        // Only fresh results dual-home: a hit already lives on its old
+        // owner and the transfer stream covers it.
+        if matches!(lr.source.as_str(), "computed" | "warm")
+            && topo.slots[j].health.is_up()
+            && !targets.contains(&j)
+        {
+            targets.push(j);
+        }
+    }
     if targets.is_empty() {
         return;
     }
@@ -877,9 +1133,14 @@ fn replicate(
     };
     let put = Request::CachePut(Box::new(entry)).encode_v1();
     for target in targets {
-        let health = &state.shards[target];
+        let health = &topo.slots[target].health;
         match exchange_on(conns, target, &health.addr, state, &put) {
             Ok(ack) if ack.contains("\"ok\":true") => {
+                if dual == Some(target) {
+                    // Handoff traffic, not a durability replica.
+                    state.counters.transferred.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
                 state.counters.replica_puts.fetch_add(1, Ordering::Relaxed);
                 if target == owner && shard != owner {
                     state.counters.read_repairs.fetch_add(1, Ordering::Relaxed);
@@ -898,12 +1159,16 @@ fn replicate(
 /// reconnecting once if the pooled connection turns out to be dead.
 /// On error the pool slot is left empty.
 fn exchange_on(
-    conns: &mut [Option<Connection>],
+    conns: &mut Vec<Option<Connection>>,
     shard: usize,
     addr: &str,
     state: &RouterState,
     line: &str,
 ) -> std::io::Result<String> {
+    if conns.len() <= shard {
+        // The fleet grew under this handler: give joined slots a pool.
+        conns.resize_with(shard + 1, || None);
+    }
     let had_pooled = conns[shard].is_some();
     if had_pooled {
         if let Ok(reply) = conns[shard].as_mut().expect("just checked").exchange(line) {
@@ -921,6 +1186,348 @@ fn exchange_on(
     Ok(reply)
 }
 
+/// Entries pulled per `cache_pull` page during a transfer; well under
+/// the shard-side cap, large enough that a transfer is page-bound, not
+/// round-trip-bound.
+const TRANSFER_PAGE: u64 = 256;
+
+/// A live `shard_join`: appends the new shard to the topology as
+/// `Joining`, streams every cache entry it now owns from the old
+/// owners while requests keep serving (reads chase the transfer
+/// cursor; fresh results dual-home), then promotes it to `Live` and
+/// sweeps the straggler window shut. Serialized with other admin ops;
+/// ordinary traffic is never blocked.
+fn admin_join(
+    state: &RouterState,
+    conns: &mut Vec<Option<Connection>>,
+    addr: &str,
+    env: &Envelope,
+) -> String {
+    let _serialized = state.admin.lock();
+    let topo = state.topology.snapshot();
+    if topo
+        .slots
+        .iter()
+        .any(|s| s.state.active() && s.health.addr == addr)
+    {
+        return Response::Error(WireError::new(
+            ErrorKind::InvalidRequest,
+            format!("invalid request: shard_join: {addr} is already a fleet member"),
+        ))
+        .encode(env);
+    }
+    if !ping_shard(state, addr) {
+        return Response::Error(WireError::new(
+            ErrorKind::InvalidRequest,
+            format!("invalid request: shard_join: cannot reach {addr}"),
+        ))
+        .encode(env);
+    }
+    // Publish the joining topology: a new slot appended, the ring grown
+    // to a point-superset of the old one — only keys the new shard owns
+    // change owner (property-tested in ring_proptests).
+    let joined = topo.slots.len();
+    let mut slots = topo.slots.clone();
+    slots.push(Slot {
+        health: Arc::new(ShardHealth::new(addr.to_string())),
+        state: SlotState::Joining,
+    });
+    let joining = publish(state, &topo, slots);
+    *state.transfer.lock() = Some(Transfer {
+        target: joined,
+        cursor: 0,
+    });
+    state.counters.joins.fetch_add(1, Ordering::Relaxed);
+    // First pass advances the read cursor, so requests start landing on
+    // the new shard digest range by digest range as entries arrive.
+    let mut sent: HashSet<u128> = HashSet::new();
+    let mut moved = stream_owned_keys(state, conns, &joining, joined, &mut sent, true);
+    // Writes that raced a passed cursor landed on old owners (minus the
+    // dual-homed ones): re-sweep until a full pass moves nothing new.
+    loop {
+        let more = stream_owned_keys(state, conns, &joining, joined, &mut sent, false);
+        moved += more;
+        if more == 0 {
+            break;
+        }
+    }
+    // The new shard holds everything it owns: serve it unconditionally.
+    let mut slots = joining.slots.clone();
+    slots[joined].state = SlotState::Live;
+    let live = publish(state, &joining, slots);
+    *state.transfer.lock() = None;
+    // Requests in flight across the flip may still have written to an
+    // old owner under the joining snapshot — close that window too.
+    loop {
+        let more = stream_owned_keys(state, conns, &live, joined, &mut sent, false);
+        moved += more;
+        if more == 0 {
+            break;
+        }
+    }
+    topology_reply(&live, moved, env)
+}
+
+/// A live `shard_drain`: marks the shard `Draining` (it keeps serving),
+/// streams every entry it holds — ring-owned or homed — to each
+/// entry's next ring candidate, tombstones the slot, then keeps
+/// sweeping the (still reachable, just out of rotation) shard until a
+/// pass moves nothing: requests in flight across the flip cannot strand
+/// an entry. Zero cached work is lost.
+fn admin_drain(
+    state: &RouterState,
+    conns: &mut Vec<Option<Connection>>,
+    addr: &str,
+    env: &Envelope,
+) -> String {
+    let _serialized = state.admin.lock();
+    let topo = state.topology.snapshot();
+    let Some(drained) = topo
+        .slots
+        .iter()
+        .position(|s| s.state.active() && s.health.addr == addr)
+    else {
+        return Response::Error(WireError::new(
+            ErrorKind::InvalidRequest,
+            format!("invalid request: shard_drain: {addr} is not a fleet member"),
+        ))
+        .encode(env);
+    };
+    if topo.slots[drained].state != SlotState::Live {
+        return Response::Error(WireError::new(
+            ErrorKind::InvalidRequest,
+            format!(
+                "invalid request: shard_drain: {addr} is {}, not live",
+                topo.slots[drained].state.name()
+            ),
+        ))
+        .encode(env);
+    }
+    if topo.active().count() <= 1 {
+        return Response::Error(WireError::new(
+            ErrorKind::InvalidRequest,
+            format!("invalid request: shard_drain: refusing to remove the last shard {addr}"),
+        ))
+        .encode(env);
+    }
+    let mut slots = topo.slots.clone();
+    slots[drained].state = SlotState::Draining;
+    let draining = publish(state, &topo, slots);
+    state.counters.drains.fetch_add(1, Ordering::Relaxed);
+    let mut sent: HashSet<u128> = HashSet::new();
+    let mut moved = 0u64;
+    loop {
+        let more = drain_pass(state, conns, &draining, drained, &mut sent);
+        moved += more;
+        if more == 0 {
+            break;
+        }
+    }
+    // Tombstone the slot: new requests walk past it, indices of every
+    // surviving slot are untouched, so no other key moves.
+    let mut slots = draining.slots.clone();
+    slots[drained].state = SlotState::Removed;
+    let removed = publish(state, &draining, slots);
+    loop {
+        let more = drain_pass(state, conns, &removed, drained, &mut sent);
+        moved += more;
+        if more == 0 {
+            break;
+        }
+    }
+    topology_reply(&removed, moved, env)
+}
+
+/// One preflight ping over a fresh connection (admin ops refuse rather
+/// than enroll a shard that cannot answer).
+fn ping_shard(state: &RouterState, addr: &str) -> bool {
+    Connection::connect_timeout(addr, ClientTransport::Tcp, state.connect_timeout)
+        .and_then(|mut conn| {
+            conn.set_read_timeout(Some(state.connect_timeout))?;
+            conn.exchange(r#"{"op":"ping"}"#)
+        })
+        .map(|reply| reply.contains("\"ok\":true"))
+        .unwrap_or(false)
+}
+
+/// Publishes the successor topology: `epoch + 1`, ring rebuilt over the
+/// (possibly grown) slot vector.
+fn publish(state: &RouterState, prev: &Topology, slots: Vec<Slot>) -> Arc<Topology> {
+    let next = Arc::new(Topology {
+        epoch: prev.epoch + 1,
+        ring: HashRing::new(slots.len(), state.vnodes),
+        slots,
+    });
+    state.topology.publish(next.clone());
+    next
+}
+
+/// One full pass of the join transfer: page through every active
+/// source's cache, copying each entry the joining slot now owns (and
+/// has not already received) to it. With `advance`, the global read
+/// cursor — the minimum unfinished per-source cursor — is published
+/// after every page, so reads chase the transfer instead of waiting
+/// for it. Returns entries moved this pass.
+fn stream_owned_keys(
+    state: &RouterState,
+    conns: &mut Vec<Option<Connection>>,
+    topo: &Topology,
+    joined: usize,
+    sent: &mut HashSet<u128>,
+    advance: bool,
+) -> u64 {
+    let sources: Vec<usize> = topo.active().filter(|&i| i != joined).collect();
+    let mut cursors: Vec<Option<Digest>> = vec![None; sources.len()];
+    let mut done: Vec<bool> = sources
+        .iter()
+        .map(|&src| !topo.slots[src].health.is_up())
+        .collect();
+    let target_addr = topo.slots[joined].health.addr.clone();
+    let mut moved = 0u64;
+    while done.iter().any(|d| !d) {
+        for k in 0..sources.len() {
+            if done[k] {
+                continue;
+            }
+            let src = sources[k];
+            let health = &topo.slots[src].health;
+            let pull = Request::CachePull {
+                cursor: cursors[k],
+                limit: TRANSFER_PAGE,
+            }
+            .encode_v1();
+            let page = exchange_on(conns, src, &health.addr, state, &pull)
+                .ok()
+                .and_then(|reply| match protocol::parse_response(&reply) {
+                    Ok((Response::CachePage(page), _)) => Some(page),
+                    _ => None,
+                });
+            let Some(page) = page else {
+                // An unreachable source cannot be paged; its entries
+                // surface through failover, not the transfer.
+                health.mark_down();
+                done[k] = true;
+                continue;
+            };
+            for entry in page.entries {
+                let key = entry.digest.as_u128();
+                if topo.ring.owner(entry.digest.lo) != joined || sent.contains(&key) {
+                    continue;
+                }
+                let put = Request::CachePut(Box::new(entry)).encode_v1();
+                if let Ok(ack) = exchange_on(conns, joined, &target_addr, state, &put) {
+                    if ack.contains("\"ok\":true") {
+                        sent.insert(key);
+                        moved += 1;
+                        state.counters.transferred.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            cursors[k] = page.next;
+            if page.done || page.next.is_none() {
+                done[k] = true;
+            }
+            if advance {
+                // Everything at or below every unfinished source's
+                // cursor has been copied; finished sources bound nothing.
+                let floor = sources
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| !done[i])
+                    .map(|(i, _)| cursors[i].map_or(0, |d| d.as_u128()))
+                    .min()
+                    .unwrap_or(u128::MAX);
+                if let Some(t) = state.transfer.lock().as_mut() {
+                    t.cursor = floor;
+                }
+            }
+        }
+    }
+    moved
+}
+
+/// One full pass of a drain: page through the draining shard's cache,
+/// copying every entry not yet relocated to its first available ring
+/// candidate. Returns entries moved this pass (a zero-moved pass means
+/// quiescence).
+fn drain_pass(
+    state: &RouterState,
+    conns: &mut Vec<Option<Connection>>,
+    topo: &Topology,
+    drained: usize,
+    sent: &mut HashSet<u128>,
+) -> u64 {
+    let source_addr = topo.slots[drained].health.addr.clone();
+    let mut cursor: Option<Digest> = None;
+    let mut moved = 0u64;
+    loop {
+        let pull = Request::CachePull {
+            cursor,
+            limit: TRANSFER_PAGE,
+        }
+        .encode_v1();
+        let page = exchange_on(conns, drained, &source_addr, state, &pull)
+            .ok()
+            .and_then(|reply| match protocol::parse_response(&reply) {
+                Ok((Response::CachePage(page), _)) => Some(page),
+                _ => None,
+            });
+        let Some(page) = page else {
+            // A dead shard cannot be drained gracefully; what its cache
+            // held is the crash-loss story (replication), not ours.
+            return moved;
+        };
+        for entry in page.entries {
+            let key = entry.digest.as_u128();
+            if sent.contains(&key) {
+                continue;
+            }
+            // Everything the shard holds moves — ring-owned entries,
+            // homed delta results, replicas — each to the shard that
+            // requests for its digest will now reach first.
+            let Some(dest) = topo.ring.candidates(entry.digest.lo).find(|&s| {
+                s != drained && topo.slots[s].state.active() && topo.slots[s].health.is_up()
+            }) else {
+                continue;
+            };
+            let dest_addr = topo.slots[dest].health.addr.clone();
+            let put = Request::CachePut(Box::new(entry)).encode_v1();
+            match exchange_on(conns, dest, &dest_addr, state, &put) {
+                Ok(ack) if ack.contains("\"ok\":true") => {
+                    sent.insert(key);
+                    moved += 1;
+                    state.counters.transferred.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(_) => {}
+                Err(_) => topo.slots[dest].health.mark_down(),
+            }
+        }
+        cursor = page.next;
+        if page.done || cursor.is_none() {
+            return moved;
+        }
+    }
+}
+
+/// The admin ops' reply: the published topology (every slot, tombstones
+/// included, with its lifecycle state) plus how many entries the
+/// transfer moved.
+fn topology_reply(topo: &Topology, moved: u64, env: &Envelope) -> String {
+    Response::Topology(Box::new(protocol::TopologyReply {
+        epoch: topo.epoch,
+        moved,
+        shards: topo
+            .slots
+            .iter()
+            .map(|slot| protocol::TopologyShard {
+                addr: slot.health.addr.clone(),
+                state: slot.state.name().into(),
+            })
+            .collect(),
+    }))
+    .encode(env)
+}
+
 /// Fans `{"op":"stats"}` out to every shard and aggregates: every
 /// numeric counter in the shard replies is summed field-by-field (so new
 /// server counters aggregate without touching the router), histogram
@@ -930,14 +1537,22 @@ fn exchange_on(
 /// a fleet at p99=20ms) — plus router-level counters and a `per_shard`
 /// health/traffic array carrying each shard's own `p99_us` and the age
 /// of its up/down state.
-fn stats_fanout(state: &RouterState, conns: &mut [Option<Connection>], env: &Envelope) -> String {
+fn stats_fanout(
+    state: &RouterState,
+    topo: &Topology,
+    conns: &mut Vec<Option<Connection>>,
+    env: &Envelope,
+) -> String {
     let mut sums: BTreeMap<String, f64> = BTreeMap::new();
     let mut hists: BTreeMap<String, HistogramSnapshot> = BTreeMap::new();
-    let mut per_shard = Vec::with_capacity(state.shards.len());
+    let mut per_shard = Vec::with_capacity(topo.slots.len());
     let mut shards_up = 0usize;
-    for (i, health) in state.shards.iter().enumerate() {
+    for i in topo.active() {
+        let slot = &topo.slots[i];
+        let health = &slot.health;
         let mut entry = BTreeMap::new();
         entry.insert("addr".into(), Json::Str(health.addr.clone()));
+        entry.insert("state".into(), Json::Str(slot.state.name().into()));
         entry.insert("forwarded".into(), Json::Num(health.forwarded() as f64));
         entry.insert("failures".into(), Json::Num(health.failures() as f64));
         entry.insert(
@@ -997,8 +1612,9 @@ fn stats_fanout(state: &RouterState, conns: &mut [Option<Connection>], env: &Env
         counters.insert(k, protocol::histogram_json(&snap));
     }
     counters.insert("router".into(), Json::Bool(true));
-    counters.insert("shards".into(), Json::Num(state.shards.len() as f64));
+    counters.insert("shards".into(), Json::Num(topo.active().count() as f64));
     counters.insert("shards_up".into(), Json::Num(shards_up as f64));
+    counters.insert("topology_epoch".into(), Json::Num(topo.epoch as f64));
     let c = &state.counters;
     counters.insert(
         "router_forwarded".into(),
@@ -1019,6 +1635,18 @@ fn stats_fanout(state: &RouterState, conns: &mut [Option<Connection>], env: &Env
     counters.insert(
         "read_repairs".into(),
         Json::Num(c.read_repairs.load(Ordering::Relaxed) as f64),
+    );
+    counters.insert(
+        "router_joins".into(),
+        Json::Num(c.joins.load(Ordering::Relaxed) as f64),
+    );
+    counters.insert(
+        "router_drains".into(),
+        Json::Num(c.drains.load(Ordering::Relaxed) as f64),
+    );
+    counters.insert(
+        "router_transferred".into(),
+        Json::Num(c.transferred.load(Ordering::Relaxed) as f64),
     );
     counters.insert(
         "router_request_us".into(),
@@ -1085,5 +1713,63 @@ mod tests {
         })
         .unwrap();
         assert_eq!(router.ring().shards(), 2);
+    }
+
+    #[test]
+    fn initial_topology_is_all_live_at_epoch_one() {
+        let router = Router::bind(RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()],
+            ..Default::default()
+        })
+        .unwrap();
+        let topo = router.shared.state.topology.snapshot();
+        assert_eq!(topo.epoch, 1);
+        assert!(topo.slots.iter().all(|s| s.state == SlotState::Live));
+        assert_eq!(topo.active().count(), 2);
+    }
+
+    #[test]
+    fn primary_walks_past_tombstones_and_stale_homes_expire() {
+        // A three-slot topology with slot 1 tombstoned: every key's
+        // primary must be a surviving slot, and it must equal the first
+        // non-tombstone ring candidate (the drain handoff destination).
+        let slots: Vec<Slot> = (0..3)
+            .map(|i| Slot {
+                health: Arc::new(ShardHealth::new(format!("127.0.0.1:{i}"))),
+                state: if i == 1 {
+                    SlotState::Removed
+                } else {
+                    SlotState::Live
+                },
+            })
+            .collect();
+        let topo = Topology {
+            epoch: 7,
+            ring: HashRing::new(3, 64),
+            slots,
+        };
+        for key in [0u64, 17, 9_999, u64::MAX / 3, u64::MAX] {
+            let p = topo.primary(key);
+            assert_ne!(p, 1, "tombstone chosen for key {key}");
+            assert_eq!(
+                p,
+                topo.ring
+                    .candidates(key)
+                    .find(|&s| s != 1)
+                    .expect("two slots survive")
+            );
+        }
+        // Home-override validity: one recorded at the tombstoned slot
+        // is dead (the stale-home bug a drain would otherwise hit),
+        // while one at a surviving slot outlives any number of
+        // topology changes — slot indices are never reused.
+        let homes: ShardedCache<usize> = ShardedCache::new(16, 2);
+        let d = Digest { hi: 1, lo: 2 };
+        homes.insert(d, 1);
+        let valid = |s: &usize| *s < topo.slots.len() && topo.slots[*s].state.active();
+        assert_eq!(homes.peek(d).filter(valid), None);
+        homes.insert(d, 2);
+        assert_eq!(homes.peek(d).filter(valid), Some(2));
     }
 }

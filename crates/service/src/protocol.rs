@@ -618,6 +618,31 @@ pub enum Request {
     /// replication write-through (router → replica shard) and read-repair
     /// carrier. Boxed like `Layout`: the entry carries a whole graph.
     CachePut(Box<CacheEntry>),
+    /// Page through the receiver's cache in digest order — the transfer
+    /// iterator live resharding replays as `cache_put`s. Answered by
+    /// shards; the router uses it to stream entries during a
+    /// `shard_join`/`shard_drain`.
+    CachePull {
+        /// Resume strictly after this digest; absent starts from the
+        /// lowest cached digest.
+        cursor: Option<Digest>,
+        /// Maximum entries per page (1..=1024; default 64).
+        limit: u64,
+    },
+    /// Router admin: add the shard at `addr` to the serving ring. The
+    /// router streams the keys the new shard now owns from their old
+    /// owners while requests keep serving. Shards reject it.
+    ShardJoin {
+        /// The joining shard's `host:port`.
+        addr: String,
+    },
+    /// Router admin: drain and remove the shard at `addr` — its owned
+    /// entries stream to their next ring candidates first, so a planned
+    /// scale-down loses no cached work. Shards reject it.
+    ShardDrain {
+        /// The draining shard's `host:port`.
+        addr: String,
+    },
     /// Report server counters.
     Stats,
     /// Liveness check.
@@ -634,6 +659,9 @@ impl Request {
             Request::Layout(_) => "layout",
             Request::LayoutDelta(_) => "layout_delta",
             Request::CachePut(_) => "cache_put",
+            Request::CachePull { .. } => "cache_pull",
+            Request::ShardJoin { .. } => "shard_join",
+            Request::ShardDrain { .. } => "shard_drain",
             Request::Stats => "stats",
             Request::Ping => "ping",
             Request::Debug => "debug",
@@ -646,6 +674,19 @@ impl Request {
         match self {
             Request::Ping | Request::Stats | Request::Debug => Json::Obj(BTreeMap::new()),
             Request::CachePut(e) => e.to_json(),
+            Request::CachePull { cursor, limit } => {
+                let mut obj = BTreeMap::new();
+                if let Some(cursor) = cursor {
+                    obj.insert("cursor".into(), Json::Str(cursor.to_string()));
+                }
+                obj.insert("limit".into(), Json::Num(*limit as f64));
+                Json::Obj(obj)
+            }
+            Request::ShardJoin { addr } | Request::ShardDrain { addr } => {
+                let mut obj = BTreeMap::new();
+                obj.insert("addr".into(), Json::Str(addr.clone()));
+                Json::Obj(obj)
+            }
             Request::Layout(r) => layout_body_json(&r.graph, &r.algo, r.nd_width, r.deadline),
             Request::LayoutDelta(r) => delta_body_json(
                 r.base,
@@ -983,6 +1024,16 @@ pub fn parse_request_envelope(line: &str) -> Result<(Request, Envelope), (WireEr
         "cache_put" => Request::CachePut(Box::new(
             CacheEntry::from_json(body).map_err(|e| (e, env.clone()))?,
         )),
+        "cache_pull" => {
+            let (cursor, limit) = parse_cache_pull(body).map_err(|e| (e, env.clone()))?;
+            Request::CachePull { cursor, limit }
+        }
+        "shard_join" => Request::ShardJoin {
+            addr: parse_shard_addr(body, "shard_join").map_err(|e| (e, env.clone()))?,
+        },
+        "shard_drain" => Request::ShardDrain {
+            addr: parse_shard_addr(body, "shard_drain").map_err(|e| (e, env.clone()))?,
+        },
         other => {
             return Err((
                 WireError::new(ErrorKind::UnknownOp, format!("unknown op '{other}'")),
@@ -1088,6 +1139,48 @@ fn parse_layout_delta(v: &Json) -> Result<DeltaRequest, WireError> {
         nd_width,
         deadline,
     })
+}
+
+/// Parses the `addr` member of a `shard_join`/`shard_drain` body.
+fn parse_shard_addr(v: &Json, op: &str) -> Result<String, WireError> {
+    v.get("addr")
+        .and_then(Json::as_str)
+        .filter(|a| !a.is_empty())
+        .map(String::from)
+        .ok_or_else(|| {
+            WireError::new(
+                ErrorKind::InvalidRequest,
+                format!("{op}: missing 'addr' (the shard's host:port)"),
+            )
+        })
+}
+
+/// Parses a `cache_pull` body: an optional resume `cursor` digest plus
+/// a bounded page `limit`.
+fn parse_cache_pull(v: &Json) -> Result<(Option<Digest>, u64), WireError> {
+    let invalid = |m: String| WireError::new(ErrorKind::InvalidRequest, m);
+    let cursor = match v.get("cursor") {
+        None => None,
+        Some(j) => Some(j.as_str().and_then(Digest::from_hex).ok_or_else(|| {
+            invalid("cache_pull: 'cursor' must be a 32-hex-digit digest".into())
+        })?),
+    };
+    // The cap bounds one page's response size the way MAX_DELTA_EDITS
+    // bounds one delta's work: a transfer never buys unbounded encoding
+    // on the connection thread.
+    const MAX_PULL_LIMIT: u64 = 1_024;
+    let limit = match v.get("limit") {
+        None => 64,
+        Some(j) => j
+            .as_u64()
+            .filter(|&n| (1..=MAX_PULL_LIMIT).contains(&n))
+            .ok_or_else(|| {
+                invalid(format!(
+                    "cache_pull: 'limit' must be an integer in 1..={MAX_PULL_LIMIT}"
+                ))
+            })?,
+    };
+    Ok((cursor, limit))
 }
 
 /// Parses a `[[u,v],...]` member; `Ok(None)` when the key is absent.
@@ -1599,6 +1692,155 @@ impl CacheEntry {
     }
 }
 
+/// One page of a shard's cache answering a `cache_pull`: entries in
+/// ascending digest order, a resume cursor, and a `done` flag. The
+/// puller re-sends with `cursor = next` until `done` — entries
+/// installed concurrently behind the cursor are the *sender's* news,
+/// not the page's; live resharding closes that window with a final
+/// sweep after the topology flips.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CachePage {
+    /// Entries with digests strictly above the request cursor, ascending.
+    pub entries: Vec<CacheEntry>,
+    /// The highest digest in `entries` — the next request's `cursor`.
+    /// Absent when the page is empty.
+    pub next: Option<Digest>,
+    /// `true` when no cached digest lies above `next`.
+    pub done: bool,
+}
+
+impl CachePage {
+    /// The response body as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut obj = BTreeMap::new();
+        obj.insert("ok".into(), Json::Bool(true));
+        obj.insert("op".into(), Json::Str("cache_pull".into()));
+        obj.insert(
+            "entries".into(),
+            Json::Arr(self.entries.iter().map(CacheEntry::to_json).collect()),
+        );
+        if let Some(next) = self.next {
+            obj.insert("next".into(), Json::Str(next.to_string()));
+        }
+        obj.insert("done".into(), Json::Bool(self.done));
+        Json::Obj(obj)
+    }
+
+    /// Decodes a cache-pull response object.
+    pub fn from_json(v: &Json) -> Result<CachePage, String> {
+        let entries = match v.get("entries") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|e| CacheEntry::from_json(e).map_err(|err| err.message))
+                .collect::<Result<Vec<CacheEntry>, String>>()?,
+            _ => return Err("cache_pull reply: missing 'entries'".into()),
+        };
+        let next = match v.get("next") {
+            None => None,
+            Some(j) => Some(
+                j.as_str()
+                    .and_then(Digest::from_hex)
+                    .ok_or("cache_pull reply: 'next' must be a 32-hex-digit digest")?,
+            ),
+        };
+        let done = match v.get("done") {
+            Some(Json::Bool(b)) => *b,
+            _ => return Err("cache_pull reply: missing boolean 'done'".into()),
+        };
+        Ok(CachePage {
+            entries,
+            next,
+            done,
+        })
+    }
+}
+
+/// One member of a [`TopologyReply`]: a ring slot's address and
+/// lifecycle state (`joining`, `live`, `draining`, or `removed`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopologyShard {
+    /// The shard's `host:port`.
+    pub addr: String,
+    /// The slot's lifecycle state name.
+    pub state: String,
+}
+
+/// The router's answer to a `shard_join`/`shard_drain`: the topology
+/// epoch after the change, every ring slot with its state, and how many
+/// cached entries the transfer moved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopologyReply {
+    /// Monotonic topology epoch; bumps on every membership/state change.
+    pub epoch: u64,
+    /// Cached entries streamed to their new owners by this change.
+    pub moved: u64,
+    /// Every ring slot (including `removed` tombstones), in slot order.
+    pub shards: Vec<TopologyShard>,
+}
+
+impl TopologyReply {
+    /// The response body as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut obj = BTreeMap::new();
+        obj.insert("ok".into(), Json::Bool(true));
+        obj.insert("op".into(), Json::Str("topology".into()));
+        obj.insert("epoch".into(), Json::Num(self.epoch as f64));
+        obj.insert("moved".into(), Json::Num(self.moved as f64));
+        obj.insert(
+            "shards".into(),
+            Json::Arr(
+                self.shards
+                    .iter()
+                    .map(|s| {
+                        let mut o = BTreeMap::new();
+                        o.insert("addr".into(), Json::Str(s.addr.clone()));
+                        o.insert("state".into(), Json::Str(s.state.clone()));
+                        Json::Obj(o)
+                    })
+                    .collect(),
+            ),
+        );
+        Json::Obj(obj)
+    }
+
+    /// Decodes a topology response object.
+    pub fn from_json(v: &Json) -> Result<TopologyReply, String> {
+        let epoch = v
+            .get("epoch")
+            .and_then(Json::as_u64)
+            .ok_or("topology reply: missing integer 'epoch'")?;
+        let moved = v
+            .get("moved")
+            .and_then(Json::as_u64)
+            .ok_or("topology reply: missing integer 'moved'")?;
+        let shards = match v.get("shards") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|s| {
+                    let addr = s
+                        .get("addr")
+                        .and_then(Json::as_str)
+                        .ok_or("topology reply: shard missing string 'addr'")?;
+                    let state = s
+                        .get("state")
+                        .and_then(Json::as_str)
+                        .ok_or("topology reply: shard missing string 'state'")?;
+                    Ok(TopologyShard {
+                        addr: addr.to_string(),
+                        state: state.to_string(),
+                    })
+                })
+                .collect::<Result<Vec<TopologyShard>, String>>()?,
+            _ => return Err("topology reply: missing 'shards'".into()),
+        };
+        Ok(TopologyReply {
+            epoch,
+            moved,
+            shards,
+        })
+    }
+}
+
 /// A decoded server response — the other half of the typed codec.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
@@ -1622,6 +1864,11 @@ pub enum Response {
         /// Whether the entry was newly installed.
         stored: bool,
     },
+    /// One page of a shard's cache answering a `cache_pull`. Boxed like
+    /// `Layout`: each entry carries a whole graph.
+    CachePage(Box<CachePage>),
+    /// The router's topology summary answering `shard_join`/`shard_drain`.
+    Topology(Box<TopologyReply>),
     /// An error reply.
     Error(WireError),
 }
@@ -1660,6 +1907,8 @@ impl Response {
                 obj.insert("stored".into(), Json::Bool(*stored));
                 Json::Obj(obj)
             }
+            Response::CachePage(page) => page.to_json(),
+            Response::Topology(topo) => topo.to_json(),
             Response::Error(e) => {
                 let mut obj = BTreeMap::new();
                 obj.insert("ok".into(), Json::Bool(false));
@@ -1759,6 +2008,8 @@ pub fn parse_response(line: &str) -> Result<(Response, Envelope), String> {
             Some("cache_put") => Response::CachePutAck {
                 stored: v.get("stored") == Some(&Json::Bool(true)),
             },
+            Some("cache_pull") => Response::CachePage(Box::new(CachePage::from_json(&v)?)),
+            Some("topology") => Response::Topology(Box::new(TopologyReply::from_json(&v)?)),
             Some(other) => return Err(format!("unknown response op '{other}'")),
             None => Response::Layout(Box::new(LayoutReply::from_json(&v)?)),
         },
@@ -2019,6 +2270,106 @@ mod tests {
             let err = parse_request(&line).unwrap_err();
             assert!(err.contains(needle), "{line} -> {err}");
         }
+    }
+
+    #[test]
+    fn cache_pull_request_and_page_roundtrip() {
+        // Request: cursor + limit survive both wire forms.
+        let req = Request::CachePull {
+            cursor: Some(Digest { hi: 3, lo: 9 }),
+            limit: 32,
+        };
+        let line = req.encode_v2(None);
+        let Request::CachePull { cursor, limit } = parse_request(&line).unwrap() else {
+            panic!("expected cache_pull");
+        };
+        assert_eq!(cursor, Some(Digest { hi: 3, lo: 9 }));
+        assert_eq!(limit, 32);
+        // Absent cursor/limit take the documented defaults.
+        let Request::CachePull { cursor, limit } =
+            parse_request(r#"{"op":"cache_pull"}"#).unwrap()
+        else {
+            panic!("expected cache_pull");
+        };
+        assert_eq!(cursor, None);
+        assert_eq!(limit, 64);
+
+        // Response: a page with one entry round-trips.
+        let page = CachePage {
+            entries: vec![CacheEntry {
+                digest: Digest { hi: 1, lo: 2 },
+                nodes: 2,
+                edges: vec![(0, 1)],
+                layers: vec![vec![1], vec![0]],
+                nd_width: 1.0,
+                reversed_edges: 0,
+                seeded: false,
+                certified: false,
+                compute_micros: 5,
+            }],
+            next: Some(Digest { hi: 1, lo: 2 }),
+            done: false,
+        };
+        let line = Response::CachePage(Box::new(page.clone())).encode(&Envelope::v1());
+        let (resp, _) = parse_response(&line).unwrap();
+        assert_eq!(resp, Response::CachePage(Box::new(page)));
+    }
+
+    #[test]
+    fn cache_pull_validation_errors() {
+        for (line, needle) in [
+            (r#"{"op":"cache_pull","cursor":"zz"}"#, "32-hex-digit"),
+            (r#"{"op":"cache_pull","limit":0}"#, "1..=1024"),
+            (r#"{"op":"cache_pull","limit":9999}"#, "1..=1024"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{line} -> {err}");
+        }
+    }
+
+    #[test]
+    fn shard_admin_requests_and_topology_roundtrip() {
+        for (line, want_join) in [
+            (r#"{"op":"shard_join","addr":"127.0.0.1:4801"}"#, true),
+            (r#"{"op":"shard_drain","addr":"127.0.0.1:4801"}"#, false),
+        ] {
+            let req = parse_request(line).unwrap();
+            match (&req, want_join) {
+                (Request::ShardJoin { addr }, true) | (Request::ShardDrain { addr }, false) => {
+                    assert_eq!(addr, "127.0.0.1:4801");
+                }
+                _ => panic!("{line} parsed to the wrong variant"),
+            }
+            // encode → parse → encode identity on the v2 form.
+            let v2 = req.encode_v2(Some(&Json::Num(4.0)));
+            let (back, env) = parse_request_envelope(&v2).unwrap();
+            assert_eq!(back.encode_v2(env.id.as_ref()), v2);
+        }
+        assert!(parse_request(r#"{"op":"shard_join"}"#)
+            .unwrap_err()
+            .contains("missing 'addr'"));
+        assert!(parse_request(r#"{"op":"shard_drain","addr":""}"#)
+            .unwrap_err()
+            .contains("missing 'addr'"));
+
+        let topo = TopologyReply {
+            epoch: 3,
+            moved: 17,
+            shards: vec![
+                TopologyShard {
+                    addr: "a:1".into(),
+                    state: "live".into(),
+                },
+                TopologyShard {
+                    addr: "b:2".into(),
+                    state: "removed".into(),
+                },
+            ],
+        };
+        let line = Response::Topology(Box::new(topo.clone())).encode(&Envelope::v2(None));
+        let (resp, env) = parse_response(&line).unwrap();
+        assert_eq!(env.version, 2);
+        assert_eq!(resp, Response::Topology(Box::new(topo)));
     }
 
     #[test]

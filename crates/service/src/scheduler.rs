@@ -923,6 +923,38 @@ impl Scheduler {
         self.cache_restored.get()
     }
 
+    /// One page of the cache in ascending digest order — the `cache_pull`
+    /// op live resharding iterates. Returns up to `limit` portable
+    /// entries with digests strictly above `cursor` (`None` = from the
+    /// lowest), the resume cursor, and whether anything remains. The
+    /// scan snapshots under the cache's shard locks like compaction
+    /// does; entries installed behind the cursor after their page was
+    /// served belong to the *next* sweep, which is why transfers finish
+    /// with a quiescent pass.
+    pub fn export_page(
+        &self,
+        cursor: Option<Digest>,
+        limit: u64,
+    ) -> (Vec<crate::protocol::CacheEntry>, Option<Digest>, bool) {
+        let floor = cursor.map(|d| d.as_u128());
+        let mut live: Vec<(u128, Arc<LayoutResult>)> = Vec::new();
+        self.cache.for_each(|digest, result| {
+            let key = digest.as_u128();
+            if floor.map_or(true, |f| key > f) {
+                live.push((key, result.clone()));
+            }
+        });
+        live.sort_unstable_by_key(|&(key, _)| key);
+        let remaining = live.len() as u64 > limit;
+        live.truncate(limit as usize);
+        let entries: Vec<crate::protocol::CacheEntry> = live
+            .iter()
+            .map(|(_, result)| crate::protocol::CacheEntry::of_result(result))
+            .collect();
+        let next = entries.last().map(|e| e.digest);
+        (entries, next, !remaining)
+    }
+
     /// Forces a segment-log compaction now; production compaction
     /// triggers automatically from log growth, this handle exists for
     /// fault-injection schedules. Returns `false` (doing nothing) when
@@ -1089,6 +1121,51 @@ mod tests {
         let c = s.counters();
         assert_eq!(c.computed, 1);
         assert_eq!(c.cache.hits, 1);
+    }
+
+    #[test]
+    fn export_page_walks_the_cache_in_digest_order() {
+        let s = Scheduler::new(SchedulerConfig {
+            threads: 2,
+            ..Default::default()
+        });
+        for seed in 1..=5 {
+            s.submit(LayoutRequest::new(small_graph(seed), quick_aco(1)))
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        // Tiny pages concatenate to the whole cache, strictly ascending.
+        let mut seen = Vec::new();
+        let mut cursor = None;
+        loop {
+            let (entries, next, done) = s.export_page(cursor, 2);
+            assert!(entries.len() <= 2);
+            seen.extend(entries.iter().map(|e| e.digest.as_u128()));
+            if done {
+                break;
+            }
+            cursor = next;
+            assert!(cursor.is_some(), "an unfinished page must carry a cursor");
+        }
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(seen, sorted, "pages ascend without overlap");
+        assert_eq!(seen.len(), 5);
+
+        // The exported entries replay into a fresh scheduler via install
+        // — the exact path a join transfer takes.
+        let t = Scheduler::new(SchedulerConfig {
+            threads: 1,
+            ..Default::default()
+        });
+        let (entries, _, done) = s.export_page(None, 1024);
+        assert!(done);
+        for e in &entries {
+            assert!(t.install(e).unwrap());
+        }
+        assert_eq!(t.restored(), 5);
     }
 
     #[test]

@@ -103,6 +103,11 @@ pub struct ServiceCore {
     request_us: Arc<Histogram>,
     /// The K slowest requests with their phase breakdowns (`debug` op).
     slow_log: SlowLog,
+    /// Milliseconds to sleep before answering each request — 0 in
+    /// production, set by fault harnesses (`FaultAction::Delay`) to make
+    /// a shard *slow* rather than dead, which is the failure mode that
+    /// exercises the router's `io_timeout` reroute path.
+    respond_delay_ms: AtomicU64,
 }
 
 impl ServiceCore {
@@ -117,7 +122,15 @@ impl ServiceCore {
             lenient_requests: AtomicU64::new(0),
             request_us,
             slow_log: SlowLog::new(SLOW_LOG_CAPACITY),
+            respond_delay_ms: AtomicU64::new(0),
         }
+    }
+
+    /// Sets the artificial per-request respond delay (fault injection:
+    /// a slow shard, not a dead one). `0` restores normal service.
+    pub fn set_respond_delay(&self, delay: Duration) {
+        self.respond_delay_ms
+            .store(delay.as_millis() as u64, Ordering::Relaxed);
     }
 
     /// The slow-request log (for in-process inspection and tests).
@@ -145,6 +158,10 @@ impl ServiceCore {
     /// breakdown echoed in the response's `"trace"` member — the
     /// router's way of stitching a fleet-wide timeline.
     pub fn respond(&self, line: &str) -> String {
+        let delay_ms = self.respond_delay_ms.load(Ordering::Relaxed);
+        if delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(delay_ms));
+        }
         let started = Instant::now();
         let (request, env) = match protocol::parse_request_envelope(line) {
             Err((err, env)) => return Response::Error(err).encode(&env),
@@ -186,6 +203,21 @@ impl ServiceCore {
                 Ok(stored) => Response::CachePutAck { stored },
                 Err(e) => error_response(&e),
             },
+            Request::CachePull { cursor, limit } => {
+                let (entries, next, done) = self.scheduler.export_page(cursor, limit);
+                Response::CachePage(Box::new(protocol::CachePage {
+                    entries,
+                    next,
+                    done,
+                }))
+            }
+            // Topology changes are the router's job; a shard has no ring.
+            Request::ShardJoin { .. } | Request::ShardDrain { .. } => {
+                Response::Error(WireError::new(
+                    ErrorKind::InvalidRequest,
+                    format!("invalid request: '{op}' is a router admin op; send it to the router"),
+                ))
+            }
         };
         // The wire trace closes before encoding (it is part of what gets
         // encoded); the slow log closes after, so it sees the full cost.
@@ -480,6 +512,14 @@ impl ServerHandle {
         self.shared.core.scheduler()
     }
 
+    /// Makes every request on this server sleep `delay` before being
+    /// answered — the fault harness's *slow shard* (`Delay` event), as
+    /// opposed to a killed one. `Duration::ZERO` restores normal
+    /// service.
+    pub fn set_respond_delay(&self, delay: Duration) {
+        self.shared.core.set_respond_delay(delay);
+    }
+
     /// Stops the accept loops, severs every live connection, and joins
     /// the server threads. After this returns, the process answers
     /// nothing on its ports — clients (and routers) observe EOF/reset,
@@ -600,6 +640,65 @@ mod tests {
         assert_eq!(second.get("source").and_then(Json::as_str), Some("hit"));
         assert_eq!(first.get("layers"), second.get("layers"));
         assert_eq!(first.get("digest"), second.get("digest"));
+    }
+
+    #[test]
+    fn respond_cache_pull_pages_and_rejects_admin_ops() {
+        let core = test_core();
+        let line = r#"{"op":"layout","algo":"lpl","nodes":4,"edges":[[0,1],[1,2],[2,3]]}"#;
+        assert_eq!(
+            parse(&core.respond(line)).unwrap().get("ok"),
+            Some(&Json::Bool(true))
+        );
+        // One cached entry: the first pull returns it and is done.
+        let page = parse(&core.respond(r#"{"op":"cache_pull","limit":8}"#)).unwrap();
+        assert_eq!(page.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(page.get("done"), Some(&Json::Bool(true)));
+        let Some(Json::Arr(entries)) = page.get("entries") else {
+            panic!("cache_pull reply carries entries");
+        };
+        assert_eq!(entries.len(), 1);
+        // Resuming after the returned cursor yields an empty, done page.
+        let next = page.get("next").and_then(Json::as_str).unwrap();
+        let line = format!(r#"{{"op":"cache_pull","cursor":"{next}"}}"#);
+        let empty = parse(&core.respond(&line)).unwrap();
+        assert_eq!(empty.get("done"), Some(&Json::Bool(true)));
+        assert_eq!(empty.get("entries"), Some(&Json::Arr(Vec::new())));
+
+        // Topology admin ops belong to the router, not a shard.
+        for op in ["shard_join", "shard_drain"] {
+            let line = format!(r#"{{"v":2,"op":"{op}","body":{{"addr":"127.0.0.1:1"}}}}"#);
+            let v = parse(&core.respond(&line)).unwrap();
+            assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "{op}");
+            assert_eq!(
+                v.get("kind").and_then(Json::as_str),
+                Some("invalid_request")
+            );
+            assert!(v
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("router admin op"));
+        }
+    }
+
+    #[test]
+    fn respond_delay_slows_every_request() {
+        let core = test_core();
+        core.set_respond_delay(Duration::from_millis(40));
+        let started = Instant::now();
+        let pong = parse(&core.respond(r#"{"op":"ping"}"#)).unwrap();
+        assert_eq!(pong.get("ok"), Some(&Json::Bool(true)));
+        assert!(
+            started.elapsed() >= Duration::from_millis(40),
+            "delayed respond returned in {:?}",
+            started.elapsed()
+        );
+        // Zero restores normal service.
+        core.set_respond_delay(Duration::ZERO);
+        let started = Instant::now();
+        core.respond(r#"{"op":"ping"}"#);
+        assert!(started.elapsed() < Duration::from_millis(40));
     }
 
     #[test]

@@ -7,7 +7,8 @@
 use antlayer_graph::{DiGraph, GraphDelta};
 use antlayer_service::digest::Digest;
 use antlayer_service::protocol::{
-    self, Envelope, ErrorKind, Json, LayoutReply, MemberStats, Request, Response, WireError,
+    self, CacheEntry, CachePage, Envelope, ErrorKind, Json, LayoutReply, MemberStats, Request,
+    Response, TopologyReply, TopologyShard, WireError,
 };
 use antlayer_service::scheduler::{AlgoSpec, DeltaRequest, LayoutRequest};
 use proptest::prelude::*;
@@ -72,9 +73,22 @@ fn request_of(
     }
     let nd_width = ndw as f64 / 4.0;
     let deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
-    match op % 4 {
+    match op % 7 {
         0 => Request::Ping,
         1 => Request::Stats,
+        4 => Request::CachePull {
+            cursor: (seed % 2 == 0).then_some(Digest {
+                hi: base.0,
+                lo: base.1,
+            }),
+            limit: 1 + ants as u64 % 1024,
+        },
+        5 => Request::ShardJoin {
+            addr: format!("10.0.0.{}:{}", seed % 250, 4000 + tours),
+        },
+        6 => Request::ShardDrain {
+            addr: format!("10.0.0.{}:{}", seed % 250, 4000 + tours),
+        },
         2 => Request::Layout(Box::new(LayoutRequest {
             graph: graph_of(nodes, raw_edges),
             algo: spec,
@@ -117,7 +131,7 @@ proptest! {
 
     #[test]
     fn request_encode_parse_encode_is_identity(
-        op in 0usize..4,
+        op in 0usize..7,
         nodes in 1usize..16,
         raw_edges in proptest::collection::vec((0u32..16, 0u32..16), 0..24),
         algo in 0usize..9,
@@ -155,7 +169,7 @@ proptest! {
 
     #[test]
     fn response_encode_parse_encode_is_identity(
-        variant in 0usize..4,
+        variant in 0usize..6,
         digest_hi in 0u64..u64::MAX,
         digest_lo in 0u64..u64::MAX,
         source in 0usize..4,
@@ -205,6 +219,45 @@ proptest! {
                     ErrorKind::Unroutable => "no shards available",
                 };
                 Response::Error(WireError::new(kind, format!("{prefix}: detail {suffix}")))
+            }
+            4 => {
+                // A transfer page: each entry is a small valid graph +
+                // layering (from_json re-validates both on the way back).
+                let entries: Vec<CacheEntry> = (0..counters.len().min(3) as u64)
+                    .map(|i| CacheEntry {
+                        digest: Digest { hi: digest_hi, lo: digest_lo.wrapping_add(i) },
+                        nodes: 500,
+                        edges: vec![(0, 1), (1, 2)],
+                        layers: layers.clone(),
+                        nd_width: widthq as f64 / 4.0,
+                        reversed_edges: reversed,
+                        seeded: flags & 1 != 0,
+                        certified: flags & 2 != 0,
+                        compute_micros: micros,
+                    })
+                    .collect();
+                let next = entries.last().map(|e| e.digest);
+                Response::CachePage(Box::new(CachePage {
+                    entries,
+                    next,
+                    done: flags & 4 != 0,
+                }))
+            }
+            5 => {
+                const STATES: [&str; 4] = ["joining", "live", "draining", "removed"];
+                let shards = counters
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(s, _))| TopologyShard {
+                        addr: format!("10.0.0.{i}:4800"),
+                        state: STATES[s % STATES.len()].to_string(),
+                    })
+                    .collect();
+                Response::Topology(Box::new(TopologyReply {
+                    epoch: height,
+                    moved: dummies,
+                    shards,
+                }))
             }
             _ => {
                 let members: Vec<MemberStats> = members

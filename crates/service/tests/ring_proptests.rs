@@ -34,6 +34,48 @@ proptest! {
         }
     }
 
+    // The join direction of the same contract (what live resharding
+    // leans on): growing the ring from N to N+1 shards moves only the
+    // keys the new shard now owns. Every other digest keeps its owner
+    // *and* its whole candidate order — so replication sets of any size
+    // are unchanged — because ring points are a pure function of
+    // (shard index, replica), never of membership: the N-ring's points
+    // are a subset of the (N+1)-ring's.
+    #[test]
+    fn join_moves_only_the_new_shards_keys(
+        shards in 1usize..9,
+        vnodes in 1usize..129,
+        keys in proptest::collection::vec(0u64..u64::MAX, 64..65),
+    ) {
+        let before = HashRing::new(shards, vnodes);
+        let after = HashRing::new(shards + 1, vnodes);
+        let joined = shards; // a join always appends the next slot index
+        for key in keys {
+            let new_owner = after.owner(key);
+            if new_owner != joined {
+                prop_assert_eq!(
+                    before.owner(key), new_owner,
+                    "key {} moved without the new shard owning it", key
+                );
+            } else {
+                // A moved key's *old* owner is the post-join ring's next
+                // candidate past the new shard — which is where reads go
+                // while the transfer cursor has not passed the digest.
+                let fallback = after
+                    .candidates(key)
+                    .find(|&s| s != joined)
+                    .expect("an old shard remains");
+                prop_assert_eq!(before.owner(key), fallback);
+            }
+            // Candidate order filtered of the new shard is the old order
+            // exactly: every replication set (any R) is unchanged.
+            let old_order: Vec<usize> = before.candidates(key).collect();
+            let filtered: Vec<usize> =
+                after.candidates(key).filter(|&s| s != joined).collect();
+            prop_assert_eq!(old_order, filtered);
+        }
+    }
+
     // Double removal composes the same way: keys owned by neither
     // removed shard never move.
     #[test]

@@ -20,6 +20,7 @@ out="${1:-bench-out}"
 #   transport      TCP vs HTTP/1.1 framing parity             → BENCH_5.json
 #   portfolio      solver portfolio vs ACO-only anytime gate  → BENCH_7.json
 #   durability     durable cache + replication fault harness  → BENCH_8.json
+#   reshard        live shard join/drain elastic fleet gate   → BENCH_9.json
 #   observability  instrumented vs telemetry-off colony       → BENCH_6.json (baseline-gated)
 #   hotpath        zero-alloc colony vs reference path        → BENCH_4.json (baseline-gated)
 scenarios=(
@@ -28,6 +29,7 @@ scenarios=(
     "transport:"
     "portfolio:"
     "durability:"
+    "reshard:"
     "observability:BENCH_6.json"
     "hotpath:BENCH_4.json"
 )
