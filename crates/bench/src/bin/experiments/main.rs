@@ -30,6 +30,7 @@
 //!   portfolio                       solver portfolio vs ACO-only under the anytime contract → BENCH_7.json
 //!   durability                      durable cache + replication under seeded fault injection → BENCH_8.json
 //!   reshard                         live shard join/drain under a seeded elastic schedule → BENCH_9.json
+//!   live                            streaming edit sessions: 10k idle + 8 hot push gates → BENCH_10.json
 //!   all                             everything above, CSVs into --out
 //! ```
 //!
@@ -42,6 +43,7 @@ mod durability;
 mod extended;
 mod figures;
 mod hotpath;
+mod live;
 mod observability;
 mod portfolio;
 mod reshard;
@@ -55,6 +57,7 @@ use durability::durability;
 use extended::{convergence, extended};
 use figures::{fig_ed_rt, fig_height_dvc, fig_width};
 use hotpath::hotpath;
+use live::live;
 use observability::observability;
 use portfolio::portfolio;
 use reshard::reshard;
@@ -144,6 +147,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "portfolio" => portfolio(&cfg),
         "durability" => durability(&cfg),
         "reshard" => reshard(&cfg),
+        "live" => live(&cfg),
         "all" => {
             for c in ["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"] {
                 run(&with_cmd(c, args))?;
@@ -165,6 +169,7 @@ fn run(args: &[String]) -> Result<(), String> {
             portfolio(&cfg)?;
             durability(&cfg)?;
             reshard(&cfg)?;
+            live(&cfg)?;
             hotpath(&cfg)
         }
         other => Err(format!("unknown command '{other}'")),

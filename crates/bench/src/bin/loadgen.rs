@@ -9,12 +9,22 @@
 //! `layout_delta`) workloads.
 //!
 //! ```text
-//! loadgen [--mode cold|cached|mixed|edit] [--requests N] [--clients C]
+//! loadgen [--mode cold|cached|mixed|edit|live] [--requests N] [--clients C]
 //!         [--n NODES] [--ants A] [--tours T] [--deadline-ms D]
 //!         [--threads W] [--addr HOST:PORT] [--retries R]
 //!         [--retry-budget B] [--transport tcp|http] [--router]
-//!         [--shards S]
+//!         [--shards S] [--idle I]
 //! ```
+//!
+//! `live` mode drives the push protocol instead of request/reply: the
+//! generator spawns a server with the `--live` reactor listener, holds
+//! `--idle` idle sessions open (multiplexed ~100 to a connection), and
+//! runs `--clients` hot sessions that each stream add-only
+//! topology-respecting edits and block for the pushed re-layout —
+//! reporting the client-observed update-to-push latency, the warm rate
+//! (add-only edits make every push deterministically warm), and the
+//! server's session counters. `experiments live` gates this shape in
+//! CI (`BENCH_10.json`).
 //!
 //! `--transport http` speaks the hand-rolled HTTP/1.1 framing
 //! (`POST /v2`) instead of newline-delimited TCP; the protocol — and
@@ -54,7 +64,8 @@
 //! fleet-wide aggregates of the `stats` fan-out).
 
 use antlayer_bench::loadclient::{
-    base_graph, percentile, spawn_shard_with, EditSession, RequestProfile, Tallies,
+    base_graph, percentile, spawn_live_shard, spawn_shard_with, EditSession, IdleSessions,
+    LiveEditSession, LivePush, RequestProfile, Tallies,
 };
 use antlayer_client::{Client, ClientError, Json, Transport};
 use antlayer_graph::DiGraph;
@@ -74,6 +85,7 @@ struct Options {
     transport: Transport,
     router: bool,
     shards: usize,
+    idle: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -88,6 +100,7 @@ fn parse_args() -> Result<Options, String> {
         transport: Transport::Tcp,
         router: false,
         shards: 2,
+        idle: 0,
     };
     let mut i = 0;
     let value = |i: &mut usize| -> Result<String, String> {
@@ -119,15 +132,26 @@ fn parse_args() -> Result<Options, String> {
             "--transport" => o.transport = Transport::parse(&value(&mut i)?)?,
             "--router" => o.router = true,
             "--shards" => o.shards = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--idle" => o.idle = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             other => return Err(format!("unknown flag '{other}'")),
         }
         i += 1;
     }
-    if !["cold", "cached", "mixed", "edit"].contains(&o.mode.as_str()) {
+    if !["cold", "cached", "mixed", "edit", "live"].contains(&o.mode.as_str()) {
         return Err(format!(
-            "--mode must be cold|cached|mixed|edit, got '{}'",
+            "--mode must be cold|cached|mixed|edit|live, got '{}'",
             o.mode
         ));
+    }
+    if o.mode == "live" && (o.addr.is_some() || o.router || o.transport != Transport::Tcp) {
+        return Err(
+            "--mode live spawns its own in-process server and speaks the reactor's \
+             line-TCP push protocol; --addr, --router and --transport http do not apply"
+                .into(),
+        );
+    }
+    if o.mode != "live" && o.idle != 0 {
+        return Err("--idle only applies to --mode live".into());
     }
     if o.requests == 0 || o.clients == 0 {
         return Err("--requests and --clients must be positive".into());
@@ -196,6 +220,123 @@ fn run_edit_client(
     (lat, spent)
 }
 
+/// Live (push) mode: spawns a server with the reactor listener, holds
+/// `--idle` idle sessions open across multiplexed connections, then
+/// drives `--clients` hot sessions ping-pong — each streams add-only
+/// topology-respecting edits and blocks for the resulting push, so
+/// every push must be warm and every version strictly monotonic
+/// (enforced client-side by `Session::apply_update`).
+fn run_live(o: &Options) {
+    let handle = spawn_live_shard(o.threads);
+    let live = handle
+        .live_addr()
+        .expect("shard spawned with a live listener")
+        .to_string();
+    println!(
+        "loadgen: mode=live requests={} clients={} idle={} n={} colony={}x{} live={live}",
+        o.requests, o.clients, o.idle, o.profile.n, o.profile.ants, o.profile.tours
+    );
+
+    let idle = if o.idle > 0 {
+        let t0 = Instant::now();
+        let fleet = IdleSessions::open(&live, &o.profile, o.idle, 100, 32)
+            .expect("idle sessions open");
+        println!(
+            "idle: {} sessions held open across {} distinct graphs in {:.3} s",
+            fleet.len(),
+            32.min(o.idle),
+            t0.elapsed().as_secs_f64()
+        );
+        Some(fleet)
+    } else {
+        None
+    };
+
+    let started = Instant::now();
+    let per_client = o.requests.div_ceil(o.clients);
+    let results: Vec<Vec<LivePush>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client in 0..o.clients {
+            let lo = client * per_client;
+            let hi = ((client + 1) * per_client).min(o.requests);
+            if lo >= hi {
+                break;
+            }
+            let (o, live) = (&o, live.as_str());
+            handles.push(scope.spawn(move || {
+                let mut session = LiveEditSession::open(live, &o.profile, 0xF00D + client as u64)
+                    .expect("hot session open");
+                let pushes: Vec<LivePush> = (lo..hi)
+                    .map(|_| session.step().expect("live step"))
+                    .collect();
+                session.close().expect("hot session close");
+                pushes
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("live client"))
+            .collect()
+    });
+    let wall = started.elapsed();
+
+    let pushes: Vec<&LivePush> = results.iter().flatten().collect();
+    let warm = pushes.iter().filter(|p| p.warm).count();
+    let refreshed = pushes.iter().filter(|p| p.refreshed).count();
+    let coalesced: u64 = pushes.iter().map(|p| p.coalesced).sum();
+    let mut lat: Vec<u64> = pushes.iter().map(|p| p.micros).collect();
+    lat.sort_unstable();
+    let mean = lat.iter().sum::<u64>() as f64 / lat.len().max(1) as f64;
+    println!(
+        "pushes: {:.1}/s ({} received, {warm} warm, {refreshed} refreshed, {coalesced} coalesced in {:.3} s)",
+        pushes.len() as f64 / wall.as_secs_f64(),
+        pushes.len(),
+        wall.as_secs_f64()
+    );
+    println!(
+        "update-to-push us: mean {:.0}  p50 {}  p95 {}  p99 {}  max {}",
+        mean,
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.95),
+        percentile(&lat, 0.99),
+        lat.last().copied().unwrap_or(0)
+    );
+
+    if let Some(fleet) = idle {
+        let held = fleet.len();
+        let acked = fleet.close_all().expect("idle sessions close");
+        println!("idle: {acked}/{held} close acks");
+    }
+
+    // Server-side session counters over the request listener.
+    let stats = Client::connect(&handle.addr().to_string())
+        .map_err(|e| e.to_string())
+        .and_then(|mut c| c.stats().map_err(|e| e.to_string()));
+    if let Ok(stats) = stats {
+        let f = |k: &str| stats.get(k).and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "server: session_pushes {}  session_coalesced {}  session_evicted {}  cold_refresh {}  computed {}  cache_hits {}",
+            f("session_pushes"),
+            f("session_coalesced"),
+            f("session_evicted"),
+            f("cold_refresh"),
+            f("computed"),
+            f("cache_hits")
+        );
+        let hist = |k: &str| stats.get(k).and_then(histogram_from_json);
+        if let Some(snap) = hist("session_push_us") {
+            println!(
+                "server-side push us: p50 {}  p95 {}  p99 {}  ({} pushes measured)",
+                snap.percentile(0.50),
+                snap.percentile(0.95),
+                snap.percentile(0.99),
+                snap.count
+            );
+        }
+    }
+    handle.shutdown();
+}
+
 /// The in-process fleet spawned when no `--addr` is given.
 enum Fleet {
     None,
@@ -222,6 +363,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if o.mode == "live" {
+        run_live(&o);
+        return;
+    }
     let http = o.transport == Transport::Http;
 
     // Start (or target) the server / fleet.

@@ -11,7 +11,10 @@
 //! with a killed shard, so the client-side recovery path shipped to
 //! users is itself under test.
 
-use antlayer_client::{Client, ClientConfig, ClientError, LayoutOptions, Transport};
+use antlayer_client::{
+    Client, ClientConfig, ClientError, Json, LayoutOptions, LiveConn, LiveEvent, Session,
+    Transport,
+};
 use antlayer_graph::{generate, DiGraph, GraphDelta, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -335,4 +338,294 @@ impl EditSession {
             Err(e) => panic!("edit session: unexpected client error: {e}"),
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Live (push) sessions — the `serve --live` reactor's workload shapes.
+// ---------------------------------------------------------------------
+
+/// Deterministic **add-only** edit stream that respects one fixed
+/// topological order of the base DAG: every drawn edge `(u, v)` has `u`
+/// before `v` in that order, so the edited graph stays acyclic no
+/// matter how many edits accumulate — and because the edge set only
+/// grows, every edit yields a digest the server has never cached. That
+/// is what makes a live session's pushes deterministically *warm*
+/// (`source: "warm"`, never `"hit"`): each re-solve must run, and each
+/// runs seeded from the session's previous layering.
+pub struct AddOnlyEdits {
+    /// Topological position by node index.
+    pos: Vec<u32>,
+    present: std::collections::HashSet<(u32, u32)>,
+    n: u32,
+    rng: StdRng,
+}
+
+impl AddOnlyEdits {
+    /// Fixes the topological order of `graph` and seeds the stream.
+    pub fn new(graph: &DiGraph, seed: u64) -> AddOnlyEdits {
+        let order = antlayer_graph::topological_sort(graph).expect("base graph is a DAG");
+        let mut pos = vec![0u32; graph.node_count()];
+        for (i, v) in order.iter().enumerate() {
+            pos[v.index()] = i as u32;
+        }
+        let present = graph
+            .edges()
+            .map(|(u, v)| (u.index() as u32, v.index() as u32))
+            .collect();
+        AddOnlyEdits {
+            pos,
+            present,
+            n: graph.node_count() as u32,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The next fresh forward edge, or `None` once every forward pair
+    /// is present (the order's transitive tournament is complete).
+    pub fn next_edge(&mut self) -> Option<(u32, u32)> {
+        let n = self.n as usize;
+        if n < 2 || self.present.len() >= n * (n - 1) / 2 {
+            return None;
+        }
+        for _ in 0..64 {
+            let a = self.rng.gen_range(0..self.n);
+            let b = self.rng.gen_range(0..self.n);
+            if a == b {
+                continue;
+            }
+            let (u, v) = if self.pos[a as usize] < self.pos[b as usize] {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            if self.present.insert((u, v)) {
+                return Some((u, v));
+            }
+        }
+        // Dense endgame: scan for the first absent forward pair.
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if a != b && self.pos[a as usize] < self.pos[b as usize] {
+                    if self.present.insert((a, b)) {
+                        return Some((a, b));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// One push received for a hot live session, as the bench accounts it.
+pub struct LivePush {
+    /// Client-observed update-to-push latency (send_delta → update
+    /// frame applied), microseconds.
+    pub micros: u64,
+    /// Whether the re-solve warm-started from the session's previous
+    /// layering (`source: "warm"`).
+    pub warm: bool,
+    /// Extra deltas folded into this push.
+    pub coalesced: u64,
+    /// Whether a periodic cold refresh produced it.
+    pub refreshed: bool,
+    /// The push's (strictly monotonic) version.
+    pub version: u64,
+}
+
+/// A *hot* live session: one reactor connection, one session, and a
+/// deterministic [`AddOnlyEdits`] stream driven ping-pong — stream one
+/// edit, block for its push, apply it. [`Session::apply_update`]
+/// enforces the version contract on every push, so a lost, duplicated
+/// or reordered update fails the step instead of passing silently.
+pub struct LiveEditSession {
+    conn: LiveConn,
+    session: Session,
+    edits: AddOnlyEdits,
+}
+
+impl LiveEditSession {
+    /// Connects to a live listener and opens one session whose base
+    /// graph and edit stream derive from `seed`.
+    pub fn open(addr: &str, profile: &RequestProfile, seed: u64) -> Result<LiveEditSession, String> {
+        let mut conn = LiveConn::connect(addr).map_err(|e| format!("connect live: {e}"))?;
+        let graph = base_graph(profile, seed);
+        let id = Json::Num(seed as f64);
+        let (version, reply) = conn
+            .open(&id, &graph, &profile.options(seed))
+            .map_err(|e| format!("session_open: {e}"))?;
+        Ok(LiveEditSession {
+            session: Session::new(id, version, &reply),
+            edits: AddOnlyEdits::new(&graph, seed ^ 0xA11CE),
+            conn,
+        })
+    }
+
+    /// The session's last applied version.
+    pub fn version(&self) -> u64 {
+        self.session.version()
+    }
+
+    /// Streams one add-only edit and blocks for its push.
+    pub fn step(&mut self) -> Result<LivePush, String> {
+        let edge = self.edits.next_edge().ok_or("edit stream saturated the DAG")?;
+        let id = self.session.id().clone();
+        let t0 = Instant::now();
+        self.conn
+            .send_delta(&id, &[edge], &[])
+            .map_err(|e| format!("session_delta: {e}"))?;
+        let (frame_id, event) = self
+            .conn
+            .next_event(None)
+            .map_err(|e| format!("awaiting push: {e}"))?
+            .expect("blocking next_event yields a frame");
+        if frame_id != id {
+            return Err(format!(
+                "push for unexpected session {} (hot connections carry one session)",
+                frame_id.encode()
+            ));
+        }
+        match event {
+            LiveEvent::Update(update) => {
+                let micros = t0.elapsed().as_micros() as u64;
+                self.session.apply_update(&update)?;
+                Ok(LivePush {
+                    micros,
+                    warm: update.source == "warm",
+                    coalesced: update.coalesced,
+                    refreshed: update.refreshed,
+                    version: update.version,
+                })
+            }
+            LiveEvent::Closed { version } => {
+                Err(format!("unexpected session_close ack at version {version}"))
+            }
+            LiveEvent::Error(e) => Err(format!("session error pushed: {e}")),
+        }
+    }
+
+    /// Closes the session, checking the ack echoes the last version.
+    pub fn close(mut self) -> Result<u64, String> {
+        let id = self.session.id().clone();
+        let version = self
+            .conn
+            .close(&id)
+            .map_err(|e| format!("session_close: {e}"))?;
+        if version != self.session.version() {
+            return Err(format!(
+                "close ack version {version} != last applied {}",
+                self.session.version()
+            ));
+        }
+        Ok(version)
+    }
+}
+
+/// A fleet of **idle** live sessions: opened, never edited, held while
+/// hot traffic runs (the "10k dashboards on screen" shape), then closed.
+/// Sessions are multiplexed `per_conn` to a connection and cycle
+/// through a small set of distinct base graphs, so opens beyond the
+/// first few are cache hits — cheap to stand up by the thousand.
+pub struct IdleSessions {
+    conns: Vec<(LiveConn, Vec<Json>)>,
+}
+
+impl IdleSessions {
+    /// Opens `count` sessions against `addr` over `⌈count/per_conn⌉`
+    /// parallel connections, cycling through `distinct` base graphs.
+    pub fn open(
+        addr: &str,
+        profile: &RequestProfile,
+        count: usize,
+        per_conn: usize,
+        distinct: u64,
+    ) -> Result<IdleSessions, String> {
+        let graphs: Vec<DiGraph> = (0..distinct.max(1))
+            .map(|s| base_graph(profile, s))
+            .collect();
+        let n_conns = count.div_ceil(per_conn.max(1));
+        let conns: Vec<Result<(LiveConn, Vec<Json>), String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_conns)
+                .map(|c| {
+                    let graphs = &graphs;
+                    scope.spawn(move || {
+                        let mut conn =
+                            LiveConn::connect(addr).map_err(|e| format!("connect live: {e}"))?;
+                        let mut ids = Vec::new();
+                        for i in (c * per_conn)..((c + 1) * per_conn).min(count) {
+                            let seed = i as u64 % graphs.len() as u64;
+                            let id = Json::Num(i as f64);
+                            conn.open(&id, &graphs[seed as usize], &profile.options(seed))
+                                .map_err(|e| format!("idle session_open #{i}: {e}"))?;
+                            ids.push(id);
+                        }
+                        Ok((conn, ids))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("idle opener thread"))
+                .collect()
+        });
+        let conns = conns.into_iter().collect::<Result<Vec<_>, String>>()?;
+        Ok(IdleSessions { conns })
+    }
+
+    /// How many sessions are being held open.
+    pub fn len(&self) -> usize {
+        self.conns.iter().map(|(_, ids)| ids.len()).sum()
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes every session (parallel by connection), returning how
+    /// many close acks came back.
+    pub fn close_all(self) -> Result<usize, String> {
+        let acked: Vec<Result<usize, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .conns
+                .into_iter()
+                .map(|(mut conn, ids)| {
+                    scope.spawn(move || {
+                        let mut acked = 0usize;
+                        for id in &ids {
+                            conn.close(id).map_err(|e| format!("idle session_close: {e}"))?;
+                            acked += 1;
+                        }
+                        Ok(acked)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("idle closer thread"))
+                .collect()
+        });
+        let mut total = 0;
+        for r in acked {
+            total += r?;
+        }
+        Ok(total)
+    }
+}
+
+/// Spawns an in-process shard that additionally serves the live
+/// (reactor) listener on a free loopback port — the fixture behind
+/// `loadgen --mode live` and `experiments live`.
+pub fn spawn_live_shard(threads: usize) -> antlayer_service::ServerHandle {
+    antlayer_service::Server::bind(antlayer_service::ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        live_addr: Some("127.0.0.1:0".to_string()),
+        scheduler: antlayer_service::SchedulerConfig {
+            threads,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+    .expect("bind live shard")
+    .spawn()
+    .expect("spawn live shard")
 }

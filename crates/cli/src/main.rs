@@ -8,9 +8,10 @@
 //!                                                                # render ASCII (and SVG)
 //! antlayer gen    [--n N] [--seed S] [--gml]                     # emit a synthetic DAG as DOT/GML
 //! antlayer suite  [--seed S] [--total N]                         # AT&T-like suite statistics
-//! antlayer serve  [--addr HOST:PORT] [--http PORT] [--threads N] [--cache-cap N]
-//!                 [--cache-bytes B] [--cache-dir DIR] [--queue-cap N]
-//!                 [--shards N] [--max-conns N]                   # batch layout server
+//! antlayer serve  [--addr HOST:PORT] [--http PORT] [--live PORT] [--threads N]
+//!                 [--cache-cap N] [--cache-bytes B] [--cache-dir DIR]
+//!                 [--queue-cap N] [--shards N] [--max-conns N]
+//!                 [--refresh-every K]                            # batch layout server
 //! antlayer route  --shards HOST:PORT,HOST:PORT[,...] [--addr HOST:PORT]
 //!                 [--http PORT] [--vnodes N] [--probe-ms MS]
 //!                 [--max-conns N] [--replicas N]                 # consistent-hash router
@@ -103,9 +104,10 @@ usage:
   antlayer draw  [--algo NAME] [--svg OUT]   [--seed N] [--threads N] FILE
   antlayer gen   [--n N] [--seed S] [--gml]
   antlayer suite [--seed S] [--total N]
-  antlayer serve [--addr HOST:PORT] [--http PORT] [--threads N]
-                 [--cache-cap N] [--cache-bytes B] [--cache-dir DIR]
-                 [--queue-cap N] [--shards N] [--max-conns N]
+  antlayer serve [--addr HOST:PORT] [--http PORT] [--live PORT]
+                 [--threads N] [--cache-cap N] [--cache-bytes B]
+                 [--cache-dir DIR] [--queue-cap N] [--shards N]
+                 [--max-conns N] [--refresh-every K]
   antlayer route --shards HOST:PORT,HOST:PORT[,...] [--addr HOST:PORT]
                  [--http PORT] [--vnodes N] [--probe-ms MS] [--max-conns N]
                  [--replicas N]
@@ -116,6 +118,10 @@ deadline-ms: anytime budget for layer; the best incumbent at the
 deadline is returned and the truncation is noted
 http: PORT (or HOST:PORT) of an additional HTTP/1.1 listener (POST /v2,
 GET /healthz, GET /metrics for Prometheus scrapes)
+live: PORT (or HOST:PORT) of the streaming edit-session listener
+(session_open/session_delta/session_close; pushes session_update
+frames; see docs/PROTOCOL.md)
+refresh-every: cold-refresh a warm delta chain every K links (0 = off)
 cache-bytes: soft budget on the layout cache's approximate byte size;
 crossing it logs one warning (sizing stays --cache-cap's job)
 cache-dir: durable cache: computed layouts are appended to a segment
@@ -467,10 +473,10 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Resolves a `--http` flag value: a bare port binds the main
+/// Resolves a `--http`/`--live` flag value: a bare port binds the main
 /// listener's host; a full `HOST:PORT` is taken verbatim.
-fn http_addr_flag(flags: &Flags, main_addr: &str) -> Option<String> {
-    flags.get("http").map(|v| {
+fn aux_addr_flag(flags: &Flags, name: &str, main_addr: &str) -> Option<String> {
+    flags.get(name).map(|v| {
         if v.contains(':') {
             v.to_string()
         } else {
@@ -489,6 +495,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         &[
             "addr",
             "http",
+            "live",
             "threads",
             "cache-cap",
             "cache-bytes",
@@ -496,6 +503,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "queue-cap",
             "shards",
             "max-conns",
+            "refresh-every",
         ],
     )?;
     // Defaults come from the library's Default impls; flags override.
@@ -503,7 +511,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let sched = SchedulerConfig::default();
     let addr = flags.get("addr").unwrap_or(&base.addr).to_string();
     let config = ServerConfig {
-        http_addr: http_addr_flag(&flags, &addr),
+        http_addr: aux_addr_flag(&flags, "http", &addr),
+        live_addr: aux_addr_flag(&flags, "live", &addr),
         addr,
         scheduler: SchedulerConfig {
             threads: flags.get_parsed("threads", sched.threads)?,
@@ -515,8 +524,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 None => sched.cache_byte_budget,
             },
             cache_dir: flags.get("cache-dir").map(std::path::PathBuf::from),
+            refresh_every: flags.get_parsed("refresh-every", sched.refresh_every)?,
         },
         max_connections: flags.get_parsed("max-conns", base.max_connections)?,
+        ..base
     };
     let server = Server::bind(config).map_err(|e| format!("serve: bind failed: {e}"))?;
     let addr = server
@@ -526,8 +537,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .http_addr()
         .map(|a| format!(", HTTP on {a} (POST /v2, GET /metrics)"))
         .unwrap_or_default();
+    let live_note = server
+        .live_addr()
+        .map(|a| format!(", live sessions on {a}"))
+        .unwrap_or_default();
     eprintln!(
-        "antlayer serve: listening on {addr}{http_note} ({} worker threads); \
+        "antlayer serve: listening on {addr}{http_note}{live_note} ({} worker threads); \
          send newline-delimited JSON, e.g. {{\"op\":\"ping\"}}",
         server.scheduler().threads()
     );
@@ -562,7 +577,7 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
     let base = RouterConfig::default();
     let addr = flags.get("addr").unwrap_or("127.0.0.1:4700").to_string();
     let config = RouterConfig {
-        http_addr: http_addr_flag(&flags, &addr),
+        http_addr: aux_addr_flag(&flags, "http", &addr),
         addr,
         shards,
         vnodes: flags.get_parsed("vnodes", base.vnodes)?,

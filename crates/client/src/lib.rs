@@ -41,12 +41,14 @@
 #![forbid(unsafe_code)]
 
 pub mod conn;
+pub mod live;
 
 pub use conn::{Connection, Transport, MAX_REPLY_BYTES};
+pub use live::{LiveConn, LiveEvent, Session};
 
 pub use antlayer_service::protocol::{
-    ErrorKind, Json, LayoutReply, MemberStats, RaceReport, Request, Response, TopologyReply,
-    TopologyShard, WireError,
+    ErrorKind, Json, LayoutReply, MemberStats, RaceReport, Request, Response, SessionUpdate,
+    TopologyReply, TopologyShard, WireError,
 };
 
 use antlayer_graph::{DiGraph, GraphDelta};

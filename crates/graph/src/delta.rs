@@ -113,6 +113,43 @@ impl GraphDelta {
         }
     }
 
+    /// The single delta with the net effect of applying `self` and then
+    /// `next` — the coalescing step of a live edit session: a burst of
+    /// deltas arriving while a solve is in flight folds into one edit,
+    /// and one re-solve covers the burst.
+    ///
+    /// Per edge, the occurrences across both deltas are summed (`+1`
+    /// add, `-1` remove, removals-first within each delta as
+    /// [`apply`](Self::apply) orders them): a positive net is an
+    /// addition, a negative net a removal, and zero — an edge added
+    /// then removed, or removed then re-added — drops out entirely. For
+    /// any base graph on which the two deltas apply in sequence,
+    /// `d1.compose(&d2).apply(g)` equals `d2.apply(&d1.apply(g)?)` (the
+    /// property tests pin this down). Edges are emitted in sorted
+    /// order, so composition is canonical regardless of arrival order
+    /// within the burst.
+    pub fn compose(&self, next: &GraphDelta) -> GraphDelta {
+        let mut net: std::collections::BTreeMap<(u32, u32), i32> = std::collections::BTreeMap::new();
+        for delta in [self, next] {
+            for &e in &delta.removed {
+                *net.entry(e).or_insert(0) -= 1;
+            }
+            for &e in &delta.added {
+                *net.entry(e).or_insert(0) += 1;
+            }
+        }
+        let mut added = Vec::new();
+        let mut removed = Vec::new();
+        for ((u, v), n) in net {
+            match n.cmp(&0) {
+                std::cmp::Ordering::Greater => added.push((u, v)),
+                std::cmp::Ordering::Less => removed.push((u, v)),
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        GraphDelta { added, removed }
+    }
+
     /// Applies the delta to `graph`, returning the edited graph.
     ///
     /// Validation is all-or-nothing: every removed edge must exist in
@@ -250,6 +287,31 @@ mod tests {
         assert_eq!(ok.unwrap().edge_count(), 3);
         let cycle = GraphDelta::new(vec![(2, 0)], vec![]).apply_to_dag(&dag);
         assert!(matches!(cycle, Err(DeltaError::CreatesCycle(_))));
+    }
+
+    #[test]
+    fn compose_folds_two_edits_into_their_net_effect() {
+        let g = diamond();
+        // d1 removes (0,1) and adds (0,3); d2 re-adds (0,1) and removes
+        // (0,3) again — the two cancel completely.
+        let d1 = GraphDelta::new(vec![(0, 3)], vec![(0, 1)]);
+        let d2 = GraphDelta::new(vec![(0, 1)], vec![(0, 3)]);
+        let folded = d1.compose(&d2);
+        assert!(folded.is_empty());
+        let stepped = d2.apply(&d1.apply(&g).unwrap()).unwrap();
+        assert_eq!(stepped.edge_count(), g.edge_count());
+
+        // Non-cancelling edits survive, sorted.
+        let d3 = GraphDelta::new(vec![(3, 1)], vec![(0, 2)]);
+        let folded = d1.compose(&d3);
+        assert_eq!(folded.added, vec![(0, 3), (3, 1)]);
+        assert_eq!(folded.removed, vec![(0, 1), (0, 2)]);
+        let via_compose = folded.apply(&g).unwrap();
+        let via_steps = d3.apply(&d1.apply(&g).unwrap()).unwrap();
+        assert_eq!(via_compose.edge_count(), via_steps.edge_count());
+        for (u, v) in via_steps.edges() {
+            assert!(via_compose.has_edge(u, v));
+        }
     }
 
     #[test]

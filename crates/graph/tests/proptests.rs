@@ -96,6 +96,55 @@ proptest! {
     }
 
     #[test]
+    fn composed_delta_equals_sequential_application(
+        (g, d1) in arb_graph_and_delta(),
+        seed in 0u64..1_000_000,
+    ) {
+        // Build a second delta that provably applies to the *edited*
+        // graph, then check compose's contract: one application of the
+        // folded delta lands on the same edge set as the two steps.
+        let mid = d1.apply(&g).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let edges: Vec<(u32, u32)> = mid
+            .edges()
+            .map(|(u, v)| (u.index() as u32, v.index() as u32))
+            .collect();
+        let mut removed = Vec::new();
+        for _ in 0..rng.gen_range(0..=3usize) {
+            if edges.is_empty() {
+                break;
+            }
+            let e = edges[rng.gen_range(0..edges.len())];
+            if !removed.contains(&e) {
+                removed.push(e);
+            }
+        }
+        let n = mid.node_count() as u32;
+        let mut added = Vec::new();
+        for _ in 0..rng.gen_range(0..=3usize) {
+            if n < 2 {
+                break;
+            }
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            let fresh = u != v
+                && !mid.has_edge(NodeId::from(u), NodeId::from(v))
+                && !added.contains(&(u, v));
+            if fresh {
+                added.push((u, v));
+            }
+        }
+        let d2 = GraphDelta::new(added, removed);
+        let stepped = d2.apply(&mid).unwrap();
+        let folded = d1.compose(&d2).apply(&g).unwrap();
+        prop_assert_eq!(folded.node_count(), stepped.node_count());
+        prop_assert_eq!(folded.edge_count(), stepped.edge_count());
+        for (u, v) in stepped.edges() {
+            prop_assert!(folded.has_edge(u, v), "compose lost edge {}->{}", u, v);
+        }
+    }
+
+    #[test]
     fn delta_application_is_all_or_nothing(g in arb_digraph(20)) {
         // A delta whose *last* addition is invalid must leave no trace:
         // apply returns Err and the base graph is unchanged (apply is

@@ -821,6 +821,21 @@ fn route_line(line: &str, state: &RouterState, conns: &mut Vec<Option<Connection
         ),
         Request::ShardJoin { addr } => (admin_join(state, conns, addr, &env), None),
         Request::ShardDrain { addr } => (admin_drain(state, conns, addr, &env), None),
+        // Push frames need a connection the server owns end to end; a
+        // forwarding hop would have to proxy unsolicited writes. Live
+        // sessions therefore speak to a shard's --live listener
+        // directly (shard moves surface as `base not found` re-opens).
+        Request::SessionOpen(_) | Request::SessionDelta { .. } | Request::SessionClose => (
+            Response::Error(WireError::new(
+                ErrorKind::InvalidRequest,
+                format!(
+                    "invalid request: '{op}' is a live-session op; connect to a shard's \
+                     --live listener directly"
+                ),
+            ))
+            .encode(&env),
+            None,
+        ),
     };
     phases.push(("forward", forwarding.elapsed().as_micros() as u64));
     let total_us = started.elapsed().as_micros() as u64;

@@ -16,6 +16,7 @@
 //! | compute | [`scheduler`] | [`Scheduler`]: digest dedup, admission control, deadline-bounded fan-out over the worker pool |
 //! | protocol | [`protocol`] | the typed codec: v1/v2 envelopes, [`protocol::Request`]/[`protocol::Response`]/[`protocol::ErrorKind`] |
 //! | transport | [`transport`], [`server`] | framing ([`transport::Transport`]: line TCP + hand-rolled HTTP/1.1), [`Server`] + [`ServerHandle`] |
+//! | sessions | [`session`], [`live`] | streaming edit sessions: [`SessionTable`] + [`OutboundQueue`] state, the epoll [`LiveReactor`] that pushes `session_update` frames |
 //! | topology | [`router`] | consistent-hash [`HashRing`] + shard health, shared with the `antlayer-router` crate |
 //!
 //! Edits are first-class: a `layout_delta` request
@@ -76,15 +77,18 @@
 
 pub mod cache;
 pub mod digest;
+pub mod live;
 pub mod persist;
 pub mod protocol;
 pub mod router;
 pub mod scheduler;
 pub mod server;
+pub mod session;
 pub mod transport;
 
 pub use cache::{CacheCounters, ShardedCache};
 pub use digest::{request_digest, CanonicalHasher, Digest};
+pub use live::{LiveReactor, LiveStopper, LiveTuning};
 pub use persist::{ReplayReport, SegmentLog};
 pub use protocol::{CacheEntry, Envelope, ErrorKind, LayoutReply, Request, Response, WireError};
 pub use router::{HashRing, ShardHealth};
@@ -93,4 +97,5 @@ pub use scheduler::{
     SchedulerConfig, SchedulerCounters, ServiceError, Source, Ticket,
 };
 pub use server::{Server, ServerConfig, ServerHandle, ServiceCore, SLOW_LOG_CAPACITY};
+pub use session::{OutboundQueue, SessionMetrics, SessionTable};
 pub use transport::{Handler, HttpTransport, LineTransport, Transport};

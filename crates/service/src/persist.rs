@@ -297,6 +297,10 @@ pub fn restore_result(entry: &CacheEntry) -> Result<LayoutResult, String> {
         certified: entry.certified,
         race: None,
         compute_micros: entry.compute_micros,
+        // A restored entry's chain provenance is not recorded; starting
+        // at 0 just means its first refresh comes a full period later.
+        chain_len: 0,
+        refreshed: false,
     })
 }
 

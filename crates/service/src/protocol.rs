@@ -643,6 +643,25 @@ pub enum Request {
         /// The draining shard's `host:port`.
         addr: String,
     },
+    /// Open a streaming edit session on the live (reactor) listener:
+    /// the body is a full `layout` body, the reply is the base layout
+    /// stamped with session version 0, and the v2 envelope `id` becomes
+    /// the session key for every later `session_delta` on the same
+    /// connection. Boxed like `Layout`: it carries a whole graph.
+    SessionOpen(Box<LayoutRequest>),
+    /// Stream one edit into an open session. Unlike `layout_delta`
+    /// there is no `base` digest — the server tracks the session's
+    /// current graph; the body is just the `add`/`remove` edge lists.
+    /// The server answers asynchronously with a pushed
+    /// `session_update` frame carrying the changed layers.
+    SessionDelta {
+        /// The edge edit to fold into the session's graph.
+        delta: GraphDelta,
+    },
+    /// Close the session addressed by the envelope `id`; the reply
+    /// echoes the last pushed version so a client can confirm nothing
+    /// was in flight.
+    SessionClose,
     /// Report server counters.
     Stats,
     /// Liveness check.
@@ -662,6 +681,9 @@ impl Request {
             Request::CachePull { .. } => "cache_pull",
             Request::ShardJoin { .. } => "shard_join",
             Request::ShardDrain { .. } => "shard_drain",
+            Request::SessionOpen(_) => "session_open",
+            Request::SessionDelta { .. } => "session_delta",
+            Request::SessionClose => "session_close",
             Request::Stats => "stats",
             Request::Ping => "ping",
             Request::Debug => "debug",
@@ -672,7 +694,9 @@ impl Request {
     /// envelope) — what goes inline in v1 and under `"body"` in v2.
     pub fn body_json(&self) -> Json {
         match self {
-            Request::Ping | Request::Stats | Request::Debug => Json::Obj(BTreeMap::new()),
+            Request::Ping | Request::Stats | Request::Debug | Request::SessionClose => {
+                Json::Obj(BTreeMap::new())
+            }
             Request::CachePut(e) => e.to_json(),
             Request::CachePull { cursor, limit } => {
                 let mut obj = BTreeMap::new();
@@ -687,7 +711,15 @@ impl Request {
                 obj.insert("addr".into(), Json::Str(addr.clone()));
                 Json::Obj(obj)
             }
-            Request::Layout(r) => layout_body_json(&r.graph, &r.algo, r.nd_width, r.deadline),
+            Request::SessionDelta { delta } => {
+                let mut obj = BTreeMap::new();
+                obj.insert("add".into(), edge_u32_pairs_json(&delta.added));
+                obj.insert("remove".into(), edge_u32_pairs_json(&delta.removed));
+                Json::Obj(obj)
+            }
+            Request::Layout(r) | Request::SessionOpen(r) => {
+                layout_body_json(&r.graph, &r.algo, r.nd_width, r.deadline)
+            }
             Request::LayoutDelta(r) => delta_body_json(
                 r.base,
                 &r.delta.added,
@@ -1034,6 +1066,13 @@ pub fn parse_request_envelope(line: &str) -> Result<(Request, Envelope), (WireEr
         "shard_drain" => Request::ShardDrain {
             addr: parse_shard_addr(body, "shard_drain").map_err(|e| (e, env.clone()))?,
         },
+        "session_open" => {
+            Request::SessionOpen(Box::new(parse_layout(body).map_err(|e| (e, env.clone()))?))
+        }
+        "session_delta" => Request::SessionDelta {
+            delta: parse_session_delta(body).map_err(|e| (e, env.clone()))?,
+        },
+        "session_close" => Request::SessionClose,
         other => {
             return Err((
                 WireError::new(ErrorKind::UnknownOp, format!("unknown op '{other}'")),
@@ -1099,6 +1138,12 @@ fn parse_layout(v: &Json) -> Result<LayoutRequest, WireError> {
     })
 }
 
+/// A delta is an *edit*; a diff rewriting a large fraction of a graph
+/// should be sent as a full layout (or re-open the session). The cap
+/// also bounds the work one request can buy on the connection thread,
+/// where delta application runs before admission control can shed it.
+const MAX_DELTA_EDITS: usize = 100_000;
+
 fn parse_layout_delta(v: &Json) -> Result<DeltaRequest, WireError> {
     let invalid = |m: &str| WireError::new(ErrorKind::InvalidRequest, m.to_string());
     let base = v
@@ -1115,11 +1160,6 @@ fn parse_layout_delta(v: &Json) -> Result<DeltaRequest, WireError> {
             "layout_delta: empty delta (nothing to add or remove)",
         ));
     }
-    // A delta is an *edit*; a diff rewriting a large fraction of a graph
-    // should be sent as a full layout. The cap also bounds the work one
-    // request can buy on the connection thread, where delta application
-    // runs before admission control can shed it.
-    const MAX_DELTA_EDITS: usize = 100_000;
     if delta.len() > MAX_DELTA_EDITS {
         return Err(WireError::new(
             ErrorKind::InvalidRequest,
@@ -1139,6 +1179,32 @@ fn parse_layout_delta(v: &Json) -> Result<DeltaRequest, WireError> {
         nd_width,
         deadline,
     })
+}
+
+/// Parses a `session_delta` body: just the edit's `add`/`remove` edge
+/// lists — no `base` digest (the session tracks its own graph) and no
+/// algo knobs (the session keeps the ones it opened with). The same
+/// non-empty rule and [`MAX_DELTA_EDITS`] cap as `layout_delta` apply.
+fn parse_session_delta(v: &Json) -> Result<GraphDelta, WireError> {
+    let invalid = |m: &str| WireError::new(ErrorKind::InvalidRequest, m.to_string());
+    let added = parse_edge_pairs(v, "add")?.unwrap_or_default();
+    let removed = parse_edge_pairs(v, "remove")?.unwrap_or_default();
+    let delta = GraphDelta::new(added, removed);
+    if delta.is_empty() {
+        return Err(invalid(
+            "session_delta: empty delta (nothing to add or remove)",
+        ));
+    }
+    if delta.len() > MAX_DELTA_EDITS {
+        return Err(WireError::new(
+            ErrorKind::InvalidRequest,
+            format!(
+                "session_delta: {} edits exceeds the {MAX_DELTA_EDITS} cap; re-open the session",
+                delta.len()
+            ),
+        ));
+    }
+    Ok(delta)
 }
 
 /// Parses the `addr` member of a `shard_join`/`shard_drain` body.
@@ -1841,6 +1907,128 @@ impl TopologyReply {
     }
 }
 
+/// One pushed `session_update` frame: the incremental half of the live
+/// session protocol. Instead of re-sending the whole layer list the
+/// frame carries `height` (the new layer count) plus only the layers
+/// whose membership changed, each tagged with its bottom-up index — a
+/// client truncates/extends its cached layers to `height` and
+/// overwrites the changed indices. `version` is the session's
+/// monotonically increasing push counter (the base layout is version
+/// 0); a gap or repeat means the stream lost or duplicated an update.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionUpdate {
+    /// Strictly increasing per-session frame number (base = 0).
+    pub version: u64,
+    /// Canonical digest of the session's *current* graph — usable as a
+    /// `layout_delta` base after the session ends.
+    pub digest: String,
+    /// How the re-layout was produced (`warm`, `computed`, …).
+    pub source: String,
+    /// Total layer count after the edit.
+    pub height: u64,
+    /// The changed layers: `(bottom-up index, node ids)` pairs. Layers
+    /// not listed are unchanged from the previous version (below
+    /// `height`) or removed (at or above it).
+    pub changed: Vec<(u32, Vec<u32>)>,
+    /// How many additional deltas were folded into this one re-solve
+    /// because they arrived while it was in flight (0 = none).
+    pub coalesced: u64,
+    /// Whether this push came from a periodic cold refresh that beat
+    /// the warm chain's optimum.
+    pub refreshed: bool,
+    /// Wall time of the re-layout in microseconds.
+    pub compute_micros: u64,
+}
+
+impl SessionUpdate {
+    /// The push-frame body as a JSON object (without envelope members).
+    pub fn to_json(&self) -> Json {
+        let mut obj = BTreeMap::new();
+        obj.insert("ok".into(), Json::Bool(true));
+        obj.insert("op".into(), Json::Str("session_update".into()));
+        obj.insert("version".into(), Json::Num(self.version as f64));
+        obj.insert("digest".into(), Json::Str(self.digest.clone()));
+        obj.insert("source".into(), Json::Str(self.source.clone()));
+        obj.insert("height".into(), Json::Num(self.height as f64));
+        obj.insert(
+            "changed".into(),
+            Json::Arr(
+                self.changed
+                    .iter()
+                    .map(|(idx, ids)| {
+                        Json::Arr(vec![
+                            Json::Num(*idx as f64),
+                            Json::Arr(ids.iter().map(|&v| Json::Num(v as f64)).collect()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        obj.insert("coalesced".into(), Json::Num(self.coalesced as f64));
+        obj.insert("refreshed".into(), Json::Bool(self.refreshed));
+        obj.insert(
+            "compute_micros".into(),
+            Json::Num(self.compute_micros as f64),
+        );
+        Json::Obj(obj)
+    }
+
+    /// Decodes a pushed `session_update` frame body.
+    pub fn from_json(v: &Json) -> Result<SessionUpdate, String> {
+        let u64_field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("session update: missing integer '{k}'"))
+        };
+        let str_field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(String::from)
+                .ok_or_else(|| format!("session update: missing string '{k}'"))
+        };
+        let changed = match v.get("changed") {
+            Some(Json::Arr(pairs)) => pairs
+                .iter()
+                .map(|pair| {
+                    let Json::Arr(iv) = pair else {
+                        return Err("session update: each changed entry must be an array".into());
+                    };
+                    let idx = iv
+                        .first()
+                        .and_then(Json::as_u64)
+                        .filter(|&n| n <= u32::MAX as u64)
+                        .ok_or("session update: bad changed-layer index")?
+                        as u32;
+                    let ids = match iv.get(1) {
+                        Some(Json::Arr(ids)) => ids
+                            .iter()
+                            .map(|id| {
+                                id.as_u64()
+                                    .filter(|&n| n <= u32::MAX as u64)
+                                    .map(|n| n as u32)
+                                    .ok_or_else(|| "session update: bad node id".to_string())
+                            })
+                            .collect::<Result<Vec<u32>, String>>()?,
+                        _ => return Err("session update: changed entry missing id list".into()),
+                    };
+                    Ok((idx, ids))
+                })
+                .collect::<Result<Vec<(u32, Vec<u32>)>, String>>()?,
+            _ => return Err("session update: missing 'changed'".into()),
+        };
+        Ok(SessionUpdate {
+            version: u64_field("version")?,
+            digest: str_field("digest")?,
+            source: str_field("source")?,
+            height: u64_field("height")?,
+            changed,
+            coalesced: u64_field("coalesced")?,
+            refreshed: matches!(v.get("refreshed"), Some(Json::Bool(true))),
+            compute_micros: u64_field("compute_micros")?,
+        })
+    }
+}
+
 /// A decoded server response — the other half of the typed codec.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
@@ -1869,6 +2057,25 @@ pub enum Response {
     CachePage(Box<CachePage>),
     /// The router's topology summary answering `shard_join`/`shard_drain`.
     Topology(Box<TopologyReply>),
+    /// A session's base layout answering `session_open`: the full
+    /// layout reply stamped with the session's starting version (0 on a
+    /// fresh open). Boxed like `Layout`.
+    SessionOpened {
+        /// The session's starting push version.
+        version: u64,
+        /// The base layout every later push frame diffs against.
+        reply: Box<LayoutReply>,
+    },
+    /// One pushed incremental re-layout frame. Unlike every other
+    /// variant this is *unsolicited*: the live listener writes it when
+    /// a `session_delta` solve lands, correlated by the envelope `id`.
+    SessionUpdate(Box<SessionUpdate>),
+    /// Acknowledgement of a `session_close`, echoing the last version
+    /// the session pushed.
+    SessionClosed {
+        /// The session's final push version.
+        version: u64,
+    },
     /// An error reply.
     Error(WireError),
 }
@@ -1909,6 +2116,24 @@ impl Response {
             }
             Response::CachePage(page) => page.to_json(),
             Response::Topology(topo) => topo.to_json(),
+            Response::SessionOpened { version, reply } => {
+                // The base layout's full reply, re-tagged as a session
+                // open so clients route it to the session machinery.
+                let Json::Obj(mut obj) = reply.to_json() else {
+                    unreachable!("to_json returns an object");
+                };
+                obj.insert("op".into(), Json::Str("session_open".into()));
+                obj.insert("version".into(), Json::Num(*version as f64));
+                Json::Obj(obj)
+            }
+            Response::SessionUpdate(update) => update.to_json(),
+            Response::SessionClosed { version } => {
+                let mut obj = BTreeMap::new();
+                obj.insert("ok".into(), Json::Bool(true));
+                obj.insert("op".into(), Json::Str("session_close".into()));
+                obj.insert("version".into(), Json::Num(*version as f64));
+                Json::Obj(obj)
+            }
             Response::Error(e) => {
                 let mut obj = BTreeMap::new();
                 obj.insert("ok".into(), Json::Bool(false));
@@ -2010,6 +2235,22 @@ pub fn parse_response(line: &str) -> Result<(Response, Envelope), String> {
             },
             Some("cache_pull") => Response::CachePage(Box::new(CachePage::from_json(&v)?)),
             Some("topology") => Response::Topology(Box::new(TopologyReply::from_json(&v)?)),
+            Some("session_open") => Response::SessionOpened {
+                version: v
+                    .get("version")
+                    .and_then(Json::as_u64)
+                    .ok_or("session open reply: missing integer 'version'")?,
+                reply: Box::new(LayoutReply::from_json(&v)?),
+            },
+            Some("session_update") => {
+                Response::SessionUpdate(Box::new(SessionUpdate::from_json(&v)?))
+            }
+            Some("session_close") => Response::SessionClosed {
+                version: v
+                    .get("version")
+                    .and_then(Json::as_u64)
+                    .ok_or("session close reply: missing integer 'version'")?,
+            },
             Some(other) => return Err(format!("unknown response op '{other}'")),
             None => Response::Layout(Box::new(LayoutReply::from_json(&v)?)),
         },
@@ -2370,6 +2611,100 @@ mod tests {
         let (resp, env) = parse_response(&line).unwrap();
         assert_eq!(env.version, 2);
         assert_eq!(resp, Response::Topology(Box::new(topo)));
+    }
+
+    #[test]
+    fn session_requests_roundtrip() {
+        // session_open carries a full layout body.
+        let line = r#"{"v":2,"op":"session_open","id":7,"body":{"nodes":3,"edges":[[0,1],[1,2]],"algo":"lpl"}}"#;
+        let (req, env) = parse_request_envelope(line).unwrap();
+        let Request::SessionOpen(open) = &req else {
+            panic!("expected session_open");
+        };
+        assert_eq!(open.graph.node_count(), 3);
+        assert_eq!(env.id, Some(Json::Num(7.0)));
+        let v2 = req.encode_v2(env.id.as_ref());
+        let (back, env2) = parse_request_envelope(&v2).unwrap();
+        assert_eq!(back.encode_v2(env2.id.as_ref()), v2);
+
+        // session_delta carries just the edit.
+        let req = Request::SessionDelta {
+            delta: GraphDelta::new(vec![(0, 2)], vec![(1, 2)]),
+        };
+        let v2 = req.encode_v2(Some(&Json::Num(7.0)));
+        let (back, env) = parse_request_envelope(&v2).unwrap();
+        let Request::SessionDelta { delta } = &back else {
+            panic!("expected session_delta");
+        };
+        assert_eq!(delta.added, vec![(0, 2)]);
+        assert_eq!(delta.removed, vec![(1, 2)]);
+        assert_eq!(back.encode_v2(env.id.as_ref()), v2);
+
+        // session_close has an empty body.
+        let v2 = Request::SessionClose.encode_v2(Some(&Json::Num(7.0)));
+        let (back, env) = parse_request_envelope(&v2).unwrap();
+        assert!(matches!(back, Request::SessionClose));
+        assert_eq!(back.encode_v2(env.id.as_ref()), v2);
+    }
+
+    #[test]
+    fn session_delta_validation_errors() {
+        let err = parse_request(r#"{"v":2,"op":"session_delta","body":{}}"#).unwrap_err();
+        assert!(err.contains("empty delta"), "{err}");
+        let pairs: Vec<String> = (0..100_001).map(|i| format!("[{i},{}]", i + 1)).collect();
+        let line = format!(
+            r#"{{"v":2,"op":"session_delta","body":{{"add":[{}]}}}}"#,
+            pairs.join(",")
+        );
+        let err = parse_request(&line).unwrap_err();
+        assert!(err.contains("exceeds the 100000"), "{err}");
+    }
+
+    #[test]
+    fn session_responses_roundtrip() {
+        let env = Envelope::v2(Some(Json::Num(7.0)));
+        let reply = LayoutReply {
+            digest: "000102030405060708090a0b0c0d0e0f".into(),
+            source: "computed".into(),
+            height: 2,
+            width: 1.5,
+            dummies: 0,
+            reversed_edges: 0,
+            stopped_early: false,
+            seeded: false,
+            certified: false,
+            winner: None,
+            members: Vec::new(),
+            compute_micros: 42,
+            layers: vec![vec![1, 2], vec![0]],
+        };
+        let opened = Response::SessionOpened {
+            version: 0,
+            reply: Box::new(reply),
+        };
+        let line = opened.encode(&env);
+        let (resp, back_env) = parse_response(&line).unwrap();
+        assert_eq!(resp, opened);
+        assert_eq!(back_env.id, Some(Json::Num(7.0)));
+
+        let update = Response::SessionUpdate(Box::new(SessionUpdate {
+            version: 3,
+            digest: "000102030405060708090a0b0c0d0e0f".into(),
+            source: "warm".into(),
+            height: 3,
+            changed: vec![(0, vec![2, 3]), (2, vec![0])],
+            coalesced: 1,
+            refreshed: true,
+            compute_micros: 17,
+        }));
+        let line = update.encode(&env);
+        let (resp, _) = parse_response(&line).unwrap();
+        assert_eq!(resp, update);
+
+        let closed = Response::SessionClosed { version: 3 };
+        let line = closed.encode(&env);
+        let (resp, _) = parse_response(&line).unwrap();
+        assert_eq!(resp, closed);
     }
 
     #[test]

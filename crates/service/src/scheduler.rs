@@ -253,6 +253,16 @@ pub struct LayoutResult {
     pub race: Option<RaceReport>,
     /// Wall time of the computation in microseconds.
     pub compute_micros: u64,
+    /// How many warm-started edits deep this result is: `0` for a cold
+    /// solve (or a restored entry — its provenance is unknown), base
+    /// chain + 1 for a warm one. Drives the periodic cold refresh: a
+    /// long edit chain inherits its first optimum's basin, so every
+    /// [`SchedulerConfig::refresh_every`] links the scheduler re-solves
+    /// from scratch too and keeps the better of the two.
+    pub chain_len: u32,
+    /// Whether this result came from a cold refresh that beat the warm
+    /// chain's incumbent (implies `chain_len == 0` on a delta request).
+    pub refreshed: bool,
 }
 
 impl LayoutResult {
@@ -372,6 +382,13 @@ pub struct SchedulerConfig {
     /// footprint proportional to the live set. `None` (the default)
     /// keeps the cache memory-only.
     pub cache_dir: Option<std::path::PathBuf>,
+    /// Cold-refresh period for warm-started edit chains: every
+    /// `refresh_every`-th link additionally re-solves from scratch under
+    /// the same deadline and keeps whichever layering costs less,
+    /// resetting the chain when the cold solve wins. Long-lived edit
+    /// sessions otherwise never leave the first solve's basin. `0`
+    /// disables the refresh.
+    pub refresh_every: u32,
 }
 
 impl Default for SchedulerConfig {
@@ -383,6 +400,7 @@ impl Default for SchedulerConfig {
             cache_shards: 8,
             cache_byte_budget: None,
             cache_dir: None,
+            refresh_every: 32,
         }
     }
 }
@@ -408,6 +426,12 @@ pub struct SchedulerCounters {
     pub rejected: u64,
     /// Jobs queued or running right now.
     pub inflight: usize,
+    /// Warm edit-chain links that also ran a cold re-solve and kept the
+    /// cold result (it cost less than the warm incumbent).
+    pub cold_refresh: u64,
+    /// Cold misses in a `submit_batch` that reused another batch
+    /// member's canonical digest instead of re-canonicalizing.
+    pub batch_shared: u64,
     /// Cache behaviour.
     pub cache: CacheCounters,
 }
@@ -437,6 +461,10 @@ pub struct Scheduler {
     /// Entries restored into the cache without computing: segment-log
     /// replay at boot plus installed `cache_put` replicas.
     cache_restored: Arc<Counter>,
+    /// Warm edit-chain links where the periodic cold re-solve won.
+    cold_refresh: Arc<Counter>,
+    /// Batch cold misses that shared another member's digest work.
+    batch_shared: Arc<Counter>,
     /// The cache's segment log when `cache_dir` is configured.
     persist: Option<Arc<crate::persist::SegmentLog>>,
     /// Latch for the byte-budget warning: set while over budget so the
@@ -510,6 +538,14 @@ impl Scheduler {
         let cache_restored = metrics.counter(
             "cache_restored_total",
             "cache entries filled without computing: segment-log replay and cache_put installs",
+        );
+        let cold_refresh = metrics.counter(
+            "cold_refresh_total",
+            "warm edit-chain links where the periodic cold re-solve beat the warm incumbent",
+        );
+        let batch_shared = metrics.counter(
+            "batch_shared_total",
+            "batch cold misses that reused another member's canonical digest",
         );
         {
             let s = stats.clone();
@@ -632,6 +668,8 @@ impl Scheduler {
             colony_seeded,
             solver_certified,
             cache_restored,
+            cold_refresh,
+            batch_shared,
             persist,
             bytes_warned,
             cfg,
@@ -784,8 +822,10 @@ impl Scheduler {
         let colony_stopped_early = self.colony_stopped_early.clone();
         let colony_seeded = self.colony_seeded.clone();
         let solver_certified = self.solver_certified.clone();
+        let cold_refresh = self.cold_refresh.clone();
         let bytes_warned = self.bytes_warned.clone();
         let byte_budget = self.cfg.cache_byte_budget;
+        let refresh_every = self.cfg.refresh_every;
         let persist = self.persist.clone();
         let enqueued = Instant::now();
         self.pool.execute(move || {
@@ -797,7 +837,7 @@ impl Scheduler {
             // leave the in-flight map and the depth must drop no matter
             // what, or the digest wedges and admission leaks permanently.
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                compute(request, digest, deadline, warm.as_deref())
+                compute(request, digest, deadline, warm.as_deref(), refresh_every)
             }));
             let result = match outcome {
                 Ok(result) => {
@@ -811,6 +851,9 @@ impl Scheduler {
                     }
                     if result.certified {
                         solver_certified.inc();
+                    }
+                    if result.refreshed {
+                        cold_refresh.inc();
                     }
                     if !result.stopped_early {
                         cache.insert_costed(digest, result.clone(), result.approx_bytes());
@@ -873,10 +916,37 @@ impl Scheduler {
         // being evicted (or appearing) between the two steps. Invalid
         // requests are rejected in place and sit out the reorder.
         let mut indexed: Vec<(bool, usize, Digest, LayoutRequest)> = Vec::with_capacity(n);
+        // Shared preprocessing across the batch: canonicalizing a digest
+        // sorts and hashes the whole edge list, and fan-out batches
+        // routinely repeat a request verbatim. Requests that compare
+        // equal to an earlier member (same raw edge sequence, algorithm,
+        // width, deadline class) reuse its digest instead of
+        // re-canonicalizing; the cheap shape key keeps the full
+        // comparison off the unique-request path.
+        let mut digested: HashMap<(usize, usize, u64), Vec<usize>> = HashMap::new();
         for (i, r) in requests.into_iter().enumerate() {
             match validate_request(&r) {
                 Ok(()) => {
-                    let d = r.digest();
+                    let shape = (
+                        r.graph.node_count(),
+                        r.graph.edge_count(),
+                        r.nd_width.to_bits(),
+                    );
+                    let twins = digested.entry(shape).or_default();
+                    // The digest excludes the deadline, so deadline-only
+                    // differences still share.
+                    let prior = twins.iter().copied().find(|&j| {
+                        let (_, _, _, p) = &indexed[j];
+                        p.algo == r.algo && p.graph.edges().eq(r.graph.edges())
+                    });
+                    let d = match prior {
+                        Some(j) => {
+                            self.batch_shared.inc();
+                            indexed[j].2
+                        }
+                        None => r.digest(),
+                    };
+                    twins.push(indexed.len());
                     indexed.push((self.cache.peek(d).is_none(), i, d, r));
                 }
                 Err(e) => out[i] = Some(Err(e)),
@@ -982,6 +1052,8 @@ impl Scheduler {
             coalesced: self.stats.coalesced.load(Ordering::Relaxed),
             rejected: self.stats.rejected.load(Ordering::Relaxed),
             inflight: self.depth.load(Ordering::Relaxed),
+            cold_refresh: self.cold_refresh.get(),
+            batch_shared: self.batch_shared.get(),
             cache: self.cache.counters(),
         }
     }
@@ -1054,22 +1126,42 @@ fn validate_request(request: &LayoutRequest) -> Result<(), ServiceError> {
 /// the edited DAG and handed to [`Solver::solve_seeded`] — the colony
 /// installs it as its incumbent, the portfolio races it as a member, and
 /// the single-pass solvers ignore it.
+///
+/// Every `refresh_every`-th link of a warm chain additionally runs a
+/// cold solve under the *same* absolute deadline and keeps whichever
+/// layering costs less: a long edit chain stays anchored to its first
+/// solve's basin of attraction, and the periodic cold run is the
+/// scheduler's only chance to escape it. A cold win resets the chain
+/// (and marks the result `refreshed`), so the next refresh is counted
+/// from the new basin.
 fn compute(
     request: LayoutRequest,
     digest: Digest,
     deadline: Option<Instant>,
     warm: Option<&LayoutResult>,
+    refresh_every: u32,
 ) -> LayoutResult {
     let started = Instant::now();
     let oriented = antlayer_sugiyama::acyclic_orientation(&request.graph);
     let wm = WidthModel::with_dummy_width(request.nd_width);
     let solver = request.algo.solver();
-    let solution = match warm {
+    let (solution, chain_len, refreshed) = match warm {
         Some(base) => {
             let seed = base.layering.repaired(&oriented.dag);
-            solver.solve_seeded(&oriented.dag, &wm, &seed, deadline)
+            let warm_solution = solver.solve_seeded(&oriented.dag, &wm, &seed, deadline);
+            let link = base.chain_len.saturating_add(1);
+            if refresh_every > 0 && link % refresh_every == 0 {
+                let cold = solver.solve(&oriented.dag, &wm, deadline);
+                if cold.cost < warm_solution.cost {
+                    (cold, 0, true)
+                } else {
+                    (warm_solution, link, false)
+                }
+            } else {
+                (warm_solution, link, false)
+            }
         }
-        None => solver.solve(&oriented.dag, &wm, deadline),
+        None => (solver.solve(&oriented.dag, &wm, deadline), 0, false),
     };
     let metrics = LayeringMetrics::compute(&oriented.dag, &solution.layering, &wm);
     LayoutResult {
@@ -1087,6 +1179,8 @@ fn compute(
         certified: solution.certified,
         race: solution.race,
         compute_micros: started.elapsed().as_micros() as u64,
+        chain_len,
+        refreshed,
     }
 }
 
@@ -1359,6 +1453,97 @@ mod tests {
             prev = next;
         }
         assert_eq!(s.counters().computed, 4);
+    }
+
+    #[test]
+    fn warm_chain_counts_links_and_refresh_resets_on_a_cold_win() {
+        // refresh_every == 1: every warm link also runs a cold solve.
+        // Whichever side wins, the invariants hold: `refreshed` implies
+        // the chain reset, a warm win extends it, and the counter
+        // matches the number of refreshed results.
+        let s = Scheduler::new(SchedulerConfig {
+            threads: 2,
+            refresh_every: 1,
+            ..Default::default()
+        });
+        let graph = small_graph(21);
+        let base = s
+            .submit(LayoutRequest::new(graph.clone(), quick_aco(21)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(base.result.chain_len, 0);
+        assert!(!base.result.refreshed);
+        let (u, v) = graph.edges().next().unwrap();
+        let delta = GraphDelta::new(vec![], vec![(u.index() as u32, v.index() as u32)]);
+        let warm = s
+            .submit_delta(DeltaRequest::new(base.result.digest, delta, quick_aco(21)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        if warm.result.refreshed {
+            assert_eq!(warm.result.chain_len, 0, "a cold win resets the chain");
+        } else {
+            assert_eq!(warm.result.chain_len, 1, "a warm win extends the chain");
+        }
+        assert_eq!(s.counters().cold_refresh, warm.result.refreshed as u64);
+    }
+
+    #[test]
+    fn disabled_refresh_lets_the_chain_grow() {
+        let s = Scheduler::new(SchedulerConfig {
+            threads: 2,
+            refresh_every: 0,
+            ..Default::default()
+        });
+        let mut graph = small_graph(22);
+        let mut prev = s
+            .submit(LayoutRequest::new(graph.clone(), quick_aco(22)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        for step in 0..3u32 {
+            let (u, v) = graph.edges().next().unwrap();
+            let delta = GraphDelta::new(vec![], vec![(u.index() as u32, v.index() as u32)]);
+            graph = delta.apply(&graph).unwrap();
+            prev = s
+                .submit_delta(DeltaRequest::new(prev.result.digest, delta, quick_aco(22)))
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(prev.result.chain_len, step + 1);
+            assert!(!prev.result.refreshed);
+        }
+        assert_eq!(s.counters().cold_refresh, 0);
+    }
+
+    #[test]
+    fn batch_duplicates_share_one_canonicalization() {
+        let s = Scheduler::new(SchedulerConfig {
+            threads: 2,
+            ..Default::default()
+        });
+        let shared = LayoutRequest::new(small_graph(23), quick_aco(23));
+        let distinct = LayoutRequest::new(small_graph(24), quick_aco(23));
+        let batch = vec![
+            shared.clone(),
+            distinct.clone(),
+            shared.clone(),
+            shared.clone(),
+        ];
+        let responses: Vec<_> = s
+            .submit_batch(batch)
+            .into_iter()
+            .map(|t| t.unwrap().wait().unwrap())
+            .collect();
+        // The duplicates resolve to the same digest (and result) as the
+        // first occurrence without re-canonicalizing.
+        assert_eq!(responses[0].result.digest, responses[2].result.digest);
+        assert_eq!(responses[0].result.digest, responses[3].result.digest);
+        assert_ne!(responses[0].result.digest, responses[1].result.digest);
+        let c = s.counters();
+        assert_eq!(c.batch_shared, 2, "two duplicates reused the digest");
+        assert_eq!(c.computed, 2, "duplicates coalesced onto one job");
     }
 
     #[test]

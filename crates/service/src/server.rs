@@ -72,9 +72,18 @@ pub struct ServerConfig {
     /// Optional address of the HTTP/1.1 listener (`POST /v2`); `None`
     /// serves line-delimited TCP only.
     pub http_addr: Option<String>,
+    /// Optional address of the live (reactor) listener serving
+    /// streaming edit sessions (`antlayer serve --live PORT`). Unlike
+    /// the other listeners its connections cost no thread and do not
+    /// count against [`max_connections`](Self::max_connections).
+    pub live_addr: Option<String>,
+    /// Tuning for the live tier (per-session outbound queue cap before
+    /// slow-consumer eviction, per-connection kernel send-buffer cap).
+    pub live_tuning: crate::live::LiveTuning,
     /// Scheduler configuration (threads, cache, admission).
     pub scheduler: SchedulerConfig,
-    /// Maximum concurrently served connections, across both listeners.
+    /// Maximum concurrently served connections, across the line-TCP and
+    /// HTTP listeners.
     pub max_connections: usize,
 }
 
@@ -83,6 +92,8 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:4617".into(),
             http_addr: None,
+            live_addr: None,
+            live_tuning: crate::live::LiveTuning::default(),
             scheduler: SchedulerConfig::default(),
             max_connections: 128,
         }
@@ -108,6 +119,11 @@ pub struct ServiceCore {
     /// a shard *slow* rather than dead, which is the failure mode that
     /// exercises the router's `io_timeout` reroute path.
     respond_delay_ms: AtomicU64,
+    /// The live-session tier's counters, registered here (not in the
+    /// reactor) so `stats` and `GET /metrics` report them even when no
+    /// `--live` listener is running — the names are part of the stats
+    /// contract, zero-valued or not.
+    session_metrics: Arc<crate::session::SessionMetrics>,
 }
 
 impl ServiceCore {
@@ -117,13 +133,21 @@ impl ServiceCore {
             "server_request_us",
             "end-to-end microseconds from request parse to encoded reply",
         );
+        let session_metrics = crate::session::SessionMetrics::new(scheduler.metrics());
         ServiceCore {
             scheduler,
             lenient_requests: AtomicU64::new(0),
             request_us,
             slow_log: SlowLog::new(SLOW_LOG_CAPACITY),
             respond_delay_ms: AtomicU64::new(0),
+            session_metrics,
         }
+    }
+
+    /// The live-session tier's metrics handles (shared with the
+    /// reactor).
+    pub fn session_metrics(&self) -> &Arc<crate::session::SessionMetrics> {
+        &self.session_metrics
     }
 
     /// Sets the artificial per-request respond delay (fault injection:
@@ -218,6 +242,18 @@ impl ServiceCore {
                     format!("invalid request: '{op}' is a router admin op; send it to the router"),
                 ))
             }
+            // Sessions live on the reactor listener, where the server
+            // can *push* frames; a request/reply transport has nowhere
+            // to deliver the unsolicited updates.
+            Request::SessionOpen(_) | Request::SessionDelta { .. } | Request::SessionClose => {
+                Response::Error(WireError::new(
+                    ErrorKind::InvalidRequest,
+                    format!(
+                        "invalid request: '{op}' is a live-session op; connect to the \
+                         --live listener"
+                    ),
+                ))
+            }
         };
         // The wire trace closes before encoding (it is part of what gets
         // encoded); the slow log closes after, so it sees the full cost.
@@ -279,6 +315,14 @@ impl ServiceCore {
         num("cache_evictions", c.cache.evictions as f64);
         num("cache_bytes", c.cache.bytes as f64);
         num("cache_restored", self.scheduler.restored() as f64);
+        num("cold_refresh", c.cold_refresh as f64);
+        num("batch_shared", c.batch_shared as f64);
+        let sm = &self.session_metrics;
+        num("sessions_open", sm.open_count() as f64);
+        num("sessions_idle", sm.idle_value() as f64);
+        num("session_pushes", sm.pushes.get() as f64);
+        num("session_coalesced", sm.coalesced.get() as f64);
+        num("session_evicted", sm.evicted.get() as f64);
         // Latency histograms ride along as objects (count, sum_us,
         // percentiles, raw buckets) — see `protocol::histogram_json`.
         // The flat counters above stay plain numbers for compatibility.
@@ -370,6 +414,8 @@ fn error_response(e: &ServiceError) -> Response {
 pub struct Server {
     listener: TcpListener,
     http_listener: Option<TcpListener>,
+    live_listener: Option<TcpListener>,
+    live_tuning: crate::live::LiveTuning,
     shared: Arc<ServerShared>,
 }
 
@@ -387,6 +433,8 @@ struct ServerShared {
 pub struct ServerHandle {
     addr: std::net::SocketAddr,
     http_addr: Option<std::net::SocketAddr>,
+    live_addr: Option<std::net::SocketAddr>,
+    live_stop: Option<crate::live::LiveStopper>,
     shared: Arc<ServerShared>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -416,9 +464,15 @@ impl Server {
             Some(addr) => Some(TcpListener::bind(addr)?),
             None => None,
         };
+        let live_listener = match &config.live_addr {
+            Some(addr) => Some(TcpListener::bind(addr)?),
+            None => None,
+        };
         Ok(Server {
             listener,
             http_listener,
+            live_listener,
+            live_tuning: config.live_tuning.clone(),
             shared: Arc::new(ServerShared {
                 core: ServiceCore::new(Arc::new(Scheduler::new(config.scheduler.clone()))),
                 max_connections: config.max_connections,
@@ -441,13 +495,20 @@ impl Server {
             .and_then(|l| l.local_addr().ok())
     }
 
+    /// The actually-bound live (reactor) address, when one exists.
+    pub fn live_addr(&self) -> Option<std::net::SocketAddr> {
+        self.live_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
+    }
+
     /// The shared scheduler (for in-process inspection).
     pub fn scheduler(&self) -> &Arc<Scheduler> {
         self.shared.core.scheduler()
     }
 
     /// Runs the accept loop(s) on the calling thread until shutdown; the
-    /// HTTP listener (if any) gets a background thread.
+    /// HTTP and live listeners (if any) get background threads.
     pub fn run(self) {
         let mut threads = Vec::new();
         if let Some(http) = self.http_listener {
@@ -456,6 +517,11 @@ impl Server {
                 .name("antlayer-serve-http".into())
                 .spawn(move || accept_loop(&http, &HttpTransport, &shared))
             {
+                threads.push(t);
+            }
+        }
+        if let Some(live) = self.live_listener {
+            if let Ok((_stopper, t)) = spawn_live(live, &self.shared, self.live_tuning.clone()) {
                 threads.push(t);
             }
         }
@@ -469,6 +535,7 @@ impl Server {
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         let http_addr = self.http_addr();
+        let live_addr = self.live_addr();
         let shared = self.shared.clone();
         let mut threads = Vec::new();
         if let Some(http) = self.http_listener {
@@ -478,6 +545,12 @@ impl Server {
                     .name("antlayer-serve-http".into())
                     .spawn(move || accept_loop(&http, &HttpTransport, &shared))?,
             );
+        }
+        let mut live_stop = None;
+        if let Some(live) = self.live_listener {
+            let (stopper, t) = spawn_live(live, &self.shared, self.live_tuning.clone())?;
+            live_stop = Some(stopper);
+            threads.push(t);
         }
         let listener = self.listener;
         let line_shared = self.shared.clone();
@@ -489,10 +562,31 @@ impl Server {
         Ok(ServerHandle {
             addr,
             http_addr,
+            live_addr,
+            live_stop,
             shared,
             threads,
         })
     }
+}
+
+/// Builds the live reactor over `listener` and gives it a thread.
+fn spawn_live(
+    listener: TcpListener,
+    shared: &Arc<ServerShared>,
+    tuning: crate::live::LiveTuning,
+) -> std::io::Result<(crate::live::LiveStopper, JoinHandle<()>)> {
+    let reactor = crate::live::LiveReactor::with_tuning(
+        listener,
+        shared.core.scheduler().clone(),
+        shared.core.session_metrics().clone(),
+        tuning,
+    )?;
+    let stopper = reactor.stopper();
+    let thread = std::thread::Builder::new()
+        .name("antlayer-serve-live".into())
+        .spawn(move || reactor.run())?;
+    Ok((stopper, thread))
 }
 
 impl ServerHandle {
@@ -504,6 +598,11 @@ impl ServerHandle {
     /// The server's HTTP address, when an HTTP listener is serving.
     pub fn http_addr(&self) -> Option<std::net::SocketAddr> {
         self.http_addr
+    }
+
+    /// The server's live (reactor) address, when one is serving.
+    pub fn live_addr(&self) -> Option<std::net::SocketAddr> {
+        self.live_addr
     }
 
     /// The shared scheduler (for in-process inspection: fault harnesses
@@ -538,6 +637,10 @@ impl ServerHandle {
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
         if let Some(http) = self.http_addr {
             let _ = TcpStream::connect_timeout(&http, Duration::from_secs(1));
+        }
+        // The reactor has its own waker; its stopper makes run() return.
+        if let Some(stopper) = self.live_stop.take() {
+            stopper.stop();
         }
         for t in self.threads.drain(..) {
             let _ = t.join();

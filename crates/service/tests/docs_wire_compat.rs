@@ -162,3 +162,74 @@ fn v2_envelope_examples_parse_as_documented() {
     let encoded = Response::Error(err).encode(&env);
     in_doc(&encoded);
 }
+
+#[test]
+fn v2_session_examples_parse_as_documented() {
+    // The three live-session request ops.
+    let open = r#"{"v":2,"op":"session_open","id":7,"body":{"algo":"aco","seed":7,"nodes":6,"edges":[[0,1],[0,2],[1,3],[2,3],[3,4],[3,5]]}}"#;
+    in_doc(open);
+    json_round_trips(open);
+    let (req, env) = protocol::parse_request_envelope(open).unwrap();
+    let Request::SessionOpen(req) = req else {
+        panic!("expected session_open");
+    };
+    assert_eq!(req.graph.node_count(), 6);
+    assert_eq!((env.version, env.id), (2, Some(Json::Num(7.0))));
+
+    let delta = r#"{"v":2,"op":"session_delta","id":7,"body":{"add":[[4,5]],"remove":[[3,5]]}}"#;
+    in_doc(delta);
+    json_round_trips(delta);
+    let (req, _) = protocol::parse_request_envelope(delta).unwrap();
+    let Request::SessionDelta { delta } = req else {
+        panic!("expected session_delta");
+    };
+    assert_eq!(delta.added, vec![(4, 5)]);
+    assert_eq!(delta.removed, vec![(3, 5)]);
+
+    let close = r#"{"v":2,"op":"session_close","id":7,"body":{}}"#;
+    in_doc(close);
+    json_round_trips(close);
+    let (req, _) = protocol::parse_request_envelope(close).unwrap();
+    assert!(matches!(req, Request::SessionClose));
+
+    // The version-0 open reply (a full layout re-tagged).
+    let opened = r#"{"certified":false,"compute_micros":8423,"digest":"93fd580123456789abcdef0123456789","dummies":0,"height":4,"id":7,"layers":[[4,5],[3],[1,2],[0]],"ok":true,"op":"session_open","reversed_edges":0,"seeded":false,"source":"computed","stopped_early":false,"v":2,"version":0,"width":2}"#;
+    in_doc(opened);
+    json_round_trips(opened);
+    let (resp, env) = parse_response(opened).unwrap();
+    let Response::SessionOpened { version: 0, reply } = resp else {
+        panic!("expected version-0 session_open reply");
+    };
+    assert_eq!(reply.height, 4);
+    assert_eq!(env.id, Some(Json::Num(7.0)));
+
+    // A pushed update frame: incremental layers, monotonic version.
+    let update = r#"{"changed":[[0,[4]],[1,[3,5]]],"coalesced":0,"compute_micros":512,"digest":"41c07a0123456789abcdef0123456789","height":4,"id":7,"ok":true,"op":"session_update","refreshed":false,"source":"warm","v":2,"version":1}"#;
+    in_doc(update);
+    json_round_trips(update);
+    let (resp, _) = parse_response(update).unwrap();
+    let Response::SessionUpdate(update) = resp else {
+        panic!("expected session_update");
+    };
+    assert_eq!(update.version, 1);
+    assert_eq!(update.changed, vec![(0, vec![4]), (1, vec![3, 5])]);
+    assert_eq!(update.source, "warm");
+
+    // The close ack names the last pushed version.
+    let ack = r#"{"id":7,"ok":true,"op":"session_close","v":2,"version":1}"#;
+    in_doc(ack);
+    json_round_trips(ack);
+    let (resp, _) = parse_response(ack).unwrap();
+    assert!(matches!(resp, Response::SessionClosed { version: 1 }));
+
+    // The slow-consumer eviction frame keeps the structured kind.
+    let evicted = r#"{"error":"session evicted: 32 frames queued and the connection is not draining; re-open to resume","id":7,"kind":"overloaded","ok":false,"v":2}"#;
+    in_doc(evicted);
+    json_round_trips(evicted);
+    let (resp, env) = parse_response(evicted).unwrap();
+    let Response::Error(e) = resp else {
+        panic!("expected error frame");
+    };
+    assert_eq!(e.kind, ErrorKind::Overloaded);
+    assert_eq!(env.id, Some(Json::Num(7.0)));
+}

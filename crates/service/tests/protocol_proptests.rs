@@ -73,9 +73,25 @@ fn request_of(
     }
     let nd_width = ndw as f64 / 4.0;
     let deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
-    match op % 7 {
+    match op % 10 {
         0 => Request::Ping,
         1 => Request::Stats,
+        7 => Request::SessionOpen(Box::new(LayoutRequest {
+            graph: graph_of(nodes, raw_edges),
+            algo: spec.clone(),
+            nd_width,
+            deadline,
+        })),
+        8 => {
+            let mut add: Vec<(u32, u32)> = raw_edges.to_vec();
+            if add.is_empty() {
+                add.push((0, 1));
+            }
+            Request::SessionDelta {
+                delta: GraphDelta::new(add, vec![(seed as u32 % 7, seed as u32 % 11 + 1)]),
+            }
+        }
+        9 => Request::SessionClose,
         4 => Request::CachePull {
             cursor: (seed % 2 == 0).then_some(Digest {
                 hi: base.0,
@@ -131,7 +147,7 @@ proptest! {
 
     #[test]
     fn request_encode_parse_encode_is_identity(
-        op in 0usize..7,
+        op in 0usize..10,
         nodes in 1usize..16,
         raw_edges in proptest::collection::vec((0u32..16, 0u32..16), 0..24),
         algo in 0usize..9,
@@ -169,7 +185,7 @@ proptest! {
 
     #[test]
     fn response_encode_parse_encode_is_identity(
-        variant in 0usize..6,
+        variant in 0usize..9,
         digest_hi in 0u64..u64::MAX,
         digest_lo in 0u64..u64::MAX,
         source in 0usize..4,
@@ -259,6 +275,39 @@ proptest! {
                     shards,
                 }))
             }
+            6 => Response::SessionOpened {
+                version: dummies,
+                reply: Box::new(LayoutReply {
+                    digest: format!("{:016x}{:016x}", digest_hi, digest_lo),
+                    source: SOURCES[source % SOURCES.len()].to_string(),
+                    height,
+                    width: widthq as f64 / 4.0,
+                    dummies,
+                    reversed_edges: reversed,
+                    stopped_early: flags & 1 != 0,
+                    seeded: flags & 2 != 0,
+                    certified: flags & 4 != 0,
+                    winner: None,
+                    members: Vec::new(),
+                    compute_micros: micros,
+                    layers: layers.clone(),
+                }),
+            },
+            7 => Response::SessionUpdate(Box::new(protocol::SessionUpdate {
+                version: height,
+                digest: format!("{:016x}{:016x}", digest_hi, digest_lo),
+                source: SOURCES[source % SOURCES.len()].to_string(),
+                height,
+                changed: layers
+                    .iter()
+                    .enumerate()
+                    .map(|(i, ids)| (i as u32, ids.clone()))
+                    .collect(),
+                coalesced: dummies,
+                refreshed: flags & 1 != 0,
+                compute_micros: micros,
+            })),
+            8 => Response::SessionClosed { version: height },
             _ => {
                 let members: Vec<MemberStats> = members
                     .iter()

@@ -21,6 +21,7 @@ out="${1:-bench-out}"
 #   portfolio      solver portfolio vs ACO-only anytime gate  → BENCH_7.json
 #   durability     durable cache + replication fault harness  → BENCH_8.json
 #   reshard        live shard join/drain elastic fleet gate   → BENCH_9.json
+#   live           streaming edit sessions: 10k idle + 8 hot push gates → BENCH_10.json
 #   observability  instrumented vs telemetry-off colony       → BENCH_6.json (baseline-gated)
 #   hotpath        zero-alloc colony vs reference path        → BENCH_4.json (baseline-gated)
 scenarios=(
@@ -30,6 +31,7 @@ scenarios=(
     "portfolio:"
     "durability:"
     "reshard:"
+    "live:"
     "observability:BENCH_6.json"
     "hotpath:BENCH_4.json"
 )
@@ -52,5 +54,6 @@ echo "== loadgen smoke"
 cargo run --release -p antlayer-bench --bin loadgen -- --mode mixed --requests 60 --clients 3 --transport tcp
 cargo run --release -p antlayer-bench --bin loadgen -- --mode mixed --requests 60 --clients 3 --transport http
 cargo run --release -p antlayer-bench --bin loadgen -- --mode edit --requests 40 --clients 2 --transport http
+cargo run --release -p antlayer-bench --bin loadgen -- --mode live --requests 24 --clients 2 --idle 50
 
 echo "bench smoke: all scenarios passed; artifacts in $out/"

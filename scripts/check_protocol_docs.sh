@@ -13,6 +13,7 @@ protocol_src="crates/service/src/protocol.rs"
 scheduler_src="crates/service/src/scheduler.rs"
 transport_src="crates/service/src/transport.rs"
 server_src="crates/service/src/server.rs"
+session_src="crates/service/src/session.rs"
 router_src="crates/router/src/lib.rs"
 
 fail=0
@@ -74,7 +75,7 @@ done <<< "$routes"
 # variants). rustfmt wraps long calls, so whitespace is squeezed out
 # before matching. Anything a `GET /metrics` scrape can return must be
 # documented.
-metrics=$(cat "$scheduler_src" "$server_src" "$router_src" \
+metrics=$(cat "$scheduler_src" "$server_src" "$session_src" "$router_src" \
     | tr -d ' \n' \
     | grep -oE '\.(counter_fn|gauge_fn|counter|gauge|histogram)\("[a-z0-9_]+"' \
     | grep -oE '"[a-z0-9_]+"' | tr -d '"' | sort -u)
